@@ -1,0 +1,32 @@
+//! Criterion benchmarks of ordering construction — part of MemXCT's
+//! preprocessing step (1) cost in §3.5 / Table 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xct_hilbert::{gilbert2d, Ordering2D, TwoLevelOrdering};
+
+fn bench_orderings(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ordering_construction");
+    for n in [256u32, 512] {
+        g.throughput(Throughput::Elements(n as u64 * n as u64));
+        g.bench_with_input(BenchmarkId::new("two_level_hilbert", n), &n, |b, &n| {
+            b.iter(|| TwoLevelOrdering::with_default_tile(n, n))
+        });
+        g.bench_with_input(BenchmarkId::new("gilbert", n), &n, |b, &n| {
+            b.iter(|| gilbert2d(n, n))
+        });
+        g.bench_with_input(BenchmarkId::new("morton", n), &n, |b, &n| {
+            b.iter(|| Ordering2D::morton(n, n))
+        });
+        g.bench_with_input(BenchmarkId::new("row_major", n), &n, |b, &n| {
+            b.iter(|| Ordering2D::row_major(n, n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_orderings
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the SpMV kernel variants (the measured side of
+//! Fig 9 / Table 6): baseline CSR, ELL, and the multi-stage buffered
+//! kernel, on row-major vs Hilbert-ordered matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memxct::{preprocess, Config, DomainOrdering};
+use xct_geometry::ADS1;
+use xct_sparse::{spmv_parallel, BufferedCsr, EllMatrix};
+
+fn bench_spmv(c: &mut Criterion) {
+    let ds = ADS1.scaled(2); // 180x128: small enough for quick criterion runs
+    let rm = preprocess(
+        ds.grid(),
+        ds.scan(),
+        &Config {
+            ordering: DomainOrdering::RowMajor,
+            build_buffered: false,
+            ..Config::default()
+        },
+    );
+    let hl = preprocess(
+        ds.grid(),
+        ds.scan(),
+        &Config {
+            build_buffered: false,
+            ..Config::default()
+        },
+    );
+    let x: Vec<f32> = (0..rm.a.ncols()).map(|i| (i % 13) as f32 * 0.3).collect();
+    let nnz = rm.a.nnz() as u64;
+
+    let mut g = c.benchmark_group("forward_spmv");
+    g.throughput(Throughput::Elements(nnz));
+    g.bench_with_input(BenchmarkId::new("csr", "row-major"), &rm.a, |b, a| {
+        b.iter(|| spmv_parallel(a, &x, 128))
+    });
+    g.bench_with_input(BenchmarkId::new("csr", "hilbert"), &hl.a, |b, a| {
+        b.iter(|| spmv_parallel(a, &x, 128))
+    });
+    let ell = EllMatrix::from_csr(&hl.a, 128);
+    g.bench_function(BenchmarkId::new("ell", "hilbert"), |b| b.iter(|| ell.spmv(&x)));
+    let buf = BufferedCsr::from_csr(&hl.a, 128, 2048);
+    g.bench_function(BenchmarkId::new("buffered", "hilbert"), |b| {
+        b.iter(|| buf.spmv_parallel(&x))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_spmv
+}
+criterion_main!(benches);

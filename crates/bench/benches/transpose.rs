@@ -1,0 +1,37 @@
+//! Criterion benchmark of the scan-based sparse transpose — preprocessing
+//! step (3) in §3.5, chosen over an atomic transpose because it preserves
+//! data ordering.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use memxct::{preprocess, Config};
+use xct_geometry::ADS1;
+
+fn bench_transpose(c: &mut Criterion) {
+    let ds = ADS1.scaled(2);
+    let ops = preprocess(
+        ds.grid(),
+        ds.scan(),
+        &Config {
+            build_buffered: false,
+            ..Config::default()
+        },
+    );
+    let mut g = c.benchmark_group("transpose");
+    g.throughput(Throughput::Elements(ops.a.nnz() as u64));
+    g.bench_function("scan_transpose", |b| b.iter(|| ops.a.transpose_scan()));
+    g.finish();
+
+    let mut g = c.benchmark_group("buffered_construction");
+    g.throughput(Throughput::Elements(ops.a.nnz() as u64));
+    g.bench_function("from_csr_128_8KB", |b| {
+        b.iter(|| xct_sparse::BufferedCsr::from_csr(&ops.a, 128, 2048))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_transpose
+}
+criterion_main!(benches);

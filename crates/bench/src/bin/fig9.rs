@@ -1,0 +1,136 @@
+//! Fig 9: single-device performance of the three optimization stages —
+//! baseline SpMV, + two-level pseudo-Hilbert ordering, + multi-stage
+//! buffering — across the artificial datasets: GFLOPS, L2 miss rate
+//! (simulated against a KNL-like L2), and effective memory bandwidth.
+//!
+//! Datasets keep their **full tomogram width** (so the irregular footprint
+//! is the real one; the ordering optimizations are pointless on a
+//! footprint that fits in cache) and scale the projection count instead,
+//! which shrinks the matrix without changing per-row locality.
+//!
+//! Paper reference (KNL): Hilbert ordering gives 1.59× (ADS1, small) to
+//! 4.62× (ADS2); buffering adds up to ~1.3× more on ADS2+ and nothing on
+//! ADS1; L2 miss rates drop from tens of percent to single digits.
+//!
+//! ```text
+//! cargo run --release -p xct-bench --bin fig9 [extra_projection_divisor]
+//! ```
+
+use memxct::{preprocess, Config, DomainOrdering, Operators};
+use xct_bench::{bandwidth_gbs, gflops, time_median};
+use xct_cachesim::{spmv_irregular_miss_rate, CacheConfig};
+use xct_geometry::{Dataset, ADS1, ADS2, ADS3, ADS4};
+use xct_sparse::{spmv_parallel, BufferedCsr};
+
+struct Variant {
+    name: &'static str,
+    gflops: f64,
+    miss_rate: f64,
+    bandwidth: f64,
+}
+
+/// Forward+backprojection GFLOPS/bandwidth of one configuration.
+fn run(ops: &Operators, buffered: bool, reps: usize) -> (f64, f64) {
+    let partsize = 128;
+    let buffsize = 2048; // 8 KB, the paper's tuned KNL value
+    let x: Vec<f32> = (0..ops.a.ncols()).map(|i| (i % 13) as f32 * 0.3).collect();
+    let y: Vec<f32> = (0..ops.a.nrows()).map(|i| (i % 11) as f32 * 0.2).collect();
+    let nnz = ops.a.nnz();
+    if buffered {
+        let fa = BufferedCsr::from_csr(&ops.a, partsize, buffsize);
+        let fb = BufferedCsr::from_csr(&ops.at, partsize, buffsize);
+        let t_f = time_median(|| { std::hint::black_box(fa.spmv_parallel(&x)); }, reps);
+        let t_b = time_median(|| { std::hint::black_box(fb.spmv_parallel(&y)); }, reps);
+        let t = (t_f + t_b) / 2.0;
+        let bytes = (fa.regular_bytes() + fb.regular_bytes()) / 2;
+        (gflops(nnz, t), bandwidth_gbs(bytes, t))
+    } else {
+        let t_f = time_median(|| { std::hint::black_box(spmv_parallel(&ops.a, &x, partsize)); }, reps);
+        let t_b = time_median(|| { std::hint::black_box(spmv_parallel(&ops.at, &y, partsize)); }, reps);
+        let t = (t_f + t_b) / 2.0;
+        (gflops(nnz, t), bandwidth_gbs(ops.a.regular_bytes(), t))
+    }
+}
+
+fn measure(ds: &Dataset, reps: usize) -> Vec<Variant> {
+    // The simulated L2 sees the real footprint (full tomogram width).
+    let l2 = CacheConfig::knl_l2();
+    let mut out = Vec::new();
+
+    // Build configurations one at a time to bound peak memory.
+    {
+        let base = preprocess(
+            ds.grid(),
+            ds.scan(),
+            &Config {
+                ordering: DomainOrdering::RowMajor,
+                build_buffered: false,
+                ..Config::default()
+            },
+        );
+        let (g, b) = run(&base, false, reps);
+        let m = spmv_irregular_miss_rate(base.a.colind(), l2).miss_rate();
+        out.push(Variant { name: "baseline", gflops: g, miss_rate: m, bandwidth: b });
+    }
+    {
+        let hil = preprocess(
+            ds.grid(),
+            ds.scan(),
+            &Config {
+                build_buffered: false,
+                ..Config::default()
+            },
+        );
+        let (g, b) = run(&hil, false, reps);
+        let m = spmv_irregular_miss_rate(hil.a.colind(), l2).miss_rate();
+        out.push(Variant { name: "+hilbert", gflops: g, miss_rate: m, bandwidth: b });
+        let (g, b) = run(&hil, true, reps);
+        out.push(Variant { name: "+buffering", gflops: g, miss_rate: m, bandwidth: b });
+    }
+    out
+}
+
+fn main() {
+    let extra: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(1);
+    // Per-dataset projection divisors keep every matrix around or below
+    // ~250M nonzeroes at full tomogram width.
+    let cases = [
+        (ADS1, 1u32),
+        (ADS2, 4),
+        (ADS3, 16),
+        (ADS4, 48),
+    ];
+    println!("Fig 9: optimization stages per dataset (full tomogram width, projections/{extra} extra)\n");
+    println!(
+        "{:<6} {:>11} {:<12} {:>8} {:>12} {:>10} {:>16}",
+        "data", "sinogram", "variant", "GFLOPS", "L2 miss", "BW GB/s", "speedup vs base"
+    );
+    for (ds, base_div) in cases {
+        let small = ds.scaled_projections(base_div * extra);
+        let variants = measure(&small, 2);
+        let base = variants[0].gflops;
+        for v in &variants {
+            println!(
+                "{:<6} {:>4}x{:<6} {:<12} {:>8.2} {:>11.1}% {:>10.1} {:>15.2}x",
+                small.name,
+                small.projections,
+                small.channels,
+                v.name,
+                v.gflops,
+                v.miss_rate * 100.0,
+                v.bandwidth,
+                v.gflops / base
+            );
+        }
+        println!();
+    }
+    println!("paper (KNL): hilbert speedups 1.59x (ADS1) to 4.62x (ADS2); buffering adds");
+    println!("up to ~1.3x more on ADS2+ and nothing on ADS1; miss rates drop to single");
+    println!("digits. on this host a 260 MB L3 softens the penalty the orderings remove,");
+    println!("so measured speedups are compressed relative to KNL; the simulated L2 miss");
+    println!("rates show the KNL-faithful picture.");
+}

@@ -1,0 +1,83 @@
+//! Table 5: RDS1 reconstruction on various node counts and machines —
+//! modeled from exact work volumes and the Table 2 machine rates (this
+//! box has one core; see DESIGN.md's substitution note).
+//!
+//! Paper rows: 1-Theta 63.3 s recon (1×), 8-Theta 3.33 s (19×,
+//! super-linear from MCDRAM), 8-Cooley 2.89 s, 32-Blue Waters 1.82 s,
+//! 32-Theta 1.37 s (46.2×), 32-Cooley 1.22 s; all-slices time drops from
+//! 1.44 days to under an hour.
+//!
+//! ```text
+//! cargo run --release -p xct-bench --bin table5 [scale_divisor]
+//! ```
+
+use xct_bench::{analytic_volumes, calibrate_comm, fmt_secs, scale_from_args};
+use xct_geometry::RDS1;
+use xct_runtime::{iteration_time, MachineSpec, BLUE_WATERS, COOLEY, THETA};
+
+fn main() {
+    let div = scale_from_args().max(8);
+    let cal = calibrate_comm(&RDS1, div, 16);
+    let iters = 30.0;
+    let slices = RDS1.channels as f64; // full 3D volume = N slices
+
+    // Preprocessing model: tracing + transpose + buffers stream the full
+    // matrix a handful of times; charge 6 passes over the regular data at
+    // the machine's slow-tier bandwidth, split across devices.
+    let preproc = |spec: &MachineSpec, devices: f64| -> f64 {
+        let nnz = RDS1.footprint().nnz as f64;
+        6.0 * (nnz * 8.0) / (spec.slow_bandwidth * spec.bandwidth_utilization) / devices
+    };
+
+    struct Row {
+        label: &'static str,
+        spec: MachineSpec,
+        nodes: usize,
+        paper_recon: &'static str,
+        paper_all: &'static str,
+    }
+    let rows = [
+        Row { label: "1-Theta (1 KNL)", spec: THETA, nodes: 1, paper_recon: "63.3 s", paper_all: "1.44 d" },
+        Row { label: "8-Theta (8 KNL)", spec: THETA, nodes: 8, paper_recon: "3.33 s", paper_all: "1.89 h" },
+        Row { label: "8-Cooley (16 K80)", spec: COOLEY, nodes: 8, paper_recon: "2.89 s", paper_all: "1.64 h" },
+        Row { label: "32-Blue W. (32 K20X)", spec: BLUE_WATERS, nodes: 32, paper_recon: "1.82 s", paper_all: "62.1 m" },
+        Row { label: "32-Theta (32 KNL)", spec: THETA, nodes: 32, paper_recon: "1.37 s", paper_all: "46.8 m" },
+        Row { label: "32-Cooley (64 K80)", spec: COOLEY, nodes: 32, paper_recon: "1.22 s", paper_all: "41.6 m" },
+    ];
+
+    println!("Table 5: RDS1 reconstruction on various nodes-machines (modeled; calibration scale 1/{div})\n");
+    println!(
+        "{:<22} {:>9} {:>8} {:>9} {:>8} {:>10} {:>9} {:>9}",
+        "nodes-machine", "preproc", "speedup", "recon", "speedup", "all slices", "paper", "paper all"
+    );
+    let mut base: Option<(f64, f64)> = None;
+    for row in &rows {
+        let devices = row.nodes * row.spec.devices_per_node as usize;
+        let v = analytic_volumes(&RDS1, devices, &cal);
+        let Some(t) = iteration_time(&row.spec, &v, devices) else {
+            println!("{:<22} {:>9}", row.label, "does not fit");
+            continue;
+        };
+        let recon = iters * t.total();
+        let pre = preproc(&row.spec, devices as f64);
+        if base.is_none() {
+            base = Some((pre, recon));
+        }
+        let (pre0, rec0) = base.unwrap();
+        let all = pre + slices * recon;
+        println!(
+            "{:<22} {:>9} {:>7.1}x {:>9} {:>7.1}x {:>10} {:>9} {:>9}",
+            row.label,
+            fmt_secs(pre),
+            pre0 / pre,
+            fmt_secs(recon),
+            rec0 / recon,
+            fmt_secs(all),
+            row.paper_recon,
+            row.paper_all,
+        );
+    }
+    println!("\nthe super-linear recon speedup at 8+ Theta nodes comes from the per-node");
+    println!("working set (56 GB/P) dropping under the 16 GB MCDRAM capacity — the same");
+    println!("mechanism the paper credits (§4.1.3).");
+}

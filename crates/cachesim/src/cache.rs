@@ -1,0 +1,280 @@
+//! The cache model: set-associative, LRU replacement, byte-addressed.
+
+/// Geometry of a simulated cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Line size in bytes (power of two).
+    pub line_size: usize,
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Ways per set.
+    pub associativity: usize,
+}
+
+impl CacheConfig {
+    /// Create a config, checking consistency.
+    ///
+    /// # Panics
+    /// Panics unless `line_size` is a power of two and the capacity is an
+    /// exact multiple of `line_size × associativity`.
+    pub fn new(line_size: usize, capacity: usize, associativity: usize) -> Self {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(associativity > 0);
+        let set_bytes = line_size * associativity;
+        assert!(
+            capacity >= set_bytes && capacity % set_bytes == 0,
+            "capacity must be a multiple of line_size * associativity"
+        );
+        CacheConfig {
+            line_size,
+            capacity,
+            associativity,
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.capacity / (self.line_size * self.associativity)
+    }
+
+    /// KNL L1 data cache: 32 KB, 64 B lines, 8-way.
+    pub fn knl_l1() -> Self {
+        Self::new(64, 32 * 1024, 8)
+    }
+
+    /// KNL L2 (per-tile share): 1 MB, 64 B lines, 16-way.
+    pub fn knl_l2() -> Self {
+        Self::new(64, 1024 * 1024, 16)
+    }
+
+    /// K80 L2: 1.5 MB, 128 B lines (32 B sectors modeled as 128 B lines),
+    /// 16-way.
+    pub fn k80_l2() -> Self {
+        Self::new(128, 1536 * 1024, 16)
+    }
+
+    /// P100 L2: 4 MB, 128 B lines, 16-way.
+    pub fn p100_l2() -> Self {
+        Self::new(128, 4 * 1024 * 1024, 16)
+    }
+
+    /// V100 L2: 6 MB, 128 B lines, 16-way (6 MB = 768 sets × 16 × 128 B
+    /// does not divide evenly into powers of two; 768 sets is fine).
+    pub fn v100_l2() -> Self {
+        Self::new(128, 6 * 1024 * 1024, 16)
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses (compulsory + capacity + conflict).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]`; zero for an empty trace.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A set-associative LRU cache simulator.
+///
+/// Each set keeps its resident line tags in recency order (most recent
+/// last). Associativity is small (8–16), so linear scans beat fancier
+/// structures.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    config: CacheConfig,
+    /// `sets[s]` = tags resident in set `s`, LRU first.
+    sets: Vec<Vec<u64>>,
+    stats: CacheStats,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl CacheSim {
+    /// A cold cache with the given geometry.
+    ///
+    /// ```
+    /// use xct_cachesim::{CacheConfig, CacheSim};
+    /// let mut sim = CacheSim::new(CacheConfig::knl_l2());
+    /// assert!(!sim.access(0));     // cold miss
+    /// assert!(sim.access(4));      // same 64-byte line: hit
+    /// assert_eq!(sim.stats().misses, 1);
+    /// ```
+    pub fn new(config: CacheConfig) -> Self {
+        let num_sets = config.num_sets();
+        CacheSim {
+            config,
+            sets: vec![Vec::with_capacity(config.associativity); num_sets],
+            stats: CacheStats::default(),
+            line_shift: config.line_size.trailing_zeros(),
+            set_mask: (num_sets as u64) - 1,
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Access one byte address; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.stats.accesses += 1;
+        let line = addr >> self.line_shift;
+        let num_sets = self.sets.len() as u64;
+        // Power-of-two set counts use the mask; odd counts (V100) use mod.
+        let set = if num_sets.is_power_of_two() {
+            (line & self.set_mask) as usize
+        } else {
+            (line % num_sets) as usize
+        };
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            // Hit: move to most-recently-used position.
+            let tag = ways.remove(pos);
+            ways.push(tag);
+            true
+        } else {
+            self.stats.misses += 1;
+            if ways.len() == self.config.associativity {
+                ways.remove(0); // evict LRU
+            }
+            ways.push(line);
+            false
+        }
+    }
+
+    /// Access a run of `len` consecutive bytes starting at `addr`
+    /// (counts one access per touched line).
+    pub fn access_range(&mut self, addr: u64, len: u64) {
+        let first = addr >> self.line_shift;
+        let last = (addr + len.saturating_sub(1)) >> self.line_shift;
+        for line in first..=last {
+            self.access(line << self.line_shift);
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Empty the cache and zero the counters.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheSim {
+        // 2 sets × 2 ways × 16 B lines = 64 B.
+        CacheSim::new(CacheConfig::new(16, 64, 2))
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0)); // compulsory miss
+        assert!(c.access(4)); // same line
+        assert!(c.access(15));
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().accesses, 3);
+    }
+
+    #[test]
+    fn set_mapping_separates_lines() {
+        let mut c = tiny();
+        // Lines 0 and 1 map to sets 0 and 1.
+        c.access(0);
+        c.access(16);
+        assert!(c.access(0));
+        assert!(c.access(16));
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Set 0 holds lines {0, 2} (addresses 0, 32); both even lines.
+        c.access(0); // line 0 -> set 0
+        c.access(32); // line 2 -> set 0
+        c.access(0); // touch line 0: now line 2 is LRU
+        c.access(64); // line 4 -> set 0, evicts line 2
+        assert!(c.access(0), "line 0 should still be resident");
+        assert!(!c.access(32), "line 2 should have been evicted");
+    }
+
+    #[test]
+    fn capacity_misses_on_streaming() {
+        // Stream 4 KB through a 64 B cache: all misses after warmup reuse.
+        let mut c = tiny();
+        for addr in (0..4096u64).step_by(16) {
+            c.access(addr);
+        }
+        assert_eq!(c.stats().miss_rate(), 1.0);
+    }
+
+    #[test]
+    fn full_reuse_when_working_set_fits() {
+        let mut c = CacheSim::new(CacheConfig::new(64, 4096, 4));
+        for _ in 0..4 {
+            for addr in (0..2048u64).step_by(4) {
+                c.access(addr);
+            }
+        }
+        // 32 lines compulsory misses, everything else hits.
+        assert_eq!(c.stats().misses, 32);
+    }
+
+    #[test]
+    fn access_range_touches_every_line() {
+        let mut c = CacheSim::new(CacheConfig::new(64, 4096, 4));
+        c.access_range(0, 256);
+        assert_eq!(c.stats().accesses, 4);
+        c.access_range(60, 8); // straddles a line boundary
+        assert_eq!(c.stats().accesses, 6);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = tiny();
+        c.access(0);
+        c.reset();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn presets_have_sane_geometry() {
+        assert_eq!(CacheConfig::knl_l1().num_sets(), 64);
+        assert_eq!(CacheConfig::knl_l2().num_sets(), 1024);
+        assert_eq!(CacheConfig::v100_l2().num_sets(), 3072);
+    }
+
+    #[test]
+    fn non_pow2_set_count_works() {
+        let mut c = CacheSim::new(CacheConfig::v100_l2());
+        for addr in (0..(1u64 << 20)).step_by(128) {
+            c.access(addr);
+        }
+        assert_eq!(c.stats().miss_rate(), 1.0); // cold streaming
+        for addr in (0..(1u64 << 20)).step_by(128) {
+            assert!(c.access(addr), "fits in 6 MB, must hit");
+        }
+    }
+}

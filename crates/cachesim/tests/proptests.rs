@@ -1,0 +1,110 @@
+//! Property tests for the cache simulator: fundamental cache laws must
+//! hold for arbitrary geometries and access sequences.
+
+use proptest::prelude::*;
+use xct_cachesim::{CacheConfig, CacheSim};
+
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (4u32..9, 0u32..4, 1u32..5).prop_map(|(line_pow, assoc_pow, sets_pow)| {
+        let line = 1usize << line_pow;
+        let assoc = 1usize << assoc_pow;
+        let sets = 1usize << sets_pow;
+        CacheConfig::new(line, line * assoc * sets, assoc)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn misses_never_exceed_accesses(
+        config in arb_config(),
+        addrs in prop::collection::vec(0u64..100_000, 1..300),
+    ) {
+        let mut sim = CacheSim::new(config);
+        for &a in &addrs {
+            sim.access(a);
+        }
+        let s = sim.stats();
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert!(s.misses <= s.accesses);
+        // Compulsory misses: a line's first access always misses, so
+        // misses ≥ distinct lines touched.
+        let distinct: std::collections::HashSet<u64> =
+            addrs.iter().map(|&a| a / config.line_size as u64).collect();
+        prop_assert!(s.misses >= distinct.len() as u64);
+    }
+
+    #[test]
+    fn immediate_rereference_always_hits(
+        config in arb_config(),
+        addrs in prop::collection::vec(0u64..100_000, 1..100),
+    ) {
+        let mut sim = CacheSim::new(config);
+        for &a in &addrs {
+            sim.access(a);
+            prop_assert!(sim.access(a), "immediate re-access of {a} must hit");
+        }
+    }
+
+    #[test]
+    fn working_set_within_one_way_never_conflicts(
+        line_pow in 4u32..8,
+        sets_pow in 1u32..4,
+    ) {
+        // Touching exactly one line per set repeatedly: after the first
+        // pass everything hits, regardless of associativity 1.
+        let line = 1usize << line_pow;
+        let sets = 1usize << sets_pow;
+        let config = CacheConfig::new(line, line * sets, 1);
+        let mut sim = CacheSim::new(config);
+        for pass in 0..3 {
+            for s in 0..sets as u64 {
+                let hit = sim.access(s * line as u64);
+                if pass > 0 {
+                    prop_assert!(hit);
+                }
+            }
+        }
+        prop_assert_eq!(sim.stats().misses, sets as u64);
+    }
+
+    #[test]
+    fn higher_associativity_never_increases_lru_misses_on_single_set(
+        addrs in prop::collection::vec(0u64..16, 1..200),
+        line_pow in 2u32..6,
+    ) {
+        // For a fixed number of lines mapping to one set, LRU with more
+        // ways is at least as good (inclusion property holds per set).
+        let line = 1usize << line_pow;
+        let mut misses = Vec::new();
+        for assoc in [1usize, 2, 4, 8] {
+            let config = CacheConfig::new(line, line * assoc, assoc); // 1 set
+            let mut sim = CacheSim::new(config);
+            for &a in &addrs {
+                sim.access(a * line as u64); // one address per line
+            }
+            misses.push(sim.stats().misses);
+        }
+        for w in misses.windows(2) {
+            prop_assert!(w[1] <= w[0], "misses must not grow with ways: {misses:?}");
+        }
+    }
+
+    #[test]
+    fn reset_restores_cold_state(
+        config in arb_config(),
+        addrs in prop::collection::vec(0u64..10_000, 1..100),
+    ) {
+        let mut sim = CacheSim::new(config);
+        for &a in &addrs {
+            sim.access(a);
+        }
+        let first = sim.stats();
+        sim.reset();
+        for &a in &addrs {
+            sim.access(a);
+        }
+        prop_assert_eq!(sim.stats(), first);
+    }
+}

@@ -1,0 +1,271 @@
+//! `memxct-cli`: simulate scans and reconstruct slices from the command
+//! line, writing viewable PGM images and raw f32 data.
+//!
+//! ```text
+//! memxct-cli info
+//! memxct-cli simulate    --dataset rds1 --scale 16 --out sino.raw [--noise 1e5]
+//! memxct-cli reconstruct --dataset rds1 --scale 16 --solver cg --iters 30 \
+//!                        [--sino sino.raw] [--ranks 4] [--out slice.pgm]
+//! ```
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use memxct::{fbp, DistConfig, FbpConfig, OrderedSubsets, Reconstructor, StopRule};
+use xct_geometry::{
+    io, simulate_sinogram, Dataset, NoiseModel, SampleKind, Sinogram, ALL_DATASETS,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage_and_exit();
+    };
+    let opts = Options::parse(&args[1..]);
+    match cmd.as_str() {
+        "info" => info(),
+        "simulate" => simulate(&opts),
+        "reconstruct" => reconstruct(&opts),
+        "help" | "--help" | "-h" => usage_and_exit(),
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage_and_exit();
+        }
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "memxct-cli — memory-centric XCT reconstruction
+
+USAGE:
+  memxct-cli info
+  memxct-cli simulate    --dataset <name> [--scale N] [--noise I0] --out FILE
+  memxct-cli reconstruct --dataset <name> [--scale N] [--sino FILE]
+                         [--solver cg|sirt|os-sirt|fbp] [--iters N]
+                         [--ranks N] [--noise I0] [--out FILE.pgm]
+
+DATASETS: ads1 ads2 ads3 ads4 rds1 rds2 (see `info`)
+  --scale N    divide both sinogram dimensions by N (default 16)
+  --noise I0   Poisson photon count per ray (default: noise-free)
+  --solver     cg (default), sirt, os-sirt (8 subsets), fbp
+  --ranks N    run the distributed CG path on N thread-ranks
+  --out FILE   .pgm for images, .raw for sinograms"
+    );
+    exit(2);
+}
+
+struct Options {
+    dataset: Option<Dataset>,
+    scale: u32,
+    noise: Option<f64>,
+    solver: String,
+    iters: usize,
+    ranks: Option<usize>,
+    sino: Option<PathBuf>,
+    out: Option<PathBuf>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Options {
+        let mut o = Options {
+            dataset: None,
+            scale: 16,
+            noise: None,
+            solver: "cg".into(),
+            iters: 30,
+            ranks: None,
+            sino: None,
+            out: None,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> String {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    exit(2);
+                }).clone()
+            };
+            match flag.as_str() {
+                "--dataset" => {
+                    let name = value("--dataset").to_uppercase();
+                    o.dataset = ALL_DATASETS.iter().find(|d| d.name == name).copied();
+                    if o.dataset.is_none() {
+                        eprintln!("unknown dataset `{name}`; see `memxct-cli info`");
+                        exit(2);
+                    }
+                }
+                "--scale" => o.scale = value("--scale").parse().unwrap_or(16).max(1),
+                "--noise" => o.noise = value("--noise").parse().ok(),
+                "--solver" => o.solver = value("--solver"),
+                "--iters" => o.iters = value("--iters").parse().unwrap_or(30).max(1),
+                "--ranks" => o.ranks = value("--ranks").parse().ok(),
+                "--sino" => o.sino = Some(PathBuf::from(value("--sino"))),
+                "--out" => o.out = Some(PathBuf::from(value("--out"))),
+                other => {
+                    eprintln!("unknown flag `{other}`");
+                    exit(2);
+                }
+            }
+        }
+        o
+    }
+
+    fn dataset_scaled(&self) -> Dataset {
+        let ds = self.dataset.unwrap_or_else(|| {
+            eprintln!("--dataset is required");
+            exit(2);
+        });
+        ds.scaled(self.scale)
+    }
+
+    fn noise_model(&self) -> NoiseModel {
+        match self.noise {
+            Some(incident) => NoiseModel::Poisson {
+                incident,
+                scale: 0.02,
+            },
+            None => NoiseModel::None,
+        }
+    }
+}
+
+fn info() {
+    println!("{:<6} {:>12} {:<12} {:>14} {:>14}", "name", "sinogram", "sample", "nnz", "regular data");
+    for ds in ALL_DATASETS {
+        let f = ds.footprint();
+        let sample = match ds.sample {
+            SampleKind::Artificial => "artificial",
+            SampleKind::ShaleRock => "shale rock",
+            SampleKind::MouseBrain => "mouse brain",
+        };
+        println!(
+            "{:<6} {:>5}x{:<6} {:<12} {:>13.1}M {:>11.2} GB",
+            ds.name,
+            ds.projections,
+            ds.channels,
+            sample,
+            f.nnz as f64 / 1e6,
+            f.regular_forward as f64 / 1e9
+        );
+    }
+}
+
+fn simulate(opts: &Options) {
+    let ds = opts.dataset_scaled();
+    let out = opts.out.clone().unwrap_or_else(|| {
+        eprintln!("--out is required for simulate");
+        exit(2);
+    });
+    println!(
+        "simulating {} at scale 1/{}: {}x{} sinogram",
+        ds.name, opts.scale, ds.projections, ds.channels
+    );
+    let truth = ds.phantom().rasterize(ds.channels);
+    let sino = simulate_sinogram(&truth, &ds.grid(), &ds.scan(), opts.noise_model(), 0xc11);
+    io::write_raw_f32(&out, sino.data()).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", out.display());
+        exit(1);
+    });
+    println!("wrote {} ({} f32 values)", out.display(), sino.data().len());
+}
+
+fn reconstruct(opts: &Options) {
+    let ds = opts.dataset_scaled();
+    let scan = ds.scan();
+    let grid = ds.grid();
+    println!(
+        "reconstructing {} at scale 1/{}: {}x{} -> {n}x{n}, solver {}",
+        ds.name,
+        opts.scale,
+        ds.projections,
+        ds.channels,
+        opts.solver,
+        n = ds.channels
+    );
+
+    // Measurement: from file if given, else simulate the phantom.
+    let sino = match &opts.sino {
+        Some(path) => {
+            let data = io::read_raw_f32(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {}: {e}", path.display());
+                exit(1);
+            });
+            if data.len() != scan.num_rays() {
+                eprintln!(
+                    "{} holds {} values; {}x{} needs {}",
+                    path.display(),
+                    data.len(),
+                    ds.projections,
+                    ds.channels,
+                    scan.num_rays()
+                );
+                exit(1);
+            }
+            Sinogram::new(scan, data)
+        }
+        None => {
+            let truth = ds.phantom().rasterize(ds.channels);
+            simulate_sinogram(&truth, &grid, &scan, opts.noise_model(), 0xc11)
+        }
+    };
+
+    let t = std::time::Instant::now();
+    let rec = Reconstructor::new(grid, scan);
+    println!("preprocessing: {:.2}s", t.elapsed().as_secs_f64());
+
+    let t = std::time::Instant::now();
+    let (image, iters_run) = match (opts.solver.as_str(), opts.ranks) {
+        ("cg", Some(ranks)) => {
+            let out = rec.reconstruct_distributed(
+                &sino,
+                &DistConfig {
+                    ranks,
+                    use_buffered: true,
+                    iters: opts.iters,
+                solver: memxct::dist::DistSolver::Cg,
+            },
+            );
+            let n = out.records.len();
+            (out.image, n)
+        }
+        ("cg", None) => {
+            let out = rec.reconstruct_cg(&sino, StopRule::Fixed(opts.iters));
+            let n = out.records.len();
+            (out.image, n)
+        }
+        ("sirt", _) => {
+            let out = rec.reconstruct_sirt(&sino, opts.iters);
+            let n = out.records.len();
+            (out.image, n)
+        }
+        ("os-sirt", _) => {
+            let os = OrderedSubsets::new(rec.operators(), 8.min(ds.projections as usize));
+            let y = rec.operators().order_sinogram(&sino);
+            let (x, recs) = os.solve(&y, opts.iters, 1.0);
+            (rec.operators().unorder_tomogram(&x), recs.len())
+        }
+        ("fbp", _) => (fbp(rec.operators(), &sino, &FbpConfig::default()), 1),
+        (other, _) => {
+            eprintln!("unknown solver `{other}`");
+            exit(2);
+        }
+    };
+    println!(
+        "reconstruction: {:.2}s ({} iterations)",
+        t.elapsed().as_secs_f64(),
+        iters_run
+    );
+
+    if let Some(out) = &opts.out {
+        let n = ds.channels as usize;
+        io::write_pgm(out, n, n, &image).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", out.display());
+            exit(1);
+        });
+        println!("wrote {}", out.display());
+    }
+    let max = image.iter().cloned().fold(f32::MIN, f32::max);
+    let min = image.iter().cloned().fold(f32::MAX, f32::min);
+    println!("image range: [{min:.4}, {max:.4}]");
+}

@@ -1,0 +1,209 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+
+/// A complex number in rectangular form (f32, matching the pipeline's
+/// data type).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex {
+    /// Construct from parts.
+    #[inline]
+    pub fn new(re: f32, im: f32) -> Self {
+        Complex { re, im }
+    }
+
+    /// Complex multiplication.
+    #[inline]
+    pub fn mul(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, s: f32) -> Complex {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+/// In-place forward FFT.
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+///
+/// ```
+/// use xct_fft::{fft_inplace, ifft_inplace, Complex};
+/// let mut data: Vec<Complex> = (0..8).map(|i| Complex::new(i as f32, 0.0)).collect();
+/// let original = data.clone();
+/// fft_inplace(&mut data);
+/// ifft_inplace(&mut data);
+/// for (a, b) in data.iter().zip(&original) {
+///     assert!((a.re - b.re).abs() < 1e-4);
+/// }
+/// ```
+pub fn fft_inplace(data: &mut [Complex]) {
+    transform(data, false);
+}
+
+/// In-place inverse FFT (includes the 1/N normalization).
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn ifft_inplace(data: &mut [Complex]) {
+    transform(data, true);
+    let scale = 1.0 / data.len() as f32;
+    for v in data.iter_mut() {
+        *v = v.scale(scale);
+    }
+}
+
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterflies: stage sizes 2, 4, ..., n. Twiddles in f64 for accuracy.
+    let sign = if inverse { 1.0f64 } else { -1.0f64 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let (w_im, w_re) = ang.sin_cos();
+        let wlen = Complex::new(w_re as f32, w_im as f32);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2].mul(w);
+                data[start + k] = a + b;
+                data[start + k + len / 2] = a - b;
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dft_reference(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::default();
+                for (j, &v) in x.iter().enumerate() {
+                    let ang = -std::f64::consts::TAU * (k * j) as f64 / n as f64;
+                    let w = Complex::new(ang.cos() as f32, ang.sin() as f32);
+                    acc = acc + v.mul(w);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for k in 1..8u32 {
+            let n = 1usize << k;
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f32 * 0.7).sin(), (i as f32 * 0.3).cos()))
+                .collect();
+            let want = dft_reference(&x);
+            let mut got = x.clone();
+            fft_inplace(&mut got);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.re - w.re).abs() < 1e-2, "{g:?} vs {w:?} at n={n}");
+                assert!((g.im - w.im).abs() < 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let n = 256;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f32).sqrt(), -(i as f32) * 0.1))
+            .collect();
+        let mut y = x.clone();
+        fft_inplace(&mut y);
+        ifft_inplace(&mut y);
+        for (a, b) in y.iter().zip(&x) {
+            assert!((a.re - b.re).abs() < 1e-3);
+            assert!((a.im - b.im).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::default(); 16];
+        x[0] = Complex::new(1.0, 0.0);
+        fft_inplace(&mut x);
+        for v in &x {
+            assert!((v.re - 1.0).abs() < 1e-5);
+            assert!(v.im.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let n = 128;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f32 * 1.3).sin(), 0.0))
+            .collect();
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr() as f64).sum();
+        let mut y = x.clone();
+        fft_inplace(&mut y);
+        let freq_energy: f64 = y.iter().map(|v| v.norm_sqr() as f64).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_rejected() {
+        fft_inplace(&mut [Complex::default(); 3]);
+    }
+}

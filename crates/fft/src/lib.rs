@@ -1,0 +1,34 @@
+//! Minimal FFT substrate for filtered backprojection.
+//!
+//! The paper motivates MemXCT against *analytical* reconstruction:
+//! "Analytical methods such as the filtered backprojection (FBP) algorithm
+//! are computationally efficient, but reconstruction quality is often poor
+//! when measurements are noisy or undersampled" (§1). To reproduce that
+//! comparison we need FBP, and FBP needs frequency-domain ramp filtering —
+//! this crate provides the radix-2 complex FFT and the standard projection
+//! filters, built from scratch (no external FFT dependency).
+
+#![warn(missing_docs)]
+
+mod fft;
+mod filter;
+
+pub use fft::{fft_inplace, ifft_inplace, Complex};
+pub use filter::{filter_projection, FilterKind, ProjectionFilter};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_level_smoke() {
+        let mut data: Vec<Complex> = (0..8).map(|i| Complex::new(i as f32, 0.0)).collect();
+        let orig = data.clone();
+        fft_inplace(&mut data);
+        ifft_inplace(&mut data);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-4);
+            assert!((a.im - b.im).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Sinogram corrections applied before reconstruction.
+//!
+//! Real synchrotron measurements (the paper's RDS datasets come from APS
+//! beamlines) are not the ideal line integrals of §2.1: the rotation axis
+//! is rarely centred on the detector, and per-channel detector gain errors
+//! print vertical stripes in the sinogram that reconstruct as rings. Both
+//! corrections are standard steps in production pipelines (TomoPy et al.)
+//! and are needed before the solver sees the data.
+
+use crate::sino::Sinogram;
+
+/// Estimate the centre-of-rotation offset (in channels) from a sinogram.
+///
+/// In parallel-beam geometry the projection at angle π is the mirror of
+/// the one at 0: `p_π(s) = p_0(−s)`. With the rotation axis off-centre by
+/// `δ`, the mirrored pair is displaced by `2δ`. We cross-correlate the
+/// first projection row with the reversed last row (θ = π·(M−1)/M ≈ π)
+/// and locate the peak with sub-channel (parabolic) interpolation.
+pub fn estimate_center_shift(sino: &Sinogram) -> f64 {
+    let scan = sino.scan();
+    let n = scan.num_channels() as usize;
+    let m = scan.num_projections();
+    assert!(m >= 2, "need at least two projections");
+    let first: Vec<f64> = (0..n).map(|c| sino.get(0, c as u32) as f64).collect();
+    let last_rev: Vec<f64> = (0..n)
+        .map(|c| sino.get(m - 1, (n - 1 - c) as u32) as f64)
+        .collect();
+
+    // Full cross-correlation over lags −n/2..n/2.
+    let max_lag = (n / 2) as i64;
+    let mut best = (f64::NEG_INFINITY, 0i64);
+    let mut scores = std::collections::HashMap::new();
+    for lag in -max_lag..=max_lag {
+        let mut acc = 0f64;
+        for i in 0..n as i64 {
+            let j = i + lag;
+            if j >= 0 && j < n as i64 {
+                acc += first[i as usize] * last_rev[j as usize];
+            }
+        }
+        scores.insert(lag, acc);
+        if acc > best.0 {
+            best = (acc, lag);
+        }
+    }
+    let lag = best.1;
+    // Parabolic refinement around the integer peak.
+    let (ym, y0, yp) = (
+        *scores.get(&(lag - 1)).unwrap_or(&best.0),
+        best.0,
+        *scores.get(&(lag + 1)).unwrap_or(&best.0),
+    );
+    let denom = ym - 2.0 * y0 + yp;
+    let frac = if denom.abs() > 1e-12 {
+        0.5 * (ym - yp) / denom
+    } else {
+        0.0
+    };
+    // The correlation peaks at lag = 2δ (both rows are displaced by δ in
+    // opposite directions after mirroring).
+    (lag as f64 + frac) / 2.0
+}
+
+/// Resample every projection row by `shift` channels (linear
+/// interpolation, zero beyond the detector edge) — used to re-centre a
+/// sinogram whose rotation axis is off by `shift`.
+pub fn shift_sinogram(sino: &Sinogram, shift: f64) -> Sinogram {
+    let scan = sino.scan();
+    let n = scan.num_channels() as usize;
+    let mut out = vec![0f32; sino.data().len()];
+    for p in 0..scan.num_projections() {
+        for c in 0..n {
+            // Sample the input at c + shift.
+            let pos = c as f64 + shift;
+            let i0 = pos.floor();
+            let frac = (pos - i0) as f32;
+            let get = |i: f64| -> f32 {
+                if i >= 0.0 && (i as usize) < n {
+                    sino.get(p, i as u32)
+                } else {
+                    0.0
+                }
+            };
+            out[scan.ray_index(p, c as u32) as usize] =
+                get(i0) * (1.0 - frac) + get(i0 + 1.0) * frac;
+        }
+    }
+    Sinogram::new(scan, out)
+}
+
+/// Estimate and correct the centre of rotation in one call; returns the
+/// corrected sinogram and the estimated shift (in the same sense as
+/// [`shift_sinogram`]'s argument: the correction applies the negation).
+pub fn correct_center(sino: &Sinogram) -> (Sinogram, f64) {
+    let shift = estimate_center_shift(sino);
+    (shift_sinogram(sino, -shift), shift)
+}
+
+/// Remove ring artifacts: per-channel gain errors add a constant to every
+/// measurement of a channel (a vertical stripe in the sinogram, a ring in
+/// the image).
+///
+/// Sorting-based detection (after Vo et al.'s sorted-domain idea) with a
+/// stationarity verification: candidate channels are outliers of the
+/// sorted-domain cross-channel deviation, and are corrected only when
+/// their offset from interpolated neighbours is *stable across angles*
+/// (the defining property of a gain error).
+///
+/// Limitation (shared by all blind ring-removal estimators): the tangent
+/// edge of a perfectly *circular* sample sits at the same channel for
+/// every angle and is mathematically indistinguishable from a stripe —
+/// expect edge artifacts on such data, and prefer flat-field
+/// normalization ([`crate::Sinogram::from_transmission`]) when flats are
+/// available. Apply to centred sinograms (before any centre-of-rotation
+/// resampling the stripes would smear across channels).
+pub fn remove_rings(sino: &Sinogram, window: usize) -> Sinogram {
+    let scan = sino.scan();
+    let n = scan.num_channels() as usize;
+    let m = scan.num_projections() as usize;
+    assert!(window >= 1);
+
+    // Per channel: (value, original angle), sorted by value.
+    let sorted: Vec<Vec<(f32, u32)>> = (0..n)
+        .map(|c| {
+            let mut col: Vec<(f32, u32)> = (0..m)
+                .map(|p| (sino.get(p as u32, c as u32), p as u32))
+                .collect();
+            col.sort_by(|a, b| f32::total_cmp(&a.0, &b.0));
+            col
+        })
+        .collect();
+
+    // In the sorted (rank) domain, a gain-shifted channel deviates from
+    // the median of its cross-channel neighbourhood at *every* rank, while
+    // genuine structure deviates only at a few ranks. The per-channel
+    // deviation summary (median over ranks) therefore separates stripes
+    // from structure; channels whose summary is a robust outlier get their
+    // scalar bias subtracted, all others are left bit-identical.
+    let median_of = |w: &mut Vec<f32>| -> f32 {
+        w.sort_by(f32::total_cmp);
+        let k = w.len();
+        if k % 2 == 1 {
+            w[k / 2]
+        } else {
+            0.5 * (w[k / 2 - 1] + w[k / 2])
+        }
+    };
+
+    let mut win: Vec<f32> = Vec::with_capacity(2 * window);
+    let mut deviation = vec![0f32; n];
+    let mut devs: Vec<f32> = Vec::with_capacity(m);
+    for (c, d) in deviation.iter_mut().enumerate() {
+        let lo = c.saturating_sub(window);
+        let hi = (c + window).min(n - 1);
+        devs.clear();
+        for rank in 0..m {
+            win.clear();
+            win.extend((lo..=hi).filter(|&cc| cc != c).map(|cc| sorted[cc][rank].0));
+            devs.push(sorted[c][rank].0 - median_of(&mut win));
+        }
+        *d = median_of(&mut devs);
+    }
+    // Candidate stripes: robust outliers of the deviation summaries.
+    let mut abs: Vec<f32> = deviation.iter().map(|v| v.abs()).collect();
+    let threshold = 3.0 * median_of(&mut abs).max(1e-6);
+    let flagged: Vec<bool> = deviation.iter().map(|d| d.abs() > threshold).collect();
+
+    // Refine and verify each candidate: compute the per-angle deviation
+    // from linear interpolation of the nearest *unflagged* neighbours. A
+    // genuine gain stripe is a *stationary* offset — the deviations
+    // cluster tightly around their median at every angle — while a
+    // structural feature (object tangent, truncation edge) varies with
+    // angle. Candidates whose deviations are not stable are rejected.
+    let mut out = sino.data().to_vec();
+    for c in 0..n {
+        if !flagged[c] {
+            continue;
+        }
+        let left = (0..c).rev().find(|&cc| !flagged[cc]);
+        let right = (c + 1..n).find(|&cc| !flagged[cc]);
+        let mut diffs: Vec<f32> = (0..m)
+            .map(|p| {
+                let v = sino.get(p as u32, c as u32);
+                let interp = match (left, right) {
+                    (Some(l), Some(r)) => {
+                        let t = (c - l) as f32 / (r - l) as f32;
+                        let vl = sino.get(p as u32, l as u32);
+                        let vr = sino.get(p as u32, r as u32);
+                        vl + t * (vr - vl)
+                    }
+                    (Some(l), None) => sino.get(p as u32, l as u32),
+                    (None, Some(r)) => sino.get(p as u32, r as u32),
+                    (None, None) => v,
+                };
+                v - interp
+            })
+            .collect();
+        let bias = median_of(&mut diffs);
+        // Stationarity check: interquartile spread must be smaller than
+        // the offset itself.
+        let q25 = diffs[diffs.len() / 4];
+        let q75 = diffs[(3 * diffs.len()) / 4];
+        if (q75 - q25) > bias.abs() {
+            continue; // angle-dependent => structure, not a stripe
+        }
+        for p in 0..m {
+            out[p * n + c] -= bias;
+        }
+    }
+    Sinogram::new(scan, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use crate::scan::ScanGeometry;
+    use crate::phantom::shepp_logan;
+    use crate::sino::{simulate_sinogram, NoiseModel};
+
+    fn clean_sino(n: u32, m: u32) -> Sinogram {
+        let grid = Grid::new(n);
+        let scan = ScanGeometry::new(m, n);
+        let img = shepp_logan().rasterize(n);
+        simulate_sinogram(&img, &grid, &scan, NoiseModel::None, 0)
+    }
+
+    #[test]
+    fn centered_sinogram_estimates_near_zero_shift() {
+        let sino = clean_sino(64, 97);
+        let shift = estimate_center_shift(&sino);
+        assert!(shift.abs() < 0.6, "shift {shift}");
+    }
+
+    #[test]
+    fn injected_shift_is_recovered() {
+        let sino = clean_sino(64, 97);
+        for inject in [2.0f64, -3.0, 5.5] {
+            let displaced = shift_sinogram(&sino, inject);
+            let est = estimate_center_shift(&displaced);
+            assert!(
+                (est - inject).abs() < 0.75,
+                "injected {inject}, estimated {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn correct_center_roundtrips() {
+        let sino = clean_sino(64, 97);
+        let displaced = shift_sinogram(&sino, 4.0);
+        let (fixed, est) = correct_center(&displaced);
+        assert!((est - 4.0).abs() < 0.75, "estimate {est}");
+        // The corrected sinogram is closer to the original than the
+        // displaced one (compare the central region, away from edges).
+        let diff = |a: &Sinogram, b: &Sinogram| -> f64 {
+            let n = a.scan().num_channels();
+            (0..a.scan().num_projections())
+                .flat_map(|p| (n / 4..3 * n / 4).map(move |c| (p, c)))
+                .map(|(p, c)| ((a.get(p, c) - b.get(p, c)) as f64).powi(2))
+                .sum()
+        };
+        assert!(diff(&fixed, &sino) < 0.05 * diff(&displaced, &sino));
+    }
+
+    #[test]
+    fn ring_bias_is_removed() {
+        // Realistic channel count: the cross-channel median window must be
+        // small relative to the structural scale (on a 64-channel toy
+        // sinogram ±2 channels is a huge fraction of the object; on real
+        // detectors it is negligible).
+        let sino = clean_sino(256, 180);
+        let scan = sino.scan();
+        let n = scan.num_channels() as usize;
+        let mut corrupted = sino.data().to_vec();
+        // Stripe amplitudes above the phantom's intrinsic per-channel
+        // roughness (~1.2 in line-integral units here): blind ring removal
+        // can only target stripes that actually stand out — weaker gain
+        // errors are handled upstream by flat-field normalization
+        // (`Sinogram::from_transmission`).
+        let bias: Vec<f32> = (0..n)
+            .map(|c| match c {
+                40 | 130 => 6.0,
+                77 | 200 => -4.5,
+                _ => 0.0,
+            })
+            .collect();
+        for p in 0..scan.num_projections() as usize {
+            for c in 0..n {
+                corrupted[p * n + c] += bias[c];
+            }
+        }
+        let corrupted = Sinogram::new(scan, corrupted);
+        let cleaned = remove_rings(&corrupted, 2);
+        let err = |a: &Sinogram| -> f64 {
+            a.data()
+                .iter()
+                .zip(sino.data())
+                .map(|(&x, &y)| ((x - y) as f64).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+        assert!(
+            err(&cleaned) < 0.35 * err(&corrupted),
+            "cleaned {} vs corrupted {}",
+            err(&cleaned),
+            err(&corrupted)
+        );
+    }
+
+    #[test]
+    fn ring_removal_preserves_clean_data() {
+        let sino = clean_sino(256, 96);
+        let cleaned = remove_rings(&sino, 2);
+        let rms: f64 = (cleaned
+            .data()
+            .iter()
+            .zip(sino.data())
+            .map(|(&a, &b)| ((a - b) as f64).powi(2))
+            .sum::<f64>()
+            / sino.data().len() as f64)
+            .sqrt();
+        // Values run to ~300 pixel-units; smoothing residue stays tiny.
+        assert!(rms < 0.5, "rms change {rms}");
+    }
+
+    #[test]
+    fn shift_by_zero_is_identity() {
+        let sino = clean_sino(32, 16);
+        let shifted = shift_sinogram(&sino, 0.0);
+        assert_eq!(shifted.data(), sino.data());
+    }
+}

@@ -1,0 +1,299 @@
+//! The six evaluation datasets of the paper (Table 3) and their memory
+//! footprints.
+
+use crate::grid::Grid;
+use crate::phantom::{brain_like, shale_like, shepp_logan, Phantom};
+use crate::scan::{Ray, ScanGeometry};
+
+/// What kind of sample a dataset images.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleKind {
+    /// Artificial sample (the paper's ADS datasets).
+    Artificial,
+    /// Shale rock (RDS1; open-source tomobank data in the paper, a
+    /// procedural shale-like phantom here).
+    ShaleRock,
+    /// Mouse brain (RDS2; proprietary in the paper, a procedural
+    /// brain-like phantom here).
+    MouseBrain,
+}
+
+/// A dataset: sinogram dimensions plus the sample being imaged.
+///
+/// `M = projections` sinogram rows, `N = channels` columns; the tomogram is
+/// `N × N` (paper §2.1). The constants below reproduce Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dataset {
+    /// Dataset name as used in the paper ("ADS1", "RDS2", ...).
+    pub name: &'static str,
+    /// Number of projection angles (sinogram rows, `M`).
+    pub projections: u32,
+    /// Number of detector channels (sinogram columns, `N`).
+    pub channels: u32,
+    /// Sample type.
+    pub sample: SampleKind,
+}
+
+/// ADS1: 360×256 artificial dataset.
+pub const ADS1: Dataset = Dataset {
+    name: "ADS1",
+    projections: 360,
+    channels: 256,
+    sample: SampleKind::Artificial,
+};
+/// ADS2: 750×512 artificial dataset.
+pub const ADS2: Dataset = Dataset {
+    name: "ADS2",
+    projections: 750,
+    channels: 512,
+    sample: SampleKind::Artificial,
+};
+/// ADS3: 1500×1024 artificial dataset.
+pub const ADS3: Dataset = Dataset {
+    name: "ADS3",
+    projections: 1500,
+    channels: 1024,
+    sample: SampleKind::Artificial,
+};
+/// ADS4: 2400×2048 artificial dataset.
+pub const ADS4: Dataset = Dataset {
+    name: "ADS4",
+    projections: 2400,
+    channels: 2048,
+    sample: SampleKind::Artificial,
+};
+/// RDS1: 1501×2048 shale-rock dataset.
+pub const RDS1: Dataset = Dataset {
+    name: "RDS1",
+    projections: 1501,
+    channels: 2048,
+    sample: SampleKind::ShaleRock,
+};
+/// RDS2: 4501×11283 mouse-brain dataset (the paper's headline run).
+pub const RDS2: Dataset = Dataset {
+    name: "RDS2",
+    projections: 4501,
+    channels: 11283,
+    sample: SampleKind::MouseBrain,
+};
+
+/// All six datasets in Table 3 order.
+pub const ALL_DATASETS: [Dataset; 6] = [ADS1, ADS2, ADS3, ADS4, RDS1, RDS2];
+
+impl Dataset {
+    /// The scan geometry of this dataset.
+    pub fn scan(&self) -> ScanGeometry {
+        ScanGeometry::new(self.projections, self.channels)
+    }
+
+    /// The reconstruction grid (`N × N`).
+    pub fn grid(&self) -> Grid {
+        Grid::new(self.channels)
+    }
+
+    /// A scaled-down copy (both dimensions divided by `divisor`, minimum 8
+    /// channels / 4 projections) for laptop-scale runs. Keeps the M/N ratio
+    /// so the matrix structure stays representative.
+    pub fn scaled(&self, divisor: u32) -> Dataset {
+        assert!(divisor > 0);
+        Dataset {
+            name: self.name,
+            projections: (self.projections / divisor).max(4),
+            channels: (self.channels / divisor).max(8),
+            sample: self.sample,
+        }
+    }
+
+    /// A copy with only the projection count divided (minimum 4). Keeps
+    /// the tomogram at full width, so cache-locality experiments see the
+    /// real irregular footprint while the matrix stays laptop-sized
+    /// (nnz scales with M, the footprint with N²).
+    pub fn scaled_projections(&self, divisor: u32) -> Dataset {
+        assert!(divisor > 0);
+        Dataset {
+            name: self.name,
+            projections: (self.projections / divisor).max(4),
+            channels: self.channels,
+            sample: self.sample,
+        }
+    }
+
+    /// The procedural phantom standing in for this dataset's sample.
+    pub fn phantom(&self) -> Phantom {
+        match self.sample {
+            SampleKind::Artificial => shepp_logan(),
+            SampleKind::ShaleRock => shale_like(0x5ca1e),
+            SampleKind::MouseBrain => brain_like(0xb5a1),
+        }
+    }
+
+    /// Exact memory footprint of the memoized data structures (Table 3),
+    /// computed from the real ray geometry in O(M·N) without tracing.
+    pub fn footprint(&self) -> DatasetFootprint {
+        let grid = self.grid();
+        let scan = self.scan();
+        let mut nnz: u64 = 0;
+        for p in 0..scan.num_projections() {
+            for c in 0..scan.num_channels() {
+                nnz += count_cells(&grid, &scan.ray(p, c));
+            }
+        }
+        let sino = scan.num_rays() as u64 * 4;
+        let tomo = grid.num_pixels() as u64 * 4;
+        DatasetFootprint {
+            nnz,
+            // Forward projection gathers from the tomogram; backprojection
+            // gathers from the sinogram (paper §3.1.1: "irregular data").
+            irregular_forward: tomo,
+            irregular_backward: sino,
+            // Each stored nonzero needs a u32 index and an f32 value, for
+            // each of the forward and (transposed) backward matrices.
+            regular_forward: nnz * 8,
+            regular_backward: nnz * 8,
+        }
+    }
+}
+
+/// Memory footprint breakdown of a dataset (bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetFootprint {
+    /// Number of nonzeroes in the projection matrix.
+    pub nnz: u64,
+    /// Irregularly-accessed bytes during forward projection (tomogram).
+    pub irregular_forward: u64,
+    /// Irregularly-accessed bytes during backprojection (sinogram).
+    pub irregular_backward: u64,
+    /// Regularly-accessed bytes during forward projection (CSR ind+val).
+    pub regular_forward: u64,
+    /// Regularly-accessed bytes during backprojection.
+    pub regular_backward: u64,
+}
+
+/// Number of grid cells a ray crosses, in O(1): 1 + (x gridlines crossed)
+/// + (y gridlines crossed) within the clipped segment.
+///
+/// When a ray passes exactly through a grid corner this counts one cell
+/// more than the tracer emits (the tracer skips the zero-length corner
+/// cell), so the result is an upper bound that is exact for all
+/// non-degenerate rays — more than accurate enough for the Table 3 memory
+/// footprints.
+fn count_cells(grid: &Grid, ray: &Ray) -> u64 {
+    const EPS: f64 = 1e-12;
+    let lo = grid.min_coord();
+    let hi = grid.max_coord();
+    let (ox, oy) = ray.origin;
+    let (dx, dy) = ray.dir;
+
+    let mut t0 = f64::NEG_INFINITY;
+    let mut t1 = f64::INFINITY;
+    for (o, d) in [(ox, dx), (oy, dy)] {
+        if d.abs() < EPS {
+            if o < lo || o > hi {
+                return 0;
+            }
+        } else {
+            let a = (lo - o) / d;
+            let b = (hi - o) / d;
+            t0 = t0.max(a.min(b));
+            t1 = t1.min(a.max(b));
+        }
+    }
+    if t0 >= t1 - EPS {
+        return 0;
+    }
+    // Nudge off the boundary so floor() lands in the interior cells.
+    let tm0 = t0 + EPS * 4.0;
+    let tm1 = t1 - EPS * 4.0;
+    let cells_axis = |o: f64, d: f64| -> u64 {
+        if d.abs() < EPS {
+            return 0;
+        }
+        let a = o + tm0 * d - lo;
+        let b = o + tm1 * d - lo;
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let n1 = (a.floor() as i64).clamp(0, grid.n() as i64 - 1);
+        let n2 = (b.floor() as i64).clamp(0, grid.n() as i64 - 1);
+        (n2 - n1) as u64
+    };
+    1 + cells_axis(ox, dx) + cells_axis(oy, dy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::siddon::trace_ray_collect;
+
+    #[test]
+    fn table3_dimensions() {
+        assert_eq!(ADS1.projections, 360);
+        assert_eq!(ADS1.channels, 256);
+        assert_eq!(RDS2.projections, 4501);
+        assert_eq!(RDS2.channels, 11283);
+        assert_eq!(ALL_DATASETS.len(), 6);
+    }
+
+    #[test]
+    fn count_cells_matches_trace() {
+        // Exact except for rays through grid corners, where the count is an
+        // upper bound by the number of corner hits (a handful per ray at
+        // special angles like 30°/45°).
+        let grid = Grid::new(32);
+        let scan = ScanGeometry::new(30, 32);
+        let mut total_traced = 0u64;
+        let mut total_counted = 0u64;
+        for p in 0..30 {
+            for c in 0..32 {
+                let ray = scan.ray(p, c);
+                let traced = trace_ray_collect(&grid, &ray).len() as u64;
+                let counted = count_cells(&grid, &ray);
+                assert!(counted >= traced, "p={p} c={c}: {counted} < {traced}");
+                assert!(
+                    counted - traced <= 32,
+                    "p={p} c={c}: slack {}",
+                    counted - traced
+                );
+                total_traced += traced;
+                total_counted += counted;
+            }
+        }
+        // Aggregate error well under 1 %.
+        let rel = (total_counted - total_traced) as f64 / total_traced as f64;
+        assert!(rel < 0.01, "aggregate overcount {rel}");
+    }
+
+    #[test]
+    fn ads1_footprint_matches_paper_scale() {
+        // Table 3 reports 215/215 MB regular and 256/360 KB irregular.
+        let f = ADS1.footprint();
+        assert_eq!(f.irregular_forward, 256 * 1024);
+        assert_eq!(f.irregular_backward, 360 * 256 * 4);
+        let mb = f.regular_forward as f64 / (1024.0 * 1024.0);
+        assert!(
+            (180.0..260.0).contains(&mb),
+            "ADS1 regular data {mb:.1} MiB, expected ≈215"
+        );
+    }
+
+    #[test]
+    fn scaled_preserves_ratio_roughly() {
+        let d = RDS1.scaled(8);
+        assert_eq!(d.channels, 256);
+        assert_eq!(d.projections, 187);
+    }
+
+    #[test]
+    fn footprint_grows_cubically() {
+        // nnz is O(M·N²): doubling channels and projections gives ~8x.
+        let small = ADS1.scaled(2).footprint();
+        let full = ADS1.footprint();
+        let ratio = full.nnz as f64 / small.nnz as f64;
+        assert!((6.0..10.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn phantoms_match_samples() {
+        assert_eq!(ADS2.phantom().name(), "shepp-logan");
+        assert_eq!(RDS1.phantom().name(), "shale-like");
+        assert_eq!(RDS2.phantom().name(), "brain-like");
+    }
+}

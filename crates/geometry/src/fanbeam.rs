@@ -1,0 +1,242 @@
+//! Fan-beam scan geometry (divergent rays from a point source).
+//!
+//! The paper's datasets are all parallel-beam ("Considering parallel beam
+//! geometry...", §2.1), the natural model for synchrotron light. Fan-beam
+//! is the lab-source/medical counterpart the related work references
+//! (e.g. Sidky et al.'s divergent-beam CT); the memory-centric machinery
+//! is geometry-agnostic — rays are rays — so this module provides the ray
+//! generator, and the same [`crate::trace_ray`] + `xct-sparse` pipeline
+//! memoizes fan-beam projection matrices unchanged.
+
+use crate::grid::Grid;
+use crate::scan::Ray;
+use crate::sino::Sinogram;
+
+/// Fan-beam geometry with a flat (equispaced) detector.
+///
+/// For projection angle θ the source sits at distance `source_distance`
+/// from the rotation axis on the `−v(θ)` side (`v = (−sin θ, cos θ)`), and
+/// the detector line sits at `detector_distance` on the `+v` side, with
+/// `num_channels` unit-pitch channels along `u = (cos θ, sin θ)`. Angles
+/// cover the full circle `[0, 2π)` (fan-beam needs it; parallel-beam only
+/// needs `[0, π)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FanBeamGeometry {
+    /// Number of projection angles over `[0, 2π)`.
+    pub num_projections: u32,
+    /// Number of detector channels.
+    pub num_channels: u32,
+    /// Source-to-rotation-axis distance (pixel units). Must exceed the
+    /// grid's circumradius or rays start inside the object.
+    pub source_distance: f64,
+    /// Rotation-axis-to-detector distance (pixel units).
+    pub detector_distance: f64,
+}
+
+impl FanBeamGeometry {
+    /// Create a geometry, validating the distances.
+    pub fn new(
+        num_projections: u32,
+        num_channels: u32,
+        source_distance: f64,
+        detector_distance: f64,
+    ) -> Self {
+        assert!(num_projections > 0 && num_channels > 0);
+        assert!(source_distance > 0.0 && detector_distance >= 0.0);
+        FanBeamGeometry {
+            num_projections,
+            num_channels,
+            source_distance,
+            detector_distance,
+        }
+    }
+
+    /// Total rays (`M × N`).
+    pub fn num_rays(&self) -> usize {
+        (self.num_projections as usize) * (self.num_channels as usize)
+    }
+
+    /// Geometric magnification at the rotation axis:
+    /// `(R_src + R_det) / R_src`.
+    pub fn magnification(&self) -> f64 {
+        (self.source_distance + self.detector_distance) / self.source_distance
+    }
+
+    /// Projection angle of view `p`, over the full circle.
+    pub fn angle(&self, p: u32) -> f64 {
+        debug_assert!(p < self.num_projections);
+        std::f64::consts::TAU * (p as f64) / (self.num_projections as f64)
+    }
+
+    /// Signed detector offset of channel `c`.
+    pub fn channel_offset(&self, c: u32) -> f64 {
+        debug_assert!(c < self.num_channels);
+        c as f64 - (self.num_channels as f64 - 1.0) / 2.0
+    }
+
+    /// The ray from the source through detector channel `c` at view `p`.
+    pub fn ray(&self, p: u32, c: u32) -> Ray {
+        let theta = self.angle(p);
+        let (sin_t, cos_t) = theta.sin_cos();
+        let u = (cos_t, sin_t); // detector axis
+        let v = (-sin_t, cos_t); // central ray direction
+        let source = (-self.source_distance * v.0, -self.source_distance * v.1);
+        let s = self.channel_offset(c);
+        let det = (
+            self.detector_distance * v.0 + s * u.0,
+            self.detector_distance * v.1 + s * u.1,
+        );
+        let dir = (det.0 - source.0, det.1 - source.1);
+        let norm = (dir.0 * dir.0 + dir.1 * dir.1).sqrt();
+        Ray {
+            origin: source,
+            dir: (dir.0 / norm, dir.1 / norm),
+        }
+    }
+
+    /// Flat sinogram index of `(p, c)`.
+    pub fn ray_index(&self, p: u32, c: u32) -> u32 {
+        p * self.num_channels + c
+    }
+}
+
+/// Forward-simulate a fan-beam measurement of a row-major image (noise-
+/// free line integrals; feed through [`crate::NoiseModel`] handling by
+/// converting via [`crate::Sinogram::from_transmission`] if needed).
+pub fn simulate_sinogram_fan(image: &[f32], grid: &Grid, geom: &FanBeamGeometry) -> Vec<f32> {
+    assert_eq!(image.len(), grid.num_pixels());
+    let mut data = vec![0f32; geom.num_rays()];
+    for p in 0..geom.num_projections {
+        for c in 0..geom.num_channels {
+            let ray = geom.ray(p, c);
+            let mut acc = 0f64;
+            crate::siddon::trace_ray(grid, &ray, |pixel, len| {
+                acc += image[pixel as usize] as f64 * len as f64;
+            });
+            data[geom.ray_index(p, c) as usize] = acc as f32;
+        }
+    }
+    data
+}
+
+/// Build a fan-beam sinogram wrapper: fan-beam data reuses [`Sinogram`]'s
+/// `M × N` layout with a parallel [`crate::ScanGeometry`] of the same
+/// shape (the container is layout-only; the geometry travels separately).
+pub fn fan_sinogram(geom: &FanBeamGeometry, data: Vec<f32>) -> Sinogram {
+    Sinogram::new(
+        crate::scan::ScanGeometry::new(geom.num_projections, geom.num_channels),
+        data,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phantom::disk;
+
+    fn geom(n: u32) -> FanBeamGeometry {
+        // Source well outside the grid's circumradius (n/√2).
+        FanBeamGeometry::new(64, n, 2.0 * n as f64, n as f64)
+    }
+
+    #[test]
+    fn rays_start_outside_and_hit_the_grid() {
+        let n = 32u32;
+        let grid = Grid::new(n);
+        let g = geom(n);
+        for p in (0..g.num_projections).step_by(7) {
+            let ray = g.ray(p, n / 2);
+            // Source outside the grid square.
+            assert!(
+                ray.origin.0.abs() > grid.max_coord() || ray.origin.1.abs() > grid.max_coord()
+            );
+            // Central ray passes near the origin.
+            let cross = ray.origin.0 * ray.dir.1 - ray.origin.1 * ray.dir.0;
+            assert!(cross.abs() < 1.0, "central ray misses the axis: {cross}");
+        }
+    }
+
+    #[test]
+    fn ray_directions_are_unit() {
+        let g = geom(16);
+        for p in 0..g.num_projections {
+            for c in 0..g.num_channels {
+                let r = g.ray(p, c);
+                let n = (r.dir.0 * r.dir.0 + r.dir.1 * r.dir.1).sqrt();
+                assert!((n - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn magnification_formula() {
+        let g = FanBeamGeometry::new(8, 8, 100.0, 50.0);
+        assert!((g.magnification() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_views_see_mirrored_central_profiles() {
+        // For a centred object, the view at θ and θ+π measure the same
+        // fan through the object (mirrored in the channel axis).
+        let n = 48u32;
+        let grid = Grid::new(n);
+        let g = FanBeamGeometry::new(16, n, 3.0 * n as f64, n as f64);
+        let img = disk(0.5, 1.0).rasterize(n);
+        let sino = simulate_sinogram_fan(&img, &grid, &g);
+        let nn = n as usize;
+        let view = |p: usize| &sino[p * nn..(p + 1) * nn];
+        let a = view(0);
+        let b = view(8); // θ + π for 16 views
+        for c in 0..nn {
+            let mirrored = b[nn - 1 - c];
+            assert!(
+                (a[c] - mirrored).abs() < 0.05 * a[c].abs().max(1.0),
+                "channel {c}: {} vs {}",
+                a[c],
+                mirrored
+            );
+        }
+    }
+
+    #[test]
+    fn fan_projection_of_disk_is_widest_at_center() {
+        let n = 48u32;
+        let grid = Grid::new(n);
+        let g = geom(n);
+        let img = disk(0.5, 1.0).rasterize(n);
+        let sino = simulate_sinogram_fan(&img, &grid, &g);
+        let nn = n as usize;
+        let center = sino[nn / 2];
+        let edge = sino[1];
+        assert!(center > 2.0 * edge.max(0.1), "center {center} edge {edge}");
+    }
+
+    #[test]
+    fn memoized_fan_matrix_matches_direct_simulation() {
+        // The memory-centric pipeline is geometry-agnostic: build the
+        // fan-beam CSR with the shared tracer + sparse toolkit and check
+        // SpMV equals the direct on-the-fly simulation.
+        let n = 24u32;
+        let grid = Grid::new(n);
+        let g = FanBeamGeometry::new(20, n, 2.5 * n as f64, n as f64);
+        let rows: Vec<Vec<(u32, f32)>> = (0..g.num_projections)
+            .flat_map(|p| (0..g.num_channels).map(move |c| (p, c)))
+            .map(|(p, c)| {
+                let mut row = Vec::new();
+                crate::siddon::trace_ray(&grid, &g.ray(p, c), |pix, len| row.push((pix, len)));
+                row
+            })
+            .collect();
+        // (Build the matrix shape by hand to avoid a dev-dependency on
+        // xct-sparse here: verify row dot products directly.)
+        let img = disk(0.6, 2.0).rasterize(n);
+        let direct = simulate_sinogram_fan(&img, &grid, &g);
+        for (i, row) in rows.iter().enumerate() {
+            let acc: f64 = row
+                .iter()
+                .map(|&(pix, len)| img[pix as usize] as f64 * len as f64)
+                .sum();
+            assert!((acc as f32 - direct[i]).abs() < 1e-3, "ray {i}");
+        }
+    }
+}

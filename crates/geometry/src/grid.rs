@@ -1,0 +1,106 @@
+//! The tomogram pixel grid.
+
+/// A square `n × n` pixel grid centred on the rotation axis.
+///
+/// Physical coordinates place the grid over `[-n/2, n/2] × [-n/2, n/2]`
+/// with unit pixel pitch, so pixel `(i, j)` covers
+/// `[i - n/2, i + 1 - n/2] × [j - n/2, j + 1 - n/2]`. Pixel indices are
+/// row-major: `index = j * n + i` (x fastest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid {
+    n: u32,
+}
+
+impl Grid {
+    /// Create an `n × n` grid.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0, "grid must be non-empty");
+        Grid { n }
+    }
+
+    /// Pixels per side.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Total number of pixels.
+    #[inline]
+    pub fn num_pixels(&self) -> usize {
+        (self.n as usize) * (self.n as usize)
+    }
+
+    /// Physical coordinate of the grid's low edge (both axes).
+    #[inline]
+    pub fn min_coord(&self) -> f64 {
+        -(self.n as f64) / 2.0
+    }
+
+    /// Physical coordinate of the grid's high edge (both axes).
+    #[inline]
+    pub fn max_coord(&self) -> f64 {
+        (self.n as f64) / 2.0
+    }
+
+    /// Row-major pixel index of cell `(i, j)`.
+    #[inline]
+    pub fn pixel_index(&self, i: u32, j: u32) -> u32 {
+        debug_assert!(i < self.n && j < self.n);
+        j * self.n + i
+    }
+
+    /// Inverse of [`Grid::pixel_index`].
+    #[inline]
+    pub fn pixel_coords(&self, index: u32) -> (u32, u32) {
+        (index % self.n, index / self.n)
+    }
+
+    /// Physical centre of pixel `(i, j)`.
+    #[inline]
+    pub fn pixel_center(&self, i: u32, j: u32) -> (f64, f64) {
+        (
+            self.min_coord() + i as f64 + 0.5,
+            self.min_coord() + j as f64 + 0.5,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinates_are_centred() {
+        let g = Grid::new(8);
+        assert_eq!(g.min_coord(), -4.0);
+        assert_eq!(g.max_coord(), 4.0);
+        assert_eq!(g.pixel_center(0, 0), (-3.5, -3.5));
+        assert_eq!(g.pixel_center(7, 7), (3.5, 3.5));
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let g = Grid::new(13);
+        for j in 0..13 {
+            for i in 0..13 {
+                let idx = g.pixel_index(i, j);
+                assert_eq!(g.pixel_coords(idx), (i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn odd_grid_centre_pixel_straddles_origin() {
+        let g = Grid::new(3);
+        assert_eq!(g.pixel_center(1, 1), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_grid_panics() {
+        Grid::new(0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Minimal image/data I/O: binary PGM for viewing reconstructions, raw
+//! little-endian f32 for exchanging sinograms and volumes.
+//!
+//! The real MemXCT reads APS HDF5 sinograms; this reproduction keeps I/O
+//! dependency-free so the CLI can still write inspectable artifacts.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Write a row-major f32 image as an 8-bit binary PGM, linearly mapping
+/// `[min, max]` (computed from the data) to `[0, 255]`.
+pub fn write_pgm(path: &Path, width: usize, height: usize, data: &[f32]) -> std::io::Result<()> {
+    assert_eq!(data.len(), width * height, "image shape");
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in data {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let range = if hi > lo { hi - lo } else { 1.0 };
+    let mut w = BufWriter::new(File::create(path)?);
+    write!(w, "P5\n{width} {height}\n255\n")?;
+    let bytes: Vec<u8> = data
+        .iter()
+        .map(|&v| (((v - lo) / range) * 255.0).round().clamp(0.0, 255.0) as u8)
+        .collect();
+    w.write_all(&bytes)?;
+    w.flush()
+}
+
+/// Write a flat f32 buffer as raw little-endian bytes.
+pub fn write_raw_f32(path: &Path, data: &[f32]) -> std::io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for &v in data {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Read a raw little-endian f32 buffer.
+pub fn read_raw_f32(path: &Path) -> std::io::Result<Vec<f32>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    if bytes.len() % 4 != 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "raw f32 file length is not a multiple of 4",
+        ));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("xct_io_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let path = tmp("roundtrip.raw");
+        let data: Vec<f32> = (0..100).map(|i| (i as f32).sin()).collect();
+        write_raw_f32(&path, &data).unwrap();
+        let back = read_raw_f32(&path).unwrap();
+        assert_eq!(back, data);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pgm_has_correct_header_and_size() {
+        let path = tmp("img.pgm");
+        let data: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        write_pgm(&path, 4, 3, &data).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let header = b"P5\n4 3\n255\n";
+        assert!(bytes.starts_with(header));
+        assert_eq!(bytes.len(), header.len() + 12);
+        // Linear mapping: min -> 0, max -> 255.
+        assert_eq!(bytes[header.len()], 0);
+        assert_eq!(*bytes.last().unwrap(), 255);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn constant_image_does_not_divide_by_zero() {
+        let path = tmp("flat.pgm");
+        write_pgm(&path, 2, 2, &[5.0; 4]).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[bytes.len() - 4..], &[0, 0, 0, 0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_raw_is_an_error() {
+        let path = tmp("bad.raw");
+        std::fs::write(&path, [1u8, 2, 3]).unwrap();
+        assert!(read_raw_f32(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

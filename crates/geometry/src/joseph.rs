@@ -1,0 +1,159 @@
+//! Joseph's projection method: the linear-interpolation alternative to
+//! Siddon's exact intersection lengths.
+//!
+//! Joseph's method steps along the ray's dominant axis one gridline at a
+//! time and splits each step's contribution between the two pixels
+//! adjacent to the crossing point, weighted by linear interpolation. It
+//! yields ~2 matrix entries per crossed row (vs Siddon's 1–2) with
+//! smoother discretization error — it is the default projector of several
+//! reconstruction packages the paper compares against (TomoPy), so having
+//! both models makes the projector choice an ablation rather than an
+//! assumption.
+
+use crate::grid::Grid;
+use crate::scan::Ray;
+
+/// Trace `ray` through `grid` with Joseph's method, invoking
+/// `emit(pixel_index, weight)` per touched pixel. Weights approximate
+/// intersection lengths: their sum approximates the chord length through
+/// the pixel grid.
+pub fn trace_ray_joseph<F: FnMut(u32, f32)>(grid: &Grid, ray: &Ray, mut emit: F) {
+    let n = grid.n() as i64;
+    let lo = grid.min_coord();
+    let (ox, oy) = ray.origin;
+    let (dx, dy) = ray.dir;
+
+    // Dominant axis: step along it one unit per row/column.
+    if dx.abs() >= dy.abs() {
+        // March along x: at each pixel-column centre, interpolate in y.
+        let step = 1.0 / dx.abs(); // path length per unit x
+        for i in 0..n {
+            let xc = lo + i as f64 + 0.5;
+            let t = (xc - ox) / dx;
+            let y = oy + t * dy;
+            let yf = y - lo - 0.5; // in pixel-centre coordinates
+            let j0 = yf.floor() as i64;
+            let frac = (yf - j0 as f64) as f32;
+            let w = step as f32;
+            if j0 >= 0 && j0 < n {
+                emit(grid.pixel_index(i as u32, j0 as u32), w * (1.0 - frac));
+            }
+            if j0 + 1 >= 0 && j0 + 1 < n {
+                emit(grid.pixel_index(i as u32, (j0 + 1) as u32), w * frac);
+            }
+        }
+    } else {
+        // March along y.
+        let step = 1.0 / dy.abs();
+        for j in 0..n {
+            let yc = lo + j as f64 + 0.5;
+            let t = (yc - oy) / dy;
+            let x = ox + t * dx;
+            let xf = x - lo - 0.5;
+            let i0 = xf.floor() as i64;
+            let frac = (xf - i0 as f64) as f32;
+            let w = step as f32;
+            if i0 >= 0 && i0 < n {
+                emit(grid.pixel_index(i0 as u32, j as u32), w * (1.0 - frac));
+            }
+            if i0 + 1 >= 0 && i0 + 1 < n {
+                emit(grid.pixel_index((i0 + 1) as u32, j as u32), w * frac);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::ScanGeometry;
+    use crate::siddon::trace_ray;
+
+    fn collect(grid: &Grid, ray: &Ray) -> Vec<(u32, f32)> {
+        let mut out = Vec::new();
+        trace_ray_joseph(grid, ray, |p, w| out.push((p, w)));
+        out
+    }
+
+    #[test]
+    fn axis_aligned_ray_matches_siddon_exactly() {
+        let g = Grid::new(8);
+        let ray = Ray {
+            origin: (0.5, 0.0),
+            dir: (0.0, 1.0),
+        };
+        let j = collect(&g, &ray);
+        let total: f32 = j.iter().map(|&(_, w)| w).sum();
+        assert!((total - 8.0).abs() < 1e-5);
+        // All weight lands in column 4 (offset 0.5 = pixel-centre hit).
+        for &(p, w) in &j {
+            if w > 0.0 {
+                let (i, _) = g.pixel_coords(p);
+                assert_eq!(i, 4);
+            }
+        }
+    }
+
+    #[test]
+    fn weights_sum_approximates_chord() {
+        let g = Grid::new(32);
+        let scan = ScanGeometry::new(24, 32);
+        for p in 0..24 {
+            for c in (2..30).step_by(3) {
+                let ray = scan.ray(p, c);
+                let joseph: f64 = collect(&g, &ray).iter().map(|&(_, w)| w as f64).sum();
+                let mut siddon = 0f64;
+                trace_ray(&g, &ray, |_, len| siddon += len as f64);
+                // Joseph truncates at the grid boundary rows; allow a few
+                // per cent plus one step of slack.
+                assert!(
+                    (joseph - siddon).abs() < 0.05 * siddon + 1.5,
+                    "p={p} c={c}: joseph {joseph} vs siddon {siddon}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn projections_close_to_siddon_on_smooth_image() {
+        let g = Grid::new(64);
+        let scan = ScanGeometry::new(16, 64);
+        let img = crate::phantom::disk(0.6, 1.0).rasterize(64);
+        for p in 0..16 {
+            for c in (8..56).step_by(5) {
+                let ray = scan.ray(p, c);
+                let mut js = 0f64;
+                trace_ray_joseph(&g, &ray, |pix, w| js += img[pix as usize] as f64 * w as f64);
+                let mut sd = 0f64;
+                trace_ray(&g, &ray, |pix, len| sd += img[pix as usize] as f64 * len as f64);
+                assert!(
+                    (js - sd).abs() < 0.05 * sd.abs() + 1.0,
+                    "p={p} c={c}: {js} vs {sd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn at_most_two_entries_per_step() {
+        let g = Grid::new(16);
+        let scan = ScanGeometry::new(12, 16);
+        for p in 0..12 {
+            let entries = collect(&g, &scan.ray(p, 8));
+            assert!(entries.len() <= 2 * 16, "{}", entries.len());
+        }
+    }
+
+    #[test]
+    fn weights_are_nonnegative() {
+        let g = Grid::new(24);
+        let scan = ScanGeometry::new(10, 24);
+        for p in 0..10 {
+            for c in 0..24 {
+                for (_, w) in collect(&g, &scan.ray(p, c)) {
+                    assert!(w >= 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Parallel-beam XCT scan geometry, Siddon ray tracing, synthetic phantoms,
+//! and the datasets of the MemXCT evaluation (SC '19, §2 and Table 3).
+//!
+//! This crate models the *measurement process*: a sample on a rotation
+//! stage, illuminated by parallel x-rays, measured by a 1D detector at many
+//! rotation angles (Fig 2 of the paper). The key exports are:
+//!
+//! - [`Grid`]: the tomogram pixel grid;
+//! - [`ScanGeometry`]: the set of (projection, channel) rays;
+//! - [`trace_ray`]: Siddon-style exact radiological path computation, the
+//!   kernel that compute-centric codes run every iteration and MemXCT
+//!   memoizes once;
+//! - [`Phantom`]: procedural samples (Shepp–Logan, shale-like, brain-like);
+//! - [`Dataset`]: the six evaluation datasets (ADS1–4, RDS1, RDS2) with
+//!   their Table 3 memory footprints;
+//! - [`simulate_sinogram`]: forward measurement with optional photon noise.
+
+#![warn(missing_docs)]
+
+mod correct;
+mod dataset;
+mod fanbeam;
+mod grid;
+mod joseph;
+pub mod io;
+mod phantom;
+mod scan;
+mod siddon;
+mod sino;
+mod volume;
+
+pub use correct::{correct_center, estimate_center_shift, remove_rings, shift_sinogram};
+pub use fanbeam::{fan_sinogram, simulate_sinogram_fan, FanBeamGeometry};
+pub use volume::{phantom_volume, simulate_volume, Volume};
+
+pub use dataset::{
+    Dataset, DatasetFootprint, SampleKind, ADS1, ADS2, ADS3, ADS4, ALL_DATASETS, RDS1, RDS2,
+};
+pub use grid::Grid;
+pub use phantom::{brain_like, disk, shale_like, shepp_logan, Ellipse, Phantom};
+pub use scan::{Ray, ScanGeometry};
+pub use joseph::trace_ray_joseph;
+pub use siddon::{trace_ray, trace_ray_collect, RaySample};
+pub use sino::{simulate_sinogram, NoiseModel, Sinogram};

@@ -1,0 +1,157 @@
+//! Parallel-beam scan geometry: which rays are measured.
+
+/// An infinite ray in the tomogram plane: `p(t) = origin + t * dir`,
+/// with `dir` a unit vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// A point on the ray.
+    pub origin: (f64, f64),
+    /// Unit direction.
+    pub dir: (f64, f64),
+}
+
+/// Parallel-beam raster scan geometry (the paper's datasets all use it).
+///
+/// A scan takes `num_projections` equally-spaced angles `θ ∈ [0, π)`.
+/// At each angle, `num_channels` detector channels with unit pitch measure
+/// rays perpendicular to the detector axis. Sinogram rows are indexed by
+/// projection (`M` rows), columns by channel (`N` columns), matching the
+/// paper's `M × N` sinogram dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanGeometry {
+    num_projections: u32,
+    num_channels: u32,
+}
+
+impl ScanGeometry {
+    /// Create a scan with `num_projections` angles and `num_channels`
+    /// detector channels.
+    ///
+    /// # Panics
+    /// Panics if either count is zero.
+    pub fn new(num_projections: u32, num_channels: u32) -> Self {
+        assert!(num_projections > 0 && num_channels > 0);
+        ScanGeometry {
+            num_projections,
+            num_channels,
+        }
+    }
+
+    /// Number of projection angles (`M`).
+    #[inline]
+    pub fn num_projections(&self) -> u32 {
+        self.num_projections
+    }
+
+    /// Number of detector channels (`N`).
+    #[inline]
+    pub fn num_channels(&self) -> u32 {
+        self.num_channels
+    }
+
+    /// Total number of measured rays (`M × N` sinogram entries).
+    #[inline]
+    pub fn num_rays(&self) -> usize {
+        (self.num_projections as usize) * (self.num_channels as usize)
+    }
+
+    /// Rotation angle of projection `p`, in radians, equally spaced on
+    /// `[0, π)`.
+    #[inline]
+    pub fn angle(&self, p: u32) -> f64 {
+        debug_assert!(p < self.num_projections);
+        std::f64::consts::PI * (p as f64) / (self.num_projections as f64)
+    }
+
+    /// Signed detector offset of channel `c` from the rotation axis.
+    #[inline]
+    pub fn channel_offset(&self, c: u32) -> f64 {
+        debug_assert!(c < self.num_channels);
+        c as f64 - (self.num_channels as f64 - 1.0) / 2.0
+    }
+
+    /// The measured ray for `(projection, channel)`.
+    ///
+    /// The detector axis at angle θ is `u = (cos θ, sin θ)`; rays travel
+    /// along `v = (-sin θ, cos θ)` and pass through `s · u` where `s` is the
+    /// channel offset.
+    pub fn ray(&self, projection: u32, channel: u32) -> Ray {
+        let theta = self.angle(projection);
+        let (sin_t, cos_t) = theta.sin_cos();
+        let s = self.channel_offset(channel);
+        Ray {
+            origin: (s * cos_t, s * sin_t),
+            dir: (-sin_t, cos_t),
+        }
+    }
+
+    /// Flat sinogram row index of `(projection, channel)`.
+    #[inline]
+    pub fn ray_index(&self, projection: u32, channel: u32) -> u32 {
+        projection * self.num_channels + channel
+    }
+
+    /// Inverse of [`ScanGeometry::ray_index`].
+    #[inline]
+    pub fn ray_coords(&self, index: u32) -> (u32, u32) {
+        (index / self.num_channels, index % self.num_channels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn angles_cover_half_circle() {
+        let g = ScanGeometry::new(4, 8);
+        assert_eq!(g.angle(0), 0.0);
+        assert!((g.angle(2) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!(g.angle(3) < std::f64::consts::PI);
+    }
+
+    #[test]
+    fn channel_offsets_are_centred() {
+        let g = ScanGeometry::new(1, 5);
+        assert_eq!(g.channel_offset(0), -2.0);
+        assert_eq!(g.channel_offset(2), 0.0);
+        assert_eq!(g.channel_offset(4), 2.0);
+        let even = ScanGeometry::new(1, 4);
+        assert_eq!(even.channel_offset(0), -1.5);
+        assert_eq!(even.channel_offset(3), 1.5);
+    }
+
+    #[test]
+    fn ray_at_angle_zero_is_vertical() {
+        let g = ScanGeometry::new(2, 3);
+        let r = g.ray(0, 2);
+        assert!((r.dir.0 - 0.0).abs() < 1e-12);
+        assert!((r.dir.1 - 1.0).abs() < 1e-12);
+        assert!((r.origin.0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ray_dir_is_unit_and_perpendicular_to_detector() {
+        let g = ScanGeometry::new(7, 9);
+        for p in 0..7 {
+            for c in 0..9 {
+                let r = g.ray(p, c);
+                let norm = (r.dir.0 * r.dir.0 + r.dir.1 * r.dir.1).sqrt();
+                assert!((norm - 1.0).abs() < 1e-12);
+                // origin · dir == 0 for rays through the detector axis.
+                let dot = r.origin.0 * r.dir.0 + r.origin.1 * r.dir.1;
+                assert!(dot.abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ray_index_roundtrip() {
+        let g = ScanGeometry::new(6, 11);
+        for p in 0..6 {
+            for c in 0..11 {
+                assert_eq!(g.ray_coords(g.ray_index(p, c)), (p, c));
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Sinograms and the simulated measurement process.
+
+use crate::grid::Grid;
+use crate::scan::ScanGeometry;
+use crate::siddon::trace_ray;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A sinogram: `M × N` measurements, row-major by projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sinogram {
+    scan: ScanGeometry,
+    data: Vec<f32>,
+}
+
+impl Sinogram {
+    /// Wrap existing measurement data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != M × N`.
+    pub fn new(scan: ScanGeometry, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), scan.num_rays());
+        Sinogram { scan, data }
+    }
+
+    /// An all-zero sinogram.
+    pub fn zeros(scan: ScanGeometry) -> Self {
+        Sinogram {
+            scan,
+            data: vec![0.0; scan.num_rays()],
+        }
+    }
+
+    /// The scan geometry.
+    pub fn scan(&self) -> ScanGeometry {
+        self.scan
+    }
+
+    /// Flat measurement data (row-major by projection).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable measurement data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Measurement for `(projection, channel)`.
+    #[inline]
+    pub fn get(&self, projection: u32, channel: u32) -> f32 {
+        self.data[self.scan.ray_index(projection, channel) as usize]
+    }
+
+    /// Consume into the flat data vector.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Build a sinogram from raw transmission counts: the detector
+    /// measures photon counts `I`, and Beer's law (§2.1) gives the line
+    /// integrals as `p = −ln(I / I₀)`. Counts of zero are clamped to half
+    /// a photon, as real pipelines do, to keep the log finite.
+    pub fn from_transmission(scan: ScanGeometry, counts: &[f32], incident: f32) -> Self {
+        assert_eq!(counts.len(), scan.num_rays());
+        assert!(incident > 0.0, "incident flux must be positive");
+        let data = counts
+            .iter()
+            .map(|&k| -(k.max(0.5) / incident).ln())
+            .collect();
+        Sinogram::new(scan, data)
+    }
+}
+
+/// Photon-statistics model for simulated measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseModel {
+    /// Ideal noise-free line integrals.
+    None,
+    /// Beer's-law transmission with Poisson photon counting:
+    /// `I = I₀·exp(−s·p)`, `k ~ Poisson(I)`, `p̂ = −ln(k/I₀)/s`.
+    Poisson {
+        /// Incident photon count per ray (`I₀`); lower = noisier.
+        incident: f64,
+        /// Attenuation scale `s` converting line integrals to optical depth.
+        scale: f64,
+    },
+}
+
+/// Forward-simulate the measurement of a rasterized image.
+///
+/// `image` is the row-major `n × n` tomogram (as produced by
+/// [`crate::Phantom::rasterize`]); the result is the sinogram of exact line
+/// integrals, optionally corrupted by photon noise (deterministic in
+/// `seed`).
+pub fn simulate_sinogram(
+    image: &[f32],
+    grid: &Grid,
+    scan: &ScanGeometry,
+    noise: NoiseModel,
+    seed: u64,
+) -> Sinogram {
+    assert_eq!(image.len(), grid.num_pixels());
+    let mut data = vec![0.0f32; scan.num_rays()];
+    for p in 0..scan.num_projections() {
+        for c in 0..scan.num_channels() {
+            let ray = scan.ray(p, c);
+            let mut acc = 0.0f64;
+            trace_ray(grid, &ray, |pixel, len| {
+                acc += image[pixel as usize] as f64 * len as f64;
+            });
+            data[scan.ray_index(p, c) as usize] = acc as f32;
+        }
+    }
+    if let NoiseModel::Poisson { incident, scale } = noise {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for v in &mut data {
+            let lambda = incident * (-(*v as f64) * scale).exp();
+            let k = sample_poisson(&mut rng, lambda).max(0.5);
+            *v = (-(k / incident).ln() / scale) as f32;
+        }
+    }
+    Sinogram::new(*scan, data)
+}
+
+/// Sample a Poisson variate: Knuth's method for small λ, a normal
+/// approximation for large λ (adequate for photon-count simulation).
+fn sample_poisson(rng: &mut SmallRng, lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 0.0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u32;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k as f64;
+            }
+            k += 1;
+        }
+    } else {
+        // Box–Muller normal approximation N(λ, λ).
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (lambda + z * lambda.sqrt()).round().max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phantom::disk;
+
+    #[test]
+    fn disk_projection_matches_analytic_chord() {
+        // Projection of a uniform disk of radius r (normalized) at offset s
+        // is 2·v·sqrt(R² − s²) in pixel units, where R = r·n/2.
+        let n = 128u32;
+        let grid = Grid::new(n);
+        let scan = ScanGeometry::new(8, n);
+        let img = disk(0.5, 1.0).rasterize(n);
+        let sino = simulate_sinogram(&img, &grid, &scan, NoiseModel::None, 0);
+        let r_pix = 0.5 * n as f64 / 2.0;
+        for p in 0..scan.num_projections() {
+            for c in (0..n).step_by(13) {
+                let s = scan.channel_offset(c);
+                let expect = if s.abs() < r_pix {
+                    2.0 * (r_pix * r_pix - s * s).sqrt()
+                } else {
+                    0.0
+                };
+                let got = sino.get(p, c) as f64;
+                // Rasterization quantizes the disk edge; allow ~2 pixels.
+                assert!(
+                    (got - expect).abs() < 2.5,
+                    "p={p} c={c}: {got} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn projection_is_rotation_invariant_for_disk() {
+        let n = 64u32;
+        let grid = Grid::new(n);
+        let scan = ScanGeometry::new(16, n);
+        let img = disk(0.6, 1.0).rasterize(n);
+        let sino = simulate_sinogram(&img, &grid, &scan, NoiseModel::None, 0);
+        // The central channel's value should barely vary with angle.
+        let c = n / 2;
+        let vals: Vec<f32> = (0..16).map(|p| sino.get(p, c)).collect();
+        let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+        for v in vals {
+            assert!((v - mean).abs() / mean < 0.05, "{v} vs mean {mean}");
+        }
+    }
+
+    #[test]
+    fn mass_conservation_across_angles() {
+        // Sum of each projection equals total image mass (for rays that
+        // cover the object), a standard Radon transform identity.
+        let n = 64u32;
+        let grid = Grid::new(n);
+        let scan = ScanGeometry::new(12, n);
+        let img = disk(0.4, 2.0).rasterize(n);
+        let mass: f64 = img.iter().map(|&v| v as f64).sum();
+        let sino = simulate_sinogram(&img, &grid, &scan, NoiseModel::None, 0);
+        for p in 0..12 {
+            let proj_sum: f64 = (0..n).map(|c| sino.get(p, c) as f64).sum();
+            assert!(
+                (proj_sum - mass).abs() / mass < 0.02,
+                "angle {p}: {proj_sum} vs {mass}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_noise_is_deterministic_and_unbiased() {
+        let n = 32u32;
+        let grid = Grid::new(n);
+        let scan = ScanGeometry::new(8, n);
+        let img = disk(0.5, 1.0).rasterize(n);
+        let clean = simulate_sinogram(&img, &grid, &scan, NoiseModel::None, 0);
+        let noise = NoiseModel::Poisson {
+            incident: 1e5,
+            scale: 0.05,
+        };
+        let a = simulate_sinogram(&img, &grid, &scan, noise, 42);
+        let b = simulate_sinogram(&img, &grid, &scan, noise, 42);
+        assert_eq!(a.data(), b.data());
+        let c = simulate_sinogram(&img, &grid, &scan, noise, 43);
+        assert_ne!(a.data(), c.data());
+        // High photon count => small relative error.
+        let err: f64 = a
+            .data()
+            .iter()
+            .zip(clean.data())
+            .map(|(&x, &y)| (x - y).abs() as f64)
+            .sum::<f64>()
+            / a.data().len() as f64;
+        assert!(err < 0.5, "mean abs noise {err}");
+    }
+
+    #[test]
+    fn sample_poisson_mean_is_lambda() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for &lambda in &[0.5, 5.0, 50.0, 5000.0] {
+            let k = 4000;
+            let mean: f64 = (0..k).map(|_| sample_poisson(&mut rng, lambda)).sum::<f64>() / k as f64;
+            assert!(
+                (mean - lambda).abs() < 4.0 * (lambda / k as f64).sqrt() + 0.05,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn transmission_inverts_beers_law() {
+        let scan = ScanGeometry::new(1, 4);
+        let i0 = 1000.0f32;
+        let p_true = [0.0f32, 0.5, 1.0, 2.0];
+        let counts: Vec<f32> = p_true.iter().map(|&p| i0 * (-p).exp()).collect();
+        let sino = Sinogram::from_transmission(scan, &counts, i0);
+        for (got, want) in sino.data().iter().zip(&p_true) {
+            assert!((got - want).abs() < 1e-5, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn zero_counts_are_clamped_not_infinite() {
+        let scan = ScanGeometry::new(1, 2);
+        let sino = Sinogram::from_transmission(scan, &[0.0, 1.0], 100.0);
+        assert!(sino.data().iter().all(|v| v.is_finite()));
+        assert!(sino.data()[0] > sino.data()[1]);
+    }
+
+    #[test]
+    fn zeros_has_right_shape() {
+        let scan = ScanGeometry::new(3, 5);
+        let s = Sinogram::zeros(scan);
+        assert_eq!(s.data().len(), 15);
+        assert_eq!(s.get(2, 4), 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for ray tracing: conservation of chord length, bounds,
+//! and contiguity hold for arbitrary scan geometries.
+
+use proptest::prelude::*;
+use xct_geometry::{trace_ray_collect, Grid, Ray, ScanGeometry};
+
+fn chord(grid: &Grid, ray: &Ray) -> f64 {
+    let (lo, hi) = (grid.min_coord(), grid.max_coord());
+    let mut t0 = f64::NEG_INFINITY;
+    let mut t1 = f64::INFINITY;
+    for (o, d) in [(ray.origin.0, ray.dir.0), (ray.origin.1, ray.dir.1)] {
+        if d.abs() < 1e-12 {
+            if o < lo || o > hi {
+                return 0.0;
+            }
+        } else {
+            let a = (lo - o) / d;
+            let b = (hi - o) / d;
+            t0 = t0.max(a.min(b));
+            t1 = t1.min(a.max(b));
+        }
+    }
+    (t1 - t0).max(0.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn traced_length_equals_chord(
+        n in 2u32..96,
+        angle in 0.0f64..std::f64::consts::PI,
+        offset in -80.0f64..80.0,
+    ) {
+        let grid = Grid::new(n);
+        let (s, c) = angle.sin_cos();
+        let ray = Ray { origin: (offset * c, offset * s), dir: (-s, c) };
+        let samples = trace_ray_collect(&grid, &ray);
+        let total: f64 = samples.iter().map(|x| x.length as f64).sum();
+        let expect = chord(&grid, &ray);
+        prop_assert!((total - expect).abs() < 1e-4,
+            "traced {total} vs chord {expect} (n={n}, angle={angle}, s={offset})");
+    }
+
+    #[test]
+    fn traced_pixels_in_bounds_and_unique(
+        n in 2u32..64,
+        angle in 0.0f64..std::f64::consts::PI,
+        offset in -40.0f64..40.0,
+    ) {
+        let grid = Grid::new(n);
+        let (s, c) = angle.sin_cos();
+        let ray = Ray { origin: (offset * c, offset * s), dir: (-s, c) };
+        let samples = trace_ray_collect(&grid, &ray);
+        let mut seen = std::collections::HashSet::new();
+        for smp in &samples {
+            prop_assert!((smp.pixel as usize) < grid.num_pixels());
+            prop_assert!(smp.length >= 0.0);
+            prop_assert!(smp.length <= (2f32).sqrt() + 1e-5);
+            prop_assert!(seen.insert(smp.pixel));
+        }
+    }
+
+    #[test]
+    fn scan_rays_all_have_positive_coverage(m in 1u32..12, n in 4u32..48) {
+        // Every central channel must hit the grid.
+        let grid = Grid::new(n);
+        let scan = ScanGeometry::new(m, n);
+        for p in 0..m {
+            let mid = scan.ray(p, n / 2);
+            let samples = trace_ray_collect(&grid, &mid);
+            prop_assert!(!samples.is_empty());
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Generalized Hilbert ("gilbert") curve for arbitrary rectangles.
+//!
+//! MemXCT orders the power-of-two tiles that cover an arbitrary-sized domain
+//! with "a Hilbert ordering for rectangular domains" (paper §3.2, citing
+//! Zhang et al.). We implement the recursive generalized-Hilbert scheme,
+//! which produces a continuous curve (every consecutive pair of cells is
+//! 4-adjacent) over any `w × h` rectangle with `w, h ≥ 1`.
+
+/// Enumerate the cells of a `width × height` rectangle along a generalized
+/// Hilbert curve. Returns the visit sequence: `result[d] = (x, y)`.
+///
+/// The curve starts at `(0, 0)`. Every consecutive pair of cells is
+/// 8-adjacent; it is fully 4-adjacent (a continuous curve) unless the
+/// larger dimension is odd while the smaller is even, in which case a
+/// handful of diagonal steps are unavoidable in this construction (the
+/// "pseudo" in pseudo-Hilbert).
+pub fn gilbert2d(width: u32, height: u32) -> Vec<(u32, u32)> {
+    let n = (width as usize) * (height as usize);
+    let mut out = Vec::with_capacity(n);
+    if n == 0 {
+        return out;
+    }
+    if width >= height {
+        generate(&mut out, 0, 0, width as i64, 0, 0, height as i64);
+    } else {
+        generate(&mut out, 0, 0, 0, height as i64, width as i64, 0);
+    }
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
+/// Recursive generator. `(x, y)` is the current corner; `(ax, ay)` is the
+/// major axis vector (length = span of the major direction); `(bx, by)` is
+/// the minor axis vector.
+fn generate(out: &mut Vec<(u32, u32)>, x: i64, y: i64, ax: i64, ay: i64, bx: i64, by: i64) {
+    let w = ax.abs() + ay.abs();
+    let h = bx.abs() + by.abs();
+
+    // Unit steps in each direction.
+    let (dax, day) = (ax.signum(), ay.signum());
+    let (dbx, dby) = (bx.signum(), by.signum());
+
+    if h == 1 {
+        // Trivial row fill.
+        let (mut cx, mut cy) = (x, y);
+        for _ in 0..w {
+            out.push((cx as u32, cy as u32));
+            cx += dax;
+            cy += day;
+        }
+        return;
+    }
+    if w == 1 {
+        // Trivial column fill.
+        let (mut cx, mut cy) = (x, y);
+        for _ in 0..h {
+            out.push((cx as u32, cy as u32));
+            cx += dbx;
+            cy += dby;
+        }
+        return;
+    }
+
+    // Floor division (not truncation): the axis vectors go negative in the
+    // recursive calls and the split point must round consistently downward.
+    let (mut ax2, mut ay2) = (ax.div_euclid(2), ay.div_euclid(2));
+    let (mut bx2, mut by2) = (bx.div_euclid(2), by.div_euclid(2));
+    let w2 = ax2.abs() + ay2.abs();
+    let h2 = bx2.abs() + by2.abs();
+
+    if 2 * w > 3 * h {
+        if (w2 % 2 != 0) && (w > 2) {
+            // Prefer even steps.
+            ax2 += dax;
+            ay2 += day;
+        }
+        // Long case: split in two pieces only.
+        generate(out, x, y, ax2, ay2, bx, by);
+        generate(out, x + ax2, y + ay2, ax - ax2, ay - ay2, bx, by);
+    } else {
+        if (h2 % 2 != 0) && (h > 2) {
+            // Prefer even steps.
+            bx2 += dbx;
+            by2 += dby;
+        }
+        // Standard case: one step up, one long horizontal, one step down.
+        generate(out, x, y, bx2, by2, ax2, ay2);
+        generate(out, x + bx2, y + by2, ax, ay, bx - bx2, by - by2);
+        generate(
+            out,
+            x + (ax - dax) + (bx2 - dbx),
+            y + (ay - day) + (by2 - dby),
+            -bx2,
+            -by2,
+            -(ax - ax2),
+            -(ay - ay2),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_bijection(w: u32, h: u32) {
+        let seq = gilbert2d(w, h);
+        assert_eq!(seq.len(), (w * h) as usize);
+        let mut seen = vec![false; (w * h) as usize];
+        for &(x, y) in &seq {
+            assert!(x < w && y < h, "({x},{y}) outside {w}x{h}");
+            let idx = (y * w + x) as usize;
+            assert!(!seen[idx], "cell ({x},{y}) repeated in {w}x{h}");
+            seen[idx] = true;
+        }
+    }
+
+    fn check_continuity(w: u32, h: u32) {
+        // Fully continuous unless the larger dimension is odd and the
+        // smaller even; in that case diagonal (8-adjacent) steps may occur.
+        let diagonal_ok = (w.max(h) % 2 == 1) && (w.min(h) % 2 == 0);
+        let seq = gilbert2d(w, h);
+        for pair in seq.windows(2) {
+            let (ax, ay) = pair[0];
+            let (bx, by) = pair[1];
+            let cheb = ax.abs_diff(bx).max(ay.abs_diff(by));
+            let manh = ax.abs_diff(bx) + ay.abs_diff(by);
+            assert_eq!(cheb, 1, "non-8-adjacent step in {w}x{h}: {:?} -> {:?}", pair[0], pair[1]);
+            if !diagonal_ok {
+                assert_eq!(manh, 1, "discontinuity in {w}x{h}: {:?} -> {:?}", pair[0], pair[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn bijection_for_many_sizes() {
+        for w in 1..=20 {
+            for h in 1..=20 {
+                check_bijection(w, h);
+            }
+        }
+    }
+
+    #[test]
+    fn continuous_for_many_sizes() {
+        for w in 1..=20 {
+            for h in 1..=20 {
+                check_continuity(w, h);
+            }
+        }
+    }
+
+    #[test]
+    fn large_rectangles() {
+        check_bijection(173, 89);
+        check_continuity(173, 89);
+        check_bijection(4, 1000);
+        check_continuity(4, 1000);
+    }
+
+    #[test]
+    fn starts_at_origin() {
+        for (w, h) in [(5, 3), (16, 16), (3, 13)] {
+            assert_eq!(gilbert2d(w, h)[0], (0, 0));
+        }
+    }
+
+    #[test]
+    fn paper_tile_grid_13x11_with_4x4_tiles() {
+        // The 13x11 domain of Fig 4 is covered by a 4x3 grid of 4x4 tiles.
+        check_bijection(4, 3);
+        check_continuity(4, 3);
+    }
+}

@@ -1,0 +1,201 @@
+//! Classic Hilbert curve on a `2^k × 2^k` square, plus the eight symmetries
+//! of the square used to orient per-tile curves for inter-tile connectivity.
+
+/// One of the eight symmetries of the square (4 rotations × optional
+/// transpose). Applying a symmetry to every point of a Hilbert curve yields
+/// another valid Hilbert curve with different entry/exit corners; the
+/// two-level ordering picks the variant that best connects adjacent tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symmetry(u8);
+
+impl Symmetry {
+    /// All eight symmetries, identity first.
+    pub const ALL: [Symmetry; 8] = [
+        Symmetry(0),
+        Symmetry(1),
+        Symmetry(2),
+        Symmetry(3),
+        Symmetry(4),
+        Symmetry(5),
+        Symmetry(6),
+        Symmetry(7),
+    ];
+
+    /// The identity symmetry.
+    pub const IDENTITY: Symmetry = Symmetry(0);
+
+    /// Apply this symmetry to `(x, y)` within an `n × n` square.
+    ///
+    /// Encodings 0–3 are rotations by 0/90/180/270 degrees; 4–7 are the same
+    /// rotations composed with a transpose (reflection across the main
+    /// diagonal).
+    #[inline]
+    pub fn apply(self, n: u32, x: u32, y: u32) -> (u32, u32) {
+        debug_assert!(x < n && y < n);
+        let (x, y) = if self.0 >= 4 { (y, x) } else { (x, y) };
+        match self.0 & 3 {
+            0 => (x, y),
+            1 => (n - 1 - y, x),
+            2 => (n - 1 - x, n - 1 - y),
+            _ => (y, n - 1 - x),
+        }
+    }
+}
+
+/// Map a distance `d` along the Hilbert curve of an `n × n` square
+/// (`n` a power of two) to the `(x, y)` cell it visits.
+///
+/// Standard bit-twiddling formulation: the curve starts at `(0, 0)` and
+/// ends at `(n-1, 0)`.
+pub fn hilbert_d2xy(n: u32, d: u32) -> (u32, u32) {
+    debug_assert!(n.is_power_of_two());
+    debug_assert!((d as u64) < (n as u64) * (n as u64));
+    let (mut x, mut y) = (0u32, 0u32);
+    let mut t = d;
+    let mut s = 1u32;
+    while s < n {
+        let rx = (t / 2) & 1;
+        let ry = (t ^ rx) & 1;
+        // Rotate the quadrant contents.
+        if ry == 0 {
+            if rx == 1 {
+                x = s - 1 - x;
+                y = s - 1 - y;
+            }
+            core::mem::swap(&mut x, &mut y);
+        }
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s *= 2;
+    }
+    (x, y)
+}
+
+/// Inverse of [`hilbert_d2xy`]: map a cell `(x, y)` of an `n × n` square
+/// to its distance along the Hilbert curve.
+pub fn hilbert_xy2d(n: u32, mut x: u32, mut y: u32) -> u32 {
+    debug_assert!(n.is_power_of_two());
+    debug_assert!(x < n && y < n);
+    let mut d: u32 = 0;
+    let mut s = n / 2;
+    while s > 0 {
+        let rx = u32::from((x & s) > 0);
+        let ry = u32::from((y & s) > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        // Rotate the quadrant contents (reflection uses the full square
+        // extent, matching the standard formulation).
+        if ry == 0 {
+            if rx == 1 {
+                x = n - 1 - x;
+                y = n - 1 - y;
+            }
+            core::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d2xy_visits_every_cell_exactly_once() {
+        for k in 0..6u32 {
+            let n = 1 << k;
+            let mut seen = vec![false; (n * n) as usize];
+            for d in 0..n * n {
+                let (x, y) = hilbert_d2xy(n, d);
+                assert!(x < n && y < n);
+                let idx = (y * n + x) as usize;
+                assert!(!seen[idx], "cell ({x},{y}) visited twice at n={n}");
+                seen[idx] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn consecutive_cells_are_adjacent() {
+        for k in 1..6u32 {
+            let n = 1 << k;
+            let (mut px, mut py) = hilbert_d2xy(n, 0);
+            for d in 1..n * n {
+                let (x, y) = hilbert_d2xy(n, d);
+                let dist = x.abs_diff(px) + y.abs_diff(py);
+                assert_eq!(dist, 1, "non-adjacent step at d={d}, n={n}");
+                (px, py) = (x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn xy2d_is_inverse_of_d2xy() {
+        for k in 0..6u32 {
+            let n = 1 << k;
+            for d in 0..n * n {
+                let (x, y) = hilbert_d2xy(n, d);
+                assert_eq!(hilbert_xy2d(n, x, y), d, "n={n} d={d} ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn curve_endpoints() {
+        for k in 1..6u32 {
+            let n = 1 << k;
+            assert_eq!(hilbert_d2xy(n, 0), (0, 0));
+            assert_eq!(hilbert_d2xy(n, n * n - 1), (n - 1, 0));
+        }
+    }
+
+    #[test]
+    fn symmetries_are_bijections() {
+        let n = 8;
+        for sym in Symmetry::ALL {
+            let mut seen = vec![false; (n * n) as usize];
+            for y in 0..n {
+                for x in 0..n {
+                    let (sx, sy) = sym.apply(n, x, y);
+                    assert!(sx < n && sy < n);
+                    let idx = (sy * n + sx) as usize;
+                    assert!(!seen[idx]);
+                    seen[idx] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetries_preserve_adjacency() {
+        let n = 8;
+        for sym in Symmetry::ALL {
+            // Adjacent inputs map to adjacent outputs (isometry).
+            for y in 0..n {
+                for x in 0..n - 1 {
+                    let a = sym.apply(n, x, y);
+                    let b = sym.apply(n, x + 1, y);
+                    assert_eq!(a.0.abs_diff(b.0) + a.1.abs_diff(b.1), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetries_are_distinct() {
+        // On a 2x2 square the eight symmetries give eight distinct images
+        // of the ordered corner list.
+        let n = 2;
+        let mut images = std::collections::HashSet::new();
+        for sym in Symmetry::ALL {
+            let img: Vec<(u32, u32)> = [(0, 0), (1, 0), (0, 1)]
+                .iter()
+                .map(|&(x, y)| sym.apply(n, x, y))
+                .collect();
+            images.insert(img);
+        }
+        assert_eq!(images.len(), 8);
+    }
+}

@@ -1,0 +1,82 @@
+//! Space-filling orderings for 2D domains, as used by MemXCT (SC '19, §3.2).
+//!
+//! The central export is [`Ordering2D`], a bijection between the cells of a
+//! `width × height` domain and the linear indices `0..width*height`. MemXCT
+//! stores both the tomogram and the sinogram in *two-level pseudo-Hilbert
+//! order*: the domain is tiled with the minimum number of equal power-of-two
+//! square tiles, the tiles are laid out along a generalized (rectangular)
+//! Hilbert curve, and the cells inside each tile follow a classic Hilbert
+//! curve whose orientation is chosen to connect with the neighbouring tiles.
+//!
+//! The crate also provides row-major, column-major, Morton, and single-level
+//! Hilbert orderings for comparison, plus locality metrics used by the
+//! evaluation (Fig 5, Fig 9(b) of the paper).
+
+#![warn(missing_docs)]
+
+mod gilbert;
+mod hilbert_square;
+mod morton;
+mod ordering;
+mod two_level;
+
+pub use gilbert::gilbert2d;
+pub use hilbert_square::{hilbert_d2xy, hilbert_xy2d, Symmetry};
+pub use morton::{morton_decode, morton_encode};
+pub use ordering::{Ordering2D, OrderingKind};
+pub use two_level::{TileLayout, TwoLevelOrdering};
+
+/// Smallest power of two `>= n` (n must be nonzero).
+#[inline]
+pub fn next_pow2(n: u32) -> u32 {
+    n.next_power_of_two()
+}
+
+/// Pick the tile size the paper's rule implies: the minimum number of
+/// equal-size power-of-two square tiles that cover a `width × height`
+/// domain while keeping tiles meaningful (at least 2×2, at most the
+/// whole domain padded to a power of two).
+///
+/// MemXCT sizes tiles so that one tile's worth of data is on the order of a
+/// cache line to a small block (Fig 4 uses 4×4 tiles on a 13×11 domain); we
+/// default to the power of two closest to `sqrt(max(width, height))`, which
+/// reproduces that choice (sqrt(13) ≈ 3.6 → 4).
+pub fn default_tile_size(width: u32, height: u32) -> u32 {
+    let m = width.max(height).max(1);
+    let target = (m as f64).sqrt();
+    let lo = (target.log2().floor() as u32).max(1);
+    let lo_size = 1u32 << lo;
+    let hi_size = lo_size * 2;
+    // Choose the closer of the two bracketing powers of two.
+    if (target - lo_size as f64).abs() <= (hi_size as f64 - target).abs() {
+        lo_size.max(2)
+    } else {
+        hi_size.max(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tile_size_matches_paper_example() {
+        // Fig 4: a 13×11 domain is covered with 4×4 tiles.
+        assert_eq!(default_tile_size(13, 11), 4);
+    }
+
+    #[test]
+    fn default_tile_size_small_domains() {
+        assert_eq!(default_tile_size(1, 1), 2);
+        assert_eq!(default_tile_size(4, 4), 2);
+        assert_eq!(default_tile_size(256, 256), 16);
+    }
+
+    #[test]
+    fn next_pow2_basics() {
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(4), 4);
+        assert_eq!(next_pow2(1000), 1024);
+    }
+}

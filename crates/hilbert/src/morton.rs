@@ -1,0 +1,82 @@
+//! Morton (Z-order) encoding, used as a comparison ordering.
+//!
+//! The paper (§3.2.3) notes that Morton ordering does *not* guarantee that
+//! adjacent memory locations are adjacent in the 2D domain, which breaks
+//! partition connectivity; we include it so the benchmarks can demonstrate
+//! that claim.
+
+/// Interleave the bits of `x` and `y` into a Morton code.
+#[inline]
+pub fn morton_encode(x: u32, y: u32) -> u64 {
+    part1by1(x) | (part1by1(y) << 1)
+}
+
+/// Recover `(x, y)` from a Morton code.
+#[inline]
+pub fn morton_decode(code: u64) -> (u32, u32) {
+    (compact1by1(code), compact1by1(code >> 1))
+}
+
+#[inline]
+fn part1by1(v: u32) -> u64 {
+    let mut v = v as u64;
+    v &= 0xffff_ffff;
+    v = (v | (v << 16)) & 0x0000_ffff_0000_ffff;
+    v = (v | (v << 8)) & 0x00ff_00ff_00ff_00ff;
+    v = (v | (v << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+    v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+    v
+}
+
+#[inline]
+fn compact1by1(v: u64) -> u32 {
+    let mut v = v & 0x5555_5555_5555_5555;
+    v = (v | (v >> 1)) & 0x3333_3333_3333_3333;
+    v = (v | (v >> 2)) & 0x0f0f_0f0f_0f0f_0f0f;
+    v = (v | (v >> 4)) & 0x00ff_00ff_00ff_00ff;
+    v = (v | (v >> 8)) & 0x0000_ffff_0000_ffff;
+    v = (v | (v >> 16)) & 0x0000_0000_ffff_ffff;
+    v as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for x in (0..1024).step_by(37) {
+            for y in (0..1024).step_by(41) {
+                assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn encode_is_monotone_in_quadrants() {
+        // All codes in the lower-left 2x2 quadrant precede the others.
+        let max_ll = [(0, 0), (1, 0), (0, 1), (1, 1)]
+            .iter()
+            .map(|&(x, y)| morton_encode(x, y))
+            .max()
+            .unwrap();
+        assert!(max_ll < morton_encode(2, 0));
+        assert!(max_ll < morton_encode(0, 2));
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(morton_encode(0, 0), 0);
+        assert_eq!(morton_encode(1, 0), 1);
+        assert_eq!(morton_encode(0, 1), 2);
+        assert_eq!(morton_encode(1, 1), 3);
+        assert_eq!(morton_encode(2, 0), 4);
+    }
+
+    #[test]
+    fn large_coordinates() {
+        let (x, y) = (u32::MAX, u32::MAX / 3);
+        assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
+    }
+}

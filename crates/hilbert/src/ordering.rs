@@ -1,0 +1,373 @@
+//! [`Ordering2D`]: a bijection between 2D cells and linear memory ranks,
+//! with locality metrics used throughout the MemXCT evaluation.
+
+use crate::gilbert::gilbert2d;
+use crate::hilbert_square::hilbert_d2xy;
+use crate::morton::morton_encode;
+use crate::next_pow2;
+use crate::two_level::TwoLevelOrdering;
+
+/// Which layout strategy produced an [`Ordering2D`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderingKind {
+    /// Naive row-major (C) layout; the paper's strawman (§3.2.1).
+    RowMajor,
+    /// Column-major (Fortran) layout.
+    ColumnMajor,
+    /// Morton / Z-order over the padded power-of-two square.
+    Morton,
+    /// Single-level Hilbert curve over the padded power-of-two square.
+    HilbertSquare,
+    /// Generalized Hilbert curve directly on the rectangle.
+    Gilbert,
+    /// MemXCT's two-level pseudo-Hilbert ordering with the given tile size.
+    TwoLevelHilbert {
+        /// Side length of the square power-of-two tiles.
+        tile: u32,
+    },
+}
+
+/// A bijection between the cells of a `width × height` domain and the
+/// linear indices (`ranks`) `0..width*height`.
+///
+/// `rank` is the position of a cell in linear memory; `pos` is the cell's
+/// linear 2D index `y * width + x`.
+#[derive(Debug, Clone)]
+pub struct Ordering2D {
+    width: u32,
+    height: u32,
+    kind: OrderingKind,
+    /// `rank_of[y * width + x]` = memory rank of cell `(x, y)`.
+    rank_of: Vec<u32>,
+    /// `pos_of[rank]` = `y * width + x` of the cell at that rank.
+    pos_of: Vec<u32>,
+}
+
+impl Ordering2D {
+    /// Build an ordering from an explicit visit sequence covering every cell
+    /// of the domain exactly once.
+    ///
+    /// # Panics
+    /// Panics if the sequence is not a bijection onto the domain.
+    pub fn from_visit_sequence<I>(width: u32, height: u32, kind: OrderingKind, seq: I) -> Self
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        let n = (width as usize) * (height as usize);
+        let mut rank_of = vec![u32::MAX; n];
+        let mut pos_of = Vec::with_capacity(n);
+        for (rank, (x, y)) in seq.into_iter().enumerate() {
+            assert!(x < width && y < height, "cell ({x},{y}) outside domain");
+            let pos = y * width + x;
+            assert_eq!(rank_of[pos as usize], u32::MAX, "cell ({x},{y}) repeated");
+            rank_of[pos as usize] = rank as u32;
+            pos_of.push(pos);
+        }
+        assert_eq!(pos_of.len(), n, "visit sequence does not cover the domain");
+        Ordering2D {
+            width,
+            height,
+            kind,
+            rank_of,
+            pos_of,
+        }
+    }
+
+    /// Row-major (naive) ordering.
+    pub fn row_major(width: u32, height: u32) -> Self {
+        let seq = (0..height).flat_map(move |y| (0..width).map(move |x| (x, y)));
+        Self::from_visit_sequence(width, height, OrderingKind::RowMajor, seq)
+    }
+
+    /// Column-major ordering.
+    pub fn column_major(width: u32, height: u32) -> Self {
+        let seq = (0..width).flat_map(move |x| (0..height).map(move |y| (x, y)));
+        Self::from_visit_sequence(width, height, OrderingKind::ColumnMajor, seq)
+    }
+
+    /// Morton (Z-order) ordering: cells are sorted by Morton code of the
+    /// padded power-of-two square, skipping cells outside the domain.
+    pub fn morton(width: u32, height: u32) -> Self {
+        let mut cells: Vec<(u32, u32)> = (0..height)
+            .flat_map(|y| (0..width).map(move |x| (x, y)))
+            .collect();
+        cells.sort_by_key(|&(x, y)| morton_encode(x, y));
+        Self::from_visit_sequence(width, height, OrderingKind::Morton, cells)
+    }
+
+    /// Single-level pseudo-Hilbert ordering: the classic Hilbert curve over
+    /// the padded power-of-two square, skipping cells outside the domain.
+    pub fn hilbert_square(width: u32, height: u32) -> Self {
+        let n = next_pow2(width.max(height).max(1));
+        let seq = (0..(n as u64 * n as u64))
+            .map(move |d| hilbert_d2xy(n, d as u32))
+            .filter(move |&(x, y)| x < width && y < height);
+        Self::from_visit_sequence(width, height, OrderingKind::HilbertSquare, seq)
+    }
+
+    /// Generalized Hilbert curve directly over the rectangle (continuous,
+    /// but no tile structure for process-level decomposition).
+    pub fn gilbert(width: u32, height: u32) -> Self {
+        Self::from_visit_sequence(width, height, OrderingKind::Gilbert, gilbert2d(width, height))
+    }
+
+    /// MemXCT's two-level pseudo-Hilbert ordering (§3.2, Fig 4). Prefer
+    /// [`TwoLevelOrdering::new`] when the tile layout is needed for domain
+    /// decomposition; this convenience returns only the cell ordering.
+    ///
+    /// ```
+    /// use xct_hilbert::Ordering2D;
+    /// let ord = Ordering2D::two_level_hilbert(13, 11, 4);
+    /// // A bijection between cells and memory ranks:
+    /// let r = ord.rank(5, 3);
+    /// assert_eq!(ord.cell(r), (5, 3));
+    /// // ...with near-perfect curve continuity:
+    /// assert!(ord.adjacency_fraction() > 0.9);
+    /// ```
+    pub fn two_level_hilbert(width: u32, height: u32, tile: u32) -> Self {
+        TwoLevelOrdering::new(width, height, tile).into_ordering()
+    }
+
+    /// Which strategy produced this ordering.
+    pub fn kind(&self) -> OrderingKind {
+        self.kind
+    }
+
+    /// Domain width in cells.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Domain height in cells.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.pos_of.len()
+    }
+
+    /// True when the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pos_of.is_empty()
+    }
+
+    /// Memory rank of cell `(x, y)`.
+    #[inline]
+    pub fn rank(&self, x: u32, y: u32) -> u32 {
+        debug_assert!(x < self.width && y < self.height);
+        self.rank_of[(y * self.width + x) as usize]
+    }
+
+    /// Cell `(x, y)` stored at `rank`.
+    #[inline]
+    pub fn cell(&self, rank: u32) -> (u32, u32) {
+        let pos = self.pos_of[rank as usize];
+        (pos % self.width, pos / self.width)
+    }
+
+    /// The raw `rank -> y*width+x` table (useful for permuting flat images).
+    pub fn pos_of(&self) -> &[u32] {
+        &self.pos_of
+    }
+
+    /// The raw `y*width+x -> rank` table.
+    pub fn rank_of(&self) -> &[u32] {
+        &self.rank_of
+    }
+
+    /// Permute a row-major image into this ordering.
+    pub fn gather<T: Copy>(&self, row_major: &[T]) -> Vec<T> {
+        assert_eq!(row_major.len(), self.pos_of.len());
+        self.pos_of.iter().map(|&p| row_major[p as usize]).collect()
+    }
+
+    /// Permute data in this ordering back to row-major.
+    pub fn scatter<T: Copy + Default>(&self, ordered: &[T]) -> Vec<T> {
+        assert_eq!(ordered.len(), self.pos_of.len());
+        let mut out = vec![T::default(); ordered.len()];
+        for (rank, &pos) in self.pos_of.iter().enumerate() {
+            out[pos as usize] = ordered[rank];
+        }
+        out
+    }
+
+    /// Mean Manhattan distance between consecutively-ranked cells.
+    /// 1.0 means the ordering is a continuous curve.
+    pub fn mean_step_distance(&self) -> f64 {
+        if self.pos_of.len() < 2 {
+            return 0.0;
+        }
+        let total: u64 = self
+            .pos_of
+            .windows(2)
+            .map(|w| {
+                let (ax, ay) = (w[0] % self.width, w[0] / self.width);
+                let (bx, by) = (w[1] % self.width, w[1] / self.width);
+                (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+            })
+            .sum();
+        total as f64 / (self.pos_of.len() - 1) as f64
+    }
+
+    /// Fraction of consecutive rank pairs that are 4-adjacent in 2D.
+    pub fn adjacency_fraction(&self) -> f64 {
+        if self.pos_of.len() < 2 {
+            return 1.0;
+        }
+        let adj = self
+            .pos_of
+            .windows(2)
+            .filter(|w| {
+                let (ax, ay) = (w[0] % self.width, w[0] / self.width);
+                let (bx, by) = (w[1] % self.width, w[1] / self.width);
+                ax.abs_diff(bx) + ay.abs_diff(by) == 1
+            })
+            .count();
+        adj as f64 / (self.pos_of.len() - 1) as f64
+    }
+
+    /// Split ranks into `parts` near-equal contiguous partitions and report
+    /// how many of them are connected sets of cells (4-connectivity). The
+    /// paper's partition-locality argument (§3.2.3) is that two-level
+    /// pseudo-Hilbert keeps partitions connected while Morton does not.
+    pub fn connected_partition_count(&self, parts: usize) -> usize {
+        assert!(parts > 0);
+        let n = self.pos_of.len();
+        let mut connected = 0;
+        for p in 0..parts {
+            let lo = p * n / parts;
+            let hi = ((p + 1) * n / parts).min(n);
+            if lo >= hi {
+                connected += 1; // empty partition is trivially connected
+                continue;
+            }
+            if self.is_connected_range(lo, hi) {
+                connected += 1;
+            }
+        }
+        connected
+    }
+
+    /// BFS connectivity check for the cells holding ranks `lo..hi`.
+    fn is_connected_range(&self, lo: usize, hi: usize) -> bool {
+        use std::collections::VecDeque;
+        let member: std::collections::HashSet<u32> =
+            self.pos_of[lo..hi].iter().copied().collect();
+        let mut seen = std::collections::HashSet::with_capacity(hi - lo);
+        let mut queue = VecDeque::new();
+        queue.push_back(self.pos_of[lo]);
+        seen.insert(self.pos_of[lo]);
+        while let Some(pos) = queue.pop_front() {
+            let (x, y) = (pos % self.width, pos / self.width);
+            let mut push = |nx: i64, ny: i64| {
+                if nx >= 0 && ny >= 0 && (nx as u32) < self.width && (ny as u32) < self.height {
+                    let np = (ny as u32) * self.width + nx as u32;
+                    if member.contains(&np) && seen.insert(np) {
+                        queue.push_back(np);
+                    }
+                }
+            };
+            push(x as i64 - 1, y as i64);
+            push(x as i64 + 1, y as i64);
+            push(x as i64, y as i64 - 1);
+            push(x as i64, y as i64 + 1);
+        }
+        seen.len() == hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bijection(o: &Ordering2D) {
+        let n = o.len();
+        let mut seen = vec![false; n];
+        for rank in 0..n as u32 {
+            let (x, y) = o.cell(rank);
+            assert_eq!(o.rank(x, y), rank);
+            let pos = (y * o.width() + x) as usize;
+            assert!(!seen[pos]);
+            seen[pos] = true;
+        }
+    }
+
+    #[test]
+    fn all_constructors_are_bijections() {
+        for (w, h) in [(1, 1), (7, 5), (13, 11), (16, 16), (33, 9)] {
+            assert_bijection(&Ordering2D::row_major(w, h));
+            assert_bijection(&Ordering2D::column_major(w, h));
+            assert_bijection(&Ordering2D::morton(w, h));
+            assert_bijection(&Ordering2D::hilbert_square(w, h));
+            assert_bijection(&Ordering2D::gilbert(w, h));
+            assert_bijection(&Ordering2D::two_level_hilbert(w, h, 4));
+        }
+    }
+
+    #[test]
+    fn row_major_ranks() {
+        let o = Ordering2D::row_major(4, 3);
+        assert_eq!(o.rank(0, 0), 0);
+        assert_eq!(o.rank(3, 0), 3);
+        assert_eq!(o.rank(0, 1), 4);
+        assert_eq!(o.cell(5), (1, 1));
+    }
+
+    #[test]
+    fn gilbert_is_continuous() {
+        let o = Ordering2D::gilbert(13, 11);
+        assert_eq!(o.mean_step_distance(), 1.0);
+        assert_eq!(o.adjacency_fraction(), 1.0);
+    }
+
+    #[test]
+    fn hilbert_square_on_pow2_is_continuous() {
+        let o = Ordering2D::hilbert_square(16, 16);
+        assert_eq!(o.mean_step_distance(), 1.0);
+    }
+
+    #[test]
+    fn hilbert_beats_row_major_locality_on_tall_domain() {
+        // For a wide domain, row-major steps are mostly distance 1, but the
+        // row-wrap steps are huge; Hilbert stays local.
+        let rm = Ordering2D::row_major(64, 64);
+        let h = Ordering2D::hilbert_square(64, 64);
+        assert!(h.mean_step_distance() < rm.mean_step_distance());
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let o = Ordering2D::two_level_hilbert(13, 11, 4);
+        let img: Vec<u32> = (0..(13 * 11)).collect();
+        let ordered = o.gather(&img);
+        assert_eq!(o.scatter(&ordered), img);
+    }
+
+    #[test]
+    fn two_level_partitions_are_connected() {
+        let o = Ordering2D::two_level_hilbert(32, 32, 8);
+        assert_eq!(o.connected_partition_count(16), 16);
+    }
+
+    #[test]
+    fn morton_partitions_can_be_disconnected() {
+        // §3.2.3: Morton ordering yields disconnected partitions on domains
+        // where the Z jumps split a partition.
+        let o = Ordering2D::morton(32, 24);
+        let connected = o.connected_partition_count(16);
+        assert!(
+            connected < 16,
+            "expected some disconnected Morton partitions, got {connected}/16"
+        );
+    }
+
+    #[test]
+    fn column_major_ranks() {
+        let o = Ordering2D::column_major(3, 4);
+        assert_eq!(o.rank(0, 0), 0);
+        assert_eq!(o.rank(0, 3), 3);
+        assert_eq!(o.rank(1, 0), 4);
+    }
+}

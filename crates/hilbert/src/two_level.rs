@@ -1,0 +1,323 @@
+//! The two-level pseudo-Hilbert ordering of MemXCT (§3.2, Fig 4).
+//!
+//! Level 1: cover the `width × height` domain with the minimum number of
+//! equal `tile × tile` square tiles (`tile` a power of two) and order the
+//! tiles along a generalized Hilbert curve for the rectangular tile grid.
+//!
+//! Level 2: order the cells inside each tile along a classic Hilbert curve,
+//! choosing one of the eight square symmetries per tile so the curve enters
+//! close to where the previous tile's curve exited ("necessary rotations are
+//! performed to provide data connectivity among tiles").
+//!
+//! Cells of boundary tiles that fall outside the domain are skipped, so the
+//! ordering covers arbitrary rectangle sizes (hence *pseudo*-Hilbert).
+
+use crate::gilbert::gilbert2d;
+use crate::hilbert_square::{hilbert_d2xy, Symmetry};
+use crate::ordering::{Ordering2D, OrderingKind};
+
+/// The tile decomposition that level 1 of the ordering induces. MemXCT
+/// reuses it for process-level domain decomposition (§3.4, Fig 4(b)):
+/// each MPI rank owns a contiguous run of tiles.
+#[derive(Debug, Clone)]
+pub struct TileLayout {
+    /// Side length of the (square, power-of-two) tiles.
+    pub tile_size: u32,
+    /// Number of tiles along x.
+    pub tiles_x: u32,
+    /// Number of tiles along y.
+    pub tiles_y: u32,
+    /// Tile coordinates in curve order: `tile_order[i] = (tx, ty)`.
+    pub tile_order: Vec<(u32, u32)>,
+    /// Number of in-domain cells in each tile, in curve order.
+    pub tile_cells: Vec<u32>,
+    /// Exclusive prefix sum of `tile_cells` (length `tiles + 1`): the rank
+    /// range of tile `i` is `tile_offsets[i]..tile_offsets[i + 1]`.
+    pub tile_offsets: Vec<u32>,
+}
+
+impl TileLayout {
+    /// Number of tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.tile_order.len()
+    }
+
+    /// Split the tiles into `parts` contiguous runs with near-equal *cell*
+    /// counts and return, for each part, its rank range `lo..hi`.
+    ///
+    /// This is MemXCT's process-level decomposition: "Each subdomain
+    /// consists of a single or several tiles". Load balance improves with
+    /// finer tile granularity (§3.4).
+    pub fn partition_ranks(&self, parts: usize) -> Vec<std::ops::Range<u32>> {
+        assert!(parts > 0);
+        let total = *self.tile_offsets.last().unwrap() as u64;
+        let mut out = Vec::with_capacity(parts);
+        let mut tile = 0usize;
+        let ntiles = self.num_tiles();
+        for p in 0..parts {
+            let start_tile = tile;
+            let target_end = (total * (p as u64 + 1)) / parts as u64;
+            // Advance while the next tile keeps us at or below the target,
+            // but leave enough tiles for the remaining parts.
+            let remaining_parts = parts - p - 1;
+            while tile < ntiles
+                && (self.tile_offsets[tile + 1] as u64) <= target_end
+                && ntiles - (tile + 1) >= remaining_parts
+            {
+                tile += 1;
+            }
+            // Every part must take at least one tile while tiles remain.
+            if tile == start_tile && tile < ntiles && ntiles - tile > remaining_parts {
+                tile += 1;
+            }
+            out.push(self.tile_offsets[start_tile]..self.tile_offsets[tile]);
+        }
+        debug_assert_eq!(out.last().unwrap().end, *self.tile_offsets.last().unwrap());
+        out
+    }
+}
+
+/// A two-level pseudo-Hilbert ordering together with its tile layout.
+#[derive(Debug, Clone)]
+pub struct TwoLevelOrdering {
+    ordering: Ordering2D,
+    layout: TileLayout,
+}
+
+impl TwoLevelOrdering {
+    /// Build the ordering for a `width × height` domain with `tile × tile`
+    /// tiles.
+    ///
+    /// # Panics
+    /// Panics if `tile` is not a power of two or any dimension is zero.
+    pub fn new(width: u32, height: u32, tile: u32) -> Self {
+        assert!(width > 0 && height > 0, "domain must be non-empty");
+        assert!(tile.is_power_of_two(), "tile size must be a power of two");
+
+        let tiles_x = width.div_ceil(tile);
+        let tiles_y = height.div_ceil(tile);
+        let tile_order = gilbert2d(tiles_x, tiles_y);
+
+        // Base curve for one full tile, reused for every symmetry variant.
+        let base: Vec<(u32, u32)> = (0..(tile as u64 * tile as u64))
+            .map(|d| hilbert_d2xy(tile, d as u32))
+            .collect();
+
+        let mut seq: Vec<(u32, u32)> = Vec::with_capacity((width as usize) * (height as usize));
+        let mut tile_cells = Vec::with_capacity(tile_order.len());
+        let mut tile_offsets = Vec::with_capacity(tile_order.len() + 1);
+        tile_offsets.push(0u32);
+
+        let mut prev_exit: Option<(u32, u32)> = None;
+        for (i, &(tx, ty)) in tile_order.iter().enumerate() {
+            let ox = tx * tile;
+            let oy = ty * tile;
+            let next_origin = tile_order.get(i + 1).map(|&(nx, ny)| (nx * tile, ny * tile));
+
+            // Pick the symmetry whose (first valid cell) is closest to the
+            // previous tile's exit, with the exit's distance to the next
+            // tile as a tie-breaking lookahead.
+            let mut best: Option<(u64, Symmetry, (u32, u32), (u32, u32))> = None;
+            for sym in Symmetry::ALL {
+                let mut entry = None;
+                let mut exit = (0, 0);
+                for &(bx, by) in &base {
+                    let (sx, sy) = sym.apply(tile, bx, by);
+                    let (gx, gy) = (ox + sx, oy + sy);
+                    if gx < width && gy < height {
+                        if entry.is_none() {
+                            entry = Some((gx, gy));
+                        }
+                        exit = (gx, gy);
+                    }
+                }
+                let Some(entry) = entry else { continue };
+                let d_entry = prev_exit
+                    .map(|(px, py)| (px.abs_diff(entry.0) + py.abs_diff(entry.1)) as u64)
+                    .unwrap_or(0);
+                let d_next = next_origin
+                    .map(|(nx, ny)| {
+                        let cx = exit.0.clamp(nx, (nx + tile - 1).min(width - 1));
+                        let cy = exit.1.clamp(ny, (ny + tile - 1).min(height - 1));
+                        (exit.0.abs_diff(cx) + exit.1.abs_diff(cy)) as u64
+                    })
+                    .unwrap_or(0);
+                let cost = 4 * d_entry + d_next;
+                if best.as_ref().is_none_or(|(c, ..)| cost < *c) {
+                    best = Some((cost, sym, entry, exit));
+                }
+            }
+
+            let Some((_, sym, _, exit)) = best else {
+                // Tile entirely outside the domain cannot happen given
+                // div_ceil tiling, but keep the bookkeeping consistent.
+                tile_cells.push(0);
+                tile_offsets.push(*tile_offsets.last().unwrap());
+                continue;
+            };
+
+            let before = seq.len();
+            for &(bx, by) in &base {
+                let (sx, sy) = sym.apply(tile, bx, by);
+                let (gx, gy) = (ox + sx, oy + sy);
+                if gx < width && gy < height {
+                    seq.push((gx, gy));
+                }
+            }
+            let count = (seq.len() - before) as u32;
+            tile_cells.push(count);
+            tile_offsets.push(tile_offsets.last().unwrap() + count);
+            prev_exit = Some(exit);
+        }
+
+        let ordering = Ordering2D::from_visit_sequence(
+            width,
+            height,
+            OrderingKind::TwoLevelHilbert { tile },
+            seq,
+        );
+        TwoLevelOrdering {
+            ordering,
+            layout: TileLayout {
+                tile_size: tile,
+                tiles_x,
+                tiles_y,
+                tile_order,
+                tile_cells,
+                tile_offsets,
+            },
+        }
+    }
+
+    /// Build with the paper's default tile-size heuristic.
+    pub fn with_default_tile(width: u32, height: u32) -> Self {
+        Self::new(width, height, crate::default_tile_size(width, height))
+    }
+
+    /// The cell-level ordering.
+    pub fn ordering(&self) -> &Ordering2D {
+        &self.ordering
+    }
+
+    /// The level-1 tile layout (for process decomposition).
+    pub fn layout(&self) -> &TileLayout {
+        &self.layout
+    }
+
+    /// Consume, returning only the cell ordering.
+    pub fn into_ordering(self) -> Ordering2D {
+        self.ordering
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_paper_example_13x11_with_12_tiles() {
+        // Fig 4(a): 13×11 domain, 4×4 tiles, 12 tiles (4×3 grid).
+        let two = TwoLevelOrdering::new(13, 11, 4);
+        assert_eq!(two.layout().num_tiles(), 12);
+        assert_eq!(two.layout().tiles_x, 4);
+        assert_eq!(two.layout().tiles_y, 3);
+        assert_eq!(two.ordering().len(), 13 * 11);
+    }
+
+    #[test]
+    fn tile_offsets_sum_to_domain() {
+        for (w, h, t) in [(13, 11, 4), (17, 31, 8), (5, 5, 2), (64, 64, 16)] {
+            let two = TwoLevelOrdering::new(w, h, t);
+            assert_eq!(
+                *two.layout().tile_offsets.last().unwrap(),
+                w * h,
+                "{w}x{h} tile {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn ranks_within_tile_are_contiguous() {
+        let two = TwoLevelOrdering::new(13, 11, 4);
+        let lay = two.layout();
+        let ord = two.ordering();
+        for (i, &(tx, ty)) in lay.tile_order.iter().enumerate() {
+            let lo = lay.tile_offsets[i];
+            let hi = lay.tile_offsets[i + 1];
+            for rank in lo..hi {
+                let (x, y) = ord.cell(rank);
+                assert_eq!(x / lay.tile_size, tx);
+                assert_eq!(y / lay.tile_size, ty);
+            }
+        }
+    }
+
+    #[test]
+    fn high_adjacency_on_pow2_domain() {
+        // On an exact power-of-two domain the two-level curve should be
+        // nearly continuous: only tile-boundary hops may exceed distance 1,
+        // and rotation selection keeps most of those at distance 1.
+        let two = TwoLevelOrdering::new(32, 32, 8);
+        let adj = two.ordering().adjacency_fraction();
+        assert!(adj > 0.95, "adjacency {adj} too low");
+    }
+
+    #[test]
+    fn better_locality_than_row_major() {
+        let two = TwoLevelOrdering::new(13, 11, 4);
+        let rm = Ordering2D::row_major(13, 11);
+        assert!(two.ordering().mean_step_distance() < rm.mean_step_distance());
+    }
+
+    #[test]
+    fn partition_ranks_cover_everything() {
+        let two = TwoLevelOrdering::new(64, 48, 8);
+        for parts in [1, 2, 3, 7, 16] {
+            let ranges = two.layout().partition_ranks(parts);
+            assert_eq!(ranges.len(), parts);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, 64 * 48);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_ranks_balanced() {
+        let two = TwoLevelOrdering::new(256, 256, 16);
+        let ranges = two.layout().partition_ranks(16);
+        let sizes: Vec<u32> = ranges.iter().map(|r| r.end - r.start).collect();
+        let avg = (256 * 256) / 16;
+        for s in sizes {
+            // Granularity is one 16x16 tile = 256 cells.
+            assert!((s as i64 - avg as i64).abs() <= 256, "size {s} vs avg {avg}");
+        }
+    }
+
+    #[test]
+    fn process_partitions_are_connected() {
+        // Fig 4(b): process subdomains (contiguous tile runs) stay connected.
+        let two = TwoLevelOrdering::new(48, 40, 8);
+        let ord = two.ordering();
+        assert_eq!(ord.connected_partition_count(8), 8);
+    }
+
+    #[test]
+    fn tile_of_rank_matches_layout() {
+        let two = TwoLevelOrdering::new(20, 12, 4);
+        let lay = two.layout();
+        // tile_cells for interior tiles is 16.
+        assert!(lay.tile_cells.iter().all(|&c| c <= 16 && c > 0));
+        let sum: u32 = lay.tile_cells.iter().sum();
+        assert_eq!(sum, 240);
+    }
+
+    #[test]
+    fn tile_size_one_is_rejected_when_not_pow2() {
+        // tile=1 is a power of two and degenerates to the level-1 curve.
+        let two = TwoLevelOrdering::new(6, 5, 1);
+        assert_eq!(two.ordering().len(), 30);
+        assert_eq!(two.ordering().adjacency_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the ordering crate: every constructor must be a
+//! bijection on arbitrary domain sizes, the two-level layout must tile the
+//! domain exactly, and curve transforms must be involutive.
+
+use proptest::prelude::*;
+use xct_hilbert::{
+    gilbert2d, hilbert_d2xy, hilbert_xy2d, morton_decode, morton_encode, Ordering2D,
+    TwoLevelOrdering,
+};
+
+fn check_bijection(o: &Ordering2D) {
+    let mut seen = vec![false; o.len()];
+    for rank in 0..o.len() as u32 {
+        let (x, y) = o.cell(rank);
+        assert!(x < o.width() && y < o.height());
+        assert_eq!(o.rank(x, y), rank);
+        let pos = (y * o.width() + x) as usize;
+        assert!(!seen[pos], "duplicate cell ({x},{y})");
+        seen[pos] = true;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gilbert_is_bijection(w in 1u32..48, h in 1u32..48) {
+        let seq = gilbert2d(w, h);
+        prop_assert_eq!(seq.len(), (w * h) as usize);
+        let mut seen = vec![false; (w * h) as usize];
+        for (x, y) in seq {
+            prop_assert!(x < w && y < h);
+            let idx = (y * w + x) as usize;
+            prop_assert!(!seen[idx]);
+            seen[idx] = true;
+        }
+    }
+
+    #[test]
+    fn gilbert_is_8_connected(w in 1u32..40, h in 1u32..40) {
+        let seq = gilbert2d(w, h);
+        for p in seq.windows(2) {
+            let cheb = p[0].0.abs_diff(p[1].0).max(p[0].1.abs_diff(p[1].1));
+            prop_assert_eq!(cheb, 1);
+        }
+    }
+
+    #[test]
+    fn hilbert_roundtrip(k in 0u32..8, seed in any::<u32>()) {
+        let n = 1u32 << k;
+        let d = seed % (n * n).max(1);
+        let (x, y) = hilbert_d2xy(n, d);
+        prop_assert_eq!(hilbert_xy2d(n, x, y), d);
+    }
+
+    #[test]
+    fn morton_roundtrip(x in any::<u32>(), y in any::<u32>()) {
+        prop_assert_eq!(morton_decode(morton_encode(x, y)), (x, y));
+    }
+
+    #[test]
+    fn two_level_is_bijection(w in 1u32..40, h in 1u32..40, tk in 1u32..4) {
+        let tile = 1u32 << tk;
+        let two = TwoLevelOrdering::new(w, h, tile);
+        check_bijection(two.ordering());
+        prop_assert_eq!(*two.layout().tile_offsets.last().unwrap(), w * h);
+    }
+
+    #[test]
+    fn all_orderings_bijective(w in 1u32..32, h in 1u32..32) {
+        check_bijection(&Ordering2D::row_major(w, h));
+        check_bijection(&Ordering2D::column_major(w, h));
+        check_bijection(&Ordering2D::morton(w, h));
+        check_bijection(&Ordering2D::hilbert_square(w, h));
+        check_bijection(&Ordering2D::gilbert(w, h));
+    }
+
+    #[test]
+    fn partition_ranks_partition_the_domain(
+        w in 4u32..40, h in 4u32..40, parts in 1usize..12
+    ) {
+        let two = TwoLevelOrdering::new(w, h, 4);
+        let ranges = two.layout().partition_ranks(parts);
+        prop_assert_eq!(ranges.len(), parts);
+        prop_assert_eq!(ranges[0].start, 0);
+        prop_assert_eq!(ranges.last().unwrap().end, w * h);
+        for win in ranges.windows(2) {
+            prop_assert_eq!(win[0].end, win[1].start);
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip(w in 1u32..24, h in 1u32..24) {
+        let o = Ordering2D::two_level_hilbert(w, h, 4);
+        let img: Vec<u32> = (0..w * h).collect();
+        prop_assert_eq!(o.scatter(&o.gather(&img)), img);
+    }
+}

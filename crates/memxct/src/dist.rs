@@ -1,0 +1,765 @@
+//! Distributed reconstruction (§3.4): both-domain partitioning and the
+//! `A = R·C·A_p` factorization.
+//!
+//! Every rank owns one contiguous run of Hilbert-ordered tomogram tiles
+//! and one contiguous run of sinogram tiles (Fig 4(b)). Forward projection
+//! decomposes into three kernels, timed separately as in Fig 11:
+//!
+//! - **A_p** — partial forward projection: rank `r` applies the column
+//!   block of `A` belonging to its tomogram subdomain, producing partial
+//!   sinogram values for every ray that intersects the subdomain;
+//! - **C** — sparse communication: partial values travel to the rank that
+//!   owns each sinogram row (`MPI_Alltoallv`; only interacting pairs
+//!   exchange data);
+//! - **R** — reduction: the owner sums overlapping partials.
+//!
+//! Backprojection is the exact transpose, `Aᵀ = A_pᵀ·Cᵀ·Rᵀ`: owners
+//! duplicate the overlapped sinogram data back to the interacting ranks,
+//! which apply their local `A_pᵀ`. No tomogram is ever replicated and no
+//! atomic update is ever issued.
+
+use crate::preprocess::Operators;
+use crate::solvers::IterationRecord;
+use std::ops::Range;
+use std::time::Instant;
+use xct_hilbert::TileLayout;
+use xct_runtime::{run_ranks, CommLedger, Communicator, KernelVolumes};
+use xct_sparse::{BufferedCsr, CsrMatrix};
+
+/// Which solver the distributed path runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistSolver {
+    /// Conjugate gradient (CGLS), the paper's solver.
+    Cg,
+    /// SIRT with row/column-sum normalization (the Trace baseline's
+    /// scheme, here on the factorized operators).
+    Sirt,
+}
+
+/// Distributed-run configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistConfig {
+    /// Number of ranks (threads standing in for MPI processes).
+    pub ranks: usize,
+    /// Use the multi-stage buffered kernel for the local SpMVs
+    /// (falls back to parallel CSR when `false`).
+    pub use_buffered: bool,
+    /// Solver iterations.
+    pub iters: usize,
+    /// Solver choice.
+    pub solver: DistSolver,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            ranks: 4,
+            use_buffered: true,
+            iters: 30,
+            solver: DistSolver::Cg,
+        }
+    }
+}
+
+/// Accumulated per-rank kernel times (seconds) across all iterations.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelBreakdown {
+    /// Partial projections (A_p and A_pᵀ).
+    pub ap_s: f64,
+    /// Communication (C, Cᵀ, and scalar allreduces).
+    pub c_s: f64,
+    /// Overlap reduction / gather assembly (R, Rᵀ).
+    pub r_s: f64,
+}
+
+impl KernelBreakdown {
+    /// Total time.
+    pub fn total(&self) -> f64 {
+        self.ap_s + self.c_s + self.r_s
+    }
+}
+
+/// Everything one rank needs to execute its share of the factorized
+/// projections. Plans are constructed from the globally preprocessed
+/// operators; a production MPI deployment would exchange the interaction
+/// footprints with `alltoallv_u32` instead (the collective exists and is
+/// tested), but building centrally keeps the threads-as-ranks harness
+/// deterministic.
+pub struct RankPlan {
+    /// This rank.
+    pub rank: usize,
+    /// Total ranks.
+    pub ranks: usize,
+    /// Owned tomogram ranks (ordered coordinates).
+    pub tomo_range: Range<u32>,
+    /// Owned sinogram ranks (ordered coordinates).
+    pub sino_range: Range<u32>,
+    /// Column block of `A` for this tomogram subdomain: rows are the
+    /// interaction rows (compacted), columns are local tomogram indices.
+    pub a_local: CsrMatrix,
+    /// Transpose of `a_local` (backprojection).
+    pub at_local: CsrMatrix,
+    /// Buffered layouts (when enabled).
+    pub a_local_buf: Option<BufferedCsr>,
+    /// Buffered transpose.
+    pub at_local_buf: Option<BufferedCsr>,
+    /// Global sinogram rank of each interaction row, ascending.
+    pub inter_rows: Vec<u32>,
+    /// For each owner rank `q`: the sub-range of `inter_rows` lying in
+    /// `q`'s sinogram range (possibly empty).
+    pub dest_ranges: Vec<Range<usize>>,
+    /// For each source rank `s`: the global sinogram rows `s` contributes
+    /// to this rank (ascending; computed from `s`'s `dest_ranges`).
+    pub rows_from: Vec<Vec<u32>>,
+}
+
+/// Split `0..total` into per-rank ranges: by whole tiles when a tile
+/// layout exists (the paper's decomposition), else near-equal splits.
+fn partition_domain(total: u32, tiles: Option<&TileLayout>, ranks: usize) -> Vec<Range<u32>> {
+    match tiles {
+        Some(layout) => layout.partition_ranks(ranks),
+        None => (0..ranks)
+            .map(|p| {
+                let lo = (total as u64 * p as u64 / ranks as u64) as u32;
+                let hi = (total as u64 * (p + 1) as u64 / ranks as u64) as u32;
+                lo..hi
+            })
+            .collect(),
+    }
+}
+
+/// Build all rank plans from globally preprocessed operators.
+pub fn build_plans(ops: &Operators, ranks: usize, use_buffered: bool) -> Vec<RankPlan> {
+    assert!(ranks > 0);
+    let tomo_ranges = partition_domain(ops.a.ncols() as u32, ops.tomo_tiles.as_ref(), ranks);
+    let sino_ranges = partition_domain(ops.a.nrows() as u32, ops.sino_tiles.as_ref(), ranks);
+
+    // One sweep over the global matrix buckets every entry by the rank
+    // owning its column (O(nnz·log P), not O(nnz·P)).
+    let boundaries: Vec<u32> = tomo_ranges.iter().map(|r| r.end).collect();
+    let mut rank_rows: Vec<Vec<Vec<(u32, f32)>>> = (0..ranks).map(|_| Vec::new()).collect();
+    let mut rank_inter: Vec<Vec<u32>> = (0..ranks).map(|_| Vec::new()).collect();
+    {
+        // Scratch row buffers, one per rank, reused across rows.
+        let mut scratch: Vec<Vec<(u32, f32)>> = (0..ranks).map(|_| Vec::new()).collect();
+        let mut touched: Vec<usize> = Vec::new();
+        for i in 0..ops.a.nrows() {
+            for (c, v) in ops.a.row(i) {
+                let owner = boundaries.partition_point(|&b| b <= c);
+                if scratch[owner].is_empty() {
+                    touched.push(owner);
+                }
+                scratch[owner].push((c - tomo_ranges[owner].start, v));
+            }
+            for &owner in &touched {
+                rank_inter[owner].push(i as u32);
+                rank_rows[owner].push(std::mem::take(&mut scratch[owner]));
+            }
+            touched.clear();
+        }
+    }
+
+    let mut plans: Vec<RankPlan> = (0..ranks)
+        .map(|rank| {
+            let tomo_range = tomo_ranges[rank].clone();
+            let (tlo, thi) = (tomo_range.start, tomo_range.end);
+            let rows = std::mem::take(&mut rank_rows[rank]);
+            let inter_rows = std::mem::take(&mut rank_inter[rank]);
+            let a_local = CsrMatrix::from_rows((thi - tlo) as usize, &rows);
+            let at_local = a_local.transpose_scan();
+            let (a_local_buf, at_local_buf) = if use_buffered {
+                let partsize = ops.partsize;
+                // The buffer must address the largest local footprint the
+                // 16-bit indices allow; reuse the preprocessing default.
+                (
+                    Some(BufferedCsr::from_csr(&a_local, partsize, 2048)),
+                    Some(BufferedCsr::from_csr(&at_local, partsize, 2048)),
+                )
+            } else {
+                (None, None)
+            };
+            // Destination sub-ranges by owner.
+            let dest_ranges: Vec<Range<usize>> = sino_ranges
+                .iter()
+                .map(|r| {
+                    let lo = inter_rows.partition_point(|&row| row < r.start);
+                    let hi = inter_rows.partition_point(|&row| row < r.end);
+                    lo..hi
+                })
+                .collect();
+            RankPlan {
+                rank,
+                ranks,
+                tomo_range,
+                sino_range: sino_ranges[rank].clone(),
+                a_local,
+                at_local,
+                a_local_buf,
+                at_local_buf,
+                inter_rows,
+                dest_ranges,
+                rows_from: Vec::new(),
+            }
+        })
+        .collect();
+
+    // rows_from[q][s] = inter_rows of s within q's sinogram range.
+    for q in 0..ranks {
+        let mut rows_from = Vec::with_capacity(ranks);
+        for plan in plans.iter() {
+            let r = plan.dest_ranges[q].clone();
+            rows_from.push(plan.inter_rows[r].to_vec());
+        }
+        plans[q].rows_from = rows_from;
+    }
+    plans
+}
+
+impl RankPlan {
+    /// Local forward SpMV (A_p).
+    fn apply_a(&self, x_local: &[f32]) -> Vec<f32> {
+        match &self.a_local_buf {
+            Some(b) => b.spmv_parallel(x_local),
+            None => xct_sparse::spmv(&self.a_local, x_local),
+        }
+    }
+
+    /// Local backprojection SpMV (A_pᵀ).
+    fn apply_at(&self, y_gather: &[f32]) -> Vec<f32> {
+        match &self.at_local_buf {
+            Some(b) => b.spmv_parallel(y_gather),
+            None => xct_sparse::spmv(&self.at_local, y_gather),
+        }
+    }
+
+    /// Distributed forward projection: returns this rank's owned block of
+    /// `y = A·x`, adding kernel times into `kb`.
+    pub fn forward(&self, comm: &Communicator, x_local: &[f32], kb: &mut KernelBreakdown) -> Vec<f32> {
+        // A_p: partial projection over the interaction rows.
+        let t = Instant::now();
+        let y_part = self.apply_a(x_local);
+        kb.ap_s += t.elapsed().as_secs_f64();
+
+        // C: route each owner its partials.
+        let t = Instant::now();
+        let send: Vec<Vec<f32>> = self
+            .dest_ranges
+            .iter()
+            .map(|r| y_part[r.clone()].to_vec())
+            .collect();
+        let recv = comm.alltoallv(send);
+        kb.c_s += t.elapsed().as_secs_f64();
+
+        // R: reduce overlapping partials into the owned block.
+        let t = Instant::now();
+        let slo = self.sino_range.start;
+        let mut y_local = vec![0f32; (self.sino_range.end - slo) as usize];
+        for (src, vals) in recv.into_iter().enumerate() {
+            let rows = &self.rows_from[src];
+            debug_assert_eq!(rows.len(), vals.len());
+            for (&row, v) in rows.iter().zip(vals) {
+                y_local[(row - slo) as usize] += v;
+            }
+        }
+        kb.r_s += t.elapsed().as_secs_f64();
+        y_local
+    }
+
+    /// Distributed backprojection: returns this rank's owned block of
+    /// `x = Aᵀ·y` given the distributed `y`.
+    pub fn back(&self, comm: &Communicator, y_local: &[f32], kb: &mut KernelBreakdown) -> Vec<f32> {
+        // Rᵀ: owners duplicate the overlapped sinogram values per peer.
+        let t = Instant::now();
+        let slo = self.sino_range.start;
+        let send: Vec<Vec<f32>> = self
+            .rows_from
+            .iter()
+            .map(|rows| rows.iter().map(|&row| y_local[(row - slo) as usize]).collect())
+            .collect();
+        kb.r_s += t.elapsed().as_secs_f64();
+
+        // Cᵀ: the transpose communication pattern.
+        let t = Instant::now();
+        let recv = comm.alltoallv(send);
+        kb.c_s += t.elapsed().as_secs_f64();
+
+        // Assemble the gathered interaction-row values, then A_pᵀ.
+        let t = Instant::now();
+        let mut y_gather = vec![0f32; self.inter_rows.len()];
+        for (q, vals) in recv.into_iter().enumerate() {
+            let range = self.dest_ranges[q].clone();
+            debug_assert_eq!(range.len(), vals.len());
+            y_gather[range].copy_from_slice(&vals);
+        }
+        kb.r_s += t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let x_local = self.apply_at(&y_gather);
+        kb.ap_s += t.elapsed().as_secs_f64();
+        x_local
+    }
+
+    /// Per-iteration work volumes of this rank for the machine model
+    /// (one forward + one backprojection).
+    pub fn volumes(&self) -> KernelVolumes {
+        let nnz = self.a_local.nnz() as f64;
+        let regular_bytes = match &self.a_local_buf {
+            Some(b) => (b.regular_bytes() + self.at_local_buf.as_ref().unwrap().regular_bytes()) as f64,
+            None => 2.0 * nnz * 8.0,
+        };
+        let sent_fwd: usize = self
+            .dest_ranges
+            .iter()
+            .enumerate()
+            .filter(|(q, _)| *q != self.rank)
+            .map(|(_, r)| r.len())
+            .sum();
+        let sent_back: usize = self
+            .rows_from
+            .iter()
+            .enumerate()
+            .filter(|(s, _)| *s != self.rank)
+            .map(|(_, rows)| rows.len())
+            .sum();
+        let peers_fwd = self
+            .dest_ranges
+            .iter()
+            .enumerate()
+            .filter(|(q, r)| *q != self.rank && !r.is_empty())
+            .count();
+        let peers_back = self
+            .rows_from
+            .iter()
+            .enumerate()
+            .filter(|(s, rows)| *s != self.rank && !rows.is_empty())
+            .count();
+        let recv_fwd: usize = self.rows_from.iter().map(|r| r.len()).sum();
+        KernelVolumes {
+            flops: 4.0 * nnz,
+            regular_bytes,
+            footprint_bytes: 4.0
+                * (self.a_local.ncols() + self.inter_rows.len() + self.sino_range.len()) as f64,
+            comm_bytes: 4.0 * (sent_fwd + sent_back) as f64,
+            comm_peers: (peers_fwd + peers_back) as f64,
+            reduce_bytes: 4.0 * (recv_fwd + self.inter_rows.len()) as f64,
+        }
+    }
+}
+
+/// Result of a distributed reconstruction.
+pub struct DistOutput {
+    /// Reconstructed image, row-major `n × n`.
+    pub image: Vec<f32>,
+    /// Per-iteration convergence records (identical on every rank).
+    pub records: Vec<IterationRecord>,
+    /// Per-rank kernel breakdowns.
+    pub breakdown: Vec<KernelBreakdown>,
+    /// Communication matrix of the whole run.
+    pub ledger: CommLedger,
+    /// Per-rank modeled volumes.
+    pub volumes: Vec<KernelVolumes>,
+}
+
+fn allreduce_f64(comm: &Communicator, v: f64) -> f64 {
+    let gathered = comm.alltoall_counts(vec![v.to_bits(); comm.size()]);
+    gathered.into_iter().map(f64::from_bits).sum()
+}
+
+/// Distributed CGLS over one rank's plan (see solvers.rs for the serial
+/// variant); dot products are allreduced so iterates match the serial
+/// solver up to f32 summation order.
+fn distributed_cg(
+    plan: &RankPlan,
+    comm: &Communicator,
+    y: &[f32],
+    iters: usize,
+) -> (Vec<f32>, Vec<IterationRecord>, KernelBreakdown) {
+    let mut kb = KernelBreakdown::default();
+    let nx = plan.tomo_range.len();
+    let mut x = vec![0f32; nx];
+    let mut r = y.to_vec();
+    let mut s = plan.back(comm, &r, &mut kb);
+    let mut p = s.clone();
+    let mut gamma = allreduce_f64(comm, dot(&s, &s));
+    let mut records = Vec::new();
+    for iter in 0..iters {
+        let t0 = Instant::now();
+        if gamma == 0.0 {
+            break;
+        }
+        let q = plan.forward(comm, &p, &mut kb);
+        let qq = allreduce_f64(comm, dot(&q, &q));
+        if qq == 0.0 {
+            break;
+        }
+        let alpha = (gamma / qq) as f32;
+        for (xi, &pi) in x.iter_mut().zip(&p) {
+            *xi += alpha * pi;
+        }
+        for (ri, &qi) in r.iter_mut().zip(&q) {
+            *ri -= alpha * qi;
+        }
+        s = plan.back(comm, &r, &mut kb);
+        let gamma_new = allreduce_f64(comm, dot(&s, &s));
+        let beta = (gamma_new / gamma) as f32;
+        gamma = gamma_new;
+        for (pi, &si) in p.iter_mut().zip(&s) {
+            *pi = si + beta * *pi;
+        }
+        let res = allreduce_f64(comm, dot(&r, &r)).sqrt();
+        let sol = allreduce_f64(comm, dot(&x, &x)).sqrt();
+        records.push(IterationRecord {
+            iter,
+            residual_norm: res,
+            solution_norm: sol,
+            seconds: t0.elapsed().as_secs_f64(),
+        });
+    }
+    (x, records, kb)
+}
+
+/// Distributed SIRT: normalization weights come from one distributed
+/// forward/backprojection of all-ones vectors, then each iteration is the
+/// usual `x += C·Aᵀ·R·(y − A·x)` on local blocks.
+fn distributed_sirt(
+    plan: &RankPlan,
+    comm: &Communicator,
+    y: &[f32],
+    iters: usize,
+) -> (Vec<f32>, Vec<IterationRecord>, KernelBreakdown) {
+    let mut kb = KernelBreakdown::default();
+    let nx = plan.tomo_range.len();
+    let inv = |v: f32| if v > 0.0 { 1.0 / v } else { 0.0 };
+    let row_w: Vec<f32> = plan
+        .forward(comm, &vec![1f32; nx], &mut kb)
+        .into_iter()
+        .map(inv)
+        .collect();
+    let col_w: Vec<f32> = plan
+        .back(comm, &vec![1f32; y.len()], &mut kb)
+        .into_iter()
+        .map(inv)
+        .collect();
+
+    let mut x = vec![0f32; nx];
+    let mut records = Vec::with_capacity(iters);
+    for iter in 0..iters {
+        let t0 = Instant::now();
+        let mut residual = plan.forward(comm, &x, &mut kb);
+        for (ri, &yi) in residual.iter_mut().zip(y) {
+            *ri = yi - *ri;
+        }
+        let res = allreduce_f64(comm, dot(&residual, &residual)).sqrt();
+        for (ri, &w) in residual.iter_mut().zip(&row_w) {
+            *ri *= w;
+        }
+        let update = plan.back(comm, &residual, &mut kb);
+        for ((xi, u), &w) in x.iter_mut().zip(update).zip(&col_w) {
+            *xi += u * w;
+        }
+        let sol = allreduce_f64(comm, dot(&x, &x)).sqrt();
+        records.push(IterationRecord {
+            iter,
+            residual_norm: res,
+            solution_norm: sol,
+            seconds: t0.elapsed().as_secs_f64(),
+        });
+    }
+    (x, records, kb)
+}
+
+/// Run a distributed CGLS reconstruction with threads as ranks.
+///
+/// `sino_ordered` is the measurement vector in sinogram-ordered
+/// coordinates (see [`Operators::order_sinogram`]). Returns the assembled
+/// row-major image plus all diagnostics.
+pub fn reconstruct_distributed(
+    ops: &Operators,
+    sino_ordered: &[f32],
+    config: &DistConfig,
+) -> DistOutput {
+    assert_eq!(sino_ordered.len(), ops.a.nrows());
+    let plans = build_plans(ops, config.ranks, config.use_buffered);
+    let volumes: Vec<KernelVolumes> = plans.iter().map(|p| p.volumes()).collect();
+
+    let (rank_results, ledger) = run_ranks(config.ranks, |comm| {
+        let plan = &plans[comm.rank()];
+        let slo = plan.sino_range.start as usize;
+        let shi = plan.sino_range.end as usize;
+        let y = &sino_ordered[slo..shi];
+        match config.solver {
+            DistSolver::Cg => distributed_cg(plan, comm, y, config.iters),
+            DistSolver::Sirt => distributed_sirt(plan, comm, y, config.iters),
+        }
+    });
+
+    // Assemble the ordered tomogram from the per-rank blocks.
+    let mut ordered = vec![0f32; ops.a.ncols()];
+    let mut records = Vec::new();
+    let mut breakdown = Vec::with_capacity(config.ranks);
+    for (plan, (x_local, recs, kb)) in plans.iter().zip(rank_results) {
+        let lo = plan.tomo_range.start as usize;
+        ordered[lo..lo + x_local.len()].copy_from_slice(&x_local);
+        if records.is_empty() {
+            records = recs;
+        }
+        breakdown.push(kb);
+    }
+    DistOutput {
+        image: ops.unorder_tomogram(&ordered),
+        records,
+        breakdown,
+        ledger,
+        volumes,
+    }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::{preprocess, Config, Kernel};
+    use crate::solvers::{cgls, StopRule};
+    use xct_geometry::{disk, simulate_sinogram, Grid, NoiseModel, ScanGeometry};
+
+    fn setup(n: u32, m: u32) -> (Operators, Vec<f32>) {
+        let grid = Grid::new(n);
+        let scan = ScanGeometry::new(m, n);
+        let img = disk(0.6, 1.0).rasterize(n);
+        let sino = simulate_sinogram(&img, &grid, &scan, NoiseModel::None, 0);
+        let ops = preprocess(grid, scan, &Config::default());
+        let y = ops.order_sinogram(&sino);
+        (ops, y)
+    }
+
+    #[test]
+    fn plans_partition_both_domains() {
+        let (ops, _) = setup(16, 12);
+        let plans = build_plans(&ops, 4, false);
+        assert_eq!(plans.len(), 4);
+        assert_eq!(plans[0].tomo_range.start, 0);
+        assert_eq!(plans[3].tomo_range.end as usize, ops.a.ncols());
+        assert_eq!(plans[3].sino_range.end as usize, ops.a.nrows());
+        for w in plans.windows(2) {
+            assert_eq!(w[0].tomo_range.end, w[1].tomo_range.start);
+            assert_eq!(w[0].sino_range.end, w[1].sino_range.start);
+        }
+        // Column blocks partition the nonzeroes.
+        let total: usize = plans.iter().map(|p| p.a_local.nnz()).sum();
+        assert_eq!(total, ops.a.nnz());
+    }
+
+    #[test]
+    fn distributed_forward_matches_serial() {
+        let (ops, _) = setup(16, 12);
+        let x: Vec<f32> = (0..ops.a.ncols()).map(|i| (i % 7) as f32 * 0.25).collect();
+        let want = ops.forward(Kernel::Serial, &x);
+        for ranks in [1, 2, 3, 5] {
+            let plans = build_plans(&ops, ranks, false);
+            let (results, _) = run_ranks(ranks, |comm| {
+                let plan = &plans[comm.rank()];
+                let lo = plan.tomo_range.start as usize;
+                let hi = plan.tomo_range.end as usize;
+                let mut kb = KernelBreakdown::default();
+                plan.forward(comm, &x[lo..hi], &mut kb)
+            });
+            let mut got = vec![0f32; ops.a.nrows()];
+            for (plan, block) in plans.iter().zip(results) {
+                let lo = plan.sino_range.start as usize;
+                got[lo..lo + block.len()].copy_from_slice(&block);
+            }
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-3, "ranks {ranks}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_back_matches_serial() {
+        let (ops, _) = setup(16, 12);
+        let y: Vec<f32> = (0..ops.a.nrows()).map(|i| ((i % 5) as f32) - 2.0).collect();
+        let want = ops.back(Kernel::Serial, &y);
+        for ranks in [1, 2, 4] {
+            let plans = build_plans(&ops, ranks, false);
+            let (results, _) = run_ranks(ranks, |comm| {
+                let plan = &plans[comm.rank()];
+                let lo = plan.sino_range.start as usize;
+                let hi = plan.sino_range.end as usize;
+                let mut kb = KernelBreakdown::default();
+                plan.back(comm, &y[lo..hi], &mut kb)
+            });
+            let mut got = vec![0f32; ops.a.ncols()];
+            for (plan, block) in plans.iter().zip(results) {
+                let lo = plan.tomo_range.start as usize;
+                got[lo..lo + block.len()].copy_from_slice(&block);
+            }
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-3, "ranks {ranks}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_cg_matches_serial_cg() {
+        let (ops, y) = setup(16, 12);
+        let (x_serial, recs_serial) = cgls(
+            &y,
+            ops.a.ncols(),
+            |p| ops.forward(Kernel::Serial, p),
+            |r| ops.back(Kernel::Serial, r),
+            StopRule::Fixed(8),
+        );
+        let out = reconstruct_distributed(
+            &ops,
+            &y,
+            &DistConfig {
+                ranks: 3,
+                use_buffered: false,
+                iters: 8,
+                solver: DistSolver::Cg,
+            },
+        );
+        let img_serial = ops.unorder_tomogram(&x_serial);
+        let num: f64 = out
+            .image
+            .iter()
+            .zip(&img_serial)
+            .map(|(&a, &b)| ((a - b) as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let den: f64 = img_serial.iter().map(|&b| (b as f64).powi(2)).sum::<f64>().sqrt();
+        // CG amplifies f32 summation-order differences between the
+        // factorized (A = R·C·A_p) and monolithic products, so agreement
+        // is to a few parts in a thousand, not bitwise.
+        assert!(num / den < 2e-2, "distributed diverged: {}", num / den);
+        for (a, b) in out.records.iter().zip(&recs_serial) {
+            let rel = (a.residual_norm - b.residual_norm).abs() / b.residual_norm.max(1.0);
+            assert!(rel < 5e-2, "iter {}: {} vs {}", a.iter, a.residual_norm, b.residual_norm);
+        }
+    }
+
+    #[test]
+    fn distributed_sirt_matches_serial_sirt() {
+        let (ops, y) = setup(16, 12);
+        let (x_serial, _) = crate::solvers::sirt(
+            &y,
+            ops.a.ncols(),
+            |p| ops.forward(Kernel::Serial, p),
+            |r| ops.back(Kernel::Serial, r),
+            10,
+        );
+        let out = reconstruct_distributed(
+            &ops,
+            &y,
+            &DistConfig {
+                ranks: 3,
+                use_buffered: false,
+                iters: 10,
+                solver: DistSolver::Sirt,
+            },
+        );
+        let img_serial = ops.unorder_tomogram(&x_serial);
+        let num: f64 = out
+            .image
+            .iter()
+            .zip(&img_serial)
+            .map(|(&a, &b)| ((a - b) as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let den: f64 = img_serial.iter().map(|&b| (b as f64).powi(2)).sum::<f64>().sqrt();
+        assert!(num / den < 1e-3, "distributed SIRT diverged: {}", num / den);
+        assert_eq!(out.records.len(), 10);
+    }
+
+    #[test]
+    fn buffered_distributed_matches_unbuffered() {
+        let (ops, y) = setup(16, 12);
+        let a = reconstruct_distributed(
+            &ops,
+            &y,
+            &DistConfig {
+                ranks: 2,
+                use_buffered: true,
+                iters: 5,
+                solver: DistSolver::Cg,
+            },
+        );
+        let b = reconstruct_distributed(
+            &ops,
+            &y,
+            &DistConfig {
+                ranks: 2,
+                use_buffered: false,
+                iters: 5,
+                solver: DistSolver::Cg,
+            },
+        );
+        for (x, z) in a.image.iter().zip(&b.image) {
+            assert!((x - z).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn communication_is_sparse() {
+        // With enough ranks, not every pair interacts (Fig 7(c)).
+        let (ops, y) = setup(32, 16);
+        let out = reconstruct_distributed(
+            &ops,
+            &y,
+            &DistConfig {
+                ranks: 8,
+                use_buffered: false,
+                iters: 2,
+                solver: DistSolver::Cg,
+            },
+        );
+        let pairs = out.ledger.nonzero_pairs();
+        assert!(pairs > 0);
+        // Scalar allreduces touch all pairs, so just check the volumes are
+        // unequal across pairs (sparsity of the data exchange shows up in
+        // the byte counts).
+        let mut bytes: Vec<u64> = (0..8)
+            .flat_map(|s| (0..8).map(move |d| (s, d)))
+            .filter(|(s, d)| s != d)
+            .map(|(s, d)| out.ledger.bytes(s, d))
+            .collect();
+        bytes.sort_unstable();
+        assert!(bytes[0] < bytes[bytes.len() - 1], "expected skewed comm volumes");
+    }
+
+    #[test]
+    fn volumes_shrink_with_more_ranks() {
+        let (ops, _) = setup(32, 16);
+        let v2 = build_plans(&ops, 2, false)
+            .iter()
+            .map(|p| p.volumes().regular_bytes)
+            .fold(0f64, f64::max);
+        let v8 = build_plans(&ops, 8, false)
+            .iter()
+            .map(|p| p.volumes().regular_bytes)
+            .fold(0f64, f64::max);
+        assert!(v8 < v2, "per-rank regular bytes must shrink: {v8} vs {v2}");
+    }
+
+    #[test]
+    fn kernel_breakdown_accumulates() {
+        let (ops, y) = setup(16, 12);
+        let out = reconstruct_distributed(
+            &ops,
+            &y,
+            &DistConfig {
+                ranks: 2,
+                use_buffered: false,
+                iters: 3,
+                solver: DistSolver::Cg,
+            },
+        );
+        for kb in &out.breakdown {
+            assert!(kb.ap_s > 0.0);
+            assert!(kb.total() >= kb.ap_s);
+        }
+    }
+}

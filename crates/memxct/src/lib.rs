@@ -1,0 +1,38 @@
+//! MemXCT: memory-centric X-ray CT reconstruction (SC '19).
+//!
+//! The memory-centric approach memoizes ray tracing into explicit sparse
+//! matrices once, then runs every solver iteration as optimized SpMV:
+//!
+//! 1. **Preprocessing** ([`preprocess()`], §3.5): order both the tomogram
+//!    and the sinogram domain with the two-level pseudo-Hilbert ordering,
+//!    trace every ray to build the forward-projection CSR matrix directly
+//!    in ordered coordinates, scan-transpose it for backprojection, and
+//!    build the partitioned/buffered kernel layouts.
+//! 2. **Solvers** ([`solvers`], §3.5.2): conjugate gradient (CGLS) with
+//!    early termination, and SIRT for baseline comparisons, both recording
+//!    the per-iteration residual/solution norms of the L-curve (Fig 8).
+//! 3. **Distributed execution** ([`dist`], §3.4): both domains are
+//!    partitioned across ranks by contiguous tile runs; forward projection
+//!    is factored `A = R·C·A_p` (partial projection, sparse all-to-all,
+//!    overlap reduction) and backprojection is its transpose — no domain
+//!    duplication, no atomics.
+//!
+//! Use [`Reconstructor`] for the high-level single-call API.
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod fbp;
+pub mod preprocess;
+pub mod reconstructor;
+pub mod regularize;
+pub mod solvers;
+pub mod subsets;
+
+pub use fbp::{fbp, FbpConfig};
+pub use dist::{reconstruct_distributed, DistConfig, DistOutput, DistSolver, KernelBreakdown, RankPlan};
+pub use preprocess::{preprocess, Config, DomainOrdering, Kernel, Operators, PreprocessTimings, Projector};
+pub use reconstructor::{ReconOutput, Reconstructor, VolumeOutput};
+pub use regularize::{cgls_smooth, gradient_operator};
+pub use solvers::{cgls, cgls_regularized, sirt, sirt_nonneg, IterationRecord, StopRule};
+pub use subsets::OrderedSubsets;

@@ -1,0 +1,231 @@
+//! High-level single-call reconstruction API.
+
+use crate::dist::{reconstruct_distributed, DistConfig, DistOutput};
+use crate::preprocess::{preprocess, Config, Kernel, Operators};
+use crate::solvers::{cgls, sirt, IterationRecord, StopRule};
+use xct_geometry::{Grid, ScanGeometry, Sinogram};
+
+/// Result of a reconstruction: the image plus convergence records.
+pub struct ReconOutput {
+    /// Reconstructed tomogram, row-major `n × n`.
+    pub image: Vec<f32>,
+    /// Per-iteration records (residual/solution norms, timings).
+    pub records: Vec<IterationRecord>,
+}
+
+/// A preprocessed reconstructor bound to one geometry. Preprocessing cost
+/// is paid once in [`Reconstructor::new`] and amortized over every slice
+/// reconstructed afterwards (Table 5's "All Slices" economics).
+///
+/// ```
+/// use memxct::{Reconstructor, StopRule};
+/// use xct_geometry::{disk, simulate_sinogram, Grid, NoiseModel, ScanGeometry};
+///
+/// let grid = Grid::new(32);
+/// let scan = ScanGeometry::new(48, 32);
+/// let truth = disk(0.6, 1.0).rasterize(32);
+/// let sino = simulate_sinogram(&truth, &grid, &scan, NoiseModel::None, 0);
+///
+/// let rec = Reconstructor::new(grid, scan); // preprocess once
+/// let out = rec.reconstruct_cg(&sino, StopRule::Fixed(30));
+/// assert_eq!(out.image.len(), 32 * 32);
+/// assert!(out.records.last().unwrap().residual_norm < 1.0);
+/// ```
+pub struct Reconstructor {
+    ops: Operators,
+    kernel: Kernel,
+}
+
+impl Reconstructor {
+    /// Preprocess with the default configuration (two-level pseudo-Hilbert
+    /// ordering, buffered kernels).
+    pub fn new(grid: Grid, scan: ScanGeometry) -> Self {
+        Self::with_config(grid, scan, &Config::default())
+    }
+
+    /// Preprocess with an explicit configuration.
+    pub fn with_config(grid: Grid, scan: ScanGeometry, config: &Config) -> Self {
+        let ops = preprocess(grid, scan, config);
+        let kernel = if config.build_buffered {
+            Kernel::Buffered
+        } else {
+            Kernel::Parallel
+        };
+        Reconstructor { ops, kernel }
+    }
+
+    /// The memoized operators (for custom solver loops).
+    pub fn operators(&self) -> &Operators {
+        &self.ops
+    }
+
+    /// Which kernel this reconstructor applies.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Reconstruct one slice with CG and the given stopping rule.
+    pub fn reconstruct_cg(&self, sino: &Sinogram, stop: StopRule) -> ReconOutput {
+        let y = self.ops.order_sinogram(sino);
+        let (x, records) = cgls(
+            &y,
+            self.ops.a.ncols(),
+            |p| self.ops.forward(self.kernel, p),
+            |r| self.ops.back(self.kernel, r),
+            stop,
+        );
+        ReconOutput {
+            image: self.ops.unorder_tomogram(&x),
+            records,
+        }
+    }
+
+    /// Reconstruct one slice with SIRT (for baseline comparisons).
+    pub fn reconstruct_sirt(&self, sino: &Sinogram, iters: usize) -> ReconOutput {
+        let y = self.ops.order_sinogram(sino);
+        let (x, records) = sirt(
+            &y,
+            self.ops.a.ncols(),
+            |p| self.ops.forward(self.kernel, p),
+            |r| self.ops.back(self.kernel, r),
+            iters,
+        );
+        ReconOutput {
+            image: self.ops.unorder_tomogram(&x),
+            records,
+        }
+    }
+
+    /// Reconstruct one slice with the distributed (threads-as-ranks) CG
+    /// path.
+    pub fn reconstruct_distributed(&self, sino: &Sinogram, config: &DistConfig) -> DistOutput {
+        let y = self.ops.order_sinogram(sino);
+        reconstruct_distributed(&self.ops, &y, config)
+    }
+
+    /// Reconstruct a whole slice stack with CG, reusing the preprocessed
+    /// operators for every slice — the amortization that makes Table 5's
+    /// "All Slices" economics work ("the preprocessing cost is paid only
+    /// once for the first slice").
+    pub fn reconstruct_volume(&self, sinos: &[Sinogram], stop: StopRule) -> VolumeOutput {
+        let mut images = Vec::with_capacity(sinos.len());
+        let mut per_slice_seconds = Vec::with_capacity(sinos.len());
+        for sino in sinos {
+            let t = std::time::Instant::now();
+            let out = self.reconstruct_cg(sino, stop);
+            per_slice_seconds.push(t.elapsed().as_secs_f64());
+            images.push(out.image);
+        }
+        VolumeOutput {
+            images,
+            per_slice_seconds,
+            preprocess_seconds: self.ops.timings.total(),
+        }
+    }
+}
+
+/// Result of a multi-slice reconstruction.
+pub struct VolumeOutput {
+    /// One row-major image per input sinogram.
+    pub images: Vec<Vec<f32>>,
+    /// Wall-clock seconds per slice (preprocessing excluded).
+    pub per_slice_seconds: Vec<f64>,
+    /// One-time preprocessing cost being amortized.
+    pub preprocess_seconds: f64,
+}
+
+impl VolumeOutput {
+    /// Mean per-slice reconstruction time.
+    pub fn mean_slice_seconds(&self) -> f64 {
+        if self.per_slice_seconds.is_empty() {
+            0.0
+        } else {
+            self.per_slice_seconds.iter().sum::<f64>() / self.per_slice_seconds.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xct_geometry::{disk, shepp_logan, simulate_sinogram, NoiseModel};
+
+    fn rel_err(a: &[f32], b: &[f32]) -> f64 {
+        let num: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| ((x - y) as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let den: f64 = b.iter().map(|&y| (y as f64).powi(2)).sum::<f64>().sqrt();
+        num / den
+    }
+
+    #[test]
+    fn end_to_end_disk_reconstruction() {
+        let n = 32u32;
+        let grid = Grid::new(n);
+        let scan = ScanGeometry::new(48, n);
+        let img = disk(0.6, 1.0).rasterize(n);
+        let sino = simulate_sinogram(&img, &grid, &scan, NoiseModel::None, 0);
+        let rec = Reconstructor::new(grid, scan);
+        let out = rec.reconstruct_cg(&sino, StopRule::Fixed(30));
+        assert!(rel_err(&out.image, &img) < 0.15, "err {}", rel_err(&out.image, &img));
+    }
+
+    #[test]
+    fn shepp_logan_reconstruction_with_noise() {
+        let n = 48u32;
+        let grid = Grid::new(n);
+        let scan = ScanGeometry::new(72, n);
+        let img = shepp_logan().rasterize(n);
+        let sino = simulate_sinogram(
+            &img,
+            &grid,
+            &scan,
+            NoiseModel::Poisson {
+                incident: 1e6,
+                scale: 0.02,
+            },
+            7,
+        );
+        let rec = Reconstructor::new(grid, scan);
+        let out = rec.reconstruct_cg(
+            &sino,
+            StopRule::EarlyTermination {
+                max_iters: 60,
+                min_decrease: 1e-3,
+            },
+        );
+        assert!(
+            rel_err(&out.image, &img) < 0.35,
+            "err {}",
+            rel_err(&out.image, &img)
+        );
+    }
+
+    #[test]
+    fn distributed_equals_single_node() {
+        let n = 24u32;
+        let grid = Grid::new(n);
+        let scan = ScanGeometry::new(36, n);
+        let img = disk(0.5, 2.0).rasterize(n);
+        let sino = simulate_sinogram(&img, &grid, &scan, NoiseModel::None, 0);
+        let rec = Reconstructor::new(grid, scan);
+        let single = rec.reconstruct_cg(&sino, StopRule::Fixed(10));
+        let dist = rec.reconstruct_distributed(
+            &sino,
+            &crate::dist::DistConfig {
+                ranks: 4,
+                use_buffered: true,
+                iters: 10,
+                solver: crate::dist::DistSolver::Cg,
+            },
+        );
+        assert!(
+            rel_err(&dist.image, &single.image) < 5e-3,
+            "err {}",
+            rel_err(&dist.image, &single.image)
+        );
+    }
+}

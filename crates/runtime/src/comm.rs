@@ -1,0 +1,408 @@
+//! Threads-as-ranks SPMD communicator with MPI collective semantics.
+//!
+//! Every pair of ranks gets a dedicated FIFO channel, so collectives are
+//! deterministic: a rank receiving "from all" drains sources in rank
+//! order, and reductions combine contributions in rank order (bitwise
+//! reproducible across runs, unlike a racy shared accumulator).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::{Arc, Barrier};
+
+/// Raw message payload moved between ranks.
+type Payload = Vec<u8>;
+
+struct Shared {
+    size: usize,
+    barrier: Barrier,
+    /// `bytes[src * size + dst]` — per-pair traffic in bytes.
+    traffic: Mutex<Vec<u64>>,
+}
+
+/// Per-pair byte counts recorded by the collectives: the communication
+/// matrix of Fig 7(c).
+#[derive(Debug, Clone)]
+pub struct CommLedger {
+    size: usize,
+    bytes: Vec<u64>,
+}
+
+impl CommLedger {
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Bytes sent from `src` to `dst` (self-traffic is not counted).
+    pub fn bytes(&self, src: usize, dst: usize) -> u64 {
+        self.bytes[src * self.size + dst]
+    }
+
+    /// Total bytes sent by `rank`.
+    pub fn sent_by(&self, rank: usize) -> u64 {
+        (0..self.size).map(|d| self.bytes(rank, d)).sum()
+    }
+
+    /// Total bytes received by `rank`.
+    pub fn received_by(&self, rank: usize) -> u64 {
+        (0..self.size).map(|s| self.bytes(s, rank)).sum()
+    }
+
+    /// Total traffic over all pairs.
+    pub fn total(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Number of communicating (nonzero) pairs — the sparsity of the
+    /// communication matrix.
+    pub fn nonzero_pairs(&self) -> usize {
+        self.bytes.iter().filter(|&&b| b > 0).count()
+    }
+}
+
+/// Handle held by one rank inside [`run_ranks`].
+pub struct Communicator {
+    rank: usize,
+    shared: Arc<Shared>,
+    /// `senders[dst]`: my channel to `dst`.
+    senders: Vec<Sender<Payload>>,
+    /// `receivers[src]`: channel from `src` to me.
+    receivers: Vec<Receiver<Payload>>,
+}
+
+impl Communicator {
+    /// This rank's id, `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    fn record(&self, dst: usize, bytes: usize) {
+        if dst != self.rank && bytes > 0 {
+            let mut t = self.shared.traffic.lock();
+            t[self.rank * self.shared.size + dst] += bytes as u64;
+        }
+    }
+
+    /// MPI_Alltoallv: send `send[dst]` to each rank, receive one buffer
+    /// from each rank, returned in rank order. Self-delivery is a move,
+    /// not traffic.
+    pub fn alltoallv(&self, send: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+        assert_eq!(send.len(), self.size(), "one send buffer per rank");
+        let mut own: Option<Vec<f32>> = None;
+        for (dst, buf) in send.into_iter().enumerate() {
+            if dst == self.rank {
+                own = Some(buf);
+            } else {
+                self.record(dst, buf.len() * 4);
+                self.senders[dst]
+                    .send(bytes_of_f32(buf))
+                    .expect("peer rank hung up");
+            }
+        }
+        (0..self.size())
+            .map(|src| {
+                if src == self.rank {
+                    own.take().unwrap()
+                } else {
+                    f32_of_bytes(self.receivers[src].recv().expect("peer rank hung up"))
+                }
+            })
+            .collect()
+    }
+
+    /// MPI_Allgather of one buffer per rank (returned in rank order).
+    pub fn allgather(&self, mine: Vec<f32>) -> Vec<Vec<f32>> {
+        let send: Vec<Vec<f32>> = (0..self.size()).map(|_| mine.clone()).collect();
+        self.alltoallv(send)
+    }
+
+    /// MPI_Allreduce(SUM) on equal-length buffers. Contributions are
+    /// summed in rank order, so the result is deterministic.
+    pub fn allreduce_sum(&self, mine: &mut [f32]) {
+        let gathered = self.allgather(mine.to_vec());
+        for v in mine.iter_mut() {
+            *v = 0.0;
+        }
+        for buf in gathered {
+            assert_eq!(buf.len(), mine.len(), "allreduce length mismatch");
+            for (acc, v) in mine.iter_mut().zip(buf) {
+                *acc += v;
+            }
+        }
+    }
+
+    /// MPI_Alltoallv of u32 index lists (setup/metadata exchanges, e.g.
+    /// telling each peer which sinogram rows will arrive from us).
+    pub fn alltoallv_u32(&self, send: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+        assert_eq!(send.len(), self.size(), "one send buffer per rank");
+        let mut own: Option<Vec<u32>> = None;
+        for (dst, buf) in send.into_iter().enumerate() {
+            if dst == self.rank {
+                own = Some(buf);
+            } else {
+                self.record(dst, buf.len() * 4);
+                let mut bytes = Vec::with_capacity(buf.len() * 4);
+                for v in buf {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+                self.senders[dst].send(bytes).expect("peer rank hung up");
+            }
+        }
+        (0..self.size())
+            .map(|src| {
+                if src == self.rank {
+                    own.take().unwrap()
+                } else {
+                    let b = self.receivers[src].recv().expect("peer rank hung up");
+                    b.chunks_exact(4)
+                        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                        .collect()
+                }
+            })
+            .collect()
+    }
+
+    /// MPI_Alltoall of u64 counts (metadata exchanges).
+    pub fn alltoall_counts(&self, send: Vec<u64>) -> Vec<u64> {
+        assert_eq!(send.len(), self.size());
+        let bufs: Vec<Vec<f32>> = send
+            .iter()
+            .map(|&v| {
+                let b = v.to_le_bytes();
+                vec![
+                    f32::from_le_bytes([b[0], b[1], b[2], b[3]]),
+                    f32::from_le_bytes([b[4], b[5], b[6], b[7]]),
+                ]
+            })
+            .collect();
+        self.alltoallv(bufs)
+            .into_iter()
+            .map(|buf| {
+                let a = buf[0].to_le_bytes();
+                let b = buf[1].to_le_bytes();
+                u64::from_le_bytes([a[0], a[1], a[2], a[3], b[0], b[1], b[2], b[3]])
+            })
+            .collect()
+    }
+}
+
+fn bytes_of_f32(v: Vec<f32>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 4);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+fn f32_of_bytes(b: Vec<u8>) -> Vec<f32> {
+    assert_eq!(b.len() % 4, 0);
+    b.chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// Run an SPMD function on `size` thread-ranks and return each rank's
+/// result (in rank order) together with the traffic ledger.
+///
+/// The closure receives this rank's [`Communicator`]; ranks share nothing
+/// else. Panics in any rank propagate.
+///
+/// ```
+/// use xct_runtime::run_ranks;
+/// // Four ranks allreduce their rank ids: everyone ends with 0+1+2+3.
+/// let (results, ledger) = run_ranks(4, |comm| {
+///     let mut v = vec![comm.rank() as f32];
+///     comm.allreduce_sum(&mut v);
+///     v[0]
+/// });
+/// assert_eq!(results, vec![6.0; 4]);
+/// assert!(ledger.total() > 0);
+/// ```
+pub fn run_ranks<F, R>(size: usize, f: F) -> (Vec<R>, CommLedger)
+where
+    F: Fn(&Communicator) -> R + Sync,
+    R: Send,
+{
+    assert!(size > 0);
+    let shared = Arc::new(Shared {
+        size,
+        barrier: Barrier::new(size),
+        traffic: Mutex::new(vec![0; size * size]),
+    });
+
+    // channels[src][dst]
+    let mut txs: Vec<Vec<Option<Sender<Payload>>>> = Vec::with_capacity(size);
+    let mut rxs: Vec<Vec<Option<Receiver<Payload>>>> = (0..size)
+        .map(|_| (0..size).map(|_| None).collect())
+        .collect();
+    for src in 0..size {
+        let mut row = Vec::with_capacity(size);
+        for dst in 0..size {
+            let (tx, rx) = unbounded();
+            row.push(Some(tx));
+            rxs[dst][src] = Some(rx);
+        }
+        txs.push(row);
+    }
+
+    let comms: Vec<Communicator> = (0..size)
+        .map(|rank| Communicator {
+            rank,
+            shared: shared.clone(),
+            senders: txs[rank].iter_mut().map(|t| t.take().unwrap()).collect(),
+            receivers: rxs[rank].iter_mut().map(|r| r.take().unwrap()).collect(),
+        })
+        .collect();
+
+    let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(size);
+        for (comm, slot) in comms.iter().zip(results.iter_mut()) {
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                *slot = Some(f(comm));
+            }));
+        }
+        for h in handles {
+            h.join().expect("rank panicked");
+        }
+    });
+
+    let ledger = CommLedger {
+        size,
+        bytes: shared.traffic.lock().clone(),
+    };
+    (results.into_iter().map(|r| r.unwrap()).collect(), ledger)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_distinct_and_complete() {
+        let (ranks, _) = run_ranks(4, |c| c.rank());
+        assert_eq!(ranks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn alltoallv_exchanges_correctly() {
+        let (results, ledger) = run_ranks(3, |c| {
+            // Rank r sends [r*10 + dst] to each dst.
+            let send: Vec<Vec<f32>> = (0..3).map(|d| vec![(c.rank() * 10 + d) as f32]).collect();
+            c.alltoallv(send)
+        });
+        for (rank, recv) in results.iter().enumerate() {
+            for (src, buf) in recv.iter().enumerate() {
+                assert_eq!(buf, &vec![(src * 10 + rank) as f32], "rank {rank} src {src}");
+            }
+        }
+        // 3 ranks × 2 peers × 4 bytes each.
+        assert_eq!(ledger.total(), 24);
+        assert_eq!(ledger.nonzero_pairs(), 6);
+        assert_eq!(ledger.bytes(0, 0), 0, "self traffic not counted");
+    }
+
+    #[test]
+    fn alltoallv_variable_sizes() {
+        let (results, ledger) = run_ranks(2, |c| {
+            let send: Vec<Vec<f32>> = if c.rank() == 0 {
+                vec![vec![], vec![1.0, 2.0, 3.0]]
+            } else {
+                vec![vec![9.0], vec![]]
+            };
+            c.alltoallv(send)
+        });
+        assert_eq!(results[0][1], vec![9.0]);
+        assert_eq!(results[1][0], vec![1.0, 2.0, 3.0]);
+        assert_eq!(ledger.bytes(0, 1), 12);
+        assert_eq!(ledger.bytes(1, 0), 4);
+    }
+
+    #[test]
+    fn allreduce_sums_deterministically() {
+        let (results, _) = run_ranks(5, |c| {
+            let mut v = vec![c.rank() as f32, 1.0];
+            c.allreduce_sum(&mut v);
+            v
+        });
+        for r in results {
+            assert_eq!(r, vec![10.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        let (results, _) = run_ranks(4, |c| c.allgather(vec![c.rank() as f32 * 2.0]));
+        for r in results {
+            let flat: Vec<f32> = r.into_iter().flatten().collect();
+            assert_eq!(flat, vec![0.0, 2.0, 4.0, 6.0]);
+        }
+    }
+
+    #[test]
+    fn alltoall_counts_roundtrip() {
+        let (results, _) = run_ranks(3, |c| {
+            let send: Vec<u64> = (0..3).map(|d| (c.rank() as u64) << 32 | d as u64).collect();
+            c.alltoall_counts(send)
+        });
+        for (rank, recv) in results.iter().enumerate() {
+            for (src, &v) in recv.iter().enumerate() {
+                assert_eq!(v, (src as u64) << 32 | rank as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run_ranks(4, |c| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // After the barrier every rank must observe all 4 increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn repeated_collectives_stay_matched() {
+        let (results, _) = run_ranks(3, |c| {
+            let mut acc = 0.0f32;
+            for round in 0..10 {
+                let send: Vec<Vec<f32>> = (0..3).map(|_| vec![round as f32]).collect();
+                let recv = c.alltoallv(send);
+                acc += recv.iter().map(|b| b[0]).sum::<f32>();
+            }
+            acc
+        });
+        // Each round every rank receives 3 copies of `round`.
+        let expect: f32 = (0..10).map(|r| 3.0 * r as f32).sum();
+        for r in results {
+            assert_eq!(r, expect);
+        }
+    }
+
+    #[test]
+    fn single_rank_works() {
+        let (results, ledger) = run_ranks(1, |c| {
+            let recv = c.alltoallv(vec![vec![1.0, 2.0]]);
+            let mut v = vec![3.0];
+            c.allreduce_sum(&mut v);
+            (recv, v)
+        });
+        assert_eq!(results[0].0, vec![vec![1.0, 2.0]]);
+        assert_eq!(results[0].1, vec![3.0]);
+        assert_eq!(ledger.total(), 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Execution substrate for distributed MemXCT: an MPI-style communicator
+//! backed by threads, plus analytic machine models for projecting measured
+//! kernel volumes onto the paper's supercomputers.
+//!
+//! The paper runs MPI ranks across up to 4096 nodes of ALCF Theta and NCSA
+//! Blue Waters. This reproduction provides:
+//!
+//! - [`run_ranks`] / [`Communicator`]: an SPMD harness where each "rank"
+//!   is a thread with private state, exchanging data only through MPI-like
+//!   collectives (`alltoallv`, `allreduce_sum`, `allgather`, `barrier`).
+//!   Semantics match MPI; per-pair traffic is accounted into a
+//!   communication matrix (Fig 7(c)).
+//! - [`MachineSpec`] / [`iteration_time`]: an α–β network + streaming
+//!   memory model parameterized by Table 2's machine characteristics. The
+//!   *volumes* fed to the model (nonzeroes per rank, bytes on each wire)
+//!   are computed by the real partitioner on the real matrices; only the
+//!   per-byte and per-message rates are modeled. This is the documented
+//!   substitution for hardware we do not have (see DESIGN.md).
+
+#![warn(missing_docs)]
+
+mod comm;
+mod model;
+
+pub use comm::{run_ranks, CommLedger, Communicator};
+pub use model::{
+    iteration_time, KernelTimes, KernelVolumes, MachineSpec, BLUE_WATERS, COOLEY, THETA,
+};

@@ -1,0 +1,96 @@
+//! Property tests for the communicator: collective semantics must hold
+//! for arbitrary rank counts and message sizes, and the traffic ledger
+//! must account every byte exactly.
+
+use proptest::prelude::*;
+use xct_runtime::run_ranks;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn alltoallv_delivers_everything(
+        size in 1usize..6,
+        seed in any::<u32>(),
+    ) {
+        // Rank r sends to q a buffer of length (r*7 + q*3 + seed) % 5
+        // filled with a value encoding (r, q).
+        let (results, ledger) = run_ranks(size, |c| {
+            let send: Vec<Vec<f32>> = (0..size)
+                .map(|q| {
+                    let len = ((c.rank() * 7 + q * 3 + seed as usize) % 5) as usize;
+                    vec![(c.rank() * 100 + q) as f32; len]
+                })
+                .collect();
+            c.alltoallv(send)
+        });
+        let mut expected_bytes = 0u64;
+        for (rank, recv) in results.iter().enumerate() {
+            for (src, buf) in recv.iter().enumerate() {
+                let len = (src * 7 + rank * 3 + seed as usize) % 5;
+                prop_assert_eq!(buf.len(), len);
+                for &v in buf {
+                    prop_assert_eq!(v, (src * 100 + rank) as f32);
+                }
+                if src != rank {
+                    expected_bytes += len as u64 * 4;
+                }
+            }
+        }
+        prop_assert_eq!(ledger.total(), expected_bytes);
+    }
+
+    #[test]
+    fn allreduce_is_order_independent_and_exact(
+        size in 1usize..6,
+        values in prop::collection::vec(-100i32..100, 1..8),
+    ) {
+        let vals = values.clone();
+        let (results, _) = run_ranks(size, move |c| {
+            // Integer-valued f32 so the sum is exact.
+            let mut v: Vec<f32> = vals.iter().map(|&x| (x + c.rank() as i32) as f32).collect();
+            c.allreduce_sum(&mut v);
+            v
+        });
+        let rank_sum: i64 = (0..size as i64).sum();
+        for r in &results {
+            for (i, &got) in r.iter().enumerate() {
+                let want = size as i64 * values[i] as i64 + rank_sum;
+                prop_assert_eq!(got as i64, want);
+            }
+        }
+        // Every rank computed the identical result.
+        for r in &results[1..] {
+            prop_assert_eq!(r, &results[0]);
+        }
+    }
+
+    #[test]
+    fn ledger_send_recv_totals_are_consistent(size in 2usize..6) {
+        let (_, ledger) = run_ranks(size, |c| {
+            let send: Vec<Vec<f32>> = (0..size).map(|q| vec![0.5; q + 1]).collect();
+            c.alltoallv(send)
+        });
+        let sent: u64 = (0..size).map(|r| ledger.sent_by(r)).sum();
+        let recvd: u64 = (0..size).map(|r| ledger.received_by(r)).sum();
+        prop_assert_eq!(sent, recvd);
+        prop_assert_eq!(sent, ledger.total());
+    }
+
+    #[test]
+    fn alltoallv_u32_roundtrips(size in 1usize..5, base in 0u32..1000) {
+        let (results, _) = run_ranks(size, move |c| {
+            let send: Vec<Vec<u32>> = (0..size)
+                .map(|q| (0..3).map(|i| base + (c.rank() * 16 + q * 4 + i) as u32).collect())
+                .collect();
+            c.alltoallv_u32(send)
+        });
+        for (rank, recv) in results.iter().enumerate() {
+            for (src, buf) in recv.iter().enumerate() {
+                let want: Vec<u32> =
+                    (0..3).map(|i| base + (src * 16 + rank * 4 + i) as u32).collect();
+                prop_assert_eq!(buf, &want);
+            }
+        }
+    }
+}

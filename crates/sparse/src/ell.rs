@@ -1,0 +1,188 @@
+//! Column-major ELL storage with partition-level zero padding — the
+//! CPU-side analog of MemXCT's GPU kernel (§3.1.4).
+//!
+//! On the GPU, each row partition maps to a CUDA thread block and each row
+//! to a thread; storing the partition's entries column-major (transposed
+//! ELL) makes consecutive threads touch consecutive memory (coalescing).
+//! Padding happens per partition (to that partition's max row length), not
+//! per matrix — exactly the trick the paper credits for beating cuSPARSE
+//! (§4.2.5). Padded slots use column 0 with value 0 and are *multiplied
+//! anyway* ("we pad with 0 and perform redundant multiplication with 0 to
+//! avoid thread divergence").
+
+use crate::csr::CsrMatrix;
+use rayon::prelude::*;
+
+/// One ELL partition: `width` slots per row, stored column-major.
+#[derive(Debug, Clone)]
+struct EllPartition {
+    /// Rows in this partition (≤ partsize).
+    rows: usize,
+    /// Max nonzeroes per row in this partition (padding width).
+    width: usize,
+    /// Column indices, column-major: slot `s`, row `j` at `s * rows + j`.
+    colind: Vec<u32>,
+    /// Values, same layout.
+    values: Vec<f32>,
+}
+
+/// ELL matrix with partition-level padding.
+#[derive(Debug, Clone)]
+pub struct EllMatrix {
+    nrows: usize,
+    ncols: usize,
+    partitions: Vec<EllPartition>,
+    padded_nnz: usize,
+    nnz: usize,
+}
+
+impl EllMatrix {
+    /// Convert a CSR matrix, partitioning rows into blocks of `partsize`.
+    pub fn from_csr(a: &CsrMatrix, partsize: usize) -> Self {
+        assert!(partsize > 0);
+        let mut partitions = Vec::with_capacity(a.nrows().div_ceil(partsize));
+        let mut padded_nnz = 0;
+        for row_base in (0..a.nrows()).step_by(partsize) {
+            let rows = partsize.min(a.nrows() - row_base);
+            let width = (0..rows)
+                .map(|j| a.rowptr()[row_base + j + 1] - a.rowptr()[row_base + j])
+                .max()
+                .unwrap_or(0);
+            let mut colind = vec![0u32; width * rows];
+            let mut values = vec![0f32; width * rows];
+            for j in 0..rows {
+                let lo = a.rowptr()[row_base + j];
+                let hi = a.rowptr()[row_base + j + 1];
+                for (s, k) in (lo..hi).enumerate() {
+                    colind[s * rows + j] = a.colind()[k];
+                    values[s * rows + j] = a.values()[k];
+                }
+            }
+            padded_nnz += width * rows;
+            partitions.push(EllPartition {
+                rows,
+                width,
+                colind,
+                values,
+            });
+        }
+        EllMatrix {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            partitions,
+            padded_nnz,
+            nnz: a.nnz(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Stored (unpadded) nonzeroes.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Total slots including padding; the padding overhead ratio is
+    /// `padded_nnz / nnz`.
+    pub fn padded_nnz(&self) -> usize {
+        self.padded_nnz
+    }
+
+    /// `y = A·x` with one "thread block" per partition.
+    pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.ncols, "x length");
+        let mut y = vec![0f32; self.nrows];
+        let chunks: Vec<(&EllPartition, &mut [f32])> = {
+            // Split y into per-partition output slices.
+            let mut rest = y.as_mut_slice();
+            let mut out = Vec::with_capacity(self.partitions.len());
+            for p in &self.partitions {
+                let (head, tail) = rest.split_at_mut(p.rows);
+                out.push((p, head));
+                rest = tail;
+            }
+            out
+        };
+        chunks.into_par_iter().for_each(|(p, out)| {
+            // Column-major sweep: slot-by-slot over all rows, emulating the
+            // coalesced access of consecutive CUDA threads.
+            for s in 0..p.width {
+                let cols = &p.colind[s * p.rows..(s + 1) * p.rows];
+                let vals = &p.values[s * p.rows..(s + 1) * p.rows];
+                for j in 0..p.rows {
+                    // Padded slots multiply x[0] by 0 — redundant on
+                    // purpose, mirroring the divergence-free GPU kernel.
+                    out[j] += x[cols[j] as usize] * vals[j];
+                }
+            }
+        });
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmv::spmv;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_rows(
+            5,
+            &[
+                vec![(0, 1.0), (3, 2.0), (4, 1.5)],
+                vec![(1, -1.0)],
+                vec![],
+                vec![(0, 0.5), (1, 0.5), (2, 0.5), (3, 0.5), (4, 0.5)],
+                vec![(2, 3.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn matches_csr_spmv() {
+        let a = sample();
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let want = spmv(&a, &x);
+        for partsize in [1, 2, 3, 8] {
+            let ell = EllMatrix::from_csr(&a, partsize);
+            let got = ell.spmv(&x);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-5, "partsize {partsize}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_level_padding_is_tighter_than_matrix_level() {
+        let a = sample();
+        // Matrix-level padding would cost nrows * max_width = 5*5 = 25.
+        let per_matrix = 25;
+        let ell = EllMatrix::from_csr(&a, 2);
+        assert!(ell.padded_nnz() < per_matrix, "{}", ell.padded_nnz());
+        assert!(ell.padded_nnz() >= ell.nnz());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = CsrMatrix::zeros(4, 4);
+        let ell = EllMatrix::from_csr(&a, 2);
+        assert_eq!(ell.spmv(&[1.0; 4]), vec![0.0; 4]);
+        assert_eq!(ell.padded_nnz(), 0);
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let ell = EllMatrix::from_csr(&sample(), 2);
+        assert_eq!(ell.nrows(), 5);
+        assert_eq!(ell.ncols(), 5);
+        assert_eq!(ell.nnz(), 10);
+    }
+}

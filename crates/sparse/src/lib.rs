@@ -1,0 +1,31 @@
+//! Sparse kernels for MemXCT (SC '19, §3.1 and §3.3).
+//!
+//! MemXCT performs forward and backprojection as explicit SpMV over a
+//! memoized projection matrix. This crate provides:
+//!
+//! - [`CsrMatrix`]: compressed sparse row storage (f32 values, u32 column
+//!   indices — the paper's layout);
+//! - [`CsrMatrix::transpose_scan`]: the order-preserving scan-based sparse
+//!   transposition of §3.5.1 (no atomics, locality preserved);
+//! - [`spmv`] / [`spmv_parallel`]: the baseline kernel of Listing 2 with
+//!   OpenMP-style dynamically-scheduled row partitions;
+//! - [`EllMatrix`]: column-major ELL with *partition-level* zero padding,
+//!   the GPU (coalesced-access) kernel analog of §3.1.4;
+//! - [`BufferedCsr`]: the multi-stage input-buffered kernel of Listing 3,
+//!   with 16-bit in-buffer addressing (§3.3.5);
+//! - [`PartitionStats`]: footprint / data-reuse / staging statistics used
+//!   by Fig 6 and the bandwidth accounting of Fig 9.
+
+#![warn(missing_docs)]
+
+mod buffered;
+mod csr;
+mod ell;
+mod spmv;
+mod stats;
+
+pub use buffered::{BufferIndex, BufferedCsr, BufferedCsr32, BufferedCsrImpl};
+pub use csr::CsrMatrix;
+pub use ell::EllMatrix;
+pub use spmv::{spmv, spmv_into, spmv_parallel, spmv_parallel_into};
+pub use stats::{matrix_stats, partition_stats, MatrixStats, PartitionStats};

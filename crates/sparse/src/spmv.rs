@@ -1,0 +1,124 @@
+//! The baseline MemXCT kernel (Listing 2): CSR SpMV with row partitions
+//! dynamically scheduled across threads.
+//!
+//! Each fused multiply-add reads two *regular* streams (`ind`, `val`) and
+//! one *irregular* value (`x[ind]`); the irregular access is the memory
+//! bottleneck the ordering and buffering optimizations attack.
+
+use crate::csr::CsrMatrix;
+use rayon::prelude::*;
+
+/// Sequential CSR SpMV: `y = A·x`.
+pub fn spmv(a: &CsrMatrix, x: &[f32]) -> Vec<f32> {
+    let mut y = vec![0f32; a.nrows()];
+    spmv_into(a, x, &mut y);
+    y
+}
+
+/// Sequential CSR SpMV into a caller-provided output.
+pub fn spmv_into(a: &CsrMatrix, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), a.ncols(), "x length");
+    assert_eq!(y.len(), a.nrows(), "y length");
+    let rowptr = a.rowptr();
+    let colind = a.colind();
+    let values = a.values();
+    for (i, out) in y.iter_mut().enumerate() {
+        let mut acc = 0f32;
+        for k in rowptr[i]..rowptr[i + 1] {
+            acc += x[colind[k] as usize] * values[k];
+        }
+        *out = acc;
+    }
+}
+
+/// Parallel CSR SpMV: row partitions of `partsize` rows are distributed
+/// across threads with dynamic scheduling (the analog of
+/// `#pragma omp parallel for schedule(dynamic, partsize)` in Listing 2).
+pub fn spmv_parallel(a: &CsrMatrix, x: &[f32], partsize: usize) -> Vec<f32> {
+    let mut y = vec![0f32; a.nrows()];
+    spmv_parallel_into(a, x, &mut y, partsize);
+    y
+}
+
+/// Parallel CSR SpMV into a caller-provided output.
+pub fn spmv_parallel_into(a: &CsrMatrix, x: &[f32], y: &mut [f32], partsize: usize) {
+    assert_eq!(x.len(), a.ncols(), "x length");
+    assert_eq!(y.len(), a.nrows(), "y length");
+    assert!(partsize > 0, "partition size must be positive");
+    let rowptr = a.rowptr();
+    let colind = a.colind();
+    let values = a.values();
+    y.par_chunks_mut(partsize)
+        .enumerate()
+        .for_each(|(p, chunk)| {
+            let base = p * partsize;
+            for (j, out) in chunk.iter_mut().enumerate() {
+                let i = base + j;
+                let mut acc = 0f32;
+                for k in rowptr[i]..rowptr[i + 1] {
+                    acc += x[colind[k] as usize] * values[k];
+                }
+                *out = acc;
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_rows(
+            4,
+            &[
+                vec![(0, 1.0), (3, 2.0)],
+                vec![(1, -1.0)],
+                vec![],
+                vec![(0, 0.5), (1, 0.5), (2, 0.5), (3, 0.5)],
+            ],
+        )
+    }
+
+    #[test]
+    fn matches_dense_multiply() {
+        let a = sample();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = spmv(&a, &x);
+        assert_eq!(y, vec![9.0, -2.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let a = sample();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        for partsize in [1, 2, 3, 64] {
+            assert_eq!(spmv_parallel(&a, &x, partsize), spmv(&a, &x));
+        }
+    }
+
+    #[test]
+    fn empty_rows_produce_zero() {
+        let a = CsrMatrix::zeros(3, 3);
+        assert_eq!(spmv(&a, &[1.0, 1.0, 1.0]), vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "x length")]
+    fn wrong_x_length_panics() {
+        spmv(&sample(), &[1.0]);
+    }
+
+    #[test]
+    fn transpose_spmv_is_adjoint() {
+        // <A x, y> == <x, A^T y> — the identity iterative solvers rely on.
+        let a = sample();
+        let at = a.transpose_scan();
+        let x = [1.0f32, 2.0, 3.0, 4.0];
+        let y = [0.5f32, -1.0, 2.0, 0.0];
+        let ax = spmv(&a, &x);
+        let aty = spmv(&at, &y);
+        let lhs: f32 = ax.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,112 @@
+//! The real measurement pipeline: transmission photon counts → Beer's-law
+//! normalization → centre-of-rotation correction → ring-artifact removal →
+//! reconstruction. Demonstrates why each correction step exists by
+//! reconstructing with and without it.
+//!
+//! ```text
+//! cargo run --release --example corrections [grid_size]
+//! ```
+
+use memxct::{Reconstructor, StopRule};
+use xct_geometry::{
+    correct_center, remove_rings, shepp_logan, shift_sinogram, simulate_sinogram, Grid,
+    NoiseModel, ScanGeometry, Sinogram,
+};
+
+fn rel_err(a: &[f32], b: &[f32]) -> f64 {
+    let num: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| ((x - y) as f64).powi(2))
+        .sum::<f64>()
+        .sqrt();
+    let den: f64 = b.iter().map(|&y| (y as f64).powi(2)).sum::<f64>().sqrt();
+    num / den
+}
+
+fn main() {
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
+    let m = 3 * n / 2;
+    let grid = Grid::new(n);
+    let scan = ScanGeometry::new(m, n);
+    let truth = shepp_logan().rasterize(n);
+
+    println!("correction pipeline demo: {m}x{n} scan of the Shepp-Logan phantom\n");
+
+    // --- Stage 0: what the detector actually measures -------------------
+    // Ideal line integrals...
+    let ideal = simulate_sinogram(&truth, &grid, &scan, NoiseModel::None, 0);
+    // ...converted to photon counts (Beer's law)...
+    let i0 = 5e4f32;
+    let att = 0.05f32;
+    let counts: Vec<f32> = ideal.data().iter().map(|&p| i0 * (-p * att).exp()).collect();
+    // ...recovered by log-normalization. (In production the per-channel I0
+    // comes from measured flat fields.)
+    let normalized = Sinogram::from_transmission(scan, &counts, i0);
+    let mut renorm = normalized.into_data();
+    for v in &mut renorm {
+        *v /= att;
+    }
+    let normalized = Sinogram::new(scan, renorm);
+    println!(
+        "log-normalization roundtrip error: {:.2e} (exact up to float noise)",
+        rel_err(normalized.data(), ideal.data())
+    );
+
+    // --- Stage 1: the rotation axis is 3.2 channels off ------------------
+    let miscentered = shift_sinogram(&normalized, 3.2);
+    // --- Stage 2: four detector channels have strong gain errors ---------
+    let mut data = miscentered.data().to_vec();
+    let nn = n as usize;
+    for p in 0..m as usize {
+        for (c, v) in data.iter_mut().skip(p * nn).take(nn).enumerate() {
+            *v += match (c as u32 * 100 / n) as u32 {
+                23 => 6.0,
+                61 => -4.5,
+                _ => 0.0,
+            };
+        }
+    }
+    let raw = Sinogram::new(scan, data);
+
+    // --- Reconstruct at each stage of correction ------------------------
+    let rec = Reconstructor::new(grid, scan);
+    let stop = StopRule::EarlyTermination {
+        max_iters: 30,
+        min_decrease: 0.02,
+    };
+
+    // Ring removal operates in raw detector coordinates (gain errors live
+    // per physical channel) and must precede the centre-of-rotation
+    // resampling, which would smear each stripe across two channels.
+    let uncorrected = rec.reconstruct_cg(&raw, stop);
+    let (cor_only_sino, est) = correct_center(&raw);
+    let cor_only = rec.reconstruct_cg(&cor_only_sino, stop);
+    let deringed = remove_rings(&raw, 2);
+    let (full_sino, _) = correct_center(&deringed);
+    let full = rec.reconstruct_cg(&full_sino, stop);
+
+    println!("estimated centre shift: {est:.2} channels (injected 3.20)\n");
+    println!("{:<38} {:>12}", "pipeline", "image error");
+    println!(
+        "{:<38} {:>12.4}",
+        "no corrections",
+        rel_err(&uncorrected.image, &truth)
+    );
+    println!(
+        "{:<38} {:>12.4}",
+        "centre-of-rotation only",
+        rel_err(&cor_only.image, &truth)
+    );
+    println!(
+        "{:<38} {:>12.4}",
+        "ring removal + centre-of-rotation",
+        rel_err(&full.image, &truth)
+    );
+    println!("\nthe corrections compose: the axis error dominates until it is fixed, and");
+    println!("once centred, the remaining gap to the fully-corrected result is the ring");
+    println!("artifacts the sorted-domain estimator removed from the raw data.");
+}

@@ -1,0 +1,98 @@
+//! Fan-beam reconstruction assembled from the library's building blocks.
+//!
+//! The paper's pipeline is parallel-beam, but the memory-centric idea is
+//! geometry-agnostic: memoize *any* ray set into a sparse matrix once,
+//! then solve with SpMV. This example builds a fan-beam projection matrix
+//! by hand — Hilbert-ordering the tomogram, tracing the divergent rays,
+//! scan-transposing, wrapping in the buffered kernel — and reconstructs
+//! with the shared CGLS solver.
+//!
+//! ```text
+//! cargo run --release --example fanbeam [grid_size]
+//! ```
+
+use memxct::{cgls, StopRule};
+use xct_geometry::{shepp_logan, simulate_sinogram_fan, FanBeamGeometry, Grid};
+use xct_hilbert::TwoLevelOrdering;
+use xct_sparse::{BufferedCsr, CsrMatrix};
+
+fn main() {
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(96);
+    // The detector must out-span the magnified object shadow:
+    // field of view at the axis = channels / magnification.
+    let geom = FanBeamGeometry::new(3 * n, 3 * n / 2, 2.5 * n as f64, n as f64);
+    println!(
+        "fan-beam reconstruction: {} views x {} channels, magnification {:.2}, {n}x{n} grid",
+        geom.num_projections,
+        geom.num_channels,
+        geom.magnification()
+    );
+
+    let grid = Grid::new(n);
+    let truth = shepp_logan().rasterize(n);
+    let sino = simulate_sinogram_fan(&truth, &grid, &geom);
+
+    // Memoize: Hilbert-order the tomogram, trace every fan ray into CSR.
+    let t = std::time::Instant::now();
+    let tomo_ord = TwoLevelOrdering::with_default_tile(n, n).into_ordering();
+    let rows: Vec<Vec<(u32, f32)>> = (0..geom.num_projections)
+        .flat_map(|p| (0..geom.num_channels).map(move |c| (p, c)))
+        .map(|(p, c)| {
+            let mut row = Vec::new();
+            xct_geometry::trace_ray(&grid, &geom.ray(p, c), |pixel, len| {
+                let (i, j) = grid.pixel_coords(pixel);
+                row.push((tomo_ord.rank(i, j), len));
+            });
+            row
+        })
+        .collect();
+    let a = CsrMatrix::from_rows(grid.num_pixels(), &rows);
+    let at = a.transpose_scan();
+    let a_buf = BufferedCsr::from_csr(&a, 128, 2048);
+    let at_buf = BufferedCsr::from_csr(&at, 128, 2048);
+    println!(
+        "memoized fan-beam matrix: {:.2}M nnz in {:.2}s",
+        a.nnz() as f64 / 1e6,
+        t.elapsed().as_secs_f64()
+    );
+
+    // Solve with the shared CGLS over the buffered kernels.
+    let t = std::time::Instant::now();
+    let (x, records) = cgls(
+        &sino,
+        a.ncols(),
+        |p| a_buf.spmv_parallel(p),
+        |r| at_buf.spmv_parallel(r),
+        StopRule::EarlyTermination {
+            max_iters: 40,
+            min_decrease: 0.02,
+        },
+    );
+    let image = tomo_ord.scatter(&x);
+    println!(
+        "{} CG iterations in {:.2}s",
+        records.len(),
+        t.elapsed().as_secs_f64()
+    );
+    println!(
+        "relative L2 error vs phantom: {:.4}",
+        rel_err(&image, &truth)
+    );
+    println!("\nthe same memoize-once/SpMV-everywhere structure the paper builds for");
+    println!("parallel-beam synchrotron data carries over to divergent-beam geometry");
+    println!("with zero kernel changes — only the ray generator differs.");
+}
+
+fn rel_err(a: &[f32], b: &[f32]) -> f64 {
+    let num: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| ((x - y) as f64).powi(2))
+        .sum::<f64>()
+        .sqrt();
+    let den: f64 = b.iter().map(|&y| (y as f64).powi(2)).sum::<f64>().sqrt();
+    num / den
+}

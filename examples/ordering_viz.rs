@@ -1,0 +1,79 @@
+//! Visualize the two-level pseudo-Hilbert ordering on the paper's 13×11
+//! example domain (Fig 4), and compare partition connectivity against
+//! Morton and row-major orderings (§3.2.3).
+//!
+//! ```text
+//! cargo run --release --example ordering_viz [width] [height] [tile]
+//! ```
+
+use xct_hilbert::{Ordering2D, TwoLevelOrdering};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let w: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(13);
+    let h: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(11);
+    let tile: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    let two = TwoLevelOrdering::new(w, h, tile);
+    let lay = two.layout();
+    println!(
+        "two-level pseudo-Hilbert ordering of a {w}x{h} domain: {} tiles of {t}x{t} ({}x{} grid)",
+        lay.num_tiles(),
+        lay.tiles_x,
+        lay.tiles_y,
+        t = tile,
+    );
+
+    // Level 1: tile indices along the rectangular Hilbert curve (Fig 4a).
+    println!("\nlevel 1 — tile curve order:");
+    let mut tile_rank = vec![0usize; (lay.tiles_x * lay.tiles_y) as usize];
+    for (i, &(tx, ty)) in lay.tile_order.iter().enumerate() {
+        tile_rank[(ty * lay.tiles_x + tx) as usize] = i;
+    }
+    for ty in 0..lay.tiles_y {
+        let row: Vec<String> = (0..lay.tiles_x)
+            .map(|tx| format!("{:3}", tile_rank[(ty * lay.tiles_x + tx) as usize]))
+            .collect();
+        println!("  {}", row.join(" "));
+    }
+
+    // Level 2: cell ranks (Fig 4's full picture).
+    let ord = two.ordering();
+    println!("\nlevel 2 — cell memory ranks:");
+    for y in 0..h {
+        let row: Vec<String> = (0..w).map(|x| format!("{:4}", ord.rank(x, y))).collect();
+        println!("  {}", row.join(""));
+    }
+
+    // Locality metrics vs the alternatives.
+    println!("\nlocality comparison (lower step distance & more connected partitions = better):");
+    println!(
+        "  {:<22} {:>10} {:>12} {:>22}",
+        "ordering", "mean step", "adjacency", "connected partitions/8"
+    );
+    let all: Vec<(&str, Ordering2D)> = vec![
+        ("row-major", Ordering2D::row_major(w, h)),
+        ("column-major", Ordering2D::column_major(w, h)),
+        ("morton", Ordering2D::morton(w, h)),
+        ("hilbert (padded)", Ordering2D::hilbert_square(w, h)),
+        ("two-level hilbert", two.ordering().clone()),
+    ];
+    for (name, o) in &all {
+        println!(
+            "  {:<22} {:>10.3} {:>11.1}% {:>19}/8",
+            name,
+            o.mean_step_distance(),
+            o.adjacency_fraction() * 100.0,
+            o.connected_partition_count(8),
+        );
+    }
+    println!("\nthe process-level decomposition (Fig 4b) assigns contiguous tile runs:");
+    for (p, range) in lay.partition_ranks(4).iter().enumerate() {
+        println!(
+            "  process {p}: ranks {:5}..{:5} ({} cells)",
+            range.start,
+            range.end,
+            range.end - range.start
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the MemXCT reproduction: re-exports every workspace
+//! crate so examples and integration tests can use one dependency.
+//!
+//! See the individual crates for the actual implementation:
+//! [`memxct`] (core reconstruction), [`xct_geometry`], [`xct_hilbert`],
+//! [`xct_sparse`], [`xct_cachesim`], [`xct_runtime`], [`xct_compxct`].
+
+#![warn(missing_docs)]
+
+pub use memxct;
+pub use xct_cachesim;
+pub use xct_compxct;
+pub use xct_geometry;
+pub use xct_hilbert;
+pub use xct_runtime;
+pub use xct_sparse;
