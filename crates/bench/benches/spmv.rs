@@ -38,7 +38,9 @@ fn bench_spmv(c: &mut Criterion) {
         b.iter(|| spmv_parallel(a, &x, 128))
     });
     let ell = EllMatrix::from_csr(&hl.a, 128);
-    g.bench_function(BenchmarkId::new("ell", "hilbert"), |b| b.iter(|| ell.spmv(&x)));
+    g.bench_function(BenchmarkId::new("ell", "hilbert"), |b| {
+        b.iter(|| ell.spmv(&x))
+    });
     let buf = BufferedCsr::from_csr(&hl.a, 128, 2048);
     g.bench_function(BenchmarkId::new("buffered", "hilbert"), |b| {
         b.iter(|| buf.spmv_parallel(&x))

@@ -42,8 +42,18 @@ fn main() {
     assert_eq!(m16.num_stages(), m32.num_stages());
     assert_eq!(m16.map_len(), m32.map_len());
 
-    let t16 = time_median(|| { std::hint::black_box(m16.spmv_parallel(&x)); }, reps);
-    let t32 = time_median(|| { std::hint::black_box(m32.spmv_parallel(&x)); }, reps);
+    let t16 = time_median(
+        || {
+            std::hint::black_box(m16.spmv_parallel(&x));
+        },
+        reps,
+    );
+    let t32 = time_median(
+        || {
+            std::hint::black_box(m32.spmv_parallel(&x));
+        },
+        reps,
+    );
 
     println!(
         "{:<16} {:>14} {:>10} {:>10} {:>12}",

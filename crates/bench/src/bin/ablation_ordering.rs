@@ -58,7 +58,11 @@ fn main() {
 
     // Cache small enough that the scaled tomogram exercises capacity
     // misses (footprint/capacity ratio comparable to the paper's).
-    let cache = CacheConfig::new(64, (n as usize * n as usize / 8).next_power_of_two().max(4096), 8);
+    let cache = CacheConfig::new(
+        64,
+        (n as usize * n as usize / 8).next_power_of_two().max(4096),
+        8,
+    );
 
     for (name, ordering) in orderings {
         let ord2d = ordering_2d(ordering, n, n);

@@ -50,7 +50,12 @@ fn main() {
 
         let x: Vec<f32> = (0..ops.a.ncols()).map(|i| (i % 9) as f32 * 0.25).collect();
         let buf = ops.a_buf.as_ref().unwrap();
-        let t = time_median(|| { std::hint::black_box(buf.spmv_parallel(&x)); }, 3);
+        let t = time_median(
+            || {
+                std::hint::black_box(buf.spmv_parallel(&x));
+            },
+            3,
+        );
 
         let y = ops.order_sinogram(&sino);
         let (rec, _) = cgls(

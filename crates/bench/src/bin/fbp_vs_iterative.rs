@@ -47,7 +47,11 @@ fn run_case(n: u32, projections: u32, noise: NoiseModel) -> (f64, f64, usize) {
         },
     );
     let img_cg = ops.unorder_tomogram(&x);
-    (rel_err(&img_fbp, &truth), rel_err(&img_cg, &truth), recs.len())
+    (
+        rel_err(&img_fbp, &truth),
+        rel_err(&img_cg, &truth),
+        recs.len(),
+    )
 }
 
 fn main() {

@@ -39,7 +39,7 @@ fn main() {
         &DistConfig {
             ranks,
             use_buffered: true,
-            iters: 30,
+            stop: memxct::StopRule::Fixed(30),
             solver: memxct::DistSolver::Cg,
         },
     );

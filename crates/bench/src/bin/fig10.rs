@@ -48,7 +48,12 @@ fn main() {
         for kb in buffsizes_kb {
             let buff = kb * 1024 / 4;
             let m = BufferedCsr::from_csr(&ops.a, ps, buff);
-            let t = time_median(|| { std::hint::black_box(m.spmv_parallel(&x)); }, 3);
+            let t = time_median(
+                || {
+                    std::hint::black_box(m.spmv_parallel(&x));
+                },
+                3,
+            );
             let g = gflops(nnz, t);
             if g > best.0 {
                 best = (g, ps, kb);

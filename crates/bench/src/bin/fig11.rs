@@ -12,7 +12,8 @@
 //! cargo run --release -p xct-bench --bin fig11 [scale_divisor]
 //! ```
 
-use xct_bench::{analytic_volumes, calibrate_comm, scale_from_args};
+use memxct::{DistConfig, DistSolver, Reconstructor, StopRule};
+use xct_bench::{analytic_volumes, calibrate_comm, scale_from_args, simulate};
 use xct_geometry::{Dataset, SampleKind, ADS2, ADS3, RDS1, RDS2};
 use xct_runtime::{iteration_time, MachineSpec, BLUE_WATERS, THETA};
 
@@ -50,7 +51,10 @@ fn print_series(title: &str, spec: &MachineSpec, points: &[(usize, Dataset)], ca
                     scale * t.r
                 );
             }
-            None => println!("{:>6} {:>7}x{:<6} {:>10}", nodes, ds.projections, ds.channels, "no fit"),
+            None => println!(
+                "{:>6} {:>7}x{:<6} {:>10}",
+                nodes, ds.projections, ds.channels, "no fit"
+            ),
         }
     }
     println!();
@@ -62,9 +66,8 @@ fn main() {
     println!("Fig 11: scaling with per-kernel breakdown (modeled, 30 CG iterations)\n");
 
     // (a) ADS3 weak scaling on Theta: 1500x1024 root, 1 -> 4096 nodes.
-    let weak_theta: Vec<(usize, Dataset)> = (0..5)
-        .map(|k| (8usize.pow(k), grown(&ADS3, k)))
-        .collect();
+    let weak_theta: Vec<(usize, Dataset)> =
+        (0..5).map(|k| (8usize.pow(k), grown(&ADS3, k))).collect();
     print_series(
         "(a) ADS3 weak scaling, Theta (paper: good scaling, C grows as O(sqrt P))",
         &THETA,
@@ -73,9 +76,7 @@ fn main() {
     );
 
     // (b) ADS2 weak scaling on Blue Waters: 750x512 root.
-    let weak_bw: Vec<(usize, Dataset)> = (0..5)
-        .map(|k| (8usize.pow(k), grown(&ADS2, k)))
-        .collect();
+    let weak_bw: Vec<(usize, Dataset)> = (0..5).map(|k| (8usize.pow(k), grown(&ADS2, k))).collect();
     print_series(
         "(b) ADS2 weak scaling, Blue Waters (paper: comm-bound from 512 nodes up)",
         &BLUE_WATERS,
@@ -110,4 +111,38 @@ fn main() {
     println!("reading the curves: A_p drops ~1/P (super-linear where the per-node working");
     println!("set falls into MCDRAM/HBM); C shrinks only as 1/sqrt(P) and eventually");
     println!("dominates — the crossover is the strong-scaling limit, as in the paper.");
+
+    // (e) Measured reference: the same A_p / C / R split, actually executed
+    // on this host. These numbers come from the operator layer's
+    // `KernelBreakdown` — the one timing code path shared by the serial
+    // `Reconstructor`, the distributed ranks, and fig9.
+    let ds = ADS2.scaled_projections(div.max(8));
+    let (_truth, sino) = simulate(&ds, true);
+    let rec = Reconstructor::new(ds.grid(), ds.scan());
+    let out = rec.reconstruct_distributed(
+        &sino,
+        &DistConfig {
+            ranks: 4,
+            use_buffered: true,
+            stop: StopRule::Fixed(30),
+            solver: DistSolver::Cg,
+        },
+    );
+    let n = out.breakdown.len() as f64;
+    let (ap, c, r) = out
+        .breakdown
+        .iter()
+        .fold((0.0, 0.0, 0.0), |(a, b, cc), kb| {
+            (a + kb.ap_s, b + kb.c_s, cc + kb.r_s)
+        });
+    println!(
+        "\n(e) measured reference ({}x{}, 4 thread-ranks, 30 CG iterations on this host):",
+        ds.projections, ds.channels
+    );
+    println!(
+        "    mean per-rank A_p {:.4} s, C {:.4} s, R {:.4} s (KernelBreakdown schema)",
+        ap / n,
+        c / n,
+        r / n
+    );
 }

@@ -109,7 +109,12 @@ fn main() {
     for (name, ops) in [("row-major", &rm), ("hilbert", &hl)] {
         let fwd = aggregate(&ops.a);
         let back = aggregate(&ops.at);
-        println!("{:<14} {:>15.1}% {:>15.1}%", name, fwd * 100.0, back * 100.0);
+        println!(
+            "{:<14} {:>15.1}% {:>15.1}%",
+            name,
+            fwd * 100.0,
+            back * 100.0
+        );
     }
 }
 

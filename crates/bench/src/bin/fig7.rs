@@ -56,11 +56,7 @@ fn main() {
         println!();
     }
 
-    let nonzero: usize = matrix
-        .iter()
-        .flatten()
-        .filter(|&&b| b > 0)
-        .count();
+    let nonzero: usize = matrix.iter().flatten().filter(|&&b| b > 0).count();
     println!(
         "\n{nonzero} of {} off-diagonal pairs communicate ({}% sparse)",
         ranks * ranks - ranks,
@@ -71,12 +67,12 @@ fn main() {
     if ranks > 7 {
         println!("\npairwise communication of process 7 (KB):");
         println!("{:>6} {:>10} {:>10}", "pair", "send", "recv");
-        for q in 0..ranks {
+        for (q, (&sent, row)) in matrix[7].iter().zip(&matrix).enumerate() {
             if q == 7 {
                 continue;
             }
-            let send = matrix[7][q] as f64 / 1024.0;
-            let recv = matrix[q][7] as f64 / 1024.0;
+            let send = sent as f64 / 1024.0;
+            let recv = row[7] as f64 / 1024.0;
             if send > 0.0 || recv > 0.0 {
                 println!("{q:>6} {send:>10.2} {recv:>10.2}");
             }
@@ -86,9 +82,9 @@ fn main() {
     // Fig 7(e): total incoming/outgoing per process.
     println!("\ntotal communication per process (KB):");
     println!("{:>6} {:>10} {:>10}", "proc", "send", "recv");
-    for p in 0..ranks {
-        let send: u64 = matrix[p].iter().sum();
-        let recv: u64 = (0..ranks).map(|s| matrix[s][p]).sum();
+    for (p, row) in matrix.iter().enumerate() {
+        let send: u64 = row.iter().sum();
+        let recv: u64 = matrix.iter().map(|r| r[p]).sum();
         println!(
             "{p:>6} {:>10.1} {:>10.1}",
             send as f64 / 1024.0,

@@ -53,7 +53,10 @@ fn main() {
             continue;
         }
         let cg_m = rec.reconstruct_cg(&sino, StopRule::Fixed(m));
-        println!("  CG@{m:<4} rel L2 error {:.4}", rel_err(&cg_m.image, &truth));
+        println!(
+            "  CG@{m:<4} rel L2 error {:.4}",
+            rel_err(&cg_m.image, &truth)
+        );
     }
     let si_final = rel_err(&si.image, &truth);
     println!("  SIRT@{iters:<3} rel L2 error {si_final:.4}");

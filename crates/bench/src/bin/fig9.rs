@@ -16,11 +16,14 @@
 //! cargo run --release -p xct-bench --bin fig9 [extra_projection_divisor]
 //! ```
 
-use memxct::{preprocess, Config, DomainOrdering, Operators};
-use xct_bench::{bandwidth_gbs, gflops, time_median};
+use memxct::{
+    preprocess, BufferedOperator, Config, DomainOrdering, Operators, ParallelOperator,
+    ProjectionOperator,
+};
+use xct_bench::{bandwidth_gbs, gflops};
 use xct_cachesim::{spmv_irregular_miss_rate, CacheConfig};
 use xct_geometry::{Dataset, ADS1, ADS2, ADS3, ADS4};
-use xct_sparse::{spmv_parallel, BufferedCsr};
+use xct_sparse::BufferedCsr;
 
 struct Variant {
     name: &'static str,
@@ -29,24 +32,55 @@ struct Variant {
     bandwidth: f64,
 }
 
-/// Forward+backprojection GFLOPS/bandwidth of one configuration.
+/// Median per-call kernel seconds, read from the operator's own
+/// [`memxct::KernelBreakdown`] instrumentation — the same timing path the
+/// solvers and the distributed ranks use.
+fn median_kernel_time(
+    op: &dyn ProjectionOperator,
+    reps: usize,
+    mut call: impl FnMut(&dyn ProjectionOperator),
+) -> f64 {
+    let mut t = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let before = op.breakdown().expect("instrumented operator").total();
+        call(op);
+        t.push(op.breakdown().expect("instrumented operator").total() - before);
+    }
+    t.sort_by(f64::total_cmp);
+    t[t.len() / 2]
+}
+
+/// Forward+backprojection GFLOPS/bandwidth of one configuration, timed
+/// through the [`ProjectionOperator`] layer.
 fn run(ops: &Operators, buffered: bool, reps: usize) -> (f64, f64) {
     let partsize = 128;
     let buffsize = 2048; // 8 KB, the paper's tuned KNL value
     let x: Vec<f32> = (0..ops.a.ncols()).map(|i| (i % 13) as f32 * 0.3).collect();
     let y: Vec<f32> = (0..ops.a.nrows()).map(|i| (i % 11) as f32 * 0.2).collect();
+    let mut yo = vec![0f32; ops.a.nrows()];
+    let mut xo = vec![0f32; ops.a.ncols()];
     let nnz = ops.a.nnz();
     if buffered {
         let fa = BufferedCsr::from_csr(&ops.a, partsize, buffsize);
         let fb = BufferedCsr::from_csr(&ops.at, partsize, buffsize);
-        let t_f = time_median(|| { std::hint::black_box(fa.spmv_parallel(&x)); }, reps);
-        let t_b = time_median(|| { std::hint::black_box(fb.spmv_parallel(&y)); }, reps);
+        let op = BufferedOperator::from_parts(&fa, &fb);
+        let t_f = median_kernel_time(&op, reps, |o| {
+            o.forward_into(&x, std::hint::black_box(&mut yo))
+        });
+        let t_b = median_kernel_time(&op, reps, |o| {
+            o.back_into(&y, std::hint::black_box(&mut xo))
+        });
         let t = (t_f + t_b) / 2.0;
         let bytes = (fa.regular_bytes() + fb.regular_bytes()) / 2;
         (gflops(nnz, t), bandwidth_gbs(bytes, t))
     } else {
-        let t_f = time_median(|| { std::hint::black_box(spmv_parallel(&ops.a, &x, partsize)); }, reps);
-        let t_b = time_median(|| { std::hint::black_box(spmv_parallel(&ops.at, &y, partsize)); }, reps);
+        let op = ParallelOperator::from_parts(&ops.a, &ops.at, partsize);
+        let t_f = median_kernel_time(&op, reps, |o| {
+            o.forward_into(&x, std::hint::black_box(&mut yo))
+        });
+        let t_b = median_kernel_time(&op, reps, |o| {
+            o.back_into(&y, std::hint::black_box(&mut xo))
+        });
         let t = (t_f + t_b) / 2.0;
         (gflops(nnz, t), bandwidth_gbs(ops.a.regular_bytes(), t))
     }
@@ -70,7 +104,12 @@ fn measure(ds: &Dataset, reps: usize) -> Vec<Variant> {
         );
         let (g, b) = run(&base, false, reps);
         let m = spmv_irregular_miss_rate(base.a.colind(), l2).miss_rate();
-        out.push(Variant { name: "baseline", gflops: g, miss_rate: m, bandwidth: b });
+        out.push(Variant {
+            name: "baseline",
+            gflops: g,
+            miss_rate: m,
+            bandwidth: b,
+        });
     }
     {
         let hil = preprocess(
@@ -83,9 +122,19 @@ fn measure(ds: &Dataset, reps: usize) -> Vec<Variant> {
         );
         let (g, b) = run(&hil, false, reps);
         let m = spmv_irregular_miss_rate(hil.a.colind(), l2).miss_rate();
-        out.push(Variant { name: "+hilbert", gflops: g, miss_rate: m, bandwidth: b });
+        out.push(Variant {
+            name: "+hilbert",
+            gflops: g,
+            miss_rate: m,
+            bandwidth: b,
+        });
         let (g, b) = run(&hil, true, reps);
-        out.push(Variant { name: "+buffering", gflops: g, miss_rate: m, bandwidth: b });
+        out.push(Variant {
+            name: "+buffering",
+            gflops: g,
+            miss_rate: m,
+            bandwidth: b,
+        });
     }
     out
 }
@@ -98,13 +147,10 @@ fn main() {
         .unwrap_or(1);
     // Per-dataset projection divisors keep every matrix around or below
     // ~250M nonzeroes at full tomogram width.
-    let cases = [
-        (ADS1, 1u32),
-        (ADS2, 4),
-        (ADS3, 16),
-        (ADS4, 48),
-    ];
-    println!("Fig 9: optimization stages per dataset (full tomogram width, projections/{extra} extra)\n");
+    let cases = [(ADS1, 1u32), (ADS2, 4), (ADS3, 16), (ADS4, 48)];
+    println!(
+        "Fig 9: optimization stages per dataset (full tomogram width, projections/{extra} extra)\n"
+    );
     println!(
         "{:<6} {:>11} {:<12} {:>8} {:>12} {:>10} {:>16}",
         "data", "sinogram", "variant", "GFLOPS", "L2 miss", "BW GB/s", "speedup vs base"

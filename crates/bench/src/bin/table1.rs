@@ -42,8 +42,7 @@ fn main() {
         let max_nnz = plans.iter().map(|pl| pl.a_local.nnz()).max().unwrap();
         let total_comm: f64 = plans.iter().map(|pl| pl.volumes().comm_bytes).sum();
         let per_rank = total_comm / p as f64;
-        let peers: f64 =
-            plans.iter().map(|pl| pl.volumes().comm_peers).sum::<f64>() / p as f64;
+        let peers: f64 = plans.iter().map(|pl| pl.volumes().comm_peers).sum::<f64>() / p as f64;
         // Normalize total comm by √P: a flat column verifies O(M·N·√P).
         let sqrt_norm = total_comm / (p as f64).sqrt();
         if base_comm.is_none() && p > 1 {

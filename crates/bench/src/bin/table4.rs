@@ -10,7 +10,7 @@
 //! cargo run --release -p xct-bench --bin table4 [scale_divisor]
 //! ```
 
-use memxct::{Reconstructor, Config};
+use memxct::{run_engine, CompOperator, Config, Constraint, Reconstructor, SirtRule, StopRule};
 use std::time::Instant;
 use xct_bench::{fmt_secs, scale_from_args, simulate};
 use xct_compxct::CompXct;
@@ -30,12 +30,19 @@ fn main() {
         let (_, sino) = simulate(&small, false);
 
         // Compute-centric: setup (normalization pass) + 45 on-the-fly
-        // iterations.
+        // iterations, run through the same generic engine as MemXCT —
+        // only the ProjectionOperator behind it differs.
         let t = Instant::now();
         let cx = CompXct::new(small.grid(), small.scan());
         let _cx_setup = t.elapsed().as_secs_f64();
         let t = Instant::now();
-        let (_, cx_stats) = cx.sirt(&sino, iters);
+        let (_, cx_stats) = run_engine(
+            &CompOperator::new(&cx),
+            sino.data(),
+            &mut SirtRule::new(1.0),
+            Constraint::None,
+            StopRule::Fixed(iters),
+        );
         let cx_recon = t.elapsed().as_secs_f64();
         let cx_iter = cx_stats.iter().map(|s| s.seconds).sum::<f64>() / iters as f64;
 

@@ -37,18 +37,61 @@ fn main() {
         paper_all: &'static str,
     }
     let rows = [
-        Row { label: "1-Theta (1 KNL)", spec: THETA, nodes: 1, paper_recon: "63.3 s", paper_all: "1.44 d" },
-        Row { label: "8-Theta (8 KNL)", spec: THETA, nodes: 8, paper_recon: "3.33 s", paper_all: "1.89 h" },
-        Row { label: "8-Cooley (16 K80)", spec: COOLEY, nodes: 8, paper_recon: "2.89 s", paper_all: "1.64 h" },
-        Row { label: "32-Blue W. (32 K20X)", spec: BLUE_WATERS, nodes: 32, paper_recon: "1.82 s", paper_all: "62.1 m" },
-        Row { label: "32-Theta (32 KNL)", spec: THETA, nodes: 32, paper_recon: "1.37 s", paper_all: "46.8 m" },
-        Row { label: "32-Cooley (64 K80)", spec: COOLEY, nodes: 32, paper_recon: "1.22 s", paper_all: "41.6 m" },
+        Row {
+            label: "1-Theta (1 KNL)",
+            spec: THETA,
+            nodes: 1,
+            paper_recon: "63.3 s",
+            paper_all: "1.44 d",
+        },
+        Row {
+            label: "8-Theta (8 KNL)",
+            spec: THETA,
+            nodes: 8,
+            paper_recon: "3.33 s",
+            paper_all: "1.89 h",
+        },
+        Row {
+            label: "8-Cooley (16 K80)",
+            spec: COOLEY,
+            nodes: 8,
+            paper_recon: "2.89 s",
+            paper_all: "1.64 h",
+        },
+        Row {
+            label: "32-Blue W. (32 K20X)",
+            spec: BLUE_WATERS,
+            nodes: 32,
+            paper_recon: "1.82 s",
+            paper_all: "62.1 m",
+        },
+        Row {
+            label: "32-Theta (32 KNL)",
+            spec: THETA,
+            nodes: 32,
+            paper_recon: "1.37 s",
+            paper_all: "46.8 m",
+        },
+        Row {
+            label: "32-Cooley (64 K80)",
+            spec: COOLEY,
+            nodes: 32,
+            paper_recon: "1.22 s",
+            paper_all: "41.6 m",
+        },
     ];
 
     println!("Table 5: RDS1 reconstruction on various nodes-machines (modeled; calibration scale 1/{div})\n");
     println!(
         "{:<22} {:>9} {:>8} {:>9} {:>8} {:>10} {:>9} {:>9}",
-        "nodes-machine", "preproc", "speedup", "recon", "speedup", "all slices", "paper", "paper all"
+        "nodes-machine",
+        "preproc",
+        "speedup",
+        "recon",
+        "speedup",
+        "all slices",
+        "paper",
+        "paper all"
     );
     let mut base: Option<(f64, f64)> = None;
     for row in &rows {

@@ -43,7 +43,10 @@ fn main() {
     let reps = 5;
     let nnz = rm.a.nnz();
 
-    let t_lib = time_median(|| std::hint::black_box(spmv_library(&rm.a, &x_rm)).truncate(0), reps);
+    let t_lib = time_median(
+        || std::hint::black_box(spmv_library(&rm.a, &x_rm)).truncate(0),
+        reps,
+    );
     let t_base = time_median(
         || std::hint::black_box(spmv_parallel(&rm.a, &x_rm, 128)).truncate(0),
         reps,
@@ -53,7 +56,10 @@ fn main() {
         reps,
     );
     let buf = BufferedCsr::from_csr(&hl.a, 128, 2048);
-    let t_buf = time_median(|| std::hint::black_box(buf.spmv_parallel(&x_hl)).truncate(0), reps);
+    let t_buf = time_median(
+        || std::hint::black_box(buf.spmv_parallel(&x_hl)).truncate(0),
+        reps,
+    );
 
     println!(
         "{:<26} {:>10} {:>10} {:>9} {:>20}",

@@ -279,7 +279,11 @@ pub fn analytic_volumes(ds: &Dataset, p: usize, cal: &CommCalibration) -> Kernel
         flops: 4.0 * nnz,
         regular_bytes: 2.0 * nnz * 8.0,
         footprint_bytes: 4.0 * ((ds.channels as f64).powi(2) + mn) / p as f64,
-        comm_bytes: if p == 1 { 0.0 } else { cal.bytes_coeff * comm_unit },
+        comm_bytes: if p == 1 {
+            0.0
+        } else {
+            cal.bytes_coeff * comm_unit
+        },
         comm_peers: if p == 1 { 0.0 } else { cal.peers },
         reduce_bytes: cal.reduce_coeff * comm_unit,
     }
@@ -297,17 +301,19 @@ pub fn spmv_library(a: &xct_sparse::CsrMatrix, x: &[f32]) -> Vec<f32> {
     let rowptr = a.rowptr();
     let colind = a.colind();
     let values = a.values();
-    y.par_chunks_mut(chunk.max(1)).enumerate().for_each(|(p, out)| {
-        let base = p * chunk;
-        for (j, o) in out.iter_mut().enumerate() {
-            let i = base + j;
-            let mut acc = 0f32;
-            for k in rowptr[i]..rowptr[i + 1] {
-                acc += x[colind[k] as usize] * values[k];
+    y.par_chunks_mut(chunk.max(1))
+        .enumerate()
+        .for_each(|(p, out)| {
+            let base = p * chunk;
+            for (j, o) in out.iter_mut().enumerate() {
+                let i = base + j;
+                let mut acc = 0f32;
+                for k in rowptr[i]..rowptr[i + 1] {
+                    acc += x[colind[k] as usize] * values[k];
+                }
+                *o = acc;
             }
-            *o = acc;
-        }
-    });
+        });
     y
 }
 

@@ -18,11 +18,14 @@ impl CacheConfig {
     /// Panics unless `line_size` is a power of two and the capacity is an
     /// exact multiple of `line_size × associativity`.
     pub fn new(line_size: usize, capacity: usize, associativity: usize) -> Self {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(associativity > 0);
         let set_bytes = line_size * associativity;
         assert!(
-            capacity >= set_bytes && capacity % set_bytes == 0,
+            capacity >= set_bytes && capacity.is_multiple_of(set_bytes),
             "capacity must be a multiple of line_size * associativity"
         );
         CacheConfig {

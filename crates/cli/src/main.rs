@@ -81,10 +81,12 @@ impl Options {
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> String {
-                it.next().unwrap_or_else(|| {
-                    eprintln!("missing value for {name}");
-                    exit(2);
-                }).clone()
+                it.next()
+                    .unwrap_or_else(|| {
+                        eprintln!("missing value for {name}");
+                        exit(2);
+                    })
+                    .clone()
             };
             match flag.as_str() {
                 "--dataset" => {
@@ -131,7 +133,10 @@ impl Options {
 }
 
 fn info() {
-    println!("{:<6} {:>12} {:<12} {:>14} {:>14}", "name", "sinogram", "sample", "nnz", "regular data");
+    println!(
+        "{:<6} {:>12} {:<12} {:>14} {:>14}",
+        "name", "sinogram", "sample", "nnz", "regular data"
+    );
     for ds in ALL_DATASETS {
         let f = ds.footprint();
         let sample = match ds.sample {
@@ -222,9 +227,9 @@ fn reconstruct(opts: &Options) {
                 &DistConfig {
                     ranks,
                     use_buffered: true,
-                    iters: opts.iters,
-                solver: memxct::dist::DistSolver::Cg,
-            },
+                    stop: StopRule::Fixed(opts.iters),
+                    solver: memxct::dist::DistSolver::Cg,
+                },
             );
             let n = out.records.len();
             (out.image, n)

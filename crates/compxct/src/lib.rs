@@ -179,7 +179,10 @@ impl CompXct {
 }
 
 fn l2(v: &[f32]) -> f64 {
-    v.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+    v.iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt()
 }
 
 #[cfg(test)]
@@ -214,7 +217,11 @@ mod tests {
         // <A x, A x> == <x, A^T A x>
         let aty = cx.backproject(&y);
         let lhs: f64 = y.iter().map(|&v| v as f64 * v as f64).sum();
-        let rhs: f64 = img.iter().zip(&aty).map(|(&a, &b)| a as f64 * b as f64).sum();
+        let rhs: f64 = img
+            .iter()
+            .zip(&aty)
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
         assert!(
             (lhs - rhs).abs() / lhs.max(1.0) < 1e-4,
             "adjoint mismatch {lhs} vs {rhs}"

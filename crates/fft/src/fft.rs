@@ -17,15 +17,6 @@ impl Complex {
         Complex { re, im }
     }
 
-    /// Complex multiplication.
-    #[inline]
-    pub fn mul(self, other: Complex) -> Complex {
-        Complex {
-            re: self.re * other.re - self.im * other.im,
-            im: self.re * other.im + self.im * other.re,
-        }
-    }
-
     /// Squared magnitude.
     #[inline]
     pub fn norm_sqr(self) -> f32 {
@@ -55,6 +46,17 @@ impl std::ops::Sub for Complex {
     #[inline]
     fn sub(self, o: Complex) -> Complex {
         Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
     }
 }
 
@@ -116,10 +118,10 @@ fn transform(data: &mut [Complex], inverse: bool) {
             let mut w = Complex::new(1.0, 0.0);
             for k in 0..len / 2 {
                 let a = data[start + k];
-                let b = data[start + k + len / 2].mul(w);
+                let b = data[start + k + len / 2] * w;
                 data[start + k] = a + b;
                 data[start + k + len / 2] = a - b;
-                w = w.mul(wlen);
+                w = w * wlen;
             }
         }
         len <<= 1;
@@ -138,7 +140,7 @@ mod tests {
                 for (j, &v) in x.iter().enumerate() {
                     let ang = -std::f64::consts::TAU * (k * j) as f64 / n as f64;
                     let w = Complex::new(ang.cos() as f32, ang.sin() as f32);
-                    acc = acc + v.mul(w);
+                    acc = acc + v * w;
                 }
                 acc
             })

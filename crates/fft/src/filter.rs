@@ -116,7 +116,10 @@ mod tests {
         let mut row = vec![3.0f32; 256];
         filter_projection(&mut row, FilterKind::RamLak);
         for (i, v) in row.iter().enumerate().take(192).skip(64) {
-            assert!(v.abs() < 0.15, "interior sample {i} should be small, got {v}");
+            assert!(
+                v.abs() < 0.15,
+                "interior sample {i} should be small, got {v}"
+            );
         }
         // And the overall energy drops far below the input's.
         let energy: f64 = row.iter().map(|&v| (v * v) as f64).sum();
@@ -146,7 +149,9 @@ mod tests {
         let mut low: Vec<f32> = (0..n)
             .map(|i| (std::f32::consts::TAU * i as f32 / n as f32).sin())
             .collect();
-        let mut high: Vec<f32> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let mut high: Vec<f32> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         filter_projection(&mut low, FilterKind::RamLak);
         filter_projection(&mut high, FilterKind::RamLak);
         let e = |v: &[f32]| v.iter().map(|x| (x * x) as f64).sum::<f64>();
@@ -156,7 +161,11 @@ mod tests {
     #[test]
     fn hann_suppresses_more_than_ramlak() {
         let n = 128;
-        let mk = || -> Vec<f32> { (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect() };
+        let mk = || -> Vec<f32> {
+            (0..n)
+                .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect()
+        };
         let mut a = mk();
         let mut b = mk();
         filter_projection(&mut a, FilterKind::RamLak);

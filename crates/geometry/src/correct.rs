@@ -153,10 +153,10 @@ pub fn remove_rings(sino: &Sinogram, window: usize) -> Sinogram {
         let lo = c.saturating_sub(window);
         let hi = (c + window).min(n - 1);
         devs.clear();
-        for rank in 0..m {
+        for (rank, entry) in sorted[c].iter().enumerate() {
             win.clear();
             win.extend((lo..=hi).filter(|&cc| cc != c).map(|cc| sorted[cc][rank].0));
-            devs.push(sorted[c][rank].0 - median_of(&mut win));
+            devs.push(entry.0 - median_of(&mut win));
         }
         *d = median_of(&mut devs);
     }
@@ -214,8 +214,8 @@ pub fn remove_rings(sino: &Sinogram, window: usize) -> Sinogram {
 mod tests {
     use super::*;
     use crate::grid::Grid;
-    use crate::scan::ScanGeometry;
     use crate::phantom::shepp_logan;
+    use crate::scan::ScanGeometry;
     use crate::sino::{simulate_sinogram, NoiseModel};
 
     fn clean_sino(n: u32, m: u32) -> Sinogram {

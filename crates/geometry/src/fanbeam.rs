@@ -147,9 +147,7 @@ mod tests {
         for p in (0..g.num_projections).step_by(7) {
             let ray = g.ray(p, n / 2);
             // Source outside the grid square.
-            assert!(
-                ray.origin.0.abs() > grid.max_coord() || ray.origin.1.abs() > grid.max_coord()
-            );
+            assert!(ray.origin.0.abs() > grid.max_coord() || ray.origin.1.abs() > grid.max_coord());
             // Central ray passes near the origin.
             let cross = ray.origin.0 * ray.dir.1 - ray.origin.1 * ray.dir.0;
             assert!(cross.abs() < 1.0, "central ray misses the axis: {cross}");

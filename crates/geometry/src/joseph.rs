@@ -125,7 +125,9 @@ mod tests {
                 let mut js = 0f64;
                 trace_ray_joseph(&g, &ray, |pix, w| js += img[pix as usize] as f64 * w as f64);
                 let mut sd = 0f64;
-                trace_ray(&g, &ray, |pix, len| sd += img[pix as usize] as f64 * len as f64);
+                trace_ray(&g, &ray, |pix, len| {
+                    sd += img[pix as usize] as f64 * len as f64
+                });
                 assert!(
                     (js - sd).abs() < 0.05 * sd.abs() + 1.0,
                     "p={p} c={c}: {js} vs {sd}"

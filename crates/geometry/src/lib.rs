@@ -21,8 +21,8 @@ mod correct;
 mod dataset;
 mod fanbeam;
 mod grid;
-mod joseph;
 pub mod io;
+mod joseph;
 mod phantom;
 mod scan;
 mod siddon;
@@ -37,8 +37,8 @@ pub use dataset::{
     Dataset, DatasetFootprint, SampleKind, ADS1, ADS2, ADS3, ADS4, ALL_DATASETS, RDS1, RDS2,
 };
 pub use grid::Grid;
+pub use joseph::trace_ray_joseph;
 pub use phantom::{brain_like, disk, shale_like, shepp_logan, Ellipse, Phantom};
 pub use scan::{Ray, ScanGeometry};
-pub use joseph::trace_ray_joseph;
 pub use siddon::{trace_ray, trace_ray_collect, RaySample};
 pub use sino::{simulate_sinogram, NoiseModel, Sinogram};

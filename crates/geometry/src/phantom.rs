@@ -279,7 +279,11 @@ mod tests {
         let mut vals: Vec<i64> = img.iter().map(|v| (v * 1e4) as i64).collect();
         vals.sort_unstable();
         vals.dedup();
-        assert!(vals.len() > 4, "expected vessels to add levels, got {}", vals.len());
+        assert!(
+            vals.len() > 4,
+            "expected vessels to add levels, got {}",
+            vals.len()
+        );
     }
 
     #[test]

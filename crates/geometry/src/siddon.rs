@@ -79,8 +79,16 @@ pub fn trace_ray<F: FnMut(u32, f32)>(grid: &Grid, ray: &Ray, mut emit: F) {
         let next = lo + (iy + i64::from(dy > 0.0)) as f64;
         (next - oy) / dy
     };
-    let t_delta_x = if dx.abs() < EPS { f64::INFINITY } else { 1.0 / dx.abs() };
-    let t_delta_y = if dy.abs() < EPS { f64::INFINITY } else { 1.0 / dy.abs() };
+    let t_delta_x = if dx.abs() < EPS {
+        f64::INFINITY
+    } else {
+        1.0 / dx.abs()
+    };
+    let t_delta_y = if dy.abs() < EPS {
+        f64::INFINITY
+    } else {
+        1.0 / dy.abs()
+    };
 
     while t < t_exit - EPS {
         let t_next = t_max_x.min(t_max_y).min(t_exit);
@@ -126,7 +134,9 @@ pub fn trace_ray<F: FnMut(u32, f32)>(grid: &Grid, ray: &Ray, mut emit: F) {
 /// ```
 pub fn trace_ray_collect(grid: &Grid, ray: &Ray) -> Vec<RaySample> {
     let mut out = Vec::new();
-    trace_ray(grid, ray, |pixel, length| out.push(RaySample { pixel, length }));
+    trace_ray(grid, ray, |pixel, length| {
+        out.push(RaySample { pixel, length })
+    });
     out
 }
 

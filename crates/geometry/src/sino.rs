@@ -174,10 +174,7 @@ mod tests {
                 };
                 let got = sino.get(p, c) as f64;
                 // Rasterization quantizes the disk edge; allow ~2 pixels.
-                assert!(
-                    (got - expect).abs() < 2.5,
-                    "p={p} c={c}: {got} vs {expect}"
-                );
+                assert!((got - expect).abs() < 2.5, "p={p} c={c}: {got} vs {expect}");
             }
         }
     }
@@ -249,7 +246,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         for &lambda in &[0.5, 5.0, 50.0, 5000.0] {
             let k = 4000;
-            let mean: f64 = (0..k).map(|_| sample_poisson(&mut rng, lambda)).sum::<f64>() / k as f64;
+            let mean: f64 = (0..k)
+                .map(|_| sample_poisson(&mut rng, lambda))
+                .sum::<f64>()
+                / k as f64;
             assert!(
                 (mean - lambda).abs() < 4.0 * (lambda / k as f64).sqrt() + 0.05,
                 "lambda {lambda}: mean {mean}"

@@ -21,7 +21,9 @@ pub struct Volume {
 impl Volume {
     /// Wrap existing slices (all must be `n × n`).
     pub fn new(n: u32, slices: Vec<Vec<f32>>) -> Self {
-        assert!(slices.iter().all(|s| s.len() == (n as usize) * (n as usize)));
+        assert!(slices
+            .iter()
+            .all(|s| s.len() == (n as usize) * (n as usize)));
         Volume { n, slices }
     }
 

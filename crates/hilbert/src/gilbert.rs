@@ -117,16 +117,24 @@ mod tests {
     fn check_continuity(w: u32, h: u32) {
         // Fully continuous unless the larger dimension is odd and the
         // smaller even; in that case diagonal (8-adjacent) steps may occur.
-        let diagonal_ok = (w.max(h) % 2 == 1) && (w.min(h) % 2 == 0);
+        let diagonal_ok = (w.max(h) % 2 == 1) && w.min(h).is_multiple_of(2);
         let seq = gilbert2d(w, h);
         for pair in seq.windows(2) {
             let (ax, ay) = pair[0];
             let (bx, by) = pair[1];
             let cheb = ax.abs_diff(bx).max(ay.abs_diff(by));
             let manh = ax.abs_diff(bx) + ay.abs_diff(by);
-            assert_eq!(cheb, 1, "non-8-adjacent step in {w}x{h}: {:?} -> {:?}", pair[0], pair[1]);
+            assert_eq!(
+                cheb, 1,
+                "non-8-adjacent step in {w}x{h}: {:?} -> {:?}",
+                pair[0], pair[1]
+            );
             if !diagonal_ok {
-                assert_eq!(manh, 1, "discontinuity in {w}x{h}: {:?} -> {:?}", pair[0], pair[1]);
+                assert_eq!(
+                    manh, 1,
+                    "discontinuity in {w}x{h}: {:?} -> {:?}",
+                    pair[0], pair[1]
+                );
             }
         }
     }

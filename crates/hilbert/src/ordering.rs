@@ -108,7 +108,12 @@ impl Ordering2D {
     /// Generalized Hilbert curve directly over the rectangle (continuous,
     /// but no tile structure for process-level decomposition).
     pub fn gilbert(width: u32, height: u32) -> Self {
-        Self::from_visit_sequence(width, height, OrderingKind::Gilbert, gilbert2d(width, height))
+        Self::from_visit_sequence(
+            width,
+            height,
+            OrderingKind::Gilbert,
+            gilbert2d(width, height),
+        )
     }
 
     /// MemXCT's two-level pseudo-Hilbert ordering (§3.2, Fig 4). Prefer
@@ -253,8 +258,7 @@ impl Ordering2D {
     /// BFS connectivity check for the cells holding ranks `lo..hi`.
     fn is_connected_range(&self, lo: usize, hi: usize) -> bool {
         use std::collections::VecDeque;
-        let member: std::collections::HashSet<u32> =
-            self.pos_of[lo..hi].iter().copied().collect();
+        let member: std::collections::HashSet<u32> = self.pos_of[lo..hi].iter().copied().collect();
         let mut seen = std::collections::HashSet::with_capacity(hi - lo);
         let mut queue = VecDeque::new();
         queue.push_back(self.pos_of[lo]);

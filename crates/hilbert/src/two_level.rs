@@ -112,12 +112,16 @@ impl TwoLevelOrdering {
         for (i, &(tx, ty)) in tile_order.iter().enumerate() {
             let ox = tx * tile;
             let oy = ty * tile;
-            let next_origin = tile_order.get(i + 1).map(|&(nx, ny)| (nx * tile, ny * tile));
+            let next_origin = tile_order
+                .get(i + 1)
+                .map(|&(nx, ny)| (nx * tile, ny * tile));
 
             // Pick the symmetry whose (first valid cell) is closest to the
             // previous tile's exit, with the exit's distance to the next
             // tile as a tie-breaking lookahead.
-            let mut best: Option<(u64, Symmetry, (u32, u32), (u32, u32))> = None;
+            // (score, symmetry, entry cell, exit cell)
+            type Candidate = (u64, Symmetry, (u32, u32), (u32, u32));
+            let mut best: Option<Candidate> = None;
             for sym in Symmetry::ALL {
                 let mut entry = None;
                 let mut exit = (0, 0);
@@ -291,7 +295,10 @@ mod tests {
         let avg = (256 * 256) / 16;
         for s in sizes {
             // Granularity is one 16x16 tile = 256 cells.
-            assert!((s as i64 - avg as i64).abs() <= 256, "size {s} vs avg {avg}");
+            assert!(
+                (s as i64 - avg as i64).abs() <= 256,
+                "size {s} vs avg {avg}"
+            );
         }
     }
 

@@ -18,8 +18,10 @@
 //! which apply their local `A_pᵀ`. No tomogram is ever replicated and no
 //! atomic update is ever issued.
 
+use crate::operator::{KernelBreakdown, ProjectionOperator};
 use crate::preprocess::Operators;
-use crate::solvers::IterationRecord;
+use crate::solvers::{run_engine, CgRule, Constraint, IterationRecord, SirtRule, StopRule};
+use std::cell::RefCell;
 use std::ops::Range;
 use std::time::Instant;
 use xct_hilbert::TileLayout;
@@ -44,8 +46,9 @@ pub struct DistConfig {
     /// Use the multi-stage buffered kernel for the local SpMVs
     /// (falls back to parallel CSR when `false`).
     pub use_buffered: bool,
-    /// Solver iterations.
-    pub iters: usize,
+    /// Termination policy — including early termination, which works
+    /// because every rank observes the same allreduced residuals.
+    pub stop: StopRule,
     /// Solver choice.
     pub solver: DistSolver,
 }
@@ -55,27 +58,9 @@ impl Default for DistConfig {
         DistConfig {
             ranks: 4,
             use_buffered: true,
-            iters: 30,
+            stop: StopRule::Fixed(30),
             solver: DistSolver::Cg,
         }
-    }
-}
-
-/// Accumulated per-rank kernel times (seconds) across all iterations.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct KernelBreakdown {
-    /// Partial projections (A_p and A_pᵀ).
-    pub ap_s: f64,
-    /// Communication (C, Cᵀ, and scalar allreduces).
-    pub c_s: f64,
-    /// Overlap reduction / gather assembly (R, Rᵀ).
-    pub r_s: f64,
-}
-
-impl KernelBreakdown {
-    /// Total time.
-    pub fn total(&self) -> f64 {
-        self.ap_s + self.c_s + self.r_s
     }
 }
 
@@ -234,7 +219,12 @@ impl RankPlan {
 
     /// Distributed forward projection: returns this rank's owned block of
     /// `y = A·x`, adding kernel times into `kb`.
-    pub fn forward(&self, comm: &Communicator, x_local: &[f32], kb: &mut KernelBreakdown) -> Vec<f32> {
+    pub fn forward(
+        &self,
+        comm: &Communicator,
+        x_local: &[f32],
+        kb: &mut KernelBreakdown,
+    ) -> Vec<f32> {
         // A_p: partial projection over the interaction rows.
         let t = Instant::now();
         let y_part = self.apply_a(x_local);
@@ -274,7 +264,11 @@ impl RankPlan {
         let send: Vec<Vec<f32>> = self
             .rows_from
             .iter()
-            .map(|rows| rows.iter().map(|&row| y_local[(row - slo) as usize]).collect())
+            .map(|rows| {
+                rows.iter()
+                    .map(|&row| y_local[(row - slo) as usize])
+                    .collect()
+            })
             .collect();
         kb.r_s += t.elapsed().as_secs_f64();
 
@@ -304,7 +298,9 @@ impl RankPlan {
     pub fn volumes(&self) -> KernelVolumes {
         let nnz = self.a_local.nnz() as f64;
         let regular_bytes = match &self.a_local_buf {
-            Some(b) => (b.regular_bytes() + self.at_local_buf.as_ref().unwrap().regular_bytes()) as f64,
+            Some(b) => {
+                (b.regular_bytes() + self.at_local_buf.as_ref().unwrap().regular_bytes()) as f64
+            }
             None => 2.0 * nnz * 8.0,
         };
         let sent_fwd: usize = self
@@ -360,119 +356,75 @@ pub struct DistOutput {
     pub volumes: Vec<KernelVolumes>,
 }
 
-fn allreduce_f64(comm: &Communicator, v: f64) -> f64 {
+/// Deterministic scalar allreduce: every rank receives every rank's
+/// value (exchanged bit-exactly as `u64`) and sums them in rank order,
+/// so all ranks compute the identical f64 result.
+pub fn allreduce_f64(comm: &Communicator, v: f64) -> f64 {
     let gathered = comm.alltoall_counts(vec![v.to_bits(); comm.size()]);
     gathered.into_iter().map(f64::from_bits).sum()
 }
 
-/// Distributed CGLS over one rank's plan (see solvers.rs for the serial
-/// variant); dot products are allreduced so iterates match the serial
-/// solver up to f32 summation order.
-fn distributed_cg(
-    plan: &RankPlan,
-    comm: &Communicator,
-    y: &[f32],
-    iters: usize,
-) -> (Vec<f32>, Vec<IterationRecord>, KernelBreakdown) {
-    let mut kb = KernelBreakdown::default();
-    let nx = plan.tomo_range.len();
-    let mut x = vec![0f32; nx];
-    let mut r = y.to_vec();
-    let mut s = plan.back(comm, &r, &mut kb);
-    let mut p = s.clone();
-    let mut gamma = allreduce_f64(comm, dot(&s, &s));
-    let mut records = Vec::new();
-    for iter in 0..iters {
-        let t0 = Instant::now();
-        if gamma == 0.0 {
-            break;
-        }
-        let q = plan.forward(comm, &p, &mut kb);
-        let qq = allreduce_f64(comm, dot(&q, &q));
-        if qq == 0.0 {
-            break;
-        }
-        let alpha = (gamma / qq) as f32;
-        for (xi, &pi) in x.iter_mut().zip(&p) {
-            *xi += alpha * pi;
-        }
-        for (ri, &qi) in r.iter_mut().zip(&q) {
-            *ri -= alpha * qi;
-        }
-        s = plan.back(comm, &r, &mut kb);
-        let gamma_new = allreduce_f64(comm, dot(&s, &s));
-        let beta = (gamma_new / gamma) as f32;
-        gamma = gamma_new;
-        for (pi, &si) in p.iter_mut().zip(&s) {
-            *pi = si + beta * *pi;
-        }
-        let res = allreduce_f64(comm, dot(&r, &r)).sqrt();
-        let sol = allreduce_f64(comm, dot(&x, &x)).sqrt();
-        records.push(IterationRecord {
-            iter,
-            residual_norm: res,
-            solution_norm: sol,
-            seconds: t0.elapsed().as_secs_f64(),
-        });
-    }
-    (x, records, kb)
+/// One rank's view of the factorized operator `A = R·C·A_p` as a
+/// [`ProjectionOperator`]: `forward_into`/`back_into` run the three-kernel
+/// pipelines of [`RankPlan`], and `reduce_dot` is the rank-ordered
+/// allreduce — which is all the generic solver engine needs to run CG or
+/// SIRT distributed, early termination included.
+pub struct DistOperator<'a> {
+    plan: &'a RankPlan,
+    comm: &'a Communicator,
+    kb: RefCell<KernelBreakdown>,
 }
 
-/// Distributed SIRT: normalization weights come from one distributed
-/// forward/backprojection of all-ones vectors, then each iteration is the
-/// usual `x += C·Aᵀ·R·(y − A·x)` on local blocks.
-fn distributed_sirt(
-    plan: &RankPlan,
-    comm: &Communicator,
-    y: &[f32],
-    iters: usize,
-) -> (Vec<f32>, Vec<IterationRecord>, KernelBreakdown) {
-    let mut kb = KernelBreakdown::default();
-    let nx = plan.tomo_range.len();
-    let inv = |v: f32| if v > 0.0 { 1.0 / v } else { 0.0 };
-    let row_w: Vec<f32> = plan
-        .forward(comm, &vec![1f32; nx], &mut kb)
-        .into_iter()
-        .map(inv)
-        .collect();
-    let col_w: Vec<f32> = plan
-        .back(comm, &vec![1f32; y.len()], &mut kb)
-        .into_iter()
-        .map(inv)
-        .collect();
-
-    let mut x = vec![0f32; nx];
-    let mut records = Vec::with_capacity(iters);
-    for iter in 0..iters {
-        let t0 = Instant::now();
-        let mut residual = plan.forward(comm, &x, &mut kb);
-        for (ri, &yi) in residual.iter_mut().zip(y) {
-            *ri = yi - *ri;
+impl<'a> DistOperator<'a> {
+    /// Wrap one rank's plan and communicator.
+    pub fn new(plan: &'a RankPlan, comm: &'a Communicator) -> Self {
+        DistOperator {
+            plan,
+            comm,
+            kb: RefCell::new(KernelBreakdown::default()),
         }
-        let res = allreduce_f64(comm, dot(&residual, &residual)).sqrt();
-        for (ri, &w) in residual.iter_mut().zip(&row_w) {
-            *ri *= w;
-        }
-        let update = plan.back(comm, &residual, &mut kb);
-        for ((xi, u), &w) in x.iter_mut().zip(update).zip(&col_w) {
-            *xi += u * w;
-        }
-        let sol = allreduce_f64(comm, dot(&x, &x)).sqrt();
-        records.push(IterationRecord {
-            iter,
-            residual_norm: res,
-            solution_norm: sol,
-            seconds: t0.elapsed().as_secs_f64(),
-        });
     }
-    (x, records, kb)
+
+    /// The accumulated kernel breakdown (also available via the trait's
+    /// [`ProjectionOperator::breakdown`]).
+    pub fn take_breakdown(&self) -> KernelBreakdown {
+        *self.kb.borrow()
+    }
 }
 
-/// Run a distributed CGLS reconstruction with threads as ranks.
+impl ProjectionOperator for DistOperator<'_> {
+    fn nrows(&self) -> usize {
+        self.plan.sino_range.len()
+    }
+    fn ncols(&self) -> usize {
+        self.plan.tomo_range.len()
+    }
+    fn forward_into(&self, x: &[f32], y: &mut [f32]) {
+        let mut kb = self.kb.borrow_mut();
+        y.copy_from_slice(&self.plan.forward(self.comm, x, &mut kb));
+    }
+    fn back_into(&self, y: &[f32], x: &mut [f32]) {
+        let mut kb = self.kb.borrow_mut();
+        x.copy_from_slice(&self.plan.back(self.comm, y, &mut kb));
+    }
+    fn reduce_dot(&self, local: f64) -> f64 {
+        let t = Instant::now();
+        let v = allreduce_f64(self.comm, local);
+        self.kb.borrow_mut().c_s += t.elapsed().as_secs_f64();
+        v
+    }
+    fn breakdown(&self) -> Option<KernelBreakdown> {
+        Some(*self.kb.borrow())
+    }
+}
+
+/// Run a distributed reconstruction with threads as ranks.
 ///
 /// `sino_ordered` is the measurement vector in sinogram-ordered
-/// coordinates (see [`Operators::order_sinogram`]). Returns the assembled
-/// row-major image plus all diagnostics.
+/// coordinates (see [`Operators::order_sinogram`]). Each rank builds a
+/// [`DistOperator`] over its plan and runs the same generic engine as the
+/// serial path ([`run_engine`]); there is no distributed-specific solver
+/// loop. Returns the assembled row-major image plus all diagnostics.
 pub fn reconstruct_distributed(
     ops: &Operators,
     sino_ordered: &[f32],
@@ -487,10 +439,18 @@ pub fn reconstruct_distributed(
         let slo = plan.sino_range.start as usize;
         let shi = plan.sino_range.end as usize;
         let y = &sino_ordered[slo..shi];
-        match config.solver {
-            DistSolver::Cg => distributed_cg(plan, comm, y, config.iters),
-            DistSolver::Sirt => distributed_sirt(plan, comm, y, config.iters),
-        }
+        let op = DistOperator::new(plan, comm);
+        let (x_local, records) = match config.solver {
+            DistSolver::Cg => run_engine(&op, y, &mut CgRule::new(), Constraint::None, config.stop),
+            DistSolver::Sirt => run_engine(
+                &op,
+                y,
+                &mut SirtRule::new(1.0),
+                Constraint::None,
+                config.stop,
+            ),
+        };
+        (x_local, records, op.take_breakdown())
     });
 
     // Assemble the ordered tomogram from the per-rank blocks.
@@ -512,10 +472,6 @@ pub fn reconstruct_distributed(
         ledger,
         volumes,
     }
-}
-
-fn dot(a: &[f32], b: &[f32]) -> f64 {
-    a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()
 }
 
 #[cfg(test)]
@@ -618,7 +574,7 @@ mod tests {
             &DistConfig {
                 ranks: 3,
                 use_buffered: false,
-                iters: 8,
+                stop: StopRule::Fixed(8),
                 solver: DistSolver::Cg,
             },
         );
@@ -630,14 +586,24 @@ mod tests {
             .map(|(&a, &b)| ((a - b) as f64).powi(2))
             .sum::<f64>()
             .sqrt();
-        let den: f64 = img_serial.iter().map(|&b| (b as f64).powi(2)).sum::<f64>().sqrt();
+        let den: f64 = img_serial
+            .iter()
+            .map(|&b| (b as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
         // CG amplifies f32 summation-order differences between the
         // factorized (A = R·C·A_p) and monolithic products, so agreement
         // is to a few parts in a thousand, not bitwise.
         assert!(num / den < 2e-2, "distributed diverged: {}", num / den);
         for (a, b) in out.records.iter().zip(&recs_serial) {
             let rel = (a.residual_norm - b.residual_norm).abs() / b.residual_norm.max(1.0);
-            assert!(rel < 5e-2, "iter {}: {} vs {}", a.iter, a.residual_norm, b.residual_norm);
+            assert!(
+                rel < 5e-2,
+                "iter {}: {} vs {}",
+                a.iter,
+                a.residual_norm,
+                b.residual_norm
+            );
         }
     }
 
@@ -657,7 +623,7 @@ mod tests {
             &DistConfig {
                 ranks: 3,
                 use_buffered: false,
-                iters: 10,
+                stop: StopRule::Fixed(10),
                 solver: DistSolver::Sirt,
             },
         );
@@ -669,7 +635,11 @@ mod tests {
             .map(|(&a, &b)| ((a - b) as f64).powi(2))
             .sum::<f64>()
             .sqrt();
-        let den: f64 = img_serial.iter().map(|&b| (b as f64).powi(2)).sum::<f64>().sqrt();
+        let den: f64 = img_serial
+            .iter()
+            .map(|&b| (b as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
         assert!(num / den < 1e-3, "distributed SIRT diverged: {}", num / den);
         assert_eq!(out.records.len(), 10);
     }
@@ -683,7 +653,7 @@ mod tests {
             &DistConfig {
                 ranks: 2,
                 use_buffered: true,
-                iters: 5,
+                stop: StopRule::Fixed(5),
                 solver: DistSolver::Cg,
             },
         );
@@ -693,7 +663,7 @@ mod tests {
             &DistConfig {
                 ranks: 2,
                 use_buffered: false,
-                iters: 5,
+                stop: StopRule::Fixed(5),
                 solver: DistSolver::Cg,
             },
         );
@@ -712,7 +682,7 @@ mod tests {
             &DistConfig {
                 ranks: 8,
                 use_buffered: false,
-                iters: 2,
+                stop: StopRule::Fixed(2),
                 solver: DistSolver::Cg,
             },
         );
@@ -727,7 +697,10 @@ mod tests {
             .map(|(s, d)| out.ledger.bytes(s, d))
             .collect();
         bytes.sort_unstable();
-        assert!(bytes[0] < bytes[bytes.len() - 1], "expected skewed comm volumes");
+        assert!(
+            bytes[0] < bytes[bytes.len() - 1],
+            "expected skewed comm volumes"
+        );
     }
 
     #[test]
@@ -753,7 +726,7 @@ mod tests {
             &DistConfig {
                 ranks: 2,
                 use_buffered: false,
-                iters: 3,
+                stop: StopRule::Fixed(3),
                 solver: DistSolver::Cg,
             },
         );

@@ -17,22 +17,41 @@
 //!    overlap reduction) and backprojection is its transpose — no domain
 //!    duplication, no atomics.
 //!
+//! Every projection path — serial/parallel/buffered/ELL CSR, the
+//! distributed `R·C·A_p` factorization, and the CompXCT baseline —
+//! implements the [`ProjectionOperator`] trait ([`operator`]), and every
+//! solver is the single generic engine [`run_engine`] parameterized by an
+//! [`UpdateRule`] (CG, SIRT, OS-SIRT) plus optional constraints.
+//!
 //! Use [`Reconstructor`] for the high-level single-call API.
 
 #![warn(missing_docs)]
 
 pub mod dist;
 pub mod fbp;
+pub mod operator;
 pub mod preprocess;
 pub mod reconstructor;
 pub mod regularize;
 pub mod solvers;
 pub mod subsets;
 
+pub use dist::{
+    allreduce_f64, reconstruct_distributed, DistConfig, DistOperator, DistOutput, DistSolver,
+    RankPlan,
+};
 pub use fbp::{fbp, FbpConfig};
-pub use dist::{reconstruct_distributed, DistConfig, DistOutput, DistSolver, KernelBreakdown, RankPlan};
-pub use preprocess::{preprocess, Config, DomainOrdering, Kernel, Operators, PreprocessTimings, Projector};
+pub use operator::{
+    BufferedOperator, ClosureOperator, CompOperator, EllOperator, KernelBreakdown,
+    ParallelOperator, ProjectionOperator, RowSubsetOperator, SerialOperator, StackedOperator,
+};
+pub use preprocess::{
+    preprocess, Config, DomainOrdering, Kernel, Operators, PreprocessTimings, Projector,
+};
 pub use reconstructor::{ReconOutput, Reconstructor, VolumeOutput};
 pub use regularize::{cgls_smooth, gradient_operator};
-pub use solvers::{cgls, cgls_regularized, sirt, sirt_nonneg, IterationRecord, StopRule};
-pub use subsets::OrderedSubsets;
+pub use solvers::{
+    cgls, cgls_regularized, run_engine, sirt, sirt_nonneg, CgRule, Constraint, IterationRecord,
+    SirtRule, StopRule, UpdateRule,
+};
+pub use subsets::{OrderedSubsets, OsRule};

@@ -1,0 +1,673 @@
+//! The operator layer: every projection path — serial CSR, parallel CSR,
+//! multi-stage buffered (16- and 32-bit addressing), ELL, the distributed
+//! `RankPlan`/`Communicator` factorization, and the compute-centric
+//! CompXCT baseline — behind one [`ProjectionOperator`] trait, so the
+//! solver engine in [`crate::solvers`] is written exactly once.
+//!
+//! The trait contract:
+//!
+//! - [`forward_into`](ProjectionOperator::forward_into) /
+//!   [`back_into`](ProjectionOperator::back_into) fully overwrite their
+//!   output slice (`y = A·x`, `x = Aᵀ·y`);
+//! - [`reduce_dot`](ProjectionOperator::reduce_dot) combines a locally
+//!   accumulated scalar into the global value. Shared-memory operators
+//!   return it unchanged; the distributed operator allreduces across
+//!   ranks. Solvers route **every** dot product through this hook, which
+//!   is what lets one CG/SIRT loop serve both worlds bit-identically;
+//! - [`breakdown`](ProjectionOperator::breakdown) optionally exposes
+//!   accumulated per-kernel wall-clock time ([`KernelBreakdown`]), so the
+//!   serial and distributed reconstruction paths report timings through
+//!   one code path (Fig 9 / Fig 11).
+//!
+//! Combinators: [`StackedOperator`] appends scaled regularization rows
+//! (Tikhonov / gradient smoothing) and [`RowSubsetOperator`] restricts to
+//! a row subset (ordered-subsets SIRT).
+
+use std::cell::{Cell, RefCell};
+use std::time::Instant;
+
+use xct_compxct::CompXct;
+use xct_sparse::{
+    spmv_into, spmv_parallel_into, BufferIndex, BufferedCsrImpl, CsrMatrix, EllMatrix,
+};
+
+use crate::preprocess::{Kernel, Operators};
+
+/// Accumulated per-rank kernel times (seconds) across all iterations.
+///
+/// For shared-memory operators only `ap_s` is populated (all SpMV time);
+/// the distributed operator splits time across all three kernels of the
+/// `A = R·C·A_p` factorization.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelBreakdown {
+    /// Partial projections (A_p and A_pᵀ) — or all SpMV time for
+    /// shared-memory operators.
+    pub ap_s: f64,
+    /// Communication (C, Cᵀ, and scalar allreduces).
+    pub c_s: f64,
+    /// Overlap reduction / gather assembly (R, Rᵀ).
+    pub r_s: f64,
+}
+
+impl KernelBreakdown {
+    /// Total time.
+    pub fn total(&self) -> f64 {
+        self.ap_s + self.c_s + self.r_s
+    }
+}
+
+#[inline]
+fn bump_ap(kb: &Cell<KernelBreakdown>, started: Instant) {
+    let mut b = kb.get();
+    b.ap_s += started.elapsed().as_secs_f64();
+    kb.set(b);
+}
+
+/// A linear projection pair `A` / `Aᵀ` as seen by the iterative solvers.
+///
+/// Implementations exist for every kernel variant; see the module docs
+/// for the contract. All slices are in *ordered* (Hilbert) coordinates
+/// for the memoized operators, and raster coordinates for the
+/// compute-centric baseline — the operator is agnostic, callers must be
+/// consistent.
+pub trait ProjectionOperator {
+    /// Rows of `A` (sinogram length this operator produces).
+    fn nrows(&self) -> usize;
+    /// Columns of `A` (tomogram length this operator consumes).
+    fn ncols(&self) -> usize;
+    /// Forward projection `y = A·x`; overwrites `y` entirely.
+    fn forward_into(&self, x: &[f32], y: &mut [f32]);
+    /// Backprojection `x = Aᵀ·y`; overwrites `x` entirely.
+    fn back_into(&self, y: &[f32], x: &mut [f32]);
+    /// Combine a locally accumulated dot product into the global value.
+    /// Identity for shared-memory operators; an allreduce across ranks
+    /// for distributed ones.
+    fn reduce_dot(&self, local: f64) -> f64 {
+        local
+    }
+    /// Accumulated per-kernel timings, if this operator tracks them.
+    fn breakdown(&self) -> Option<KernelBreakdown> {
+        None
+    }
+}
+
+/// Sequential CSR operator (the reference kernel).
+pub struct SerialOperator<'a> {
+    a: &'a CsrMatrix,
+    at: &'a CsrMatrix,
+    kb: Cell<KernelBreakdown>,
+}
+
+impl<'a> SerialOperator<'a> {
+    /// Wrap the memoized matrices of `ops`.
+    pub fn new(ops: &'a Operators) -> Self {
+        Self::from_parts(&ops.a, &ops.at)
+    }
+
+    /// Wrap an explicit forward/transpose pair.
+    pub fn from_parts(a: &'a CsrMatrix, at: &'a CsrMatrix) -> Self {
+        SerialOperator {
+            a,
+            at,
+            kb: Cell::new(KernelBreakdown::default()),
+        }
+    }
+}
+
+impl ProjectionOperator for SerialOperator<'_> {
+    fn nrows(&self) -> usize {
+        self.a.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.a.ncols()
+    }
+    fn forward_into(&self, x: &[f32], y: &mut [f32]) {
+        let t = Instant::now();
+        spmv_into(self.a, x, y);
+        bump_ap(&self.kb, t);
+    }
+    fn back_into(&self, y: &[f32], x: &mut [f32]) {
+        let t = Instant::now();
+        spmv_into(self.at, y, x);
+        bump_ap(&self.kb, t);
+    }
+    fn breakdown(&self) -> Option<KernelBreakdown> {
+        Some(self.kb.get())
+    }
+}
+
+/// Parallel CSR operator with dynamically-scheduled row partitions
+/// (Listing 2).
+pub struct ParallelOperator<'a> {
+    a: &'a CsrMatrix,
+    at: &'a CsrMatrix,
+    partsize: usize,
+    kb: Cell<KernelBreakdown>,
+}
+
+impl<'a> ParallelOperator<'a> {
+    /// Wrap the memoized matrices of `ops` using its partition size.
+    pub fn new(ops: &'a Operators) -> Self {
+        Self::from_parts(&ops.a, &ops.at, ops.partsize)
+    }
+
+    /// Wrap an explicit pair with a given partition size.
+    pub fn from_parts(a: &'a CsrMatrix, at: &'a CsrMatrix, partsize: usize) -> Self {
+        ParallelOperator {
+            a,
+            at,
+            partsize,
+            kb: Cell::new(KernelBreakdown::default()),
+        }
+    }
+}
+
+impl ProjectionOperator for ParallelOperator<'_> {
+    fn nrows(&self) -> usize {
+        self.a.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.a.ncols()
+    }
+    fn forward_into(&self, x: &[f32], y: &mut [f32]) {
+        let t = Instant::now();
+        spmv_parallel_into(self.a, x, y, self.partsize);
+        bump_ap(&self.kb, t);
+    }
+    fn back_into(&self, y: &[f32], x: &mut [f32]) {
+        let t = Instant::now();
+        spmv_parallel_into(self.at, y, x, self.partsize);
+        bump_ap(&self.kb, t);
+    }
+    fn breakdown(&self) -> Option<KernelBreakdown> {
+        Some(self.kb.get())
+    }
+}
+
+/// Multi-stage buffered operator (Listing 3), generic over the in-buffer
+/// index width: `u16` is the paper's kernel, `u32` the addressing
+/// ablation.
+pub struct BufferedOperator<'a, I: BufferIndex> {
+    a: &'a BufferedCsrImpl<I>,
+    at: &'a BufferedCsrImpl<I>,
+    kb: Cell<KernelBreakdown>,
+}
+
+impl<'a, I: BufferIndex> BufferedOperator<'a, I> {
+    /// Wrap a buffered forward/transpose pair.
+    pub fn from_parts(a: &'a BufferedCsrImpl<I>, at: &'a BufferedCsrImpl<I>) -> Self {
+        BufferedOperator {
+            a,
+            at,
+            kb: Cell::new(KernelBreakdown::default()),
+        }
+    }
+}
+
+impl<'a> BufferedOperator<'a, u16> {
+    /// Wrap the buffered layouts of `ops`.
+    ///
+    /// # Panics
+    /// Panics if the buffered layouts were not built
+    /// (`Config::build_buffered`).
+    pub fn new(ops: &'a Operators) -> Self {
+        Self::from_parts(
+            ops.a_buf
+                .as_ref()
+                .expect("buffered layout not built; set Config::build_buffered"),
+            ops.at_buf
+                .as_ref()
+                .expect("buffered layout not built; set Config::build_buffered"),
+        )
+    }
+}
+
+impl<I: BufferIndex> ProjectionOperator for BufferedOperator<'_, I> {
+    fn nrows(&self) -> usize {
+        self.a.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.a.ncols()
+    }
+    fn forward_into(&self, x: &[f32], y: &mut [f32]) {
+        let t = Instant::now();
+        self.a.spmv_parallel_into(x, y);
+        bump_ap(&self.kb, t);
+    }
+    fn back_into(&self, y: &[f32], x: &mut [f32]) {
+        let t = Instant::now();
+        self.at.spmv_parallel_into(y, x);
+        bump_ap(&self.kb, t);
+    }
+    fn breakdown(&self) -> Option<KernelBreakdown> {
+        Some(self.kb.get())
+    }
+}
+
+/// Column-major ELL operator (the GPU-analog kernel, §3.1.4).
+pub struct EllOperator<'a> {
+    a: &'a EllMatrix,
+    at: &'a EllMatrix,
+    kb: Cell<KernelBreakdown>,
+}
+
+impl<'a> EllOperator<'a> {
+    /// Wrap the ELL layouts of `ops`.
+    ///
+    /// # Panics
+    /// Panics if the ELL layouts were not built (`Config::build_ell`).
+    pub fn new(ops: &'a Operators) -> Self {
+        Self::from_parts(
+            ops.a_ell
+                .as_ref()
+                .expect("ELL layout not built; set Config::build_ell"),
+            ops.at_ell
+                .as_ref()
+                .expect("ELL layout not built; set Config::build_ell"),
+        )
+    }
+
+    /// Wrap an explicit ELL pair.
+    pub fn from_parts(a: &'a EllMatrix, at: &'a EllMatrix) -> Self {
+        EllOperator {
+            a,
+            at,
+            kb: Cell::new(KernelBreakdown::default()),
+        }
+    }
+}
+
+impl ProjectionOperator for EllOperator<'_> {
+    fn nrows(&self) -> usize {
+        self.a.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.a.ncols()
+    }
+    fn forward_into(&self, x: &[f32], y: &mut [f32]) {
+        let t = Instant::now();
+        self.a.spmv_into(x, y);
+        bump_ap(&self.kb, t);
+    }
+    fn back_into(&self, y: &[f32], x: &mut [f32]) {
+        let t = Instant::now();
+        self.at.spmv_into(y, x);
+        bump_ap(&self.kb, t);
+    }
+    fn breakdown(&self) -> Option<KernelBreakdown> {
+        Some(self.kb.get())
+    }
+}
+
+/// The compute-centric CompXCT baseline (Table 4): no memoized matrix,
+/// every application re-traces all rays. Operates in raster coordinates.
+pub struct CompOperator<'a> {
+    cx: &'a CompXct,
+    kb: Cell<KernelBreakdown>,
+}
+
+impl<'a> CompOperator<'a> {
+    /// Wrap a compute-centric reconstructor.
+    pub fn new(cx: &'a CompXct) -> Self {
+        CompOperator {
+            cx,
+            kb: Cell::new(KernelBreakdown::default()),
+        }
+    }
+}
+
+impl ProjectionOperator for CompOperator<'_> {
+    fn nrows(&self) -> usize {
+        self.cx.scan().num_rays()
+    }
+    fn ncols(&self) -> usize {
+        self.cx.grid().num_pixels()
+    }
+    fn forward_into(&self, x: &[f32], y: &mut [f32]) {
+        let t = Instant::now();
+        y.copy_from_slice(&self.cx.forward(x));
+        bump_ap(&self.kb, t);
+    }
+    fn back_into(&self, y: &[f32], x: &mut [f32]) {
+        let t = Instant::now();
+        x.copy_from_slice(&self.cx.backproject(y));
+        bump_ap(&self.kb, t);
+    }
+    fn breakdown(&self) -> Option<KernelBreakdown> {
+        Some(self.kb.get())
+    }
+}
+
+/// Adapter keeping the legacy closure-based solver signatures
+/// (`cgls(y, nx, forward, back, ..)`) alive as thin shims over the
+/// engine.
+pub struct ClosureOperator<F, G> {
+    nrows: usize,
+    ncols: usize,
+    forward: RefCell<F>,
+    back: RefCell<G>,
+}
+
+impl<F, G> ClosureOperator<F, G>
+where
+    F: FnMut(&[f32]) -> Vec<f32>,
+    G: FnMut(&[f32]) -> Vec<f32>,
+{
+    /// Wrap forward/backprojection closures with an explicit shape.
+    pub fn new(nrows: usize, ncols: usize, forward: F, back: G) -> Self {
+        ClosureOperator {
+            nrows,
+            ncols,
+            forward: RefCell::new(forward),
+            back: RefCell::new(back),
+        }
+    }
+}
+
+impl<F, G> ProjectionOperator for ClosureOperator<F, G>
+where
+    F: FnMut(&[f32]) -> Vec<f32>,
+    G: FnMut(&[f32]) -> Vec<f32>,
+{
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn forward_into(&self, x: &[f32], y: &mut [f32]) {
+        y.copy_from_slice(&(self.forward.borrow_mut())(x));
+    }
+    fn back_into(&self, y: &[f32], x: &mut [f32]) {
+        x.copy_from_slice(&(self.back.borrow_mut())(y));
+    }
+}
+
+/// `[A; s·D]` — a primary operator with `s`-scaled regularization rows
+/// appended. Running plain CGLS on the stack minimizes
+/// `‖y − A·x‖² + s²·‖D·x‖²` (Tikhonov for `D = I`, gradient smoothing
+/// for `D` from [`crate::gradient_operator`]).
+pub struct StackedOperator<'a> {
+    primary: &'a dyn ProjectionOperator,
+    d: &'a CsrMatrix,
+    dt: &'a CsrMatrix,
+    scale: f32,
+    scratch: RefCell<Vec<f32>>,
+}
+
+impl<'a> StackedOperator<'a> {
+    /// Stack `d` (with transpose `dt`) under `primary`, scaled by `scale`.
+    ///
+    /// # Panics
+    /// Panics if `d` does not have the primary operator's column count.
+    pub fn new(
+        primary: &'a dyn ProjectionOperator,
+        d: &'a CsrMatrix,
+        dt: &'a CsrMatrix,
+        scale: f32,
+    ) -> Self {
+        assert_eq!(d.ncols(), primary.ncols(), "regularizer column count");
+        assert_eq!(dt.nrows(), primary.ncols(), "transpose shape");
+        assert_eq!(dt.ncols(), d.nrows(), "transpose shape");
+        StackedOperator {
+            primary,
+            d,
+            dt,
+            scale,
+            scratch: RefCell::new(Vec::new()),
+        }
+    }
+}
+
+impl ProjectionOperator for StackedOperator<'_> {
+    fn nrows(&self) -> usize {
+        self.primary.nrows() + self.d.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.primary.ncols()
+    }
+    fn forward_into(&self, x: &[f32], y: &mut [f32]) {
+        let ny = self.primary.nrows();
+        let (data, reg) = y.split_at_mut(ny);
+        self.primary.forward_into(x, data);
+        spmv_into(self.d, x, reg);
+        for v in reg.iter_mut() {
+            *v *= self.scale;
+        }
+    }
+    fn back_into(&self, y: &[f32], x: &mut [f32]) {
+        let ny = self.primary.nrows();
+        self.primary.back_into(&y[..ny], x);
+        let mut g = self.scratch.borrow_mut();
+        g.resize(self.dt.nrows(), 0.0);
+        spmv_into(self.dt, &y[ny..], &mut g);
+        for (o, &v) in x.iter_mut().zip(g.iter()) {
+            *o += self.scale * v;
+        }
+    }
+    fn reduce_dot(&self, local: f64) -> f64 {
+        self.primary.reduce_dot(local)
+    }
+    fn breakdown(&self) -> Option<KernelBreakdown> {
+        self.primary.breakdown()
+    }
+}
+
+/// A row subset of a projection operator: the extracted block `A[rows, :]`
+/// and its transpose, plus the global row ids needed to gather the
+/// matching slice of a full measurement vector. Ordered-subsets SIRT runs
+/// one of these per subset.
+pub struct RowSubsetOperator<'a> {
+    rows: &'a [u32],
+    block: &'a CsrMatrix,
+    block_t: &'a CsrMatrix,
+    kb: Cell<KernelBreakdown>,
+}
+
+impl<'a> RowSubsetOperator<'a> {
+    /// Wrap an extracted row block. `rows[i]` is the global row id of the
+    /// block's row `i`.
+    pub fn new(rows: &'a [u32], block: &'a CsrMatrix, block_t: &'a CsrMatrix) -> Self {
+        assert_eq!(rows.len(), block.nrows(), "row id per block row");
+        RowSubsetOperator {
+            rows,
+            block,
+            block_t,
+            kb: Cell::new(KernelBreakdown::default()),
+        }
+    }
+
+    /// Global row ids of this subset.
+    pub fn rows(&self) -> &[u32] {
+        self.rows
+    }
+
+    /// Gather the subset's slice of a full measurement vector.
+    pub fn gather(&self, full: &[f32]) -> Vec<f32> {
+        self.rows.iter().map(|&r| full[r as usize]).collect()
+    }
+}
+
+impl ProjectionOperator for RowSubsetOperator<'_> {
+    fn nrows(&self) -> usize {
+        self.block.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.block.ncols()
+    }
+    fn forward_into(&self, x: &[f32], y: &mut [f32]) {
+        let t = Instant::now();
+        spmv_into(self.block, x, y);
+        bump_ap(&self.kb, t);
+    }
+    fn back_into(&self, y: &[f32], x: &mut [f32]) {
+        let t = Instant::now();
+        spmv_into(self.block_t, y, x);
+        bump_ap(&self.kb, t);
+    }
+    fn breakdown(&self) -> Option<KernelBreakdown> {
+        Some(self.kb.get())
+    }
+}
+
+impl Operators {
+    /// Build the [`ProjectionOperator`] for the chosen kernel over these
+    /// memoized matrices.
+    ///
+    /// # Panics
+    /// Panics if the requested layout was not built (see `Config`).
+    pub fn operator(&self, kernel: Kernel) -> Box<dyn ProjectionOperator + '_> {
+        match kernel {
+            Kernel::Serial => Box::new(SerialOperator::new(self)),
+            Kernel::Parallel => Box::new(ParallelOperator::new(self)),
+            Kernel::Ell => Box::new(EllOperator::new(self)),
+            Kernel::Buffered => Box::new(BufferedOperator::new(self)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::{preprocess, Config};
+    use xct_geometry::{Grid, ScanGeometry};
+    use xct_sparse::{dot_f64, BufferedCsr32};
+
+    fn ops(n: u32, m: u32) -> Operators {
+        preprocess(
+            Grid::new(n),
+            ScanGeometry::new(m, n),
+            &Config {
+                build_ell: true,
+                ..Config::default()
+            },
+        )
+    }
+
+    #[test]
+    fn all_backends_match_serial() {
+        let ops = ops(8, 6);
+        let x: Vec<f32> = (0..ops.a.ncols()).map(|i| (i % 7) as f32 * 0.25).collect();
+        let y: Vec<f32> = (0..ops.a.nrows()).map(|i| (i % 5) as f32 * 0.5).collect();
+
+        let serial = SerialOperator::new(&ops);
+        let mut want_f = vec![0f32; serial.nrows()];
+        let mut want_b = vec![0f32; serial.ncols()];
+        serial.forward_into(&x, &mut want_f);
+        serial.back_into(&y, &mut want_b);
+
+        let a32 = BufferedCsr32::from_csr(&ops.a, ops.partsize, 2048);
+        let at32 = BufferedCsr32::from_csr(&ops.at, ops.partsize, 2048);
+        let backends: Vec<Box<dyn ProjectionOperator>> = vec![
+            Box::new(ParallelOperator::new(&ops)),
+            Box::new(BufferedOperator::new(&ops)),
+            Box::new(BufferedOperator::from_parts(&a32, &at32)),
+            Box::new(EllOperator::new(&ops)),
+        ];
+        for op in backends {
+            assert_eq!(op.nrows(), serial.nrows());
+            assert_eq!(op.ncols(), serial.ncols());
+            let mut f = vec![1f32; op.nrows()];
+            let mut b = vec![1f32; op.ncols()];
+            op.forward_into(&x, &mut f);
+            op.back_into(&y, &mut b);
+            for (g, w) in f.iter().zip(&want_f) {
+                assert!((g - w).abs() < 1e-4, "forward mismatch");
+            }
+            for (g, w) in b.iter().zip(&want_b) {
+                assert!((g - w).abs() < 1e-4, "back mismatch");
+            }
+            // Identity reduction and timing hook.
+            assert_eq!(op.reduce_dot(3.25), 3.25);
+            let kb = op.breakdown().expect("timed backend");
+            assert!(kb.ap_s > 0.0 && kb.c_s == 0.0 && kb.r_s == 0.0);
+        }
+    }
+
+    #[test]
+    fn closure_operator_applies_closures() {
+        let op = ClosureOperator::new(
+            2,
+            3,
+            |x: &[f32]| vec![x[0] + x[1], x[2]],
+            |y: &[f32]| vec![y[0], y[0], y[1]],
+        );
+        let mut y = vec![0f32; 2];
+        op.forward_into(&[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![3.0, 3.0]);
+        let mut x = vec![0f32; 3];
+        op.back_into(&[5.0, 7.0], &mut x);
+        assert_eq!(x, vec![5.0, 5.0, 7.0]);
+        assert!(op.breakdown().is_none());
+    }
+
+    #[test]
+    fn stacked_operator_appends_scaled_rows() {
+        let ops = ops(6, 4);
+        let primary = SerialOperator::new(&ops);
+        let d = crate::regularize::gradient_operator(&ops.tomo_ord);
+        let dt = d.transpose_scan();
+        let s = 0.5f32;
+        let stack = StackedOperator::new(&primary, &d, &dt, s);
+        assert_eq!(stack.nrows(), primary.nrows() + d.nrows());
+        assert_eq!(stack.ncols(), primary.ncols());
+
+        let x: Vec<f32> = (0..stack.ncols()).map(|i| i as f32 * 0.1).collect();
+        let mut y = vec![0f32; stack.nrows()];
+        stack.forward_into(&x, &mut y);
+        let g = xct_sparse::spmv(&d, &x);
+        for (i, &gi) in g.iter().enumerate() {
+            assert_eq!(y[primary.nrows() + i], gi * s);
+        }
+
+        // ⟨A_s·x, y_aug⟩ == ⟨x, A_sᵀ·y_aug⟩ (adjoint consistency).
+        let y_aug: Vec<f32> = (0..stack.nrows()).map(|i| ((i % 3) as f32) - 1.0).collect();
+        let mut bt = vec![0f32; stack.ncols()];
+        stack.back_into(&y_aug, &mut bt);
+        let lhs = dot_f64(&y, &y_aug);
+        let rhs = dot_f64(&x, &bt);
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn row_subset_gathers_and_projects() {
+        let ops = ops(6, 4);
+        let rows: Vec<u32> = (0..ops.a.nrows() as u32).step_by(2).collect();
+        let block = CsrMatrix::from_rows(
+            ops.a.ncols(),
+            &rows
+                .iter()
+                .map(|&r| ops.a.row(r as usize).collect::<Vec<_>>())
+                .collect::<Vec<_>>(),
+        );
+        let block_t = block.transpose_scan();
+        let sub = RowSubsetOperator::new(&rows, &block, &block_t);
+        assert_eq!(sub.nrows(), rows.len());
+
+        let x: Vec<f32> = (0..sub.ncols()).map(|i| (i % 4) as f32).collect();
+        let full = ops.forward(Kernel::Serial, &x);
+        let mut part = vec![0f32; sub.nrows()];
+        sub.forward_into(&x, &mut part);
+        assert_eq!(part, sub.gather(&full));
+    }
+
+    #[test]
+    fn operators_factory_covers_all_kernels() {
+        let ops = ops(6, 4);
+        let x: Vec<f32> = (0..ops.a.ncols()).map(|i| (i % 3) as f32).collect();
+        let want = ops.forward(Kernel::Serial, &x);
+        for kernel in [
+            Kernel::Serial,
+            Kernel::Parallel,
+            Kernel::Ell,
+            Kernel::Buffered,
+        ] {
+            let op = ops.operator(kernel);
+            let mut y = vec![0f32; op.nrows()];
+            op.forward_into(&x, &mut y);
+            for (g, w) in y.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-4, "{kernel:?}");
+            }
+        }
+    }
+}

@@ -199,7 +199,11 @@ impl Operators {
     }
 }
 
-fn build_ordering(ordering: DomainOrdering, width: u32, height: u32) -> (Ordering2D, Option<xct_hilbert::TileLayout>) {
+fn build_ordering(
+    ordering: DomainOrdering,
+    width: u32,
+    height: u32,
+) -> (Ordering2D, Option<xct_hilbert::TileLayout>) {
     match ordering {
         DomainOrdering::RowMajor => (Ordering2D::row_major(width, height), None),
         DomainOrdering::ColumnMajor => (Ordering2D::column_major(width, height), None),
@@ -245,7 +249,6 @@ pub fn preprocess(grid: Grid, scan: ScanGeometry, config: &Config) -> Operators 
                 Projector::Siddon => trace_ray(&grid, &ray, &mut emit),
                 Projector::Joseph => trace_ray_joseph(&grid, &ray, &mut emit),
             }
-            drop(emit);
             row
         })
         .collect();
@@ -338,7 +341,12 @@ mod tests {
             };
             let o = preprocess(grid, scan, &config);
             let x = o.order_tomogram(&img);
-            for kernel in [Kernel::Serial, Kernel::Parallel, Kernel::Ell, Kernel::Buffered] {
+            for kernel in [
+                Kernel::Serial,
+                Kernel::Parallel,
+                Kernel::Ell,
+                Kernel::Buffered,
+            ] {
                 let y = o.forward(kernel, &x);
                 let y_rm = o.unorder_sinogram(&y);
                 for (got, want) in y_rm.iter().zip(direct.data()) {
@@ -354,8 +362,12 @@ mod tests {
     #[test]
     fn back_is_adjoint_of_forward() {
         let o = ops(16, 12, &Config::default());
-        let x: Vec<f32> = (0..o.a.ncols()).map(|i| ((i * 7) % 5) as f32 - 2.0).collect();
-        let y: Vec<f32> = (0..o.a.nrows()).map(|i| ((i * 3) % 7) as f32 - 3.0).collect();
+        let x: Vec<f32> = (0..o.a.ncols())
+            .map(|i| ((i * 7) % 5) as f32 - 2.0)
+            .collect();
+        let y: Vec<f32> = (0..o.a.nrows())
+            .map(|i| ((i * 3) % 7) as f32 - 3.0)
+            .collect();
         let ax = o.forward(Kernel::Serial, &x);
         let aty = o.back(Kernel::Serial, &y);
         let lhs: f64 = ax.iter().zip(&y).map(|(&a, &b)| a as f64 * b as f64).sum();
@@ -461,7 +473,14 @@ mod tests {
                 ..Config::default()
             },
         );
-        let hil = ops(32, 24, &Config { build_buffered: false, ..Config::default() });
+        let hil = ops(
+            32,
+            24,
+            &Config {
+                build_buffered: false,
+                ..Config::default()
+            },
+        );
         // Row-major: a diagonal ray spans nearly the whole domain.
         // Hilbert: rays cross tiles, span shrinks substantially on average.
         assert!(

@@ -1,8 +1,9 @@
 //! High-level single-call reconstruction API.
 
 use crate::dist::{reconstruct_distributed, DistConfig, DistOutput};
+use crate::operator::KernelBreakdown;
 use crate::preprocess::{preprocess, Config, Kernel, Operators};
-use crate::solvers::{cgls, sirt, IterationRecord, StopRule};
+use crate::solvers::{run_engine, CgRule, Constraint, IterationRecord, SirtRule, StopRule};
 use xct_geometry::{Grid, ScanGeometry, Sinogram};
 
 /// Result of a reconstruction: the image plus convergence records.
@@ -11,6 +12,10 @@ pub struct ReconOutput {
     pub image: Vec<f32>,
     /// Per-iteration records (residual/solution norms, timings).
     pub records: Vec<IterationRecord>,
+    /// Per-kernel time spent inside the projection operator. Shared-memory
+    /// kernels attribute all SpMV time to `ap_s`; the distributed path
+    /// splits it across `ap_s`/`c_s`/`r_s` (same schema as [`DistOutput`]).
+    pub breakdown: KernelBreakdown,
 }
 
 /// A preprocessed reconstructor bound to one geometry. Preprocessing cost
@@ -30,6 +35,9 @@ pub struct ReconOutput {
 /// let out = rec.reconstruct_cg(&sino, StopRule::Fixed(30));
 /// assert_eq!(out.image.len(), 32 * 32);
 /// assert!(out.records.last().unwrap().residual_norm < 1.0);
+/// // Per-kernel timings come from the same operator layer the
+/// // distributed path uses (all SpMV time in `ap_s` here).
+/// assert!(out.breakdown.ap_s > 0.0);
 /// ```
 pub struct Reconstructor {
     ops: Operators,
@@ -67,32 +75,30 @@ impl Reconstructor {
     /// Reconstruct one slice with CG and the given stopping rule.
     pub fn reconstruct_cg(&self, sino: &Sinogram, stop: StopRule) -> ReconOutput {
         let y = self.ops.order_sinogram(sino);
-        let (x, records) = cgls(
-            &y,
-            self.ops.a.ncols(),
-            |p| self.ops.forward(self.kernel, p),
-            |r| self.ops.back(self.kernel, r),
-            stop,
-        );
+        let op = self.ops.operator(self.kernel);
+        let (x, records) = run_engine(op.as_ref(), &y, &mut CgRule::new(), Constraint::None, stop);
         ReconOutput {
             image: self.ops.unorder_tomogram(&x),
             records,
+            breakdown: op.breakdown().unwrap_or_default(),
         }
     }
 
     /// Reconstruct one slice with SIRT (for baseline comparisons).
     pub fn reconstruct_sirt(&self, sino: &Sinogram, iters: usize) -> ReconOutput {
         let y = self.ops.order_sinogram(sino);
-        let (x, records) = sirt(
+        let op = self.ops.operator(self.kernel);
+        let (x, records) = run_engine(
+            op.as_ref(),
             &y,
-            self.ops.a.ncols(),
-            |p| self.ops.forward(self.kernel, p),
-            |r| self.ops.back(self.kernel, r),
-            iters,
+            &mut SirtRule::new(1.0),
+            Constraint::None,
+            StopRule::Fixed(iters),
         );
         ReconOutput {
             image: self.ops.unorder_tomogram(&x),
             records,
+            breakdown: op.breakdown().unwrap_or_default(),
         }
     }
 
@@ -170,7 +176,11 @@ mod tests {
         let sino = simulate_sinogram(&img, &grid, &scan, NoiseModel::None, 0);
         let rec = Reconstructor::new(grid, scan);
         let out = rec.reconstruct_cg(&sino, StopRule::Fixed(30));
-        assert!(rel_err(&out.image, &img) < 0.15, "err {}", rel_err(&out.image, &img));
+        assert!(
+            rel_err(&out.image, &img) < 0.15,
+            "err {}",
+            rel_err(&out.image, &img)
+        );
     }
 
     #[test]
@@ -218,7 +228,7 @@ mod tests {
             &crate::dist::DistConfig {
                 ranks: 4,
                 use_buffered: true,
-                iters: 10,
+                stop: StopRule::Fixed(10),
                 solver: crate::dist::DistSolver::Cg,
             },
         );

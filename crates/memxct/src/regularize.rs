@@ -8,10 +8,14 @@
 //! Hilbert-ordered coordinates, so the regularized solve is still nothing
 //! but SpMV.
 
+use crate::operator::StackedOperator;
 use crate::preprocess::Operators;
-use crate::solvers::{IterationRecord, StopRule};
+use crate::solvers::{run_engine, CgRule, Constraint, IterationRecord, StopRule};
 use xct_hilbert::Ordering2D;
-use xct_sparse::{spmv, CsrMatrix};
+use xct_sparse::CsrMatrix;
+
+#[cfg(test)]
+use xct_sparse::spmv;
 
 /// The discrete 2D gradient operator `D` over an ordered tomogram:
 /// `2·N·(N−1)` rows (horizontal then vertical differences), `N²` columns
@@ -55,28 +59,12 @@ pub fn cgls_smooth(
     assert!(lambda >= 0.0);
     let d = gradient_operator(&ops.tomo_ord);
     let dt = d.transpose_scan();
-    let sqrt_l = lambda.sqrt();
-    let ny = y.len();
-
-    // Stacked forward: [A·x ; √λ·D·x]; stacked back: Aᵀ·r₁ + √λ·Dᵀ·r₂.
-    let forward = |x: &[f32]| -> Vec<f32> {
-        let mut out = ops.forward(kernel, x);
-        let g = spmv(&d, x);
-        out.extend(g.into_iter().map(|v| v * sqrt_l));
-        out
-    };
-    let back = |r: &[f32]| -> Vec<f32> {
-        let mut out = ops.back(kernel, &r[..ny]);
-        let g = spmv(&dt, &r[ny..]);
-        for (o, v) in out.iter_mut().zip(g) {
-            *o += sqrt_l * v;
-        }
-        out
-    };
+    let primary = ops.operator(kernel);
+    let stacked = StackedOperator::new(primary.as_ref(), &d, &dt, lambda.sqrt());
 
     let mut y_aug = y.to_vec();
-    y_aug.extend(std::iter::repeat(0f32).take(d.nrows()));
-    crate::solvers::cgls(&y_aug, ops.a.ncols(), forward, back, stop)
+    y_aug.extend(std::iter::repeat_n(0f32, d.nrows()));
+    run_engine(&stacked, &y_aug, &mut CgRule::new(), Constraint::None, stop)
 }
 
 #[cfg(test)]
@@ -194,9 +182,8 @@ mod tests {
     fn larger_lambda_gives_smoother_image() {
         let (ops, y, _) = setup_noisy();
         let d = gradient_operator(&ops.tomo_ord);
-        let roughness = |x: &[f32]| -> f64 {
-            spmv(&d, x).iter().map(|&v| (v as f64).powi(2)).sum()
-        };
+        let roughness =
+            |x: &[f32]| -> f64 { spmv(&d, x).iter().map(|&v| (v as f64).powi(2)).sum() };
         let (x_lo, _) = cgls_smooth(&ops, Kernel::Serial, &y, 0.1, StopRule::Fixed(25));
         let (x_hi, _) = cgls_smooth(&ops, Kernel::Serial, &y, 5.0, StopRule::Fixed(25));
         assert!(

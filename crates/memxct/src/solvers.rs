@@ -1,12 +1,23 @@
-//! Iterative solvers (§3.5.2): conjugate gradient on the least-squares
-//! normal equations (CGLS), and SIRT for baseline comparisons.
+//! The iterative solver engine (§3.5.2): one iteration loop
+//! ([`run_engine`]) parameterized by an update rule (CG on the
+//! least-squares normal equations, or SIRT with row/column-sum
+//! normalization), an optional constraint projection, and a
+//! [`ProjectionOperator`] backend.
 //!
-//! Both are expressed over abstract forward/backprojection closures so the
-//! same code drives the serial kernels, the buffered kernels, and the
-//! distributed operators. Each iteration records `‖y − A·x‖` and `‖x‖`,
-//! the two axes of the L-curve (Fig 8), and CG supports the paper's
-//! heuristic early termination ("practically considered as a
+//! Every projection path — serial, parallel, buffered, ELL, distributed,
+//! and the compute-centric baseline — runs through this single loop; the
+//! operator's `reduce_dot` hook is the only place the shared-memory and
+//! distributed worlds differ. Each iteration records `‖y − A·x‖` and
+//! `‖x‖`, the two axes of the L-curve (Fig 8), and CG supports the
+//! paper's heuristic early termination ("practically considered as a
 //! regularization method").
+//!
+//! The closure-based entry points ([`cgls`], [`sirt`],
+//! [`cgls_regularized`], [`sirt_nonneg`]) are thin shims over the engine,
+//! kept for callers that hold projections as closures.
+
+use crate::operator::{ClosureOperator, ProjectionOperator};
+use xct_sparse::dot_f64;
 
 /// Convergence record of one iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,68 +65,65 @@ impl StopRule {
     }
 }
 
-fn dot(a: &[f32], b: &[f32]) -> f64 {
-    a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()
+/// Constraint set `C` of the paper's Eq. 1, enforced by projection after
+/// every update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Constraint {
+    /// Unconstrained.
+    #[default]
+    None,
+    /// `C = {x ≥ 0}` — attenuation coefficients are physically
+    /// nonnegative.
+    NonNegative,
 }
 
-fn norm(a: &[f32]) -> f64 {
-    dot(a, a).sqrt()
-}
-
-/// CGLS: minimize `‖y − A·x‖₂²` from `x = 0`.
+/// One iteration of an iterative reconstruction scheme.
 ///
-/// Per iteration: one forward projection (`q = A·p`), one backprojection
-/// (`s = Aᵀ·r`), and vector updates — plus the step size found
-/// analytically, matching the paper's description of CG's per-iteration
-/// cost. Returns the solution and the per-iteration records.
-pub fn cgls<F, G>(
+/// A rule owns all of its solver state (search directions, residuals,
+/// normalization weights, …), lazily initialized on the first
+/// [`step`](UpdateRule::step) so construction stays trivially cheap. All
+/// scalar reductions must go through the operator's `reduce_dot` hook so
+/// the rule works unchanged on distributed operators.
+pub trait UpdateRule {
+    /// Advance `x` by one iteration against measurements `y`. Returns the
+    /// residual norm `‖y − A·x‖` to record, or `None` on numerical
+    /// breakdown (the solve ends without recording the iteration).
+    fn step(&mut self, op: &dyn ProjectionOperator, y: &[f32], x: &mut [f32]) -> Option<f64>;
+}
+
+/// Run `rule` against `op` until `stop` says otherwise, from `x = 0`.
+///
+/// The engine owns the shared skeleton every solver loop previously
+/// duplicated: iteration timing, the L-curve record
+/// (`residual_norm`/`solution_norm`), constraint projection, and
+/// early-termination bookkeeping. On distributed operators all
+/// participating ranks observe identical (allreduced) residuals, so they
+/// take the same early-termination branch and collectives stay aligned.
+pub fn run_engine<R: UpdateRule + ?Sized>(
+    op: &dyn ProjectionOperator,
     y: &[f32],
-    nx: usize,
-    mut forward: F,
-    mut back: G,
+    rule: &mut R,
+    constraint: Constraint,
     stop: StopRule,
-) -> (Vec<f32>, Vec<IterationRecord>)
-where
-    F: FnMut(&[f32]) -> Vec<f32>,
-    G: FnMut(&[f32]) -> Vec<f32>,
-{
-    let mut x = vec![0f32; nx];
-    let mut r = y.to_vec(); // residual y − A·x (x = 0)
-    let mut s = back(&r);
-    let mut p = s.clone();
-    let mut gamma = dot(&s, &s);
+) -> (Vec<f32>, Vec<IterationRecord>) {
+    let mut x = vec![0f32; op.ncols()];
     let mut records = Vec::new();
     let mut prev_res = f64::INFINITY;
-
     for iter in 0..stop.max_iters() {
         let t0 = std::time::Instant::now();
-        if gamma == 0.0 {
-            break; // exact solution reached
+        let Some(res) = rule.step(op, y, &mut x) else {
+            break; // numerical breakdown (exact solution reached)
+        };
+        if constraint == Constraint::NonNegative {
+            for xi in x.iter_mut() {
+                *xi = xi.max(0.0);
+            }
         }
-        let q = forward(&p);
-        let qq = dot(&q, &q);
-        if qq == 0.0 {
-            break;
-        }
-        let alpha = (gamma / qq) as f32;
-        for (xi, &pi) in x.iter_mut().zip(&p) {
-            *xi += alpha * pi;
-        }
-        for (ri, &qi) in r.iter_mut().zip(&q) {
-            *ri -= alpha * qi;
-        }
-        s = back(&r);
-        let gamma_new = dot(&s, &s);
-        let beta = (gamma_new / gamma) as f32;
-        gamma = gamma_new;
-        for (pi, &si) in p.iter_mut().zip(&s) {
-            *pi = si + beta * *pi;
-        }
-        let res = norm(&r);
+        let sol = op.reduce_dot(dot_f64(&x, &x)).sqrt();
         records.push(IterationRecord {
             iter,
             residual_norm: res,
-            solution_norm: norm(&x),
+            solution_norm: sol,
             seconds: t0.elapsed().as_secs_f64(),
         });
         if stop.should_stop(prev_res, res) {
@@ -126,64 +134,215 @@ where
     (x, records)
 }
 
-/// SIRT: `x ← x + C·Aᵀ·R·(y − A·x)` with `R`/`C` the inverse row/column
-/// sums, computed with two extra operator applications on all-ones vectors
-/// (no extra tracing pass needed — the matrices are memoized).
+struct CgState {
+    r: Vec<f32>,
+    s: Vec<f32>,
+    p: Vec<f32>,
+    q: Vec<f32>,
+    gamma: f64,
+}
+
+/// CGLS: minimize `‖y − A·x‖₂²` (plus `λ‖x‖₂²` when regularized).
+///
+/// Per iteration: one forward projection (`q = A·p`), one backprojection
+/// (`s = Aᵀ·r`), and vector updates — plus the step size found
+/// analytically, matching the paper's description of CG's per-iteration
+/// cost. Tikhonov regularization is the augmented system `[A; √λ·I]`,
+/// which only changes the normal-equation residual to `s = Aᵀr − λx` and
+/// the curvature term to `‖q‖² + λ‖p‖²`.
+pub struct CgRule {
+    lambda: f32,
+    state: Option<CgState>,
+}
+
+impl CgRule {
+    /// Plain CGLS.
+    pub fn new() -> Self {
+        CgRule {
+            lambda: 0.0,
+            state: None,
+        }
+    }
+
+    /// Tikhonov-regularized CGLS with weight `lambda ≥ 0` (the
+    /// regularizer `R(x)` of the paper's Eq. 1 with `R = λ‖·‖²`).
+    pub fn regularized(lambda: f32) -> Self {
+        assert!(lambda >= 0.0);
+        CgRule {
+            lambda,
+            state: None,
+        }
+    }
+}
+
+impl Default for CgRule {
+    fn default() -> Self {
+        CgRule::new()
+    }
+}
+
+impl UpdateRule for CgRule {
+    fn step(&mut self, op: &dyn ProjectionOperator, y: &[f32], x: &mut [f32]) -> Option<f64> {
+        let st = match &mut self.state {
+            Some(st) => st,
+            None => {
+                // x = 0: residual is y, and the − λ·x term vanishes.
+                let r = y.to_vec();
+                let mut s = vec![0f32; op.ncols()];
+                op.back_into(&r, &mut s);
+                let gamma = op.reduce_dot(dot_f64(&s, &s));
+                let p = s.clone();
+                self.state.insert(CgState {
+                    r,
+                    s,
+                    p,
+                    q: vec![0f32; op.nrows()],
+                    gamma,
+                })
+            }
+        };
+        if st.gamma == 0.0 {
+            return None; // exact solution reached
+        }
+        op.forward_into(&st.p, &mut st.q);
+        let mut qq = op.reduce_dot(dot_f64(&st.q, &st.q));
+        if self.lambda != 0.0 {
+            qq += self.lambda as f64 * op.reduce_dot(dot_f64(&st.p, &st.p));
+        }
+        if qq == 0.0 {
+            return None;
+        }
+        let alpha = (st.gamma / qq) as f32;
+        for (xi, &pi) in x.iter_mut().zip(&st.p) {
+            *xi += alpha * pi;
+        }
+        for (ri, &qi) in st.r.iter_mut().zip(&st.q) {
+            *ri -= alpha * qi;
+        }
+        op.back_into(&st.r, &mut st.s);
+        if self.lambda != 0.0 {
+            for (si, &xi) in st.s.iter_mut().zip(x.iter()) {
+                *si -= self.lambda * xi;
+            }
+        }
+        let gamma_new = op.reduce_dot(dot_f64(&st.s, &st.s));
+        let beta = (gamma_new / st.gamma) as f32;
+        st.gamma = gamma_new;
+        for (pi, &si) in st.p.iter_mut().zip(&st.s) {
+            *pi = si + beta * *pi;
+        }
+        Some(op.reduce_dot(dot_f64(&st.r, &st.r)).sqrt())
+    }
+}
+
+/// SIRT: `x ← x + ω·C·Aᵀ·R·(y − A·x)` with `R`/`C` the inverse
+/// row/column sums, computed on the first step with two extra operator
+/// applications on all-ones vectors (no extra tracing pass needed — the
+/// matrices are memoized), and `ω` a relaxation factor (1 for plain
+/// SIRT).
+pub struct SirtRule {
+    relaxation: f32,
+    weights: Option<(Vec<f32>, Vec<f32>)>,
+    r: Vec<f32>,
+    u: Vec<f32>,
+}
+
+impl SirtRule {
+    /// SIRT with relaxation factor `relaxation > 0`.
+    pub fn new(relaxation: f32) -> Self {
+        assert!(relaxation > 0.0, "relaxation must be positive");
+        SirtRule {
+            relaxation,
+            weights: None,
+            r: Vec::new(),
+            u: Vec::new(),
+        }
+    }
+}
+
+impl UpdateRule for SirtRule {
+    fn step(&mut self, op: &dyn ProjectionOperator, y: &[f32], x: &mut [f32]) -> Option<f64> {
+        if self.weights.is_none() {
+            let inv = |v: f32| if v > 0.0 { 1.0 / v } else { 0.0 };
+            let mut row_w = vec![0f32; op.nrows()];
+            op.forward_into(&vec![1f32; op.ncols()], &mut row_w);
+            for v in row_w.iter_mut() {
+                *v = inv(*v);
+            }
+            let mut col_w = vec![0f32; op.ncols()];
+            op.back_into(&vec![1f32; op.nrows()], &mut col_w);
+            for v in col_w.iter_mut() {
+                *v = inv(*v);
+            }
+            self.weights = Some((row_w, col_w));
+            self.r = vec![0f32; op.nrows()];
+            self.u = vec![0f32; op.ncols()];
+        }
+        let (row_w, col_w) = self.weights.as_ref().expect("initialized above");
+        op.forward_into(x, &mut self.r);
+        for (ri, &yi) in self.r.iter_mut().zip(y) {
+            *ri = yi - *ri;
+        }
+        let res = op.reduce_dot(dot_f64(&self.r, &self.r)).sqrt();
+        for (ri, &w) in self.r.iter_mut().zip(row_w) {
+            *ri *= w;
+        }
+        op.back_into(&self.r, &mut self.u);
+        for ((xi, &ui), &w) in x.iter_mut().zip(&self.u).zip(col_w) {
+            *xi += self.relaxation * ui * w;
+        }
+        Some(res)
+    }
+}
+
+/// CGLS over forward/backprojection closures — a thin shim over
+/// [`run_engine`] with [`CgRule`]. Returns the solution and per-iteration
+/// records.
+pub fn cgls<F, G>(
+    y: &[f32],
+    nx: usize,
+    forward: F,
+    back: G,
+    stop: StopRule,
+) -> (Vec<f32>, Vec<IterationRecord>)
+where
+    F: FnMut(&[f32]) -> Vec<f32>,
+    G: FnMut(&[f32]) -> Vec<f32>,
+{
+    let op = ClosureOperator::new(y.len(), nx, forward, back);
+    run_engine(&op, y, &mut CgRule::new(), Constraint::None, stop)
+}
+
+/// SIRT over forward/backprojection closures — a thin shim over
+/// [`run_engine`] with [`SirtRule`].
 pub fn sirt<F, G>(
     y: &[f32],
     nx: usize,
-    mut forward: F,
-    mut back: G,
+    forward: F,
+    back: G,
     iters: usize,
 ) -> (Vec<f32>, Vec<IterationRecord>)
 where
     F: FnMut(&[f32]) -> Vec<f32>,
     G: FnMut(&[f32]) -> Vec<f32>,
 {
-    let ny = y.len();
-    let row_sum = forward(&vec![1f32; nx]);
-    let col_sum = back(&vec![1f32; ny]);
-    let inv = |v: f32| if v > 0.0 { 1.0 / v } else { 0.0 };
-    let row_w: Vec<f32> = row_sum.into_iter().map(inv).collect();
-    let col_w: Vec<f32> = col_sum.into_iter().map(inv).collect();
-
-    let mut x = vec![0f32; nx];
-    let mut records = Vec::with_capacity(iters);
-    for iter in 0..iters {
-        let t0 = std::time::Instant::now();
-        let mut residual = forward(&x);
-        for (ri, &yi) in residual.iter_mut().zip(y) {
-            *ri = yi - *ri;
-        }
-        let res_norm = norm(&residual);
-        for (ri, &w) in residual.iter_mut().zip(&row_w) {
-            *ri *= w;
-        }
-        let update = back(&residual);
-        for ((xi, u), &w) in x.iter_mut().zip(update).zip(&col_w) {
-            *xi += u * w;
-        }
-        records.push(IterationRecord {
-            iter,
-            residual_norm: res_norm,
-            solution_norm: norm(&x),
-            seconds: t0.elapsed().as_secs_f64(),
-        });
-    }
-    (x, records)
+    let op = ClosureOperator::new(y.len(), nx, forward, back);
+    run_engine(
+        &op,
+        y,
+        &mut SirtRule::new(1.0),
+        Constraint::None,
+        StopRule::Fixed(iters),
+    )
 }
 
-/// Tikhonov-regularized CGLS: minimize `‖y − A·x‖² + λ‖x‖²` (the
-/// regularizer `R(x)` of the paper's Eq. 1 with `R = λ‖·‖²`).
-///
-/// Implemented as CGLS on the augmented system `[A; √λ·I]`, which only
-/// changes the normal-equation residual to `s = Aᵀr − λx` and the
-/// curvature term to `‖q‖² + λ‖p‖²`.
+/// Tikhonov-regularized CGLS: minimize `‖y − A·x‖² + λ‖x‖²` — a thin
+/// shim over [`run_engine`] with [`CgRule::regularized`].
 pub fn cgls_regularized<F, G>(
     y: &[f32],
     nx: usize,
-    mut forward: F,
-    mut back: G,
+    forward: F,
+    back: G,
     lambda: f32,
     stop: StopRule,
 ) -> (Vec<f32>, Vec<IterationRecord>)
@@ -191,102 +350,37 @@ where
     F: FnMut(&[f32]) -> Vec<f32>,
     G: FnMut(&[f32]) -> Vec<f32>,
 {
-    assert!(lambda >= 0.0);
-    let mut x = vec![0f32; nx];
-    let mut r = y.to_vec();
-    let mut s = back(&r); // − λ·x term vanishes at x = 0
-    let mut p = s.clone();
-    let mut gamma = dot(&s, &s);
-    let mut records = Vec::new();
-    let mut prev_res = f64::INFINITY;
-
-    for iter in 0..stop.max_iters() {
-        let t0 = std::time::Instant::now();
-        if gamma == 0.0 {
-            break;
-        }
-        let q = forward(&p);
-        let qq = dot(&q, &q) + lambda as f64 * dot(&p, &p);
-        if qq == 0.0 {
-            break;
-        }
-        let alpha = (gamma / qq) as f32;
-        for (xi, &pi) in x.iter_mut().zip(&p) {
-            *xi += alpha * pi;
-        }
-        for (ri, &qi) in r.iter_mut().zip(&q) {
-            *ri -= alpha * qi;
-        }
-        s = back(&r);
-        for (si, &xi) in s.iter_mut().zip(&x) {
-            *si -= lambda * xi;
-        }
-        let gamma_new = dot(&s, &s);
-        let beta = (gamma_new / gamma) as f32;
-        gamma = gamma_new;
-        for (pi, &si) in p.iter_mut().zip(&s) {
-            *pi = si + beta * *pi;
-        }
-        let res = norm(&r);
-        records.push(IterationRecord {
-            iter,
-            residual_norm: res,
-            solution_norm: norm(&x),
-            seconds: t0.elapsed().as_secs_f64(),
-        });
-        if stop.should_stop(prev_res, res) {
-            break;
-        }
-        prev_res = res;
-    }
-    (x, records)
+    let op = ClosureOperator::new(y.len(), nx, forward, back);
+    run_engine(
+        &op,
+        y,
+        &mut CgRule::regularized(lambda),
+        Constraint::None,
+        stop,
+    )
 }
 
-/// Nonnegativity-constrained SIRT: the constraint set `C = {x ≥ 0}` of the
-/// paper's Eq. 1, enforced by projection after every update (attenuation
-/// coefficients are physically nonnegative).
+/// Nonnegativity-constrained SIRT — a thin shim over [`run_engine`] with
+/// [`SirtRule`] and [`Constraint::NonNegative`].
 pub fn sirt_nonneg<F, G>(
     y: &[f32],
     nx: usize,
-    mut forward: F,
-    mut back: G,
+    forward: F,
+    back: G,
     iters: usize,
 ) -> (Vec<f32>, Vec<IterationRecord>)
 where
     F: FnMut(&[f32]) -> Vec<f32>,
     G: FnMut(&[f32]) -> Vec<f32>,
 {
-    let ny = y.len();
-    let row_sum = forward(&vec![1f32; nx]);
-    let col_sum = back(&vec![1f32; ny]);
-    let inv = |v: f32| if v > 0.0 { 1.0 / v } else { 0.0 };
-    let row_w: Vec<f32> = row_sum.into_iter().map(inv).collect();
-    let col_w: Vec<f32> = col_sum.into_iter().map(inv).collect();
-
-    let mut x = vec![0f32; nx];
-    let mut records = Vec::with_capacity(iters);
-    for iter in 0..iters {
-        let t0 = std::time::Instant::now();
-        let mut residual = forward(&x);
-        for (ri, &yi) in residual.iter_mut().zip(y) {
-            *ri = yi - *ri;
-        }
-        let res_norm = norm(&residual);
-        for (ri, &w) in residual.iter_mut().zip(&row_w) {
-            *ri *= w;
-        }
-        let update = back(&residual);
-        for ((xi, u), &w) in x.iter_mut().zip(update).zip(&col_w) {
-            *xi = (*xi + u * w).max(0.0); // projection onto C
-        }
-        records.push(IterationRecord {
-            iter,
-            residual_norm: res_norm,
-            solution_norm: norm(&x),
-            seconds: t0.elapsed().as_secs_f64(),
-        });
-    }
-    (x, records)
+    let op = ClosureOperator::new(y.len(), nx, forward, back);
+    run_engine(
+        &op,
+        y,
+        &mut SirtRule::new(1.0),
+        Constraint::NonNegative,
+        StopRule::Fixed(iters),
+    )
 }
 
 #[cfg(test)]
@@ -447,6 +541,39 @@ mod tests {
             |r| ops.back(Kernel::Buffered, r),
             StopRule::Fixed(10),
         );
-        assert!(rel_err(&xb, &xs) < 1e-3, "kernels diverged: {}", rel_err(&xb, &xs));
+        assert!(
+            rel_err(&xb, &xs) < 1e-3,
+            "kernels diverged: {}",
+            rel_err(&xb, &xs)
+        );
+    }
+
+    #[test]
+    fn engine_runs_directly_on_operators() {
+        // The engine API itself (no closure shim): CG over the serial
+        // operator equals the closure-based entry point record-for-record.
+        let (ops, y, _) = setup(16, 24);
+        let op = crate::operator::SerialOperator::new(&ops);
+        let (x_engine, recs_engine) = run_engine(
+            &op,
+            &y,
+            &mut CgRule::new(),
+            Constraint::None,
+            StopRule::Fixed(8),
+        );
+        let (x_shim, recs_shim) = cgls(
+            &y,
+            ops.a.ncols(),
+            |p| ops.forward(Kernel::Serial, p),
+            |r| ops.back(Kernel::Serial, r),
+            StopRule::Fixed(8),
+        );
+        assert_eq!(x_engine, x_shim);
+        for (a, b) in recs_engine.iter().zip(&recs_shim) {
+            assert_eq!(a.residual_norm, b.residual_norm);
+            assert_eq!(a.solution_norm, b.solution_norm);
+        }
+        let kb = op.breakdown().expect("serial operator is timed");
+        assert!(kb.ap_s > 0.0);
     }
 }

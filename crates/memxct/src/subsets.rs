@@ -9,8 +9,9 @@
 //! applies only the rays of one projection-angle subset, converging in
 //! far fewer full passes over the data.
 
+use crate::operator::{ProjectionOperator, RowSubsetOperator};
 use crate::preprocess::Operators;
-use crate::solvers::IterationRecord;
+use crate::solvers::{run_engine, Constraint, IterationRecord, StopRule, UpdateRule};
 use xct_sparse::{spmv, CsrMatrix};
 
 /// The row blocks of `A` for one angle-interleaved subset.
@@ -94,51 +95,108 @@ impl OrderedSubsets {
         self.subsets.len()
     }
 
-    /// Run `iters` full passes of OS-SIRT from zero. `y_ordered` is the
-    /// measurement vector in sinogram-ordered coordinates; `relaxation`
-    /// scales each sub-update (1.0 = plain SART step).
+    /// The OS-SIRT update rule over these subsets; `relaxation` scales
+    /// each sub-update (1.0 = plain SART step). Feed it to
+    /// [`run_engine`] together with `self` as the operator.
+    pub fn rule(&self, relaxation: f32) -> OsRule<'_> {
+        assert!(relaxation > 0.0);
+        OsRule {
+            subsets: &self.subsets,
+            views: self
+                .subsets
+                .iter()
+                .map(|s| RowSubsetOperator::new(&s.rows, &s.block, &s.block_t))
+                .collect(),
+            relaxation,
+        }
+    }
+
+    /// Run `iters` full passes of OS-SIRT from zero — a thin shim over
+    /// [`run_engine`] with [`OsRule`]. `y_ordered` is the measurement
+    /// vector in sinogram-ordered coordinates.
     pub fn solve(
         &self,
         y_ordered: &[f32],
         iters: usize,
         relaxation: f32,
     ) -> (Vec<f32>, Vec<IterationRecord>) {
-        assert!(relaxation > 0.0);
-        let mut x = vec![0f32; self.nx];
-        let mut records = Vec::with_capacity(iters);
-        for iter in 0..iters {
-            let t0 = std::time::Instant::now();
-            for sub in &self.subsets {
-                // Residual restricted to the subset's rays.
-                let mut r = spmv(&sub.block, &x);
-                for (ri, &row) in r.iter_mut().zip(&sub.rows) {
-                    *ri = y_ordered[row as usize] - *ri;
-                }
-                for (ri, &w) in r.iter_mut().zip(&sub.row_w) {
-                    *ri *= w;
-                }
-                let update = spmv(&sub.block_t, &r);
-                for ((xi, u), &w) in x.iter_mut().zip(update).zip(&sub.col_w) {
-                    *xi += relaxation * u * w;
-                }
+        let mut rule = self.rule(relaxation);
+        run_engine(
+            self,
+            y_ordered,
+            &mut rule,
+            Constraint::None,
+            StopRule::Fixed(iters),
+        )
+    }
+}
+
+/// The subset decomposition *is* a projection operator: forward scatters
+/// each subset's rows into their global positions (the subsets partition
+/// the sinogram), backprojection sums the per-subset transposes.
+impl ProjectionOperator for OrderedSubsets {
+    fn nrows(&self) -> usize {
+        self.subsets.iter().map(|s| s.rows.len()).sum()
+    }
+    fn ncols(&self) -> usize {
+        self.nx
+    }
+    fn forward_into(&self, x: &[f32], y: &mut [f32]) {
+        for sub in &self.subsets {
+            let r = spmv(&sub.block, x);
+            for (&row, v) in sub.rows.iter().zip(r) {
+                y[row as usize] = v;
             }
-            // Full residual for the record (over all subsets).
-            let mut res_sq = 0f64;
-            for sub in &self.subsets {
-                let r = spmv(&sub.block, &x);
-                for (ri, &row) in r.iter().zip(&sub.rows) {
-                    let d = (y_ordered[row as usize] - ri) as f64;
-                    res_sq += d * d;
-                }
-            }
-            records.push(IterationRecord {
-                iter,
-                residual_norm: res_sq.sqrt(),
-                solution_norm: x.iter().map(|&v| (v as f64).powi(2)).sum::<f64>().sqrt(),
-                seconds: t0.elapsed().as_secs_f64(),
-            });
         }
-        (x, records)
+    }
+    fn back_into(&self, y: &[f32], x: &mut [f32]) {
+        x.fill(0.0);
+        for sub in &self.subsets {
+            let ys: Vec<f32> = sub.rows.iter().map(|&r| y[r as usize]).collect();
+            for (xi, ui) in x.iter_mut().zip(spmv(&sub.block_t, &ys)) {
+                *xi += ui;
+            }
+        }
+    }
+}
+
+/// One OS-SIRT pass: a relaxed SIRT sub-update per subset (through its
+/// [`RowSubsetOperator`] view), then the full residual over all subsets.
+pub struct OsRule<'a> {
+    subsets: &'a [Subset],
+    views: Vec<RowSubsetOperator<'a>>,
+    relaxation: f32,
+}
+
+impl UpdateRule for OsRule<'_> {
+    fn step(&mut self, _op: &dyn ProjectionOperator, y: &[f32], x: &mut [f32]) -> Option<f64> {
+        for (sub, view) in self.subsets.iter().zip(&self.views) {
+            // Residual restricted to the subset's rays.
+            let mut r = vec![0f32; view.nrows()];
+            view.forward_into(x, &mut r);
+            for (ri, &row) in r.iter_mut().zip(view.rows()) {
+                *ri = y[row as usize] - *ri;
+            }
+            for (ri, &w) in r.iter_mut().zip(&sub.row_w) {
+                *ri *= w;
+            }
+            let mut u = vec![0f32; view.ncols()];
+            view.back_into(&r, &mut u);
+            for ((xi, &ui), &w) in x.iter_mut().zip(&u).zip(&sub.col_w) {
+                *xi += self.relaxation * ui * w;
+            }
+        }
+        // Full residual for the record (over all subsets).
+        let mut res_sq = 0f64;
+        for view in &self.views {
+            let mut r = vec![0f32; view.nrows()];
+            view.forward_into(x, &mut r);
+            for (ri, &row) in r.iter().zip(view.rows()) {
+                let d = (y[row as usize] - ri) as f64;
+                res_sq += d * d;
+            }
+        }
+        Some(res_sq.sqrt())
     }
 }
 

@@ -5,8 +5,8 @@
 
 use memxct::{preprocess, Config, Kernel};
 use proptest::prelude::*;
-use xct_geometry::{simulate_sinogram, Grid, NoiseModel, ScanGeometry};
 use xct_geometry::{disk, Sinogram};
+use xct_geometry::{simulate_sinogram, Grid, NoiseModel, ScanGeometry};
 use xct_runtime::run_ranks;
 
 proptest! {
@@ -62,6 +62,51 @@ proptest! {
         let data: Vec<f32> = (0..(m * n)).map(|i| i as f32).collect();
         let sino = Sinogram::new(ScanGeometry::new(m, n), data.clone());
         prop_assert_eq!(ops.unorder_sinogram(&ops.order_sinogram(&sino)), data);
+    }
+
+    #[test]
+    fn distributed_sirt_early_termination_matches_serial(
+        n in 10u32..24, m in 6u32..20, ranks in 1usize..5
+    ) {
+        let grid = Grid::new(n);
+        let scan = ScanGeometry::new(m, n);
+        let img = disk(0.5, 2.0).rasterize(n);
+        let sino = simulate_sinogram(&img, &grid, &scan, NoiseModel::None, 0);
+        let rec = memxct::Reconstructor::new(grid, scan);
+        let stop = memxct::StopRule::EarlyTermination {
+            max_iters: 50,
+            min_decrease: 0.02,
+        };
+        // Serial: the same engine + SirtRule on the buffered operator.
+        let ops = rec.operators();
+        let y = ops.order_sinogram(&sino);
+        let op = ops.operator(rec.kernel());
+        let (x, serial_records) = memxct::run_engine(
+            op.as_ref(),
+            &y,
+            &mut memxct::SirtRule::new(1.0),
+            memxct::Constraint::None,
+            stop,
+        );
+        let serial_image = ops.unorder_tomogram(&x);
+        let dist = rec.reconstruct_distributed(
+            &sino,
+            &memxct::DistConfig {
+                ranks,
+                use_buffered: true,
+                stop,
+                solver: memxct::DistSolver::Sirt,
+            },
+        );
+        // The allreduced residual is identical on every rank, so the
+        // early-termination decision must branch the same way as serial
+        // (up to fp reassociation right at the threshold).
+        let d = dist.records.len() as i64 - serial_records.len() as i64;
+        prop_assert!(d.abs() <= 1, "stopped at {} vs serial {}", dist.records.len(), serial_records.len());
+        let num: f64 = dist.image.iter().zip(&serial_image)
+            .map(|(&a, &b)| ((a - b) as f64).powi(2)).sum::<f64>().sqrt();
+        let den: f64 = serial_image.iter().map(|&v| (v as f64).powi(2)).sum::<f64>().sqrt();
+        prop_assert!(num / den.max(1e-12) < 2e-2, "rel err {}", num / den.max(1e-12));
     }
 
     #[test]

@@ -240,17 +240,18 @@ where
         traffic: Mutex::new(vec![0; size * size]),
     });
 
-    // channels[src][dst]
+    // channels: txs[src][dst] pairs with rxs[dst][src]. Pushing one
+    // receiver onto every rxs row per outer (src) iteration lands each at
+    // index `src` without explicit indexing.
     let mut txs: Vec<Vec<Option<Sender<Payload>>>> = Vec::with_capacity(size);
-    let mut rxs: Vec<Vec<Option<Receiver<Payload>>>> = (0..size)
-        .map(|_| (0..size).map(|_| None).collect())
-        .collect();
-    for src in 0..size {
+    let mut rxs: Vec<Vec<Option<Receiver<Payload>>>> =
+        (0..size).map(|_| Vec::with_capacity(size)).collect();
+    for _src in 0..size {
         let mut row = Vec::with_capacity(size);
-        for dst in 0..size {
+        for rx_row in rxs.iter_mut() {
             let (tx, rx) = unbounded();
             row.push(Some(tx));
-            rxs[dst][src] = Some(rx);
+            rx_row.push(Some(rx));
         }
         txs.push(row);
     }
@@ -304,7 +305,11 @@ mod tests {
         });
         for (rank, recv) in results.iter().enumerate() {
             for (src, buf) in recv.iter().enumerate() {
-                assert_eq!(buf, &vec![(src * 10 + rank) as f32], "rank {rank} src {src}");
+                assert_eq!(
+                    buf,
+                    &vec![(src * 10 + rank) as f32],
+                    "rank {rank} src {src}"
+                );
             }
         }
         // 3 ranks × 2 peers × 4 bytes each.

@@ -271,17 +271,21 @@ impl<I: BufferIndex> BufferedCsrImpl<I> {
     /// `y = A·x` with the buffered kernel, partitions in parallel
     /// (dynamically scheduled, as in Listing 3's `schedule(dynamic)`).
     pub fn spmv_parallel(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.ncols, "x length");
         let mut y = vec![0f32; self.nrows];
-        y.par_chunks_mut(self.partsize)
-            .enumerate()
-            .for_each_init(
-                || vec![0f32; self.buffsize],
-                |input, (p, out)| {
-                    self.process_partition(p, x, input, out);
-                },
-            );
+        self.spmv_parallel_into(x, &mut y);
         y
+    }
+
+    /// Parallel buffered SpMV into a caller-provided output (overwritten).
+    pub fn spmv_parallel_into(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.ncols, "x length");
+        assert_eq!(y.len(), self.nrows, "y length");
+        y.par_chunks_mut(self.partsize).enumerate().for_each_init(
+            || vec![0f32; self.buffsize],
+            |input, (p, out)| {
+                self.process_partition(p, x, input, out);
+            },
+        );
     }
 
     /// Run all stages of partition `p`: gather each stage's footprint into

@@ -206,9 +206,9 @@ impl CsrMatrix {
     /// Dense representation (tests/debugging only).
     pub fn to_dense(&self) -> Vec<Vec<f32>> {
         let mut d = vec![vec![0f32; self.ncols]; self.nrows];
-        for i in 0..self.nrows {
+        for (i, di) in d.iter_mut().enumerate() {
             for (c, v) in self.row(i) {
-                d[i][c as usize] += v;
+                di[c as usize] += v;
             }
         }
         d

@@ -98,11 +98,19 @@ impl EllMatrix {
 
     /// `y = A·x` with one "thread block" per partition.
     pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.ncols, "x length");
         let mut y = vec![0f32; self.nrows];
+        self.spmv_into(x, &mut y);
+        y
+    }
+
+    /// ELL SpMV into a caller-provided output (overwritten).
+    pub fn spmv_into(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.ncols, "x length");
+        assert_eq!(y.len(), self.nrows, "y length");
+        y.fill(0.0); // partitions accumulate into their slice
         let chunks: Vec<(&EllPartition, &mut [f32])> = {
             // Split y into per-partition output slices.
-            let mut rest = y.as_mut_slice();
+            let mut rest = y;
             let mut out = Vec::with_capacity(self.partitions.len());
             for p in &self.partitions {
                 let (head, tail) = rest.split_at_mut(p.rows);
@@ -124,7 +132,6 @@ impl EllMatrix {
                 }
             }
         });
-        y
     }
 }
 

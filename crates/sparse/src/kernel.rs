@@ -1,0 +1,119 @@
+//! The kernel-level seam of the operator layer: one trait over every
+//! SpMV variant (serial CSR, partitioned-parallel CSR, ELL, multi-stage
+//! buffered), so higher layers can hold "a projection kernel" without
+//! caring which memory layout backs it.
+//!
+//! `memxct`'s `ProjectionOperator` implementations pair two of these
+//! (forward and transpose) per backend.
+
+use crate::buffered::{BufferIndex, BufferedCsrImpl};
+use crate::csr::CsrMatrix;
+use crate::ell::EllMatrix;
+use crate::spmv::{spmv_into, spmv_parallel_into};
+
+/// A sparse `y = A·x` kernel with a fixed shape.
+pub trait SpmvKernel {
+    /// Number of rows (output length).
+    fn nrows(&self) -> usize;
+    /// Number of columns (input length).
+    fn ncols(&self) -> usize;
+    /// Compute `y = A·x`, overwriting `y` entirely.
+    fn apply_into(&self, x: &[f32], y: &mut [f32]);
+}
+
+impl SpmvKernel for CsrMatrix {
+    fn nrows(&self) -> usize {
+        CsrMatrix::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        CsrMatrix::ncols(self)
+    }
+    fn apply_into(&self, x: &[f32], y: &mut [f32]) {
+        spmv_into(self, x, y);
+    }
+}
+
+/// A CSR matrix applied with the dynamically-scheduled parallel kernel
+/// (Listing 2's `schedule(dynamic, partsize)`).
+pub struct ParCsr<'a> {
+    /// The matrix.
+    pub a: &'a CsrMatrix,
+    /// Rows per scheduled partition.
+    pub partsize: usize,
+}
+
+impl SpmvKernel for ParCsr<'_> {
+    fn nrows(&self) -> usize {
+        self.a.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.a.ncols()
+    }
+    fn apply_into(&self, x: &[f32], y: &mut [f32]) {
+        spmv_parallel_into(self.a, x, y, self.partsize);
+    }
+}
+
+impl<I: BufferIndex> SpmvKernel for BufferedCsrImpl<I> {
+    fn nrows(&self) -> usize {
+        BufferedCsrImpl::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        BufferedCsrImpl::ncols(self)
+    }
+    fn apply_into(&self, x: &[f32], y: &mut [f32]) {
+        self.spmv_parallel_into(x, y);
+    }
+}
+
+impl SpmvKernel for EllMatrix {
+    fn nrows(&self) -> usize {
+        EllMatrix::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        EllMatrix::ncols(self)
+    }
+    fn apply_into(&self, x: &[f32], y: &mut [f32]) {
+        self.spmv_into(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffered::BufferedCsr;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_rows(
+            4,
+            &[
+                vec![(0, 1.0), (2, 2.0)],
+                vec![(1, -1.0)],
+                vec![],
+                vec![(0, 0.5), (3, 4.0)],
+                vec![(2, 3.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn all_kernels_agree() {
+        let a = sample();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let mut want = vec![0f32; a.nrows()];
+        a.apply_into(&x, &mut want);
+
+        let kernels: Vec<Box<dyn SpmvKernel>> = vec![
+            Box::new(ParCsr { a: &a, partsize: 2 }),
+            Box::new(BufferedCsr::from_csr(&a, 2, 8)),
+            Box::new(EllMatrix::from_csr(&a, 2)),
+        ];
+        for k in kernels {
+            assert_eq!(k.nrows(), a.nrows());
+            assert_eq!(k.ncols(), a.ncols());
+            let mut y = vec![7f32; a.nrows()]; // nonzero: apply must overwrite
+            k.apply_into(&x, &mut y);
+            assert_eq!(y, want);
+        }
+    }
+}

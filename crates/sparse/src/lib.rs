@@ -21,11 +21,15 @@
 mod buffered;
 mod csr;
 mod ell;
+mod kernel;
+mod reduce;
 mod spmv;
 mod stats;
 
 pub use buffered::{BufferIndex, BufferedCsr, BufferedCsr32, BufferedCsrImpl};
 pub use csr::CsrMatrix;
 pub use ell::EllMatrix;
+pub use kernel::{ParCsr, SpmvKernel};
+pub use reduce::{dot_f64, norm_f64};
 pub use spmv::{spmv, spmv_into, spmv_parallel, spmv_parallel_into};
 pub use stats::{matrix_stats, partition_stats, MatrixStats, PartitionStats};

@@ -1,0 +1,37 @@
+//! Shared f64-accumulation reductions.
+//!
+//! Every solver records `‖y − A·x‖` and `‖x‖` by accumulating f32
+//! products in f64. Serial and distributed paths must use the *same*
+//! accumulation (element order and widening) so their residual records
+//! agree bit-for-bit on identical data; this module is the single home
+//! for that arithmetic.
+
+/// Dot product of two f32 slices, accumulated in f64:
+/// `Σ (aᵢ as f64)·(bᵢ as f64)` in index order.
+pub fn dot_f64(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()
+}
+
+/// Euclidean norm of an f32 slice via [`dot_f64`].
+pub fn norm_f64(a: &[f32]) -> f64 {
+    dot_f64(a, a).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_widens_before_summing() {
+        // 1e8 * 1e8 overflows f32 accumulation badly; f64 is exact here.
+        let a = vec![1e8f32; 3];
+        let d = dot_f64(&a, &a);
+        assert_eq!(d, 3.0 * 1e16);
+    }
+
+    #[test]
+    fn norm_of_unit_axes() {
+        assert_eq!(norm_f64(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_f64(&[]), 0.0);
+    }
+}

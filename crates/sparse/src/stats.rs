@@ -80,7 +80,7 @@ pub struct MatrixStats {
 
 /// Compute [`MatrixStats`] for partitions of `partsize` rows.
 pub fn matrix_stats(a: &CsrMatrix, partsize: usize) -> MatrixStats {
-    let parts = partition_stats(a, partsize, usize::MAX.min(1 << 30));
+    let parts = partition_stats(a, partsize, 1 << 30);
     let total_footprint: usize = parts.iter().map(|p| p.footprint).sum();
     let mean_reuse = if parts.is_empty() {
         0.0

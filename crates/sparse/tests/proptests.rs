@@ -33,10 +33,7 @@ fn assert_close(a: &[f32], b: &[f32], tol: f32) {
     assert_eq!(a.len(), b.len());
     for (i, (x, y)) in a.iter().zip(b).enumerate() {
         let scale = x.abs().max(y.abs()).max(1.0);
-        assert!(
-            (x - y).abs() <= tol * scale,
-            "mismatch at {i}: {x} vs {y}"
-        );
+        assert!((x - y).abs() <= tol * scale, "mismatch at {i}: {x} vs {y}");
     }
 }
 

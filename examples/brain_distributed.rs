@@ -51,9 +51,9 @@ fn main() {
         &DistConfig {
             ranks,
             use_buffered: true,
-            iters: 30,
-                solver: memxct::dist::DistSolver::Cg,
-            },
+            stop: memxct::StopRule::Fixed(30),
+            solver: memxct::dist::DistSolver::Cg,
+        },
     );
     println!(
         "30 distributed CG iterations in {:.2}s; relative L2 error {:.4}",
@@ -62,7 +62,10 @@ fn main() {
     );
 
     println!("\nper-rank kernel breakdown (accumulated seconds, Fig 11 style):");
-    println!("{:>6} {:>10} {:>10} {:>10} {:>10}", "rank", "A_p", "C", "R", "total");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "rank", "A_p", "C", "R", "total"
+    );
     for (r, kb) in out.breakdown.iter().enumerate() {
         println!(
             "{:>6} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",

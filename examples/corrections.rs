@@ -9,8 +9,8 @@
 
 use memxct::{Reconstructor, StopRule};
 use xct_geometry::{
-    correct_center, remove_rings, shepp_logan, shift_sinogram, simulate_sinogram, Grid,
-    NoiseModel, ScanGeometry, Sinogram,
+    correct_center, remove_rings, shepp_logan, shift_sinogram, simulate_sinogram, Grid, NoiseModel,
+    ScanGeometry, Sinogram,
 };
 
 fn rel_err(a: &[f32], b: &[f32]) -> f64 {
@@ -42,7 +42,11 @@ fn main() {
     // ...converted to photon counts (Beer's law)...
     let i0 = 5e4f32;
     let att = 0.05f32;
-    let counts: Vec<f32> = ideal.data().iter().map(|&p| i0 * (-p * att).exp()).collect();
+    let counts: Vec<f32> = ideal
+        .data()
+        .iter()
+        .map(|&p| i0 * (-p * att).exp())
+        .collect();
     // ...recovered by log-normalization. (In production the per-channel I0
     // comes from measured flat fields.)
     let normalized = Sinogram::from_transmission(scan, &counts, i0);

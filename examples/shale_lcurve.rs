@@ -45,7 +45,10 @@ fn main() {
     let si = rec.reconstruct_sirt(&sino, iters);
 
     println!("\nL-curve data (residual norm vs solution norm), both solvers:");
-    println!("{:>6} {:>14} {:>14} {:>14} {:>14}", "iter", "CG residual", "CG ||x||", "SIRT residual", "SIRT ||x||");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14}",
+        "iter", "CG residual", "CG ||x||", "SIRT residual", "SIRT ||x||"
+    );
     let stride = (iters / 20).max(1);
     for i in (0..iters).step_by(stride) {
         let c = cg.records.get(i);

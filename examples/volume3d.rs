@@ -32,7 +32,10 @@ fn main() {
 
     let t = std::time::Instant::now();
     let rec = Reconstructor::new(xct_geometry::Grid::new(n), scan);
-    println!("preprocessing: {:.2}s (paid once)", t.elapsed().as_secs_f64());
+    println!(
+        "preprocessing: {:.2}s (paid once)",
+        t.elapsed().as_secs_f64()
+    );
 
     let out = rec.reconstruct_volume(
         &sinos,

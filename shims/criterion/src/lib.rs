@@ -1,0 +1,241 @@
+//! Offline stand-in for the `criterion` crate (see the README "Offline
+//! builds" section). Implements the macro/builder surface the workspace's
+//! benches use, with a simple median-of-samples wall-clock measurement
+//! instead of criterion's statistics engine.
+//!
+//! Bench binaries built with `harness = false` are also executed by
+//! `cargo test`; in that case no `--bench` flag is passed and
+//! `criterion_main!` exits immediately so test runs stay fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver; collects configuration from the builder methods.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup {
+            crit: self,
+            throughput: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
+        run_bench(
+            &id.into_benchmark_id().0,
+            sample_size,
+            measurement_time,
+            None,
+            f,
+        );
+    }
+}
+
+/// Units processed per iteration, used to print a rate.
+pub enum Throughput {
+    /// Elements (e.g. nonzeros) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    crit: &'a Criterion,
+    throughput: Option<(f64, &'static str)>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(match t {
+            Throughput::Elements(n) => (n as f64, "elem/s"),
+            Throughput::Bytes(n) => (n as f64, "B/s"),
+        });
+    }
+
+    /// Benchmark `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl IntoBenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(
+            &id.into_benchmark_id().0,
+            self.crit.sample_size,
+            self.crit.measurement_time,
+            self.throughput,
+            |b| f(b, input),
+        );
+    }
+
+    /// Benchmark a closure taking only the bencher.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        run_bench(
+            &id.into_benchmark_id().0,
+            self.crit.sample_size,
+            self.crit.measurement_time,
+            self.throughput,
+            f,
+        );
+    }
+
+    /// End the group (printing is already done incrementally).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`name/parameter`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifier from a function name and a displayed parameter.
+    pub fn new(name: impl Into<String>, param: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+}
+
+/// Conversion into [`BenchmarkId`], so `&str` and `BenchmarkId` both work.
+pub trait IntoBenchmarkId {
+    /// Perform the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Passed to bench closures; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, collecting up to `sample_size` samples within the
+    /// measurement budget.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+            if start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<(f64, &'static str)>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        measurement_time,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {name:<40} (no samples)");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    match throughput {
+        Some((units, label)) => {
+            let rate = units / median.as_secs_f64();
+            println!(
+                "  {name:<40} median {:>12.3?}  ({:.3e} {label})",
+                median, rate
+            );
+        }
+        None => println!("  {name:<40} median {:>12.3?}", median),
+    }
+}
+
+/// Opaque value barrier (forwarding to `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a group of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` for a bench binary. Runs only under `--bench`
+/// (i.e. `cargo bench`); exits immediately under `cargo test`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if !std::env::args().any(|a| a == "--bench") {
+                println!("criterion shim: skipping (run via `cargo bench`)");
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

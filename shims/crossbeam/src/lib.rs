@@ -1,0 +1,74 @@
+//! Offline stand-in for the `crossbeam` crate (see the README "Offline
+//! builds" section). Only `crossbeam::channel::{unbounded, Sender,
+//! Receiver}` is provided, built on `std::sync::mpsc`. The receiver is
+//! wrapped in a mutex so it is `Sync` like crossbeam's (std's is not).
+
+pub mod channel {
+    //! Multi-producer channels with a `Sync` receiver.
+
+    use std::sync::mpsc;
+    use std::sync::Mutex;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value; errors only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half of an unbounded channel (`Sync`, unlike std's).
+    pub struct Receiver<T>(Mutex<mpsc::Receiver<T>>);
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives; errors if all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let guard = self.0.lock().unwrap_or_else(|p| p.into_inner());
+            guard.recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Mutex::new(rx)))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_across_threads() {
+            let (tx, rx) = unbounded();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    for i in 0..10u32 {
+                        tx.send(i).unwrap();
+                    }
+                });
+                for i in 0..10u32 {
+                    assert_eq!(rx.recv().unwrap(), i);
+                }
+            });
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Offline stand-in for the `parking_lot` crate (see the README "Offline
+//! builds" section). Provides `Mutex` with parking_lot's unpoisoned
+//! `lock()` signature, backed by `std::sync::Mutex`.
+
+use std::sync;
+
+/// A mutex whose `lock()` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+/// Guard type returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Wrap a value in a mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, ignoring poisoning (parking_lot semantics).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(vec![0u64; 4]);
+        {
+            let mut g = m.lock();
+            g[2] = 7;
+        }
+        assert_eq!(m.lock()[2], 7);
+    }
+}

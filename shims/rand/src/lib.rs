@@ -1,0 +1,191 @@
+//! Offline stand-in for the `rand` crate (see the README "Offline
+//! builds" section). Provides the subset the workspace uses:
+//! `rngs::SmallRng`, `SeedableRng::seed_from_u64`, and `Rng` with
+//! `gen::<f64/f32/...>()` and `gen_range(a..b)` for float and integer
+//! ranges.
+//!
+//! The generator is splitmix64 — statistically solid for simulation and
+//! test-data purposes, deterministic for a given seed.
+
+use std::ops::Range;
+
+pub mod rngs {
+    //! Named RNGs (only `SmallRng` here).
+    pub use crate::SmallRng;
+}
+
+/// A small, fast, seedable RNG (splitmix64 underneath).
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build an RNG from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut rng = SmallRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        };
+        // Scramble once so nearby seeds decorrelate immediately.
+        rng.next_u64();
+        rng
+    }
+}
+
+/// Sampling interface, mirroring the used subset of `rand::Rng`.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Sample a value from the "standard" distribution of `T`
+    /// (uniform in `[0, 1)` for floats, full range for integers).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from a half-open range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64 (Steele, Lea & Flood).
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// The "standard" distribution of a type.
+pub trait Standard: Sized {
+    /// Sample from the standard distribution using `rng`.
+    fn sample_standard<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: Rng>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: Rng>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: Rng>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: Rng>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: Rng>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range that can be sampled uniformly, mirroring `rand`'s
+/// `SampleRange`.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = <$t as Standard>::sample_standard(rng);
+                let v = self.start + u * (self.end - self.start);
+                // Guard against rounding up to the excluded endpoint.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+float_sample_range!(f32, f64);
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + r) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&x));
+            let k = rng.gen_range(8..30);
+            assert!((8..30).contains(&k));
+        }
+    }
+
+    #[test]
+    fn mean_is_near_half() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

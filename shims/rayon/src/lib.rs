@@ -1,0 +1,281 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! This workspace builds in sandboxes with no access to crates.io, so the
+//! handful of external dependencies are vendored as minimal shims under
+//! `shims/` (see the README "Offline builds" section). This crate provides
+//! exactly the parallel-iterator subset the workspace uses:
+//!
+//! - `(range | Vec).into_par_iter()` with `map`/`collect`, `for_each`,
+//!   `fold` + `reduce`;
+//! - `slice.par_chunks_mut(n)` with `enumerate`, `for_each`,
+//!   `for_each_init`;
+//! - `rayon::current_num_threads()`.
+//!
+//! Execution model: the item list is materialized, split into one
+//! contiguous chunk per worker, and each chunk runs on a `std::thread`
+//! scoped thread. `map` preserves input order; `fold` produces one
+//! accumulator per chunk (in chunk order) and `reduce` combines them
+//! left-to-right, so results are deterministic for a fixed thread count.
+
+use std::ops::Range;
+use std::thread;
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+/// Number of worker threads (honours `RAYON_NUM_THREADS`, else the
+/// available parallelism).
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn threads_for(len: usize) -> usize {
+    current_num_threads().min(len).max(1)
+}
+
+/// Split `items` into at most `parts` contiguous chunks of near-equal size.
+fn chunked<T>(items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let per = items.len().div_ceil(parts.max(1)).max(1);
+    let mut out = Vec::with_capacity(parts);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(per).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        out.push(chunk);
+    }
+    out
+}
+
+fn par_map_vec<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R> {
+    let threads = threads_for(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunks = chunked(items, threads);
+    let f = &f;
+    thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon shim worker panicked"))
+            .collect()
+    })
+}
+
+/// An eager "parallel iterator": adapters run immediately over a
+/// materialized item list.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// `into_par_iter()` entry point (ranges and `Vec`).
+pub trait IntoParallelIterator {
+    /// Element type produced by the iterator.
+    type Item: Send;
+    /// Convert into an (eager) parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+range_into_par_iter!(u32, u64, usize, i32, i64);
+
+impl<T: Send> ParIter<T> {
+    /// Order-preserving parallel map.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: par_map_vec(self.items, f),
+        }
+    }
+
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Run `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        par_map_vec(self.items, f);
+    }
+
+    /// Run `f` on every item with a per-worker state created by `init`.
+    pub fn for_each_init<I, G, F>(self, init: G, f: F)
+    where
+        G: Fn() -> I + Sync,
+        F: Fn(&mut I, T) + Sync,
+    {
+        let threads = threads_for(self.items.len());
+        if threads <= 1 {
+            let mut state = init();
+            for item in self.items {
+                f(&mut state, item);
+            }
+            return;
+        }
+        let chunks = chunked(self.items, threads);
+        let (init, f) = (&init, &f);
+        thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    s.spawn(move || {
+                        let mut state = init();
+                        for item in chunk {
+                            f(&mut state, item);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("rayon shim worker panicked");
+            }
+        });
+    }
+
+    /// Fold each worker's chunk into an accumulator; yields one
+    /// accumulator per chunk, in chunk order.
+    pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> ParIter<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, T) -> A + Sync,
+    {
+        let threads = threads_for(self.items.len());
+        if threads <= 1 {
+            let mut acc = identity();
+            for item in self.items {
+                acc = fold_op(acc, item);
+            }
+            return ParIter { items: vec![acc] };
+        }
+        let chunks = chunked(self.items, threads);
+        let (identity, fold_op) = (&identity, &fold_op);
+        let items = thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    s.spawn(move || {
+                        let mut acc = identity();
+                        for item in chunk {
+                            acc = fold_op(acc, item);
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon shim worker panicked"))
+                .collect::<Vec<A>>()
+        });
+        ParIter { items }
+    }
+
+    /// Combine all items left-to-right starting from `identity()`.
+    pub fn reduce<ID: Fn() -> T, F: Fn(T, T) -> T>(self, identity: ID, op: F) -> T {
+        let mut acc = identity();
+        for item in self.items {
+            acc = op(acc, item);
+        }
+        acc
+    }
+
+    /// Collect the (already computed) items.
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        C::from(self.items)
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into mutable chunks of `size`, as a parallel iterator.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(size.max(1)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u32> = (0..1000u32).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000u32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_see_disjoint_slices() {
+        let mut y = vec![0f32; 103];
+        y.par_chunks_mut(10).enumerate().for_each(|(p, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = p as f32;
+            }
+        });
+        assert_eq!(y[0], 0.0);
+        assert_eq!(y[100], 10.0);
+    }
+
+    #[test]
+    fn fold_reduce_sums() {
+        let total = (0..100usize)
+            .into_par_iter()
+            .fold(|| 0usize, |a, b| a + b)
+            .reduce(|| 0usize, |a, b| a + b);
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn for_each_init_reuses_state() {
+        let mut y = vec![0u32; 64];
+        y.par_chunks_mut(8).enumerate().for_each_init(
+            || vec![0u32; 1],
+            |buf, (p, chunk)| {
+                buf[0] = p as u32;
+                for v in chunk.iter_mut() {
+                    *v = buf[0];
+                }
+            },
+        );
+        assert_eq!(y[63], 7);
+    }
+}

@@ -33,25 +33,41 @@ fn reconstruct(phantom: &Phantom, n: u32, m: u32, iters: usize) -> (Vec<f32>, Ve
 #[test]
 fn pipeline_recovers_disk() {
     let (img, truth) = reconstruct(&disk(0.6, 1.0), 32, 48, 30);
-    assert!(rel_err(&img, &truth) < 0.12, "err {}", rel_err(&img, &truth));
+    assert!(
+        rel_err(&img, &truth) < 0.12,
+        "err {}",
+        rel_err(&img, &truth)
+    );
 }
 
 #[test]
 fn pipeline_recovers_shepp_logan() {
     let (img, truth) = reconstruct(&shepp_logan(), 48, 72, 40);
-    assert!(rel_err(&img, &truth) < 0.25, "err {}", rel_err(&img, &truth));
+    assert!(
+        rel_err(&img, &truth) < 0.25,
+        "err {}",
+        rel_err(&img, &truth)
+    );
 }
 
 #[test]
 fn pipeline_recovers_shale_phantom() {
     let (img, truth) = reconstruct(&shale_like(3), 48, 72, 40);
-    assert!(rel_err(&img, &truth) < 0.25, "err {}", rel_err(&img, &truth));
+    assert!(
+        rel_err(&img, &truth) < 0.25,
+        "err {}",
+        rel_err(&img, &truth)
+    );
 }
 
 #[test]
 fn pipeline_recovers_brain_phantom() {
     let (img, truth) = reconstruct(&brain_like(3), 48, 72, 40);
-    assert!(rel_err(&img, &truth) < 0.30, "err {}", rel_err(&img, &truth));
+    assert!(
+        rel_err(&img, &truth) < 0.30,
+        "err {}",
+        rel_err(&img, &truth)
+    );
 }
 
 #[test]
@@ -80,7 +96,13 @@ fn memxct_and_compxct_run_the_same_sirt() {
         // CompXct records the residual at iteration start; MemXCT SIRT
         // records the same quantity.
         let rel = (mem.residual_norm - comp.residual_norm).abs() / comp.residual_norm.max(1.0);
-        assert!(rel < 1e-2, "iter {}: {} vs {}", mem.iter, mem.residual_norm, comp.residual_norm);
+        assert!(
+            rel < 1e-2,
+            "iter {}: {} vs {}",
+            mem.iter,
+            mem.residual_norm,
+            comp.residual_norm
+        );
     }
 }
 
@@ -108,7 +130,12 @@ fn all_kernels_and_orderings_agree_on_the_projection() {
             },
         );
         let x = ops.order_tomogram(&truth);
-        for kernel in [Kernel::Serial, Kernel::Parallel, Kernel::Ell, Kernel::Buffered] {
+        for kernel in [
+            Kernel::Serial,
+            Kernel::Parallel,
+            Kernel::Ell,
+            Kernel::Buffered,
+        ] {
             let y = ops.unorder_sinogram(&ops.forward(kernel, &x));
             for (got, want) in y.iter().zip(reference.data()) {
                 assert!(
@@ -136,7 +163,7 @@ fn distributed_reconstruction_matches_serial_across_rank_counts() {
             &DistConfig {
                 ranks,
                 use_buffered: false,
-                iters: 8,
+                stop: StopRule::Fixed(8),
                 solver: memxct::dist::DistSolver::Cg,
             },
         );

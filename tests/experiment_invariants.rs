@@ -15,7 +15,10 @@ fn table3_ads1_footprint_matches_paper() {
     let f = ADS1.footprint();
     // Paper: 215 MB regular, 256/360 KB irregular.
     let mb = f.regular_forward as f64 / (1024.0 * 1024.0);
-    assert!((200.0..240.0).contains(&mb), "ADS1 regular {mb:.1} MB vs paper 215 MB");
+    assert!(
+        (200.0..240.0).contains(&mb),
+        "ADS1 regular {mb:.1} MB vs paper 215 MB"
+    );
     assert_eq!(f.irregular_forward, 256 * 1024);
     assert_eq!(f.irregular_backward, 360 * 256 * 4);
 }
@@ -25,7 +28,10 @@ fn table3_rds2_footprint_matches_paper() {
     let f = RDS2.footprint();
     let tb = f.regular_forward as f64 / 1024f64.powi(4);
     // Paper: 5.1 TB per direction.
-    assert!((4.5..5.5).contains(&tb), "RDS2 regular {tb:.2} TB vs paper 5.1 TB");
+    assert!(
+        (4.5..5.5).contains(&tb),
+        "RDS2 regular {tb:.2} TB vs paper 5.1 TB"
+    );
 }
 
 #[test]
@@ -44,8 +50,16 @@ fn fig6_reuse_numbers_match_paper() {
     let back = partition_stats(&ops.at, 4096, 8192);
     let mid_f = &fwd[fwd.len() / 2];
     let mid_b = &back[back.len() / 2];
-    assert!((40.0..55.0).contains(&mid_f.reuse()), "fwd reuse {}", mid_f.reuse());
-    assert!((58.0..72.0).contains(&mid_b.reuse()), "back reuse {}", mid_b.reuse());
+    assert!(
+        (40.0..55.0).contains(&mid_f.reuse()),
+        "fwd reuse {}",
+        mid_f.reuse()
+    );
+    assert!(
+        (58.0..72.0).contains(&mid_b.reuse()),
+        "back reuse {}",
+        mid_b.reuse()
+    );
     assert_eq!(mid_f.stages, 4);
     assert_eq!(mid_b.stages, 3);
 }

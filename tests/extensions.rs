@@ -3,8 +3,7 @@
 //! reconstruction, corrections, Joseph projector, and the I/O round trip.
 
 use memxct::{
-    cgls_smooth, fbp, Config, FbpConfig, Kernel, OrderedSubsets, Projector, Reconstructor,
-    StopRule,
+    cgls_smooth, fbp, Config, FbpConfig, Kernel, OrderedSubsets, Projector, Reconstructor, StopRule,
 };
 use xct_geometry::{
     correct_center, io, phantom_volume, remove_rings, shepp_logan, shift_sinogram,
@@ -51,7 +50,11 @@ fn ordered_subsets_run_through_the_reconstructor_operators() {
     let y = rec.operators().order_sinogram(&sino);
     let (x, recs) = os.solve(&y, 8, 1.0);
     let img = rec.operators().unorder_tomogram(&x);
-    assert!(rel_err(&img, &truth) < 0.25, "err {}", rel_err(&img, &truth));
+    assert!(
+        rel_err(&img, &truth) < 0.25,
+        "err {}",
+        rel_err(&img, &truth)
+    );
     assert!(recs.last().unwrap().residual_norm < recs[0].residual_norm);
 }
 
@@ -73,7 +76,13 @@ fn smoothness_regularizer_runs_end_to_end() {
     );
     let rec = Reconstructor::new(grid, scan);
     let y = rec.operators().order_sinogram(&sino);
-    let (x, _) = cgls_smooth(rec.operators(), Kernel::Buffered, &y, 0.5, StopRule::Fixed(30));
+    let (x, _) = cgls_smooth(
+        rec.operators(),
+        Kernel::Buffered,
+        &y,
+        0.5,
+        StopRule::Fixed(30),
+    );
     let img = rec.operators().unorder_tomogram(&x);
     assert!(rel_err(&img, &truth) < 0.5, "err {}", rel_err(&img, &truth));
 }
@@ -129,7 +138,12 @@ fn ring_removal_composes_with_reconstruction() {
     let sino = simulate_sinogram(&truth, &grid, &scan, NoiseModel::None, 0);
     let mut data = sino.data().to_vec();
     for p in 0..m as usize {
-        for (c, v) in data.iter_mut().skip(p * n as usize).take(n as usize).enumerate() {
+        for (c, v) in data
+            .iter_mut()
+            .skip(p * n as usize)
+            .take(n as usize)
+            .enumerate()
+        {
             *v += match c {
                 37 => 8.0,
                 90 => -6.0,
