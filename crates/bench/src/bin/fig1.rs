@@ -11,7 +11,7 @@
 //! cargo run --release -p xct-bench --bin fig1 [scale_divisor] [ranks]
 //! ```
 
-use memxct::{DistConfig, Reconstructor};
+use memxct::{DistConfig, ReconstructorBuilder};
 use xct_bench::{analytic_volumes, calibrate_comm, fmt_secs, simulate};
 use xct_geometry::{io, RDS2};
 use xct_runtime::{iteration_time, THETA};
@@ -31,7 +31,9 @@ fn main() {
     );
     let (truth, sino) = simulate(&ds, true);
     let t = std::time::Instant::now();
-    let rec = Reconstructor::new(ds.grid(), ds.scan());
+    let rec = ReconstructorBuilder::new(ds.grid(), ds.scan())
+        .build()
+        .expect("valid dataset geometry");
     let pre = t.elapsed().as_secs_f64();
     let t = std::time::Instant::now();
     let out = rec.reconstruct_distributed(

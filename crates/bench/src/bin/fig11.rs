@@ -12,7 +12,7 @@
 //! cargo run --release -p xct-bench --bin fig11 [scale_divisor]
 //! ```
 
-use memxct::{DistConfig, DistSolver, Reconstructor, StopRule};
+use memxct::{DistConfig, DistSolver, ReconstructorBuilder, StopRule};
 use xct_bench::{analytic_volumes, calibrate_comm, scale_from_args, simulate};
 use xct_geometry::{Dataset, SampleKind, ADS2, ADS3, RDS1, RDS2};
 use xct_runtime::{iteration_time, MachineSpec, BLUE_WATERS, THETA};
@@ -118,7 +118,9 @@ fn main() {
     // `Reconstructor`, the distributed ranks, and fig9.
     let ds = ADS2.scaled_projections(div.max(8));
     let (_truth, sino) = simulate(&ds, true);
-    let rec = Reconstructor::new(ds.grid(), ds.scan());
+    let rec = ReconstructorBuilder::new(ds.grid(), ds.scan())
+        .build()
+        .expect("valid dataset geometry");
     let out = rec.reconstruct_distributed(
         &sino,
         &DistConfig {

@@ -9,7 +9,7 @@
 //! cargo run --release -p xct-bench --bin fig8 [scale_divisor] [iters]
 //! ```
 
-use memxct::{Reconstructor, StopRule};
+use memxct::{ReconstructorBuilder, StopRule};
 use xct_bench::simulate;
 use xct_geometry::RDS1;
 
@@ -24,7 +24,9 @@ fn main() {
         ds.projections, ds.channels
     );
     let (truth, sino) = simulate(&ds, true);
-    let rec = Reconstructor::new(ds.grid(), ds.scan());
+    let rec = ReconstructorBuilder::new(ds.grid(), ds.scan())
+        .build()
+        .expect("valid dataset geometry");
 
     let cg = rec.reconstruct_cg(&sino, StopRule::Fixed(iters));
     let si = rec.reconstruct_sirt(&sino, iters);

@@ -10,7 +10,9 @@
 //! cargo run --release -p xct-bench --bin table4 [scale_divisor]
 //! ```
 
-use memxct::{run_engine, CompOperator, Config, Constraint, Reconstructor, SirtRule, StopRule};
+use memxct::{
+    run_engine, CompOperator, Config, Constraint, ReconstructorBuilder, SirtRule, StopRule,
+};
 use std::time::Instant;
 use xct_bench::{fmt_secs, scale_from_args, simulate};
 use xct_compxct::CompXct;
@@ -48,7 +50,10 @@ fn main() {
 
         // MemXCT: preprocessing memoizes, iterations are buffered SpMV.
         let t = Instant::now();
-        let rec = Reconstructor::with_config(small.grid(), small.scan(), &Config::default());
+        let rec = ReconstructorBuilder::new(small.grid(), small.scan())
+            .config(Config::default())
+            .build()
+            .expect("valid dataset geometry");
         let mem_pre = t.elapsed().as_secs_f64();
         let t = Instant::now();
         let (_, mem_stats) = {

@@ -5,13 +5,14 @@
 //! memxct-cli info
 //! memxct-cli simulate    --dataset rds1 --scale 16 --out sino.raw [--noise 1e5]
 //! memxct-cli reconstruct --dataset rds1 --scale 16 --solver cg --iters 30 \
-//!                        [--sino sino.raw] [--ranks 4] [--out slice.pgm]
+//!                        [--sino sino.raw] [--ranks 4] [--out slice.pgm] \
+//!                        [--metrics metrics.json]
 //! ```
 
 use std::path::PathBuf;
 use std::process::exit;
 
-use memxct::{fbp, DistConfig, FbpConfig, OrderedSubsets, Reconstructor, StopRule};
+use memxct::prelude::*;
 use xct_geometry::{
     io, simulate_sinogram, Dataset, NoiseModel, SampleKind, Sinogram, ALL_DATASETS,
 };
@@ -44,13 +45,15 @@ USAGE:
   memxct-cli reconstruct --dataset <name> [--scale N] [--sino FILE]
                          [--solver cg|sirt|os-sirt|fbp] [--iters N]
                          [--ranks N] [--noise I0] [--out FILE.pgm]
+                         [--metrics FILE.json]
 
 DATASETS: ads1 ads2 ads3 ads4 rds1 rds2 (see `info`)
-  --scale N    divide both sinogram dimensions by N (default 16)
-  --noise I0   Poisson photon count per ray (default: noise-free)
-  --solver     cg (default), sirt, os-sirt (8 subsets), fbp
-  --ranks N    run the distributed CG path on N thread-ranks
-  --out FILE   .pgm for images, .raw for sinograms"
+  --scale N      divide both sinogram dimensions by N (default 16)
+  --noise I0     Poisson photon count per ray (default: noise-free)
+  --solver       cg (default), sirt, os-sirt (8 subsets), fbp
+  --ranks N      run the distributed CG path on N thread-ranks
+  --out FILE     .pgm for images, .raw for sinograms
+  --metrics FILE write the run's metrics snapshot as JSON"
     );
     exit(2);
 }
@@ -64,6 +67,7 @@ struct Options {
     ranks: Option<usize>,
     sino: Option<PathBuf>,
     out: Option<PathBuf>,
+    metrics: Option<PathBuf>,
 }
 
 impl Options {
@@ -77,6 +81,7 @@ impl Options {
             ranks: None,
             sino: None,
             out: None,
+            metrics: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -104,6 +109,7 @@ impl Options {
                 "--ranks" => o.ranks = value("--ranks").parse().ok(),
                 "--sino" => o.sino = Some(PathBuf::from(value("--sino"))),
                 "--out" => o.out = Some(PathBuf::from(value("--out"))),
+                "--metrics" => o.metrics = Some(PathBuf::from(value("--metrics"))),
                 other => {
                     eprintln!("unknown flag `{other}`");
                     exit(2);
@@ -216,31 +222,51 @@ fn reconstruct(opts: &Options) {
     };
 
     let t = std::time::Instant::now();
-    let rec = Reconstructor::new(grid, scan);
+    let rec = ReconstructorBuilder::new(grid, scan)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("cannot build reconstructor: {e}");
+            exit(2);
+        });
     println!("preprocessing: {:.2}s", t.elapsed().as_secs_f64());
 
     let t = std::time::Instant::now();
     let (image, iters_run) = match (opts.solver.as_str(), opts.ranks) {
         ("cg", Some(ranks)) => {
-            let out = rec.reconstruct_distributed(
-                &sino,
-                &DistConfig {
-                    ranks,
-                    use_buffered: true,
-                    stop: StopRule::Fixed(opts.iters),
-                    solver: memxct::dist::DistSolver::Cg,
-                },
-            );
+            let out = rec
+                .try_reconstruct_distributed(
+                    &sino,
+                    &DistConfig {
+                        ranks,
+                        use_buffered: true,
+                        stop: StopRule::Fixed(opts.iters),
+                        solver: DistSolver::Cg,
+                    },
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("distributed reconstruction failed: {e}");
+                    exit(2);
+                });
             let n = out.records.len();
             (out.image, n)
         }
         ("cg", None) => {
-            let out = rec.reconstruct_cg(&sino, StopRule::Fixed(opts.iters));
+            let out = rec
+                .try_reconstruct_cg(&sino, StopRule::Fixed(opts.iters))
+                .unwrap_or_else(|e| {
+                    eprintln!("reconstruction failed: {e}");
+                    exit(2);
+                });
             let n = out.records.len();
             (out.image, n)
         }
         ("sirt", _) => {
-            let out = rec.reconstruct_sirt(&sino, opts.iters);
+            let out = rec
+                .try_reconstruct_sirt(&sino, opts.iters)
+                .unwrap_or_else(|e| {
+                    eprintln!("reconstruction failed: {e}");
+                    exit(2);
+                });
             let n = out.records.len();
             (out.image, n)
         }
@@ -261,6 +287,15 @@ fn reconstruct(opts: &Options) {
         t.elapsed().as_secs_f64(),
         iters_run
     );
+
+    if let Some(path) = &opts.metrics {
+        let snap = rec.metrics();
+        std::fs::write(path, snap.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            exit(1);
+        });
+        println!("wrote {}", path.display());
+    }
 
     if let Some(out) = &opts.out {
         let n = ds.channels as usize;

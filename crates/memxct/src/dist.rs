@@ -18,6 +18,7 @@
 //! which apply their local `A_pᵀ`. No tomogram is ever replicated and no
 //! atomic update is ever issued.
 
+use crate::errors::BuildError;
 use crate::operator::{KernelBreakdown, ProjectionOperator};
 use crate::preprocess::Operators;
 use crate::solvers::{run_engine, CgRule, Constraint, IterationRecord, SirtRule, StopRule};
@@ -25,6 +26,7 @@ use std::cell::RefCell;
 use std::ops::Range;
 use std::time::Instant;
 use xct_hilbert::TileLayout;
+use xct_obs::{Metrics, KERNEL_AP_SECONDS, KERNEL_C_SECONDS, KERNEL_R_SECONDS};
 use xct_runtime::{run_ranks, CommLedger, Communicator, KernelVolumes};
 use xct_sparse::{BufferedCsr, CsrMatrix};
 
@@ -373,6 +375,7 @@ pub struct DistOperator<'a> {
     plan: &'a RankPlan,
     comm: &'a Communicator,
     kb: RefCell<KernelBreakdown>,
+    calls: std::cell::Cell<(u64, u64)>,
 }
 
 impl<'a> DistOperator<'a> {
@@ -382,6 +385,7 @@ impl<'a> DistOperator<'a> {
             plan,
             comm,
             kb: RefCell::new(KernelBreakdown::default()),
+            calls: std::cell::Cell::new((0, 0)),
         }
     }
 
@@ -389,6 +393,11 @@ impl<'a> DistOperator<'a> {
     /// [`ProjectionOperator::breakdown`]).
     pub fn take_breakdown(&self) -> KernelBreakdown {
         *self.kb.borrow()
+    }
+
+    /// How many (forward, backprojection) applications ran so far.
+    pub fn call_counts(&self) -> (u64, u64) {
+        self.calls.get()
     }
 }
 
@@ -402,10 +411,14 @@ impl ProjectionOperator for DistOperator<'_> {
     fn forward_into(&self, x: &[f32], y: &mut [f32]) {
         let mut kb = self.kb.borrow_mut();
         y.copy_from_slice(&self.plan.forward(self.comm, x, &mut kb));
+        let (f, b) = self.calls.get();
+        self.calls.set((f + 1, b));
     }
     fn back_into(&self, y: &[f32], x: &mut [f32]) {
         let mut kb = self.kb.borrow_mut();
         x.copy_from_slice(&self.plan.back(self.comm, y, &mut kb));
+        let (f, b) = self.calls.get();
+        self.calls.set((f, b + 1));
     }
     fn reduce_dot(&self, local: f64) -> f64 {
         let t = Instant::now();
@@ -430,7 +443,53 @@ pub fn reconstruct_distributed(
     sino_ordered: &[f32],
     config: &DistConfig,
 ) -> DistOutput {
-    assert_eq!(sino_ordered.len(), ops.a.nrows());
+    match try_reconstruct_distributed(ops, sino_ordered, config) {
+        Ok(out) => out,
+        Err(e) => panic!("invalid distributed run: {e}"),
+    }
+}
+
+/// Fallible [`reconstruct_distributed`]: returns a [`BuildError`] for a
+/// zero rank count or a mismatched sinogram length instead of panicking.
+pub fn try_reconstruct_distributed(
+    ops: &Operators,
+    sino_ordered: &[f32],
+    config: &DistConfig,
+) -> Result<DistOutput, BuildError> {
+    reconstruct_distributed_with_metrics(ops, sino_ordered, config, &Metrics::noop())
+}
+
+/// [`try_reconstruct_distributed`] with observability. After the ranks
+/// join, the coordinator records into `metrics`:
+///
+/// - the per-rank kernel breakdowns as observations of the shared
+///   [`KERNEL_AP_SECONDS`] / [`KERNEL_C_SECONDS`] / [`KERNEL_R_SECONDS`]
+///   timers (one observation per rank — `count` is the rank count);
+/// - the (rank-identical) convergence trajectory as the
+///   `solver/residual_norm` / `solver/solution_norm` /
+///   `solver/iter_seconds` series plus the `solver/iterations` counter;
+/// - the per-pair communication matrix as `comm/bytes` (Fig 7(c)) and the
+///   per-rank collective call counts/latencies as `comm/collective_calls`
+///   and `comm/collective_s`.
+///
+/// Each rank's inner solver runs unmetered — series from P concurrent
+/// ranks would interleave nondeterministically; recording once at the
+/// coordinator keeps snapshots reproducible and the solve bit-identical.
+pub fn reconstruct_distributed_with_metrics(
+    ops: &Operators,
+    sino_ordered: &[f32],
+    config: &DistConfig,
+    metrics: &Metrics,
+) -> Result<DistOutput, BuildError> {
+    if config.ranks == 0 {
+        return Err(BuildError::ZeroRanks);
+    }
+    if sino_ordered.len() != ops.a.nrows() {
+        return Err(BuildError::SinogramLength {
+            expected: ops.a.nrows(),
+            got: sino_ordered.len(),
+        });
+    }
     let plans = build_plans(ops, config.ranks, config.use_buffered);
     let volumes: Vec<KernelVolumes> = plans.iter().map(|p| p.volumes()).collect();
 
@@ -450,28 +509,63 @@ pub fn reconstruct_distributed(
                 config.stop,
             ),
         };
-        (x_local, records, op.take_breakdown())
+        (x_local, records, op.take_breakdown(), op.call_counts())
     });
 
     // Assemble the ordered tomogram from the per-rank blocks.
     let mut ordered = vec![0f32; ops.a.ncols()];
     let mut records = Vec::new();
     let mut breakdown = Vec::with_capacity(config.ranks);
-    for (plan, (x_local, recs, kb)) in plans.iter().zip(rank_results) {
+    let mut call_counts = Vec::with_capacity(config.ranks);
+    for (plan, (x_local, recs, kb, calls)) in plans.iter().zip(rank_results) {
         let lo = plan.tomo_range.start as usize;
         ordered[lo..lo + x_local.len()].copy_from_slice(&x_local);
         if records.is_empty() {
             records = recs;
         }
         breakdown.push(kb);
+        call_counts.push(calls);
     }
-    DistOutput {
+    if metrics.enabled() {
+        // Per-rank local SpMV volumes (the A_p / A_pᵀ kernel).
+        for (plan, &(fwd, back)) in plans.iter().zip(&call_counts) {
+            let fwd_bytes = match &plan.a_local_buf {
+                Some(b) => b.regular_bytes(),
+                None => plan.a_local.nnz() as u64 * 8,
+            };
+            let back_bytes = match &plan.at_local_buf {
+                Some(b) => b.regular_bytes(),
+                None => plan.at_local.nnz() as u64 * 8,
+            };
+            metrics.counter_add("spmv/dist/calls", fwd + back);
+            metrics.counter_add("spmv/dist/nnz", (fwd + back) * plan.a_local.nnz() as u64);
+            metrics.counter_add("spmv/dist/bytes", fwd * fwd_bytes + back * back_bytes);
+        }
+        for kb in &breakdown {
+            metrics.timer_observe(KERNEL_AP_SECONDS, kb.ap_s);
+            metrics.timer_observe(KERNEL_C_SECONDS, kb.c_s);
+            metrics.timer_observe(KERNEL_R_SECONDS, kb.r_s);
+        }
+        for r in &records {
+            metrics.series_push("solver/residual_norm", r.residual_norm);
+            metrics.series_push("solver/solution_norm", r.solution_norm);
+            metrics.series_push("solver/iter_seconds", r.seconds);
+        }
+        metrics.counter_add("solver/iterations", records.len() as u64);
+        metrics.matrix_set("comm/bytes", config.ranks, ledger.byte_matrix());
+        for rank in 0..config.ranks {
+            let s = ledger.collectives(rank);
+            metrics.counter_add("comm/collective_calls", s.calls);
+            metrics.timer_observe("comm/collective_s", s.seconds);
+        }
+    }
+    Ok(DistOutput {
         image: ops.unorder_tomogram(&ordered),
         records,
         breakdown,
         ledger,
         volumes,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -715,6 +809,73 @@ mod tests {
             .map(|p| p.volumes().regular_bytes)
             .fold(0f64, f64::max);
         assert!(v8 < v2, "per-rank regular bytes must shrink: {v8} vs {v2}");
+    }
+
+    #[test]
+    fn try_variant_rejects_bad_inputs() {
+        let (ops, y) = setup(16, 12);
+        let zero_ranks = DistConfig {
+            ranks: 0,
+            ..DistConfig::default()
+        };
+        assert_eq!(
+            try_reconstruct_distributed(&ops, &y, &zero_ranks).err(),
+            Some(BuildError::ZeroRanks)
+        );
+        let cfg = DistConfig {
+            ranks: 2,
+            stop: StopRule::Fixed(1),
+            ..DistConfig::default()
+        };
+        assert!(matches!(
+            try_reconstruct_distributed(&ops, &y[..y.len() - 1], &cfg).err(),
+            Some(BuildError::SinogramLength { .. })
+        ));
+    }
+
+    #[test]
+    fn instrumented_distributed_records_comm_matrix() {
+        let (ops, y) = setup(16, 12);
+        let m = Metrics::collecting();
+        let cfg = DistConfig {
+            ranks: 3,
+            use_buffered: false,
+            stop: StopRule::Fixed(4),
+            solver: DistSolver::Cg,
+        };
+        let out = reconstruct_distributed_with_metrics(&ops, &y, &cfg, &m).unwrap();
+        let snap = m.snapshot();
+        // The exported matrix equals the ledger's per-pair accounting.
+        let mat = &snap.matrices["comm/bytes"];
+        assert_eq!(mat.size, 3);
+        for src in 0..3 {
+            for dst in 0..3 {
+                assert_eq!(mat.get(src, dst), out.ledger.bytes(src, dst));
+            }
+        }
+        // Kernel timers: one observation per rank.
+        assert_eq!(snap.timers["kernel/ap_s"].count, 3);
+        assert_eq!(snap.timers["kernel/c_s"].count, 3);
+        assert_eq!(snap.timers["kernel/r_s"].count, 3);
+        // Convergence series mirror the records.
+        assert_eq!(snap.counters["solver/iterations"], out.records.len() as u64);
+        assert_eq!(
+            snap.series["solver/residual_norm"],
+            out.records
+                .iter()
+                .map(|r| r.residual_norm)
+                .collect::<Vec<_>>()
+        );
+        // Local SpMV volumes: CG does one back (init) + per-iter fwd+back.
+        assert_eq!(snap.counters["spmv/dist/calls"], 3 * (1 + 2 * 4));
+        assert!(snap.counters["spmv/dist/nnz"] > 0);
+        assert!(snap.counters["spmv/dist/bytes"] > 0);
+        // Collectives were timed on every rank.
+        assert!(snap.counters["comm/collective_calls"] > 0);
+        assert_eq!(snap.timers["comm/collective_s"].count, 3);
+        // And the numerics are untouched by instrumentation.
+        let plain = try_reconstruct_distributed(&ops, &y, &cfg).unwrap();
+        assert_eq!(plain.image, out.image);
     }
 
     #[test]

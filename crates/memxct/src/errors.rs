@@ -1,0 +1,90 @@
+//! Structured errors for the fallible construction entry points
+//! ([`crate::preprocess::try_preprocess`], `ReconstructorBuilder::build`,
+//! and the `try_reconstruct_*` methods), replacing the panicking asserts
+//! the original entry points used. The panicking entry points remain as
+//! thin shims for callers that prefer crashing on misconfiguration.
+
+use std::fmt;
+
+/// Why an operator/reconstructor could not be built or applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// `Config::partsize` was zero; row partitioning needs at least one
+    /// row per partition.
+    ZeroPartitionSize,
+    /// `Config::buffsize` was zero or exceeds what the buffered kernel's
+    /// index width can address (`u16` addressing caps buffers at 65536
+    /// f32 elements).
+    InvalidBufferSize {
+        /// The rejected buffer capacity (f32 elements).
+        buffsize: usize,
+        /// Largest capacity the in-buffer index width can address.
+        max: usize,
+    },
+    /// A distributed run was asked for zero ranks.
+    ZeroRanks,
+    /// A measurement vector's length does not match the operator's rows.
+    SinogramLength {
+        /// Rows of the projection matrix (expected sinogram length).
+        expected: usize,
+        /// Length actually supplied.
+        got: usize,
+    },
+    /// The requested kernel layout was not built during preprocessing
+    /// (e.g. `Kernel::Ell` without `Config::build_ell`).
+    LayoutNotBuilt {
+        /// Name of the missing layout.
+        layout: &'static str,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::ZeroPartitionSize => {
+                write!(f, "partition size must be positive")
+            }
+            BuildError::InvalidBufferSize { buffsize, max } => {
+                write!(
+                    f,
+                    "buffer size {buffsize} invalid: must be in 1..={max} f32 elements"
+                )
+            }
+            BuildError::ZeroRanks => write!(f, "distributed run needs at least one rank"),
+            BuildError::SinogramLength { expected, got } => {
+                write!(
+                    f,
+                    "sinogram length {got} does not match matrix rows {expected}"
+                )
+            }
+            BuildError::LayoutNotBuilt { layout } => {
+                write!(f, "{layout} layout was not built during preprocessing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_specific() {
+        assert!(BuildError::ZeroPartitionSize
+            .to_string()
+            .contains("partition"));
+        let e = BuildError::InvalidBufferSize {
+            buffsize: 0,
+            max: 65536,
+        };
+        assert!(e.to_string().contains("65536"));
+        let e = BuildError::SinogramLength {
+            expected: 10,
+            got: 7,
+        };
+        assert!(e.to_string().contains('7') && e.to_string().contains("10"));
+    }
+}

@@ -28,8 +28,10 @@
 #![warn(missing_docs)]
 
 pub mod dist;
+pub mod errors;
 pub mod fbp;
 pub mod operator;
+pub mod prelude;
 pub mod preprocess;
 pub mod reconstructor;
 pub mod regularize;
@@ -37,21 +39,23 @@ pub mod solvers;
 pub mod subsets;
 
 pub use dist::{
-    allreduce_f64, reconstruct_distributed, DistConfig, DistOperator, DistOutput, DistSolver,
-    RankPlan,
+    allreduce_f64, reconstruct_distributed, reconstruct_distributed_with_metrics,
+    try_reconstruct_distributed, DistConfig, DistOperator, DistOutput, DistSolver, RankPlan,
 };
+pub use errors::BuildError;
 pub use fbp::{fbp, FbpConfig};
 pub use operator::{
     BufferedOperator, ClosureOperator, CompOperator, EllOperator, KernelBreakdown,
     ParallelOperator, ProjectionOperator, RowSubsetOperator, SerialOperator, StackedOperator,
 };
 pub use preprocess::{
-    preprocess, Config, DomainOrdering, Kernel, Operators, PreprocessTimings, Projector,
+    preprocess, try_preprocess, try_preprocess_with_metrics, Config, DomainOrdering, Kernel,
+    Operators, PreprocessTimings, Projector,
 };
-pub use reconstructor::{ReconOutput, Reconstructor, VolumeOutput};
+pub use reconstructor::{ReconOutput, Reconstructor, ReconstructorBuilder, VolumeOutput};
 pub use regularize::{cgls_smooth, gradient_operator};
 pub use solvers::{
-    cgls, cgls_regularized, run_engine, sirt, sirt_nonneg, CgRule, Constraint, IterationRecord,
-    SirtRule, StopRule, UpdateRule,
+    cgls, cgls_regularized, run_engine, run_engine_with_metrics, sirt, sirt_nonneg, CgRule,
+    Constraint, IterationRecord, SirtRule, StopRule, UpdateRule,
 };
 pub use subsets::{OrderedSubsets, OsRule};

@@ -23,10 +23,11 @@
 //! (Tikhonov / gradient smoothing) and [`RowSubsetOperator`] restricts to
 //! a row subset (ordered-subsets SIRT).
 
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::time::Instant;
 
 use xct_compxct::CompXct;
+use xct_obs::{Metrics, KERNEL_AP_SECONDS, KERNEL_C_SECONDS, KERNEL_R_SECONDS};
 use xct_sparse::{
     spmv_into, spmv_parallel_into, BufferIndex, BufferedCsrImpl, CsrMatrix, EllMatrix,
 };
@@ -38,6 +39,13 @@ use crate::preprocess::{Kernel, Operators};
 /// For shared-memory operators only `ap_s` is populated (all SpMV time);
 /// the distributed operator splits time across all three kernels of the
 /// `A = R·C·A_p` factorization.
+///
+/// This is a *view* over an [`xct_obs`] metrics registry: operators record
+/// every kernel invocation into the timers [`KERNEL_AP_SECONDS`],
+/// [`KERNEL_C_SECONDS`], and [`KERNEL_R_SECONDS`], and
+/// [`ProjectionOperator::breakdown`] reads the accumulated totals back.
+/// Operators sharing one registry (via `with_metrics`) therefore report
+/// combined totals.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct KernelBreakdown {
     /// Partial projections (A_p and A_pᵀ) — or all SpMV time for
@@ -54,13 +62,61 @@ impl KernelBreakdown {
     pub fn total(&self) -> f64 {
         self.ap_s + self.c_s + self.r_s
     }
+
+    /// Read the three kernel timer totals out of a metrics handle; `None`
+    /// for a no-op handle (nothing was recorded).
+    pub fn from_metrics(metrics: &Metrics) -> Option<KernelBreakdown> {
+        if !metrics.enabled() {
+            return None;
+        }
+        Some(KernelBreakdown {
+            ap_s: metrics.timer_total(KERNEL_AP_SECONDS).unwrap_or(0.0),
+            c_s: metrics.timer_total(KERNEL_C_SECONDS).unwrap_or(0.0),
+            r_s: metrics.timer_total(KERNEL_R_SECONDS).unwrap_or(0.0),
+        })
+    }
 }
 
-#[inline]
-fn bump_ap(kb: &Cell<KernelBreakdown>, started: Instant) {
-    let mut b = kb.get();
-    b.ap_s += started.elapsed().as_secs_f64();
-    kb.set(b);
+/// Per-operator SpMV instrumentation: a timer plus `calls`/`nnz`/`bytes`
+/// counters under `spmv/<kernel>/…`, with names precomputed so the hot
+/// path never allocates.
+struct SpmvMeter {
+    metrics: Metrics,
+    calls: String,
+    nnz: String,
+    bytes: String,
+}
+
+impl SpmvMeter {
+    fn new(metrics: Metrics, kernel: &str) -> Self {
+        SpmvMeter {
+            metrics,
+            calls: format!("spmv/{kernel}/calls"),
+            nnz: format!("spmv/{kernel}/nnz"),
+            bytes: format!("spmv/{kernel}/bytes"),
+        }
+    }
+
+    /// Read the clock only when collecting.
+    #[inline]
+    fn start(&self) -> Option<Instant> {
+        self.metrics.enabled().then(Instant::now)
+    }
+
+    #[inline]
+    fn record(&self, started: Option<Instant>, nnz: u64, bytes: u64) {
+        if let Some(t) = started {
+            self.metrics
+                .timer_observe(KERNEL_AP_SECONDS, t.elapsed().as_secs_f64());
+            self.metrics.counter_add(&self.calls, 1);
+            self.metrics.counter_add(&self.nnz, nnz);
+            self.metrics.counter_add(&self.bytes, bytes);
+        }
+    }
+
+    fn breakdown(&self) -> Option<KernelBreakdown> {
+        KernelBreakdown::from_metrics(&self.metrics)
+    }
 }
 
 /// A linear projection pair `A` / `Aᵀ` as seen by the iterative solvers.
@@ -95,7 +151,7 @@ pub trait ProjectionOperator {
 pub struct SerialOperator<'a> {
     a: &'a CsrMatrix,
     at: &'a CsrMatrix,
-    kb: Cell<KernelBreakdown>,
+    meter: SpmvMeter,
 }
 
 impl<'a> SerialOperator<'a> {
@@ -109,8 +165,14 @@ impl<'a> SerialOperator<'a> {
         SerialOperator {
             a,
             at,
-            kb: Cell::new(KernelBreakdown::default()),
+            meter: SpmvMeter::new(Metrics::collecting(), "serial"),
         }
+    }
+
+    /// Record into `metrics` instead of a private registry.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.meter.metrics = metrics;
+        self
     }
 }
 
@@ -122,17 +184,19 @@ impl ProjectionOperator for SerialOperator<'_> {
         self.a.ncols()
     }
     fn forward_into(&self, x: &[f32], y: &mut [f32]) {
-        let t = Instant::now();
+        let t = self.meter.start();
         spmv_into(self.a, x, y);
-        bump_ap(&self.kb, t);
+        self.meter
+            .record(t, self.a.nnz() as u64, self.a.regular_bytes());
     }
     fn back_into(&self, y: &[f32], x: &mut [f32]) {
-        let t = Instant::now();
+        let t = self.meter.start();
         spmv_into(self.at, y, x);
-        bump_ap(&self.kb, t);
+        self.meter
+            .record(t, self.at.nnz() as u64, self.at.regular_bytes());
     }
     fn breakdown(&self) -> Option<KernelBreakdown> {
-        Some(self.kb.get())
+        self.meter.breakdown()
     }
 }
 
@@ -142,7 +206,7 @@ pub struct ParallelOperator<'a> {
     a: &'a CsrMatrix,
     at: &'a CsrMatrix,
     partsize: usize,
-    kb: Cell<KernelBreakdown>,
+    meter: SpmvMeter,
 }
 
 impl<'a> ParallelOperator<'a> {
@@ -157,8 +221,14 @@ impl<'a> ParallelOperator<'a> {
             a,
             at,
             partsize,
-            kb: Cell::new(KernelBreakdown::default()),
+            meter: SpmvMeter::new(Metrics::collecting(), "parallel"),
         }
+    }
+
+    /// Record into `metrics` instead of a private registry.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.meter.metrics = metrics;
+        self
     }
 }
 
@@ -170,17 +240,19 @@ impl ProjectionOperator for ParallelOperator<'_> {
         self.a.ncols()
     }
     fn forward_into(&self, x: &[f32], y: &mut [f32]) {
-        let t = Instant::now();
+        let t = self.meter.start();
         spmv_parallel_into(self.a, x, y, self.partsize);
-        bump_ap(&self.kb, t);
+        self.meter
+            .record(t, self.a.nnz() as u64, self.a.regular_bytes());
     }
     fn back_into(&self, y: &[f32], x: &mut [f32]) {
-        let t = Instant::now();
+        let t = self.meter.start();
         spmv_parallel_into(self.at, y, x, self.partsize);
-        bump_ap(&self.kb, t);
+        self.meter
+            .record(t, self.at.nnz() as u64, self.at.regular_bytes());
     }
     fn breakdown(&self) -> Option<KernelBreakdown> {
-        Some(self.kb.get())
+        self.meter.breakdown()
     }
 }
 
@@ -190,7 +262,7 @@ impl ProjectionOperator for ParallelOperator<'_> {
 pub struct BufferedOperator<'a, I: BufferIndex> {
     a: &'a BufferedCsrImpl<I>,
     at: &'a BufferedCsrImpl<I>,
-    kb: Cell<KernelBreakdown>,
+    meter: SpmvMeter,
 }
 
 impl<'a, I: BufferIndex> BufferedOperator<'a, I> {
@@ -199,8 +271,14 @@ impl<'a, I: BufferIndex> BufferedOperator<'a, I> {
         BufferedOperator {
             a,
             at,
-            kb: Cell::new(KernelBreakdown::default()),
+            meter: SpmvMeter::new(Metrics::collecting(), "buffered"),
         }
+    }
+
+    /// Record into `metrics` instead of a private registry.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.meter.metrics = metrics;
+        self
     }
 }
 
@@ -230,17 +308,29 @@ impl<I: BufferIndex> ProjectionOperator for BufferedOperator<'_, I> {
         self.a.ncols()
     }
     fn forward_into(&self, x: &[f32], y: &mut [f32]) {
-        let t = Instant::now();
+        let t = self.meter.start();
         self.a.spmv_parallel_into(x, y);
-        bump_ap(&self.kb, t);
+        if t.is_some() {
+            self.meter
+                .metrics
+                .counter_add("spmv/buffered/stages", self.a.num_stages() as u64);
+        }
+        self.meter
+            .record(t, self.a.nnz() as u64, self.a.regular_bytes());
     }
     fn back_into(&self, y: &[f32], x: &mut [f32]) {
-        let t = Instant::now();
+        let t = self.meter.start();
         self.at.spmv_parallel_into(y, x);
-        bump_ap(&self.kb, t);
+        if t.is_some() {
+            self.meter
+                .metrics
+                .counter_add("spmv/buffered/stages", self.at.num_stages() as u64);
+        }
+        self.meter
+            .record(t, self.at.nnz() as u64, self.at.regular_bytes());
     }
     fn breakdown(&self) -> Option<KernelBreakdown> {
-        Some(self.kb.get())
+        self.meter.breakdown()
     }
 }
 
@@ -248,7 +338,7 @@ impl<I: BufferIndex> ProjectionOperator for BufferedOperator<'_, I> {
 pub struct EllOperator<'a> {
     a: &'a EllMatrix,
     at: &'a EllMatrix,
-    kb: Cell<KernelBreakdown>,
+    meter: SpmvMeter,
 }
 
 impl<'a> EllOperator<'a> {
@@ -272,8 +362,14 @@ impl<'a> EllOperator<'a> {
         EllOperator {
             a,
             at,
-            kb: Cell::new(KernelBreakdown::default()),
+            meter: SpmvMeter::new(Metrics::collecting(), "ell"),
         }
+    }
+
+    /// Record into `metrics` instead of a private registry.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.meter.metrics = metrics;
+        self
     }
 }
 
@@ -285,17 +381,19 @@ impl ProjectionOperator for EllOperator<'_> {
         self.a.ncols()
     }
     fn forward_into(&self, x: &[f32], y: &mut [f32]) {
-        let t = Instant::now();
+        let t = self.meter.start();
         self.a.spmv_into(x, y);
-        bump_ap(&self.kb, t);
+        self.meter
+            .record(t, self.a.nnz() as u64, self.a.regular_bytes());
     }
     fn back_into(&self, y: &[f32], x: &mut [f32]) {
-        let t = Instant::now();
+        let t = self.meter.start();
         self.at.spmv_into(y, x);
-        bump_ap(&self.kb, t);
+        self.meter
+            .record(t, self.at.nnz() as u64, self.at.regular_bytes());
     }
     fn breakdown(&self) -> Option<KernelBreakdown> {
-        Some(self.kb.get())
+        self.meter.breakdown()
     }
 }
 
@@ -303,7 +401,7 @@ impl ProjectionOperator for EllOperator<'_> {
 /// every application re-traces all rays. Operates in raster coordinates.
 pub struct CompOperator<'a> {
     cx: &'a CompXct,
-    kb: Cell<KernelBreakdown>,
+    meter: SpmvMeter,
 }
 
 impl<'a> CompOperator<'a> {
@@ -311,8 +409,14 @@ impl<'a> CompOperator<'a> {
     pub fn new(cx: &'a CompXct) -> Self {
         CompOperator {
             cx,
-            kb: Cell::new(KernelBreakdown::default()),
+            meter: SpmvMeter::new(Metrics::collecting(), "comp"),
         }
+    }
+
+    /// Record into `metrics` instead of a private registry.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.meter.metrics = metrics;
+        self
     }
 }
 
@@ -324,17 +428,18 @@ impl ProjectionOperator for CompOperator<'_> {
         self.cx.grid().num_pixels()
     }
     fn forward_into(&self, x: &[f32], y: &mut [f32]) {
-        let t = Instant::now();
+        let t = self.meter.start();
         y.copy_from_slice(&self.cx.forward(x));
-        bump_ap(&self.kb, t);
+        // Compute-centric: no memoized matrix, so no nnz/bytes to stream.
+        self.meter.record(t, 0, 0);
     }
     fn back_into(&self, y: &[f32], x: &mut [f32]) {
-        let t = Instant::now();
+        let t = self.meter.start();
         x.copy_from_slice(&self.cx.backproject(y));
-        bump_ap(&self.kb, t);
+        self.meter.record(t, 0, 0);
     }
     fn breakdown(&self) -> Option<KernelBreakdown> {
-        Some(self.kb.get())
+        self.meter.breakdown()
     }
 }
 
@@ -461,7 +566,7 @@ pub struct RowSubsetOperator<'a> {
     rows: &'a [u32],
     block: &'a CsrMatrix,
     block_t: &'a CsrMatrix,
-    kb: Cell<KernelBreakdown>,
+    meter: SpmvMeter,
 }
 
 impl<'a> RowSubsetOperator<'a> {
@@ -473,8 +578,14 @@ impl<'a> RowSubsetOperator<'a> {
             rows,
             block,
             block_t,
-            kb: Cell::new(KernelBreakdown::default()),
+            meter: SpmvMeter::new(Metrics::collecting(), "subset"),
         }
+    }
+
+    /// Record into `metrics` instead of a private registry.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.meter.metrics = metrics;
+        self
     }
 
     /// Global row ids of this subset.
@@ -496,17 +607,19 @@ impl ProjectionOperator for RowSubsetOperator<'_> {
         self.block.ncols()
     }
     fn forward_into(&self, x: &[f32], y: &mut [f32]) {
-        let t = Instant::now();
+        let t = self.meter.start();
         spmv_into(self.block, x, y);
-        bump_ap(&self.kb, t);
+        self.meter
+            .record(t, self.block.nnz() as u64, self.block.regular_bytes());
     }
     fn back_into(&self, y: &[f32], x: &mut [f32]) {
-        let t = Instant::now();
+        let t = self.meter.start();
         spmv_into(self.block_t, y, x);
-        bump_ap(&self.kb, t);
+        self.meter
+            .record(t, self.block_t.nnz() as u64, self.block_t.regular_bytes());
     }
     fn breakdown(&self) -> Option<KernelBreakdown> {
-        Some(self.kb.get())
+        self.meter.breakdown()
     }
 }
 
@@ -517,11 +630,25 @@ impl Operators {
     /// # Panics
     /// Panics if the requested layout was not built (see `Config`).
     pub fn operator(&self, kernel: Kernel) -> Box<dyn ProjectionOperator + '_> {
+        self.operator_with_metrics(kernel, Metrics::collecting())
+    }
+
+    /// Like [`Operators::operator`], but recording into a caller-supplied
+    /// metrics handle (shared registry, or [`Metrics::noop`] for zero-cost
+    /// instrumentation).
+    ///
+    /// # Panics
+    /// Panics if the requested layout was not built (see `Config`).
+    pub fn operator_with_metrics(
+        &self,
+        kernel: Kernel,
+        metrics: Metrics,
+    ) -> Box<dyn ProjectionOperator + '_> {
         match kernel {
-            Kernel::Serial => Box::new(SerialOperator::new(self)),
-            Kernel::Parallel => Box::new(ParallelOperator::new(self)),
-            Kernel::Ell => Box::new(EllOperator::new(self)),
-            Kernel::Buffered => Box::new(BufferedOperator::new(self)),
+            Kernel::Serial => Box::new(SerialOperator::new(self).with_metrics(metrics)),
+            Kernel::Parallel => Box::new(ParallelOperator::new(self).with_metrics(metrics)),
+            Kernel::Ell => Box::new(EllOperator::new(self).with_metrics(metrics)),
+            Kernel::Buffered => Box::new(BufferedOperator::new(self).with_metrics(metrics)),
         }
     }
 }
@@ -649,6 +776,40 @@ mod tests {
         let mut part = vec![0f32; sub.nrows()];
         sub.forward_into(&x, &mut part);
         assert_eq!(part, sub.gather(&full));
+    }
+
+    #[test]
+    fn shared_registry_collects_spmv_counters() {
+        let ops = ops(8, 6);
+        let m = Metrics::collecting();
+        let op = ops.operator_with_metrics(Kernel::Buffered, m.clone());
+        let x = vec![1f32; op.ncols()];
+        let mut y = vec![0f32; op.nrows()];
+        op.forward_into(&x, &mut y);
+        op.forward_into(&x, &mut y);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["spmv/buffered/calls"], 2);
+        assert_eq!(
+            snap.counters["spmv/buffered/nnz"],
+            2 * ops.a.nnz() as u64,
+            "nnz per call"
+        );
+        assert!(snap.counters["spmv/buffered/bytes"] > 0);
+        assert!(snap.counters["spmv/buffered/stages"] >= 2);
+        assert_eq!(snap.timers["kernel/ap_s"].count, 2);
+        // breakdown() is a view over the same registry.
+        let kb = op.breakdown().expect("collecting");
+        assert_eq!(kb.ap_s, snap.timers["kernel/ap_s"].total_s);
+    }
+
+    #[test]
+    fn noop_metrics_record_nothing_and_hide_breakdown() {
+        let ops = ops(8, 6);
+        let op = ops.operator_with_metrics(Kernel::Serial, Metrics::noop());
+        let x = vec![1f32; op.ncols()];
+        let mut y = vec![0f32; op.nrows()];
+        op.forward_into(&x, &mut y);
+        assert!(op.breakdown().is_none(), "noop has no timings to report");
     }
 
     #[test]

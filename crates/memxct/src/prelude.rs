@@ -1,0 +1,31 @@
+//! One-stop imports for typical reconstructions:
+//! `use memxct::prelude::*;` brings in the builder and high-level API,
+//! the operator trait and solver engine, the error and configuration
+//! types, and the observability handles (re-exported from [`xct_obs`]).
+//!
+//! ```
+//! use memxct::prelude::*;
+//! use xct_geometry::{Grid, ScanGeometry};
+//!
+//! let rec = ReconstructorBuilder::new(Grid::new(16), ScanGeometry::new(12, 16))
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(rec.kernel(), Kernel::Buffered);
+//! ```
+
+pub use crate::dist::{
+    reconstruct_distributed, try_reconstruct_distributed, DistConfig, DistOutput, DistSolver,
+};
+pub use crate::errors::BuildError;
+pub use crate::fbp::{fbp, FbpConfig};
+pub use crate::operator::{KernelBreakdown, ProjectionOperator};
+pub use crate::preprocess::{
+    preprocess, try_preprocess, Config, DomainOrdering, Kernel, Operators, Projector,
+};
+pub use crate::reconstructor::{ReconOutput, Reconstructor, ReconstructorBuilder, VolumeOutput};
+pub use crate::solvers::{
+    cgls, cgls_regularized, run_engine, run_engine_with_metrics, sirt, sirt_nonneg, CgRule,
+    Constraint, IterationRecord, SirtRule, StopRule, UpdateRule,
+};
+pub use crate::subsets::{OrderedSubsets, OsRule};
+pub use xct_obs::{Metrics, MetricsSnapshot, TimerSummary};

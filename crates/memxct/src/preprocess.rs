@@ -9,7 +9,10 @@ use rayon::prelude::*;
 use std::time::Instant;
 use xct_geometry::{trace_ray, trace_ray_joseph, Grid, ScanGeometry, Sinogram};
 use xct_hilbert::{Ordering2D, TwoLevelOrdering};
-use xct_sparse::{spmv, spmv_parallel, BufferedCsr, CsrMatrix, EllMatrix};
+use xct_obs::Metrics;
+use xct_sparse::{spmv, spmv_parallel, BufferIndex, BufferedCsr, CsrMatrix, EllMatrix};
+
+use crate::errors::BuildError;
 
 /// Which ordering to apply to the 2D domains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -219,8 +222,60 @@ fn build_ordering(
     }
 }
 
+impl Config {
+    /// Check the sizes this configuration would feed into the kernel
+    /// builders, returning the first violation instead of panicking
+    /// downstream.
+    pub fn validate(&self) -> Result<(), BuildError> {
+        if self.partsize == 0 {
+            return Err(BuildError::ZeroPartitionSize);
+        }
+        let max = <u16 as BufferIndex>::MAX_BUFFER;
+        if self.buffsize == 0 || (self.build_buffered && self.buffsize > max) {
+            return Err(BuildError::InvalidBufferSize {
+                buffsize: self.buffsize,
+                max,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Run the full preprocessing pipeline.
+///
+/// # Panics
+/// Panics on an invalid [`Config`] (zero partition size, out-of-range
+/// buffer size); use [`try_preprocess`] to get a [`BuildError`] instead.
 pub fn preprocess(grid: Grid, scan: ScanGeometry, config: &Config) -> Operators {
+    match try_preprocess(grid, scan, config) {
+        Ok(ops) => ops,
+        Err(e) => panic!("invalid preprocessing config: {e}"),
+    }
+}
+
+/// Fallible [`preprocess`]: validates the configuration up front and
+/// returns a [`BuildError`] instead of panicking.
+pub fn try_preprocess(
+    grid: Grid,
+    scan: ScanGeometry,
+    config: &Config,
+) -> Result<Operators, BuildError> {
+    try_preprocess_with_metrics(grid, scan, config, &Metrics::noop())
+}
+
+/// [`try_preprocess`] with observability: each pipeline phase records its
+/// wall-clock into the timers `preprocess/ordering`, `preprocess/tracing`,
+/// `preprocess/transpose`, and `preprocess/buffers` (plus a `preprocess`
+/// total), and the memoized matrix shape lands in the counters
+/// `preprocess/rows`, `preprocess/cols`, and `preprocess/nnz`.
+pub fn try_preprocess_with_metrics(
+    grid: Grid,
+    scan: ScanGeometry,
+    config: &Config,
+    metrics: &Metrics,
+) -> Result<Operators, BuildError> {
+    config.validate()?;
+    let _total = metrics.span("preprocess");
     let mut timings = PreprocessTimings::default();
 
     // (1) Orderings for both domains.
@@ -229,6 +284,7 @@ pub fn preprocess(grid: Grid, scan: ScanGeometry, config: &Config) -> Operators 
     let (sino_ord, sino_tiles) =
         build_ordering(config.ordering, scan.num_channels(), scan.num_projections());
     timings.ordering_s = t.elapsed().as_secs_f64();
+    metrics.timer_observe("preprocess/ordering", timings.ordering_s);
 
     // (2) Ray tracing into CSR, directly in ordered coordinates: row r of
     // A is the sinogram entry stored at rank r; its columns are tomogram
@@ -255,11 +311,16 @@ pub fn preprocess(grid: Grid, scan: ScanGeometry, config: &Config) -> Operators 
     let a = CsrMatrix::from_rows(grid.num_pixels(), &rows);
     drop(rows);
     timings.tracing_s = t.elapsed().as_secs_f64();
+    metrics.timer_observe("preprocess/tracing", timings.tracing_s);
+    metrics.counter_add("preprocess/rows", a.nrows() as u64);
+    metrics.counter_add("preprocess/cols", a.ncols() as u64);
+    metrics.counter_add("preprocess/nnz", a.nnz() as u64);
 
     // (3) Locality-preserving transpose for backprojection.
     let t = Instant::now();
     let at = a.transpose_scan();
     timings.transpose_s = t.elapsed().as_secs_f64();
+    metrics.timer_observe("preprocess/transpose", timings.transpose_s);
 
     // (4) Partitioning and buffer construction.
     let t = Instant::now();
@@ -280,8 +341,9 @@ pub fn preprocess(grid: Grid, scan: ScanGeometry, config: &Config) -> Operators 
         (None, None)
     };
     timings.buffers_s = t.elapsed().as_secs_f64();
+    metrics.timer_observe("preprocess/buffers", timings.buffers_s);
 
-    Operators {
+    Ok(Operators {
         grid,
         scan,
         a,
@@ -296,7 +358,7 @@ pub fn preprocess(grid: Grid, scan: ScanGeometry, config: &Config) -> Operators 
         sino_tiles,
         partsize: config.partsize,
         timings,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -444,6 +506,90 @@ mod tests {
         let o = ops(32, 24, &Config::default());
         assert!(o.timings.tracing_s > 0.0);
         assert!(o.timings.total() >= o.timings.tracing_s);
+    }
+
+    #[test]
+    fn try_preprocess_rejects_bad_configs() {
+        let grid = Grid::new(8);
+        let scan = ScanGeometry::new(6, 8);
+        let bad_part = Config {
+            partsize: 0,
+            ..Config::default()
+        };
+        assert_eq!(
+            try_preprocess(grid, scan, &bad_part).err(),
+            Some(BuildError::ZeroPartitionSize)
+        );
+        let bad_buf = Config {
+            buffsize: 0,
+            ..Config::default()
+        };
+        assert!(matches!(
+            try_preprocess(grid, scan, &bad_buf).err(),
+            Some(BuildError::InvalidBufferSize { buffsize: 0, .. })
+        ));
+        let too_big = Config {
+            buffsize: 70_000,
+            ..Config::default()
+        };
+        assert!(matches!(
+            try_preprocess(grid, scan, &too_big).err(),
+            Some(BuildError::InvalidBufferSize {
+                buffsize: 70_000,
+                max: 65536,
+            })
+        ));
+        // Oversized buffers are fine when the buffered layout is skipped
+        // (nothing u16-addressed gets built).
+        let skipped = Config {
+            buffsize: 70_000,
+            build_buffered: false,
+            ..Config::default()
+        };
+        assert!(try_preprocess(grid, scan, &skipped).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "partition size")]
+    fn panicking_shim_reports_the_build_error() {
+        preprocess(
+            Grid::new(8),
+            ScanGeometry::new(6, 8),
+            &Config {
+                partsize: 0,
+                ..Config::default()
+            },
+        );
+    }
+
+    #[test]
+    fn instrumented_preprocess_records_phases() {
+        let m = Metrics::collecting();
+        let o = try_preprocess_with_metrics(
+            Grid::new(16),
+            ScanGeometry::new(12, 16),
+            &Config::default(),
+            &m,
+        )
+        .unwrap();
+        let snap = m.snapshot();
+        for phase in [
+            "preprocess",
+            "preprocess/ordering",
+            "preprocess/tracing",
+            "preprocess/transpose",
+            "preprocess/buffers",
+        ] {
+            assert!(snap.timers.contains_key(phase), "missing {phase}");
+        }
+        assert_eq!(snap.counters["preprocess/nnz"], o.a.nnz() as u64);
+        assert_eq!(snap.counters["preprocess/rows"], o.a.nrows() as u64);
+        assert_eq!(snap.counters["preprocess/cols"], o.a.ncols() as u64);
+        // The phase timers match the timings struct (same measurements).
+        assert_eq!(
+            snap.timers["preprocess/tracing"].total_s,
+            o.timings.tracing_s
+        );
     }
 
     #[test]

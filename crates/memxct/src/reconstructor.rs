@@ -1,10 +1,17 @@
-//! High-level single-call reconstruction API.
+//! High-level single-call reconstruction API, built through
+//! [`ReconstructorBuilder`].
 
-use crate::dist::{reconstruct_distributed, DistConfig, DistOutput};
+use crate::dist::{reconstruct_distributed_with_metrics, DistConfig, DistOutput};
+use crate::errors::BuildError;
 use crate::operator::KernelBreakdown;
-use crate::preprocess::{preprocess, Config, Kernel, Operators};
-use crate::solvers::{run_engine, CgRule, Constraint, IterationRecord, SirtRule, StopRule};
+use crate::preprocess::{
+    try_preprocess_with_metrics, Config, DomainOrdering, Kernel, Operators, Projector,
+};
+use crate::solvers::{
+    run_engine_with_metrics, CgRule, Constraint, IterationRecord, SirtRule, StopRule,
+};
 use xct_geometry::{Grid, ScanGeometry, Sinogram};
+use xct_obs::{Metrics, MetricsSnapshot};
 
 /// Result of a reconstruction: the image plus convergence records.
 pub struct ReconOutput {
@@ -15,11 +22,148 @@ pub struct ReconOutput {
     /// Per-kernel time spent inside the projection operator. Shared-memory
     /// kernels attribute all SpMV time to `ap_s`; the distributed path
     /// splits it across `ap_s`/`c_s`/`r_s` (same schema as [`DistOutput`]).
+    /// A view over the reconstructor's metrics registry — it accumulates
+    /// across every solve the reconstructor runs.
     pub breakdown: KernelBreakdown,
 }
 
+/// Step-by-step construction of a [`Reconstructor`] with validated
+/// defaults: geometry in, then optional ordering/projector/partition/
+/// buffer/kernel/metrics overrides, then [`build`](Self::build).
+///
+/// ```
+/// use memxct::{Kernel, ReconstructorBuilder, StopRule};
+/// use xct_geometry::{disk, simulate_sinogram, Grid, NoiseModel, ScanGeometry};
+///
+/// let grid = Grid::new(32);
+/// let scan = ScanGeometry::new(48, 32);
+/// let rec = ReconstructorBuilder::new(grid, scan)
+///     .partition_size(64)
+///     .kernel(Kernel::Parallel)
+///     .build()
+///     .unwrap();
+/// let truth = disk(0.6, 1.0).rasterize(32);
+/// let sino = simulate_sinogram(&truth, &grid, &scan, NoiseModel::None, 0);
+/// let out = rec.reconstruct_cg(&sino, StopRule::Fixed(10));
+/// assert_eq!(out.image.len(), 32 * 32);
+/// // Everything the run recorded is one snapshot away.
+/// let snap = rec.metrics();
+/// assert_eq!(snap.counters["solver/iterations"], 10);
+/// ```
+pub struct ReconstructorBuilder {
+    grid: Grid,
+    scan: ScanGeometry,
+    config: Config,
+    kernel: Option<Kernel>,
+    metrics: Option<Metrics>,
+}
+
+impl ReconstructorBuilder {
+    /// Start from a geometry with the default configuration (two-level
+    /// pseudo-Hilbert ordering, Siddon projector, buffered kernels).
+    pub fn new(grid: Grid, scan: ScanGeometry) -> Self {
+        ReconstructorBuilder {
+            grid,
+            scan,
+            config: Config::default(),
+            kernel: None,
+            metrics: None,
+        }
+    }
+
+    /// Replace the whole preprocessing configuration at once.
+    pub fn config(mut self, config: Config) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Domain ordering (default: two-level pseudo-Hilbert).
+    pub fn ordering(mut self, ordering: DomainOrdering) -> Self {
+        self.config.ordering = ordering;
+        self
+    }
+
+    /// Ray-discretization model (default: Siddon).
+    pub fn projector(mut self, projector: Projector) -> Self {
+        self.config.projector = projector;
+        self
+    }
+
+    /// Row-partition size (default 128; must be positive).
+    pub fn partition_size(mut self, partsize: usize) -> Self {
+        self.config.partsize = partsize;
+        self
+    }
+
+    /// Input-buffer capacity in f32 elements (default 2048; must fit the
+    /// buffered kernel's 16-bit addressing when buffered layouts are
+    /// built).
+    pub fn buffer_size(mut self, buffsize: usize) -> Self {
+        self.config.buffsize = buffsize;
+        self
+    }
+
+    /// Whether to build the multi-stage buffered layouts (default true).
+    pub fn build_buffered(mut self, build: bool) -> Self {
+        self.config.build_buffered = build;
+        self
+    }
+
+    /// Whether to build the ELL (GPU-style) layouts (default false).
+    pub fn build_ell(mut self, build: bool) -> Self {
+        self.config.build_ell = build;
+        self
+    }
+
+    /// Which SpMV kernel the reconstructor applies. Default: buffered if
+    /// buffered layouts are built, else parallel CSR.
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = Some(kernel);
+        self
+    }
+
+    /// Where to record observability data. Default: a fresh private
+    /// collecting registry; pass a shared handle to aggregate across
+    /// components, or [`Metrics::noop`] to disable collection entirely.
+    pub fn metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Validate, preprocess, and produce the [`Reconstructor`].
+    ///
+    /// Rejects zero partition sizes, out-of-range buffer sizes, and kernel
+    /// choices whose layout is not being built ([`Kernel::Buffered`]
+    /// without buffered layouts, [`Kernel::Ell`] without ELL layouts).
+    pub fn build(self) -> Result<Reconstructor, BuildError> {
+        let kernel = match self.kernel {
+            Some(k) => {
+                match k {
+                    Kernel::Buffered if !self.config.build_buffered => {
+                        return Err(BuildError::LayoutNotBuilt { layout: "buffered" })
+                    }
+                    Kernel::Ell if !self.config.build_ell => {
+                        return Err(BuildError::LayoutNotBuilt { layout: "ELL" })
+                    }
+                    _ => {}
+                }
+                k
+            }
+            None if self.config.build_buffered => Kernel::Buffered,
+            None => Kernel::Parallel,
+        };
+        let metrics = self.metrics.unwrap_or_else(Metrics::collecting);
+        let ops = try_preprocess_with_metrics(self.grid, self.scan, &self.config, &metrics)?;
+        Ok(Reconstructor {
+            ops,
+            kernel,
+            metrics,
+        })
+    }
+}
+
 /// A preprocessed reconstructor bound to one geometry. Preprocessing cost
-/// is paid once in [`Reconstructor::new`] and amortized over every slice
+/// is paid once at construction and amortized over every slice
 /// reconstructed afterwards (Table 5's "All Slices" economics).
 ///
 /// ```
@@ -42,24 +186,39 @@ pub struct ReconOutput {
 pub struct Reconstructor {
     ops: Operators,
     kernel: Kernel,
+    metrics: Metrics,
 }
 
 impl Reconstructor {
     /// Preprocess with the default configuration (two-level pseudo-Hilbert
-    /// ordering, buffered kernels).
+    /// ordering, buffered kernels). Thin shim over
+    /// [`ReconstructorBuilder`].
     pub fn new(grid: Grid, scan: ScanGeometry) -> Self {
-        Self::with_config(grid, scan, &Config::default())
+        match ReconstructorBuilder::new(grid, scan).build() {
+            Ok(rec) => rec,
+            Err(e) => panic!("invalid reconstructor config: {e}"),
+        }
     }
 
-    /// Preprocess with an explicit configuration.
+    /// Preprocess with an explicit configuration. Thin shim over
+    /// [`ReconstructorBuilder::config`].
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration; use the builder to get a
+    /// [`BuildError`] instead.
     pub fn with_config(grid: Grid, scan: ScanGeometry, config: &Config) -> Self {
-        let ops = preprocess(grid, scan, config);
-        let kernel = if config.build_buffered {
-            Kernel::Buffered
-        } else {
-            Kernel::Parallel
-        };
-        Reconstructor { ops, kernel }
+        match ReconstructorBuilder::new(grid, scan)
+            .config(*config)
+            .build()
+        {
+            Ok(rec) => rec,
+            Err(e) => panic!("invalid reconstructor config: {e}"),
+        }
+    }
+
+    /// Start building a reconstructor for this geometry.
+    pub fn builder(grid: Grid, scan: ScanGeometry) -> ReconstructorBuilder {
+        ReconstructorBuilder::new(grid, scan)
     }
 
     /// The memoized operators (for custom solver loops).
@@ -72,41 +231,130 @@ impl Reconstructor {
         self.kernel
     }
 
+    /// Snapshot of everything recorded so far: preprocessing phase
+    /// timings, per-kernel SpMV counters, per-iteration solver series, and
+    /// (after distributed runs) the communication matrix. Empty when the
+    /// builder was given [`Metrics::noop`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The live metrics handle (e.g. to share with other components).
+    pub fn metrics_handle(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn check_sinogram(&self, sino: &Sinogram) -> Result<(), BuildError> {
+        if sino.data().len() != self.ops.a.nrows() {
+            return Err(BuildError::SinogramLength {
+                expected: self.ops.a.nrows(),
+                got: sino.data().len(),
+            });
+        }
+        Ok(())
+    }
+
     /// Reconstruct one slice with CG and the given stopping rule.
+    ///
+    /// # Panics
+    /// Panics if the sinogram length does not match the geometry; use
+    /// [`Reconstructor::try_reconstruct_cg`] for a [`BuildError`].
     pub fn reconstruct_cg(&self, sino: &Sinogram, stop: StopRule) -> ReconOutput {
-        let y = self.ops.order_sinogram(sino);
-        let op = self.ops.operator(self.kernel);
-        let (x, records) = run_engine(op.as_ref(), &y, &mut CgRule::new(), Constraint::None, stop);
-        ReconOutput {
-            image: self.ops.unorder_tomogram(&x),
-            records,
-            breakdown: op.breakdown().unwrap_or_default(),
+        match self.try_reconstruct_cg(sino, stop) {
+            Ok(out) => out,
+            Err(e) => panic!("invalid reconstruction input: {e}"),
         }
     }
 
-    /// Reconstruct one slice with SIRT (for baseline comparisons).
-    pub fn reconstruct_sirt(&self, sino: &Sinogram, iters: usize) -> ReconOutput {
+    /// Fallible [`Reconstructor::reconstruct_cg`].
+    pub fn try_reconstruct_cg(
+        &self,
+        sino: &Sinogram,
+        stop: StopRule,
+    ) -> Result<ReconOutput, BuildError> {
+        self.check_sinogram(sino)?;
         let y = self.ops.order_sinogram(sino);
-        let op = self.ops.operator(self.kernel);
-        let (x, records) = run_engine(
+        let op = self
+            .ops
+            .operator_with_metrics(self.kernel, self.metrics.clone());
+        let (x, records) = run_engine_with_metrics(
+            op.as_ref(),
+            &y,
+            &mut CgRule::new(),
+            Constraint::None,
+            stop,
+            &self.metrics,
+        );
+        Ok(ReconOutput {
+            image: self.ops.unorder_tomogram(&x),
+            records,
+            breakdown: op.breakdown().unwrap_or_default(),
+        })
+    }
+
+    /// Reconstruct one slice with SIRT (for baseline comparisons).
+    ///
+    /// # Panics
+    /// Panics if the sinogram length does not match the geometry; use
+    /// [`Reconstructor::try_reconstruct_sirt`] for a [`BuildError`].
+    pub fn reconstruct_sirt(&self, sino: &Sinogram, iters: usize) -> ReconOutput {
+        match self.try_reconstruct_sirt(sino, iters) {
+            Ok(out) => out,
+            Err(e) => panic!("invalid reconstruction input: {e}"),
+        }
+    }
+
+    /// Fallible [`Reconstructor::reconstruct_sirt`].
+    pub fn try_reconstruct_sirt(
+        &self,
+        sino: &Sinogram,
+        iters: usize,
+    ) -> Result<ReconOutput, BuildError> {
+        self.check_sinogram(sino)?;
+        let y = self.ops.order_sinogram(sino);
+        let op = self
+            .ops
+            .operator_with_metrics(self.kernel, self.metrics.clone());
+        let (x, records) = run_engine_with_metrics(
             op.as_ref(),
             &y,
             &mut SirtRule::new(1.0),
             Constraint::None,
             StopRule::Fixed(iters),
+            &self.metrics,
         );
-        ReconOutput {
+        Ok(ReconOutput {
             image: self.ops.unorder_tomogram(&x),
             records,
             breakdown: op.breakdown().unwrap_or_default(),
-        }
+        })
     }
 
     /// Reconstruct one slice with the distributed (threads-as-ranks) CG
     /// path.
+    ///
+    /// # Panics
+    /// Panics on a zero rank count or mismatched sinogram; use
+    /// [`Reconstructor::try_reconstruct_distributed`] for a
+    /// [`BuildError`].
     pub fn reconstruct_distributed(&self, sino: &Sinogram, config: &DistConfig) -> DistOutput {
+        match self.try_reconstruct_distributed(sino, config) {
+            Ok(out) => out,
+            Err(e) => panic!("invalid distributed run: {e}"),
+        }
+    }
+
+    /// Fallible [`Reconstructor::reconstruct_distributed`]. The run's
+    /// kernel breakdown, convergence series, and communication matrix are
+    /// recorded into this reconstructor's metrics registry.
+    pub fn try_reconstruct_distributed(
+        &self,
+        sino: &Sinogram,
+        config: &DistConfig,
+    ) -> Result<DistOutput, BuildError> {
+        self.check_sinogram(sino)?;
         let y = self.ops.order_sinogram(sino);
-        reconstruct_distributed(&self.ops, &y, config)
+        reconstruct_distributed_with_metrics(&self.ops, &y, config, &self.metrics)
     }
 
     /// Reconstruct a whole slice stack with CG, reusing the preprocessed
@@ -237,5 +485,117 @@ mod tests {
             "err {}",
             rel_err(&dist.image, &single.image)
         );
+    }
+
+    #[test]
+    fn builder_validates_kernel_layout_choices() {
+        let grid = Grid::new(16);
+        let scan = ScanGeometry::new(12, 16);
+        assert!(matches!(
+            ReconstructorBuilder::new(grid, scan)
+                .build_buffered(false)
+                .kernel(Kernel::Buffered)
+                .build()
+                .err(),
+            Some(BuildError::LayoutNotBuilt { layout: "buffered" })
+        ));
+        assert!(matches!(
+            ReconstructorBuilder::new(grid, scan)
+                .kernel(Kernel::Ell)
+                .build()
+                .err(),
+            Some(BuildError::LayoutNotBuilt { layout: "ELL" })
+        ));
+        assert!(matches!(
+            ReconstructorBuilder::new(grid, scan)
+                .partition_size(0)
+                .build()
+                .err(),
+            Some(BuildError::ZeroPartitionSize)
+        ));
+        assert!(matches!(
+            ReconstructorBuilder::new(grid, scan)
+                .buffer_size(1 << 20)
+                .build()
+                .err(),
+            Some(BuildError::InvalidBufferSize { .. })
+        ));
+        // Defaults pick the buffered kernel; disabling buffered layouts
+        // falls back to parallel CSR.
+        let rec = ReconstructorBuilder::new(grid, scan).build().unwrap();
+        assert_eq!(rec.kernel(), Kernel::Buffered);
+        let rec = ReconstructorBuilder::new(grid, scan)
+            .build_buffered(false)
+            .build()
+            .unwrap();
+        assert_eq!(rec.kernel(), Kernel::Parallel);
+    }
+
+    #[test]
+    fn try_reconstruct_rejects_wrong_sinogram_length() {
+        let grid = Grid::new(16);
+        let scan = ScanGeometry::new(12, 16);
+        let rec = Reconstructor::new(grid, scan);
+        let short = Sinogram::new(ScanGeometry::new(6, 16), vec![0.0; 6 * 16]);
+        assert!(matches!(
+            rec.try_reconstruct_cg(&short, StopRule::Fixed(2)).err(),
+            Some(BuildError::SinogramLength { .. })
+        ));
+        assert!(matches!(
+            rec.try_reconstruct_sirt(&short, 2).err(),
+            Some(BuildError::SinogramLength { .. })
+        ));
+        assert!(matches!(
+            rec.try_reconstruct_distributed(&short, &DistConfig::default())
+                .err(),
+            Some(BuildError::SinogramLength { .. })
+        ));
+    }
+
+    #[test]
+    fn metrics_snapshot_spans_the_whole_pipeline() {
+        let n = 24u32;
+        let grid = Grid::new(n);
+        let scan = ScanGeometry::new(36, n);
+        let img = disk(0.5, 1.0).rasterize(n);
+        let sino = simulate_sinogram(&img, &grid, &scan, NoiseModel::None, 0);
+        let rec = ReconstructorBuilder::new(grid, scan).build().unwrap();
+        rec.reconstruct_cg(&sino, StopRule::Fixed(5));
+        rec.reconstruct_distributed(
+            &sino,
+            &DistConfig {
+                ranks: 2,
+                use_buffered: false,
+                stop: StopRule::Fixed(3),
+                solver: crate::dist::DistSolver::Cg,
+            },
+        );
+        let snap = rec.metrics();
+        // Preprocessing phases.
+        assert!(snap.timers.contains_key("preprocess/tracing"));
+        // Shared-memory kernel counters + timer.
+        assert!(snap.counters["spmv/buffered/calls"] > 0);
+        assert!(snap.timers["kernel/ap_s"].total_s > 0.0);
+        // Solver series accumulate across both runs (5 serial + 3 dist).
+        assert_eq!(snap.series["solver/residual_norm"].len(), 8);
+        assert_eq!(snap.counters["solver/iterations"], 8);
+        // Distributed comm matrix.
+        assert_eq!(snap.matrices["comm/bytes"].size, 2);
+    }
+
+    #[test]
+    fn noop_metrics_disable_collection() {
+        let grid = Grid::new(16);
+        let scan = ScanGeometry::new(12, 16);
+        let img = disk(0.5, 1.0).rasterize(16);
+        let sino = simulate_sinogram(&img, &grid, &scan, NoiseModel::None, 0);
+        let rec = ReconstructorBuilder::new(grid, scan)
+            .metrics(Metrics::noop())
+            .build()
+            .unwrap();
+        let out = rec.reconstruct_cg(&sino, StopRule::Fixed(3));
+        assert!(rec.metrics().is_empty(), "noop records nothing");
+        assert_eq!(out.breakdown, KernelBreakdown::default());
+        assert_eq!(out.records.len(), 3, "solve itself unaffected");
     }
 }

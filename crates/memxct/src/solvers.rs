@@ -17,6 +17,7 @@
 //! kept for callers that hold projections as closures.
 
 use crate::operator::{ClosureOperator, ProjectionOperator};
+use xct_obs::Metrics;
 use xct_sparse::dot_f64;
 
 /// Convergence record of one iteration.
@@ -106,9 +107,30 @@ pub fn run_engine<R: UpdateRule + ?Sized>(
     constraint: Constraint,
     stop: StopRule,
 ) -> (Vec<f32>, Vec<IterationRecord>) {
+    run_engine_with_metrics(op, y, rule, constraint, stop, &Metrics::noop())
+}
+
+/// [`run_engine`] with observability: per-iteration residual/solution
+/// norms and wall-clock go into the series `solver/residual_norm`,
+/// `solver/solution_norm`, and `solver/iter_seconds`; the solution-norm
+/// allreduce is timed into `solver/dot_s`; the iteration count lands in
+/// the counter `solver/iterations` and the early-termination decision in
+/// the gauge `solver/early_terminated` (1 = stopped before the cap).
+///
+/// Instrumentation only *observes* — the iterate trajectory is
+/// bit-identical to the uninstrumented engine (the golden tests pin this).
+pub fn run_engine_with_metrics<R: UpdateRule + ?Sized>(
+    op: &dyn ProjectionOperator,
+    y: &[f32],
+    rule: &mut R,
+    constraint: Constraint,
+    stop: StopRule,
+    metrics: &Metrics,
+) -> (Vec<f32>, Vec<IterationRecord>) {
     let mut x = vec![0f32; op.ncols()];
     let mut records = Vec::new();
     let mut prev_res = f64::INFINITY;
+    let mut early = false;
     for iter in 0..stop.max_iters() {
         let t0 = std::time::Instant::now();
         let Some(res) = rule.step(op, y, &mut x) else {
@@ -119,18 +141,29 @@ pub fn run_engine<R: UpdateRule + ?Sized>(
                 *xi = xi.max(0.0);
             }
         }
+        let t_dot = metrics.enabled().then(std::time::Instant::now);
         let sol = op.reduce_dot(dot_f64(&x, &x)).sqrt();
+        if let Some(t) = t_dot {
+            metrics.timer_observe("solver/dot_s", t.elapsed().as_secs_f64());
+        }
+        let seconds = t0.elapsed().as_secs_f64();
+        metrics.series_push("solver/residual_norm", res);
+        metrics.series_push("solver/solution_norm", sol);
+        metrics.series_push("solver/iter_seconds", seconds);
+        metrics.counter_add("solver/iterations", 1);
         records.push(IterationRecord {
             iter,
             residual_norm: res,
             solution_norm: sol,
-            seconds: t0.elapsed().as_secs_f64(),
+            seconds,
         });
         if stop.should_stop(prev_res, res) {
+            early = true;
             break;
         }
         prev_res = res;
     }
+    metrics.gauge_set("solver/early_terminated", early as u64 as f64);
     (x, records)
 }
 
@@ -546,6 +579,65 @@ mod tests {
             "kernels diverged: {}",
             rel_err(&xb, &xs)
         );
+    }
+
+    #[test]
+    fn instrumented_engine_is_bit_identical_and_records() {
+        let (ops, y, _) = setup(16, 24);
+        let plain_op = crate::operator::SerialOperator::new(&ops);
+        let (x_plain, recs_plain) = run_engine(
+            &plain_op,
+            &y,
+            &mut CgRule::new(),
+            Constraint::None,
+            StopRule::Fixed(6),
+        );
+        let m = Metrics::collecting();
+        let inst_op = crate::operator::SerialOperator::new(&ops).with_metrics(m.clone());
+        let (x_inst, recs_inst) = run_engine_with_metrics(
+            &inst_op,
+            &y,
+            &mut CgRule::new(),
+            Constraint::None,
+            StopRule::Fixed(6),
+            &m,
+        );
+        assert_eq!(x_plain, x_inst, "instrumentation must not perturb x");
+        for (a, b) in recs_plain.iter().zip(&recs_inst) {
+            assert_eq!(a.residual_norm.to_bits(), b.residual_norm.to_bits());
+            assert_eq!(a.solution_norm.to_bits(), b.solution_norm.to_bits());
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["solver/iterations"], 6);
+        assert_eq!(snap.series["solver/residual_norm"].len(), 6);
+        assert_eq!(
+            snap.series["solver/residual_norm"][3],
+            recs_inst[3].residual_norm
+        );
+        assert_eq!(snap.series["solver/solution_norm"].len(), 6);
+        assert_eq!(snap.series["solver/iter_seconds"].len(), 6);
+        assert_eq!(snap.gauges["solver/early_terminated"], 0.0);
+        assert_eq!(snap.timers["solver/dot_s"].count, 6);
+    }
+
+    #[test]
+    fn early_termination_sets_the_gauge() {
+        let (ops, y, _) = setup(16, 24);
+        let m = Metrics::collecting();
+        let op = crate::operator::SerialOperator::new(&ops);
+        let (_, recs) = run_engine_with_metrics(
+            &op,
+            &y,
+            &mut CgRule::new(),
+            Constraint::None,
+            StopRule::EarlyTermination {
+                max_iters: 500,
+                min_decrease: 1e-3,
+            },
+            &m,
+        );
+        assert!(recs.len() < 500);
+        assert_eq!(m.snapshot().gauges["solver/early_terminated"], 1.0);
     }
 
     #[test]

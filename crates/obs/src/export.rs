@@ -1,0 +1,256 @@
+//! Human-text and JSON exporters for [`MetricsSnapshot`].
+//!
+//! The JSON schema (all sections always present, names sorted):
+//!
+//! ```json
+//! {
+//!   "counters": {"name": 123},
+//!   "gauges":   {"name": 1.5},
+//!   "timers":   {"name": {"count": 2, "total_s": 0.5, "min_s": 0.1, "max_s": 0.4}},
+//!   "series":   {"name": [3.0, 2.0, 1.0]},
+//!   "matrices": {"name": {"size": 2, "data": [[0, 8], [4, 0]]}}
+//! }
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::registry::MetricsSnapshot;
+
+/// Append a JSON string literal (with escaping) to `out`.
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a JSON number; non-finite values become `null` (JSON has no
+/// NaN/Infinity). `Display` for `f64` is shortest-roundtrip, so no
+/// precision is lost.
+fn json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn json_map<K: AsRef<str>, V, F: FnMut(&mut String, &V)>(
+    out: &mut String,
+    entries: impl Iterator<Item = (K, V)>,
+    mut write_value: F,
+) {
+    out.push('{');
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_string(out, k.as_ref());
+        out.push(':');
+        write_value(out, &v);
+    }
+    out.push('}');
+}
+
+impl MetricsSnapshot {
+    /// Serialize to a compact, deterministic JSON document (see the module
+    /// docs for the schema).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+
+        out.push_str("\"counters\":");
+        json_map(&mut out, self.counters.iter(), |o, v| {
+            let _ = write!(o, "{v}");
+        });
+
+        out.push_str(",\"gauges\":");
+        json_map(&mut out, self.gauges.iter(), |o, v| json_f64(o, **v));
+
+        out.push_str(",\"timers\":");
+        json_map(&mut out, self.timers.iter(), |o, t| {
+            let _ = write!(o, "{{\"count\":{},\"total_s\":", t.count);
+            json_f64(o, t.total_s);
+            o.push_str(",\"min_s\":");
+            json_f64(o, t.min_s);
+            o.push_str(",\"max_s\":");
+            json_f64(o, t.max_s);
+            o.push('}');
+        });
+
+        out.push_str(",\"series\":");
+        json_map(&mut out, self.series.iter(), |o, vals| {
+            o.push('[');
+            for (i, v) in vals.iter().enumerate() {
+                if i > 0 {
+                    o.push(',');
+                }
+                json_f64(o, *v);
+            }
+            o.push(']');
+        });
+
+        out.push_str(",\"matrices\":");
+        json_map(&mut out, self.matrices.iter(), |o, m| {
+            let _ = write!(o, "{{\"size\":{},\"data\":[", m.size);
+            for row in 0..m.size {
+                if row > 0 {
+                    o.push(',');
+                }
+                o.push('[');
+                for col in 0..m.size {
+                    if col > 0 {
+                        o.push(',');
+                    }
+                    let _ = write!(o, "{}", m.get(row, col));
+                }
+                o.push(']');
+            }
+            o.push_str("]}");
+        });
+
+        out.push('}');
+        out
+    }
+
+    /// Render a human-readable report (one section per metric kind,
+    /// skipping empty sections).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<40} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "  {k:<40} {v:.6}");
+            }
+        }
+        if !self.timers.is_empty() {
+            out.push_str("timers:\n");
+            for (k, t) in &self.timers {
+                let _ = writeln!(
+                    out,
+                    "  {k:<40} total {:.6}s  n={}  min {:.6}s  max {:.6}s",
+                    t.total_s, t.count, t.min_s, t.max_s
+                );
+            }
+        }
+        if !self.series.is_empty() {
+            out.push_str("series:\n");
+            for (k, vals) in &self.series {
+                let _ = write!(out, "  {k:<40} [");
+                for (i, v) in vals.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{v:.4}");
+                }
+                out.push_str("]\n");
+            }
+        }
+        if !self.matrices.is_empty() {
+            out.push_str("matrices:\n");
+            for (k, m) in &self.matrices {
+                let _ = writeln!(out, "  {k} ({0}x{0}):", m.size);
+                for row in 0..m.size {
+                    out.push_str("   ");
+                    for col in 0..m.size {
+                        let _ = write!(out, " {:>10}", m.get(row, col));
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Metrics;
+
+    fn sample() -> crate::MetricsSnapshot {
+        let m = Metrics::collecting();
+        m.counter_add("spmv/calls", 12);
+        m.gauge_set("solver/early_terminated", 1.0);
+        m.timer_observe("kernel/ap_s", 0.25);
+        m.series_push("solver/residual_norm", 2.0);
+        m.series_push("solver/residual_norm", 1.0);
+        m.matrix_set("comm/bytes", 2, vec![0, 8, 4, 0]);
+        m.snapshot()
+    }
+
+    #[test]
+    fn json_is_deterministic_and_complete() {
+        let s = sample();
+        let a = s.to_json();
+        let b = s.to_json();
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            "{\"counters\":{\"spmv/calls\":12},\
+             \"gauges\":{\"solver/early_terminated\":1},\
+             \"timers\":{\"kernel/ap_s\":{\"count\":1,\"total_s\":0.25,\"min_s\":0.25,\"max_s\":0.25}},\
+             \"series\":{\"solver/residual_norm\":[2,1]},\
+             \"matrices\":{\"comm/bytes\":{\"size\":2,\"data\":[[0,8],[4,0]]}}}"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_has_all_sections() {
+        let s = Metrics::collecting().snapshot();
+        assert_eq!(
+            s.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"timers\":{},\"series\":{},\"matrices\":{}}"
+        );
+    }
+
+    #[test]
+    fn non_finite_values_become_null() {
+        let m = Metrics::collecting();
+        m.gauge_set("bad", f64::NAN);
+        m.gauge_set("worse", f64::INFINITY);
+        let j = m.snapshot().to_json();
+        assert!(j.contains("\"bad\":null"));
+        assert!(j.contains("\"worse\":null"));
+    }
+
+    #[test]
+    fn keys_are_escaped() {
+        let m = Metrics::collecting();
+        m.counter_add("we\"ird\\name", 1);
+        assert!(m.snapshot().to_json().contains("\"we\\\"ird\\\\name\":1"));
+    }
+
+    #[test]
+    fn text_report_mentions_every_metric() {
+        let t = sample().to_text();
+        for name in [
+            "spmv/calls",
+            "solver/early_terminated",
+            "kernel/ap_s",
+            "solver/residual_norm",
+            "comm/bytes",
+        ] {
+            assert!(t.contains(name), "missing {name} in:\n{t}");
+        }
+    }
+}

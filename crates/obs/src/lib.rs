@@ -1,0 +1,40 @@
+//! Structured observability for the MemXCT pipeline: one metrics registry
+//! that every layer — preprocessing, SpMV kernels, the solver engine, and
+//! the distributed communicator — records into, so timing and volume
+//! reports come from a single instrumented source of truth instead of
+//! ad-hoc per-binary stopwatches.
+//!
+//! Design:
+//!
+//! - [`Metrics`] is a cheaply clonable handle. [`Metrics::noop`] carries
+//!   no registry at all: every record call is a branch on a `None` and
+//!   spans never even read the clock, so uninstrumented runs pay nothing.
+//!   [`Metrics::collecting`] attaches a shared [`MetricsRegistry`].
+//! - Five metric kinds cover the pipeline's signals: monotonically
+//!   increasing **counters** (nnz processed, bytes moved, kernel calls),
+//!   last-value **gauges** (matrix shape, early-termination decision),
+//!   **timers** (count/total/min/max seconds — kernel and phase times),
+//!   append-only **series** (per-iteration solver residuals, the L-curve
+//!   axes), and square u64 **matrices** (the per-pair communication
+//!   volumes of §3.4 / Fig 7).
+//! - [`Span`]s are lightweight nestable scopes with monotonic timing:
+//!   dropping a span adds its elapsed time to the timer named by its
+//!   `/`-joined path (`preprocess/tracing`).
+//! - [`MetricsSnapshot`] is an immutable, deterministically ordered copy
+//!   of the registry with human-text ([`MetricsSnapshot::to_text`]) and
+//!   JSON ([`MetricsSnapshot::to_json`]) exporters.
+//!
+//! Instrumentation must never perturb numerics: nothing in this crate
+//! touches solver data, only observations about it.
+
+#![warn(missing_docs)]
+
+mod export;
+mod registry;
+mod span;
+
+pub use registry::{
+    MatrixSnapshot, Metrics, MetricsRegistry, MetricsSnapshot, TimerSummary, KERNEL_AP_SECONDS,
+    KERNEL_C_SECONDS, KERNEL_R_SECONDS,
+};
+pub use span::Span;

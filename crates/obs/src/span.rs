@@ -1,0 +1,115 @@
+//! Nestable timing spans over monotonic clocks.
+
+use std::time::Instant;
+
+use crate::registry::Metrics;
+
+/// A timing scope. Created by [`Metrics::span`]; dropping it records the
+/// elapsed seconds into the timer named by the span's `/`-joined path.
+///
+/// Spans nest through [`Span::child`]:
+///
+/// ```
+/// use xct_obs::Metrics;
+/// let m = Metrics::collecting();
+/// {
+///     let preprocess = m.span("preprocess");
+///     {
+///         let _tracing = preprocess.child("tracing");
+///     } // records timer "preprocess/tracing"
+/// } // records timer "preprocess"
+/// let snap = m.snapshot();
+/// assert!(snap.timers.contains_key("preprocess"));
+/// assert!(snap.timers.contains_key("preprocess/tracing"));
+/// ```
+///
+/// Spans from a no-op handle never read the clock and record nothing.
+pub struct Span {
+    metrics: Metrics,
+    path: String,
+    /// `None` on the no-op path — the clock is never consulted.
+    started: Option<Instant>,
+}
+
+impl Span {
+    pub(crate) fn begin(metrics: Metrics, name: &str) -> Span {
+        let started = metrics.enabled().then(Instant::now);
+        Span {
+            metrics,
+            path: name.to_owned(),
+            started,
+        }
+    }
+
+    /// Open a nested span recording under `self.path() + "/" + name`.
+    pub fn child(&self, name: &str) -> Span {
+        let path = format!("{}/{name}", self.path);
+        let started = self.metrics.enabled().then(Instant::now);
+        Span {
+            metrics: self.metrics.clone(),
+            path,
+            started,
+        }
+    }
+
+    /// The timer name this span records under.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Seconds elapsed so far (0 on the no-op path).
+    pub fn elapsed_s(&self) -> f64 {
+        self.started.map_or(0.0, |t| t.elapsed().as_secs_f64())
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(t) = self.started {
+            self.metrics
+                .timer_observe(&self.path, t.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop() {
+        let m = Metrics::collecting();
+        {
+            let _s = m.span("outer");
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.timers["outer"].count, 1);
+        assert!(snap.timers["outer"].total_s >= 0.0);
+    }
+
+    #[test]
+    fn children_join_paths() {
+        let m = Metrics::collecting();
+        let outer = m.span("a");
+        let inner = outer.child("b");
+        assert_eq!(inner.path(), "a/b");
+        let leaf = inner.child("c");
+        assert_eq!(leaf.path(), "a/b/c");
+        drop(leaf);
+        drop(inner);
+        drop(outer);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.timers.keys().cloned().collect::<Vec<_>>(),
+            vec!["a", "a/b", "a/b/c"]
+        );
+    }
+
+    #[test]
+    fn noop_spans_never_read_the_clock() {
+        let m = Metrics::noop();
+        let s = m.span("x");
+        assert_eq!(s.elapsed_s(), 0.0);
+        assert!(s.started.is_none());
+    }
+}

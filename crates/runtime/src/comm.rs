@@ -8,15 +8,28 @@
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::sync::{Arc, Barrier};
+use std::time::Instant;
 
 /// Raw message payload moved between ranks.
 type Payload = Vec<u8>;
+
+/// Per-rank collective statistics: how many collectives this rank entered
+/// and how long it spent inside them (including the wait for peers).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CollectiveStats {
+    /// Number of collective operations entered.
+    pub calls: u64,
+    /// Wall-clock seconds spent inside collectives.
+    pub seconds: f64,
+}
 
 struct Shared {
     size: usize,
     barrier: Barrier,
     /// `bytes[src * size + dst]` — per-pair traffic in bytes.
     traffic: Mutex<Vec<u64>>,
+    /// Per-rank collective call counts and latencies.
+    collectives: Mutex<Vec<CollectiveStats>>,
 }
 
 /// Per-pair byte counts recorded by the collectives: the communication
@@ -25,6 +38,7 @@ struct Shared {
 pub struct CommLedger {
     size: usize,
     bytes: Vec<u64>,
+    collectives: Vec<CollectiveStats>,
 }
 
 impl CommLedger {
@@ -58,6 +72,17 @@ impl CommLedger {
     pub fn nonzero_pairs(&self) -> usize {
         self.bytes.iter().filter(|&&b| b > 0).count()
     }
+
+    /// The full per-pair byte matrix, row-major `size × size`
+    /// (`matrix[src * size + dst]`), for export.
+    pub fn byte_matrix(&self) -> Vec<u64> {
+        self.bytes.clone()
+    }
+
+    /// Collective call count and latency of `rank`.
+    pub fn collectives(&self, rank: usize) -> CollectiveStats {
+        self.collectives[rank]
+    }
 }
 
 /// Handle held by one rank inside [`run_ranks`].
@@ -83,7 +108,17 @@ impl Communicator {
 
     /// Synchronize all ranks.
     pub fn barrier(&self) {
+        let t = Instant::now();
         self.shared.barrier.wait();
+        self.record_collective(t);
+    }
+
+    fn record_collective(&self, started: Instant) {
+        let elapsed = started.elapsed().as_secs_f64();
+        let mut c = self.shared.collectives.lock();
+        let s = &mut c[self.rank];
+        s.calls += 1;
+        s.seconds += elapsed;
     }
 
     fn record(&self, dst: usize, bytes: usize) {
@@ -98,6 +133,7 @@ impl Communicator {
     /// not traffic.
     pub fn alltoallv(&self, send: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
         assert_eq!(send.len(), self.size(), "one send buffer per rank");
+        let t = Instant::now();
         let mut own: Option<Vec<f32>> = None;
         for (dst, buf) in send.into_iter().enumerate() {
             if dst == self.rank {
@@ -109,7 +145,7 @@ impl Communicator {
                     .expect("peer rank hung up");
             }
         }
-        (0..self.size())
+        let out = (0..self.size())
             .map(|src| {
                 if src == self.rank {
                     own.take().unwrap()
@@ -117,7 +153,9 @@ impl Communicator {
                     f32_of_bytes(self.receivers[src].recv().expect("peer rank hung up"))
                 }
             })
-            .collect()
+            .collect();
+        self.record_collective(t);
+        out
     }
 
     /// MPI_Allgather of one buffer per rank (returned in rank order).
@@ -145,6 +183,7 @@ impl Communicator {
     /// telling each peer which sinogram rows will arrive from us).
     pub fn alltoallv_u32(&self, send: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
         assert_eq!(send.len(), self.size(), "one send buffer per rank");
+        let t = Instant::now();
         let mut own: Option<Vec<u32>> = None;
         for (dst, buf) in send.into_iter().enumerate() {
             if dst == self.rank {
@@ -158,7 +197,7 @@ impl Communicator {
                 self.senders[dst].send(bytes).expect("peer rank hung up");
             }
         }
-        (0..self.size())
+        let out = (0..self.size())
             .map(|src| {
                 if src == self.rank {
                     own.take().unwrap()
@@ -169,7 +208,9 @@ impl Communicator {
                         .collect()
                 }
             })
-            .collect()
+            .collect();
+        self.record_collective(t);
+        out
     }
 
     /// MPI_Alltoall of u64 counts (metadata exchanges).
@@ -238,6 +279,7 @@ where
         size,
         barrier: Barrier::new(size),
         traffic: Mutex::new(vec![0; size * size]),
+        collectives: Mutex::new(vec![CollectiveStats::default(); size]),
     });
 
     // channels: txs[src][dst] pairs with rxs[dst][src]. Pushing one
@@ -282,6 +324,7 @@ where
     let ledger = CommLedger {
         size,
         bytes: shared.traffic.lock().clone(),
+        collectives: shared.collectives.lock().clone(),
     };
     (results.into_iter().map(|r| r.unwrap()).collect(), ledger)
 }
@@ -395,6 +438,29 @@ mod tests {
         let expect: f32 = (0..10).map(|r| 3.0 * r as f32).sum();
         for r in results {
             assert_eq!(r, expect);
+        }
+    }
+
+    #[test]
+    fn collective_stats_count_calls_and_time() {
+        let (_, ledger) = run_ranks(3, |c| {
+            for _ in 0..4 {
+                c.alltoallv((0..3).map(|_| vec![1.0f32]).collect());
+            }
+            c.barrier();
+            c.alltoallv_u32((0..3).map(|_| vec![7u32]).collect());
+        });
+        for rank in 0..3 {
+            let s = ledger.collectives(rank);
+            assert_eq!(s.calls, 6, "rank {rank}: 4 alltoallv + barrier + u32");
+            assert!(s.seconds >= 0.0);
+        }
+        // The byte matrix export matches the per-pair accessor.
+        let m = ledger.byte_matrix();
+        for src in 0..3 {
+            for dst in 0..3 {
+                assert_eq!(m[src * 3 + dst], ledger.bytes(src, dst));
+            }
         }
     }
 

@@ -22,7 +22,7 @@
 mod comm;
 mod model;
 
-pub use comm::{run_ranks, CommLedger, Communicator};
+pub use comm::{run_ranks, CollectiveStats, CommLedger, Communicator};
 pub use model::{
     iteration_time, KernelTimes, KernelVolumes, MachineSpec, BLUE_WATERS, COOLEY, THETA,
 };

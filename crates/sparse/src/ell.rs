@@ -96,6 +96,13 @@ impl EllMatrix {
         self.padded_nnz
     }
 
+    /// Bytes of matrix data one SpMV streams: every padded slot moves a
+    /// 4-byte column index plus a 4-byte value (padding is multiplied, not
+    /// skipped, so it costs the same bandwidth).
+    pub fn regular_bytes(&self) -> u64 {
+        self.padded_nnz as u64 * 8
+    }
+
     /// `y = A·x` with one "thread block" per partition.
     pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
         let mut y = vec![0f32; self.nrows];
@@ -191,5 +198,12 @@ mod tests {
         assert_eq!(ell.nrows(), 5);
         assert_eq!(ell.ncols(), 5);
         assert_eq!(ell.nnz(), 10);
+    }
+
+    #[test]
+    fn regular_bytes_counts_padded_slots() {
+        let ell = EllMatrix::from_csr(&sample(), 2);
+        assert_eq!(ell.regular_bytes(), ell.padded_nnz() as u64 * 8);
+        assert!(ell.regular_bytes() >= ell.nnz() as u64 * 8);
     }
 }

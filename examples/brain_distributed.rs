@@ -7,7 +7,7 @@
 //! cargo run --release --example brain_distributed [scale_divisor] [ranks]
 //! ```
 
-use memxct::{DistConfig, Reconstructor};
+use memxct::prelude::*;
 use xct_geometry::{simulate_sinogram, NoiseModel, RDS2};
 
 fn main() {

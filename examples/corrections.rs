@@ -7,7 +7,7 @@
 //! cargo run --release --example corrections [grid_size]
 //! ```
 
-use memxct::{Reconstructor, StopRule};
+use memxct::prelude::*;
 use xct_geometry::{
     correct_center, remove_rings, shepp_logan, shift_sinogram, simulate_sinogram, Grid, NoiseModel,
     ScanGeometry, Sinogram,

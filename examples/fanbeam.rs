@@ -11,7 +11,7 @@
 //! cargo run --release --example fanbeam [grid_size]
 //! ```
 
-use memxct::{cgls, StopRule};
+use memxct::prelude::*;
 use xct_geometry::{shepp_logan, simulate_sinogram_fan, FanBeamGeometry, Grid};
 use xct_hilbert::TwoLevelOrdering;
 use xct_sparse::{BufferedCsr, CsrMatrix};

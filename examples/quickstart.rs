@@ -9,7 +9,7 @@
 //! preprocessing (two-level pseudo-Hilbert ordering + memoized matrices) →
 //! 30 CG iterations → row-major image.
 
-use memxct::{Reconstructor, StopRule};
+use memxct::prelude::*;
 use xct_geometry::{shepp_logan, simulate_sinogram, Grid, NoiseModel, ScanGeometry};
 
 fn main() {

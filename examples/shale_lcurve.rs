@@ -10,7 +10,7 @@
 //! 93×128 — small enough to run hundreds of iterations in seconds while
 //! keeping the ray geometry representative.
 
-use memxct::{Reconstructor, StopRule};
+use memxct::prelude::*;
 use xct_geometry::{simulate_sinogram, NoiseModel, RDS1};
 
 fn main() {

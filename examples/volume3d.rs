@@ -6,7 +6,7 @@
 //! cargo run --release --example volume3d [grid_size] [slices]
 //! ```
 
-use memxct::{Reconstructor, StopRule};
+use memxct::prelude::*;
 use xct_geometry::{phantom_volume, shepp_logan, simulate_volume, NoiseModel, ScanGeometry};
 
 fn main() {
