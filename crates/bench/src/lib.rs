@@ -13,6 +13,7 @@
 //!   wherever the paper states them.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::time::Instant;
 use xct_geometry::{simulate_sinogram, Dataset, NoiseModel, Sinogram};
@@ -215,6 +216,7 @@ pub fn streamed_miss_rate(
     let grid = ds.grid();
     let scan = ds.scan();
     let mut sim = xct_cachesim::CacheSim::new(cache);
+    // in-range: ray count is bounded by the u32 scan geometry
     for rank in 0..scan.num_rays() as u32 {
         let (chan, proj) = sino_ord.cell(rank);
         let ray = scan.ray(proj, chan);

@@ -10,6 +10,7 @@
 //! tile), K80 (1.5 MB L2), P100 (4 MB L2), V100 (6 MB L2).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod cache;
 mod trace;

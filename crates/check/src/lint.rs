@@ -1,0 +1,552 @@
+//! In-repo source lint driver (`cargo run -p xct-check --bin xct-lint`).
+//!
+//! The workspace builds fully offline, so custom lints cannot come from
+//! dylint or crates.io plugins; instead this module implements a small,
+//! repo-tuned source scanner with three rules:
+//!
+//! - **narrow-cast** — forbid `as u16` / `as u32` narrowing casts. The
+//!   blessed exception is the `BufferIndex` helpers in
+//!   `crates/sparse/src/buffered.rs`, whose unchecked path is only reached
+//!   after `try_from_usize` validated the plan. Any other site must carry a
+//!   `// in-range: <why>` (or `// lint: allow(narrow-cast) <why>`) waiver
+//!   stating the range argument.
+//! - **no-panic** — forbid `unwrap()` / `expect(` / `panic!` / panicking
+//!   asserts in public API paths (`crates/memxct/src`, `crates/cli/src`),
+//!   continuing the `BuildError` migration. `debug_assert!` is allowed.
+//!   Waive with `// lint: allow(no-panic) <why>`.
+//! - **unsafe** — every crate root must declare `#![forbid(unsafe_code)]`
+//!   unless the crate actually contains `unsafe`, in which case each
+//!   `unsafe` site must carry a `// SAFETY:` comment on or just above it.
+//!
+//! The scanner strips string literals and comments before matching (so doc
+//! examples and messages never fire a rule) and skips `#[cfg(test)]`
+//! modules, `tests/`, `benches/`, and `target/` entirely. Waivers are read
+//! from the raw line or the line above the finding.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Which lint rule fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintRule {
+    /// Unchecked `as u16` / `as u32` narrowing cast.
+    NarrowCast,
+    /// `unwrap()` / `expect()` / panicking assert in a public API path.
+    NoPanic,
+    /// Undeclared `unsafe` policy (missing `#![forbid(unsafe_code)]` or
+    /// an undocumented `unsafe` site).
+    UnsafeCode,
+}
+
+impl LintRule {
+    /// The name used in `// lint: allow(<name>)` waivers.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintRule::NarrowCast => "narrow-cast",
+            LintRule::NoPanic => "no-panic",
+            LintRule::UnsafeCode => "unsafe",
+        }
+    }
+}
+
+/// One lint finding: file, 1-based line, rule, and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: LintRule,
+    /// What was found and how to fix or waive it.
+    pub message: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Strip comments and string/char literals from one line of source,
+/// carrying block-comment state across lines. Stripped spans become
+/// spaces so byte offsets are preserved.
+fn strip_code(line: &str, in_block_comment: &mut bool) -> String {
+    let bytes = line.as_bytes();
+    let mut out = vec![b' '; bytes.len()];
+    let mut i = 0;
+    let mut in_str = false;
+    while i < bytes.len() {
+        if *in_block_comment {
+            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                *in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if in_str {
+            match bytes[i] {
+                b'\\' => i += 2, // skip the escaped char
+                b'"' => {
+                    in_str = false;
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+            continue;
+        }
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break, // line comment
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                *in_block_comment = true;
+                i += 2;
+            }
+            b'"' => {
+                in_str = true;
+                i += 1;
+            }
+            b'\'' => {
+                // Char literal ('x', '\n', '\'') vs lifetime ('a). A char
+                // literal closes with a quote within a few bytes.
+                let lit_len = if i + 2 < bytes.len() && bytes[i + 1] == b'\\' {
+                    // escaped char; find the closing quote
+                    bytes[i + 2..]
+                        .iter()
+                        .position(|&b| b == b'\'')
+                        .map(|p| p + 3)
+                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                    Some(3)
+                } else {
+                    None
+                };
+                match lit_len {
+                    Some(len) => i += len, // strip the literal
+                    None => {
+                        out[i] = bytes[i]; // lifetime tick: keep it
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out[i] = b;
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// Find `token` in `code` such that the previous byte is not part of an
+/// identifier (so `assert!` does not match inside `debug_assert!`).
+fn has_token(code: &str, token: &str) -> bool {
+    // Only identifier-leading tokens need a boundary check on the left
+    // (`.unwrap()` is already delimited by its dot).
+    let first = token.as_bytes()[0];
+    let need_boundary = first.is_ascii_alphanumeric() || first == b'_';
+    let last = *token.as_bytes().last().unwrap_or(&b' ');
+    let tail_boundary = last.is_ascii_alphanumeric() || last == b'_';
+    let mut start = 0;
+    while let Some(p) = code[start..].find(token) {
+        let at = start + p;
+        let after = at + token.len();
+        let prev_ok = !need_boundary
+            || at == 0
+            || !code.as_bytes()[at - 1].is_ascii_alphanumeric() && code.as_bytes()[at - 1] != b'_';
+        let next_ok = !tail_boundary
+            || after >= code.len()
+            || !code.as_bytes()[after].is_ascii_alphanumeric() && code.as_bytes()[after] != b'_';
+        if prev_ok && next_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+/// True when a narrowing `as u16` / `as u32` cast appears: the `as`
+/// keyword followed by the narrow target type as a full token.
+fn has_narrow_cast(code: &str) -> bool {
+    for target in ["u16", "u32"] {
+        let mut start = 0;
+        while let Some(p) = code[start..].find(target) {
+            let at = start + p;
+            let after = at + target.len();
+            let after_ok = after >= code.len()
+                || !code.as_bytes()[after].is_ascii_alphanumeric()
+                    && code.as_bytes()[after] != b'_';
+            // Preceded by the `as` keyword?
+            let before = code[..at].trim_end();
+            if after_ok && before.ends_with("as") {
+                let b = before.as_bytes();
+                if b.len() == 2 || !b[b.len() - 3].is_ascii_alphanumeric() && b[b.len() - 3] != b'_'
+                {
+                    return true;
+                }
+            }
+            start = at + 1;
+        }
+    }
+    false
+}
+
+/// True when line `i` (0-based) of `raw_lines` carries a waiver for
+/// `rule`, on the same line or the immediately preceding one.
+fn waived(raw_lines: &[&str], i: usize, rule: LintRule) -> bool {
+    let allow = format!("lint: allow({})", rule.name());
+    let mut candidates = vec![raw_lines[i]];
+    if i > 0 {
+        candidates.push(raw_lines[i - 1]);
+    }
+    candidates
+        .iter()
+        .any(|l| l.contains(&allow) || (rule == LintRule::NarrowCast && l.contains("in-range:")))
+}
+
+/// True when an `unsafe` site at line `i` is documented with a
+/// `// SAFETY:` comment on the same line or within the 3 lines above.
+fn safety_documented(raw_lines: &[&str], i: usize) -> bool {
+    (i.saturating_sub(3)..=i).any(|j| raw_lines[j].contains("SAFETY:"))
+}
+
+/// Lint one file's contents under the given rules. `relpath` is only used
+/// to label findings.
+pub fn lint_file(relpath: &str, content: &str, rules: &[LintRule]) -> Vec<LintFinding> {
+    let raw_lines: Vec<&str> = content.lines().collect();
+    let mut findings = Vec::new();
+    let mut in_block_comment = false;
+    let mut depth: i64 = 0;
+    let mut skip_depth: Option<i64> = None;
+    let mut pending_cfg_test = false;
+
+    for (i, raw) in raw_lines.iter().enumerate() {
+        let code = strip_code(raw, &mut in_block_comment);
+        let trimmed = code.trim();
+
+        // Track `#[cfg(test)] mod ... { ... }` regions and skip them.
+        if skip_depth.is_none() {
+            if pending_cfg_test && has_token(&code, "mod") && code.contains('{') {
+                skip_depth = Some(depth);
+                pending_cfg_test = false;
+            } else if trimmed.contains("#[cfg(test)]") {
+                pending_cfg_test = true;
+            } else if !trimmed.is_empty() && !trimmed.starts_with("#[") {
+                pending_cfg_test = false;
+            }
+        }
+        let active = skip_depth.is_none();
+
+        if active {
+            for &rule in rules {
+                let fired = match rule {
+                    LintRule::NarrowCast => has_narrow_cast(&code),
+                    LintRule::NoPanic => {
+                        has_token(&code, ".unwrap()")
+                            || has_token(&code, ".expect(")
+                            || has_token(&code, "panic!")
+                            || has_token(&code, "unreachable!")
+                            || has_token(&code, "todo!")
+                            || has_token(&code, "unimplemented!")
+                            || has_token(&code, "assert!")
+                            || has_token(&code, "assert_eq!")
+                            || has_token(&code, "assert_ne!")
+                    }
+                    LintRule::UnsafeCode => {
+                        has_token(&code, "unsafe") && !safety_documented(&raw_lines, i)
+                    }
+                };
+                if fired && !waived(&raw_lines, i, rule) {
+                    let message = match rule {
+                        LintRule::NarrowCast => "unchecked narrowing cast; use a checked \
+                            conversion (e.g. BufferIndex::try_from_usize) or waive with \
+                            `// in-range: <why>`"
+                            .to_string(),
+                        LintRule::NoPanic => "panicking call in a public API path; return a \
+                            typed error (BuildError/LayoutError) or waive with \
+                            `// lint: allow(no-panic) <why>`"
+                            .to_string(),
+                        LintRule::UnsafeCode => {
+                            "`unsafe` without a `// SAFETY:` comment".to_string()
+                        }
+                    };
+                    findings.push(LintFinding {
+                        file: relpath.to_string(),
+                        line: i + 1,
+                        rule,
+                        message,
+                    });
+                }
+            }
+        }
+
+        depth += code.matches('{').count() as i64 - code.matches('}').count() as i64;
+        if let Some(d) = skip_depth {
+            if depth <= d {
+                skip_depth = None;
+            }
+        }
+    }
+    findings
+}
+
+/// Which rules apply to a workspace-relative path, or `None` to skip the
+/// file entirely.
+fn rules_for(rel: &str) -> Option<Vec<LintRule>> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts
+        .iter()
+        .any(|p| *p == "target" || *p == "tests" || *p == "benches")
+    {
+        return None;
+    }
+    if parts.first() == Some(&"shims") {
+        // Vendored shims: only the unsafe policy applies.
+        return Some(vec![LintRule::UnsafeCode]);
+    }
+    let public_api = rel.starts_with("crates/memxct/src") || rel.starts_with("crates/cli/src");
+    if public_api {
+        Some(vec![
+            LintRule::NarrowCast,
+            LintRule::NoPanic,
+            LintRule::UnsafeCode,
+        ])
+    } else {
+        Some(vec![LintRule::NarrowCast, LintRule::UnsafeCode])
+    }
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name == "tests" || name == "benches" {
+                continue;
+            }
+            walk(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lint the whole workspace rooted at `root`. Scans `crates/`, `shims/`,
+/// `src/`, and `examples/`; returns all findings sorted by path.
+pub fn lint_tree(root: &Path) -> Vec<LintFinding> {
+    let mut files = Vec::new();
+    for top in ["crates", "shims", "src", "examples"] {
+        walk(&root.join(top), &mut files);
+    }
+    let mut findings = Vec::new();
+    let mut crate_infos: Vec<(String, bool, bool)> = Vec::new(); // (root file, has_forbid, crate_has_unsafe)
+
+    // Group files by crate directory for the forbid(unsafe_code) rule.
+    let mut crate_unsafe: std::collections::HashMap<String, bool> =
+        std::collections::HashMap::new();
+    let mut contents: Vec<(String, String)> = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(content) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        if let Some(crate_dir) = crate_dir_of(&rel) {
+            let mut in_block = false;
+            let has_unsafe = content
+                .lines()
+                .any(|l| has_token(&strip_code(l, &mut in_block), "unsafe"));
+            let entry = crate_unsafe.entry(crate_dir).or_insert(false);
+            *entry = *entry || has_unsafe;
+        }
+        contents.push((rel, content));
+    }
+
+    for (rel, content) in &contents {
+        if let Some(rules) = rules_for(rel) {
+            findings.extend(lint_file(rel, content, &rules));
+        }
+        // Crate roots must declare the unsafe policy.
+        if rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs") {
+            let crate_dir = crate_dir_of(rel).unwrap_or_default();
+            let has_forbid = content.contains("#![forbid(unsafe_code)]");
+            let has_unsafe = crate_unsafe.get(&crate_dir).copied().unwrap_or(false);
+            crate_infos.push((rel.clone(), has_forbid, has_unsafe));
+        }
+    }
+
+    for (rel, has_forbid, has_unsafe) in crate_infos {
+        if !has_forbid && !has_unsafe {
+            findings.push(LintFinding {
+                file: rel,
+                line: 0,
+                rule: LintRule::UnsafeCode,
+                message: "crate uses no `unsafe`; declare `#![forbid(unsafe_code)]` at the \
+                    crate root"
+                    .to_string(),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+/// The `crates/<name>` / `shims/<name>` prefix a path belongs to, or
+/// `"."` for the workspace-root `src/`.
+fn crate_dir_of(rel: &str) -> Option<String> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.first() {
+        Some(&"crates") | Some(&"shims") if parts.len() > 2 => {
+            Some(format!("{}/{}", parts[0], parts[1]))
+        }
+        Some(&"src") => Some(".".to_string()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: &[LintRule] = &[
+        LintRule::NarrowCast,
+        LintRule::NoPanic,
+        LintRule::UnsafeCode,
+    ];
+
+    #[test]
+    fn narrow_cast_fires_and_waives() {
+        let f = lint_file("x.rs", "let a = b as u32;\n", &[LintRule::NarrowCast]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, LintRule::NarrowCast);
+        assert_eq!(f[0].line, 1);
+
+        let f = lint_file(
+            "x.rs",
+            "let a = b as u32; // in-range: b < ncols which fits u32\n",
+            &[LintRule::NarrowCast],
+        );
+        assert!(f.is_empty(), "{f:?}");
+
+        let f = lint_file(
+            "x.rs",
+            "// lint: allow(narrow-cast) blessed helper\nlet a = b as u16;\n",
+            &[LintRule::NarrowCast],
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn narrow_cast_needs_the_as_keyword() {
+        // Mentions of the type alone are fine.
+        let f = lint_file(
+            "x.rs",
+            "let a: u32 = 7;\nfn f(x: u16) {}\n",
+            &[LintRule::NarrowCast],
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // `as usize` (widening) is fine.
+        let f = lint_file("x.rs", "let a = b as usize;\n", &[LintRule::NarrowCast]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn no_panic_fires_on_unwrap_but_not_debug_assert() {
+        let src = "pub fn f() {\n    x.unwrap();\n    debug_assert!(a < b);\n}\n";
+        let f = lint_file("x.rs", src, &[LintRule::NoPanic]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+
+        let src = "assert_eq!(a, b);\n";
+        let f = lint_file("x.rs", src, &[LintRule::NoPanic]);
+        assert_eq!(f.len(), 1, "{f:?}");
+
+        let src = "x.unwrap(); // lint: allow(no-panic) documented panicking shim\n";
+        let f = lint_file("x.rs", src, &[LintRule::NoPanic]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn strings_comments_and_test_modules_are_skipped() {
+        let src = r#"
+pub fn f() {
+    let msg = "do not unwrap() here or panic!";
+    // a comment mentioning x as u32 and unwrap()
+    /* block comment: panic! as u16 */
+}
+#[cfg(test)]
+mod tests {
+    fn g() {
+        oops.unwrap();
+        let a = b as u32;
+    }
+}
+"#;
+        let f = lint_file("x.rs", src, ALL);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let src = "pub fn f() {\n    unsafe { g() }\n}\n";
+        let f = lint_file("x.rs", src, &[LintRule::UnsafeCode]);
+        assert_eq!(f.len(), 1, "{f:?}");
+
+        let src = "pub fn f() {\n    // SAFETY: g has no preconditions\n    unsafe { g() }\n}\n";
+        let f = lint_file("x.rs", src, &[LintRule::UnsafeCode]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn doc_examples_do_not_fire() {
+        let src =
+            "/// ```\n/// let x = v.unwrap();\n/// let y = x as u32;\n/// ```\npub fn f() {}\n";
+        let f = lint_file("x.rs", src, ALL);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_survive_stripping() {
+        let mut in_block = false;
+        let code = strip_code("if c == '\"' { x } else { y }", &mut in_block);
+        assert!(!code.contains('"'));
+        let code = strip_code("fn f<'a>(x: &'a str) -> &'a str { x }", &mut in_block);
+        assert!(code.contains("'a"), "{code}");
+    }
+
+    #[test]
+    fn whole_workspace_is_clean() {
+        // The repository's own acceptance criterion: `xct-lint` passes on
+        // the tree. CARGO_MANIFEST_DIR = crates/check, two levels down.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root");
+        let findings = lint_tree(root);
+        assert!(
+            findings.is_empty(),
+            "xct-lint found {} issue(s):\n{}",
+            findings.len(),
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

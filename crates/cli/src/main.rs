@@ -9,6 +9,8 @@
 //!                        [--metrics metrics.json]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::exit;
 
@@ -27,6 +29,7 @@ fn main() {
         "info" => info(),
         "simulate" => simulate(&opts),
         "reconstruct" => reconstruct(&opts),
+        "check" => check(&opts),
         "help" | "--help" | "-h" => usage_and_exit(),
         other => {
             eprintln!("unknown command `{other}`");
@@ -45,7 +48,9 @@ USAGE:
   memxct-cli reconstruct --dataset <name> [--scale N] [--sino FILE]
                          [--solver cg|sirt|os-sirt|fbp] [--iters N]
                          [--ranks N] [--noise I0] [--out FILE.pgm]
-                         [--metrics FILE.json]
+                         [--metrics FILE.json] [--check]
+  memxct-cli check       --dataset <name> [--scale N] [--ranks N]
+                         [--corrupt KIND]
 
 DATASETS: ads1 ads2 ads3 ads4 rds1 rds2 (see `info`)
   --scale N      divide both sinogram dimensions by N (default 16)
@@ -53,7 +58,11 @@ DATASETS: ads1 ads2 ads3 ads4 rds1 rds2 (see `info`)
   --solver       cg (default), sirt, os-sirt (8 subsets), fbp
   --ranks N      run the distributed CG path on N thread-ranks
   --out FILE     .pgm for images, .raw for sinograms
-  --metrics FILE write the run's metrics snapshot as JSON"
+  --metrics FILE write the run's metrics snapshot as JSON
+  --check        validate every memoized structure before reconstructing
+                 (exit 3 if any invariant is violated)
+  --corrupt KIND inject one fault before checking (check only):
+                 rowptr | nan | transpose | permutation | stage-oversize"
     );
     exit(2);
 }
@@ -68,6 +77,8 @@ struct Options {
     sino: Option<PathBuf>,
     out: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    check: bool,
+    corrupt: Option<String>,
 }
 
 impl Options {
@@ -82,6 +93,8 @@ impl Options {
             sino: None,
             out: None,
             metrics: None,
+            check: false,
+            corrupt: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -110,6 +123,8 @@ impl Options {
                 "--sino" => o.sino = Some(PathBuf::from(value("--sino"))),
                 "--out" => o.out = Some(PathBuf::from(value("--out"))),
                 "--metrics" => o.metrics = Some(PathBuf::from(value("--metrics"))),
+                "--check" => o.check = true,
+                "--corrupt" => o.corrupt = Some(value("--corrupt")),
                 other => {
                     eprintln!("unknown flag `{other}`");
                     exit(2);
@@ -223,12 +238,27 @@ fn reconstruct(opts: &Options) {
 
     let t = std::time::Instant::now();
     let rec = ReconstructorBuilder::new(grid, scan)
+        .validate_plan(opts.check)
         .build()
         .unwrap_or_else(|e| {
+            if let BuildError::PlanCheck(report) = &e {
+                eprintln!("plan validation failed:");
+                for v in report.violations() {
+                    eprintln!("  {v}");
+                }
+                exit(3);
+            }
             eprintln!("cannot build reconstructor: {e}");
             exit(2);
         });
-    println!("preprocessing: {:.2}s", t.elapsed().as_secs_f64());
+    if opts.check {
+        println!(
+            "preprocessing: {:.2}s (all invariants hold)",
+            t.elapsed().as_secs_f64()
+        );
+    } else {
+        println!("preprocessing: {:.2}s", t.elapsed().as_secs_f64());
+    }
 
     let t = std::time::Instant::now();
     let (image, iters_run) = match (opts.solver.as_str(), opts.ranks) {
@@ -308,4 +338,150 @@ fn reconstruct(opts: &Options) {
     let max = image.iter().cloned().fold(f32::MIN, f32::max);
     let min = image.iter().cloned().fold(f32::MAX, f32::min);
     println!("image range: [{min:.4}, {max:.4}]");
+}
+
+/// Inject one deliberate fault into the memoized structures so the check
+/// sweep (and CI) can prove corruption is caught, not silently computed
+/// with. Each kind corrupts exactly one field.
+fn inject_corruption(ops: &mut Operators, kind: &str) {
+    use xct_sparse::{BufferedCsrImpl, CsrMatrix};
+    match kind {
+        "rowptr" => {
+            // Raise one interior row pointer above its successor.
+            let mut rowptr = ops.a.rowptr().to_vec();
+            let mid = rowptr.len() / 2;
+            rowptr[mid] = rowptr[mid + 1] + 1;
+            ops.a = CsrMatrix::from_raw_unchecked(
+                ops.a.nrows(),
+                ops.a.ncols(),
+                rowptr,
+                ops.a.colind().to_vec(),
+                ops.a.values().to_vec(),
+            );
+        }
+        "nan" => {
+            let mut values = ops.a.values().to_vec();
+            values[0] = f32::NAN;
+            ops.a = CsrMatrix::from_raw_unchecked(
+                ops.a.nrows(),
+                ops.a.ncols(),
+                ops.a.rowptr().to_vec(),
+                ops.a.colind().to_vec(),
+                values,
+            );
+        }
+        "transpose" => {
+            // Perturb one backprojection weight: At is no longer the scan
+            // transpose of A.
+            let mut values = ops.at.values().to_vec();
+            values[0] += 1.0;
+            ops.at = CsrMatrix::from_raw_unchecked(
+                ops.at.nrows(),
+                ops.at.ncols(),
+                ops.at.rowptr().to_vec(),
+                ops.at.colind().to_vec(),
+                values,
+            );
+        }
+        "permutation" => {
+            // Point two tomogram cells at the same rank.
+            let ord = &ops.tomo_ord;
+            let mut rank_of = ord.rank_of().to_vec();
+            rank_of[0] = rank_of[1];
+            ops.tomo_ord = xct_hilbert::Ordering2D::from_raw_tables_unchecked(
+                ord.width(),
+                ord.height(),
+                ord.kind(),
+                rank_of,
+                ord.pos_of().to_vec(),
+            );
+        }
+        "stage-oversize" => {
+            // Claim a buffer capacity the 16-bit indices cannot address.
+            let Some(b) = ops.a_buf.take() else {
+                eprintln!("stage-oversize needs buffered layouts");
+                exit(2);
+            };
+            ops.a_buf = Some(BufferedCsrImpl::from_raw_parts_unchecked(
+                b.nrows(),
+                b.ncols(),
+                b.partsize(),
+                u16::MAX as usize + 2,
+                b.nnz(),
+                b.partdispl().to_vec(),
+                b.stagedispl().to_vec(),
+                b.stage_map().to_vec(),
+                b.entry_displ().to_vec(),
+                b.entry_ind().to_vec(),
+                b.entry_val().to_vec(),
+            ));
+        }
+        other => {
+            eprintln!(
+                "unknown corruption `{other}`; kinds: rowptr nan transpose permutation stage-oversize"
+            );
+            exit(2);
+        }
+    }
+    println!("injected corruption: {kind}");
+}
+
+/// `memxct-cli check`: preprocess, optionally inject one fault, and run
+/// the full static invariant sweep. Exits 0 when every invariant holds and
+/// 3 when any is violated (2 for usage errors).
+fn check(opts: &Options) {
+    let ds = opts.dataset_scaled();
+    println!(
+        "checking {} at scale 1/{}: {}x{} sinogram",
+        ds.name, opts.scale, ds.projections, ds.channels
+    );
+    let config = Config {
+        build_ell: true,
+        ..Config::default()
+    };
+    let t = std::time::Instant::now();
+    let mut ops = try_preprocess(ds.grid(), ds.scan(), &config).unwrap_or_else(|e| {
+        eprintln!("cannot preprocess: {e}");
+        exit(2);
+    });
+    println!("preprocessing: {:.2}s", t.elapsed().as_secs_f64());
+
+    // Rank plans are derived before the fault is injected (deriving them
+    // from corrupted structures could crash instead of reporting).
+    let plans = opts.ranks.map(|ranks| {
+        if ranks == 0 {
+            eprintln!("--ranks must be positive");
+            exit(2);
+        }
+        memxct::dist::build_plans(&ops, ranks, true)
+    });
+
+    if let Some(kind) = &opts.corrupt {
+        inject_corruption(&mut ops, kind);
+    }
+
+    let t = std::time::Instant::now();
+    let checker = plan_checker(&ops);
+    let mut names = checker.names();
+    let mut report = checker.run();
+    if let Some(plans) = &plans {
+        let dist = dist_checker(&ops, plans);
+        names.extend(dist.names());
+        dist.run_into(&mut report);
+    }
+    println!(
+        "ran {} checks in {:.2}s: {}",
+        names.len(),
+        t.elapsed().as_secs_f64(),
+        names.join(", ")
+    );
+    if report.is_ok() {
+        println!("all invariants hold");
+        return;
+    }
+    eprintln!("{} invariant violation(s):", report.len());
+    for v in report.violations() {
+        eprintln!("  {v}");
+    }
+    exit(3);
 }

@@ -12,6 +12,7 @@
 //! with row/column-sum normalization.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use rayon::prelude::*;
 use xct_geometry::{trace_ray, Grid, ScanGeometry, Sinogram};
@@ -91,6 +92,7 @@ impl CompXct {
             .enumerate()
             .for_each(|(p, row)| {
                 for (c, out) in row.iter_mut().enumerate() {
+                    // in-range: projection/channel indices are bounded by the u32 scan dims
                     let ray = self.scan.ray(p as u32, c as u32);
                     let mut acc = 0f32;
                     trace_ray(&self.grid, &ray, |pixel, len| {
@@ -119,6 +121,7 @@ impl CompXct {
                     for c in 0..n_ch {
                         let v = r[p * n_ch + c];
                         if v != 0.0 {
+                            // in-range: projection/channel indices are bounded by the u32 scan dims
                             let ray = self.scan.ray(p as u32, c as u32);
                             trace_ray(&self.grid, &ray, |pixel, len| {
                                 local[pixel as usize] += v * len;

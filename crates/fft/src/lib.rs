@@ -9,6 +9,7 @@
 //! filters, built from scratch (no external FFT dependency).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod fft;
 mod filter;

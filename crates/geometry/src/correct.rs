@@ -21,8 +21,10 @@ pub fn estimate_center_shift(sino: &Sinogram) -> f64 {
     let n = scan.num_channels() as usize;
     let m = scan.num_projections();
     assert!(m >= 2, "need at least two projections");
+    // in-range: channel index c < num_channels, a u32 domain
     let first: Vec<f64> = (0..n).map(|c| sino.get(0, c as u32) as f64).collect();
     let last_rev: Vec<f64> = (0..n)
+        // in-range: channel index < num_channels, a u32 domain
         .map(|c| sino.get(m - 1, (n - 1 - c) as u32) as f64)
         .collect();
 
@@ -76,11 +78,13 @@ pub fn shift_sinogram(sino: &Sinogram, shift: f64) -> Sinogram {
             let frac = (pos - i0) as f32;
             let get = |i: f64| -> f32 {
                 if i >= 0.0 && (i as usize) < n {
+                    // in-range: i was bounds-checked against 0..n just above
                     sino.get(p, i as u32)
                 } else {
                     0.0
                 }
             };
+            // in-range: c < num_channels fits u32
             out[scan.ray_index(p, c as u32) as usize] =
                 get(i0) * (1.0 - frac) + get(i0 + 1.0) * frac;
         }
@@ -123,6 +127,7 @@ pub fn remove_rings(sino: &Sinogram, window: usize) -> Sinogram {
     let sorted: Vec<Vec<(f32, u32)>> = (0..n)
         .map(|c| {
             let mut col: Vec<(f32, u32)> = (0..m)
+                // in-range: projection/channel indices are bounded by the u32 sinogram dims
                 .map(|p| (sino.get(p as u32, c as u32), p as u32))
                 .collect();
             col.sort_by(|a, b| f32::total_cmp(&a.0, &b.0));
@@ -180,15 +185,20 @@ pub fn remove_rings(sino: &Sinogram, window: usize) -> Sinogram {
         let right = (c + 1..n).find(|&cc| !flagged[cc]);
         let mut diffs: Vec<f32> = (0..m)
             .map(|p| {
+                // in-range: projection/channel indices are bounded by the u32 sinogram dims
                 let v = sino.get(p as u32, c as u32);
                 let interp = match (left, right) {
                     (Some(l), Some(r)) => {
                         let t = (c - l) as f32 / (r - l) as f32;
+                        // in-range: l is a channel index, bounded by the u32 sinogram dims
                         let vl = sino.get(p as u32, l as u32);
+                        // in-range: r is a channel index, bounded by the u32 sinogram dims
                         let vr = sino.get(p as u32, r as u32);
                         vl + t * (vr - vl)
                     }
+                    // in-range: l is a channel index, bounded by the u32 sinogram dims
                     (Some(l), None) => sino.get(p as u32, l as u32),
+                    // in-range: r is a channel index, bounded by the u32 sinogram dims
                     (None, Some(r)) => sino.get(p as u32, r as u32),
                     (None, None) => v,
                 };

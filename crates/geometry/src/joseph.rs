@@ -36,9 +36,11 @@ pub fn trace_ray_joseph<F: FnMut(u32, f32)>(grid: &Grid, ray: &Ray, mut emit: F)
             let frac = (yf - j0 as f64) as f32;
             let w = step as f32;
             if j0 >= 0 && j0 < n {
+                // in-range: j0 was bounds-checked against the grid dimension just above
                 emit(grid.pixel_index(i as u32, j0 as u32), w * (1.0 - frac));
             }
             if j0 + 1 >= 0 && j0 + 1 < n {
+                // in-range: j0 + 1 was bounds-checked against the grid dimension just above
                 emit(grid.pixel_index(i as u32, (j0 + 1) as u32), w * frac);
             }
         }
@@ -54,9 +56,11 @@ pub fn trace_ray_joseph<F: FnMut(u32, f32)>(grid: &Grid, ray: &Ray, mut emit: F)
             let frac = (xf - i0 as f64) as f32;
             let w = step as f32;
             if i0 >= 0 && i0 < n {
+                // in-range: i0 was bounds-checked against the grid dimension just above
                 emit(grid.pixel_index(i0 as u32, j as u32), w * (1.0 - frac));
             }
             if i0 + 1 >= 0 && i0 + 1 < n {
+                // in-range: i0 + 1 was bounds-checked against the grid dimension just above
                 emit(grid.pixel_index((i0 + 1) as u32, j as u32), w * frac);
             }
         }

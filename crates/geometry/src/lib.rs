@@ -16,6 +16,7 @@
 //! - [`simulate_sinogram`]: forward measurement with optional photon noise.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod correct;
 mod dataset;

@@ -95,6 +95,7 @@ pub fn trace_ray<F: FnMut(u32, f32)>(grid: &Grid, ray: &Ray, mut emit: F) {
         let len = t_next - t;
         if len > EPS {
             debug_assert!(ix >= 0 && ix < n && iy >= 0 && iy < n);
+            // in-range: debug-asserted within 0..n just above
             emit(grid.pixel_index(ix as u32, iy as u32), len as f32);
         }
         if t_next >= t_exit - EPS {

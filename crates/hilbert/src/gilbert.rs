@@ -44,6 +44,7 @@ fn generate(out: &mut Vec<(u32, u32)>, x: i64, y: i64, ax: i64, ay: i64, bx: i64
         // Trivial row fill.
         let (mut cx, mut cy) = (x, y);
         for _ in 0..w {
+            // in-range: curve coordinates stay inside the u32 w x h rectangle
             out.push((cx as u32, cy as u32));
             cx += dax;
             cy += day;
@@ -54,6 +55,7 @@ fn generate(out: &mut Vec<(u32, u32)>, x: i64, y: i64, ax: i64, ay: i64, bx: i64
         // Trivial column fill.
         let (mut cx, mut cy) = (x, y);
         for _ in 0..h {
+            // in-range: curve coordinates stay inside the u32 w x h rectangle
             out.push((cx as u32, cy as u32));
             cx += dbx;
             cy += dby;

@@ -13,6 +13,7 @@
 //! evaluation (Fig 5, Fig 9(b) of the paper).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod gilbert;
 mod hilbert_square;
@@ -44,6 +45,7 @@ pub fn next_pow2(n: u32) -> u32 {
 pub fn default_tile_size(width: u32, height: u32) -> u32 {
     let m = width.max(height).max(1);
     let target = (m as f64).sqrt();
+    // in-range: log2 of a tile count is far below u32::MAX
     let lo = (target.log2().floor() as u32).max(1);
     let lo_size = 1u32 << lo;
     let hi_size = lo_size * 2;

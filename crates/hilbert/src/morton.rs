@@ -37,6 +37,7 @@ fn compact1by1(v: u64) -> u32 {
     v = (v | (v >> 4)) & 0x00ff_00ff_00ff_00ff;
     v = (v | (v >> 8)) & 0x0000_ffff_0000_ffff;
     v = (v | (v >> 16)) & 0x0000_0000_ffff_ffff;
+    // in-range: the de-interleave mask keeps only the low 32 bits
     v as u32
 }
 

@@ -60,10 +60,33 @@ impl Ordering2D {
             assert!(x < width && y < height, "cell ({x},{y}) outside domain");
             let pos = y * width + x;
             assert_eq!(rank_of[pos as usize], u32::MAX, "cell ({x},{y}) repeated");
+            // in-range: rank < width*height which fits u32 by construction
             rank_of[pos as usize] = rank as u32;
             pos_of.push(pos);
         }
         assert_eq!(pos_of.len(), n, "visit sequence does not cover the domain");
+        Ordering2D {
+            width,
+            height,
+            kind,
+            rank_of,
+            pos_of,
+        }
+    }
+
+    /// Build an ordering directly from raw `rank_of`/`pos_of` tables with
+    /// NO bijection validation. Exists so the static invariant analysis
+    /// (`xct-check`) and fault-injection paths (`memxct-cli check
+    /// --corrupt`) can construct deliberately broken orderings; every
+    /// production path goes through [`Ordering2D::from_visit_sequence`],
+    /// which validates.
+    pub fn from_raw_tables_unchecked(
+        width: u32,
+        height: u32,
+        kind: OrderingKind,
+        rank_of: Vec<u32>,
+        pos_of: Vec<u32>,
+    ) -> Self {
         Ordering2D {
             width,
             height,
@@ -100,6 +123,7 @@ impl Ordering2D {
     pub fn hilbert_square(width: u32, height: u32) -> Self {
         let n = next_pow2(width.max(height).max(1));
         let seq = (0..(n as u64 * n as u64))
+            // in-range: d < n*n with n a padded u32 side length
             .map(move |d| hilbert_d2xy(n, d as u32))
             .filter(move |&(x, y)| x < width && y < height);
         Self::from_visit_sequence(width, height, OrderingKind::HilbertSquare, seq)
@@ -266,7 +290,9 @@ impl Ordering2D {
         while let Some(pos) = queue.pop_front() {
             let (x, y) = (pos % self.width, pos / self.width);
             let mut push = |nx: i64, ny: i64| {
+                // in-range: nx/ny are non-negative and compared against u32 dims
                 if nx >= 0 && ny >= 0 && (nx as u32) < self.width && (ny as u32) < self.height {
+                    // in-range: bounds-checked against the u32 domain just above
                     let np = (ny as u32) * self.width + nx as u32;
                     if member.contains(&np) && seen.insert(np) {
                         queue.push_back(np);

@@ -100,6 +100,7 @@ impl TwoLevelOrdering {
 
         // Base curve for one full tile, reused for every symmetry variant.
         let base: Vec<(u32, u32)> = (0..(tile as u64 * tile as u64))
+            // in-range: d < tile*tile with tile a u32 side length
             .map(|d| hilbert_d2xy(tile, d as u32))
             .collect();
 
@@ -168,6 +169,7 @@ impl TwoLevelOrdering {
                     seq.push((gx, gy));
                 }
             }
+            // in-range: per-tile cell count is at most tile*tile which fits u32
             let count = (seq.len() - before) as u32;
             tile_cells.push(count);
             tile_offsets.push(tile_offsets.last().unwrap() + count);

@@ -107,7 +107,9 @@ fn partition_domain(total: u32, tiles: Option<&TileLayout>, ranks: usize) -> Vec
         Some(layout) => layout.partition_ranks(ranks),
         None => (0..ranks)
             .map(|p| {
+                // in-range: proportional split of a u32-sized domain, so lo <= total
                 let lo = (total as u64 * p as u64 / ranks as u64) as u32;
+                // in-range: proportional split of a u32-sized domain, so hi <= total
                 let hi = (total as u64 * (p + 1) as u64 / ranks as u64) as u32;
                 lo..hi
             })
@@ -117,8 +119,11 @@ fn partition_domain(total: u32, tiles: Option<&TileLayout>, ranks: usize) -> Vec
 
 /// Build all rank plans from globally preprocessed operators.
 pub fn build_plans(ops: &Operators, ranks: usize, use_buffered: bool) -> Vec<RankPlan> {
+    // lint: allow(no-panic) documented precondition; BuildError::ZeroRanks is the checked path
     assert!(ranks > 0);
+    // in-range: domain sizes are u32 column/row counts of the CSR layout
     let tomo_ranges = partition_domain(ops.a.ncols() as u32, ops.tomo_tiles.as_ref(), ranks);
+    // in-range: domain sizes are u32 column/row counts of the CSR layout
     let sino_ranges = partition_domain(ops.a.nrows() as u32, ops.sino_tiles.as_ref(), ranks);
 
     // One sweep over the global matrix buckets every entry by the rank
@@ -139,6 +144,7 @@ pub fn build_plans(ops: &Operators, ranks: usize, use_buffered: bool) -> Vec<Ran
                 scratch[owner].push((c - tomo_ranges[owner].start, v));
             }
             for &owner in &touched {
+                // in-range: i indexes CSR rows, which are u32 by layout
                 rank_inter[owner].push(i as u32);
                 rank_rows[owner].push(std::mem::take(&mut scratch[owner]));
             }
@@ -301,6 +307,7 @@ impl RankPlan {
         let nnz = self.a_local.nnz() as f64;
         let regular_bytes = match &self.a_local_buf {
             Some(b) => {
+                // lint: allow(no-panic) a_local_buf and at_local_buf are built together when use_buffered
                 (b.regular_bytes() + self.at_local_buf.as_ref().unwrap().regular_bytes()) as f64
             }
             None => 2.0 * nnz * 8.0,
@@ -445,6 +452,7 @@ pub fn reconstruct_distributed(
 ) -> DistOutput {
     match try_reconstruct_distributed(ops, sino_ordered, config) {
         Ok(out) => out,
+        // lint: allow(no-panic) documented panicking shim over the try_ API
         Err(e) => panic!("invalid distributed run: {e}"),
     }
 }

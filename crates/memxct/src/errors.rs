@@ -37,6 +37,10 @@ pub enum BuildError {
         /// Name of the missing layout.
         layout: &'static str,
     },
+    /// Plan validation (`ReconstructorBuilder::validate_plan`) found
+    /// invariant violations in the memoized structures; the report lists
+    /// every one.
+    PlanCheck(xct_check::Report),
 }
 
 impl fmt::Display for BuildError {
@@ -60,6 +64,9 @@ impl fmt::Display for BuildError {
             }
             BuildError::LayoutNotBuilt { layout } => {
                 write!(f, "{layout} layout was not built during preprocessing")
+            }
+            BuildError::PlanCheck(report) => {
+                write!(f, "plan validation failed: {report}")
             }
         }
     }

@@ -37,6 +37,7 @@ impl Default for FbpConfig {
 pub fn fbp(ops: &Operators, sino: &Sinogram, config: &FbpConfig) -> Vec<f32> {
     let m = ops.scan.num_projections() as usize;
     let n = ops.scan.num_channels() as usize;
+    // lint: allow(no-panic) documented shape precondition
     assert_eq!(sino.data().len(), m * n);
 
     // Filter each projection row (row-major sinogram layout).

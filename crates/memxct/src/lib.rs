@@ -26,11 +26,13 @@
 //! Use [`Reconstructor`] for the high-level single-call API.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod dist;
 pub mod errors;
 pub mod fbp;
 pub mod operator;
+pub mod plan_check;
 pub mod prelude;
 pub mod preprocess;
 pub mod reconstructor;
@@ -48,6 +50,7 @@ pub use operator::{
     BufferedOperator, ClosureOperator, CompOperator, EllOperator, KernelBreakdown,
     ParallelOperator, ProjectionOperator, RowSubsetOperator, SerialOperator, StackedOperator,
 };
+pub use plan_check::{dist_checker, ledger_check, plan_checker, validate_plan};
 pub use preprocess::{
     preprocess, try_preprocess, try_preprocess_with_metrics, Config, DomainOrdering, Kernel,
     Operators, PreprocessTimings, Projector,
@@ -59,3 +62,4 @@ pub use solvers::{
     Constraint, IterationRecord, SirtRule, StopRule, UpdateRule,
 };
 pub use subsets::{OrderedSubsets, OsRule};
+pub use xct_check::{CheckViolation, Invariant, Report as CheckReport};

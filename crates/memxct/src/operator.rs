@@ -292,9 +292,11 @@ impl<'a> BufferedOperator<'a, u16> {
         Self::from_parts(
             ops.a_buf
                 .as_ref()
+                // lint: allow(no-panic) documented panic; the try_ path returns LayoutNotBuilt
                 .expect("buffered layout not built; set Config::build_buffered"),
             ops.at_buf
                 .as_ref()
+                // lint: allow(no-panic) documented panic; the try_ path returns LayoutNotBuilt
                 .expect("buffered layout not built; set Config::build_buffered"),
         )
     }
@@ -350,9 +352,11 @@ impl<'a> EllOperator<'a> {
         Self::from_parts(
             ops.a_ell
                 .as_ref()
+                // lint: allow(no-panic) documented panic; the try_ path returns LayoutNotBuilt
                 .expect("ELL layout not built; set Config::build_ell"),
             ops.at_ell
                 .as_ref()
+                // lint: allow(no-panic) documented panic; the try_ path returns LayoutNotBuilt
                 .expect("ELL layout not built; set Config::build_ell"),
         )
     }
@@ -511,8 +515,11 @@ impl<'a> StackedOperator<'a> {
         dt: &'a CsrMatrix,
         scale: f32,
     ) -> Self {
+        // lint: allow(no-panic) documented constructor precondition
         assert_eq!(d.ncols(), primary.ncols(), "regularizer column count");
+        // lint: allow(no-panic) documented constructor precondition
         assert_eq!(dt.nrows(), primary.ncols(), "transpose shape");
+        // lint: allow(no-panic) documented constructor precondition
         assert_eq!(dt.ncols(), d.nrows(), "transpose shape");
         StackedOperator {
             primary,
@@ -573,6 +580,7 @@ impl<'a> RowSubsetOperator<'a> {
     /// Wrap an extracted row block. `rows[i]` is the global row id of the
     /// block's row `i`.
     pub fn new(rows: &'a [u32], block: &'a CsrMatrix, block_t: &'a CsrMatrix) -> Self {
+        // lint: allow(no-panic) documented constructor precondition
         assert_eq!(rows.len(), block.nrows(), "row id per block row");
         RowSubsetOperator {
             rows,

@@ -19,6 +19,7 @@ pub use crate::dist::{
 pub use crate::errors::BuildError;
 pub use crate::fbp::{fbp, FbpConfig};
 pub use crate::operator::{KernelBreakdown, ProjectionOperator};
+pub use crate::plan_check::{dist_checker, plan_checker, validate_plan};
 pub use crate::preprocess::{
     preprocess, try_preprocess, Config, DomainOrdering, Kernel, Operators, Projector,
 };

@@ -170,9 +170,11 @@ impl Operators {
             Kernel::Serial => spmv(csr, x),
             Kernel::Parallel => spmv_parallel(csr, x, self.partsize),
             Kernel::Ell => ell
+                // lint: allow(no-panic) documented panic; the try_ path returns LayoutNotBuilt
                 .expect("ELL layout not built; set Config::build_ell")
                 .spmv(x),
             Kernel::Buffered => buf
+                // lint: allow(no-panic) documented panic; the try_ path returns LayoutNotBuilt
                 .expect("buffered layout not built; set Config::build_buffered")
                 .spmv_parallel(x),
         }
@@ -249,6 +251,7 @@ impl Config {
 pub fn preprocess(grid: Grid, scan: ScanGeometry, config: &Config) -> Operators {
     match try_preprocess(grid, scan, config) {
         Ok(ops) => ops,
+        // lint: allow(no-panic) documented panicking shim over try_preprocess
         Err(e) => panic!("invalid preprocessing config: {e}"),
     }
 }
@@ -291,6 +294,7 @@ pub fn try_preprocess_with_metrics(
     // ranks. Parallel over sinogram ranks (each row independent).
     let t = Instant::now();
     let num_rays = scan.num_rays();
+    // in-range: ray count is bounded by the u32 scan geometry
     let rows: Vec<Vec<(u32, f32)>> = (0..num_rays as u32)
         .into_par_iter()
         .map(|rank| {

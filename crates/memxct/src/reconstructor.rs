@@ -56,6 +56,7 @@ pub struct ReconstructorBuilder {
     config: Config,
     kernel: Option<Kernel>,
     metrics: Option<Metrics>,
+    validate: bool,
 }
 
 impl ReconstructorBuilder {
@@ -68,6 +69,7 @@ impl ReconstructorBuilder {
             config: Config::default(),
             kernel: None,
             metrics: None,
+            validate: false,
         }
     }
 
@@ -130,6 +132,16 @@ impl ReconstructorBuilder {
         self
     }
 
+    /// Run the `xct-check` invariant sweep ([`crate::plan_check`]) over
+    /// every memoized structure after preprocessing (default false).
+    /// [`build`](Self::build) then fails with [`BuildError::PlanCheck`] if
+    /// any invariant is violated. Validation is read-only — a validated
+    /// build is bit-identical to an unvalidated one.
+    pub fn validate_plan(mut self, validate: bool) -> Self {
+        self.validate = validate;
+        self
+    }
+
     /// Validate, preprocess, and produce the [`Reconstructor`].
     ///
     /// Rejects zero partition sizes, out-of-range buffer sizes, and kernel
@@ -154,6 +166,12 @@ impl ReconstructorBuilder {
         };
         let metrics = self.metrics.unwrap_or_else(Metrics::collecting);
         let ops = try_preprocess_with_metrics(self.grid, self.scan, &self.config, &metrics)?;
+        if self.validate {
+            let report = crate::plan_check::validate_plan(&ops);
+            if !report.is_ok() {
+                return Err(BuildError::PlanCheck(report));
+            }
+        }
         Ok(Reconstructor {
             ops,
             kernel,
@@ -196,6 +214,7 @@ impl Reconstructor {
     pub fn new(grid: Grid, scan: ScanGeometry) -> Self {
         match ReconstructorBuilder::new(grid, scan).build() {
             Ok(rec) => rec,
+            // lint: allow(no-panic) documented panicking shim over the try_ API
             Err(e) => panic!("invalid reconstructor config: {e}"),
         }
     }
@@ -212,6 +231,7 @@ impl Reconstructor {
             .build()
         {
             Ok(rec) => rec,
+            // lint: allow(no-panic) documented panicking shim over the try_ API
             Err(e) => panic!("invalid reconstructor config: {e}"),
         }
     }
@@ -224,6 +244,12 @@ impl Reconstructor {
     /// The memoized operators (for custom solver loops).
     pub fn operators(&self) -> &Operators {
         &self.ops
+    }
+
+    /// Re-run the `xct-check` invariant sweep over the memoized structures
+    /// at any time (see [`crate::plan_check::validate_plan`]).
+    pub fn validate_plan(&self) -> xct_check::Report {
+        crate::plan_check::validate_plan(&self.ops)
     }
 
     /// Which kernel this reconstructor applies.
@@ -262,6 +288,7 @@ impl Reconstructor {
     pub fn reconstruct_cg(&self, sino: &Sinogram, stop: StopRule) -> ReconOutput {
         match self.try_reconstruct_cg(sino, stop) {
             Ok(out) => out,
+            // lint: allow(no-panic) documented panicking shim over the try_ API
             Err(e) => panic!("invalid reconstruction input: {e}"),
         }
     }
@@ -300,6 +327,7 @@ impl Reconstructor {
     pub fn reconstruct_sirt(&self, sino: &Sinogram, iters: usize) -> ReconOutput {
         match self.try_reconstruct_sirt(sino, iters) {
             Ok(out) => out,
+            // lint: allow(no-panic) documented panicking shim over the try_ API
             Err(e) => panic!("invalid reconstruction input: {e}"),
         }
     }
@@ -340,6 +368,7 @@ impl Reconstructor {
     pub fn reconstruct_distributed(&self, sino: &Sinogram, config: &DistConfig) -> DistOutput {
         match self.try_reconstruct_distributed(sino, config) {
             Ok(out) => out,
+            // lint: allow(no-panic) documented panicking shim over the try_ API
             Err(e) => panic!("invalid distributed run: {e}"),
         }
     }

@@ -56,6 +56,7 @@ pub fn cgls_smooth(
     lambda: f32,
     stop: StopRule,
 ) -> (Vec<f32>, Vec<IterationRecord>) {
+    // lint: allow(no-panic) documented parameter precondition
     assert!(lambda >= 0.0);
     let d = gradient_operator(&ops.tomo_ord);
     let dt = d.transpose_scan();

@@ -200,6 +200,7 @@ impl CgRule {
     /// Tikhonov-regularized CGLS with weight `lambda ≥ 0` (the
     /// regularizer `R(x)` of the paper's Eq. 1 with `R = λ‖·‖²`).
     pub fn regularized(lambda: f32) -> Self {
+        // lint: allow(no-panic) documented parameter precondition
         assert!(lambda >= 0.0);
         CgRule {
             lambda,
@@ -283,6 +284,7 @@ pub struct SirtRule {
 impl SirtRule {
     /// SIRT with relaxation factor `relaxation > 0`.
     pub fn new(relaxation: f32) -> Self {
+        // lint: allow(no-panic) documented parameter precondition
         assert!(relaxation > 0.0, "relaxation must be positive");
         SirtRule {
             relaxation,
@@ -311,6 +313,7 @@ impl UpdateRule for SirtRule {
             self.r = vec![0f32; op.nrows()];
             self.u = vec![0f32; op.ncols()];
         }
+        // lint: allow(no-panic) weights are initialized earlier in this method
         let (row_w, col_w) = self.weights.as_ref().expect("initialized above");
         op.forward_into(x, &mut self.r);
         for (ri, &yi) in self.r.iter_mut().zip(y) {

@@ -44,13 +44,16 @@ impl OrderedSubsets {
     /// interleaves (subset `k` holds the rays of projections
     /// `p ≡ k (mod num_subsets)`).
     pub fn new(ops: &Operators, num_subsets: usize) -> Self {
+        // lint: allow(no-panic) documented parameter precondition
         assert!(num_subsets > 0);
         let m = ops.scan.num_projections() as usize;
+        // lint: allow(no-panic) documented parameter precondition
         assert!(
             num_subsets <= m,
             "cannot have more subsets than projections"
         );
         let mut rows_by_subset: Vec<Vec<u32>> = vec![Vec::new(); num_subsets];
+        // in-range: row ranks are u32 by the CSR layout
         for rank in 0..ops.a.nrows() as u32 {
             let (_chan, proj) = ops.sino_ord.cell(rank);
             rows_by_subset[(proj as usize) % num_subsets].push(rank);
@@ -99,6 +102,7 @@ impl OrderedSubsets {
     /// each sub-update (1.0 = plain SART step). Feed it to
     /// [`run_engine`] together with `self` as the operator.
     pub fn rule(&self, relaxation: f32) -> OsRule<'_> {
+        // lint: allow(no-panic) documented parameter precondition
         assert!(relaxation > 0.0);
         OsRule {
             subsets: &self.subsets,

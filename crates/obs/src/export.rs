@@ -26,7 +26,9 @@ fn json_string(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
+            // in-range: a char code point fits u32 by definition
             c if (c as u32) < 0x20 => {
+                // in-range: a char code point fits u32 by definition
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),

@@ -28,6 +28,7 @@
 //! touches solver data, only observations about it.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod export;
 mod registry;

@@ -18,6 +18,7 @@
 //!   substitution for hardware we do not have (see DESIGN.md).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod comm;
 mod model;

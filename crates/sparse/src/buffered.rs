@@ -14,6 +14,53 @@
 
 use crate::csr::CsrMatrix;
 use rayon::prelude::*;
+use std::fmt;
+
+/// Why a buffered layout could not be constructed from a CSR source.
+///
+/// Construction is the *plan-build* step: it runs once, so it affords full
+/// checked conversions. Only the SpMV inner loop (which runs per
+/// iteration, after the plan has been validated) keeps unchecked index
+/// arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LayoutError {
+    /// `partsize` was zero.
+    ZeroPartitionSize,
+    /// `buffsize` was zero or exceeds what the index type can address.
+    BufferSize {
+        /// Rejected buffer capacity (f32 elements).
+        buffsize: usize,
+        /// Largest capacity the index width can address.
+        max: usize,
+    },
+    /// A buffer-local index did not fit the index type — the silent
+    /// release-mode truncation this error replaces.
+    IndexOverflow {
+        /// The out-of-range buffer-local index.
+        value: usize,
+        /// Largest representable index.
+        max: usize,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::ZeroPartitionSize => write!(f, "partition size must be positive"),
+            LayoutError::BufferSize { buffsize, max } => write!(
+                f,
+                "buffer size {buffsize} must fit 16-bit addressing (or the index type's range): 1..={max}"
+            ),
+            LayoutError::IndexOverflow { value, max } => write!(
+                f,
+                "buffer-local index {value} exceeds the index type's maximum {max}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
 
 /// Index type used to address the staging buffer. The paper's kernel uses
 /// 16-bit indices ("16-bit addressing can address buffer sizes up to
@@ -25,7 +72,11 @@ pub trait BufferIndex: Copy + Default + Send + Sync + 'static {
     const MAX_BUFFER: usize;
     /// Bytes per stored index.
     const BYTES: u64;
-    /// Narrowing conversion (caller guarantees range).
+    /// Checked narrowing conversion: the plan-build path. Rejects values
+    /// the index type cannot represent instead of truncating.
+    fn try_from_usize(v: usize) -> Result<Self, LayoutError>;
+    /// Narrowing conversion (caller guarantees range — only valid after
+    /// the layout has passed construction-time checking).
     fn from_usize(v: usize) -> Self;
     /// Widening conversion.
     fn to_usize(self) -> usize;
@@ -35,9 +86,16 @@ impl BufferIndex for u16 {
     const MAX_BUFFER: usize = u16::MAX as usize + 1;
     const BYTES: u64 = 2;
     #[inline]
+    fn try_from_usize(v: usize) -> Result<Self, LayoutError> {
+        u16::try_from(v).map_err(|_| LayoutError::IndexOverflow {
+            value: v,
+            max: u16::MAX as usize,
+        })
+    }
+    #[inline]
     fn from_usize(v: usize) -> Self {
         debug_assert!(v <= u16::MAX as usize);
-        v as u16
+        v as u16 // lint: allow(narrow-cast) blessed BufferIndex helper; guarded by try_from_usize at plan build
     }
     #[inline]
     fn to_usize(self) -> usize {
@@ -49,8 +107,16 @@ impl BufferIndex for u32 {
     const MAX_BUFFER: usize = 1 << 31;
     const BYTES: u64 = 4;
     #[inline]
+    fn try_from_usize(v: usize) -> Result<Self, LayoutError> {
+        u32::try_from(v).map_err(|_| LayoutError::IndexOverflow {
+            value: v,
+            max: u32::MAX as usize,
+        })
+    }
+    #[inline]
     fn from_usize(v: usize) -> Self {
-        v as u32
+        debug_assert!(v <= u32::MAX as usize);
+        v as u32 // lint: allow(narrow-cast) blessed BufferIndex helper; guarded by try_from_usize at plan build
     }
     #[inline]
     fn to_usize(self) -> usize {
@@ -109,11 +175,35 @@ impl<I: BufferIndex> BufferedCsrImpl<I> {
     /// assert_eq!(buffered.spmv(&x), spmv(&a, &x));
     /// ```
     pub fn from_csr(a: &CsrMatrix, partsize: usize, buffsize: usize) -> Self {
-        assert!(partsize > 0, "partition size must be positive");
-        assert!(
-            buffsize > 0 && buffsize <= I::MAX_BUFFER,
-            "buffer size must fit 16-bit addressing (or the index type's range)"
-        );
+        // lint: allow(no-panic) documented panicking shim over try_from_csr
+        match Self::try_from_csr(a, partsize, buffsize) {
+            Ok(b) => b,
+            Err(LayoutError::ZeroPartitionSize) => panic!("partition size must be positive"),
+            Err(e @ LayoutError::BufferSize { .. }) => {
+                panic!("buffer size must fit 16-bit addressing (or the index type's range): {e}")
+            }
+            Err(e) => panic!("invalid buffered layout: {e}"),
+        }
+    }
+
+    /// Fallible [`BufferedCsrImpl::from_csr`]: every narrowing conversion
+    /// on the plan-build path is checked, returning a typed
+    /// [`LayoutError`] instead of panicking (or, in release mode,
+    /// silently truncating buffer-local indices).
+    pub fn try_from_csr(
+        a: &CsrMatrix,
+        partsize: usize,
+        buffsize: usize,
+    ) -> Result<Self, LayoutError> {
+        if partsize == 0 {
+            return Err(LayoutError::ZeroPartitionSize);
+        }
+        if buffsize == 0 || buffsize > I::MAX_BUFFER {
+            return Err(LayoutError::BufferSize {
+                buffsize,
+                max: I::MAX_BUFFER,
+            });
+        }
         let nparts = a.nrows().div_ceil(partsize).max(1);
         let mut partdispl = Vec::with_capacity(nparts + 1);
         partdispl.push(0u32);
@@ -138,9 +228,9 @@ impl<I: BufferIndex> BufferedCsrImpl<I> {
 
             // Per-entry stage and buffer-local index, via rank in the
             // sorted footprint.
-            let stage_of = |col: u32| -> (usize, I) {
+            let stage_of = |col: u32| -> (usize, usize) {
                 let rank = footprint.binary_search(&col).expect("col in footprint");
-                ((rank / buffsize), I::from_usize(rank % buffsize))
+                ((rank / buffsize), rank % buffsize)
             };
 
             // Counting sort of the partition's entries by (stage, row).
@@ -167,7 +257,10 @@ impl<I: BufferIndex> BufferedCsrImpl<I> {
                     let slot = s * partsize + (i - base);
                     let dst = cursor[slot];
                     cursor[slot] += 1;
-                    ind[dst] = local;
+                    // Checked narrowing: `local < buffsize <= MAX_BUFFER`
+                    // holds by construction, but the plan-build path never
+                    // trusts that silently (satellite of ISSUE 3).
+                    ind[dst] = I::try_from_usize(local)?;
                     val[dst] = v;
                 }
             }
@@ -178,15 +271,50 @@ impl<I: BufferIndex> BufferedCsrImpl<I> {
                 map.extend_from_slice(chunk);
                 stagedispl.push(map.len());
             }
+            // in-range: stage counts are bounded by nnz, which fits u32
             partdispl.push(partdispl.last().unwrap() + nstages_here as u32);
         }
 
-        BufferedCsrImpl {
+        Ok(BufferedCsrImpl {
             nrows: a.nrows(),
             ncols: a.ncols(),
             partsize,
             buffsize,
             nnz: a.nnz(),
+            partdispl,
+            stagedispl,
+            map,
+            displ,
+            ind,
+            val,
+        })
+    }
+
+    /// Assemble a buffered layout directly from its raw arrays, with **no
+    /// validation whatsoever**. This exists so static-analysis tooling
+    /// (`xct-check`) can be tested against deliberately corrupted layouts;
+    /// production code should always go through
+    /// [`BufferedCsrImpl::try_from_csr`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        partsize: usize,
+        buffsize: usize,
+        nnz: usize,
+        partdispl: Vec<u32>,
+        stagedispl: Vec<usize>,
+        map: Vec<u32>,
+        displ: Vec<usize>,
+        ind: Vec<I>,
+        val: Vec<f32>,
+    ) -> Self {
+        BufferedCsrImpl {
+            nrows,
+            ncols,
+            partsize,
+            buffsize,
+            nnz,
             partdispl,
             stagedispl,
             map,
@@ -240,6 +368,42 @@ impl<I: BufferIndex> BufferedCsrImpl<I> {
     /// overhead reads one u32 map entry and one irregular f32 per slot.
     pub fn map_len(&self) -> usize {
         self.map.len()
+    }
+
+    /// Raw per-partition stage ranges (`partdispl`, length
+    /// `num_partitions + 1`). Read-only view for static analysis.
+    pub fn partdispl(&self) -> &[u32] {
+        &self.partdispl
+    }
+
+    /// Raw per-stage map offsets (`stagedispl`, length `num_stages + 1`).
+    /// Read-only view for static analysis.
+    pub fn stagedispl(&self) -> &[usize] {
+        &self.stagedispl
+    }
+
+    /// Raw stage-concatenated buffer map (global column gathered into each
+    /// buffer slot). Read-only view for static analysis.
+    pub fn stage_map(&self) -> &[u32] {
+        &self.map
+    }
+
+    /// Raw entry offsets per `(stage, local row)` (length
+    /// `num_stages * partsize + 1`). Read-only view for static analysis.
+    pub fn entry_displ(&self) -> &[usize] {
+        &self.displ
+    }
+
+    /// Raw buffer-local column indices. Read-only view for static
+    /// analysis.
+    pub fn entry_ind(&self) -> &[I] {
+        &self.ind
+    }
+
+    /// Raw values, grouped to match [`BufferedCsrImpl::entry_ind`].
+    /// Read-only view for static analysis.
+    pub fn entry_val(&self) -> &[f32] {
+        &self.val
     }
 
     /// Bytes of regular data streamed per SpMV: index + f32 value per

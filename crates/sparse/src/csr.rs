@@ -85,6 +85,26 @@ impl CsrMatrix {
         }
     }
 
+    /// Build from raw CSR arrays with **no validation**. This exists so
+    /// static-analysis tooling (`xct-check`) can be exercised against
+    /// deliberately malformed matrices; production code should use
+    /// [`CsrMatrix::from_raw`], which asserts well-formedness.
+    pub fn from_raw_unchecked(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colind: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        CsrMatrix {
+            nrows,
+            ncols,
+            rowptr,
+            colind,
+            values,
+        }
+    }
+
     /// An empty matrix with the given shape.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
         CsrMatrix {
@@ -175,6 +195,7 @@ impl CsrMatrix {
                 let c = self.colind[k] as usize;
                 let dst = cursor[c];
                 cursor[c] += 1;
+                // in-range: i < nrows and CSR column indices are u32 by layout
                 colind_t[dst] = i as u32;
                 values_t[dst] = self.values[k];
             }

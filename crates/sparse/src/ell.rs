@@ -26,6 +26,21 @@ struct EllPartition {
     values: Vec<f32>,
 }
 
+/// Read-only borrow of one ELL partition's raw layout, exposed for static
+/// analysis (`xct-check`). Slots are column-major: slot `s`, row `j` lives
+/// at `s * rows + j`.
+#[derive(Debug, Clone, Copy)]
+pub struct EllPartitionView<'a> {
+    /// Rows in this partition (≤ partsize).
+    pub rows: usize,
+    /// Padding width (max nonzeroes per row in this partition).
+    pub width: usize,
+    /// Column indices, column-major, length `rows * width`.
+    pub colind: &'a [u32],
+    /// Values, same layout.
+    pub values: &'a [f32],
+}
+
 /// ELL matrix with partition-level padding.
 #[derive(Debug, Clone)]
 pub struct EllMatrix {
@@ -94,6 +109,52 @@ impl EllMatrix {
     /// `padded_nnz / nnz`.
     pub fn padded_nnz(&self) -> usize {
         self.padded_nnz
+    }
+
+    /// Number of row partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Read-only view of partition `p` for static analysis.
+    pub fn partition_view(&self, p: usize) -> EllPartitionView<'_> {
+        let part = &self.partitions[p];
+        EllPartitionView {
+            rows: part.rows,
+            width: part.width,
+            colind: &part.colind,
+            values: &part.values,
+        }
+    }
+
+    /// Assemble an ELL matrix directly from per-partition raw arrays,
+    /// with **no validation**. Each tuple is
+    /// `(rows, width, colind, values)` in the column-major layout of the
+    /// kernel. Exists so static-analysis tooling (`xct-check`) can be
+    /// tested against corrupted layouts; production code should use
+    /// [`EllMatrix::from_csr`].
+    pub fn from_raw_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        nnz: usize,
+        parts: Vec<(usize, usize, Vec<u32>, Vec<f32>)>,
+    ) -> Self {
+        let padded_nnz = parts.iter().map(|(rows, width, _, _)| rows * width).sum();
+        EllMatrix {
+            nrows,
+            ncols,
+            partitions: parts
+                .into_iter()
+                .map(|(rows, width, colind, values)| EllPartition {
+                    rows,
+                    width,
+                    colind,
+                    values,
+                })
+                .collect(),
+            padded_nnz,
+            nnz,
+        }
     }
 
     /// Bytes of matrix data one SpMV streams: every padded slot moves a

@@ -17,6 +17,7 @@
 //!   by Fig 6 and the bandwidth accounting of Fig 9.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod buffered;
 mod csr;
@@ -26,9 +27,9 @@ mod reduce;
 mod spmv;
 mod stats;
 
-pub use buffered::{BufferIndex, BufferedCsr, BufferedCsr32, BufferedCsrImpl};
+pub use buffered::{BufferIndex, BufferedCsr, BufferedCsr32, BufferedCsrImpl, LayoutError};
 pub use csr::CsrMatrix;
-pub use ell::EllMatrix;
+pub use ell::{EllMatrix, EllPartitionView};
 pub use kernel::{ParCsr, SpmvKernel};
 pub use reduce::{dot_f64, norm_f64};
 pub use spmv::{spmv, spmv_into, spmv_parallel, spmv_parallel_into};

@@ -67,6 +67,7 @@ fn main() {
     let nn = n as usize;
     for p in 0..m as usize {
         for (c, v) in data.iter_mut().skip(p * nn).take(nn).enumerate() {
+            // in-range: a percentage bucket, bounded by 100
             *v += match (c as u32 * 100 / n) as u32 {
                 23 => 6.0,
                 61 => -4.5,

@@ -7,6 +7,8 @@
 //! `cargo test`; in that case no `--bench` flag is passed and
 //! `criterion_main!` exits immediately so test runs stay fast.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

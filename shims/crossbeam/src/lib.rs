@@ -3,6 +3,8 @@
 //! Receiver}` is provided, built on `std::sync::mpsc`. The receiver is
 //! wrapped in a mutex so it is `Sync` like crossbeam's (std's is not).
 
+#![forbid(unsafe_code)]
+
 pub mod channel {
     //! Multi-producer channels with a `Sync` receiver.
 

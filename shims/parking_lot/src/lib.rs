@@ -2,6 +2,8 @@
 //! builds" section). Provides `Mutex` with parking_lot's unpoisoned
 //! `lock()` signature, backed by `std::sync::Mutex`.
 
+#![forbid(unsafe_code)]
+
 use std::sync;
 
 /// A mutex whose `lock()` never returns a poison error.

@@ -14,6 +14,8 @@
 //! is no shrinking: a failing case panics with the sampled values fixed
 //! by the deterministic seed, so failures reproduce exactly.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Deterministic RNG used to sample strategy values (splitmix64 seeded

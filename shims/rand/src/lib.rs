@@ -7,6 +7,8 @@
 //! The generator is splitmix64 — statistically solid for simulation and
 //! test-data purposes, deterministic for a given seed.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 pub mod rngs {

@@ -17,6 +17,8 @@
 //! accumulator per chunk (in chunk order) and `reduce` combines them
 //! left-to-right, so results are deterministic for a fixed thread count.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 use std::thread;
 

@@ -6,6 +6,7 @@
 //! [`xct_sparse`], [`xct_cachesim`], [`xct_runtime`], [`xct_compxct`].
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub use memxct;
 pub use xct_cachesim;
