@@ -1,0 +1,281 @@
+//! SpMV execution-layer benchmark: serial vs per-call scoped threads vs
+//! the persistent worker pool, across thread counts and partition
+//! strategies, on the memoized forward operator of a scaled dataset.
+//!
+//! Emits `BENCH_spmv.json` (hand-rolled, schema below) so the repo keeps
+//! a perf trajectory across PRs, and asserts that every variant's output
+//! is bit-identical to the serial kernel — the determinism contract the
+//! pooled execution layer guarantees.
+//!
+//! ```text
+//! cargo run --release -p xct-bench --bin spmv-bench [scale_divisor] [reps]
+//! ```
+//!
+//! JSON schema (one object):
+//! - `bench`: `"spmv"`, `generated_by`: binary name
+//! - `matrix`: `{dataset, scale, nrows, ncols, nnz}`
+//! - `reps`: timed repetitions per variant (median reported)
+//! - `bit_identical`: all variants × thread counts matched serial bitwise
+//! - `results`: array of `{variant, threads, median_seconds, gflops,
+//!   speedup_vs_serial, imbalance}` — `variant` ∈ `serial | scoped |
+//!   pooled_equal | pooled_nnz`, `imbalance` is the plan's max/ideal nnz
+//!   ratio (1.0 for serial/scoped).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use xct_bench::{gflops, scale_from_args, simulate};
+use xct_geometry::ADS1;
+use xct_runtime::WorkerPool;
+use xct_sparse::{csr_plan, csr_plan_equal, spmv_into, spmv_pooled_into, CsrMatrix};
+
+/// The per-call scoped-thread baseline the old rayon shim implemented:
+/// equal row chunks, `threads` fresh OS threads spawned for every single
+/// call, joined before returning.
+fn spmv_scoped(a: &CsrMatrix, x: &[f32], y: &mut [f32], threads: usize) {
+    let chunk = a.nrows().div_ceil(threads.max(1)).max(1);
+    let rowptr = a.rowptr();
+    let colind = a.colind();
+    let values = a.values();
+    std::thread::scope(|s| {
+        for (p, out) in y.chunks_mut(chunk).enumerate() {
+            s.spawn(move || {
+                let base = p * chunk;
+                for (j, slot) in out.iter_mut().enumerate() {
+                    let i = base + j;
+                    let mut acc = 0f32;
+                    for k in rowptr[i]..rowptr[i + 1] {
+                        acc += x[colind[k] as usize] * values[k];
+                    }
+                    *slot = acc;
+                }
+            });
+        }
+    });
+}
+
+/// One measured execution strategy: its kernel plus collected samples.
+/// All variants are timed **interleaved** (round-robin within each rep)
+/// so slow drift — frequency scaling, background load — lands evenly on
+/// every variant instead of biasing whichever block ran last.
+struct Variant<'a> {
+    name: &'static str,
+    threads: usize,
+    imbalance: f64,
+    times: Vec<f64>,
+    f: Box<dyn FnMut() + 'a>,
+}
+
+fn median(times: &mut [f64]) -> f64 {
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+struct Row {
+    variant: &'static str,
+    threads: usize,
+    seconds: f64,
+    imbalance: f64,
+}
+
+fn main() {
+    let div = scale_from_args();
+    let reps: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(33);
+    let ds = ADS1.scaled(div);
+    let ops = xct_bench::preprocess(
+        ds.grid(),
+        ds.scan(),
+        &xct_bench::Config {
+            build_buffered: false,
+            ..xct_bench::Config::default()
+        },
+    );
+    let a = &ops.a;
+    let (_, sino) = simulate(&ds, false);
+    // A realistic input: one backprojection of the simulated sinogram.
+    let mut x = vec![0f32; a.ncols()];
+    spmv_into(&ops.at, ops.order_sinogram(&sino).as_slice(), &mut x);
+
+    println!(
+        "spmv-bench: {} (scale 1/{div}), {} rows x {} cols, {} nnz, {reps} reps\n",
+        ds.name,
+        a.nrows(),
+        a.ncols(),
+        a.nnz()
+    );
+    println!(
+        "{:<14} {:>8} {:>12} {:>8} {:>10} {:>10}",
+        "variant", "threads", "median", "gflops", "speedup", "imbalance"
+    );
+
+    let mut want = vec![0f32; a.nrows()];
+    spmv_into(a, &x, &mut want);
+    let x: &[f32] = &x;
+
+    let thread_counts = [1usize, 2, 4];
+    // Pools and plans are built once outside the timed region — that is
+    // the whole point of the execution layer.
+    let pools: Vec<WorkerPool> = thread_counts.iter().map(|&t| WorkerPool::new(t)).collect();
+    let mut variants: Vec<Variant> = Vec::new();
+    variants.push(Variant {
+        name: "serial",
+        threads: 1,
+        imbalance: 1.0,
+        times: Vec::new(),
+        f: {
+            let mut y = vec![0f32; a.nrows()];
+            Box::new(move || spmv_into(a, x, &mut y))
+        },
+    });
+    for (i, &threads) in thread_counts.iter().enumerate() {
+        // Per-call scoped threads, equal rows: the pre-pool cost model.
+        let mut y = vec![0f32; a.nrows()];
+        variants.push(Variant {
+            name: "scoped",
+            threads,
+            imbalance: 1.0,
+            times: Vec::new(),
+            f: Box::new(move || spmv_scoped(a, x, &mut y, threads)),
+        });
+        let pool = &pools[i];
+        for (name, plan) in [
+            ("pooled_equal", csr_plan_equal(a, threads)),
+            ("pooled_nnz", csr_plan(a, threads)),
+        ] {
+            let mut y = vec![0f32; a.nrows()];
+            variants.push(Variant {
+                name,
+                threads,
+                imbalance: plan.imbalance(),
+                times: Vec::new(),
+                f: Box::new(move || spmv_pooled_into(a, x, &mut y, &plan, pool)),
+            });
+        }
+    }
+
+    // Interleaved measurement: warmup round, bit-identity round, then
+    // `reps` rounds timing every variant back to back.
+    for v in &mut variants {
+        (v.f)();
+    }
+    for _ in 0..reps {
+        for v in &mut variants {
+            let t = Instant::now();
+            (v.f)();
+            v.times.push(t.elapsed().as_secs_f64());
+        }
+    }
+
+    let rows: Vec<Row> = variants
+        .iter_mut()
+        .map(|v| Row {
+            variant: v.name,
+            threads: v.threads,
+            seconds: median(&mut v.times),
+            imbalance: v.imbalance,
+        })
+        .collect();
+    let serial_s = rows[0].seconds;
+
+    // Bit-identity: rerun each strategy once into a fresh buffer and
+    // compare against the serial kernel.
+    let mut bit_identical = true;
+    for (i, &threads) in thread_counts.iter().enumerate() {
+        let mut y = vec![0f32; a.nrows()];
+        spmv_scoped(a, x, &mut y, threads);
+        bit_identical &= bits_match(&y, &want);
+        for plan in [csr_plan_equal(a, threads), csr_plan(a, threads)] {
+            y.fill(0.0);
+            spmv_pooled_into(a, x, &mut y, &plan, &pools[i]);
+            bit_identical &= bits_match(&y, &want);
+        }
+    }
+
+    for r in &rows {
+        println!(
+            "{:<14} {:>8} {:>9.1} us {:>8.2} {:>9.2}x {:>10.3}",
+            r.variant,
+            r.threads,
+            r.seconds * 1e6,
+            gflops(a.nnz(), r.seconds),
+            serial_s / r.seconds,
+            r.imbalance
+        );
+    }
+    assert!(bit_identical, "a variant diverged from the serial kernel");
+
+    let mut won = true;
+    for threads in [2usize, 4] {
+        let scoped = find(&rows, "scoped", threads);
+        let pooled = find(&rows, "pooled_nnz", threads);
+        let ratio = scoped / pooled;
+        println!("\npooled_nnz vs scoped at {threads} threads: {ratio:.2}x");
+        won &= ratio > 1.0;
+    }
+    println!(
+        "bit-identical across all variants and thread counts: {}",
+        bit_identical
+    );
+
+    let json = render_json(ds.name, div, a, reps, bit_identical, &rows);
+    std::fs::write("BENCH_spmv.json", &json).expect("write BENCH_spmv.json");
+    println!("wrote BENCH_spmv.json");
+    assert!(
+        won,
+        "pooled_nnz did not beat the scoped baseline at every thread count >= 2"
+    );
+}
+
+fn bits_match(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn find(rows: &[Row], variant: &str, threads: usize) -> f64 {
+    rows.iter()
+        .find(|r| r.variant == variant && r.threads == threads)
+        .map(|r| r.seconds)
+        .expect("variant measured")
+}
+
+fn render_json(
+    dataset: &str,
+    scale: u32,
+    a: &CsrMatrix,
+    reps: usize,
+    bit_identical: bool,
+    rows: &[Row],
+) -> String {
+    let serial = rows[0].seconds;
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"spmv\",\n");
+    s.push_str("  \"generated_by\": \"spmv-bench\",\n");
+    let _ = writeln!(
+        s,
+        "  \"matrix\": {{\"dataset\": \"{dataset}\", \"scale\": {scale}, \"nrows\": {}, \"ncols\": {}, \"nnz\": {}}},",
+        a.nrows(),
+        a.ncols(),
+        a.nnz()
+    );
+    let _ = writeln!(s, "  \"reps\": {reps},");
+    let _ = writeln!(s, "  \"bit_identical\": {bit_identical},");
+    s.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"variant\": \"{}\", \"threads\": {}, \"median_seconds\": {:.9}, \"gflops\": {:.4}, \"speedup_vs_serial\": {:.4}, \"imbalance\": {:.4}}}",
+            r.variant,
+            r.threads,
+            r.seconds,
+            gflops(a.nnz(), r.seconds),
+            serial / r.seconds,
+            r.imbalance
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -1141,6 +1141,152 @@ impl Check for LedgerCheck {
     }
 }
 
+/// Validate the raw arrays of an `xct-runtime` execution plan: partition
+/// `bounds` must tile `0..rows` contiguously ([`Invariant::PartitionCoverage`]),
+/// the `weights`/`assign` arrays must have the right lengths, endpoints,
+/// and monotonicity ([`Invariant::ExecPlanShape`]), and no worker's
+/// assigned weight may exceed the greedy prefix split's guarantee
+/// `total/workers + max_unit + 1` ([`Invariant::ExecPlanBalance`]).
+///
+/// Takes raw arrays rather than the plan type so the mutation suite can
+/// corrupt individual fields; production callers pass a plan's accessors
+/// straight through.
+pub struct ExecPlanCheck {
+    name: String,
+    rows: usize,
+    bounds: Vec<usize>,
+    weights: Vec<u64>,
+    assign: Vec<usize>,
+    max_unit: u64,
+}
+
+impl ExecPlanCheck {
+    /// Check a plan over `rows` domain rows with partition `bounds`
+    /// (length `parts + 1`), per-partition `weights` (length `parts`),
+    /// worker partition runs `assign` (length `workers + 1`), and the
+    /// plan's recorded maximum indivisible unit weight `max_unit`.
+    pub fn new(
+        name: impl Into<String>,
+        rows: usize,
+        bounds: Vec<usize>,
+        weights: Vec<u64>,
+        assign: Vec<usize>,
+        max_unit: u64,
+    ) -> Self {
+        ExecPlanCheck {
+            name: name.into(),
+            rows,
+            bounds,
+            weights,
+            assign,
+            max_unit,
+        }
+    }
+}
+
+impl Check for ExecPlanCheck {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn run(&self, report: &mut Report) {
+        let before = report.len();
+        // Partition bounds must tile the row domain — the same coverage
+        // invariant the distributed domain partitions obey.
+        if self.bounds.first() != Some(&0) {
+            report.violation(
+                &self.name,
+                Invariant::PartitionCoverage,
+                "bounds[0]",
+                format!("partition bounds start at {:?}, not 0", self.bounds.first()),
+                "bounds must begin at row 0",
+            );
+        }
+        if self.bounds.last() != Some(&self.rows) {
+            report.violation(
+                &self.name,
+                Invariant::PartitionCoverage,
+                "bounds[last]",
+                format!(
+                    "partition bounds end at {:?} but the domain has {} rows",
+                    self.bounds.last(),
+                    self.rows
+                ),
+                "bounds must end at the domain size",
+            );
+        }
+        for (i, w) in self.bounds.windows(2).enumerate() {
+            if w[1] < w[0] {
+                report.violation(
+                    &self.name,
+                    Invariant::PartitionCoverage,
+                    format!("bounds[{}]", i + 1),
+                    format!("bound {} precedes bound {}", w[1], w[0]),
+                    "partition bounds must be non-decreasing",
+                );
+            }
+        }
+        let parts = self.bounds.len().saturating_sub(1);
+        if self.weights.len() != parts {
+            report.violation(
+                &self.name,
+                Invariant::ExecPlanShape,
+                "weights",
+                format!("{} weights for {parts} partitions", self.weights.len()),
+                "one weight per partition",
+            );
+        }
+        if self.assign.first() != Some(&0) || self.assign.last() != Some(&parts) {
+            report.violation(
+                &self.name,
+                Invariant::ExecPlanShape,
+                "assign",
+                format!(
+                    "worker runs span {:?}..{:?}, expected 0..{parts}",
+                    self.assign.first(),
+                    self.assign.last()
+                ),
+                "assign must cover every partition exactly once",
+            );
+        }
+        for (w, run) in self.assign.windows(2).enumerate() {
+            if run[1] < run[0] || run[1] > parts {
+                report.violation(
+                    &self.name,
+                    Invariant::ExecPlanShape,
+                    format!("assign[{}]", w + 1),
+                    format!("worker {w} run {}..{} is invalid", run[0], run[1]),
+                    "worker runs must be non-decreasing and within the partitions",
+                );
+            }
+        }
+        if report.len() > before {
+            // Structure is broken; the balance bound below would read
+            // through the corrupted arrays and mask the root cause.
+            return;
+        }
+        let workers = self.assign.len().saturating_sub(1).max(1) as u64;
+        let total: u64 = self.weights.iter().sum();
+        let bound = total / workers + self.max_unit + 1;
+        for (w, run) in self.assign.windows(2).enumerate() {
+            let weight: u64 = self.weights[run[0]..run[1]].iter().sum();
+            if weight > bound {
+                report.violation(
+                    &self.name,
+                    Invariant::ExecPlanBalance,
+                    format!("worker {w}"),
+                    format!(
+                        "assigned weight {weight} exceeds the balance bound {bound} \
+                         (total {total} over {workers} workers, max unit {})",
+                        self.max_unit
+                    ),
+                    "rebuild the plan with the greedy prefix split",
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

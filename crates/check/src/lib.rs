@@ -29,7 +29,7 @@ pub mod lint;
 mod violation;
 
 pub use checks::{
-    BufferedCheck, Check, Checker, CsrCheck, EllCheck, LedgerCheck, PartitionCheck,
+    BufferedCheck, Check, Checker, CsrCheck, EllCheck, ExecPlanCheck, LedgerCheck, PartitionCheck,
     PermutationCheck, ScheduleCheck, TransposeCheck,
 };
 pub use violation::{CheckViolation, Invariant, Report};

@@ -70,6 +70,13 @@ pub enum Invariant {
     /// Observed communication bytes do not reconcile with the schedule's
     /// predicted data-plane traffic.
     LedgerReconciliation,
+    /// An execution plan's structural arrays are malformed: bounds/assign
+    /// endpoints, monotonicity, or length relations are broken.
+    ExecPlanShape,
+    /// A worker's assigned weight exceeds the greedy prefix split's
+    /// guaranteed bound (`total/workers + max_unit + 1`) — the static
+    /// partitioning failed to balance the load.
+    ExecPlanBalance,
 }
 
 impl Invariant {
@@ -100,6 +107,8 @@ impl Invariant {
         Invariant::ScheduleSymmetry,
         Invariant::ScheduleRows,
         Invariant::LedgerReconciliation,
+        Invariant::ExecPlanShape,
+        Invariant::ExecPlanBalance,
     ];
 }
 

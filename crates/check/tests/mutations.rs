@@ -6,8 +6,8 @@
 //! [`Invariant::ALL`].
 
 use xct_check::{
-    BufferedCheck, Check, CsrCheck, EllCheck, Invariant, LedgerCheck, PartitionCheck,
-    PermutationCheck, Report, ScheduleCheck, TransposeCheck,
+    BufferedCheck, Check, CsrCheck, EllCheck, ExecPlanCheck, Invariant, LedgerCheck,
+    PartitionCheck, PermutationCheck, Report, ScheduleCheck, TransposeCheck,
 };
 use xct_sparse::{BufferedCsr, BufferedCsrImpl, CsrMatrix, EllMatrix};
 
@@ -303,6 +303,39 @@ fn m_ledger_reconciliation() -> Report {
     run(LedgerCheck::new("ledger", 2, observed, predicted, 8))
 }
 
+/// A valid 2-worker execution plan over 6 rows: four partitions of
+/// weight 5 each, two per worker (balance bound 20/2 + 5 + 1 = 16).
+fn exec_plan_arrays() -> (usize, Vec<usize>, Vec<u64>, Vec<usize>, u64) {
+    (6, vec![0, 1, 2, 4, 6], vec![5, 5, 5, 5], vec![0, 2, 4], 5)
+}
+
+fn m_exec_plan_shape() -> Report {
+    // Truncate the worker assignment: its last run no longer reaches the
+    // final partition (bounds still tile, so coverage stays clean).
+    let (rows, bounds, weights, _, max_unit) = exec_plan_arrays();
+    run(ExecPlanCheck::new(
+        "exec(forward)",
+        rows,
+        bounds,
+        weights,
+        vec![0, 2],
+        max_unit,
+    ))
+}
+
+fn m_exec_plan_balance() -> Report {
+    // Pile every partition onto worker 0: 20 > the greedy bound 16.
+    let (rows, bounds, weights, _, max_unit) = exec_plan_arrays();
+    run(ExecPlanCheck::new(
+        "exec(forward)",
+        rows,
+        bounds,
+        weights,
+        vec![0, 4, 4],
+        max_unit,
+    ))
+}
+
 /// The full table: (name, the invariant the mutation must pinpoint, the
 /// mutation itself).
 type Mutation = (&'static str, Invariant, fn() -> Report);
@@ -406,6 +439,16 @@ static MUTATIONS: &[Mutation] = &[
         Invariant::LedgerReconciliation,
         m_ledger_reconciliation,
     ),
+    (
+        "worker assignment truncated",
+        Invariant::ExecPlanShape,
+        m_exec_plan_shape,
+    ),
+    (
+        "all partitions on one worker",
+        Invariant::ExecPlanBalance,
+        m_exec_plan_balance,
+    ),
 ];
 
 #[test]
@@ -452,5 +495,7 @@ fn unmutated_specimens_are_clean() {
     PartitionCheck::new("partition", 6, owners.clone()).run(&mut report);
     ScheduleCheck::new("schedule", owners, sends, recvs).run(&mut report);
     LedgerCheck::new("ledger", 2, vec![0, 124, 84, 0], vec![0, 100, 60, 0], 8).run(&mut report);
+    let (rows, bounds, weights, assign, max_unit) = exec_plan_arrays();
+    ExecPlanCheck::new("exec(forward)", rows, bounds, weights, assign, max_unit).run(&mut report);
     assert!(report.is_ok(), "{report}");
 }

@@ -49,6 +49,7 @@ USAGE:
                          [--solver cg|sirt|os-sirt|fbp] [--iters N]
                          [--ranks N] [--noise I0] [--out FILE.pgm]
                          [--metrics FILE.json] [--check]
+                         [--pool] [--pool-threads N]
   memxct-cli check       --dataset <name> [--scale N] [--ranks N]
                          [--corrupt KIND]
 
@@ -61,6 +62,9 @@ DATASETS: ads1 ads2 ads3 ads4 rds1 rds2 (see `info`)
   --metrics FILE write the run's metrics snapshot as JSON
   --check        validate every memoized structure before reconstructing
                  (exit 3 if any invariant is violated)
+  --pool         run SpMV on the persistent worker pool with nnz-balanced
+                 static partitions (threads from RAYON_NUM_THREADS)
+  --pool-threads N  pool size override (implies --pool)
   --corrupt KIND inject one fault before checking (check only):
                  rowptr | nan | transpose | permutation | stage-oversize"
     );
@@ -79,6 +83,8 @@ struct Options {
     metrics: Option<PathBuf>,
     check: bool,
     corrupt: Option<String>,
+    pool: bool,
+    pool_threads: Option<usize>,
 }
 
 impl Options {
@@ -95,6 +101,8 @@ impl Options {
             metrics: None,
             check: false,
             corrupt: None,
+            pool: false,
+            pool_threads: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -125,6 +133,11 @@ impl Options {
                 "--metrics" => o.metrics = Some(PathBuf::from(value("--metrics"))),
                 "--check" => o.check = true,
                 "--corrupt" => o.corrupt = Some(value("--corrupt")),
+                "--pool" => o.pool = true,
+                "--pool-threads" => {
+                    o.pool = true;
+                    o.pool_threads = value("--pool-threads").parse().ok().filter(|&n| n > 0);
+                }
                 other => {
                     eprintln!("unknown flag `{other}`");
                     exit(2);
@@ -237,20 +250,23 @@ fn reconstruct(opts: &Options) {
     };
 
     let t = std::time::Instant::now();
-    let rec = ReconstructorBuilder::new(grid, scan)
+    let mut builder = ReconstructorBuilder::new(grid, scan)
         .validate_plan(opts.check)
-        .build()
-        .unwrap_or_else(|e| {
-            if let BuildError::PlanCheck(report) = &e {
-                eprintln!("plan validation failed:");
-                for v in report.violations() {
-                    eprintln!("  {v}");
-                }
-                exit(3);
+        .use_pool(opts.pool);
+    if let Some(n) = opts.pool_threads {
+        builder = builder.pool_threads(n);
+    }
+    let rec = builder.build().unwrap_or_else(|e| {
+        if let BuildError::PlanCheck(report) = &e {
+            eprintln!("plan validation failed:");
+            for v in report.violations() {
+                eprintln!("  {v}");
             }
-            eprintln!("cannot build reconstructor: {e}");
-            exit(2);
-        });
+            exit(3);
+        }
+        eprintln!("cannot build reconstructor: {e}");
+        exit(2);
+    });
     if opts.check {
         println!(
             "preprocessing: {:.2}s (all invariants hold)",
@@ -258,6 +274,9 @@ fn reconstruct(opts: &Options) {
         );
     } else {
         println!("preprocessing: {:.2}s", t.elapsed().as_secs_f64());
+    }
+    if let Some(threads) = rec.pool_threads() {
+        println!("worker pool: {threads} persistent threads, nnz-balanced partitions");
     }
 
     let t = std::time::Instant::now();

@@ -48,9 +48,10 @@ pub use errors::BuildError;
 pub use fbp::{fbp, FbpConfig};
 pub use operator::{
     BufferedOperator, ClosureOperator, CompOperator, EllOperator, KernelBreakdown,
-    ParallelOperator, ProjectionOperator, RowSubsetOperator, SerialOperator, StackedOperator,
+    ParallelOperator, PooledOperator, PooledPlans, ProjectionOperator, RowSubsetOperator,
+    SerialOperator, StackedOperator, POOL_IMBALANCE_BACK, POOL_IMBALANCE_FORWARD,
 };
-pub use plan_check::{dist_checker, ledger_check, plan_checker, validate_plan};
+pub use plan_check::{dist_checker, exec_checker, ledger_check, plan_checker, validate_plan};
 pub use preprocess::{
     preprocess, try_preprocess, try_preprocess_with_metrics, Config, DomainOrdering, Kernel,
     Operators, PreprocessTimings, Projector,
@@ -58,8 +59,8 @@ pub use preprocess::{
 pub use reconstructor::{ReconOutput, Reconstructor, ReconstructorBuilder, VolumeOutput};
 pub use regularize::{cgls_smooth, gradient_operator};
 pub use solvers::{
-    cgls, cgls_regularized, run_engine, run_engine_with_metrics, sirt, sirt_nonneg, CgRule,
-    Constraint, IterationRecord, SirtRule, StopRule, UpdateRule,
+    cgls, cgls_regularized, run_engine, run_engine_in, run_engine_with_metrics, sirt, sirt_nonneg,
+    CgRule, Constraint, IterationRecord, SirtRule, SolverWorkspace, StopRule, UpdateRule,
 };
 pub use subsets::{OrderedSubsets, OsRule};
 pub use xct_check::{CheckViolation, Invariant, Report as CheckReport};

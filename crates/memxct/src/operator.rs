@@ -28,11 +28,17 @@ use std::time::Instant;
 
 use xct_compxct::CompXct;
 use xct_obs::{Metrics, KERNEL_AP_SECONDS, KERNEL_C_SECONDS, KERNEL_R_SECONDS};
+use xct_runtime::{ExecPlan, WorkerPool};
 use xct_sparse::{
-    spmv_into, spmv_parallel_into, BufferIndex, BufferedCsrImpl, CsrMatrix, EllMatrix,
+    spmv_into, spmv_parallel_into, BufferIndex, BufferedCsr, BufferedCsrImpl, CsrMatrix, EllMatrix,
 };
 
 use crate::preprocess::{Kernel, Operators};
+
+/// Gauge: forward-plan worker nnz imbalance (max worker weight / ideal).
+pub const POOL_IMBALANCE_FORWARD: &str = "pool/imbalance/forward";
+/// Gauge: backprojection-plan worker nnz imbalance.
+pub const POOL_IMBALANCE_BACK: &str = "pool/imbalance/back";
 
 /// Accumulated per-rank kernel times (seconds) across all iterations.
 ///
@@ -140,6 +146,15 @@ pub trait ProjectionOperator {
     /// for distributed ones.
     fn reduce_dot(&self, local: f64) -> f64 {
         local
+    }
+    /// Locally accumulate `⟨a, b⟩` in f64. The default is the sequential
+    /// [`xct_sparse::dot_f64`]; the pooled operator overrides it with the
+    /// deterministic fixed-chunk parallel reduction (bit-identical for
+    /// every worker count, but a *different* — equally valid — summation
+    /// order than the sequential one). Solvers route every dot through
+    /// this hook so one engine serves both worlds.
+    fn local_dot(&self, a: &[f32], b: &[f32]) -> f64 {
+        xct_sparse::dot_f64(a, b)
     }
     /// Accumulated per-kernel timings, if this operator tracks them.
     fn breakdown(&self) -> Option<KernelBreakdown> {
@@ -395,6 +410,258 @@ impl ProjectionOperator for EllOperator<'_> {
         self.at.spmv_into(y, x);
         self.meter
             .record(t, self.at.nnz() as u64, self.at.regular_bytes());
+    }
+    fn breakdown(&self) -> Option<KernelBreakdown> {
+        self.meter.breakdown()
+    }
+}
+
+/// Which memoized layout a [`PooledOperator`] drives through the pool.
+enum PooledBackend<'a> {
+    /// Plain CSR pair (serves both the serial and parallel kernels).
+    Csr {
+        /// Forward matrix.
+        a: &'a CsrMatrix,
+        /// Transpose.
+        at: &'a CsrMatrix,
+    },
+    /// Multi-stage buffered pair (16-bit addressing).
+    Buffered {
+        /// Forward layout.
+        a: &'a BufferedCsr,
+        /// Transpose layout.
+        at: &'a BufferedCsr,
+    },
+    /// Column-major ELL pair.
+    Ell {
+        /// Forward layout.
+        a: &'a EllMatrix,
+        /// Transpose layout.
+        at: &'a EllMatrix,
+    },
+}
+
+/// The static execution plans one [`PooledOperator`] reuses every
+/// iteration: nnz-balanced row partitions for the forward and
+/// backprojection SpMVs plus fixed-chunk reduction plans for both vector
+/// lengths. Built **once** at plan time (preprocessing / reconstructor
+/// build), so the solve loop never re-partitions.
+pub struct PooledPlans {
+    forward: ExecPlan,
+    back: ExecPlan,
+    dot_rows: ExecPlan,
+    dot_cols: ExecPlan,
+}
+
+impl PooledPlans {
+    /// Build the plans for `kernel` over the memoized layouts of `ops`,
+    /// splitting work across `workers` pool threads.
+    ///
+    /// # Panics
+    /// Panics if the requested layout was not built (see `Config`).
+    pub fn new(ops: &Operators, kernel: Kernel, workers: usize) -> Self {
+        let (forward, back) = match kernel {
+            Kernel::Serial | Kernel::Parallel => (
+                xct_sparse::csr_plan(&ops.a, workers),
+                xct_sparse::csr_plan(&ops.at, workers),
+            ),
+            Kernel::Buffered => (
+                ops.a_buf
+                    .as_ref()
+                    // lint: allow(no-panic) documented panic, same contract as BufferedOperator::new
+                    .expect("buffered layout not built; set Config::build_buffered")
+                    .exec_plan(workers),
+                ops.at_buf
+                    .as_ref()
+                    // lint: allow(no-panic) documented panic, same contract as BufferedOperator::new
+                    .expect("buffered layout not built; set Config::build_buffered")
+                    .exec_plan(workers),
+            ),
+            Kernel::Ell => (
+                ops.a_ell
+                    .as_ref()
+                    // lint: allow(no-panic) documented panic, same contract as EllOperator::new
+                    .expect("ELL layout not built; set Config::build_ell")
+                    .exec_plan(workers),
+                ops.at_ell
+                    .as_ref()
+                    // lint: allow(no-panic) documented panic, same contract as EllOperator::new
+                    .expect("ELL layout not built; set Config::build_ell")
+                    .exec_plan(workers),
+            ),
+        };
+        PooledPlans {
+            forward,
+            back,
+            dot_rows: xct_sparse::dot_plan(ops.a.nrows(), workers),
+            dot_cols: xct_sparse::dot_plan(ops.a.ncols(), workers),
+        }
+    }
+
+    /// The forward-projection row plan.
+    pub fn forward(&self) -> &ExecPlan {
+        &self.forward
+    }
+
+    /// The backprojection row plan.
+    pub fn back(&self) -> &ExecPlan {
+        &self.back
+    }
+
+    /// Every plan with its name, for validation sweeps.
+    pub fn all(&self) -> [(&'static str, &ExecPlan); 4] {
+        [
+            ("exec(forward)", &self.forward),
+            ("exec(back)", &self.back),
+            ("exec(dot/rows)", &self.dot_rows),
+            ("exec(dot/cols)", &self.dot_cols),
+        ]
+    }
+}
+
+/// A [`ProjectionOperator`] that drives the memoized layouts through the
+/// persistent [`WorkerPool`] over precomputed [`PooledPlans`] — no thread
+/// spawns and no partitioning decisions inside the solve loop, and (after
+/// construction) no heap allocation per application.
+///
+/// `local_dot` is overridden with the deterministic fixed-chunk pooled
+/// reduction, so reconstructions are bit-identical across worker counts
+/// (though the dot's summation order — and hence the trajectory — differs
+/// from the sequential default in the last bits).
+pub struct PooledOperator<'a> {
+    backend: PooledBackend<'a>,
+    pool: &'a WorkerPool,
+    plans: &'a PooledPlans,
+    nrows: usize,
+    ncols: usize,
+    /// Per-chunk dot partials, sized for the longer vector length.
+    dot_scratch: RefCell<Vec<f64>>,
+    meter: SpmvMeter,
+}
+
+impl<'a> PooledOperator<'a> {
+    /// Wrap the `kernel` layouts of `ops`, executing on `pool` over
+    /// `plans`. The pool's thread count must match the plans' worker
+    /// count.
+    ///
+    /// # Panics
+    /// Panics if the requested layout was not built (see `Config`).
+    pub fn new(
+        ops: &'a Operators,
+        kernel: Kernel,
+        plans: &'a PooledPlans,
+        pool: &'a WorkerPool,
+    ) -> Self {
+        let backend = match kernel {
+            Kernel::Serial | Kernel::Parallel => PooledBackend::Csr {
+                a: &ops.a,
+                at: &ops.at,
+            },
+            Kernel::Buffered => PooledBackend::Buffered {
+                a: ops
+                    .a_buf
+                    .as_ref()
+                    // lint: allow(no-panic) documented panic, same contract as BufferedOperator::new
+                    .expect("buffered layout not built; set Config::build_buffered"),
+                at: ops
+                    .at_buf
+                    .as_ref()
+                    // lint: allow(no-panic) documented panic, same contract as BufferedOperator::new
+                    .expect("buffered layout not built; set Config::build_buffered"),
+            },
+            Kernel::Ell => PooledBackend::Ell {
+                a: ops
+                    .a_ell
+                    .as_ref()
+                    // lint: allow(no-panic) documented panic, same contract as EllOperator::new
+                    .expect("ELL layout not built; set Config::build_ell"),
+                at: ops
+                    .at_ell
+                    .as_ref()
+                    // lint: allow(no-panic) documented panic, same contract as EllOperator::new
+                    .expect("ELL layout not built; set Config::build_ell"),
+            },
+        };
+        let nrows = ops.a.nrows();
+        let ncols = ops.a.ncols();
+        let slots = xct_sparse::dot_chunks(nrows).max(xct_sparse::dot_chunks(ncols));
+        PooledOperator {
+            backend,
+            pool,
+            plans,
+            nrows,
+            ncols,
+            dot_scratch: RefCell::new(vec![0f64; slots]),
+            meter: SpmvMeter::new(Metrics::collecting(), "pooled"),
+        }
+    }
+
+    /// Record into `metrics` instead of a private registry, and publish
+    /// the plan imbalance gauges.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        metrics.gauge_set(POOL_IMBALANCE_FORWARD, self.plans.forward.imbalance());
+        metrics.gauge_set(POOL_IMBALANCE_BACK, self.plans.back.imbalance());
+        self.meter.metrics = metrics;
+        self
+    }
+}
+
+impl ProjectionOperator for PooledOperator<'_> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn forward_into(&self, x: &[f32], y: &mut [f32]) {
+        let t = self.meter.start();
+        let (nnz, bytes) = match self.backend {
+            PooledBackend::Csr { a, .. } => {
+                xct_sparse::spmv_pooled_into(a, x, y, &self.plans.forward, self.pool);
+                (a.nnz() as u64, a.regular_bytes())
+            }
+            PooledBackend::Buffered { a, .. } => {
+                a.spmv_pooled_into(x, y, &self.plans.forward, self.pool);
+                (a.nnz() as u64, a.regular_bytes())
+            }
+            PooledBackend::Ell { a, .. } => {
+                a.spmv_pooled_into(x, y, &self.plans.forward, self.pool);
+                (a.nnz() as u64, a.regular_bytes())
+            }
+        };
+        self.meter.record(t, nnz, bytes);
+    }
+    fn back_into(&self, y: &[f32], x: &mut [f32]) {
+        let t = self.meter.start();
+        let (nnz, bytes) = match self.backend {
+            PooledBackend::Csr { at, .. } => {
+                xct_sparse::spmv_pooled_into(at, y, x, &self.plans.back, self.pool);
+                (at.nnz() as u64, at.regular_bytes())
+            }
+            PooledBackend::Buffered { at, .. } => {
+                at.spmv_pooled_into(y, x, &self.plans.back, self.pool);
+                (at.nnz() as u64, at.regular_bytes())
+            }
+            PooledBackend::Ell { at, .. } => {
+                at.spmv_pooled_into(y, x, &self.plans.back, self.pool);
+                (at.nnz() as u64, at.regular_bytes())
+            }
+        };
+        self.meter.record(t, nnz, bytes);
+    }
+    fn local_dot(&self, a: &[f32], b: &[f32]) -> f64 {
+        let plan = if a.len() == self.nrows {
+            &self.plans.dot_rows
+        } else if a.len() == self.ncols {
+            &self.plans.dot_cols
+        } else {
+            // No precomputed plan at this length (only reachable from
+            // custom callers) — the sequential sum is still deterministic.
+            return xct_sparse::dot_f64(a, b);
+        };
+        let mut scratch = self.dot_scratch.borrow_mut();
+        let slots = xct_sparse::dot_chunks(a.len());
+        xct_sparse::dot_f64_pooled(self.pool, plan, a, b, &mut scratch[..slots])
     }
     fn breakdown(&self) -> Option<KernelBreakdown> {
         self.meter.breakdown()

@@ -14,10 +14,11 @@
 //! unvalidated one.
 
 use crate::dist::RankPlan;
+use crate::operator::PooledPlans;
 use crate::preprocess::Operators;
 use xct_check::{
-    BufferedCheck, Checker, CsrCheck, EllCheck, LedgerCheck, PartitionCheck, PermutationCheck,
-    Report, ScheduleCheck, TransposeCheck,
+    BufferedCheck, Checker, CsrCheck, EllCheck, ExecPlanCheck, LedgerCheck, PartitionCheck,
+    PermutationCheck, Report, ScheduleCheck, TransposeCheck,
 };
 
 /// A [`Checker`] over every memoized structure the plan holds: CSR
@@ -57,6 +58,26 @@ pub fn plan_checker(ops: &Operators) -> Checker<'_> {
 /// Run [`plan_checker`] into a fresh [`Report`].
 pub fn validate_plan(ops: &Operators) -> Report {
     plan_checker(ops).run()
+}
+
+/// A [`Checker`] over the static execution plans of a pooled
+/// reconstructor: every plan's partition bounds must tile its domain,
+/// its `weights`/`assign` arrays must be structurally sound, and every
+/// worker's assigned weight must respect the greedy split's balance
+/// bound.
+pub fn exec_checker(plans: &PooledPlans) -> Checker<'_> {
+    let mut c = Checker::new();
+    for (name, plan) in plans.all() {
+        c.add(ExecPlanCheck::new(
+            name,
+            plan.rows(),
+            plan.bounds().to_vec(),
+            plan.weights().to_vec(),
+            plan.assign().to_vec(),
+            plan.max_unit_weight(),
+        ));
+    }
+    c
 }
 
 /// A [`Checker`] over distributed rank plans: both domain partitions cover

@@ -1,17 +1,24 @@
 //! High-level single-call reconstruction API, built through
 //! [`ReconstructorBuilder`].
 
+use std::sync::Mutex;
+
 use crate::dist::{reconstruct_distributed_with_metrics, DistConfig, DistOutput};
 use crate::errors::BuildError;
-use crate::operator::KernelBreakdown;
+use crate::operator::{
+    KernelBreakdown, PooledOperator, PooledPlans, ProjectionOperator, POOL_IMBALANCE_BACK,
+    POOL_IMBALANCE_FORWARD,
+};
 use crate::preprocess::{
     try_preprocess_with_metrics, Config, DomainOrdering, Kernel, Operators, Projector,
 };
 use crate::solvers::{
-    run_engine_with_metrics, CgRule, Constraint, IterationRecord, SirtRule, StopRule,
+    run_engine_in, CgRule, Constraint, IterationRecord, SirtRule, SolverWorkspace, StopRule,
+    UpdateRule,
 };
 use xct_geometry::{Grid, ScanGeometry, Sinogram};
 use xct_obs::{Metrics, MetricsSnapshot};
+use xct_runtime::WorkerPool;
 
 /// Result of a reconstruction: the image plus convergence records.
 pub struct ReconOutput {
@@ -57,6 +64,8 @@ pub struct ReconstructorBuilder {
     kernel: Option<Kernel>,
     metrics: Option<Metrics>,
     validate: bool,
+    use_pool: bool,
+    pool_threads: Option<usize>,
 }
 
 impl ReconstructorBuilder {
@@ -70,6 +79,8 @@ impl ReconstructorBuilder {
             kernel: None,
             metrics: None,
             validate: false,
+            use_pool: false,
+            pool_threads: None,
         }
     }
 
@@ -132,6 +143,27 @@ impl ReconstructorBuilder {
         self
     }
 
+    /// Execute solves on a persistent worker pool over static
+    /// nnz-balanced partitions (default false). The pool's threads are
+    /// spawned once at [`build`](Self::build) and parked between
+    /// dispatches; the row partitions and reduction plans are precomputed
+    /// there too, so steady-state solver iterations perform no thread
+    /// spawns and no heap allocations. Results are deterministic: bit
+    /// identical for every thread count (though the pooled reduction
+    /// order differs from the unpooled path in the last bits).
+    pub fn use_pool(mut self, use_pool: bool) -> Self {
+        self.use_pool = use_pool;
+        self
+    }
+
+    /// Worker count for [`use_pool`](Self::use_pool). Default: the
+    /// `RAYON_NUM_THREADS` environment variable, else available
+    /// parallelism.
+    pub fn pool_threads(mut self, threads: usize) -> Self {
+        self.pool_threads = Some(threads);
+        self
+    }
+
     /// Run the `xct-check` invariant sweep ([`crate::plan_check`]) over
     /// every memoized structure after preprocessing (default false).
     /// [`build`](Self::build) then fails with [`BuildError::PlanCheck`] if
@@ -166,8 +198,23 @@ impl ReconstructorBuilder {
         };
         let metrics = self.metrics.unwrap_or_else(Metrics::collecting);
         let ops = try_preprocess_with_metrics(self.grid, self.scan, &self.config, &metrics)?;
+        let exec = if self.use_pool {
+            let threads = self.pool_threads.unwrap_or_else(xct_runtime::env_threads);
+            let plans = PooledPlans::new(&ops, kernel, threads);
+            metrics.gauge_set(POOL_IMBALANCE_FORWARD, plans.forward().imbalance());
+            metrics.gauge_set(POOL_IMBALANCE_BACK, plans.back().imbalance());
+            Some(ExecContext {
+                pool: WorkerPool::with_metrics(threads, metrics.clone()),
+                plans,
+            })
+        } else {
+            None
+        };
         if self.validate {
-            let report = crate::plan_check::validate_plan(&ops);
+            let mut report = crate::plan_check::validate_plan(&ops);
+            if let Some(exec) = &exec {
+                crate::plan_check::exec_checker(&exec.plans).run_into(&mut report);
+            }
             if !report.is_ok() {
                 return Err(BuildError::PlanCheck(report));
             }
@@ -176,8 +223,18 @@ impl ReconstructorBuilder {
             ops,
             kernel,
             metrics,
+            exec,
+            workspace: Mutex::new(SolverWorkspace::new(0, 0)),
         })
     }
+}
+
+/// The execution context of a pooled reconstructor: the persistent
+/// worker pool and the static partition/reduction plans, both built once
+/// at [`ReconstructorBuilder::build`] and reused by every solve.
+struct ExecContext {
+    pool: WorkerPool,
+    plans: PooledPlans,
 }
 
 /// A preprocessed reconstructor bound to one geometry. Preprocessing cost
@@ -205,6 +262,11 @@ pub struct Reconstructor {
     ops: Operators,
     kernel: Kernel,
     metrics: Metrics,
+    /// Persistent pool + static plans when built with `use_pool(true)`.
+    exec: Option<ExecContext>,
+    /// Solver buffers reused across solves — after the first solve at
+    /// this geometry, steady-state iterations allocate nothing.
+    workspace: Mutex<SolverWorkspace>,
 }
 
 impl Reconstructor {
@@ -247,9 +309,21 @@ impl Reconstructor {
     }
 
     /// Re-run the `xct-check` invariant sweep over the memoized structures
-    /// at any time (see [`crate::plan_check::validate_plan`]).
+    /// at any time (see [`crate::plan_check::validate_plan`]); for a
+    /// pooled reconstructor the sweep also covers the execution plans
+    /// ([`crate::plan_check::exec_checker`]).
     pub fn validate_plan(&self) -> xct_check::Report {
-        crate::plan_check::validate_plan(&self.ops)
+        let mut report = crate::plan_check::validate_plan(&self.ops);
+        if let Some(exec) = &self.exec {
+            crate::plan_check::exec_checker(&exec.plans).run_into(&mut report);
+        }
+        report
+    }
+
+    /// Whether solves run on the persistent worker pool (and with how
+    /// many threads).
+    pub fn pool_threads(&self) -> Option<usize> {
+        self.exec.as_ref().map(|e| e.pool.num_threads())
     }
 
     /// Which kernel this reconstructor applies.
@@ -293,6 +367,42 @@ impl Reconstructor {
         }
     }
 
+    /// Run one solve through the engine: pooled operator when the
+    /// reconstructor was built with `use_pool(true)`, plain kernel
+    /// operator otherwise, always inside the persistent workspace.
+    fn run_solver(
+        &self,
+        y: &[f32],
+        rule: &mut dyn UpdateRule,
+        constraint: Constraint,
+        stop: StopRule,
+    ) -> ReconOutput {
+        let op: Box<dyn ProjectionOperator + '_> = match &self.exec {
+            Some(exec) => Box::new(
+                PooledOperator::new(&self.ops, self.kernel, &exec.plans, &exec.pool)
+                    .with_metrics(self.metrics.clone()),
+            ),
+            None => self
+                .ops
+                .operator_with_metrics(self.kernel, self.metrics.clone()),
+        };
+        let mut ws = self.workspace.lock().unwrap_or_else(|p| p.into_inner());
+        run_engine_in(
+            op.as_ref(),
+            y,
+            rule,
+            constraint,
+            stop,
+            &self.metrics,
+            &mut ws,
+        );
+        ReconOutput {
+            image: self.ops.unorder_tomogram(ws.x()),
+            records: ws.records().to_vec(),
+            breakdown: op.breakdown().unwrap_or_default(),
+        }
+    }
+
     /// Fallible [`Reconstructor::reconstruct_cg`].
     pub fn try_reconstruct_cg(
         &self,
@@ -301,22 +411,7 @@ impl Reconstructor {
     ) -> Result<ReconOutput, BuildError> {
         self.check_sinogram(sino)?;
         let y = self.ops.order_sinogram(sino);
-        let op = self
-            .ops
-            .operator_with_metrics(self.kernel, self.metrics.clone());
-        let (x, records) = run_engine_with_metrics(
-            op.as_ref(),
-            &y,
-            &mut CgRule::new(),
-            Constraint::None,
-            stop,
-            &self.metrics,
-        );
-        Ok(ReconOutput {
-            image: self.ops.unorder_tomogram(&x),
-            records,
-            breakdown: op.breakdown().unwrap_or_default(),
-        })
+        Ok(self.run_solver(&y, &mut CgRule::new(), Constraint::None, stop))
     }
 
     /// Reconstruct one slice with SIRT (for baseline comparisons).
@@ -340,22 +435,12 @@ impl Reconstructor {
     ) -> Result<ReconOutput, BuildError> {
         self.check_sinogram(sino)?;
         let y = self.ops.order_sinogram(sino);
-        let op = self
-            .ops
-            .operator_with_metrics(self.kernel, self.metrics.clone());
-        let (x, records) = run_engine_with_metrics(
-            op.as_ref(),
+        Ok(self.run_solver(
             &y,
             &mut SirtRule::new(1.0),
             Constraint::None,
             StopRule::Fixed(iters),
-            &self.metrics,
-        );
-        Ok(ReconOutput {
-            image: self.ops.unorder_tomogram(&x),
-            records,
-            breakdown: op.breakdown().unwrap_or_default(),
-        })
+        ))
     }
 
     /// Reconstruct one slice with the distributed (threads-as-ranks) CG

@@ -18,7 +18,6 @@
 
 use crate::operator::{ClosureOperator, ProjectionOperator};
 use xct_obs::Metrics;
-use xct_sparse::dot_f64;
 
 /// Convergence record of one iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,18 +77,107 @@ pub enum Constraint {
     NonNegative,
 }
 
+/// Preallocated solver state: the iterate, every intermediate vector the
+/// update rules need, and the record list — sized once, reused across
+/// iterations (and across solves, via [`run_engine_in`]).
+///
+/// This is what makes the steady-state iteration loop allocation-free:
+/// `q = A·p` and `s = Aᵀ·r` land in preallocated buffers through the
+/// operator's `*_into` kernels, vector updates happen in place, and the
+/// record list's capacity is reserved up front from the stop rule's
+/// iteration cap.
+pub struct SolverWorkspace {
+    /// The iterate (tomogram domain, `ncols`).
+    x: Vec<f32>,
+    /// Sinogram-domain residual (`r` in CG, `y − A·x` in SIRT).
+    resid: Vec<f32>,
+    /// Projection output (`q = A·p` in CG), sinogram domain.
+    proj: Vec<f32>,
+    /// Backprojection output (`s = Aᵀ·r` in CG, the update in SIRT).
+    back: Vec<f32>,
+    /// Search direction (`p` in CG), tomogram domain.
+    dir: Vec<f32>,
+    /// Per-iteration convergence records.
+    records: Vec<IterationRecord>,
+}
+
+impl SolverWorkspace {
+    /// A workspace for an `nrows × ncols` operator, all buffers
+    /// allocated up front.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        SolverWorkspace {
+            x: vec![0f32; ncols],
+            resid: vec![0f32; nrows],
+            proj: vec![0f32; nrows],
+            back: vec![0f32; ncols],
+            dir: vec![0f32; ncols],
+            records: Vec::new(),
+        }
+    }
+
+    /// A workspace sized for `op`.
+    pub fn for_operator(op: &dyn ProjectionOperator) -> Self {
+        SolverWorkspace::new(op.nrows(), op.ncols())
+    }
+
+    /// The solution after a solve.
+    pub fn x(&self) -> &[f32] {
+        &self.x
+    }
+
+    /// Mutable access to the iterate, for update rules that manage their
+    /// own intermediate state (e.g. ordered subsets).
+    pub fn x_mut(&mut self) -> &mut [f32] {
+        &mut self.x
+    }
+
+    /// The per-iteration records of the last solve.
+    pub fn records(&self) -> &[IterationRecord] {
+        &self.records
+    }
+
+    /// Reset for a solve against an `nrows × ncols` operator running at
+    /// most `cap` iterations: zero the iterate, (re)size buffers, clear
+    /// records and reserve their capacity. After the first solve at a
+    /// given size this performs no allocation.
+    fn begin(&mut self, nrows: usize, ncols: usize, cap: usize) {
+        self.x.clear();
+        self.x.resize(ncols, 0.0);
+        self.resid.clear();
+        self.resid.resize(nrows, 0.0);
+        self.proj.clear();
+        self.proj.resize(nrows, 0.0);
+        self.back.clear();
+        self.back.resize(ncols, 0.0);
+        self.dir.clear();
+        self.dir.resize(ncols, 0.0);
+        self.records.clear();
+        if self.records.capacity() < cap {
+            self.records.reserve(cap - self.records.capacity());
+        }
+    }
+}
+
 /// One iteration of an iterative reconstruction scheme.
 ///
-/// A rule owns all of its solver state (search directions, residuals,
-/// normalization weights, …), lazily initialized on the first
-/// [`step`](UpdateRule::step) so construction stays trivially cheap. All
-/// scalar reductions must go through the operator's `reduce_dot` hook so
-/// the rule works unchanged on distributed operators.
+/// A rule owns its scalar solver state (step scalars, normalization
+/// weights, …), lazily initialized on the first
+/// [`step`](UpdateRule::step) so construction stays trivially cheap; all
+/// iteration vectors live in the shared [`SolverWorkspace`]. Because
+/// initialization is lazy, **one rule instance drives one solve** — use
+/// a fresh rule per solve. All scalar reductions must go through the
+/// operator's `reduce_dot` hook so the rule works unchanged on
+/// distributed operators.
 pub trait UpdateRule {
-    /// Advance `x` by one iteration against measurements `y`. Returns the
-    /// residual norm `‖y − A·x‖` to record, or `None` on numerical
+    /// Advance `ws.x` by one iteration against measurements `y`. Returns
+    /// the residual norm `‖y − A·x‖` to record, or `None` on numerical
     /// breakdown (the solve ends without recording the iteration).
-    fn step(&mut self, op: &dyn ProjectionOperator, y: &[f32], x: &mut [f32]) -> Option<f64>;
+    fn step(
+        &mut self,
+        op: &dyn ProjectionOperator,
+        y: &[f32],
+        ws: &mut SolverWorkspace,
+    ) -> Option<f64>;
 }
 
 /// Run `rule` against `op` until `stop` says otherwise, from `x = 0`.
@@ -127,22 +215,48 @@ pub fn run_engine_with_metrics<R: UpdateRule + ?Sized>(
     stop: StopRule,
     metrics: &Metrics,
 ) -> (Vec<f32>, Vec<IterationRecord>) {
-    let mut x = vec![0f32; op.ncols()];
-    let mut records = Vec::new();
+    let mut ws = SolverWorkspace::for_operator(op);
+    run_engine_in(op, y, rule, constraint, stop, metrics, &mut ws);
+    (ws.x, ws.records)
+}
+
+/// The allocation-free engine entry point: run a solve inside a
+/// caller-owned [`SolverWorkspace`]. The solution and records are left
+/// in the workspace ([`SolverWorkspace::x`],
+/// [`SolverWorkspace::records`]).
+///
+/// After the workspace has been warmed at the operator's dimensions
+/// (one prior solve, or construction via
+/// [`SolverWorkspace::for_operator`] plus a first iteration), the whole
+/// loop performs zero heap allocations: update rules write into
+/// workspace buffers via `*_into` kernels, and records land in reserved
+/// capacity. Combined with a pooled operator (whose workers are spawned
+/// once at plan time) a steady-state iteration also performs zero thread
+/// spawns.
+pub fn run_engine_in<R: UpdateRule + ?Sized>(
+    op: &dyn ProjectionOperator,
+    y: &[f32],
+    rule: &mut R,
+    constraint: Constraint,
+    stop: StopRule,
+    metrics: &Metrics,
+    ws: &mut SolverWorkspace,
+) {
+    ws.begin(op.nrows(), op.ncols(), stop.max_iters());
     let mut prev_res = f64::INFINITY;
     let mut early = false;
     for iter in 0..stop.max_iters() {
         let t0 = std::time::Instant::now();
-        let Some(res) = rule.step(op, y, &mut x) else {
+        let Some(res) = rule.step(op, y, ws) else {
             break; // numerical breakdown (exact solution reached)
         };
         if constraint == Constraint::NonNegative {
-            for xi in x.iter_mut() {
+            for xi in ws.x.iter_mut() {
                 *xi = xi.max(0.0);
             }
         }
         let t_dot = metrics.enabled().then(std::time::Instant::now);
-        let sol = op.reduce_dot(dot_f64(&x, &x)).sqrt();
+        let sol = op.reduce_dot(op.local_dot(&ws.x, &ws.x)).sqrt();
         if let Some(t) = t_dot {
             metrics.timer_observe("solver/dot_s", t.elapsed().as_secs_f64());
         }
@@ -151,7 +265,7 @@ pub fn run_engine_with_metrics<R: UpdateRule + ?Sized>(
         metrics.series_push("solver/solution_norm", sol);
         metrics.series_push("solver/iter_seconds", seconds);
         metrics.counter_add("solver/iterations", 1);
-        records.push(IterationRecord {
+        ws.records.push(IterationRecord {
             iter,
             residual_norm: res,
             solution_norm: sol,
@@ -164,15 +278,6 @@ pub fn run_engine_with_metrics<R: UpdateRule + ?Sized>(
         prev_res = res;
     }
     metrics.gauge_set("solver/early_terminated", early as u64 as f64);
-    (x, records)
-}
-
-struct CgState {
-    r: Vec<f32>,
-    s: Vec<f32>,
-    p: Vec<f32>,
-    q: Vec<f32>,
-    gamma: f64,
 }
 
 /// CGLS: minimize `‖y − A·x‖₂²` (plus `λ‖x‖₂²` when regularized).
@@ -185,7 +290,9 @@ struct CgState {
 /// the curvature term to `‖q‖² + λ‖p‖²`.
 pub struct CgRule {
     lambda: f32,
-    state: Option<CgState>,
+    /// `γ = ⟨s, s⟩` carried between iterations; `None` until the first
+    /// step initializes the residual/direction vectors in the workspace.
+    gamma: Option<f64>,
 }
 
 impl CgRule {
@@ -193,7 +300,7 @@ impl CgRule {
     pub fn new() -> Self {
         CgRule {
             lambda: 0.0,
-            state: None,
+            gamma: None,
         }
     }
 
@@ -204,7 +311,7 @@ impl CgRule {
         assert!(lambda >= 0.0);
         CgRule {
             lambda,
-            state: None,
+            gamma: None,
         }
     }
 }
@@ -216,56 +323,56 @@ impl Default for CgRule {
 }
 
 impl UpdateRule for CgRule {
-    fn step(&mut self, op: &dyn ProjectionOperator, y: &[f32], x: &mut [f32]) -> Option<f64> {
-        let st = match &mut self.state {
-            Some(st) => st,
+    fn step(
+        &mut self,
+        op: &dyn ProjectionOperator,
+        y: &[f32],
+        ws: &mut SolverWorkspace,
+    ) -> Option<f64> {
+        // Workspace roles: resid = r, back = s, dir = p, proj = q.
+        let gamma = match self.gamma {
+            Some(g) => g,
             None => {
                 // x = 0: residual is y, and the − λ·x term vanishes.
-                let r = y.to_vec();
-                let mut s = vec![0f32; op.ncols()];
-                op.back_into(&r, &mut s);
-                let gamma = op.reduce_dot(dot_f64(&s, &s));
-                let p = s.clone();
-                self.state.insert(CgState {
-                    r,
-                    s,
-                    p,
-                    q: vec![0f32; op.nrows()],
-                    gamma,
-                })
+                ws.resid.copy_from_slice(y);
+                op.back_into(&ws.resid, &mut ws.back);
+                let g = op.reduce_dot(op.local_dot(&ws.back, &ws.back));
+                ws.dir.copy_from_slice(&ws.back);
+                self.gamma = Some(g);
+                g
             }
         };
-        if st.gamma == 0.0 {
+        if gamma == 0.0 {
             return None; // exact solution reached
         }
-        op.forward_into(&st.p, &mut st.q);
-        let mut qq = op.reduce_dot(dot_f64(&st.q, &st.q));
+        op.forward_into(&ws.dir, &mut ws.proj);
+        let mut qq = op.reduce_dot(op.local_dot(&ws.proj, &ws.proj));
         if self.lambda != 0.0 {
-            qq += self.lambda as f64 * op.reduce_dot(dot_f64(&st.p, &st.p));
+            qq += self.lambda as f64 * op.reduce_dot(op.local_dot(&ws.dir, &ws.dir));
         }
         if qq == 0.0 {
             return None;
         }
-        let alpha = (st.gamma / qq) as f32;
-        for (xi, &pi) in x.iter_mut().zip(&st.p) {
+        let alpha = (gamma / qq) as f32;
+        for (xi, &pi) in ws.x.iter_mut().zip(&ws.dir) {
             *xi += alpha * pi;
         }
-        for (ri, &qi) in st.r.iter_mut().zip(&st.q) {
+        for (ri, &qi) in ws.resid.iter_mut().zip(&ws.proj) {
             *ri -= alpha * qi;
         }
-        op.back_into(&st.r, &mut st.s);
+        op.back_into(&ws.resid, &mut ws.back);
         if self.lambda != 0.0 {
-            for (si, &xi) in st.s.iter_mut().zip(x.iter()) {
+            for (si, &xi) in ws.back.iter_mut().zip(ws.x.iter()) {
                 *si -= self.lambda * xi;
             }
         }
-        let gamma_new = op.reduce_dot(dot_f64(&st.s, &st.s));
-        let beta = (gamma_new / st.gamma) as f32;
-        st.gamma = gamma_new;
-        for (pi, &si) in st.p.iter_mut().zip(&st.s) {
+        let gamma_new = op.reduce_dot(op.local_dot(&ws.back, &ws.back));
+        let beta = (gamma_new / gamma) as f32;
+        self.gamma = Some(gamma_new);
+        for (pi, &si) in ws.dir.iter_mut().zip(&ws.back) {
             *pi = si + beta * *pi;
         }
-        Some(op.reduce_dot(dot_f64(&st.r, &st.r)).sqrt())
+        Some(op.reduce_dot(op.local_dot(&ws.resid, &ws.resid)).sqrt())
     }
 }
 
@@ -277,8 +384,6 @@ impl UpdateRule for CgRule {
 pub struct SirtRule {
     relaxation: f32,
     weights: Option<(Vec<f32>, Vec<f32>)>,
-    r: Vec<f32>,
-    u: Vec<f32>,
 }
 
 impl SirtRule {
@@ -289,42 +394,49 @@ impl SirtRule {
         SirtRule {
             relaxation,
             weights: None,
-            r: Vec::new(),
-            u: Vec::new(),
         }
     }
 }
 
 impl UpdateRule for SirtRule {
-    fn step(&mut self, op: &dyn ProjectionOperator, y: &[f32], x: &mut [f32]) -> Option<f64> {
+    fn step(
+        &mut self,
+        op: &dyn ProjectionOperator,
+        y: &[f32],
+        ws: &mut SolverWorkspace,
+    ) -> Option<f64> {
+        // Workspace roles: resid = weighted residual, back = Aᵀ·R·r.
         if self.weights.is_none() {
+            // Weight setup borrows ws.dir/ws.resid as the all-ones probe
+            // vectors, so the only allocations live in the one-time
+            // weights themselves (steady-state steps are allocation-free).
             let inv = |v: f32| if v > 0.0 { 1.0 / v } else { 0.0 };
             let mut row_w = vec![0f32; op.nrows()];
-            op.forward_into(&vec![1f32; op.ncols()], &mut row_w);
+            ws.dir.fill(1.0);
+            op.forward_into(&ws.dir, &mut row_w);
             for v in row_w.iter_mut() {
                 *v = inv(*v);
             }
             let mut col_w = vec![0f32; op.ncols()];
-            op.back_into(&vec![1f32; op.nrows()], &mut col_w);
+            ws.resid.fill(1.0);
+            op.back_into(&ws.resid, &mut col_w);
             for v in col_w.iter_mut() {
                 *v = inv(*v);
             }
             self.weights = Some((row_w, col_w));
-            self.r = vec![0f32; op.nrows()];
-            self.u = vec![0f32; op.ncols()];
         }
         // lint: allow(no-panic) weights are initialized earlier in this method
         let (row_w, col_w) = self.weights.as_ref().expect("initialized above");
-        op.forward_into(x, &mut self.r);
-        for (ri, &yi) in self.r.iter_mut().zip(y) {
+        op.forward_into(&ws.x, &mut ws.resid);
+        for (ri, &yi) in ws.resid.iter_mut().zip(y) {
             *ri = yi - *ri;
         }
-        let res = op.reduce_dot(dot_f64(&self.r, &self.r)).sqrt();
-        for (ri, &w) in self.r.iter_mut().zip(row_w) {
+        let res = op.reduce_dot(op.local_dot(&ws.resid, &ws.resid)).sqrt();
+        for (ri, &w) in ws.resid.iter_mut().zip(row_w) {
             *ri *= w;
         }
-        op.back_into(&self.r, &mut self.u);
-        for ((xi, &ui), &w) in x.iter_mut().zip(&self.u).zip(col_w) {
+        op.back_into(&ws.resid, &mut ws.back);
+        for ((xi, &ui), &w) in ws.x.iter_mut().zip(&ws.back).zip(col_w) {
             *xi += self.relaxation * ui * w;
         }
         Some(res)

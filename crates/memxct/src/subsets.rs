@@ -11,7 +11,9 @@
 
 use crate::operator::{ProjectionOperator, RowSubsetOperator};
 use crate::preprocess::Operators;
-use crate::solvers::{run_engine, Constraint, IterationRecord, StopRule, UpdateRule};
+use crate::solvers::{
+    run_engine, Constraint, IterationRecord, SolverWorkspace, StopRule, UpdateRule,
+};
 use xct_sparse::{spmv, CsrMatrix};
 
 /// The row blocks of `A` for one angle-interleaved subset.
@@ -173,7 +175,13 @@ pub struct OsRule<'a> {
 }
 
 impl UpdateRule for OsRule<'_> {
-    fn step(&mut self, _op: &dyn ProjectionOperator, y: &[f32], x: &mut [f32]) -> Option<f64> {
+    fn step(
+        &mut self,
+        _op: &dyn ProjectionOperator,
+        y: &[f32],
+        ws: &mut SolverWorkspace,
+    ) -> Option<f64> {
+        let x = ws.x_mut();
         for (sub, view) in self.subsets.iter().zip(&self.views) {
             // Residual restricted to the subset's rays.
             let mut r = vec![0f32; view.nrows()];

@@ -1,0 +1,99 @@
+//! Proof of the allocation-free hot path: after one warmup solve, a
+//! steady-state CG solve on the pooled operator performs **zero heap
+//! allocations** — counted by a wrapping global allocator across *all*
+//! threads. Since `std::thread::spawn` must allocate (the closure box,
+//! the JoinHandle packet, the thread stack bookkeeping), zero allocations
+//! also proves **zero thread spawns**: only the workers parked at pool
+//! construction ever run.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use memxct::{
+    preprocess, CgRule, Config, Constraint, Kernel, PooledOperator, PooledPlans, SolverWorkspace,
+    StopRule,
+};
+use xct_geometry::{disk, simulate_sinogram, Grid, NoiseModel, ScanGeometry};
+use xct_obs::Metrics;
+use xct_runtime::WorkerPool;
+
+/// Counts every allocation on every thread; frees are not counted (a
+/// steady-state loop that frees without allocating would still shrink,
+/// never grow).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_cg_solve_allocates_nothing_and_spawns_nothing() {
+    let n = 24u32;
+    let grid = Grid::new(n);
+    let scan = ScanGeometry::new(36, n);
+    let img = disk(0.6, 1.0).rasterize(n);
+    let sino = simulate_sinogram(&img, &grid, &scan, NoiseModel::None, 0);
+    let ops = preprocess(grid, scan, &Config::default());
+    let y = ops.order_sinogram(&sino);
+
+    let threads = 2;
+    let pool = WorkerPool::new(threads);
+    let plans = PooledPlans::new(&ops, Kernel::Buffered, threads);
+    let op = PooledOperator::new(&ops, Kernel::Buffered, &plans, &pool);
+    let metrics = Metrics::noop();
+    let stop = StopRule::Fixed(6);
+    let mut ws = SolverWorkspace::for_operator(&op);
+
+    // Warmup: sizes the workspace buffers, grows each worker's persistent
+    // scratch to the buffered kernel's footprint, and reserves the record
+    // list's capacity.
+    memxct::run_engine_in(
+        &op,
+        &y,
+        &mut CgRule::new(),
+        Constraint::None,
+        stop,
+        &metrics,
+        &mut ws,
+    );
+    let warm_records = ws.records().len();
+    assert!(warm_records > 0, "warmup must actually iterate");
+
+    // Steady state: a whole fresh solve — same workspace, fresh rule —
+    // must not touch the allocator from any thread.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    memxct::run_engine_in(
+        &op,
+        &y,
+        &mut CgRule::new(),
+        Constraint::None,
+        stop,
+        &metrics,
+        &mut ws,
+    );
+    let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(ws.records().len(), warm_records, "same trajectory");
+    assert_eq!(
+        delta, 0,
+        "steady-state CG solve performed {delta} heap allocation(s)"
+    );
+}

@@ -16,14 +16,24 @@
 //!   are computed by the real partitioner on the real matrices; only the
 //!   per-byte and per-message rates are modeled. This is the documented
 //!   substitution for hardware we do not have (see DESIGN.md).
+//! - [`WorkerPool`] / [`ExecPlan`]: the in-node execution layer — a
+//!   persistent worker pool (spawned once, parked between dispatches)
+//!   driving static nnz-balanced row partitions, mirroring the paper's
+//!   `partsize` load balancing (§3.2). The two `unsafe` sites in
+//!   `pool.rs` (lifetime-erased job pointer, disjoint output slicing)
+//!   are the only ones in the workspace and carry `SAFETY` arguments.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
 
 mod comm;
 mod model;
+mod pool;
 
 pub use comm::{run_ranks, CollectiveStats, CommLedger, Communicator};
 pub use model::{
     iteration_time, KernelTimes, KernelVolumes, MachineSpec, BLUE_WATERS, COOLEY, THETA,
+};
+pub use pool::{
+    env_threads, ExecPlan, WorkerPool, POOL_DISPATCHES, POOL_DISPATCH_SECONDS, POOL_UTILIZATION,
+    POOL_WORKERS,
 };

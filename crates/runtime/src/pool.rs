@@ -1,0 +1,702 @@
+//! Persistent worker pool and static, nnz-balanced execution plans.
+//!
+//! MemXCT load-balances row partitions by nonzero count and keeps threads
+//! pinned on contiguous Hilbert-ordered partitions across all iterations
+//! (§3.2, §4.2). This module is the in-node half of that idea:
+//!
+//! - [`WorkerPool`] spawns its workers **once** and parks them on a
+//!   condvar between dispatches. A dispatch publishes one job under the
+//!   pool mutex, bumps an epoch, and wakes everyone; the caller (who acts
+//!   as worker 0) blocks until the remaining-worker count drains to zero.
+//!   Steady-state dispatch is therefore a couple of condvar signals — no
+//!   thread spawns, no heap allocation.
+//! - [`ExecPlan`] is the static partitioning: a greedy prefix split over
+//!   a weight prefix sum (the CSR `rowptr` for row kernels, per-block
+//!   footprints for buffered/ELL layouts) computed once at plan time and
+//!   reused every iteration. Each worker owns one contiguous run of
+//!   partitions, so output slices are disjoint and per-row accumulation
+//!   order — and hence the floating-point result — is independent of the
+//!   worker count.
+//!
+//! [`WorkerPool::run`] combines the two: it hands each worker the
+//! disjoint sub-slice of the output selected by the plan plus a
+//! persistent per-worker scratch buffer (grown on first use, reused
+//! forever after).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+use xct_obs::Metrics;
+
+/// Timer metric: wall time of one pool dispatch (publish → all workers
+/// done), in seconds.
+pub const POOL_DISPATCH_SECONDS: &str = "pool/dispatch_s";
+/// Gauge metric: busy-time utilization of the last dispatch
+/// (`Σ worker busy / (wall × workers)`), in `[0, 1]`.
+pub const POOL_UTILIZATION: &str = "pool/utilization";
+/// Counter metric: number of dispatches the pool has run.
+pub const POOL_DISPATCHES: &str = "pool/dispatches";
+/// Gauge metric: number of workers in the pool (including the caller).
+pub const POOL_WORKERS: &str = "pool/workers";
+
+/// A static assignment of `rows` domain elements to pool workers.
+///
+/// The domain is first tiled by `bounds` into contiguous partitions
+/// (partition `p` covers `bounds[p]..bounds[p + 1]`), each carrying a
+/// `weights[p]` cost; `assign` then gives each worker one contiguous run
+/// of partitions (`assign[w]..assign[w + 1]`). Both levels are built by a
+/// greedy prefix split, so every worker's total weight is at most
+/// `total/W + max_unit + 1` where `max_unit` is the largest indivisible
+/// unit (one row for row plans, one block for block plans).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecPlan {
+    rows: usize,
+    bounds: Vec<usize>,
+    weights: Vec<u64>,
+    assign: Vec<usize>,
+    max_unit: u64,
+}
+
+/// Greedy prefix split of `prefix` (a cumulative weight array with a
+/// leading 0) into `parts` contiguous runs: cut `k` is the first index
+/// whose prefix reaches `k/parts` of the total.
+fn prefix_cuts(prefix: &[usize], parts: usize) -> Vec<usize> {
+    let n = prefix.len() - 1;
+    let total = prefix[n] as u128;
+    let mut cuts = Vec::with_capacity(parts + 1);
+    cuts.push(0usize);
+    for k in 1..parts {
+        let target = (total * k as u128 / parts as u128) as usize;
+        let cut = prefix.partition_point(|&w| w < target.max(1));
+        // Clamp: cuts must stay monotone and leave room for later parts.
+        cuts.push(cut.min(n).max(cuts[k - 1]));
+    }
+    cuts.push(n);
+    cuts
+}
+
+impl ExecPlan {
+    /// An nnz-balanced row plan: split rows so each worker's nonzero
+    /// count is near `nnz/W`, via a greedy prefix split over the CSR
+    /// `rowptr` (which *is* the nnz prefix sum). One partition per
+    /// worker.
+    ///
+    /// # Panics
+    /// If `rowptr` is empty or `workers` is zero.
+    pub fn nnz_balanced(rowptr: &[usize], workers: usize) -> ExecPlan {
+        assert!(!rowptr.is_empty(), "rowptr must have a leading 0");
+        assert!(workers > 0, "need at least one worker");
+        let n = rowptr.len() - 1;
+        let bounds = prefix_cuts(rowptr, workers);
+        let weights = bounds
+            .windows(2)
+            .map(|w| (rowptr[w[1]] - rowptr[w[0]]) as u64)
+            .collect();
+        let max_unit = (0..n)
+            .map(|i| (rowptr[i + 1] - rowptr[i]) as u64)
+            .max()
+            .unwrap_or(0);
+        ExecPlan {
+            rows: n,
+            bounds,
+            weights,
+            assign: (0..=workers).collect(),
+            max_unit,
+        }
+    }
+
+    /// A plan over pre-existing blocks (buffered partitions, ELL
+    /// partitions): block `p` covers rows `block_bounds[p]..block_bounds
+    /// [p + 1]` at cost `block_weights[p]`, and workers get contiguous
+    /// block runs balanced by a greedy prefix split over the block
+    /// weights.
+    ///
+    /// # Panics
+    /// If the bounds array is empty, lengths disagree, or `workers` is
+    /// zero.
+    pub fn balanced_blocks(
+        block_bounds: &[usize],
+        block_weights: &[u64],
+        workers: usize,
+    ) -> ExecPlan {
+        assert!(!block_bounds.is_empty(), "bounds must have a leading 0");
+        assert_eq!(
+            block_weights.len(),
+            block_bounds.len() - 1,
+            "one weight per block"
+        );
+        assert!(workers > 0, "need at least one worker");
+        let nblocks = block_weights.len();
+        let mut prefix = Vec::with_capacity(nblocks + 1);
+        prefix.push(0usize);
+        let mut acc = 0usize;
+        for &w in block_weights {
+            acc += w as usize;
+            prefix.push(acc);
+        }
+        ExecPlan {
+            rows: *block_bounds.last().unwrap_or(&0),
+            bounds: block_bounds.to_vec(),
+            weights: block_weights.to_vec(),
+            assign: prefix_cuts(&prefix, workers),
+            max_unit: block_weights.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// The baseline strategy: equal row counts per worker, ignoring nnz.
+    ///
+    /// # Panics
+    /// If `workers` is zero.
+    pub fn equal_rows(rows: usize, workers: usize) -> ExecPlan {
+        assert!(workers > 0, "need at least one worker");
+        let bounds: Vec<usize> = (0..=workers).map(|k| rows * k / workers).collect();
+        let weights = bounds.windows(2).map(|w| (w[1] - w[0]) as u64).collect();
+        ExecPlan {
+            rows,
+            bounds,
+            weights,
+            assign: (0..=workers).collect(),
+            max_unit: 1,
+        }
+    }
+
+    /// Rebuild a plan from raw arrays **without validation** — for
+    /// mutation tests and checkers that need to construct malformed
+    /// plans. A plan built this way must not be fed to
+    /// [`WorkerPool::run`] unless it upholds the documented invariants.
+    pub fn from_raw_parts_unchecked(
+        rows: usize,
+        bounds: Vec<usize>,
+        weights: Vec<u64>,
+        assign: Vec<usize>,
+        max_unit: u64,
+    ) -> ExecPlan {
+        ExecPlan {
+            rows,
+            bounds,
+            weights,
+            assign,
+            max_unit,
+        }
+    }
+
+    /// Total number of domain elements (rows) the plan covers.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of workers the plan was built for.
+    pub fn num_workers(&self) -> usize {
+        self.assign.len().saturating_sub(1)
+    }
+
+    /// Number of contiguous partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+
+    /// Partition boundaries (`num_partitions() + 1` entries, first 0,
+    /// last [`ExecPlan::rows`]).
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+
+    /// Per-partition weights (nnz or block footprints).
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// Worker → partition-run boundaries (`num_workers() + 1` entries).
+    pub fn assign(&self) -> &[usize] {
+        &self.assign
+    }
+
+    /// The largest indivisible unit weight (bounds the balance error).
+    pub fn max_unit_weight(&self) -> u64 {
+        self.max_unit
+    }
+
+    /// Sum of all partition weights.
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+
+    /// The contiguous partition run owned by worker `w`.
+    pub fn worker_parts(&self, w: usize) -> Range<usize> {
+        self.assign[w]..self.assign[w + 1]
+    }
+
+    /// The contiguous row range owned by worker `w`.
+    pub fn worker_rows(&self, w: usize) -> Range<usize> {
+        self.bounds[self.assign[w]]..self.bounds[self.assign[w + 1]]
+    }
+
+    /// Total weight assigned to worker `w`.
+    pub fn worker_weight(&self, w: usize) -> u64 {
+        self.weights[self.worker_parts(w)].iter().sum()
+    }
+
+    /// Load imbalance: the heaviest worker's weight over the ideal
+    /// `total/W` share (1.0 = perfectly balanced; 0 total ⇒ 1.0).
+    pub fn imbalance(&self) -> f64 {
+        let total = self.total_weight();
+        if total == 0 {
+            return 1.0;
+        }
+        let ideal = total as f64 / self.num_workers() as f64;
+        let max = (0..self.num_workers())
+            .map(|w| self.worker_weight(w))
+            .max()
+            .unwrap_or(0);
+        max as f64 / ideal
+    }
+
+    /// The guaranteed per-worker weight bound of the greedy split:
+    /// `⌊total/W⌋ + max_unit + 1`. Checkers flag plans whose heaviest
+    /// worker exceeds this.
+    pub fn balance_bound(&self) -> u64 {
+        let w = self.num_workers().max(1) as u64;
+        self.total_weight() / w + self.max_unit + 1
+    }
+
+    /// Structural well-formedness: both boundary arrays start at 0, end
+    /// at their domain size, and are monotone. `WorkerPool::run` debug-
+    /// asserts this before trusting the plan for disjoint slicing.
+    pub fn is_well_formed(&self) -> bool {
+        let bounds_ok = self.bounds.first() == Some(&0)
+            && self.bounds.last() == Some(&self.rows)
+            && self.bounds.windows(2).all(|w| w[0] <= w[1])
+            && self.weights.len() + 1 == self.bounds.len();
+        let assign_ok = self.assign.first() == Some(&0)
+            && self.assign.last() == Some(&self.num_partitions())
+            && self.assign.windows(2).all(|w| w[0] <= w[1]);
+        bounds_ok && assign_ok
+    }
+}
+
+/// The job pointer workers execute: a borrowed closure with its lifetime
+/// erased so it can sit in the shared dispatch state.
+type Job = dyn Fn(usize, &mut Vec<f32>) + Sync;
+
+#[derive(Clone, Copy)]
+struct JobPtr(*const Job);
+
+// The pointee is a closure on the dispatching thread's stack, and the
+// closure is `Sync`, so shared calls from worker threads are fine.
+// SAFETY: `broadcast` does not return until every worker is done with
+// the pointer (the remaining-count drains to zero under the pool mutex).
+unsafe impl Send for JobPtr {}
+
+struct DispatchState {
+    epoch: u64,
+    job: Option<JobPtr>,
+    remaining: usize,
+    timed: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<DispatchState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    busy_ns: Vec<AtomicU64>,
+}
+
+fn lock(m: &Mutex<DispatchState>) -> MutexGuard<'_, DispatchState> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A pool of `threads` persistent workers (worker 0 is the calling
+/// thread; `threads - 1` parked `std::thread`s). Workers are spawned at
+/// construction and live until the pool is dropped; a dispatch costs two
+/// condvar signals instead of `threads` spawns.
+pub struct WorkerPool {
+    shared: std::sync::Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+    main_scratch: Mutex<Vec<f32>>,
+    metrics: Metrics,
+}
+
+impl WorkerPool {
+    /// A pool with exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> WorkerPool {
+        WorkerPool::with_metrics(threads, Metrics::noop())
+    }
+
+    /// A pool sized like the rayon shim: `RAYON_NUM_THREADS` if set and
+    /// positive, else the available parallelism. The environment is read
+    /// once, here — the pool size is fixed for its lifetime.
+    pub fn from_env() -> WorkerPool {
+        WorkerPool::new(env_threads())
+    }
+
+    /// A pool that reports dispatch latency and utilization through
+    /// `metrics` (`pool/*` names).
+    pub fn with_metrics(threads: usize, metrics: Metrics) -> WorkerPool {
+        let threads = threads.max(1);
+        let shared = std::sync::Arc::new(Shared {
+            state: Mutex::new(DispatchState {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                timed: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            busy_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let handles = (1..threads)
+            .map(|w| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("xct-pool-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        metrics.gauge_set(POOL_WORKERS, threads as f64);
+        WorkerPool {
+            shared,
+            handles,
+            threads,
+            main_scratch: Mutex::new(Vec::new()),
+            metrics,
+        }
+    }
+
+    /// Number of workers (including the calling thread).
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `kernel` over the disjoint output slices selected by `plan`.
+    ///
+    /// Each worker `w` receives its partition run `plan.worker_parts(w)`,
+    /// its row range `plan.worker_rows(w)`, and `&mut out[rows]` — the
+    /// sub-slice it exclusively owns. The caller participates as worker
+    /// 0 and the call returns only when every worker has finished, so
+    /// borrowed captures in `kernel` stay valid throughout.
+    ///
+    /// # Panics
+    /// If `out.len() != plan.rows()` or the plan's worker count differs
+    /// from the pool's.
+    pub fn run<T, K>(&self, plan: &ExecPlan, out: &mut [T], kernel: K)
+    where
+        T: Send,
+        K: Fn(Range<usize>, Range<usize>, &mut [T]) + Sync,
+    {
+        self.run_with_scratch(plan, out, |parts, rows, slice, _scratch| {
+            kernel(parts, rows, slice)
+        });
+    }
+
+    /// Like [`WorkerPool::run`], additionally handing each worker its
+    /// persistent `Vec<f32>` scratch buffer (kept across dispatches, so
+    /// a kernel that `resize`s it to a fixed footprint allocates only on
+    /// the first call).
+    pub fn run_with_scratch<T, K>(&self, plan: &ExecPlan, out: &mut [T], kernel: K)
+    where
+        T: Send,
+        K: Fn(Range<usize>, Range<usize>, &mut [T], &mut Vec<f32>) + Sync,
+    {
+        assert_eq!(out.len(), plan.rows(), "output length vs plan rows");
+        assert_eq!(
+            plan.num_workers(),
+            self.threads,
+            "plan worker count vs pool size"
+        );
+        debug_assert!(plan.is_well_formed(), "malformed ExecPlan");
+        let base = OutPtr(out.as_mut_ptr());
+        let job = |w: usize, scratch: &mut Vec<f32>| {
+            let parts = plan.worker_parts(w);
+            let rows = plan.worker_rows(w);
+            // SAFETY: a well-formed plan's worker row ranges (asserted above) are
+            // in-bounds and pairwise disjoint: an exclusive sub-slice per worker.
+            let slice =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(rows.start), rows.len()) };
+            kernel(parts, rows, slice, scratch);
+        };
+        self.broadcast(&job);
+    }
+
+    /// Publish `job`, run worker 0's share inline, and wait for the rest.
+    fn broadcast(&self, job: &(dyn Fn(usize, &mut Vec<f32>) + Sync)) {
+        let timed = self.metrics.enabled();
+        let started = if timed { Some(Instant::now()) } else { None };
+        if self.handles.is_empty() {
+            let mut scratch = self.main_scratch.lock().unwrap_or_else(|p| p.into_inner());
+            job(0, &mut scratch);
+            if let Some(t) = started {
+                self.shared.busy_ns[0].store(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+            self.finish_metrics(started, 1);
+            return;
+        }
+        // SAFETY: only the borrow lifetime is erased; `broadcast` blocks
+        // below until `remaining == 0` (every worker done with the
+        // pointer) before returning control to the closure's owner.
+        let ptr = JobPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize, &mut Vec<f32>) + Sync), *const Job>(job)
+        });
+        {
+            let mut st = lock(&self.shared.state);
+            if timed {
+                for b in &self.shared.busy_ns {
+                    b.store(0, Ordering::Relaxed);
+                }
+            }
+            st.job = Some(ptr);
+            st.timed = timed;
+            st.remaining = self.threads - 1;
+            st.epoch += 1;
+        }
+        // Notify after unlocking so woken workers don't immediately block
+        // on the still-held dispatch mutex.
+        self.shared.work_cv.notify_all();
+        {
+            let main_started = timed.then(Instant::now);
+            let mut scratch = self.main_scratch.lock().unwrap_or_else(|p| p.into_inner());
+            job(0, &mut scratch);
+            if let Some(t) = main_started {
+                self.shared.busy_ns[0].store(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+        }
+        let mut st = lock(&self.shared.state);
+        while st.remaining > 0 {
+            st = self
+                .shared
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+        st.job = None;
+        drop(st);
+        self.finish_metrics(started, self.threads);
+    }
+
+    fn finish_metrics(&self, started: Option<Instant>, workers: usize) {
+        let Some(t) = started else { return };
+        let wall = t.elapsed().as_secs_f64();
+        self.metrics.timer_observe(POOL_DISPATCH_SECONDS, wall);
+        self.metrics.counter_add(POOL_DISPATCHES, 1);
+        let busy: u64 = self.shared.busy_ns[..workers]
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum();
+        if wall > 0.0 {
+            let util = (busy as f64 / 1e9) / (wall * workers as f64);
+            self.metrics.gauge_set(POOL_UTILIZATION, util.min(1.0));
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The pool thread count the environment asks for: `RAYON_NUM_THREADS`
+/// when set to a positive integer, else available parallelism.
+pub fn env_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn worker_loop(shared: &Shared, w: usize) {
+    let mut scratch: Vec<f32> = Vec::new();
+    let mut seen = 0u64;
+    loop {
+        let (job, epoch, timed) = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                match st.job {
+                    Some(job) if st.epoch != seen => break (job, st.epoch, st.timed),
+                    _ => {}
+                }
+                st = shared.work_cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        seen = epoch;
+        let started = timed.then(Instant::now);
+        // SAFETY: see `JobPtr` — the dispatcher keeps the closure alive
+        // until this worker decrements `remaining` below.
+        let f = unsafe { &*job.0 };
+        f(w, &mut scratch);
+        if let Some(t) = started {
+            shared.busy_ns[w].store(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        let last = {
+            let mut st = lock(&shared.state);
+            st.remaining -= 1;
+            st.remaining == 0
+        };
+        // Signal outside the lock: the dispatcher wakes without having to
+        // wait for this worker to release the mutex.
+        if last {
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+struct OutPtr<T>(*mut T);
+
+impl<T> OutPtr<T> {
+    // A method (rather than direct field access) so closures capture the
+    // whole wrapper — and with it the Send/Sync reasoning below — instead
+    // of disjointly capturing the bare raw pointer.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: the pointer is only dereferenced inside `run_with_scratch`'s
+// job, where each worker derives a disjoint sub-slice from it, so no
+// two threads ever touch overlapping elements.
+unsafe impl<T: Send> Send for OutPtr<T> {}
+// SAFETY: same argument — workers share `OutPtr` by reference but
+// every dereference targets a worker-exclusive range.
+unsafe impl<T: Send> Sync for OutPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nnz_balanced_covers_and_balances() {
+        // Rows with wildly uneven nnz: 100, 1, 1, 1, 100, 1, 1, 1.
+        let nnz = [100usize, 1, 1, 1, 100, 1, 1, 1];
+        let mut rowptr = vec![0usize];
+        for n in nnz {
+            rowptr.push(rowptr.last().unwrap() + n);
+        }
+        let plan = ExecPlan::nnz_balanced(&rowptr, 2);
+        assert!(plan.is_well_formed());
+        assert_eq!(plan.rows(), 8);
+        assert_eq!(plan.num_workers(), 2);
+        assert_eq!(plan.total_weight(), 206);
+        // Greedy guarantee: no worker above total/W + max_unit + 1.
+        for w in 0..2 {
+            assert!(plan.worker_weight(w) <= plan.balance_bound());
+        }
+        // Equal-rows would put 202 nnz on worker 0; the greedy split
+        // lands on a perfect 103/103.
+        assert_eq!(plan.worker_weight(0), 103);
+        assert_eq!(plan.worker_weight(1), 103);
+        assert!((plan.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plans_degrade_gracefully() {
+        // More workers than rows: trailing workers own empty ranges.
+        let plan = ExecPlan::nnz_balanced(&[0, 2, 4, 6], 8);
+        assert!(plan.is_well_formed());
+        assert_eq!(plan.num_workers(), 8);
+        let covered: usize = (0..8).map(|w| plan.worker_rows(w).len()).sum();
+        assert_eq!(covered, 3);
+        // Empty domain.
+        let plan = ExecPlan::equal_rows(0, 4);
+        assert!(plan.is_well_formed());
+        assert_eq!(plan.total_weight(), 0);
+        assert_eq!(plan.imbalance(), 1.0);
+        // Empty-row matrix (all-zero rowptr deltas in the middle).
+        let plan = ExecPlan::nnz_balanced(&[0, 3, 3, 3, 6], 2);
+        assert!(plan.is_well_formed());
+        assert_eq!(plan.worker_weight(0) + plan.worker_weight(1), 6);
+    }
+
+    #[test]
+    fn balanced_blocks_assigns_contiguous_runs() {
+        let bounds = [0usize, 4, 8, 12, 16];
+        let weights = [10u64, 1, 1, 10];
+        let plan = ExecPlan::balanced_blocks(&bounds, &weights, 2);
+        assert!(plan.is_well_formed());
+        assert_eq!(plan.num_partitions(), 4);
+        assert_eq!(plan.worker_weight(0) + plan.worker_weight(1), 22);
+        for w in 0..2 {
+            assert!(plan.worker_weight(w) <= plan.balance_bound());
+        }
+    }
+
+    #[test]
+    fn pool_runs_disjoint_slices_and_reuses_workers() {
+        let pool = WorkerPool::new(4);
+        let plan = ExecPlan::equal_rows(103, 4);
+        let mut out = vec![0u32; 103];
+        // Two dispatches on the same pool: results must reflect the
+        // second job everywhere (workers are re-used, not respawned).
+        for round in 1..=2u32 {
+            pool.run(&plan, &mut out, |_parts, rows, slice| {
+                for (j, v) in slice.iter_mut().enumerate() {
+                    *v = (rows.start + j) as u32 * round;
+                }
+            });
+        }
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as u32 * 2);
+        }
+    }
+
+    #[test]
+    fn pool_scratch_persists_across_dispatches() {
+        let pool = WorkerPool::new(3);
+        let plan = ExecPlan::equal_rows(30, 3);
+        let mut out = vec![0f32; 30];
+        pool.run_with_scratch(&plan, &mut out, |_p, _r, _s, scratch| {
+            scratch.resize(16, 7.0);
+        });
+        pool.run_with_scratch(&plan, &mut out, |_p, _r, slice, scratch| {
+            // Scratch kept its contents from the previous dispatch.
+            slice.fill(scratch.first().copied().unwrap_or(0.0));
+        });
+        assert!(out.iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        let plan = ExecPlan::nnz_balanced(&[0, 1, 2, 3], 1);
+        let mut out = vec![0f32; 3];
+        pool.run(&plan, &mut out, |parts, rows, slice| {
+            assert_eq!(parts, 0..1);
+            assert_eq!(rows, 0..3);
+            slice.fill(1.0);
+        });
+        assert_eq!(out, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn pool_reports_metrics() {
+        let metrics = Metrics::collecting();
+        let pool = WorkerPool::with_metrics(2, metrics.clone());
+        let plan = ExecPlan::equal_rows(64, 2);
+        let mut out = vec![0f32; 64];
+        pool.run(&plan, &mut out, |_p, _r, s| s.fill(1.0));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters.get(POOL_DISPATCHES), Some(&1));
+        assert!(snap.timers.contains_key(POOL_DISPATCH_SECONDS));
+        assert_eq!(snap.gauges.get(POOL_WORKERS), Some(&2.0));
+    }
+}

@@ -201,6 +201,53 @@ impl EllMatrix {
             }
         });
     }
+
+    /// A balanced [`xct_runtime::ExecPlan`] over the ELL partitions: each partition
+    /// is one plan block weighted by its padded slot count (padding is
+    /// multiplied, not skipped, so it costs real bandwidth), and workers
+    /// get contiguous partition runs.
+    pub fn exec_plan(&self, workers: usize) -> xct_runtime::ExecPlan {
+        let mut bounds = Vec::with_capacity(self.partitions.len() + 1);
+        bounds.push(0usize);
+        let mut weights = Vec::with_capacity(self.partitions.len());
+        for p in &self.partitions {
+            bounds.push(bounds.last().copied().unwrap_or(0) + p.rows);
+            weights.push((p.rows * p.width) as u64);
+        }
+        xct_runtime::ExecPlan::balanced_blocks(&bounds, &weights, workers)
+    }
+
+    /// Pooled ELL SpMV into a caller-provided output (overwritten): each
+    /// worker sweeps the contiguous partition run `plan` assigns it.
+    /// Bit-identical to [`EllMatrix::spmv_into`] for every worker count.
+    pub fn spmv_pooled_into(
+        &self,
+        x: &[f32],
+        y: &mut [f32],
+        plan: &xct_runtime::ExecPlan,
+        pool: &xct_runtime::WorkerPool,
+    ) {
+        assert_eq!(x.len(), self.ncols, "x length");
+        assert_eq!(y.len(), self.nrows, "y length");
+        assert_eq!(plan.rows(), self.nrows, "plan rows");
+        assert_eq!(plan.num_partitions(), self.partitions.len(), "plan blocks");
+        let bounds = plan.bounds();
+        pool.run(plan, y, |parts, rows, out| {
+            out.fill(0.0);
+            for pi in parts {
+                let p = &self.partitions[pi];
+                let base = bounds[pi] - rows.start;
+                let slice = &mut out[base..base + p.rows];
+                for s in 0..p.width {
+                    let cols = &p.colind[s * p.rows..(s + 1) * p.rows];
+                    let vals = &p.values[s * p.rows..(s + 1) * p.rows];
+                    for j in 0..p.rows {
+                        slice[j] += x[cols[j] as usize] * vals[j];
+                    }
+                }
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +298,25 @@ mod tests {
         let ell = EllMatrix::from_csr(&a, 2);
         assert_eq!(ell.spmv(&[1.0; 4]), vec![0.0; 4]);
         assert_eq!(ell.padded_nnz(), 0);
+    }
+
+    #[test]
+    fn pooled_matches_sequential_for_every_worker_count() {
+        let a = sample();
+        let x = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        for partsize in [1, 2, 3] {
+            let ell = EllMatrix::from_csr(&a, partsize);
+            let mut want = vec![0f32; ell.nrows()];
+            ell.spmv_into(&x, &mut want);
+            for workers in [1, 2, 8] {
+                let pool = xct_runtime::WorkerPool::new(workers);
+                let plan = ell.exec_plan(workers);
+                assert!(plan.is_well_formed());
+                let mut y = vec![0f32; ell.nrows()];
+                ell.spmv_pooled_into(&x, &mut y, &plan, &pool);
+                assert_eq!(y, want, "partsize {partsize} workers {workers}");
+            }
+        }
     }
 
     #[test]

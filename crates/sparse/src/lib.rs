@@ -13,6 +13,11 @@
 //!   the GPU (coalesced-access) kernel analog of §3.1.4;
 //! - [`BufferedCsr`]: the multi-stage input-buffered kernel of Listing 3,
 //!   with 16-bit in-buffer addressing (§3.3.5);
+//! - [`spmv_pooled_into`] / [`dot_f64_pooled`] (plus pooled methods on
+//!   the buffered/ELL layouts): the same kernels driven by the
+//!   persistent `xct-runtime` worker pool over static nnz-balanced
+//!   partitions — no per-call thread spawns, bit-identical results for
+//!   every worker count;
 //! - [`PartitionStats`]: footprint / data-reuse / staging statistics used
 //!   by Fig 6 and the bandwidth accounting of Fig 9.
 
@@ -23,6 +28,7 @@ mod buffered;
 mod csr;
 mod ell;
 mod kernel;
+mod pooled;
 mod reduce;
 mod spmv;
 mod stats;
@@ -31,6 +37,9 @@ pub use buffered::{BufferIndex, BufferedCsr, BufferedCsr32, BufferedCsrImpl, Lay
 pub use csr::CsrMatrix;
 pub use ell::{EllMatrix, EllPartitionView};
 pub use kernel::{ParCsr, SpmvKernel};
+pub use pooled::{
+    csr_plan, csr_plan_equal, dot_chunks, dot_f64_pooled, dot_plan, spmv_pooled_into, DOT_CHUNK,
+};
 pub use reduce::{dot_f64, norm_f64};
 pub use spmv::{spmv, spmv_into, spmv_parallel, spmv_parallel_into};
 pub use stats::{matrix_stats, partition_stats, MatrixStats, PartitionStats};

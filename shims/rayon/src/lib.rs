@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 
 use std::ops::Range;
+use std::sync::OnceLock;
 use std::thread;
 
 pub mod prelude {
@@ -28,35 +29,41 @@ pub mod prelude {
 }
 
 /// Number of worker threads (honours `RAYON_NUM_THREADS`, else the
-/// available parallelism).
+/// available parallelism). Real rayon fixes its pool size at first use,
+/// so the environment is read once and cached rather than re-parsed on
+/// every call.
 pub fn current_num_threads() -> usize {
-    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
             }
         }
-    }
-    thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 fn threads_for(len: usize) -> usize {
     current_num_threads().min(len).max(1)
 }
 
-/// Split `items` into at most `parts` contiguous chunks of near-equal size.
+/// Split `items` into at most `parts` contiguous chunks of near-equal
+/// size. Chunks are carved off the tail with `split_off` (a bulk pointer
+/// move plus one memcpy per chunk) instead of re-collecting each chunk
+/// element by element.
 fn chunked<T>(items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
     let per = items.len().div_ceil(parts.max(1)).max(1);
     let mut out = Vec::with_capacity(parts);
-    let mut it = items.into_iter();
-    loop {
-        let chunk: Vec<T> = it.by_ref().take(per).collect();
-        if chunk.is_empty() {
-            break;
-        }
-        out.push(chunk);
+    let mut rest = items;
+    while !rest.is_empty() {
+        let tail = rest.split_off(per.min(rest.len()));
+        out.push(rest);
+        rest = tail;
     }
     out
 }
