@@ -136,7 +136,14 @@ impl Options {
                 "--pool" => o.pool = true,
                 "--pool-threads" => {
                     o.pool = true;
-                    o.pool_threads = value("--pool-threads").parse().ok().filter(|&n| n > 0);
+                    let v = value("--pool-threads");
+                    o.pool_threads = match v.parse() {
+                        Ok(n) if n > 0 => Some(n),
+                        _ => {
+                            eprintln!("--pool-threads expects a positive integer, got `{v}`");
+                            exit(2);
+                        }
+                    };
                 }
                 other => {
                     eprintln!("unknown flag `{other}`");

@@ -24,6 +24,7 @@
 //! forever after).
 
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Instant;
@@ -128,6 +129,11 @@ impl ExecPlan {
             "one weight per block"
         );
         assert!(workers > 0, "need at least one worker");
+        assert_eq!(block_bounds[0], 0, "block bounds must start at 0");
+        assert!(
+            block_bounds.windows(2).all(|w| w[0] <= w[1]),
+            "block bounds must be monotone"
+        );
         let nblocks = block_weights.len();
         let mut prefix = Vec::with_capacity(nblocks + 1);
         prefix.push(0usize);
@@ -164,8 +170,10 @@ impl ExecPlan {
 
     /// Rebuild a plan from raw arrays **without validation** — for
     /// mutation tests and checkers that need to construct malformed
-    /// plans. A plan built this way must not be fed to
-    /// [`WorkerPool::run`] unless it upholds the documented invariants.
+    /// plans. [`WorkerPool::run`] hard-asserts
+    /// [`ExecPlan::is_well_formed`] before trusting a plan, so a
+    /// malformed one built here panics at dispatch instead of causing
+    /// unsound slicing.
     pub fn from_raw_parts_unchecked(
         rows: usize,
         bounds: Vec<usize>,
@@ -262,8 +270,8 @@ impl ExecPlan {
     }
 
     /// Structural well-formedness: both boundary arrays start at 0, end
-    /// at their domain size, and are monotone. `WorkerPool::run` debug-
-    /// asserts this before trusting the plan for disjoint slicing.
+    /// at their domain size, and are monotone. `WorkerPool::run` asserts
+    /// this before trusting the plan for disjoint slicing.
     pub fn is_well_formed(&self) -> bool {
         let bounds_ok = self.bounds.first() == Some(&0)
             && self.bounds.last() == Some(&self.rows)
@@ -295,6 +303,9 @@ struct DispatchState {
     remaining: usize,
     timed: bool,
     shutdown: bool,
+    /// First panic payload caught on a worker during the current
+    /// dispatch; the dispatcher re-raises it after the barrier drains.
+    panic: Option<Box<dyn std::any::Any + Send>>,
 }
 
 struct Shared {
@@ -316,6 +327,10 @@ pub struct WorkerPool {
     shared: std::sync::Arc<Shared>,
     handles: Vec<std::thread::JoinHandle<()>>,
     threads: usize,
+    /// Serializes whole dispatches: `run`/`run_with_scratch` take `&self`
+    /// and the pool is `Sync`, but only one job may be in flight at a
+    /// time — `DispatchState` (job/remaining/epoch) is single-shot.
+    dispatch_lock: Mutex<()>,
     main_scratch: Mutex<Vec<f32>>,
     metrics: Metrics,
 }
@@ -344,6 +359,7 @@ impl WorkerPool {
                 remaining: 0,
                 timed: false,
                 shutdown: false,
+                panic: None,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -363,6 +379,7 @@ impl WorkerPool {
             shared,
             handles,
             threads,
+            dispatch_lock: Mutex::new(()),
             main_scratch: Mutex::new(Vec::new()),
             metrics,
         }
@@ -381,9 +398,14 @@ impl WorkerPool {
     /// 0 and the call returns only when every worker has finished, so
     /// borrowed captures in `kernel` stay valid throughout.
     ///
+    /// Dispatches are serialized: if another thread is mid-`run` on the
+    /// same pool, this call blocks until that dispatch completes.
+    ///
     /// # Panics
-    /// If `out.len() != plan.rows()` or the plan's worker count differs
-    /// from the pool's.
+    /// If `out.len() != plan.rows()`, the plan's worker count differs
+    /// from the pool's, or the plan is not well-formed. A panic in
+    /// `kernel` (on any worker) is re-raised on the calling thread after
+    /// all workers finish; the pool remains usable.
     pub fn run<T, K>(&self, plan: &ExecPlan, out: &mut [T], kernel: K)
     where
         T: Send,
@@ -409,7 +431,11 @@ impl WorkerPool {
             self.threads,
             "plan worker count vs pool size"
         );
-        debug_assert!(plan.is_well_formed(), "malformed ExecPlan");
+        // Hard assert (not debug-only): the disjoint-slice carving below
+        // is unsound for a malformed plan, and malformed plans are
+        // constructible from safe code (`from_raw_parts_unchecked`). The
+        // check is O(partitions) — negligible next to a dispatch.
+        assert!(plan.is_well_formed(), "malformed ExecPlan");
         let base = OutPtr(out.as_mut_ptr());
         let job = |w: usize, scratch: &mut Vec<f32>| {
             let parts = plan.worker_parts(w);
@@ -424,7 +450,17 @@ impl WorkerPool {
     }
 
     /// Publish `job`, run worker 0's share inline, and wait for the rest.
+    ///
+    /// Dispatches are serialized by `dispatch_lock`: the pool is `Sync`
+    /// and `run` takes `&self`, so without it two concurrent callers
+    /// would race on the single `DispatchState` — one could return while
+    /// workers still hold the other's lifetime-erased job pointer.
+    ///
+    /// A panicking kernel (on any worker, including the caller) is
+    /// caught, the barrier still drains, and the first panic payload is
+    /// re-raised here — the pool stays usable for later dispatches.
     fn broadcast(&self, job: &(dyn Fn(usize, &mut Vec<f32>) + Sync)) {
+        let _dispatch = self.dispatch_lock.lock().unwrap_or_else(|p| p.into_inner());
         let timed = self.metrics.enabled();
         let started = if timed { Some(Instant::now()) } else { None };
         if self.handles.is_empty() {
@@ -457,14 +493,18 @@ impl WorkerPool {
         // Notify after unlocking so woken workers don't immediately block
         // on the still-held dispatch mutex.
         self.shared.work_cv.notify_all();
-        {
+        // Catch a caller-side kernel panic so we still wait for the
+        // workers below — unwinding past the barrier would free the
+        // closure while workers may still be executing it.
+        let main_result = {
             let main_started = timed.then(Instant::now);
             let mut scratch = self.main_scratch.lock().unwrap_or_else(|p| p.into_inner());
-            job(0, &mut scratch);
+            let r = catch_unwind(AssertUnwindSafe(|| job(0, &mut scratch)));
             if let Some(t) = main_started {
                 self.shared.busy_ns[0].store(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
             }
-        }
+            r
+        };
         let mut st = lock(&self.shared.state);
         while st.remaining > 0 {
             st = self
@@ -474,8 +514,15 @@ impl WorkerPool {
                 .unwrap_or_else(|p| p.into_inner());
         }
         st.job = None;
+        let worker_panic = st.panic.take();
         drop(st);
         self.finish_metrics(started, self.threads);
+        if let Err(payload) = main_result {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
     }
 
     fn finish_metrics(&self, started: Option<Instant>, workers: usize) {
@@ -544,12 +591,21 @@ fn worker_loop(shared: &Shared, w: usize) {
         // SAFETY: see `JobPtr` — the dispatcher keeps the closure alive
         // until this worker decrements `remaining` below.
         let f = unsafe { &*job.0 };
-        f(w, &mut scratch);
+        // Catch kernel panics: `remaining` must drain even on failure or
+        // the dispatcher waits on `done_cv` forever. The payload is
+        // stashed for the dispatcher to re-raise; this worker keeps
+        // serving later dispatches.
+        let result = catch_unwind(AssertUnwindSafe(|| f(w, &mut scratch)));
         if let Some(t) = started {
             shared.busy_ns[w].store(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
         let last = {
             let mut st = lock(&shared.state);
+            if let Err(payload) = result {
+                if st.panic.is_none() {
+                    st.panic = Some(payload);
+                }
+            }
             st.remaining -= 1;
             st.remaining == 0
         };
@@ -685,6 +741,98 @@ mod tests {
             slice.fill(1.0);
         });
         assert_eq!(out, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn concurrent_dispatches_are_serialized() {
+        // Two threads hammer run() on one shared pool; the dispatch lock
+        // must keep each job's barrier intact, so every element of both
+        // outputs reflects its own closure (no cross-talk, no deadlock,
+        // no underflow).
+        let pool = std::sync::Arc::new(WorkerPool::new(4));
+        let plan = ExecPlan::equal_rows(257, 4);
+        let mut joins = Vec::new();
+        for tag in 1..=2u32 {
+            let pool = std::sync::Arc::clone(&pool);
+            let plan = plan.clone();
+            joins.push(std::thread::spawn(move || {
+                let mut out = vec![0u32; 257];
+                for _ in 0..50 {
+                    out.fill(0);
+                    pool.run(&plan, &mut out, |_p, rows, slice| {
+                        for (j, v) in slice.iter_mut().enumerate() {
+                            *v = (rows.start + j) as u32 * 10 + tag;
+                        }
+                    });
+                    for (i, &v) in out.iter().enumerate() {
+                        assert_eq!(v, i as u32 * 10 + tag);
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(4);
+        let plan = ExecPlan::equal_rows(64, 4);
+        let mut out = vec![0f32; 64];
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&plan, &mut out, |_p, rows, _s| {
+                if rows.contains(&40) {
+                    panic!("kernel boom");
+                }
+            });
+        }));
+        let payload = caught.expect_err("kernel panic must reach the dispatcher");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"kernel boom"));
+        // The pool must not be wedged: a later dispatch still completes.
+        pool.run(&plan, &mut out, |_p, _r, slice| slice.fill(3.0));
+        assert!(out.iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn caller_side_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let plan = ExecPlan::equal_rows(16, 2);
+        let mut out = vec![0f32; 16];
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&plan, &mut out, |_p, rows, _s| {
+                if rows.start == 0 {
+                    panic!("worker-0 boom");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        pool.run(&plan, &mut out, |_p, _r, slice| slice.fill(5.0));
+        assert!(out.iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    fn malformed_plan_is_rejected_at_dispatch() {
+        // Overlapping worker runs (non-monotone assign) via the
+        // unchecked constructor: run() must hard-panic, never carve
+        // overlapping &mut slices.
+        let plan =
+            ExecPlan::from_raw_parts_unchecked(8, vec![0, 6, 8], vec![6, 2], vec![0, 2, 1], 1);
+        assert!(!plan.is_well_formed());
+        let pool = WorkerPool::new(2);
+        let mut out = vec![0f32; 8];
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&plan, &mut out, |_p, _r, s| s.fill(1.0));
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn balanced_blocks_rejects_bad_bounds() {
+        // Non-zero-based bounds.
+        assert!(catch_unwind(|| ExecPlan::balanced_blocks(&[1, 4, 8], &[1, 1], 2)).is_err());
+        // Non-monotone bounds.
+        assert!(catch_unwind(|| ExecPlan::balanced_blocks(&[0, 8, 4], &[1, 1], 2)).is_err());
     }
 
     #[test]
