@@ -1287,6 +1287,150 @@ impl Check for ExecPlanCheck {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint consistency
+// ---------------------------------------------------------------------------
+
+/// One named checkpoint section to reconcile against the workspace it
+/// must restore into: the length the solver expects and the length the
+/// snapshot actually holds (`None` when the section is absent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSection {
+    /// Section name inside the snapshot (e.g. `"x"`, `"resid"`).
+    pub name: String,
+    /// Vector length the resuming workspace requires.
+    pub expected_len: usize,
+    /// Vector length found in the snapshot, or `None` if missing.
+    pub found_len: Option<usize>,
+}
+
+/// Validate a decoded checkpoint against the solve it is resuming:
+/// the plan hash must match ([`Invariant::CheckpointHash`]), every
+/// required section must exist with the workspace's vector length
+/// ([`Invariant::CheckpointShape`]), and the iteration counter must be
+/// consistent — within the run's iteration cap and equal to the number
+/// of recorded iterations ([`Invariant::CheckpointMonotone`]).
+///
+/// Takes plain data rather than the snapshot type so the mutation suite
+/// can corrupt individual fields and this crate stays free of runtime
+/// dependencies; production callers pass a snapshot's accessors through.
+pub struct CheckpointCheck {
+    name: String,
+    expected_plan_hash: u64,
+    snapshot_plan_hash: u64,
+    max_iters: u64,
+    snapshot_iteration: u64,
+    records_len: u64,
+    sections: Vec<CheckpointSection>,
+}
+
+impl CheckpointCheck {
+    /// Reconcile a snapshot header against the resuming run: the hash of
+    /// the plan being resumed, the snapshot's stored hash, the run's
+    /// iteration cap, the snapshot's iteration counter, and how many
+    /// per-iteration records the snapshot carries.
+    pub fn new(
+        name: impl Into<String>,
+        expected_plan_hash: u64,
+        snapshot_plan_hash: u64,
+        max_iters: u64,
+        snapshot_iteration: u64,
+        records_len: u64,
+    ) -> Self {
+        CheckpointCheck {
+            name: name.into(),
+            expected_plan_hash,
+            snapshot_plan_hash,
+            max_iters,
+            snapshot_iteration,
+            records_len,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Require a section with the given workspace length (builder style).
+    pub fn section(
+        mut self,
+        name: impl Into<String>,
+        expected_len: usize,
+        found_len: Option<usize>,
+    ) -> Self {
+        self.sections.push(CheckpointSection {
+            name: name.into(),
+            expected_len,
+            found_len,
+        });
+        self
+    }
+}
+
+impl Check for CheckpointCheck {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn run(&self, report: &mut Report) {
+        if self.snapshot_plan_hash != self.expected_plan_hash {
+            report.violation(
+                &self.name,
+                Invariant::CheckpointHash,
+                "header",
+                format!(
+                    "snapshot plan hash {:#018x} != resuming plan hash {:#018x}",
+                    self.snapshot_plan_hash, self.expected_plan_hash
+                ),
+                "resume with the geometry/partitioning the checkpoint was taken under",
+            );
+        }
+        for s in &self.sections {
+            match s.found_len {
+                None => report.violation(
+                    &self.name,
+                    Invariant::CheckpointShape,
+                    format!("section `{}`", s.name),
+                    "required section is missing".to_string(),
+                    "the snapshot was written by a different solver configuration",
+                ),
+                Some(found) if found != s.expected_len => report.violation(
+                    &self.name,
+                    Invariant::CheckpointShape,
+                    format!("section `{}`", s.name),
+                    format!(
+                        "snapshot holds {found} elements, workspace requires {}",
+                        s.expected_len
+                    ),
+                    "resume with the problem size the checkpoint was taken under",
+                ),
+                Some(_) => {}
+            }
+        }
+        if self.snapshot_iteration > self.max_iters {
+            report.violation(
+                &self.name,
+                Invariant::CheckpointMonotone,
+                "header",
+                format!(
+                    "snapshot iteration {} exceeds the run's cap {}",
+                    self.snapshot_iteration, self.max_iters
+                ),
+                "the checkpoint is from a longer run; raise max_iters or discard it",
+            );
+        }
+        if self.records_len != self.snapshot_iteration {
+            report.violation(
+                &self.name,
+                Invariant::CheckpointMonotone,
+                "records",
+                format!(
+                    "snapshot carries {} iteration records but claims iteration {}",
+                    self.records_len, self.snapshot_iteration
+                ),
+                "the iteration counter and the record series must advance together",
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,7 +29,7 @@ pub mod lint;
 mod violation;
 
 pub use checks::{
-    BufferedCheck, Check, Checker, CsrCheck, EllCheck, ExecPlanCheck, LedgerCheck, PartitionCheck,
-    PermutationCheck, ScheduleCheck, TransposeCheck,
+    BufferedCheck, Check, Checker, CheckpointCheck, CheckpointSection, CsrCheck, EllCheck,
+    ExecPlanCheck, LedgerCheck, PartitionCheck, PermutationCheck, ScheduleCheck, TransposeCheck,
 };
 pub use violation::{CheckViolation, Invariant, Report};

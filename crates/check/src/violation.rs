@@ -77,6 +77,15 @@ pub enum Invariant {
     /// guaranteed bound (`total/workers + max_unit + 1`) — the static
     /// partitioning failed to balance the load.
     ExecPlanBalance,
+    /// A checkpoint's plan hash does not match the plan being resumed —
+    /// the snapshot was taken under different geometry/partitioning.
+    CheckpointHash,
+    /// A checkpoint section is missing or its vector length disagrees
+    /// with the workspace it must restore into.
+    CheckpointShape,
+    /// A checkpoint's iteration counter is inconsistent: past the run's
+    /// iteration cap, or disagreeing with the recorded-iteration count.
+    CheckpointMonotone,
 }
 
 impl Invariant {
@@ -109,6 +118,9 @@ impl Invariant {
         Invariant::LedgerReconciliation,
         Invariant::ExecPlanShape,
         Invariant::ExecPlanBalance,
+        Invariant::CheckpointHash,
+        Invariant::CheckpointShape,
+        Invariant::CheckpointMonotone,
     ];
 }
 

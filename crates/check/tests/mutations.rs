@@ -6,8 +6,8 @@
 //! [`Invariant::ALL`].
 
 use xct_check::{
-    BufferedCheck, Check, CsrCheck, EllCheck, ExecPlanCheck, Invariant, LedgerCheck,
-    PartitionCheck, PermutationCheck, Report, ScheduleCheck, TransposeCheck,
+    BufferedCheck, Check, CheckpointCheck, CsrCheck, EllCheck, ExecPlanCheck, Invariant,
+    LedgerCheck, PartitionCheck, PermutationCheck, Report, ScheduleCheck, TransposeCheck,
 };
 use xct_sparse::{BufferedCsr, BufferedCsrImpl, CsrMatrix, EllMatrix};
 
@@ -336,6 +336,41 @@ fn m_exec_plan_balance() -> Report {
     ))
 }
 
+/// A consistent checkpoint header for a 12-voxel, 8-row solve saved at
+/// iteration 3 of a 10-iteration run, resumed under plan hash 0xAB.
+fn checkpoint_check(
+    snapshot_plan_hash: u64,
+    snapshot_iteration: u64,
+    records_len: u64,
+    x_len: usize,
+) -> CheckpointCheck {
+    CheckpointCheck::new(
+        "checkpoint",
+        0xAB,
+        snapshot_plan_hash,
+        10,
+        snapshot_iteration,
+        records_len,
+    )
+    .section("x", 12, Some(x_len))
+    .section("resid", 8, Some(8))
+}
+
+fn m_checkpoint_hash() -> Report {
+    // Snapshot taken under a different plan hash.
+    run(checkpoint_check(0xCD, 3, 3, 12))
+}
+
+fn m_checkpoint_shape() -> Report {
+    // The stored image vector shrank: it no longer fits the workspace.
+    run(checkpoint_check(0xAB, 3, 3, 11))
+}
+
+fn m_checkpoint_monotone() -> Report {
+    // Iteration counter claims 3 but only 2 records were written.
+    run(checkpoint_check(0xAB, 3, 2, 12))
+}
+
 /// The full table: (name, the invariant the mutation must pinpoint, the
 /// mutation itself).
 type Mutation = (&'static str, Invariant, fn() -> Report);
@@ -449,6 +484,21 @@ static MUTATIONS: &[Mutation] = &[
         Invariant::ExecPlanBalance,
         m_exec_plan_balance,
     ),
+    (
+        "snapshot from another plan",
+        Invariant::CheckpointHash,
+        m_checkpoint_hash,
+    ),
+    (
+        "stored vector shrank",
+        Invariant::CheckpointShape,
+        m_checkpoint_shape,
+    ),
+    (
+        "iteration outruns records",
+        Invariant::CheckpointMonotone,
+        m_checkpoint_monotone,
+    ),
 ];
 
 #[test]
@@ -497,5 +547,6 @@ fn unmutated_specimens_are_clean() {
     LedgerCheck::new("ledger", 2, vec![0, 124, 84, 0], vec![0, 100, 60, 0], 8).run(&mut report);
     let (rows, bounds, weights, assign, max_unit) = exec_plan_arrays();
     ExecPlanCheck::new("exec(forward)", rows, bounds, weights, assign, max_unit).run(&mut report);
+    checkpoint_check(0xAB, 3, 3, 12).run(&mut report);
     assert!(report.is_ok(), "{report}");
 }

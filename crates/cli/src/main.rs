@@ -50,6 +50,8 @@ USAGE:
                          [--ranks N] [--noise I0] [--out FILE.pgm]
                          [--metrics FILE.json] [--check]
                          [--pool] [--pool-threads N]
+                         [--checkpoint FILE] [--checkpoint-every N]
+                         [--resume] [--chaos KIND@rank:index]...
   memxct-cli check       --dataset <name> [--scale N] [--ranks N]
                          [--corrupt KIND]
 
@@ -65,10 +67,42 @@ DATASETS: ads1 ads2 ads3 ads4 rds1 rds2 (see `info`)
   --pool         run SpMV on the persistent worker pool with nnz-balanced
                  static partitions (threads from RAYON_NUM_THREADS)
   --pool-threads N  pool size override (implies --pool)
+  --checkpoint FILE  snapshot the solver state to FILE.0 (versioned,
+                 checksummed) every --checkpoint-every iterations
+  --checkpoint-every N  checkpoint cadence in iterations (default 1)
+  --resume       resume from the latest snapshot under --checkpoint;
+                 a resumed solve is bit-identical to an uninterrupted one
+  --chaos SPEC   inject one deterministic fault (repeatable; cg/sirt/os-
+                 sirt with --ranks): KIND@rank:index with KIND one of
+                 crash, drop, delay, bitflip — e.g. crash@1:3
   --corrupt KIND inject one fault before checking (check only):
-                 rowptr | nan | transpose | permutation | stage-oversize"
+                 rowptr | nan | transpose | permutation | stage-oversize
+
+EXIT CODES
+  0  success
+  1  I/O error (unreadable/unwritable file)
+  2  usage or configuration error
+  3  invariant violation (plan --check or snapshot validation)
+  4  unrecovered communication or checkpoint fault"
     );
     exit(2);
+}
+
+/// Map a reconstruction failure to the documented exit code: typed
+/// communication/checkpoint faults exit 4, invariant violations exit 3,
+/// everything else is a configuration error (2).
+fn die(context: &str, e: BuildError) -> ! {
+    eprintln!("{context}: {e}");
+    match e {
+        BuildError::Comm(_) | BuildError::Checkpoint(_) => exit(4),
+        BuildError::PlanCheck(report) => {
+            for v in report.violations() {
+                eprintln!("  {v}");
+            }
+            exit(3);
+        }
+        _ => exit(2),
+    }
 }
 
 struct Options {
@@ -85,6 +119,10 @@ struct Options {
     corrupt: Option<String>,
     pool: bool,
     pool_threads: Option<usize>,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: usize,
+    resume: bool,
+    chaos: Vec<FaultSpec>,
 }
 
 impl Options {
@@ -103,6 +141,10 @@ impl Options {
             corrupt: None,
             pool: false,
             pool_threads: None,
+            checkpoint: None,
+            checkpoint_every: 1,
+            resume: false,
+            chaos: Vec::new(),
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -133,6 +175,25 @@ impl Options {
                 "--metrics" => o.metrics = Some(PathBuf::from(value("--metrics"))),
                 "--check" => o.check = true,
                 "--corrupt" => o.corrupt = Some(value("--corrupt")),
+                "--checkpoint" => o.checkpoint = Some(PathBuf::from(value("--checkpoint"))),
+                "--checkpoint-every" => {
+                    let v = value("--checkpoint-every");
+                    o.checkpoint_every = match v.parse() {
+                        Ok(n) if n > 0 => n,
+                        _ => {
+                            eprintln!("--checkpoint-every expects a positive integer, got `{v}`");
+                            exit(2);
+                        }
+                    };
+                }
+                "--resume" => o.resume = true,
+                "--chaos" => match FaultPlan::parse_spec(&value("--chaos")) {
+                    Ok(spec) => o.chaos.push(spec),
+                    Err(e) => {
+                        eprintln!("invalid --chaos spec: {e}");
+                        exit(2);
+                    }
+                },
                 "--pool" => o.pool = true,
                 "--pool-threads" => {
                     o.pool = true;
@@ -256,12 +317,33 @@ fn reconstruct(opts: &Options) {
         }
     };
 
+    if opts.resume && opts.checkpoint.is_none() {
+        eprintln!("--resume requires --checkpoint FILE");
+        exit(2);
+    }
+    if !opts.chaos.is_empty() && opts.ranks.is_none() {
+        eprintln!("--chaos requires --ranks N (faults target distributed collectives)");
+        exit(2);
+    }
     let t = std::time::Instant::now();
     let mut builder = ReconstructorBuilder::new(grid, scan)
         .validate_plan(opts.check)
         .use_pool(opts.pool);
     if let Some(n) = opts.pool_threads {
         builder = builder.pool_threads(n);
+    }
+    if let Some(path) = &opts.checkpoint {
+        builder = builder
+            .checkpoint_path(path)
+            .checkpoint_every(opts.checkpoint_every)
+            .resume(opts.resume);
+    }
+    if !opts.chaos.is_empty() {
+        let mut plan = FaultPlan::new();
+        for spec in &opts.chaos {
+            plan.push(*spec);
+        }
+        builder = builder.fault_plan(plan).max_restarts(1);
     }
     let rec = builder.build().unwrap_or_else(|e| {
         if let BuildError::PlanCheck(report) = &e {
@@ -285,6 +367,17 @@ fn reconstruct(opts: &Options) {
     if let Some(threads) = rec.pool_threads() {
         println!("worker pool: {threads} persistent threads, nnz-balanced partitions");
     }
+    if let Some(path) = &opts.checkpoint {
+        println!(
+            "checkpoint: {} every {} iteration(s){}",
+            path.display(),
+            opts.checkpoint_every,
+            if opts.resume { ", resume enabled" } else { "" }
+        );
+    }
+    if !opts.chaos.is_empty() {
+        println!("chaos: {} deterministic fault(s) armed", opts.chaos.len());
+    }
 
     let t = std::time::Instant::now();
     let (image, iters_run) = match (opts.solver.as_str(), opts.ranks) {
@@ -299,30 +392,21 @@ fn reconstruct(opts: &Options) {
                         solver: DistSolver::Cg,
                     },
                 )
-                .unwrap_or_else(|e| {
-                    eprintln!("distributed reconstruction failed: {e}");
-                    exit(2);
-                });
+                .unwrap_or_else(|e| die("distributed reconstruction failed", e));
             let n = out.records.len();
             (out.image, n)
         }
         ("cg", None) => {
             let out = rec
                 .try_reconstruct_cg(&sino, StopRule::Fixed(opts.iters))
-                .unwrap_or_else(|e| {
-                    eprintln!("reconstruction failed: {e}");
-                    exit(2);
-                });
+                .unwrap_or_else(|e| die("reconstruction failed", e));
             let n = out.records.len();
             (out.image, n)
         }
         ("sirt", _) => {
             let out = rec
                 .try_reconstruct_sirt(&sino, opts.iters)
-                .unwrap_or_else(|e| {
-                    eprintln!("reconstruction failed: {e}");
-                    exit(2);
-                });
+                .unwrap_or_else(|e| die("reconstruction failed", e));
             let n = out.records.len();
             (out.image, n)
         }

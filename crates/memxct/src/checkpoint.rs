@@ -1,0 +1,322 @@
+//! Solver checkpoint/resume: serialize a mid-solve engine state into the
+//! versioned, checksummed [`Snapshot`] container of `xct-runtime`, and
+//! validate + restore it for a **bit-identical** continuation.
+//!
+//! A snapshot captures everything iteration `k+1` reads from iteration
+//! `k`: the carried vectors (`x`, `resid`, `dir`), the rule's carried
+//! scalars (CG's `γ`; SIRT's weights are a pure function of the operator
+//! and are recomputed on resume), the early-termination reference
+//! `prev_res`, and the committed [`IterationRecord`]s. The layout is the
+//! same for serial and distributed solves — the distributed driver
+//! gathers per-rank blocks into the global ordered domain before saving —
+//! so a snapshot taken at one rank count can seed a solve at another
+//! (the graceful-degradation path).
+//!
+//! Snapshots are validated before use through [`xct_check::CheckpointCheck`]:
+//! plan-hash match ([`Invariant::CheckpointHash`]), vector lengths
+//! ([`Invariant::CheckpointShape`]), and iteration consistency
+//! ([`Invariant::CheckpointMonotone`]).
+//!
+//! [`Invariant::CheckpointHash`]: xct_check::Invariant
+//! [`Invariant::CheckpointShape`]: xct_check::Invariant
+//! [`Invariant::CheckpointMonotone`]: xct_check::Invariant
+
+use crate::errors::BuildError;
+use crate::preprocess::Operators;
+use crate::solvers::IterationRecord;
+use xct_check::{Check, CheckpointCheck, Report};
+use xct_runtime::{fnv1a64, CheckpointError, CheckpointSink, Snapshot};
+
+/// Section name of the iterate `x` (tomogram domain).
+pub const SECTION_X: &str = "solve/x";
+/// Section name of the residual `r` (sinogram domain).
+pub const SECTION_RESID: &str = "solve/resid";
+/// Section name of the search direction `p` (tomogram domain).
+pub const SECTION_DIR: &str = "solve/dir";
+/// Section name of the early-termination reference residual.
+pub const SECTION_PREV_RES: &str = "solve/prev_res";
+/// Section name of the update rule's carried scalars (CG's `γ`).
+pub const SECTION_RULE: &str = "solve/rule_scalars";
+/// Section name of the per-iteration residual norms.
+pub const SECTION_REC_RESIDUAL: &str = "records/residual";
+/// Section name of the per-iteration solution norms.
+pub const SECTION_REC_SOLUTION: &str = "records/solution";
+/// Section name of the per-iteration wall-clock seconds.
+pub const SECTION_REC_SECONDS: &str = "records/seconds";
+
+/// Deterministic fingerprint of the preprocessed plan a snapshot belongs
+/// to. Any geometry or configuration change that alters the projection
+/// matrix's shape, population, or partitioning changes the fingerprint,
+/// so a stale snapshot is rejected at [`Invariant::CheckpointHash`]
+/// validation instead of silently resuming into the wrong plan.
+///
+/// [`Invariant::CheckpointHash`]: xct_check::Invariant
+pub fn plan_fingerprint(ops: &Operators) -> u64 {
+    let mut bytes = [0u8; 32];
+    bytes[..8].copy_from_slice(&(ops.a.nrows() as u64).to_le_bytes());
+    bytes[8..16].copy_from_slice(&(ops.a.ncols() as u64).to_le_bytes());
+    bytes[16..24].copy_from_slice(&(ops.a.nnz() as u64).to_le_bytes());
+    bytes[24..].copy_from_slice(&(ops.partsize as u64).to_le_bytes());
+    fnv1a64(&bytes)
+}
+
+/// A decoded, validated mid-solve state ready to restore into a
+/// workspace and rule.
+pub(crate) struct SolveState {
+    /// The iteration the resumed loop starts at (iterations `0..iteration`
+    /// are committed in `records`).
+    pub(crate) iteration: usize,
+    /// `prev_res` as of the last committed iteration.
+    pub(crate) prev_res: f64,
+    /// Global ordered iterate.
+    pub(crate) x: Vec<f32>,
+    /// Global ordered residual.
+    pub(crate) resid: Vec<f32>,
+    /// Global ordered search direction.
+    pub(crate) dir: Vec<f32>,
+    /// Committed per-iteration records.
+    pub(crate) records: Vec<IterationRecord>,
+    /// The update rule's carried scalars.
+    pub(crate) scalars: Vec<f64>,
+}
+
+/// Build the snapshot for a solve paused before `next_iter`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn encode_state(
+    plan_hash: u64,
+    next_iter: usize,
+    prev_res: f64,
+    x: &[f32],
+    resid: &[f32],
+    dir: &[f32],
+    records: &[IterationRecord],
+    rule_scalars: &[f64],
+) -> Snapshot {
+    let mut snap = Snapshot::new(plan_hash, next_iter as u64);
+    snap.push_f32s(SECTION_X, x);
+    snap.push_f32s(SECTION_RESID, resid);
+    snap.push_f32s(SECTION_DIR, dir);
+    snap.push_f64(SECTION_PREV_RES, prev_res);
+    snap.push_f64s(SECTION_RULE, rule_scalars);
+    let residuals: Vec<f64> = records.iter().map(|r| r.residual_norm).collect();
+    let solutions: Vec<f64> = records.iter().map(|r| r.solution_norm).collect();
+    let seconds: Vec<f64> = records.iter().map(|r| r.seconds).collect();
+    snap.push_f64s(SECTION_REC_RESIDUAL, &residuals);
+    snap.push_f64s(SECTION_REC_SOLUTION, &solutions);
+    snap.push_f64s(SECTION_REC_SECONDS, &seconds);
+    snap
+}
+
+/// Validate a decoded snapshot against the plan it will resume into:
+/// plan-hash match, vector lengths against the operator's dimensions,
+/// iteration counter within the stop rule's cap and consistent with the
+/// record sections. Returns the (possibly empty) violation report.
+pub fn validate_snapshot(
+    snap: &Snapshot,
+    expected_plan_hash: u64,
+    max_iters: usize,
+    nrows: usize,
+    ncols: usize,
+) -> Report {
+    let found = |name: &str| snap.f32s(name).ok().map(<[f32]>::len);
+    let found64 = |name: &str| snap.f64s(name).ok().map(<[f64]>::len);
+    let iteration = snap.iteration();
+    let records_len = found64(SECTION_REC_RESIDUAL).unwrap_or(0) as u64;
+    // One record per committed iteration; saturate rather than truncate if
+    // a corrupt header claims more iterations than usize holds.
+    let rec_expect = usize::try_from(iteration).unwrap_or(usize::MAX);
+    let check = CheckpointCheck::new(
+        "solve checkpoint",
+        expected_plan_hash,
+        snap.plan_hash(),
+        max_iters as u64,
+        iteration,
+        records_len,
+    )
+    .section(SECTION_X, ncols, found(SECTION_X))
+    .section(SECTION_RESID, nrows, found(SECTION_RESID))
+    .section(SECTION_DIR, ncols, found(SECTION_DIR))
+    .section(
+        SECTION_REC_RESIDUAL,
+        rec_expect,
+        found64(SECTION_REC_RESIDUAL),
+    )
+    .section(
+        SECTION_REC_SOLUTION,
+        rec_expect,
+        found64(SECTION_REC_SOLUTION),
+    )
+    .section(
+        SECTION_REC_SECONDS,
+        rec_expect,
+        found64(SECTION_REC_SECONDS),
+    );
+    let mut report = Report::new();
+    check.run(&mut report);
+    report
+}
+
+/// Decode a validated snapshot into a [`SolveState`].
+pub(crate) fn decode_state(snap: &Snapshot) -> Result<SolveState, CheckpointError> {
+    // in-range: validate_snapshot bounded iteration by the stop rule's cap
+    let iteration = snap.iteration() as usize;
+    let residuals = snap.f64s(SECTION_REC_RESIDUAL)?;
+    let solutions = snap.f64s(SECTION_REC_SOLUTION)?;
+    let seconds = snap.f64s(SECTION_REC_SECONDS)?;
+    let records = residuals
+        .iter()
+        .zip(solutions)
+        .zip(seconds)
+        .enumerate()
+        .map(
+            |(iter, ((&residual_norm, &solution_norm), &secs))| IterationRecord {
+                iter,
+                residual_norm,
+                solution_norm,
+                seconds: secs,
+            },
+        )
+        .collect();
+    Ok(SolveState {
+        iteration,
+        prev_res: snap.f64_scalar(SECTION_PREV_RES)?,
+        x: snap.f32s(SECTION_X)?.to_vec(),
+        resid: snap.f32s(SECTION_RESID)?.to_vec(),
+        dir: snap.f32s(SECTION_DIR)?.to_vec(),
+        records,
+        scalars: snap.f64s(SECTION_RULE)?.to_vec(),
+    })
+}
+
+/// Load and fully validate a snapshot from `sink`'s slot `slot`.
+///
+/// Returns `Ok(None)` when the slot holds no snapshot (a resume request
+/// before any checkpoint was written starts from scratch), a typed
+/// [`BuildError::Checkpoint`] for container-level corruption (bad magic,
+/// checksum mismatch, truncation), and [`BuildError::PlanCheck`] when the
+/// container is intact but inconsistent with the plan being resumed.
+pub(crate) fn load_state(
+    sink: &dyn CheckpointSink,
+    slot: usize,
+    expected_plan_hash: u64,
+    max_iters: usize,
+    nrows: usize,
+    ncols: usize,
+) -> Result<Option<SolveState>, BuildError> {
+    let Some(bytes) = sink.load(slot).map_err(BuildError::Checkpoint)? else {
+        return Ok(None);
+    };
+    let snap = Snapshot::decode(&bytes).map_err(BuildError::Checkpoint)?;
+    let report = validate_snapshot(&snap, expected_plan_hash, max_iters, nrows, ncols);
+    if !report.is_ok() {
+        return Err(BuildError::PlanCheck(report));
+    }
+    let state = decode_state(&snap).map_err(BuildError::Checkpoint)?;
+    Ok(Some(state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xct_check::Invariant;
+    use xct_runtime::MemoryCheckpointSink;
+
+    fn records(n: usize) -> Vec<IterationRecord> {
+        (0..n)
+            .map(|iter| IterationRecord {
+                iter,
+                residual_norm: 10.0 / (iter + 1) as f64,
+                solution_norm: iter as f64,
+                seconds: 0.25,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_decode_round_trips_the_state() {
+        let recs = records(3);
+        let snap = encode_state(
+            0xFEED,
+            3,
+            10.0 / 3.0,
+            &[1.0, 2.0],
+            &[3.0, 4.0, 5.0],
+            &[6.0, 7.0],
+            &recs,
+            &[0.125],
+        );
+        assert!(validate_snapshot(&snap, 0xFEED, 10, 3, 2).is_ok());
+        let st = decode_state(&snap).unwrap();
+        assert_eq!(st.iteration, 3);
+        assert_eq!(st.prev_res, 10.0 / 3.0);
+        assert_eq!(st.x, vec![1.0, 2.0]);
+        assert_eq!(st.resid, vec![3.0, 4.0, 5.0]);
+        assert_eq!(st.dir, vec![6.0, 7.0]);
+        assert_eq!(st.scalars, vec![0.125]);
+        assert_eq!(st.records, recs);
+    }
+
+    #[test]
+    fn validation_pinpoints_each_mismatch() {
+        let snap = encode_state(
+            0xFEED,
+            3,
+            1.0,
+            &[0.0; 2],
+            &[0.0; 3],
+            &[0.0; 2],
+            &records(3),
+            &[],
+        );
+        // Wrong plan hash.
+        let r = validate_snapshot(&snap, 0xBEEF, 10, 3, 2);
+        assert!(r.has(Invariant::CheckpointHash), "{r}");
+        // Wrong vector lengths (snapshot from a different geometry).
+        let r = validate_snapshot(&snap, 0xFEED, 10, 4, 5);
+        assert!(r.has(Invariant::CheckpointShape), "{r}");
+        // Iteration past the run's cap.
+        let r = validate_snapshot(&snap, 0xFEED, 2, 3, 2);
+        assert!(r.has(Invariant::CheckpointMonotone), "{r}");
+    }
+
+    #[test]
+    fn records_disagreeing_with_iteration_are_rejected() {
+        let snap = encode_state(1, 5, 1.0, &[0.0; 2], &[0.0; 3], &[0.0; 2], &records(3), &[]);
+        let r = validate_snapshot(&snap, 1, 10, 3, 2);
+        assert!(r.has(Invariant::CheckpointMonotone), "{r}");
+    }
+
+    #[test]
+    fn load_state_surfaces_typed_errors() {
+        let sink = MemoryCheckpointSink::new();
+        // Empty slot: clean None.
+        assert!(load_state(&sink, 0, 1, 10, 3, 2).unwrap().is_none());
+        // Garbage bytes: container-level checkpoint error.
+        sink.save(0, b"not a snapshot").unwrap();
+        assert!(matches!(
+            load_state(&sink, 0, 1, 10, 3, 2),
+            Err(BuildError::Checkpoint(_))
+        ));
+        // Intact container, mismatched plan: invariant report.
+        let snap = encode_state(2, 1, 1.0, &[0.0; 2], &[0.0; 3], &[0.0; 2], &records(1), &[]);
+        sink.save(0, &snap.encode()).unwrap();
+        match load_state(&sink, 0, 1, 10, 3, 2) {
+            Err(BuildError::PlanCheck(r)) => assert!(r.has(Invariant::CheckpointHash)),
+            other => panic!("expected PlanCheck, got {:?}", other.map(|_| ())),
+        }
+        // Matching plan loads.
+        let st = load_state(&sink, 0, 2, 10, 3, 2).unwrap().unwrap();
+        assert_eq!(st.iteration, 1);
+    }
+
+    #[test]
+    fn fingerprint_tracks_plan_shape() {
+        use crate::preprocess::{preprocess, Config};
+        use xct_geometry::{Grid, ScanGeometry};
+        let a = preprocess(Grid::new(16), ScanGeometry::new(12, 16), &Config::default());
+        let b = preprocess(Grid::new(16), ScanGeometry::new(12, 16), &Config::default());
+        assert_eq!(plan_fingerprint(&a), plan_fingerprint(&b), "deterministic");
+        let c = preprocess(Grid::new(24), ScanGeometry::new(12, 24), &Config::default());
+        assert_ne!(plan_fingerprint(&a), plan_fingerprint(&c));
+    }
+}

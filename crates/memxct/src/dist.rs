@@ -18,16 +18,27 @@
 //! which apply their local `A_pᵀ`. No tomogram is ever replicated and no
 //! atomic update is ever issued.
 
+use crate::checkpoint::{self, SolveState};
 use crate::errors::BuildError;
 use crate::operator::{KernelBreakdown, ProjectionOperator};
 use crate::preprocess::Operators;
-use crate::solvers::{run_engine, CgRule, Constraint, IterationRecord, SirtRule, StopRule};
+use crate::solvers::{
+    run_engine_core, CgRule, Constraint, IterationRecord, SirtRule, SolverWorkspace, StopRule,
+    UpdateRule,
+};
 use std::cell::RefCell;
 use std::ops::Range;
+use std::sync::Arc;
 use std::time::Instant;
 use xct_hilbert::TileLayout;
-use xct_obs::{Metrics, KERNEL_AP_SECONDS, KERNEL_C_SECONDS, KERNEL_R_SECONDS};
-use xct_runtime::{run_ranks, CommLedger, Communicator, KernelVolumes};
+use xct_obs::{
+    Metrics, FAULT_ABORTS, FAULT_INJECTED, FAULT_RANK_LOSS, FAULT_RESTARTS, FAULT_RETRIES,
+    FAULT_TIMEOUTS, KERNEL_AP_SECONDS, KERNEL_C_SECONDS, KERNEL_R_SECONDS,
+};
+use xct_runtime::{
+    run_ranks_with, CheckpointError, CheckpointSink, CommConfig, CommError, CommErrorKind,
+    CommLedger, Communicator, FaultPlan, KernelVolumes,
+};
 use xct_sparse::{BufferedCsr, CsrMatrix};
 
 /// Which solver the distributed path runs.
@@ -227,12 +238,31 @@ impl RankPlan {
 
     /// Distributed forward projection: returns this rank's owned block of
     /// `y = A·x`, adding kernel times into `kb`.
+    ///
+    /// # Panics
+    /// Panics on a communication failure; use [`RankPlan::try_forward`]
+    /// for a typed [`CommError`].
     pub fn forward(
         &self,
         comm: &Communicator,
         x_local: &[f32],
         kb: &mut KernelBreakdown,
     ) -> Vec<f32> {
+        match self.try_forward(comm, x_local, kb) {
+            Ok(y) => y,
+            // lint: allow(no-panic) documented panicking shim over the try_ API
+            Err(e) => panic!("distributed forward failed: {e}"),
+        }
+    }
+
+    /// Fallible [`RankPlan::forward`]: a peer crash, timeout, or corrupt
+    /// frame surfaces as a typed [`CommError`] instead of a panic.
+    pub fn try_forward(
+        &self,
+        comm: &Communicator,
+        x_local: &[f32],
+        kb: &mut KernelBreakdown,
+    ) -> Result<Vec<f32>, CommError> {
         // A_p: partial projection over the interaction rows.
         let t = Instant::now();
         let y_part = self.apply_a(x_local);
@@ -245,7 +275,7 @@ impl RankPlan {
             .iter()
             .map(|r| y_part[r.clone()].to_vec())
             .collect();
-        let recv = comm.alltoallv(send);
+        let recv = comm.try_alltoallv(send)?;
         kb.c_s += t.elapsed().as_secs_f64();
 
         // R: reduce overlapping partials into the owned block.
@@ -260,12 +290,31 @@ impl RankPlan {
             }
         }
         kb.r_s += t.elapsed().as_secs_f64();
-        y_local
+        Ok(y_local)
     }
 
     /// Distributed backprojection: returns this rank's owned block of
     /// `x = Aᵀ·y` given the distributed `y`.
+    ///
+    /// # Panics
+    /// Panics on a communication failure; use [`RankPlan::try_back`] for
+    /// a typed [`CommError`].
     pub fn back(&self, comm: &Communicator, y_local: &[f32], kb: &mut KernelBreakdown) -> Vec<f32> {
+        match self.try_back(comm, y_local, kb) {
+            Ok(x) => x,
+            // lint: allow(no-panic) documented panicking shim over the try_ API
+            Err(e) => panic!("distributed backprojection failed: {e}"),
+        }
+    }
+
+    /// Fallible [`RankPlan::back`]: a peer crash, timeout, or corrupt
+    /// frame surfaces as a typed [`CommError`] instead of a panic.
+    pub fn try_back(
+        &self,
+        comm: &Communicator,
+        y_local: &[f32],
+        kb: &mut KernelBreakdown,
+    ) -> Result<Vec<f32>, CommError> {
         // Rᵀ: owners duplicate the overlapped sinogram values per peer.
         let t = Instant::now();
         let slo = self.sino_range.start;
@@ -282,7 +331,7 @@ impl RankPlan {
 
         // Cᵀ: the transpose communication pattern.
         let t = Instant::now();
-        let recv = comm.alltoallv(send);
+        let recv = comm.try_alltoallv(send)?;
         kb.c_s += t.elapsed().as_secs_f64();
 
         // Assemble the gathered interaction-row values, then A_pᵀ.
@@ -298,7 +347,7 @@ impl RankPlan {
         let t = Instant::now();
         let x_local = self.apply_at(&y_gather);
         kb.ap_s += t.elapsed().as_secs_f64();
-        x_local
+        Ok(x_local)
     }
 
     /// Per-iteration work volumes of this rank for the machine model
@@ -368,9 +417,22 @@ pub struct DistOutput {
 /// Deterministic scalar allreduce: every rank receives every rank's
 /// value (exchanged bit-exactly as `u64`) and sums them in rank order,
 /// so all ranks compute the identical f64 result.
+///
+/// # Panics
+/// Panics on a communication failure; use [`try_allreduce_f64`] for a
+/// typed [`CommError`].
 pub fn allreduce_f64(comm: &Communicator, v: f64) -> f64 {
-    let gathered = comm.alltoall_counts(vec![v.to_bits(); comm.size()]);
-    gathered.into_iter().map(f64::from_bits).sum()
+    match try_allreduce_f64(comm, v) {
+        Ok(sum) => sum,
+        // lint: allow(no-panic) documented panicking shim over the try_ API
+        Err(e) => panic!("allreduce failed: {e}"),
+    }
+}
+
+/// Fallible [`allreduce_f64`].
+pub fn try_allreduce_f64(comm: &Communicator, v: f64) -> Result<f64, CommError> {
+    let gathered = comm.try_alltoall_counts(vec![v.to_bits(); comm.size()])?;
+    Ok(gathered.into_iter().map(f64::from_bits).sum())
 }
 
 /// One rank's view of the factorized operator `A = R·C·A_p` as a
@@ -383,6 +445,13 @@ pub struct DistOperator<'a> {
     comm: &'a Communicator,
     kb: RefCell<KernelBreakdown>,
     calls: std::cell::Cell<(u64, u64)>,
+    /// First communication failure absorbed by this operator. Once set,
+    /// every projection zero-fills its output without communicating and
+    /// `reduce_dot` returns the local value, so the solver loop winds
+    /// down deterministically (CG hits `qq == 0` within one iteration)
+    /// while the origin error stays available via
+    /// [`ProjectionOperator::fault`].
+    fault: RefCell<Option<CommError>>,
 }
 
 impl<'a> DistOperator<'a> {
@@ -393,7 +462,20 @@ impl<'a> DistOperator<'a> {
             comm,
             kb: RefCell::new(KernelBreakdown::default()),
             calls: std::cell::Cell::new((0, 0)),
+            fault: RefCell::new(None),
         }
+    }
+
+    /// Keep the first (origin) failure; later errors are consequences.
+    fn poison(&self, e: CommError) {
+        let mut fault = self.fault.borrow_mut();
+        if fault.is_none() {
+            *fault = Some(e);
+        }
+    }
+
+    fn poisoned(&self) -> bool {
+        self.fault.borrow().is_some()
     }
 
     /// The accumulated kernel breakdown (also available via the trait's
@@ -416,25 +498,462 @@ impl ProjectionOperator for DistOperator<'_> {
         self.plan.tomo_range.len()
     }
     fn forward_into(&self, x: &[f32], y: &mut [f32]) {
-        let mut kb = self.kb.borrow_mut();
-        y.copy_from_slice(&self.plan.forward(self.comm, x, &mut kb));
         let (f, b) = self.calls.get();
         self.calls.set((f + 1, b));
+        if self.poisoned() {
+            y.fill(0.0);
+            return;
+        }
+        let mut kb = self.kb.borrow_mut();
+        match self.plan.try_forward(self.comm, x, &mut kb) {
+            Ok(v) => y.copy_from_slice(&v),
+            Err(e) => {
+                drop(kb);
+                self.poison(e);
+                y.fill(0.0);
+            }
+        }
     }
     fn back_into(&self, y: &[f32], x: &mut [f32]) {
-        let mut kb = self.kb.borrow_mut();
-        x.copy_from_slice(&self.plan.back(self.comm, y, &mut kb));
         let (f, b) = self.calls.get();
         self.calls.set((f, b + 1));
+        if self.poisoned() {
+            x.fill(0.0);
+            return;
+        }
+        let mut kb = self.kb.borrow_mut();
+        match self.plan.try_back(self.comm, y, &mut kb) {
+            Ok(v) => x.copy_from_slice(&v),
+            Err(e) => {
+                drop(kb);
+                self.poison(e);
+                x.fill(0.0);
+            }
+        }
     }
     fn reduce_dot(&self, local: f64) -> f64 {
+        if self.poisoned() {
+            return local;
+        }
         let t = Instant::now();
-        let v = allreduce_f64(self.comm, local);
-        self.kb.borrow_mut().c_s += t.elapsed().as_secs_f64();
-        v
+        match try_allreduce_f64(self.comm, local) {
+            Ok(v) => {
+                self.kb.borrow_mut().c_s += t.elapsed().as_secs_f64();
+                v
+            }
+            Err(e) => {
+                self.poison(e);
+                local
+            }
+        }
     }
     fn breakdown(&self) -> Option<KernelBreakdown> {
         Some(*self.kb.borrow())
+    }
+    fn fault(&self) -> Option<CommError> {
+        self.fault.borrow().clone()
+    }
+}
+
+/// Fault-tolerance policy for a distributed reconstruction.
+///
+/// The default policy enables the runtime's supervised execution (30 s
+/// collective deadline, bounded delivery retries) with no chaos, no
+/// checkpointing, and one degraded restart; [`FaultTolerance::disabled`]
+/// reproduces the historical fail-fast behaviour (unbounded waits, zero
+/// restarts) and is what the legacy entry points use.
+#[derive(Clone)]
+pub struct FaultTolerance {
+    /// Deadline/retry/backoff configuration for every collective.
+    pub comm: CommConfig,
+    /// Deterministic chaos plan consulted by every collective. The empty
+    /// plan injects nothing and is bit-identical to no fault machinery.
+    pub faults: Arc<FaultPlan>,
+    /// Where snapshots go. `None` disables checkpointing entirely.
+    pub sink: Option<Arc<dyn CheckpointSink>>,
+    /// Take a snapshot after every `checkpoint_every` iterations
+    /// (0 = never, even with a sink configured).
+    pub checkpoint_every: usize,
+    /// Resume from the sink's slot-0 snapshot when one exists.
+    pub resume: bool,
+    /// How many degraded restarts (each over one rank fewer) the
+    /// coordinator attempts after an unrecoverable rank loss.
+    pub max_restarts: usize,
+}
+
+impl Default for FaultTolerance {
+    fn default() -> Self {
+        FaultTolerance {
+            comm: CommConfig::default(),
+            faults: Arc::new(FaultPlan::new()),
+            sink: None,
+            checkpoint_every: 0,
+            resume: false,
+            max_restarts: 1,
+        }
+    }
+}
+
+impl FaultTolerance {
+    /// The historical fail-fast policy: unbounded collective waits, no
+    /// chaos, no checkpoints, no restarts.
+    pub fn disabled() -> Self {
+        FaultTolerance {
+            comm: CommConfig::unbounded(),
+            max_restarts: 0,
+            ..FaultTolerance::default()
+        }
+    }
+}
+
+/// What can go wrong while taking a global checkpoint: a communication
+/// failure during the gather (recoverable — the restart loop handles it)
+/// or a snapshot encode/persist failure (unrecoverable).
+enum SaveError {
+    Comm(CommError),
+    Checkpoint(CheckpointError),
+}
+
+/// Gather `[x ‖ resid ‖ dir]` from every rank at rank 0 with one
+/// collective and persist one *global* snapshot into slot 0. Running the
+/// gather as a collective keeps snapshots globally consistent (every rank
+/// contributes the state of the same iteration boundary), and assembling
+/// in global ordered coordinates makes the snapshot rank-count
+/// independent: a degraded restart over fewer ranks — or a serial resume
+/// — reads the same file.
+#[allow(clippy::too_many_arguments)]
+fn save_global_checkpoint(
+    comm: &Communicator,
+    plans: &[RankPlan],
+    sink: &dyn CheckpointSink,
+    plan_hash: u64,
+    next_iter: usize,
+    prev_res: f64,
+    ws: &SolverWorkspace,
+    rule: &dyn UpdateRule,
+) -> Result<(), SaveError> {
+    let mut mine = Vec::with_capacity(ws.x().len() + ws.resid().len() + ws.dir().len());
+    mine.extend_from_slice(ws.x());
+    mine.extend_from_slice(ws.resid());
+    mine.extend_from_slice(ws.dir());
+    let mut send: Vec<Vec<f32>> = vec![Vec::new(); comm.size()];
+    send[0] = mine;
+    let recv = comm.try_alltoallv(send).map_err(SaveError::Comm)?;
+    if comm.rank() != 0 {
+        return Ok(());
+    }
+    let last = &plans[plans.len() - 1];
+    let ncols = last.tomo_range.end as usize;
+    let nrows = last.sino_range.end as usize;
+    let mut gx = vec![0f32; ncols];
+    let mut gresid = vec![0f32; nrows];
+    let mut gdir = vec![0f32; ncols];
+    for (src, payload) in recv.iter().enumerate() {
+        let plan = &plans[src];
+        let tlo = plan.tomo_range.start as usize;
+        let thi = plan.tomo_range.end as usize;
+        let slo = plan.sino_range.start as usize;
+        let shi = plan.sino_range.end as usize;
+        let (tn, sn) = (thi - tlo, shi - slo);
+        if payload.len() != 2 * tn + sn {
+            return Err(SaveError::Checkpoint(CheckpointError::Io {
+                message: format!(
+                    "checkpoint gather: rank {src} sent {} values, expected {}",
+                    payload.len(),
+                    2 * tn + sn
+                ),
+            }));
+        }
+        gx[tlo..thi].copy_from_slice(&payload[..tn]);
+        gresid[slo..shi].copy_from_slice(&payload[tn..tn + sn]);
+        gdir[tlo..thi].copy_from_slice(&payload[tn + sn..]);
+    }
+    let snap = checkpoint::encode_state(
+        plan_hash,
+        next_iter,
+        prev_res,
+        &gx,
+        &gresid,
+        &gdir,
+        ws.records(),
+        &rule.carried_scalars(),
+    );
+    sink.save(0, &snap.encode()).map_err(SaveError::Checkpoint)
+}
+
+/// One rank's share of a supervised solve: run the generic engine over the
+/// rank's [`DistOperator`], checkpointing at the configured cadence, and
+/// convert an absorbed communication fault back into a typed error after
+/// the engine winds down.
+fn solve_rank(
+    comm: &Communicator,
+    plans: &[RankPlan],
+    sino_ordered: &[f32],
+    config: &DistConfig,
+    ft: &FaultTolerance,
+    plan_hash: u64,
+    resume: Option<&SolveState>,
+) -> Result<RankResult, CommError> {
+    let plan = &plans[comm.rank()];
+    let slo = plan.sino_range.start as usize;
+    let shi = plan.sino_range.end as usize;
+    let tlo = plan.tomo_range.start as usize;
+    let thi = plan.tomo_range.end as usize;
+    let y = &sino_ordered[slo..shi];
+    let op = DistOperator::new(plan, comm);
+    let mut cg = CgRule::new();
+    let mut sirt = SirtRule::new(1.0);
+    let rule: &mut dyn UpdateRule = match config.solver {
+        DistSolver::Cg => &mut cg,
+        DistSolver::Sirt => &mut sirt,
+    };
+    let mut ws = SolverWorkspace::new(op.nrows(), op.ncols());
+    let resume_point = resume.map(|st| {
+        ws.resume(
+            op.nrows(),
+            op.ncols(),
+            config.stop.max_iters(),
+            &st.x[tlo..thi],
+            &st.resid[slo..shi],
+            &st.dir[tlo..thi],
+            st.records.clone(),
+        );
+        rule.restore_scalars(&st.scalars);
+        (st.iteration, st.prev_res)
+    });
+    let every = if ft.sink.is_some() {
+        ft.checkpoint_every
+    } else {
+        0
+    };
+    // Each rank's inner solve runs unmetered (see the coordinator docs).
+    let engine = run_engine_core(
+        &op,
+        y,
+        rule,
+        Constraint::None,
+        config.stop,
+        &Metrics::noop(),
+        &mut ws,
+        resume_point,
+        |next_iter, prev_res, ws, rule| {
+            // A poisoned rank skips the gather: the abort flag is already
+            // set, so peers fail fast instead of blocking on it.
+            if every == 0 || next_iter % every != 0 || op.fault().is_some() {
+                return Ok(());
+            }
+            let Some(sink) = &ft.sink else { return Ok(()) };
+            match save_global_checkpoint(
+                comm,
+                plans,
+                sink.as_ref(),
+                plan_hash,
+                next_iter,
+                prev_res,
+                ws,
+                rule,
+            ) {
+                Ok(()) => Ok(()),
+                // A comm failure during the gather poisons the solve like
+                // any other collective failure — recoverable by restart.
+                Err(SaveError::Comm(e)) => {
+                    op.poison(e);
+                    Ok(())
+                }
+                Err(SaveError::Checkpoint(ck)) => Err(ck),
+            }
+        },
+    );
+    if let Some(e) = op.fault() {
+        return Err(e);
+    }
+    if let Err(ck) = engine {
+        return Err(CommError {
+            rank: comm.rank(),
+            peer: None,
+            collective: "checkpoint",
+            kind: CommErrorKind::Checkpoint {
+                message: ck.to_string(),
+            },
+        });
+    }
+    Ok((
+        ws.x().to_vec(),
+        ws.records().to_vec(),
+        op.take_breakdown(),
+        op.call_counts(),
+    ))
+}
+
+/// What each rank hands back to the coordinator: its tomogram block, the
+/// (rank-identical) convergence records, and its kernel diagnostics.
+type RankResult = (Vec<f32>, Vec<IterationRecord>, KernelBreakdown, (u64, u64));
+
+/// Assemble the coordinator-side [`DistOutput`] from the per-rank results
+/// and record the run's observability (kernel timers, convergence series,
+/// communication matrix, fault counters).
+fn assemble_output(
+    ops: &Operators,
+    plans: &[RankPlan],
+    rank_results: Vec<RankResult>,
+    ledger: CommLedger,
+    volumes: Vec<KernelVolumes>,
+    metrics: &Metrics,
+) -> DistOutput {
+    let ranks = plans.len();
+    let mut ordered = vec![0f32; ops.a.ncols()];
+    let mut records = Vec::new();
+    let mut breakdown = Vec::with_capacity(ranks);
+    let mut call_counts = Vec::with_capacity(ranks);
+    for (plan, (x_local, recs, kb, calls)) in plans.iter().zip(rank_results) {
+        let lo = plan.tomo_range.start as usize;
+        ordered[lo..lo + x_local.len()].copy_from_slice(&x_local);
+        if records.is_empty() {
+            records = recs;
+        }
+        breakdown.push(kb);
+        call_counts.push(calls);
+    }
+    if metrics.enabled() {
+        // Per-rank local SpMV volumes (the A_p / A_pᵀ kernel).
+        for (plan, &(fwd, back)) in plans.iter().zip(&call_counts) {
+            let fwd_bytes = match &plan.a_local_buf {
+                Some(b) => b.regular_bytes(),
+                None => plan.a_local.nnz() as u64 * 8,
+            };
+            let back_bytes = match &plan.at_local_buf {
+                Some(b) => b.regular_bytes(),
+                None => plan.at_local.nnz() as u64 * 8,
+            };
+            metrics.counter_add("spmv/dist/calls", fwd + back);
+            metrics.counter_add("spmv/dist/nnz", (fwd + back) * plan.a_local.nnz() as u64);
+            metrics.counter_add("spmv/dist/bytes", fwd * fwd_bytes + back * back_bytes);
+        }
+        for kb in &breakdown {
+            metrics.timer_observe(KERNEL_AP_SECONDS, kb.ap_s);
+            metrics.timer_observe(KERNEL_C_SECONDS, kb.c_s);
+            metrics.timer_observe(KERNEL_R_SECONDS, kb.r_s);
+        }
+        for r in &records {
+            metrics.series_push("solver/residual_norm", r.residual_norm);
+            metrics.series_push("solver/solution_norm", r.solution_norm);
+            metrics.series_push("solver/iter_seconds", r.seconds);
+        }
+        metrics.counter_add("solver/iterations", records.len() as u64);
+        metrics.matrix_set("comm/bytes", ranks, ledger.byte_matrix());
+        for rank in 0..ranks {
+            let s = ledger.collectives(rank);
+            metrics.counter_add("comm/collective_calls", s.calls);
+            metrics.timer_observe("comm/collective_s", s.seconds);
+        }
+        let fs = ledger.fault_stats();
+        metrics.counter_add(FAULT_INJECTED, fs.injected);
+        metrics.counter_add(FAULT_RETRIES, fs.retries);
+        metrics.counter_add(FAULT_TIMEOUTS, fs.timeouts);
+        metrics.counter_add(FAULT_ABORTS, fs.aborts);
+    }
+    DistOutput {
+        image: ops.unorder_tomogram(&ordered),
+        records,
+        breakdown,
+        ledger,
+        volumes,
+    }
+}
+
+/// Supervised distributed reconstruction: [`try_reconstruct_distributed`]
+/// plus the full fault-tolerance policy of [`FaultTolerance`].
+///
+/// - Every collective runs under `ft.comm`'s deadline/retry budget and
+///   consults `ft.faults` for deterministic chaos injection; failures
+///   surface as [`BuildError::Comm`] with the origin rank, peer, and
+///   collective — never a hang or a panic.
+/// - With a sink configured and `ft.checkpoint_every > 0`, the ranks
+///   gather a *global* snapshot into slot 0 at every boundary (see
+///   [`crate::checkpoint`]); `ft.resume` restarts mid-solve from the
+///   latest snapshot, bit-identically to an uninterrupted run.
+/// - On an unrecoverable rank loss the coordinator degrades: it rebuilds
+///   the plans over one rank fewer, reloads the latest snapshot (or
+///   restarts from scratch without a sink), and reruns — up to
+///   `ft.max_restarts` times and never below one rank. Snapshot
+///   validation failures ([`CommErrorKind::Checkpoint`]) are not retried.
+pub fn try_reconstruct_distributed_ft(
+    ops: &Operators,
+    sino_ordered: &[f32],
+    config: &DistConfig,
+    ft: &FaultTolerance,
+    metrics: &Metrics,
+) -> Result<DistOutput, BuildError> {
+    if config.ranks == 0 {
+        return Err(BuildError::ZeroRanks);
+    }
+    if sino_ordered.len() != ops.a.nrows() {
+        return Err(BuildError::SinogramLength {
+            expected: ops.a.nrows(),
+            got: sino_ordered.len(),
+        });
+    }
+    let plan_hash = checkpoint::plan_fingerprint(ops);
+    let max_iters = config.stop.max_iters();
+    let load = |sink: &Arc<dyn CheckpointSink>| {
+        checkpoint::load_state(
+            sink.as_ref(),
+            0,
+            plan_hash,
+            max_iters,
+            ops.a.nrows(),
+            ops.a.ncols(),
+        )
+    };
+    let mut resume_state = match &ft.sink {
+        Some(sink) if ft.resume => load(sink)?,
+        _ => None,
+    };
+    let mut ranks = config.ranks;
+    let mut restarts = 0usize;
+    loop {
+        let plans = build_plans(ops, ranks, config.use_buffered);
+        let volumes: Vec<KernelVolumes> = plans.iter().map(|p| p.volumes()).collect();
+        let run = run_ranks_with(ranks, ft.comm, Arc::clone(&ft.faults), |comm| {
+            solve_rank(
+                comm,
+                &plans,
+                sino_ordered,
+                config,
+                ft,
+                plan_hash,
+                resume_state.as_ref(),
+            )
+        });
+        match run {
+            Ok((rank_results, ledger)) => {
+                return Ok(assemble_output(
+                    ops,
+                    &plans,
+                    rank_results,
+                    ledger,
+                    volumes,
+                    metrics,
+                ));
+            }
+            Err(err) => {
+                metrics.counter_add(FAULT_RANK_LOSS, 1);
+                let unrecoverable = matches!(err.kind, CommErrorKind::Checkpoint { .. });
+                if unrecoverable || restarts >= ft.max_restarts || ranks <= 1 {
+                    return Err(BuildError::Comm(err));
+                }
+                restarts += 1;
+                ranks -= 1;
+                metrics.counter_add(FAULT_RESTARTS, 1);
+                // Degrade: resume the survivors from the latest snapshot
+                // (the snapshot is rank-count independent), or from
+                // scratch when checkpointing is off.
+                resume_state = match &ft.sink {
+                    Some(sink) => load(sink)?,
+                    None => None,
+                };
+            }
+        }
     }
 }
 
@@ -443,8 +962,9 @@ impl ProjectionOperator for DistOperator<'_> {
 /// `sino_ordered` is the measurement vector in sinogram-ordered
 /// coordinates (see [`Operators::order_sinogram`]). Each rank builds a
 /// [`DistOperator`] over its plan and runs the same generic engine as the
-/// serial path ([`run_engine`]); there is no distributed-specific solver
-/// loop. Returns the assembled row-major image plus all diagnostics.
+/// serial path ([`crate::solvers::run_engine`]); there is no
+/// distributed-specific solver loop. Returns the assembled row-major
+/// image plus all diagnostics.
 pub fn reconstruct_distributed(
     ops: &Operators,
     sino_ordered: &[f32],
@@ -489,91 +1009,16 @@ pub fn reconstruct_distributed_with_metrics(
     config: &DistConfig,
     metrics: &Metrics,
 ) -> Result<DistOutput, BuildError> {
-    if config.ranks == 0 {
-        return Err(BuildError::ZeroRanks);
-    }
-    if sino_ordered.len() != ops.a.nrows() {
-        return Err(BuildError::SinogramLength {
-            expected: ops.a.nrows(),
-            got: sino_ordered.len(),
-        });
-    }
-    let plans = build_plans(ops, config.ranks, config.use_buffered);
-    let volumes: Vec<KernelVolumes> = plans.iter().map(|p| p.volumes()).collect();
-
-    let (rank_results, ledger) = run_ranks(config.ranks, |comm| {
-        let plan = &plans[comm.rank()];
-        let slo = plan.sino_range.start as usize;
-        let shi = plan.sino_range.end as usize;
-        let y = &sino_ordered[slo..shi];
-        let op = DistOperator::new(plan, comm);
-        let (x_local, records) = match config.solver {
-            DistSolver::Cg => run_engine(&op, y, &mut CgRule::new(), Constraint::None, config.stop),
-            DistSolver::Sirt => run_engine(
-                &op,
-                y,
-                &mut SirtRule::new(1.0),
-                Constraint::None,
-                config.stop,
-            ),
-        };
-        (x_local, records, op.take_breakdown(), op.call_counts())
-    });
-
-    // Assemble the ordered tomogram from the per-rank blocks.
-    let mut ordered = vec![0f32; ops.a.ncols()];
-    let mut records = Vec::new();
-    let mut breakdown = Vec::with_capacity(config.ranks);
-    let mut call_counts = Vec::with_capacity(config.ranks);
-    for (plan, (x_local, recs, kb, calls)) in plans.iter().zip(rank_results) {
-        let lo = plan.tomo_range.start as usize;
-        ordered[lo..lo + x_local.len()].copy_from_slice(&x_local);
-        if records.is_empty() {
-            records = recs;
-        }
-        breakdown.push(kb);
-        call_counts.push(calls);
-    }
-    if metrics.enabled() {
-        // Per-rank local SpMV volumes (the A_p / A_pᵀ kernel).
-        for (plan, &(fwd, back)) in plans.iter().zip(&call_counts) {
-            let fwd_bytes = match &plan.a_local_buf {
-                Some(b) => b.regular_bytes(),
-                None => plan.a_local.nnz() as u64 * 8,
-            };
-            let back_bytes = match &plan.at_local_buf {
-                Some(b) => b.regular_bytes(),
-                None => plan.at_local.nnz() as u64 * 8,
-            };
-            metrics.counter_add("spmv/dist/calls", fwd + back);
-            metrics.counter_add("spmv/dist/nnz", (fwd + back) * plan.a_local.nnz() as u64);
-            metrics.counter_add("spmv/dist/bytes", fwd * fwd_bytes + back * back_bytes);
-        }
-        for kb in &breakdown {
-            metrics.timer_observe(KERNEL_AP_SECONDS, kb.ap_s);
-            metrics.timer_observe(KERNEL_C_SECONDS, kb.c_s);
-            metrics.timer_observe(KERNEL_R_SECONDS, kb.r_s);
-        }
-        for r in &records {
-            metrics.series_push("solver/residual_norm", r.residual_norm);
-            metrics.series_push("solver/solution_norm", r.solution_norm);
-            metrics.series_push("solver/iter_seconds", r.seconds);
-        }
-        metrics.counter_add("solver/iterations", records.len() as u64);
-        metrics.matrix_set("comm/bytes", config.ranks, ledger.byte_matrix());
-        for rank in 0..config.ranks {
-            let s = ledger.collectives(rank);
-            metrics.counter_add("comm/collective_calls", s.calls);
-            metrics.timer_observe("comm/collective_s", s.seconds);
-        }
-    }
-    Ok(DistOutput {
-        image: ops.unorder_tomogram(&ordered),
-        records,
-        breakdown,
-        ledger,
-        volumes,
-    })
+    // The disabled policy reproduces the historical fail-fast behaviour
+    // (unbounded waits, empty fault plan, no checkpoints, no restarts)
+    // bit-identically.
+    try_reconstruct_distributed_ft(
+        ops,
+        sino_ordered,
+        config,
+        &FaultTolerance::disabled(),
+        metrics,
+    )
 }
 
 #[cfg(test)]
@@ -582,6 +1027,7 @@ mod tests {
     use crate::preprocess::{preprocess, Config, Kernel};
     use crate::solvers::{cgls, StopRule};
     use xct_geometry::{disk, simulate_sinogram, Grid, NoiseModel, ScanGeometry};
+    use xct_runtime::run_ranks;
 
     fn setup(n: u32, m: u32) -> (Operators, Vec<f32>) {
         let grid = Grid::new(n);

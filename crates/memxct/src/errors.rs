@@ -6,6 +6,8 @@
 
 use std::fmt;
 
+use xct_runtime::{CheckpointError, CommError};
+
 /// Why an operator/reconstructor could not be built or applied.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -41,6 +43,14 @@ pub enum BuildError {
     /// invariant violations in the memoized structures; the report lists
     /// every one.
     PlanCheck(xct_check::Report),
+    /// A distributed collective failed beyond recovery: a rank crashed or
+    /// panicked, a peer timed out past its deadline, a message stayed
+    /// corrupt after the retry budget, or a channel disconnected. The
+    /// payload identifies the origin rank, peer, and collective.
+    Comm(CommError),
+    /// A solver checkpoint could not be saved, loaded, or decoded
+    /// (truncated file, checksum mismatch, unsupported version, I/O).
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for BuildError {
@@ -68,6 +78,8 @@ impl fmt::Display for BuildError {
             BuildError::PlanCheck(report) => {
                 write!(f, "plan validation failed: {report}")
             }
+            BuildError::Comm(e) => write!(f, "distributed run failed: {e}"),
+            BuildError::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
         }
     }
 }

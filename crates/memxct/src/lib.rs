@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod dist;
 pub mod errors;
 pub mod fbp;
@@ -40,9 +41,11 @@ pub mod regularize;
 pub mod solvers;
 pub mod subsets;
 
+pub use checkpoint::{plan_fingerprint, validate_snapshot};
 pub use dist::{
     allreduce_f64, reconstruct_distributed, reconstruct_distributed_with_metrics,
-    try_reconstruct_distributed, DistConfig, DistOperator, DistOutput, DistSolver, RankPlan,
+    try_allreduce_f64, try_reconstruct_distributed, try_reconstruct_distributed_ft, DistConfig,
+    DistOperator, DistOutput, DistSolver, FaultTolerance, RankPlan,
 };
 pub use errors::BuildError;
 pub use fbp::{fbp, FbpConfig};

@@ -160,6 +160,20 @@ pub trait ProjectionOperator {
     fn breakdown(&self) -> Option<KernelBreakdown> {
         None
     }
+    /// The first communication failure this operator absorbed, if any.
+    ///
+    /// `forward_into`/`back_into`/`reduce_dot` are infallible by design —
+    /// the solver engine's hot loop never branches on errors. A fallible
+    /// backend (the distributed operator) instead *poisons* itself on the
+    /// first [`xct_runtime::CommError`]: it records the error here,
+    /// zero-fills every subsequent output, and skips further
+    /// communication, which drives CG to a benign numerical-breakdown
+    /// exit within one iteration. Drivers check this hook after the
+    /// engine returns and surface the typed error; shared-memory
+    /// operators keep the default `None`.
+    fn fault(&self) -> Option<xct_runtime::CommError> {
+        None
+    }
 }
 
 /// Sequential CSR operator (the reference kernel).

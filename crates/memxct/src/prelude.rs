@@ -13,8 +13,10 @@
 //! assert_eq!(rec.kernel(), Kernel::Buffered);
 //! ```
 
+pub use crate::checkpoint::{plan_fingerprint, validate_snapshot};
 pub use crate::dist::{
-    reconstruct_distributed, try_reconstruct_distributed, DistConfig, DistOutput, DistSolver,
+    reconstruct_distributed, try_reconstruct_distributed, try_reconstruct_distributed_ft,
+    DistConfig, DistOutput, DistSolver, FaultTolerance,
 };
 pub use crate::errors::BuildError;
 pub use crate::fbp::{fbp, FbpConfig};
@@ -30,3 +32,7 @@ pub use crate::solvers::{
 };
 pub use crate::subsets::{OrderedSubsets, OsRule};
 pub use xct_obs::{Metrics, MetricsSnapshot, TimerSummary};
+pub use xct_runtime::{
+    CheckpointError, CheckpointSink, CommConfig, CommError, CommErrorKind, FaultKind, FaultPlan,
+    FaultSpec, FaultStats, FileCheckpointSink, MemoryCheckpointSink, Snapshot,
+};

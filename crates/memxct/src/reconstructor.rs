@@ -1,9 +1,11 @@
 //! High-level single-call reconstruction API, built through
 //! [`ReconstructorBuilder`].
 
-use std::sync::Mutex;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
-use crate::dist::{reconstruct_distributed_with_metrics, DistConfig, DistOutput};
+use crate::checkpoint;
+use crate::dist::{try_reconstruct_distributed_ft, DistConfig, DistOutput, FaultTolerance};
 use crate::errors::BuildError;
 use crate::operator::{
     KernelBreakdown, PooledOperator, PooledPlans, ProjectionOperator, POOL_IMBALANCE_BACK,
@@ -13,12 +15,12 @@ use crate::preprocess::{
     try_preprocess_with_metrics, Config, DomainOrdering, Kernel, Operators, Projector,
 };
 use crate::solvers::{
-    run_engine_in, CgRule, Constraint, IterationRecord, SirtRule, SolverWorkspace, StopRule,
+    run_engine_core, CgRule, Constraint, IterationRecord, SirtRule, SolverWorkspace, StopRule,
     UpdateRule,
 };
 use xct_geometry::{Grid, ScanGeometry, Sinogram};
 use xct_obs::{Metrics, MetricsSnapshot};
-use xct_runtime::WorkerPool;
+use xct_runtime::{CheckpointSink, CommConfig, FaultPlan, FileCheckpointSink, WorkerPool};
 
 /// Result of a reconstruction: the image plus convergence records.
 pub struct ReconOutput {
@@ -66,6 +68,7 @@ pub struct ReconstructorBuilder {
     validate: bool,
     use_pool: bool,
     pool_threads: Option<usize>,
+    ft: FaultTolerance,
 }
 
 impl ReconstructorBuilder {
@@ -81,6 +84,7 @@ impl ReconstructorBuilder {
             validate: false,
             use_pool: false,
             pool_threads: None,
+            ft: FaultTolerance::disabled(),
         }
     }
 
@@ -174,6 +178,70 @@ impl ReconstructorBuilder {
         self
     }
 
+    /// Replace the whole fault-tolerance policy at once (see
+    /// [`FaultTolerance`]). The builder default is
+    /// [`FaultTolerance::disabled`] — the historical fail-fast behaviour.
+    pub fn fault_tolerance(mut self, ft: FaultTolerance) -> Self {
+        self.ft = ft;
+        self
+    }
+
+    /// Take a snapshot of the solver state after every `every` iterations
+    /// (0 = never). Applies to the serial solves and to the distributed
+    /// path; needs a sink ([`checkpoint_path`](Self::checkpoint_path) or
+    /// [`checkpoint_sink`](Self::checkpoint_sink)) to have any effect.
+    pub fn checkpoint_every(mut self, every: usize) -> Self {
+        self.ft.checkpoint_every = every;
+        self
+    }
+
+    /// Store snapshots in files rooted at `base` (slot 0 lands at
+    /// `{base}.0`), written atomically via a temp file and a rename.
+    pub fn checkpoint_path(self, base: impl Into<PathBuf>) -> Self {
+        self.checkpoint_sink(Arc::new(FileCheckpointSink::new(base)))
+    }
+
+    /// Store snapshots in an arbitrary [`CheckpointSink`].
+    pub fn checkpoint_sink(mut self, sink: Arc<dyn CheckpointSink>) -> Self {
+        self.ft.sink = Some(sink);
+        self
+    }
+
+    /// Resume solves from the sink's latest snapshot when one exists
+    /// (default false). A resumed solve is bit-identical to an
+    /// uninterrupted one.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.ft.resume = resume;
+        self
+    }
+
+    /// Deterministic chaos plan consulted by every distributed collective
+    /// (default empty — injects nothing). Also switches the distributed
+    /// path onto the supervised runtime with the default collective
+    /// deadline; see [`comm_config`](Self::comm_config) to tune it.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.ft.faults = Arc::new(plan);
+        if self.ft.comm.deadline.is_none() {
+            self.ft.comm = CommConfig::default();
+        }
+        self
+    }
+
+    /// Deadline/retry/backoff configuration for the distributed
+    /// collectives (default: unbounded waits, matching the historical
+    /// behaviour).
+    pub fn comm_config(mut self, comm: CommConfig) -> Self {
+        self.ft.comm = comm;
+        self
+    }
+
+    /// How many degraded restarts (each over one rank fewer) a distributed
+    /// solve attempts after an unrecoverable rank loss (default 0).
+    pub fn max_restarts(mut self, restarts: usize) -> Self {
+        self.ft.max_restarts = restarts;
+        self
+    }
+
     /// Validate, preprocess, and produce the [`Reconstructor`].
     ///
     /// Rejects zero partition sizes, out-of-range buffer sizes, and kernel
@@ -224,6 +292,7 @@ impl ReconstructorBuilder {
             kernel,
             metrics,
             exec,
+            ft: self.ft,
             workspace: Mutex::new(SolverWorkspace::new(0, 0)),
         })
     }
@@ -264,6 +333,9 @@ pub struct Reconstructor {
     metrics: Metrics,
     /// Persistent pool + static plans when built with `use_pool(true)`.
     exec: Option<ExecContext>,
+    /// Fault-tolerance policy: checkpoint cadence/sink, resume, chaos
+    /// plan, collective deadlines, restart budget.
+    ft: FaultTolerance,
     /// Solver buffers reused across solves — after the first solve at
     /// this geometry, steady-state iterations allocate nothing.
     workspace: Mutex<SolverWorkspace>,
@@ -369,14 +441,18 @@ impl Reconstructor {
 
     /// Run one solve through the engine: pooled operator when the
     /// reconstructor was built with `use_pool(true)`, plain kernel
-    /// operator otherwise, always inside the persistent workspace.
+    /// operator otherwise, always inside the persistent workspace. With a
+    /// checkpoint sink configured the solve resumes from the latest
+    /// snapshot (when [`ReconstructorBuilder::resume`] is on) and saves
+    /// one at the configured cadence; without one this is the historical
+    /// unfaulted path.
     fn run_solver(
         &self,
         y: &[f32],
         rule: &mut dyn UpdateRule,
         constraint: Constraint,
         stop: StopRule,
-    ) -> ReconOutput {
+    ) -> Result<ReconOutput, BuildError> {
         let op: Box<dyn ProjectionOperator + '_> = match &self.exec {
             Some(exec) => Box::new(
                 PooledOperator::new(&self.ops, self.kernel, &exec.plans, &exec.pool)
@@ -387,7 +463,34 @@ impl Reconstructor {
                 .operator_with_metrics(self.kernel, self.metrics.clone()),
         };
         let mut ws = self.workspace.lock().unwrap_or_else(|p| p.into_inner());
-        run_engine_in(
+        let nrows = self.ops.a.nrows();
+        let ncols = self.ops.a.ncols();
+        let plan_hash = checkpoint::plan_fingerprint(&self.ops);
+        let resume_point = match &self.ft.sink {
+            Some(sink) if self.ft.resume => {
+                checkpoint::load_state(sink.as_ref(), 0, plan_hash, stop.max_iters(), nrows, ncols)?
+                    .map(|st| {
+                        ws.resume(
+                            nrows,
+                            ncols,
+                            stop.max_iters(),
+                            &st.x,
+                            &st.resid,
+                            &st.dir,
+                            st.records,
+                        );
+                        rule.restore_scalars(&st.scalars);
+                        (st.iteration, st.prev_res)
+                    })
+            }
+            _ => None,
+        };
+        let every = if self.ft.sink.is_some() {
+            self.ft.checkpoint_every
+        } else {
+            0
+        };
+        run_engine_core(
             op.as_ref(),
             y,
             rule,
@@ -395,12 +498,33 @@ impl Reconstructor {
             stop,
             &self.metrics,
             &mut ws,
-        );
-        ReconOutput {
+            resume_point,
+            |next_iter, prev_res, ws, rule| {
+                if every == 0 || next_iter % every != 0 {
+                    return Ok(());
+                }
+                let Some(sink) = &self.ft.sink else {
+                    return Ok(());
+                };
+                let snap = checkpoint::encode_state(
+                    plan_hash,
+                    next_iter,
+                    prev_res,
+                    ws.x(),
+                    ws.resid(),
+                    ws.dir(),
+                    ws.records(),
+                    &rule.carried_scalars(),
+                );
+                sink.save(0, &snap.encode())
+            },
+        )
+        .map_err(BuildError::Checkpoint)?;
+        Ok(ReconOutput {
             image: self.ops.unorder_tomogram(ws.x()),
             records: ws.records().to_vec(),
             breakdown: op.breakdown().unwrap_or_default(),
-        }
+        })
     }
 
     /// Fallible [`Reconstructor::reconstruct_cg`].
@@ -411,7 +535,7 @@ impl Reconstructor {
     ) -> Result<ReconOutput, BuildError> {
         self.check_sinogram(sino)?;
         let y = self.ops.order_sinogram(sino);
-        Ok(self.run_solver(&y, &mut CgRule::new(), Constraint::None, stop))
+        self.run_solver(&y, &mut CgRule::new(), Constraint::None, stop)
     }
 
     /// Reconstruct one slice with SIRT (for baseline comparisons).
@@ -435,12 +559,12 @@ impl Reconstructor {
     ) -> Result<ReconOutput, BuildError> {
         self.check_sinogram(sino)?;
         let y = self.ops.order_sinogram(sino);
-        Ok(self.run_solver(
+        self.run_solver(
             &y,
             &mut SirtRule::new(1.0),
             Constraint::None,
             StopRule::Fixed(iters),
-        ))
+        )
     }
 
     /// Reconstruct one slice with the distributed (threads-as-ranks) CG
@@ -460,15 +584,34 @@ impl Reconstructor {
 
     /// Fallible [`Reconstructor::reconstruct_distributed`]. The run's
     /// kernel breakdown, convergence series, and communication matrix are
-    /// recorded into this reconstructor's metrics registry.
+    /// recorded into this reconstructor's metrics registry. Runs under the
+    /// builder's fault-tolerance policy — with the default
+    /// ([`FaultTolerance::disabled`]) this is the historical fail-fast
+    /// path, bit-identically.
     pub fn try_reconstruct_distributed(
         &self,
         sino: &Sinogram,
         config: &DistConfig,
     ) -> Result<DistOutput, BuildError> {
+        self.try_reconstruct_distributed_ft(sino, config, &self.ft)
+    }
+
+    /// [`Reconstructor::try_reconstruct_distributed`] under an explicit
+    /// fault-tolerance policy (overriding the builder's).
+    pub fn try_reconstruct_distributed_ft(
+        &self,
+        sino: &Sinogram,
+        config: &DistConfig,
+        ft: &FaultTolerance,
+    ) -> Result<DistOutput, BuildError> {
         self.check_sinogram(sino)?;
         let y = self.ops.order_sinogram(sino);
-        reconstruct_distributed_with_metrics(&self.ops, &y, config, &self.metrics)
+        try_reconstruct_distributed_ft(&self.ops, &y, config, ft, &self.metrics)
+    }
+
+    /// The fault-tolerance policy this reconstructor runs under.
+    pub fn fault_tolerance(&self) -> &FaultTolerance {
+        &self.ft
     }
 
     /// Reconstruct a whole slice stack with CG, reusing the preprocessed

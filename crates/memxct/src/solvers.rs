@@ -48,7 +48,9 @@ pub enum StopRule {
 }
 
 impl StopRule {
-    fn max_iters(&self) -> usize {
+    /// The hard iteration cap of this rule (checkpoint validation bounds
+    /// a snapshot's iteration counter against it).
+    pub fn max_iters(&self) -> usize {
         match *self {
             StopRule::Fixed(n) => n,
             StopRule::EarlyTermination { max_iters, .. } => max_iters,
@@ -136,6 +138,44 @@ impl SolverWorkspace {
         &self.records
     }
 
+    /// The sinogram-domain residual (`r` in CG) — part of the state a
+    /// checkpoint must capture for a bit-identical resume.
+    pub(crate) fn resid(&self) -> &[f32] {
+        &self.resid
+    }
+
+    /// The search direction (`p` in CG) — the other carried CG vector.
+    pub(crate) fn dir(&self) -> &[f32] {
+        &self.dir
+    }
+
+    /// Restore the workspace to a mid-solve state loaded from a
+    /// checkpoint: size every buffer like [`begin`](Self::begin), then
+    /// overwrite the carried vectors (`x`, `resid`, `dir`) and the record
+    /// list. `proj`/`back` are scratch — both update rules overwrite them
+    /// before reading — so zeroing them preserves bit-identity.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn resume(
+        &mut self,
+        nrows: usize,
+        ncols: usize,
+        cap: usize,
+        x: &[f32],
+        resid: &[f32],
+        dir: &[f32],
+        records: Vec<IterationRecord>,
+    ) {
+        self.begin(nrows, ncols, cap);
+        self.x.copy_from_slice(x);
+        self.resid.copy_from_slice(resid);
+        self.dir.copy_from_slice(dir);
+        self.records = records;
+        if self.records.capacity() < cap {
+            let extra = cap - self.records.capacity();
+            self.records.reserve(extra);
+        }
+    }
+
     /// Reset for a solve against an `nrows × ncols` operator running at
     /// most `cap` iterations: zero the iterate, (re)size buffers, clear
     /// records and reserve their capacity. After the first solve at a
@@ -178,6 +218,20 @@ pub trait UpdateRule {
         y: &[f32],
         ws: &mut SolverWorkspace,
     ) -> Option<f64>;
+
+    /// Scalar state carried between iterations, for checkpointing. Rules
+    /// whose carried state is either empty or recomputable from the
+    /// operator (SIRT's weights are a pure function of `A`) keep the
+    /// default empty vector; CG returns `γ`.
+    fn carried_scalars(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    /// Restore the scalars of [`carried_scalars`](Self::carried_scalars)
+    /// when resuming from a checkpoint. An empty slice means the snapshot
+    /// was taken before the rule's lazy initialization ran (or the rule
+    /// carries nothing) — the rule stays fresh.
+    fn restore_scalars(&mut self, _scalars: &[f64]) {}
 }
 
 /// Run `rule` against `op` until `stop` says otherwise, from `x = 0`.
@@ -242,10 +296,53 @@ pub fn run_engine_in<R: UpdateRule + ?Sized>(
     metrics: &Metrics,
     ws: &mut SolverWorkspace,
 ) {
-    ws.begin(op.nrows(), op.ncols(), stop.max_iters());
-    let mut prev_res = f64::INFINITY;
+    // Infallible: the no-op observer never errors.
+    let _ = run_engine_core(
+        op,
+        y,
+        rule,
+        constraint,
+        stop,
+        metrics,
+        ws,
+        None,
+        |_, _, _, _| Ok(()),
+    );
+}
+
+/// The engine loop shared by the plain and the checkpointing entry
+/// points. `resume` carries `(start_iteration, prev_res)` when the caller
+/// pre-restored the workspace and rule from a snapshot; `after` runs
+/// between iterations (after iteration `next_iter − 1` committed its
+/// record) and is where checkpoints are taken — its error aborts the
+/// solve. With `resume = None` and a no-op observer this is bit-identical
+/// to the historical loop.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_engine_core<R, F>(
+    op: &dyn ProjectionOperator,
+    y: &[f32],
+    rule: &mut R,
+    constraint: Constraint,
+    stop: StopRule,
+    metrics: &Metrics,
+    ws: &mut SolverWorkspace,
+    resume: Option<(usize, f64)>,
+    mut after: F,
+) -> Result<(), xct_runtime::CheckpointError>
+where
+    R: UpdateRule + ?Sized,
+    F: FnMut(usize, f64, &SolverWorkspace, &R) -> Result<(), xct_runtime::CheckpointError>,
+{
+    let (start, mut prev_res) = match resume {
+        // The caller restored ws (including records) and the rule.
+        Some((iteration, prev_res)) => (iteration, prev_res),
+        None => {
+            ws.begin(op.nrows(), op.ncols(), stop.max_iters());
+            (0, f64::INFINITY)
+        }
+    };
     let mut early = false;
-    for iter in 0..stop.max_iters() {
+    for iter in start..stop.max_iters() {
         let t0 = std::time::Instant::now();
         let Some(res) = rule.step(op, y, ws) else {
             break; // numerical breakdown (exact solution reached)
@@ -276,8 +373,10 @@ pub fn run_engine_in<R: UpdateRule + ?Sized>(
             break;
         }
         prev_res = res;
+        after(iter + 1, prev_res, ws, &*rule)?;
     }
     metrics.gauge_set("solver/early_terminated", early as u64 as f64);
+    Ok(())
 }
 
 /// CGLS: minimize `‖y − A·x‖₂²` (plus `λ‖x‖₂²` when regularized).
@@ -373,6 +472,18 @@ impl UpdateRule for CgRule {
             *pi = si + beta * *pi;
         }
         Some(op.reduce_dot(op.local_dot(&ws.resid, &ws.resid)).sqrt())
+    }
+
+    fn carried_scalars(&self) -> Vec<f64> {
+        // γ is the one scalar CG carries across iterations; it is
+        // allreduced, so every distributed rank holds the same value.
+        self.gamma.map(|g| vec![g]).unwrap_or_default()
+    }
+
+    fn restore_scalars(&mut self, scalars: &[f64]) {
+        if let [g] = scalars {
+            self.gamma = Some(*g);
+        }
     }
 }
 

@@ -35,7 +35,8 @@ mod registry;
 mod span;
 
 pub use registry::{
-    MatrixSnapshot, Metrics, MetricsRegistry, MetricsSnapshot, TimerSummary, KERNEL_AP_SECONDS,
-    KERNEL_C_SECONDS, KERNEL_R_SECONDS,
+    MatrixSnapshot, Metrics, MetricsRegistry, MetricsSnapshot, TimerSummary, FAULT_ABORTS,
+    FAULT_INJECTED, FAULT_RANK_LOSS, FAULT_RESTARTS, FAULT_RETRIES, FAULT_TIMEOUTS,
+    KERNEL_AP_SECONDS, KERNEL_C_SECONDS, KERNEL_R_SECONDS,
 };
 pub use span::Span;

@@ -15,6 +15,23 @@ pub const KERNEL_C_SECONDS: &str = "kernel/c_s";
 /// Timer name for overlap reduction / gather assembly time (R, Rᵀ).
 pub const KERNEL_R_SECONDS: &str = "kernel/r_s";
 
+/// Counter of injected faults that actually fired during a run (crashes,
+/// drops, delays, bit flips), recorded at the coordinator from the
+/// communicator's fault ledger.
+pub const FAULT_INJECTED: &str = "fault/injected";
+/// Counter of message retransmissions after dropped or corrupt frames.
+pub const FAULT_RETRIES: &str = "fault/retries";
+/// Counter of collectives that hit their deadline and returned a timeout.
+pub const FAULT_TIMEOUTS: &str = "fault/timeouts";
+/// Counter of collectives aborted because a peer had already failed.
+pub const FAULT_ABORTS: &str = "fault/aborts";
+/// Counter of unrecoverable rank losses observed by the fault-tolerant
+/// distributed driver (each one triggers a degraded restart or an error).
+pub const FAULT_RANK_LOSS: &str = "fault/rank_loss";
+/// Counter of degraded restarts: solves rebuilt over the surviving ranks
+/// from the last checkpoint after a rank loss.
+pub const FAULT_RESTARTS: &str = "fault/restarts";
+
 /// Aggregated observations of one timer (or histogram-like metric).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimerSummary {

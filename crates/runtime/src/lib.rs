@@ -25,11 +25,20 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod comm;
+pub mod fault;
 mod model;
 mod pool;
 
-pub use comm::{run_ranks, CollectiveStats, CommLedger, Communicator};
+pub use checkpoint::{
+    CheckpointError, CheckpointSink, FileCheckpointSink, MemoryCheckpointSink, Snapshot,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
+pub use comm::{fnv1a64, run_ranks, run_ranks_with, CollectiveStats, CommLedger, Communicator};
+pub use fault::{
+    CommConfig, CommError, CommErrorKind, FaultKind, FaultPlan, FaultSpec, FaultStats,
+};
 pub use model::{
     iteration_time, KernelTimes, KernelVolumes, MachineSpec, BLUE_WATERS, COOLEY, THETA,
 };

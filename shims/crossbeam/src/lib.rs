@@ -10,6 +10,7 @@ pub mod channel {
 
     use std::sync::mpsc;
     use std::sync::Mutex;
+    use std::time::Duration;
 
     /// Error returned by [`Sender::send`] when the receiver is gone.
     #[derive(Debug)]
@@ -18,6 +19,24 @@ pub mod channel {
     /// Error returned by [`Receiver::recv`] when all senders are gone.
     #[derive(Debug)]
     pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders are gone and the channel is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders are gone and the channel is drained.
+        Disconnected,
+    }
 
     /// Sending half of an unbounded channel.
     pub struct Sender<T>(mpsc::Sender<T>);
@@ -46,6 +65,24 @@ pub mod channel {
             let guard = self.0.lock().unwrap_or_else(|p| p.into_inner());
             guard.recv().map_err(|_| RecvError)
         }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let guard = self.0.lock().unwrap_or_else(|p| p.into_inner());
+            guard.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Block until a value arrives or `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let guard = self.0.lock().unwrap_or_else(|p| p.into_inner());
+            guard.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
     }
 
     /// Create an unbounded channel.
@@ -57,6 +94,24 @@ pub mod channel {
     #[cfg(test)]
     mod tests {
         use super::*;
+
+        #[test]
+        fn try_recv_and_timeout() {
+            let (tx, rx) = unbounded();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(7u32).unwrap();
+            assert_eq!(rx.try_recv(), Ok(7));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
 
         #[test]
         fn send_recv_across_threads() {
