@@ -20,13 +20,21 @@
 //!   speedup_vs_serial, imbalance}` — `variant` ∈ `serial | scoped |
 //!   pooled_equal | pooled_nnz`, `imbalance` is the plan's max/ideal nnz
 //!   ratio (1.0 for serial/scoped).
+//! - `spmm_results`: the batched (SpMM) sweep over `batch` ∈ 1/4/16/64,
+//!   serial and pooled: `{variant, threads, batch, median_seconds,
+//!   gflops, matrix_bytes_per_slice}` — the matrix is streamed once per
+//!   call regardless of the batch width, so `matrix_bytes_per_slice`
+//!   (regular bytes ÷ batch) falls as the batch widens; that is the
+//!   memory-centric payoff of batching.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 use xct_bench::{gflops, scale_from_args, simulate};
 use xct_geometry::ADS1;
 use xct_runtime::WorkerPool;
-use xct_sparse::{csr_plan, csr_plan_equal, spmv_into, spmv_pooled_into, CsrMatrix};
+use xct_sparse::{
+    csr_plan, csr_plan_equal, spmm_into, spmm_pooled_into, spmv_into, spmv_pooled_into, CsrMatrix,
+};
 
 /// The per-call scoped-thread baseline the old rayon shim implemented:
 /// equal row chunks, `threads` fresh OS threads spawned for every single
@@ -76,6 +84,17 @@ struct Row {
     seconds: f64,
     imbalance: f64,
 }
+
+struct SpmmRow {
+    variant: &'static str,
+    threads: usize,
+    batch: usize,
+    seconds: f64,
+}
+
+/// One SpMM kernel under test: fills the slice-major output slab from
+/// the slice-major input slab.
+type SpmmKernel<'a> = Box<dyn FnMut(&[f32], &mut [f32]) + 'a>;
 
 fn main() {
     let div = scale_from_args();
@@ -220,7 +239,73 @@ fn main() {
         bit_identical
     );
 
-    let json = render_json(ds.name, div, a, reps, bit_identical, &rows);
+    // Batched (SpMM) sweep: one call streams the matrix once for `batch`
+    // distinct right-hand sides, so the matrix traffic charged to each
+    // slice shrinks by 1/batch — the memory-centric payoff of batching.
+    let spmm_threads = *thread_counts.last().unwrap();
+    let spmm_pool = pools.last().unwrap();
+    let spmm_plan = csr_plan(a, spmm_threads);
+    let ks = [1usize, 4, 16, 64];
+    let mut spmm_rows: Vec<SpmmRow> = Vec::new();
+    let mut spmm_identical = true;
+    println!(
+        "\n{:<14} {:>8} {:>6} {:>12} {:>8} {:>12}",
+        "spmm variant", "threads", "batch", "median", "gflops", "KB/slice"
+    );
+    for &k in &ks {
+        let mut xk = Vec::with_capacity(a.ncols() * k);
+        for j in 0..k {
+            let scale = 1.0 + 0.01 * j as f32;
+            xk.extend(x.iter().map(|&v| v * scale));
+        }
+        let mut yk = vec![0f32; a.nrows() * k];
+        let mut yj = vec![0f32; a.nrows()];
+        let runs: [(&'static str, usize, SpmmKernel); 2] = [
+            ("serial", 1, Box::new(|xk, yk| spmm_into(a, xk, yk, k))),
+            (
+                "pooled_nnz",
+                spmm_threads,
+                Box::new(|xk, yk| spmm_pooled_into(a, xk, yk, k, &spmm_plan, spmm_pool)),
+            ),
+        ];
+        for (name, threads, mut f) in runs {
+            f(&xk, &mut yk); // warmup
+            let mut times = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let t = Instant::now();
+                f(&xk, &mut yk);
+                times.push(t.elapsed().as_secs_f64());
+            }
+            // Every column must be bit-identical to its own serial SpMV.
+            for j in 0..k {
+                spmv_into(a, &xk[j * a.ncols()..(j + 1) * a.ncols()], &mut yj);
+                spmm_identical &= bits_match(&yk[j * a.nrows()..(j + 1) * a.nrows()], &yj);
+            }
+            let seconds = median(&mut times);
+            println!(
+                "{:<14} {:>8} {:>6} {:>9.1} us {:>8.2} {:>12.1}",
+                name,
+                threads,
+                k,
+                seconds * 1e6,
+                gflops(a.nnz() * k, seconds),
+                a.regular_bytes() as f64 / k as f64 / 1e3
+            );
+            spmm_rows.push(SpmmRow {
+                variant: name,
+                threads,
+                batch: k,
+                seconds,
+            });
+        }
+    }
+    assert!(
+        spmm_identical,
+        "an SpMM column diverged from the serial SpMV kernel"
+    );
+    println!("spmm columns bit-identical to serial spmv: {spmm_identical}");
+
+    let json = render_json(ds.name, div, a, reps, bit_identical, &rows, &spmm_rows);
     std::fs::write("BENCH_spmv.json", &json).expect("write BENCH_spmv.json");
     println!("wrote BENCH_spmv.json");
     assert!(
@@ -247,6 +332,7 @@ fn render_json(
     reps: usize,
     bit_identical: bool,
     rows: &[Row],
+    spmm_rows: &[SpmmRow],
 ) -> String {
     let serial = rows[0].seconds;
     let mut s = String::new();
@@ -275,6 +361,21 @@ fn render_json(
             r.imbalance
         );
         s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"spmm_results\": [\n");
+    for (i, r) in spmm_rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"variant\": \"{}\", \"threads\": {}, \"batch\": {}, \"median_seconds\": {:.9}, \"gflops\": {:.4}, \"matrix_bytes_per_slice\": {:.1}}}",
+            r.variant,
+            r.threads,
+            r.batch,
+            r.seconds,
+            gflops(a.nnz() * r.batch, r.seconds),
+            a.regular_bytes() as f64 / r.batch as f64
+        );
+        s.push_str(if i + 1 < spmm_rows.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");
     s

@@ -1321,6 +1321,7 @@ pub struct CheckpointCheck {
     max_iters: u64,
     snapshot_iteration: u64,
     records_len: u64,
+    batch: Option<(u64, u64)>,
     sections: Vec<CheckpointSection>,
 }
 
@@ -1344,8 +1345,20 @@ impl CheckpointCheck {
             max_iters,
             snapshot_iteration,
             records_len,
+            batch: None,
             sections: Vec::new(),
         }
+    }
+
+    /// Reconcile the snapshot's batch width against the resuming
+    /// configuration's (builder style). On mismatch the check reports
+    /// [`Invariant::CheckpointBatch`] and skips the per-section shape
+    /// checks — section lengths scale with the batch width, so
+    /// comparing them across widths would only produce derivative
+    /// noise.
+    pub fn batch(mut self, expected: u64, found: u64) -> Self {
+        self.batch = Some((expected, found));
+        self
     }
 
     /// Require a section with the given workspace length (builder style).
@@ -1382,26 +1395,45 @@ impl Check for CheckpointCheck {
                 "resume with the geometry/partitioning the checkpoint was taken under",
             );
         }
-        for s in &self.sections {
-            match s.found_len {
-                None => report.violation(
+        let batch_mismatch = match self.batch {
+            Some((expected, found)) if expected != found => {
+                report.violation(
                     &self.name,
-                    Invariant::CheckpointShape,
-                    format!("section `{}`", s.name),
-                    "required section is missing".to_string(),
-                    "the snapshot was written by a different solver configuration",
-                ),
-                Some(found) if found != s.expected_len => report.violation(
-                    &self.name,
-                    Invariant::CheckpointShape,
-                    format!("section `{}`", s.name),
-                    format!(
-                        "snapshot holds {found} elements, workspace requires {}",
-                        s.expected_len
+                    Invariant::CheckpointBatch,
+                    "header",
+                    format!("snapshot batch width {found} != resuming batch width {expected}"),
+                    "resume with the batch width the checkpoint was taken under, \
+                     or restart the batch from scratch",
+                );
+                true
+            }
+            _ => false,
+        };
+        // Section lengths are per-slice vectors times the batch width;
+        // once the widths disagree every shape comparison would fail as
+        // a consequence, so only the root cause is reported.
+        if !batch_mismatch {
+            for s in &self.sections {
+                match s.found_len {
+                    None => report.violation(
+                        &self.name,
+                        Invariant::CheckpointShape,
+                        format!("section `{}`", s.name),
+                        "required section is missing".to_string(),
+                        "the snapshot was written by a different solver configuration",
                     ),
-                    "resume with the problem size the checkpoint was taken under",
-                ),
-                Some(_) => {}
+                    Some(found) if found != s.expected_len => report.violation(
+                        &self.name,
+                        Invariant::CheckpointShape,
+                        format!("section `{}`", s.name),
+                        format!(
+                            "snapshot holds {found} elements, workspace requires {}",
+                            s.expected_len
+                        ),
+                        "resume with the problem size the checkpoint was taken under",
+                    ),
+                    Some(_) => {}
+                }
             }
         }
         if self.snapshot_iteration > self.max_iters {

@@ -86,6 +86,10 @@ pub enum Invariant {
     /// A checkpoint's iteration counter is inconsistent: past the run's
     /// iteration cap, or disagreeing with the recorded-iteration count.
     CheckpointMonotone,
+    /// A checkpoint's batch width disagrees with the configuration
+    /// resuming from it — per-slice sections cannot be mapped onto the
+    /// workspace.
+    CheckpointBatch,
 }
 
 impl Invariant {
@@ -121,6 +125,7 @@ impl Invariant {
         Invariant::CheckpointHash,
         Invariant::CheckpointShape,
         Invariant::CheckpointMonotone,
+        Invariant::CheckpointBatch,
     ];
 }
 

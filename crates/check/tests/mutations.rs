@@ -371,6 +371,13 @@ fn m_checkpoint_monotone() -> Report {
     run(checkpoint_check(0xAB, 3, 2, 12))
 }
 
+fn m_checkpoint_batch() -> Report {
+    // Snapshot written at batch width 2, resumed by a width-4 config;
+    // sections are otherwise consistent, so the width mismatch is the
+    // only root cause (section shapes are skipped, not re-reported).
+    run(checkpoint_check(0xAB, 3, 3, 12).batch(4, 2))
+}
+
 /// The full table: (name, the invariant the mutation must pinpoint, the
 /// mutation itself).
 type Mutation = (&'static str, Invariant, fn() -> Report);
@@ -499,6 +506,11 @@ static MUTATIONS: &[Mutation] = &[
         Invariant::CheckpointMonotone,
         m_checkpoint_monotone,
     ),
+    (
+        "batch width disagrees",
+        Invariant::CheckpointBatch,
+        m_checkpoint_batch,
+    ),
 ];
 
 #[test]
@@ -547,6 +559,8 @@ fn unmutated_specimens_are_clean() {
     LedgerCheck::new("ledger", 2, vec![0, 124, 84, 0], vec![0, 100, 60, 0], 8).run(&mut report);
     let (rows, bounds, weights, assign, max_unit) = exec_plan_arrays();
     ExecPlanCheck::new("exec(forward)", rows, bounds, weights, assign, max_unit).run(&mut report);
-    checkpoint_check(0xAB, 3, 3, 12).run(&mut report);
+    checkpoint_check(0xAB, 3, 3, 12)
+        .batch(4, 4)
+        .run(&mut report);
     assert!(report.is_ok(), "{report}");
 }

@@ -49,7 +49,7 @@ USAGE:
                          [--solver cg|sirt|os-sirt|fbp] [--iters N]
                          [--ranks N] [--noise I0] [--out FILE.pgm]
                          [--metrics FILE.json] [--check]
-                         [--pool] [--pool-threads N]
+                         [--pool] [--pool-threads N] [--batch K]
                          [--checkpoint FILE] [--checkpoint-every N]
                          [--resume] [--chaos KIND@rank:index]...
   memxct-cli check       --dataset <name> [--scale N] [--ranks N]
@@ -67,6 +67,9 @@ DATASETS: ads1 ads2 ads3 ads4 rds1 rds2 (see `info`)
   --pool         run SpMV on the persistent worker pool with nnz-balanced
                  static partitions (threads from RAYON_NUM_THREADS)
   --pool-threads N  pool size override (implies --pool)
+  --batch K      solve K slices together through the SpMM path (cg/sirt,
+                 single-process; the written image is slice 0, extra
+                 slices are scaled copies of the measurement)
   --checkpoint FILE  snapshot the solver state to FILE.0 (versioned,
                  checksummed) every --checkpoint-every iterations
   --checkpoint-every N  checkpoint cadence in iterations (default 1)
@@ -119,6 +122,7 @@ struct Options {
     corrupt: Option<String>,
     pool: bool,
     pool_threads: Option<usize>,
+    batch: usize,
     checkpoint: Option<PathBuf>,
     checkpoint_every: usize,
     resume: bool,
@@ -141,6 +145,7 @@ impl Options {
             corrupt: None,
             pool: false,
             pool_threads: None,
+            batch: 1,
             checkpoint: None,
             checkpoint_every: 1,
             resume: false,
@@ -195,6 +200,16 @@ impl Options {
                     }
                 },
                 "--pool" => o.pool = true,
+                "--batch" => {
+                    let v = value("--batch");
+                    o.batch = match v.parse() {
+                        Ok(n) if n > 0 => n,
+                        _ => {
+                            eprintln!("--batch expects a positive integer, got `{v}`");
+                            exit(2);
+                        }
+                    };
+                }
                 "--pool-threads" => {
                     o.pool = true;
                     let v = value("--pool-threads");
@@ -325,10 +340,21 @@ fn reconstruct(opts: &Options) {
         eprintln!("--chaos requires --ranks N (faults target distributed collectives)");
         exit(2);
     }
+    if opts.batch > 1 {
+        if opts.ranks.is_some() {
+            eprintln!("--batch is single-process; it cannot combine with --ranks");
+            exit(2);
+        }
+        if !matches!(opts.solver.as_str(), "cg" | "sirt") {
+            eprintln!("--batch supports the cg and sirt solvers");
+            exit(2);
+        }
+    }
     let t = std::time::Instant::now();
     let mut builder = ReconstructorBuilder::new(grid, scan)
         .validate_plan(opts.check)
-        .use_pool(opts.pool);
+        .use_pool(opts.pool)
+        .batch(opts.batch);
     if let Some(n) = opts.pool_threads {
         builder = builder.pool_threads(n);
     }
@@ -378,6 +404,22 @@ fn reconstruct(opts: &Options) {
     if !opts.chaos.is_empty() {
         println!("chaos: {} deterministic fault(s) armed", opts.chaos.len());
     }
+    if opts.batch > 1 {
+        println!(
+            "batch: {} slices solved together through the SpMM path",
+            opts.batch
+        );
+    }
+
+    // Batched runs widen the measurement into `batch` distinct slices:
+    // slice 0 is the measurement itself (so the written image is
+    // comparable to an unbatched run), the rest are scaled copies.
+    let batch_slices: Vec<Sinogram> = (0..opts.batch)
+        .map(|j| {
+            let scale = 1.0 + 0.05 * j as f32;
+            Sinogram::new(scan, sino.data().iter().map(|&v| v * scale).collect())
+        })
+        .collect();
 
     let t = std::time::Instant::now();
     let (image, iters_run) = match (opts.solver.as_str(), opts.ranks) {
@@ -396,12 +438,26 @@ fn reconstruct(opts: &Options) {
             let n = out.records.len();
             (out.image, n)
         }
+        ("cg", None) if opts.batch > 1 => {
+            let mut out = rec
+                .try_reconstruct_cg_batch(&batch_slices, StopRule::Fixed(opts.iters))
+                .unwrap_or_else(|e| die("batched reconstruction failed", e));
+            let n = out.slice_records.first().map(Vec::len).unwrap_or(0);
+            (out.images.swap_remove(0), n)
+        }
         ("cg", None) => {
             let out = rec
                 .try_reconstruct_cg(&sino, StopRule::Fixed(opts.iters))
                 .unwrap_or_else(|e| die("reconstruction failed", e));
             let n = out.records.len();
             (out.image, n)
+        }
+        ("sirt", _) if opts.batch > 1 => {
+            let mut out = rec
+                .try_reconstruct_sirt_batch(&batch_slices, opts.iters)
+                .unwrap_or_else(|e| die("batched reconstruction failed", e));
+            let n = out.slice_records.first().map(Vec::len).unwrap_or(0);
+            (out.images.swap_remove(0), n)
         }
         ("sirt", _) => {
             let out = rec

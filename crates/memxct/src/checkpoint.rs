@@ -12,12 +12,23 @@
 //! so a snapshot taken at one rank count can seed a solve at another
 //! (the graceful-degradation path).
 //!
+//! **Batched solves** extend the layout rather than fork it: the carried
+//! vectors become slice-major slabs (`batch × ncols` / `batch × nrows`),
+//! `prev_res` becomes a per-slice vector, and three sections are added —
+//! the batch width, the per-slice activity flags, and the per-slice
+//! record counts (the record arrays are the per-slice lists
+//! concatenated). A batch-1 snapshot written by the current code carries
+//! all of these; snapshots from the pre-batch format (no batch section,
+//! scalar `prev_res`) still decode as batch 1.
+//!
 //! Snapshots are validated before use through [`xct_check::CheckpointCheck`]:
-//! plan-hash match ([`Invariant::CheckpointHash`]), vector lengths
+//! plan-hash match ([`Invariant::CheckpointHash`]), batch-width match
+//! ([`Invariant::CheckpointBatch`]), vector lengths
 //! ([`Invariant::CheckpointShape`]), and iteration consistency
 //! ([`Invariant::CheckpointMonotone`]).
 //!
 //! [`Invariant::CheckpointHash`]: xct_check::Invariant
+//! [`Invariant::CheckpointBatch`]: xct_check::Invariant
 //! [`Invariant::CheckpointShape`]: xct_check::Invariant
 //! [`Invariant::CheckpointMonotone`]: xct_check::Invariant
 
@@ -43,6 +54,14 @@ pub const SECTION_REC_RESIDUAL: &str = "records/residual";
 pub const SECTION_REC_SOLUTION: &str = "records/solution";
 /// Section name of the per-iteration wall-clock seconds.
 pub const SECTION_REC_SECONDS: &str = "records/seconds";
+/// Section name of the batch width (one `u64`); absent in pre-batch
+/// snapshots, which are read as batch 1.
+pub const SECTION_BATCH: &str = "solve/batch";
+/// Section name of the per-slice activity flags (`u64` 0/1 per slice).
+pub const SECTION_ACTIVE: &str = "solve/active";
+/// Section name of the per-slice record counts; the `records/*` arrays
+/// are the per-slice lists concatenated in slice order.
+pub const SECTION_REC_COUNTS: &str = "records/counts";
 
 /// Deterministic fingerprint of the preprocessed plan a snapshot belongs
 /// to. Any geometry or configuration change that alters the projection
@@ -64,23 +83,29 @@ pub fn plan_fingerprint(ops: &Operators) -> u64 {
 /// workspace and rule.
 pub(crate) struct SolveState {
     /// The iteration the resumed loop starts at (iterations `0..iteration`
-    /// are committed in `records`).
+    /// are committed in `slice_records`).
     pub(crate) iteration: usize,
-    /// `prev_res` as of the last committed iteration.
-    pub(crate) prev_res: f64,
-    /// Global ordered iterate.
+    /// Batch width the solve was running at (1 for pre-batch snapshots).
+    pub(crate) batch: usize,
+    /// Per-slice `prev_res` as of the last committed iteration.
+    pub(crate) prev_res: Vec<f64>,
+    /// Global ordered iterate slab (`batch × ncols`, slice-major).
     pub(crate) x: Vec<f32>,
-    /// Global ordered residual.
+    /// Global ordered residual slab.
     pub(crate) resid: Vec<f32>,
-    /// Global ordered search direction.
+    /// Global ordered search-direction slab.
     pub(crate) dir: Vec<f32>,
-    /// Committed per-iteration records.
-    pub(crate) records: Vec<IterationRecord>,
+    /// Per-slice activity flags.
+    pub(crate) active: Vec<bool>,
+    /// Committed per-slice per-iteration records.
+    pub(crate) slice_records: Vec<Vec<IterationRecord>>,
     /// The update rule's carried scalars.
     pub(crate) scalars: Vec<f64>,
 }
 
-/// Build the snapshot for a solve paused before `next_iter`.
+/// Build the snapshot for a batch-1 solve paused before `next_iter` (the
+/// distributed driver's entry point — thin wrapper over
+/// [`encode_state_batched`]).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn encode_state(
     plan_hash: u64,
@@ -92,15 +117,53 @@ pub(crate) fn encode_state(
     records: &[IterationRecord],
     rule_scalars: &[f64],
 ) -> Snapshot {
+    let slice_records = [records.to_vec()];
+    encode_state_batched(
+        plan_hash,
+        next_iter,
+        1,
+        &[prev_res],
+        x,
+        resid,
+        dir,
+        &[true],
+        &slice_records,
+        rule_scalars,
+    )
+}
+
+/// Build the snapshot for a batched solve paused before `next_iter`. The
+/// carried slabs are slice-major; the per-slice record lists are
+/// concatenated into the `records/*` arrays with their lengths in
+/// [`SECTION_REC_COUNTS`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn encode_state_batched(
+    plan_hash: u64,
+    next_iter: usize,
+    batch: usize,
+    prev_res: &[f64],
+    x: &[f32],
+    resid: &[f32],
+    dir: &[f32],
+    active: &[bool],
+    slice_records: &[Vec<IterationRecord>],
+    rule_scalars: &[f64],
+) -> Snapshot {
     let mut snap = Snapshot::new(plan_hash, next_iter as u64);
+    snap.push_u64s(SECTION_BATCH, &[batch as u64]);
     snap.push_f32s(SECTION_X, x);
     snap.push_f32s(SECTION_RESID, resid);
     snap.push_f32s(SECTION_DIR, dir);
-    snap.push_f64(SECTION_PREV_RES, prev_res);
+    snap.push_f64s(SECTION_PREV_RES, prev_res);
+    let flags: Vec<u64> = active.iter().map(|&a| a as u64).collect();
+    snap.push_u64s(SECTION_ACTIVE, &flags);
     snap.push_f64s(SECTION_RULE, rule_scalars);
-    let residuals: Vec<f64> = records.iter().map(|r| r.residual_norm).collect();
-    let solutions: Vec<f64> = records.iter().map(|r| r.solution_norm).collect();
-    let seconds: Vec<f64> = records.iter().map(|r| r.seconds).collect();
+    let counts: Vec<u64> = slice_records.iter().map(|r| r.len() as u64).collect();
+    snap.push_u64s(SECTION_REC_COUNTS, &counts);
+    let all = slice_records.iter().flatten();
+    let residuals: Vec<f64> = all.clone().map(|r| r.residual_norm).collect();
+    let solutions: Vec<f64> = all.clone().map(|r| r.solution_norm).collect();
+    let seconds: Vec<f64> = all.map(|r| r.seconds).collect();
     snap.push_f64s(SECTION_REC_RESIDUAL, &residuals);
     snap.push_f64s(SECTION_REC_SOLUTION, &solutions);
     snap.push_f64s(SECTION_REC_SECONDS, &seconds);
@@ -108,24 +171,51 @@ pub(crate) fn encode_state(
 }
 
 /// Validate a decoded snapshot against the plan it will resume into:
-/// plan-hash match, vector lengths against the operator's dimensions,
-/// iteration counter within the stop rule's cap and consistent with the
-/// record sections. Returns the (possibly empty) violation report.
+/// plan-hash match, batch width against the resuming configuration,
+/// vector lengths against the operator's dimensions scaled by the batch
+/// width, iteration counter within the stop rule's cap and consistent
+/// with the record sections. Returns the (possibly empty) violation
+/// report.
+///
+/// A pre-batch snapshot (no [`SECTION_BATCH`]) is treated as batch 1 and
+/// skips the batch-only section checks, so old checkpoints remain
+/// resumable.
 pub fn validate_snapshot(
     snap: &Snapshot,
     expected_plan_hash: u64,
     max_iters: usize,
     nrows: usize,
     ncols: usize,
+    expected_batch: usize,
 ) -> Report {
     let found = |name: &str| snap.f32s(name).ok().map(<[f32]>::len);
     let found64 = |name: &str| snap.f64s(name).ok().map(<[f64]>::len);
+    let found_u64 = |name: &str| snap.u64s(name).ok().map(<[u64]>::len);
     let iteration = snap.iteration();
-    let records_len = found64(SECTION_REC_RESIDUAL).unwrap_or(0) as u64;
-    // One record per committed iteration; saturate rather than truncate if
-    // a corrupt header claims more iterations than usize holds.
-    let rec_expect = usize::try_from(iteration).unwrap_or(usize::MAX);
-    let check = CheckpointCheck::new(
+    let batched = snap.has(SECTION_BATCH);
+    let found_batch = snap
+        .u64s(SECTION_BATCH)
+        .ok()
+        .and_then(|v| v.first().copied())
+        .unwrap_or(1);
+    let counts: Option<Vec<u64>> = snap.u64s(SECTION_REC_COUNTS).ok().map(<[u64]>::to_vec);
+    // At checkpoint time every still-active slice has one record per
+    // committed iteration, so the longest per-slice list must equal the
+    // iteration counter (retired slices may be shorter). Pre-batch
+    // snapshots have a single implicit slice: the array length itself.
+    let records_len = match &counts {
+        Some(c) => c.iter().copied().max().unwrap_or(0),
+        None => found64(SECTION_REC_RESIDUAL).unwrap_or(0) as u64,
+    };
+    // The concatenated record arrays carry sum(counts) entries; saturate
+    // rather than truncate if a corrupt header claims more iterations
+    // than usize holds.
+    let rec_expect = match &counts {
+        Some(c) => usize::try_from(c.iter().sum::<u64>()).unwrap_or(usize::MAX),
+        None => usize::try_from(iteration).unwrap_or(usize::MAX),
+    };
+    let b = expected_batch.max(1);
+    let mut check = CheckpointCheck::new(
         "solve checkpoint",
         expected_plan_hash,
         snap.plan_hash(),
@@ -133,9 +223,10 @@ pub fn validate_snapshot(
         iteration,
         records_len,
     )
-    .section(SECTION_X, ncols, found(SECTION_X))
-    .section(SECTION_RESID, nrows, found(SECTION_RESID))
-    .section(SECTION_DIR, ncols, found(SECTION_DIR))
+    .batch(b as u64, found_batch)
+    .section(SECTION_X, ncols * b, found(SECTION_X))
+    .section(SECTION_RESID, nrows * b, found(SECTION_RESID))
+    .section(SECTION_DIR, ncols * b, found(SECTION_DIR))
     .section(
         SECTION_REC_RESIDUAL,
         rec_expect,
@@ -151,39 +242,69 @@ pub fn validate_snapshot(
         rec_expect,
         found64(SECTION_REC_SECONDS),
     );
+    if batched {
+        check = check
+            .section(SECTION_PREV_RES, b, found64(SECTION_PREV_RES))
+            .section(SECTION_ACTIVE, b, found_u64(SECTION_ACTIVE))
+            .section(SECTION_REC_COUNTS, b, found_u64(SECTION_REC_COUNTS));
+    }
     let mut report = Report::new();
     check.run(&mut report);
     report
 }
 
-/// Decode a validated snapshot into a [`SolveState`].
+/// Decode a validated snapshot into a [`SolveState`]. Pre-batch
+/// snapshots (no batch section, scalar `prev_res`) decode as batch 1
+/// with every slice active.
 pub(crate) fn decode_state(snap: &Snapshot) -> Result<SolveState, CheckpointError> {
     // in-range: validate_snapshot bounded iteration by the stop rule's cap
     let iteration = snap.iteration() as usize;
+    let batch = snap
+        .u64s(SECTION_BATCH)
+        .ok()
+        .and_then(|v| v.first().copied())
+        .unwrap_or(1) as usize;
     let residuals = snap.f64s(SECTION_REC_RESIDUAL)?;
     let solutions = snap.f64s(SECTION_REC_SOLUTION)?;
     let seconds = snap.f64s(SECTION_REC_SECONDS)?;
-    let records = residuals
-        .iter()
-        .zip(solutions)
-        .zip(seconds)
-        .enumerate()
-        .map(
-            |(iter, ((&residual_norm, &solution_norm), &secs))| IterationRecord {
-                iter,
-                residual_norm,
-                solution_norm,
-                seconds: secs,
-            },
-        )
-        .collect();
+    let counts: Vec<usize> = match snap.u64s(SECTION_REC_COUNTS) {
+        Ok(c) => c.iter().map(|&v| v as usize).collect(),
+        Err(_) => vec![residuals.len()],
+    };
+    let mut slice_records = Vec::with_capacity(counts.len());
+    let mut off = 0usize;
+    for &count in &counts {
+        // in-range: validate_snapshot pinned the record arrays to
+        // sum(counts) entries
+        let recs = (0..count)
+            .map(|i| IterationRecord {
+                iter: i,
+                residual_norm: residuals[off + i],
+                solution_norm: solutions[off + i],
+                seconds: seconds[off + i],
+            })
+            .collect();
+        off += count;
+        slice_records.push(recs);
+    }
+    let prev_res: Vec<f64> = match snap.f64s(SECTION_PREV_RES) {
+        Ok(v) => v.to_vec(),
+        // Pre-batch snapshots stored prev_res as a scalar section.
+        Err(_) => vec![snap.f64_scalar(SECTION_PREV_RES)?],
+    };
+    let active: Vec<bool> = match snap.u64s(SECTION_ACTIVE) {
+        Ok(v) => v.iter().map(|&f| f != 0).collect(),
+        Err(_) => vec![true; batch],
+    };
     Ok(SolveState {
         iteration,
-        prev_res: snap.f64_scalar(SECTION_PREV_RES)?,
+        batch,
+        prev_res,
         x: snap.f32s(SECTION_X)?.to_vec(),
         resid: snap.f32s(SECTION_RESID)?.to_vec(),
         dir: snap.f32s(SECTION_DIR)?.to_vec(),
-        records,
+        active,
+        slice_records,
         scalars: snap.f64s(SECTION_RULE)?.to_vec(),
     })
 }
@@ -202,12 +323,20 @@ pub(crate) fn load_state(
     max_iters: usize,
     nrows: usize,
     ncols: usize,
+    expected_batch: usize,
 ) -> Result<Option<SolveState>, BuildError> {
     let Some(bytes) = sink.load(slot).map_err(BuildError::Checkpoint)? else {
         return Ok(None);
     };
     let snap = Snapshot::decode(&bytes).map_err(BuildError::Checkpoint)?;
-    let report = validate_snapshot(&snap, expected_plan_hash, max_iters, nrows, ncols);
+    let report = validate_snapshot(
+        &snap,
+        expected_plan_hash,
+        max_iters,
+        nrows,
+        ncols,
+        expected_batch,
+    );
     if !report.is_ok() {
         return Err(BuildError::PlanCheck(report));
     }
@@ -245,15 +374,43 @@ mod tests {
             &recs,
             &[0.125],
         );
-        assert!(validate_snapshot(&snap, 0xFEED, 10, 3, 2).is_ok());
+        assert!(validate_snapshot(&snap, 0xFEED, 10, 3, 2, 1).is_ok());
         let st = decode_state(&snap).unwrap();
         assert_eq!(st.iteration, 3);
-        assert_eq!(st.prev_res, 10.0 / 3.0);
+        assert_eq!(st.batch, 1);
+        assert_eq!(st.prev_res, vec![10.0 / 3.0]);
         assert_eq!(st.x, vec![1.0, 2.0]);
         assert_eq!(st.resid, vec![3.0, 4.0, 5.0]);
         assert_eq!(st.dir, vec![6.0, 7.0]);
+        assert_eq!(st.active, vec![true]);
         assert_eq!(st.scalars, vec![0.125]);
-        assert_eq!(st.records, recs);
+        assert_eq!(st.slice_records, vec![recs]);
+    }
+
+    #[test]
+    fn batched_encode_decode_round_trips_per_slice_state() {
+        // Slice 0 ran 3 iterations, slice 1 retired after 2.
+        let slice_records = vec![records(3), records(2)];
+        let snap = encode_state_batched(
+            0xFEED,
+            3,
+            2,
+            &[0.5, 0.25],
+            &[1.0; 4],
+            &[2.0; 6],
+            &[3.0; 4],
+            &[true, false],
+            &slice_records,
+            &[0.125, 0.5],
+        );
+        let r = validate_snapshot(&snap, 0xFEED, 10, 3, 2, 2);
+        assert!(r.is_ok(), "{r}");
+        let st = decode_state(&snap).unwrap();
+        assert_eq!(st.batch, 2);
+        assert_eq!(st.prev_res, vec![0.5, 0.25]);
+        assert_eq!(st.active, vec![true, false]);
+        assert_eq!(st.slice_records, slice_records);
+        assert_eq!(st.scalars, vec![0.125, 0.5]);
     }
 
     #[test]
@@ -269,20 +426,44 @@ mod tests {
             &[],
         );
         // Wrong plan hash.
-        let r = validate_snapshot(&snap, 0xBEEF, 10, 3, 2);
+        let r = validate_snapshot(&snap, 0xBEEF, 10, 3, 2, 1);
         assert!(r.has(Invariant::CheckpointHash), "{r}");
         // Wrong vector lengths (snapshot from a different geometry).
-        let r = validate_snapshot(&snap, 0xFEED, 10, 4, 5);
+        let r = validate_snapshot(&snap, 0xFEED, 10, 4, 5, 1);
         assert!(r.has(Invariant::CheckpointShape), "{r}");
         // Iteration past the run's cap.
-        let r = validate_snapshot(&snap, 0xFEED, 2, 3, 2);
+        let r = validate_snapshot(&snap, 0xFEED, 2, 3, 2, 1);
         assert!(r.has(Invariant::CheckpointMonotone), "{r}");
+    }
+
+    #[test]
+    fn batch_width_mismatch_is_a_typed_violation() {
+        let slice_records = vec![records(1), records(1)];
+        let snap = encode_state_batched(
+            7,
+            1,
+            2,
+            &[1.0, 1.0],
+            &[0.0; 4],
+            &[0.0; 6],
+            &[0.0; 4],
+            &[true, true],
+            &slice_records,
+            &[],
+        );
+        // Resuming a batch-2 snapshot at batch 4: the batch invariant
+        // fires as the root cause, not a cascade of shape violations.
+        let r = validate_snapshot(&snap, 7, 10, 3, 2, 4);
+        assert!(r.has(Invariant::CheckpointBatch), "{r}");
+        assert!(!r.has(Invariant::CheckpointShape), "root cause only: {r}");
+        // The matching width validates cleanly.
+        assert!(validate_snapshot(&snap, 7, 10, 3, 2, 2).is_ok());
     }
 
     #[test]
     fn records_disagreeing_with_iteration_are_rejected() {
         let snap = encode_state(1, 5, 1.0, &[0.0; 2], &[0.0; 3], &[0.0; 2], &records(3), &[]);
-        let r = validate_snapshot(&snap, 1, 10, 3, 2);
+        let r = validate_snapshot(&snap, 1, 10, 3, 2, 1);
         assert!(r.has(Invariant::CheckpointMonotone), "{r}");
     }
 
@@ -290,22 +471,27 @@ mod tests {
     fn load_state_surfaces_typed_errors() {
         let sink = MemoryCheckpointSink::new();
         // Empty slot: clean None.
-        assert!(load_state(&sink, 0, 1, 10, 3, 2).unwrap().is_none());
+        assert!(load_state(&sink, 0, 1, 10, 3, 2, 1).unwrap().is_none());
         // Garbage bytes: container-level checkpoint error.
         sink.save(0, b"not a snapshot").unwrap();
         assert!(matches!(
-            load_state(&sink, 0, 1, 10, 3, 2),
+            load_state(&sink, 0, 1, 10, 3, 2, 1),
             Err(BuildError::Checkpoint(_))
         ));
         // Intact container, mismatched plan: invariant report.
         let snap = encode_state(2, 1, 1.0, &[0.0; 2], &[0.0; 3], &[0.0; 2], &records(1), &[]);
         sink.save(0, &snap.encode()).unwrap();
-        match load_state(&sink, 0, 1, 10, 3, 2) {
+        match load_state(&sink, 0, 1, 10, 3, 2, 1) {
             Err(BuildError::PlanCheck(r)) => assert!(r.has(Invariant::CheckpointHash)),
             other => panic!("expected PlanCheck, got {:?}", other.map(|_| ())),
         }
+        // Mismatched batch width: typed CheckpointBatch violation.
+        match load_state(&sink, 0, 2, 10, 3, 2, 4) {
+            Err(BuildError::PlanCheck(r)) => assert!(r.has(Invariant::CheckpointBatch), "{r}"),
+            other => panic!("expected PlanCheck, got {:?}", other.map(|_| ())),
+        }
         // Matching plan loads.
-        let st = load_state(&sink, 0, 2, 10, 3, 2).unwrap().unwrap();
+        let st = load_state(&sink, 0, 2, 10, 3, 2, 1).unwrap().unwrap();
         assert_eq!(st.iteration, 1);
     }
 

@@ -236,6 +236,32 @@ impl RankPlan {
         }
     }
 
+    /// Local forward SpMM (A_p across `batch` slices, matrix streamed
+    /// once). Column `j` is bit-identical to [`RankPlan::apply_a`] on
+    /// slice `j` alone.
+    fn apply_a_batch(&self, x_local: &[f32], batch: usize) -> Vec<f32> {
+        match &self.a_local_buf {
+            Some(b) => {
+                let mut y = vec![0f32; self.a_local.nrows() * batch];
+                b.spmm_into(x_local, &mut y, batch);
+                y
+            }
+            None => xct_sparse::spmm(&self.a_local, x_local, batch),
+        }
+    }
+
+    /// Local backprojection SpMM (A_pᵀ across `batch` slices).
+    fn apply_at_batch(&self, y_gather: &[f32], batch: usize) -> Vec<f32> {
+        match &self.at_local_buf {
+            Some(b) => {
+                let mut x = vec![0f32; self.at_local.nrows() * batch];
+                b.spmm_into(y_gather, &mut x, batch);
+                x
+            }
+            None => xct_sparse::spmm(&self.at_local, y_gather, batch),
+        }
+    }
+
     /// Distributed forward projection: returns this rank's owned block of
     /// `y = A·x`, adding kernel times into `kb`.
     ///
@@ -346,6 +372,124 @@ impl RankPlan {
 
         let t = Instant::now();
         let x_local = self.apply_at(&y_gather);
+        kb.ap_s += t.elapsed().as_secs_f64();
+        Ok(x_local)
+    }
+
+    /// Batched [`RankPlan::try_forward`]: `x_local` holds `batch`
+    /// slice-major blocks of this rank's tomogram subdomain, and the
+    /// returned slab holds `batch` blocks of the owned sinogram range.
+    /// The alltoallv *schedule* (which rows go to which peer) is the
+    /// single-slice one reused verbatim — each scheduled row just carries
+    /// `batch` f32 values (slice-major within each peer's payload) — so
+    /// one communication round serves the whole batch. Slice `j` of the
+    /// result is bit-identical to [`RankPlan::try_forward`] on slice `j`.
+    pub fn try_forward_batch(
+        &self,
+        comm: &Communicator,
+        x_local: &[f32],
+        batch: usize,
+        kb: &mut KernelBreakdown,
+    ) -> Result<Vec<f32>, CommError> {
+        if batch == 1 {
+            return self.try_forward(comm, x_local, kb);
+        }
+        // A_p: partial projection over the interaction rows, all slices.
+        let t = Instant::now();
+        let y_part = self.apply_a_batch(x_local, batch);
+        kb.ap_s += t.elapsed().as_secs_f64();
+        let inter = self.inter_rows.len();
+
+        // C: one collective routes every slice's partials to the owners.
+        let t = Instant::now();
+        let send: Vec<Vec<f32>> = self
+            .dest_ranges
+            .iter()
+            .map(|r| {
+                let mut payload = Vec::with_capacity(r.len() * batch);
+                for j in 0..batch {
+                    payload.extend_from_slice(&y_part[j * inter + r.start..j * inter + r.end]);
+                }
+                payload
+            })
+            .collect();
+        let recv = comm.try_alltoallv(send)?;
+        kb.c_s += t.elapsed().as_secs_f64();
+
+        // R: reduce overlapping partials into the owned blocks, in the
+        // same source order per slice as the single-slice reduction.
+        let t = Instant::now();
+        let slo = self.sino_range.start;
+        let own = (self.sino_range.end - slo) as usize;
+        let mut y_local = vec![0f32; own * batch];
+        for (src, vals) in recv.into_iter().enumerate() {
+            let rows = &self.rows_from[src];
+            debug_assert_eq!(rows.len() * batch, vals.len());
+            for j in 0..batch {
+                let block = &vals[j * rows.len()..(j + 1) * rows.len()];
+                for (&row, v) in rows.iter().zip(block) {
+                    y_local[j * own + (row - slo) as usize] += v;
+                }
+            }
+        }
+        kb.r_s += t.elapsed().as_secs_f64();
+        Ok(y_local)
+    }
+
+    /// Batched [`RankPlan::try_back`]: the transpose of
+    /// [`RankPlan::try_forward_batch`], reusing the single-slice
+    /// duplication schedule with `batch` f32 values per scheduled row.
+    pub fn try_back_batch(
+        &self,
+        comm: &Communicator,
+        y_local: &[f32],
+        batch: usize,
+        kb: &mut KernelBreakdown,
+    ) -> Result<Vec<f32>, CommError> {
+        if batch == 1 {
+            return self.try_back(comm, y_local, kb);
+        }
+        // Rᵀ: owners duplicate every slice's overlapped values per peer.
+        let t = Instant::now();
+        let slo = self.sino_range.start;
+        let own = (self.sino_range.end - slo) as usize;
+        let send: Vec<Vec<f32>> = self
+            .rows_from
+            .iter()
+            .map(|rows| {
+                let mut payload = Vec::with_capacity(rows.len() * batch);
+                for j in 0..batch {
+                    payload.extend(
+                        rows.iter()
+                            .map(|&row| y_local[j * own + (row - slo) as usize]),
+                    );
+                }
+                payload
+            })
+            .collect();
+        kb.r_s += t.elapsed().as_secs_f64();
+
+        // Cᵀ: the transpose communication pattern, one round.
+        let t = Instant::now();
+        let recv = comm.try_alltoallv(send)?;
+        kb.c_s += t.elapsed().as_secs_f64();
+
+        // Assemble the gathered interaction-row slabs, then A_pᵀ.
+        let t = Instant::now();
+        let inter = self.inter_rows.len();
+        let mut y_gather = vec![0f32; inter * batch];
+        for (q, vals) in recv.into_iter().enumerate() {
+            let range = self.dest_ranges[q].clone();
+            debug_assert_eq!(range.len() * batch, vals.len());
+            for j in 0..batch {
+                y_gather[j * inter + range.start..j * inter + range.end]
+                    .copy_from_slice(&vals[j * range.len()..(j + 1) * range.len()]);
+            }
+        }
+        kb.r_s += t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let x_local = self.apply_at_batch(&y_gather, batch);
         kb.ap_s += t.elapsed().as_secs_f64();
         Ok(x_local)
     }
@@ -716,10 +860,11 @@ fn solve_rank(
             &st.x[tlo..thi],
             &st.resid[slo..shi],
             &st.dir[tlo..thi],
-            st.records.clone(),
+            st.slice_records.first().cloned().unwrap_or_default(),
+            st.prev_res.first().copied().unwrap_or(f64::INFINITY),
         );
         rule.restore_scalars(&st.scalars);
-        (st.iteration, st.prev_res)
+        st.iteration
     });
     let every = if ft.sink.is_some() {
         ft.checkpoint_every
@@ -736,13 +881,14 @@ fn solve_rank(
         &Metrics::noop(),
         &mut ws,
         resume_point,
-        |next_iter, prev_res, ws, rule| {
+        |next_iter, ws, rule| {
             // A poisoned rank skips the gather: the abort flag is already
             // set, so peers fail fast instead of blocking on it.
             if every == 0 || next_iter % every != 0 || op.fault().is_some() {
                 return Ok(());
             }
             let Some(sink) = &ft.sink else { return Ok(()) };
+            let prev_res = ws.prev_res().first().copied().unwrap_or(f64::INFINITY);
             match save_global_checkpoint(
                 comm,
                 plans,
@@ -896,6 +1042,8 @@ pub fn try_reconstruct_distributed_ft(
     let plan_hash = checkpoint::plan_fingerprint(ops);
     let max_iters = config.stop.max_iters();
     let load = |sink: &Arc<dyn CheckpointSink>| {
+        // The distributed path solves one slice per run; a batched
+        // snapshot is rejected up front as a batch-width mismatch.
         checkpoint::load_state(
             sink.as_ref(),
             0,
@@ -903,6 +1051,7 @@ pub fn try_reconstruct_distributed_ft(
             max_iters,
             ops.a.nrows(),
             ops.a.ncols(),
+            1,
         )
     };
     let mut resume_state = match &ft.sink {
@@ -1102,6 +1251,81 @@ mod tests {
             }
             for (g, w) in got.iter().zip(&want) {
                 assert!((g - w).abs() < 1e-3, "ranks {ranks}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_halo_exchange_is_bitwise_single_slice() {
+        // One alltoallv round carries all k slices; every slice must be
+        // bit-identical to its own single-slice collective.
+        let (ops, _) = setup(16, 12);
+        let batch = 3usize;
+        for use_buffered in [false, true] {
+            for ranks in [1usize, 2, 4] {
+                let plans = build_plans(&ops, ranks, use_buffered);
+                // Forward: slab of k tomogram slices per rank.
+                let (batched, _) = run_ranks(ranks, |comm| {
+                    let plan = &plans[comm.rank()];
+                    let lo = plan.tomo_range.start as usize;
+                    let hi = plan.tomo_range.end as usize;
+                    let x: Vec<f32> = (0..batch * (hi - lo))
+                        .map(|i| ((lo + i) % 11) as f32 * 0.5 - 2.0)
+                        .collect();
+                    let mut kb = KernelBreakdown::default();
+                    let y = plan.try_forward_batch(comm, &x, batch, &mut kb).unwrap();
+                    (x, y)
+                });
+                for j in 0..batch {
+                    let (single, _) = run_ranks(ranks, |comm| {
+                        let plan = &plans[comm.rank()];
+                        let n = plan.tomo_range.len();
+                        let xj = &batched[comm.rank()].0[j * n..(j + 1) * n];
+                        let mut kb = KernelBreakdown::default();
+                        plan.try_forward(comm, xj, &mut kb).unwrap()
+                    });
+                    for (rank, want) in single.iter().enumerate() {
+                        let m = plans[rank].sino_range.len();
+                        let got = &batched[rank].1[j * m..(j + 1) * m];
+                        assert!(
+                            got.iter()
+                                .zip(want)
+                                .all(|(a, b)| a.to_bits() == b.to_bits()),
+                            "forward slice {j} rank {rank} ranks={ranks} buffered={use_buffered}"
+                        );
+                    }
+                }
+                // Backprojection: slab of k sinogram slices per rank.
+                let (batched, _) = run_ranks(ranks, |comm| {
+                    let plan = &plans[comm.rank()];
+                    let lo = plan.sino_range.start as usize;
+                    let hi = plan.sino_range.end as usize;
+                    let y: Vec<f32> = (0..batch * (hi - lo))
+                        .map(|i| ((lo + i) % 7) as f32 * 0.25 - 1.0)
+                        .collect();
+                    let mut kb = KernelBreakdown::default();
+                    let x = plan.try_back_batch(comm, &y, batch, &mut kb).unwrap();
+                    (y, x)
+                });
+                for j in 0..batch {
+                    let (single, _) = run_ranks(ranks, |comm| {
+                        let plan = &plans[comm.rank()];
+                        let m = plan.sino_range.len();
+                        let yj = &batched[comm.rank()].0[j * m..(j + 1) * m];
+                        let mut kb = KernelBreakdown::default();
+                        plan.try_back(comm, yj, &mut kb).unwrap()
+                    });
+                    for (rank, want) in single.iter().enumerate() {
+                        let n = plans[rank].tomo_range.len();
+                        let got = &batched[rank].1[j * n..(j + 1) * n];
+                        assert!(
+                            got.iter()
+                                .zip(want)
+                                .all(|(a, b)| a.to_bits() == b.to_bits()),
+                            "back slice {j} rank {rank} ranks={ranks} buffered={use_buffered}"
+                        );
+                    }
+                }
             }
         }
     }

@@ -26,6 +26,18 @@ pub enum BuildError {
     },
     /// A distributed run was asked for zero ranks.
     ZeroRanks,
+    /// `ReconstructorBuilder::batch` was given zero; batched solves need
+    /// at least one slice.
+    ZeroBatch,
+    /// The number of sinograms handed to a solve does not match the
+    /// batch width the reconstructor was built with, or a single-slice /
+    /// distributed entry point was used on a batched reconstructor.
+    BatchWidth {
+        /// Batch width the reconstructor was configured for.
+        expected: usize,
+        /// Number of slices actually supplied.
+        got: usize,
+    },
     /// A measurement vector's length does not match the operator's rows.
     SinogramLength {
         /// Rows of the projection matrix (expected sinogram length).
@@ -66,6 +78,13 @@ impl fmt::Display for BuildError {
                 )
             }
             BuildError::ZeroRanks => write!(f, "distributed run needs at least one rank"),
+            BuildError::ZeroBatch => write!(f, "batch width must be positive"),
+            BuildError::BatchWidth { expected, got } => {
+                write!(
+                    f,
+                    "got {got} slices but the reconstructor was built for a batch of {expected}"
+                )
+            }
             BuildError::SinogramLength { expected, got } => {
                 write!(
                     f,

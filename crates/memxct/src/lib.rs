@@ -59,11 +59,14 @@ pub use preprocess::{
     preprocess, try_preprocess, try_preprocess_with_metrics, Config, DomainOrdering, Kernel,
     Operators, PreprocessTimings, Projector,
 };
-pub use reconstructor::{ReconOutput, Reconstructor, ReconstructorBuilder, VolumeOutput};
+pub use reconstructor::{
+    BatchOutput, ReconOutput, Reconstructor, ReconstructorBuilder, VolumeOutput,
+};
 pub use regularize::{cgls_smooth, gradient_operator};
 pub use solvers::{
-    cgls, cgls_regularized, run_engine, run_engine_in, run_engine_with_metrics, sirt, sirt_nonneg,
-    CgRule, Constraint, IterationRecord, SirtRule, SolverWorkspace, StopRule, UpdateRule,
+    cgls, cgls_regularized, run_engine, run_engine_batched, run_engine_batched_in, run_engine_in,
+    run_engine_with_metrics, sirt, sirt_nonneg, CgRule, Constraint, IterationRecord, SirtRule,
+    SolverWorkspace, StopRule, UpdateRule,
 };
 pub use subsets::{OrderedSubsets, OsRule};
 pub use xct_check::{CheckViolation, Invariant, Report as CheckReport};

@@ -84,13 +84,18 @@ impl KernelBreakdown {
 }
 
 /// Per-operator SpMV instrumentation: a timer plus `calls`/`nnz`/`bytes`
-/// counters under `spmv/<kernel>/…`, with names precomputed so the hot
-/// path never allocates.
+/// counters under `spmv/<kernel>/…` — and, for batched applications,
+/// `calls`/`nnz`/`bytes`/`slices` under `spmm/<kernel>/…` — with names
+/// precomputed so the hot path never allocates.
 struct SpmvMeter {
     metrics: Metrics,
     calls: String,
     nnz: String,
     bytes: String,
+    spmm_calls: String,
+    spmm_nnz: String,
+    spmm_bytes: String,
+    spmm_slices: String,
 }
 
 impl SpmvMeter {
@@ -100,6 +105,10 @@ impl SpmvMeter {
             calls: format!("spmv/{kernel}/calls"),
             nnz: format!("spmv/{kernel}/nnz"),
             bytes: format!("spmv/{kernel}/bytes"),
+            spmm_calls: format!("spmm/{kernel}/calls"),
+            spmm_nnz: format!("spmm/{kernel}/nnz"),
+            spmm_bytes: format!("spmm/{kernel}/bytes"),
+            spmm_slices: format!("spmm/{kernel}/slices"),
         }
     }
 
@@ -117,6 +126,23 @@ impl SpmvMeter {
             self.metrics.counter_add(&self.calls, 1);
             self.metrics.counter_add(&self.nnz, nnz);
             self.metrics.counter_add(&self.bytes, bytes);
+        }
+    }
+
+    /// Record one batched (SpMM) application over `slices` right-hand
+    /// sides. `nnz`/`bytes` are counted **once per call**, not per slice
+    /// — the kernel streams the matrix once for the whole slab, which is
+    /// the point of batching; `spmm/<kernel>/bytes ÷ spmm/<kernel>/slices`
+    /// is therefore the matrix traffic amortized per slice.
+    #[inline]
+    fn record_spmm(&self, started: Option<Instant>, nnz: u64, bytes: u64, slices: usize) {
+        if let Some(t) = started {
+            self.metrics
+                .timer_observe(KERNEL_AP_SECONDS, t.elapsed().as_secs_f64());
+            self.metrics.counter_add(&self.spmm_calls, 1);
+            self.metrics.counter_add(&self.spmm_nnz, nnz);
+            self.metrics.counter_add(&self.spmm_bytes, bytes);
+            self.metrics.counter_add(&self.spmm_slices, slices as u64);
         }
     }
 
@@ -141,6 +167,46 @@ pub trait ProjectionOperator {
     fn forward_into(&self, x: &[f32], y: &mut [f32]);
     /// Backprojection `x = Aᵀ·y`; overwrites `x` entirely.
     fn back_into(&self, y: &[f32], x: &mut [f32]);
+    /// Batched forward projection `Y = A·[x₁ … x_k]` over slice-major
+    /// slabs (`x` is `batch × ncols`, `y` is `batch × nrows`). Slice `j`
+    /// of the output must be **bit-identical** to
+    /// [`forward_into`](ProjectionOperator::forward_into) on slice `j` of
+    /// the input — the default delegates per slice, which guarantees it;
+    /// memoized backends override with an SpMM that streams the matrix
+    /// once for the whole slab.
+    fn forward_batch_into(&self, x: &[f32], y: &mut [f32], batch: usize) {
+        let n = self.ncols();
+        let m = self.nrows();
+        for j in 0..batch {
+            self.forward_into(&x[j * n..(j + 1) * n], &mut y[j * m..(j + 1) * m]);
+        }
+    }
+    /// Batched backprojection `X = Aᵀ·[y₁ … y_k]`, the slice-major
+    /// counterpart of [`back_into`](ProjectionOperator::back_into) with
+    /// the same per-slice bit-identity contract as
+    /// [`forward_batch_into`](ProjectionOperator::forward_batch_into).
+    fn back_batch_into(&self, y: &[f32], x: &mut [f32], batch: usize) {
+        let m = self.nrows();
+        let n = self.ncols();
+        for j in 0..batch {
+            self.back_into(&y[j * m..(j + 1) * m], &mut x[j * n..(j + 1) * n]);
+        }
+    }
+    /// Locally accumulate `out.len()` slice-wise dot products over
+    /// slice-major slabs: `out[j] = ⟨a_j, b_j⟩`. Each `out[j]` must be
+    /// bit-identical to [`local_dot`](ProjectionOperator::local_dot) on
+    /// slice `j` (the default delegates per slice); the pooled operator
+    /// overrides it with one batched dispatch.
+    fn local_dot_batch(&self, a: &[f32], b: &[f32], out: &mut [f64]) {
+        let k = out.len();
+        if k == 0 || !a.len().is_multiple_of(k) {
+            return;
+        }
+        let len = a.len() / k;
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = self.local_dot(&a[j * len..(j + 1) * len], &b[j * len..(j + 1) * len]);
+        }
+    }
     /// Combine a locally accumulated dot product into the global value.
     /// Identity for shared-memory operators; an allreduce across ranks
     /// for distributed ones.
@@ -223,6 +289,24 @@ impl ProjectionOperator for SerialOperator<'_> {
         spmv_into(self.at, y, x);
         self.meter
             .record(t, self.at.nnz() as u64, self.at.regular_bytes());
+    }
+    fn forward_batch_into(&self, x: &[f32], y: &mut [f32], batch: usize) {
+        if batch == 1 {
+            return self.forward_into(x, y); // keep spmv/* counter parity
+        }
+        let t = self.meter.start();
+        xct_sparse::spmm_into(self.a, x, y, batch);
+        self.meter
+            .record_spmm(t, self.a.nnz() as u64, self.a.regular_bytes(), batch);
+    }
+    fn back_batch_into(&self, y: &[f32], x: &mut [f32], batch: usize) {
+        if batch == 1 {
+            return self.back_into(y, x);
+        }
+        let t = self.meter.start();
+        xct_sparse::spmm_into(self.at, y, x, batch);
+        self.meter
+            .record_spmm(t, self.at.nnz() as u64, self.at.regular_bytes(), batch);
     }
     fn breakdown(&self) -> Option<KernelBreakdown> {
         self.meter.breakdown()
@@ -360,6 +444,24 @@ impl<I: BufferIndex> ProjectionOperator for BufferedOperator<'_, I> {
         self.meter
             .record(t, self.at.nnz() as u64, self.at.regular_bytes());
     }
+    fn forward_batch_into(&self, x: &[f32], y: &mut [f32], batch: usize) {
+        if batch == 1 {
+            return self.forward_into(x, y); // keep spmv/* counter parity
+        }
+        let t = self.meter.start();
+        self.a.spmm_into(x, y, batch);
+        self.meter
+            .record_spmm(t, self.a.nnz() as u64, self.a.regular_bytes(), batch);
+    }
+    fn back_batch_into(&self, y: &[f32], x: &mut [f32], batch: usize) {
+        if batch == 1 {
+            return self.back_into(y, x);
+        }
+        let t = self.meter.start();
+        self.at.spmm_into(y, x, batch);
+        self.meter
+            .record_spmm(t, self.at.nnz() as u64, self.at.regular_bytes(), batch);
+    }
     fn breakdown(&self) -> Option<KernelBreakdown> {
         self.meter.breakdown()
     }
@@ -425,6 +527,24 @@ impl ProjectionOperator for EllOperator<'_> {
         self.meter
             .record(t, self.at.nnz() as u64, self.at.regular_bytes());
     }
+    fn forward_batch_into(&self, x: &[f32], y: &mut [f32], batch: usize) {
+        if batch == 1 {
+            return self.forward_into(x, y); // keep spmv/* counter parity
+        }
+        let t = self.meter.start();
+        self.a.spmm_into(x, y, batch);
+        self.meter
+            .record_spmm(t, self.a.nnz() as u64, self.a.regular_bytes(), batch);
+    }
+    fn back_batch_into(&self, y: &[f32], x: &mut [f32], batch: usize) {
+        if batch == 1 {
+            return self.back_into(y, x);
+        }
+        let t = self.meter.start();
+        self.at.spmm_into(y, x, batch);
+        self.meter
+            .record_spmm(t, self.at.nnz() as u64, self.at.regular_bytes(), batch);
+    }
     fn breakdown(&self) -> Option<KernelBreakdown> {
         self.meter.breakdown()
     }
@@ -465,6 +585,14 @@ pub struct PooledPlans {
     back: ExecPlan,
     dot_rows: ExecPlan,
     dot_cols: ExecPlan,
+    /// Batch width the batched dot plans were built for (1 = none).
+    batch: usize,
+    /// Chunk-distribution plan for `batch`-wide slice-major dots over
+    /// row-length slabs; present only when `batch > 1`. The SpMM reuses
+    /// `forward`/`back` unchanged — only the reductions need wider plans.
+    dot_rows_batch: Option<ExecPlan>,
+    /// Batched dot plan for column-length slabs.
+    dot_cols_batch: Option<ExecPlan>,
 }
 
 impl PooledPlans {
@@ -474,6 +602,16 @@ impl PooledPlans {
     /// # Panics
     /// Panics if the requested layout was not built (see `Config`).
     pub fn new(ops: &Operators, kernel: Kernel, workers: usize) -> Self {
+        Self::new_batched(ops, kernel, workers, 1)
+    }
+
+    /// [`new`](Self::new) plus batched dot plans for `batch`-wide solves.
+    /// The row plans (`forward`/`back`) serve both SpMV and SpMM, so only
+    /// the fixed-chunk reduction plans gain batched variants.
+    ///
+    /// # Panics
+    /// Panics if the requested layout was not built (see `Config`).
+    pub fn new_batched(ops: &Operators, kernel: Kernel, workers: usize, batch: usize) -> Self {
         let (forward, back) = match kernel {
             Kernel::Serial | Kernel::Parallel => (
                 xct_sparse::csr_plan(&ops.a, workers),
@@ -504,11 +642,22 @@ impl PooledPlans {
                     .exec_plan(workers),
             ),
         };
+        let (dot_rows_batch, dot_cols_batch) = if batch > 1 {
+            (
+                Some(xct_sparse::dot_batch_plan(ops.a.nrows(), batch, workers)),
+                Some(xct_sparse::dot_batch_plan(ops.a.ncols(), batch, workers)),
+            )
+        } else {
+            (None, None)
+        };
         PooledPlans {
             forward,
             back,
             dot_rows: xct_sparse::dot_plan(ops.a.nrows(), workers),
             dot_cols: xct_sparse::dot_plan(ops.a.ncols(), workers),
+            batch,
+            dot_rows_batch,
+            dot_cols_batch,
         }
     }
 
@@ -522,14 +671,26 @@ impl PooledPlans {
         &self.back
     }
 
+    /// Batch width the batched dot plans cover (1 = scalar only).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
     /// Every plan with its name, for validation sweeps.
-    pub fn all(&self) -> [(&'static str, &ExecPlan); 4] {
-        [
+    pub fn all(&self) -> Vec<(&'static str, &ExecPlan)> {
+        let mut plans = vec![
             ("exec(forward)", &self.forward),
             ("exec(back)", &self.back),
             ("exec(dot/rows)", &self.dot_rows),
             ("exec(dot/cols)", &self.dot_cols),
-        ]
+        ];
+        if let Some(p) = &self.dot_rows_batch {
+            plans.push(("exec(dot/rows/batch)", p));
+        }
+        if let Some(p) = &self.dot_cols_batch {
+            plans.push(("exec(dot/cols/batch)", p));
+        }
+        plans
     }
 }
 
@@ -598,7 +759,10 @@ impl<'a> PooledOperator<'a> {
         };
         let nrows = ops.a.nrows();
         let ncols = ops.a.ncols();
-        let slots = xct_sparse::dot_chunks(nrows).max(xct_sparse::dot_chunks(ncols));
+        // Scratch sized for the widest dot this operator can run: the
+        // batched plans (when present) need `chunks × batch` partials.
+        let slots =
+            xct_sparse::dot_chunks(nrows).max(xct_sparse::dot_chunks(ncols)) * plans.batch.max(1);
         PooledOperator {
             backend,
             pool,
@@ -663,6 +827,48 @@ impl ProjectionOperator for PooledOperator<'_> {
         };
         self.meter.record(t, nnz, bytes);
     }
+    fn forward_batch_into(&self, x: &[f32], y: &mut [f32], batch: usize) {
+        if batch == 1 {
+            return self.forward_into(x, y); // keep spmv/* counter parity
+        }
+        let t = self.meter.start();
+        let (nnz, bytes) = match self.backend {
+            PooledBackend::Csr { a, .. } => {
+                xct_sparse::spmm_pooled_into(a, x, y, batch, &self.plans.forward, self.pool);
+                (a.nnz() as u64, a.regular_bytes())
+            }
+            PooledBackend::Buffered { a, .. } => {
+                a.spmm_pooled_into(x, y, batch, &self.plans.forward, self.pool);
+                (a.nnz() as u64, a.regular_bytes())
+            }
+            PooledBackend::Ell { a, .. } => {
+                a.spmm_pooled_into(x, y, batch, &self.plans.forward, self.pool);
+                (a.nnz() as u64, a.regular_bytes())
+            }
+        };
+        self.meter.record_spmm(t, nnz, bytes, batch);
+    }
+    fn back_batch_into(&self, y: &[f32], x: &mut [f32], batch: usize) {
+        if batch == 1 {
+            return self.back_into(y, x);
+        }
+        let t = self.meter.start();
+        let (nnz, bytes) = match self.backend {
+            PooledBackend::Csr { at, .. } => {
+                xct_sparse::spmm_pooled_into(at, y, x, batch, &self.plans.back, self.pool);
+                (at.nnz() as u64, at.regular_bytes())
+            }
+            PooledBackend::Buffered { at, .. } => {
+                at.spmm_pooled_into(y, x, batch, &self.plans.back, self.pool);
+                (at.nnz() as u64, at.regular_bytes())
+            }
+            PooledBackend::Ell { at, .. } => {
+                at.spmm_pooled_into(y, x, batch, &self.plans.back, self.pool);
+                (at.nnz() as u64, at.regular_bytes())
+            }
+        };
+        self.meter.record_spmm(t, nnz, bytes, batch);
+    }
     fn local_dot(&self, a: &[f32], b: &[f32]) -> f64 {
         let plan = if a.len() == self.nrows {
             &self.plans.dot_rows
@@ -676,6 +882,36 @@ impl ProjectionOperator for PooledOperator<'_> {
         let mut scratch = self.dot_scratch.borrow_mut();
         let slots = xct_sparse::dot_chunks(a.len());
         xct_sparse::dot_f64_pooled(self.pool, plan, a, b, &mut scratch[..slots])
+    }
+    fn local_dot_batch(&self, a: &[f32], b: &[f32], out: &mut [f64]) {
+        let k = out.len();
+        if k == 0 || !a.len().is_multiple_of(k) {
+            return;
+        }
+        if k == 1 {
+            out[0] = self.local_dot(a, b);
+            return;
+        }
+        let len = a.len() / k;
+        let plan = if k == self.plans.batch && len == self.nrows {
+            self.plans.dot_rows_batch.as_ref()
+        } else if k == self.plans.batch && len == self.ncols {
+            self.plans.dot_cols_batch.as_ref()
+        } else {
+            None
+        };
+        let Some(plan) = plan else {
+            // No precomputed batched plan at this width/length — fall
+            // back to the per-slice pooled dots (still deterministic and
+            // bit-identical per slice).
+            for (j, o) in out.iter_mut().enumerate() {
+                *o = self.local_dot(&a[j * len..(j + 1) * len], &b[j * len..(j + 1) * len]);
+            }
+            return;
+        };
+        let mut scratch = self.dot_scratch.borrow_mut();
+        let slots = xct_sparse::dot_chunks(len) * k;
+        xct_sparse::dot_f64_batched_pooled(self.pool, plan, a, b, k, &mut scratch[..slots], out);
     }
     fn breakdown(&self) -> Option<KernelBreakdown> {
         self.meter.breakdown()

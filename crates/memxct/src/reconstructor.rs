@@ -22,6 +22,19 @@ use xct_geometry::{Grid, ScanGeometry, Sinogram};
 use xct_obs::{Metrics, MetricsSnapshot};
 use xct_runtime::{CheckpointSink, CommConfig, FaultPlan, FileCheckpointSink, WorkerPool};
 
+/// Result of a batched reconstruction: one image and record list per
+/// slice, in the order the sinograms were supplied.
+pub struct BatchOutput {
+    /// Reconstructed tomograms, each row-major `n × n`.
+    pub images: Vec<Vec<f32>>,
+    /// Per-slice iteration records. A slice that terminated early (or
+    /// hit a CG breakdown) has a shorter list than its batch-mates.
+    pub slice_records: Vec<Vec<IterationRecord>>,
+    /// Per-kernel time spent inside the projection operator, shared
+    /// across the whole batch (the matrix is streamed once per SpMM).
+    pub breakdown: KernelBreakdown,
+}
+
 /// Result of a reconstruction: the image plus convergence records.
 pub struct ReconOutput {
     /// Reconstructed tomogram, row-major `n × n`.
@@ -68,6 +81,7 @@ pub struct ReconstructorBuilder {
     validate: bool,
     use_pool: bool,
     pool_threads: Option<usize>,
+    batch: usize,
     ft: FaultTolerance,
 }
 
@@ -84,6 +98,7 @@ impl ReconstructorBuilder {
             validate: false,
             use_pool: false,
             pool_threads: None,
+            batch: 1,
             ft: FaultTolerance::disabled(),
         }
     }
@@ -165,6 +180,19 @@ impl ReconstructorBuilder {
     /// parallelism.
     pub fn pool_threads(mut self, threads: usize) -> Self {
         self.pool_threads = Some(threads);
+        self
+    }
+
+    /// Solve `batch` slices per engine run (default 1). Each SpMV becomes
+    /// an SpMM that streams the matrix once for all `batch` right-hand
+    /// sides, amortizing the memory traffic that dominates the kernels.
+    /// Batched reconstructors solve through
+    /// [`Reconstructor::try_reconstruct_cg_batch`] /
+    /// [`Reconstructor::try_reconstruct_sirt_batch`] (the single-slice
+    /// entry points return [`BuildError::BatchWidth`]); column `j` of a
+    /// batched solve is bit-identical to solving slice `j` alone.
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
         self
     }
 
@@ -264,11 +292,14 @@ impl ReconstructorBuilder {
             None if self.config.build_buffered => Kernel::Buffered,
             None => Kernel::Parallel,
         };
+        if self.batch == 0 {
+            return Err(BuildError::ZeroBatch);
+        }
         let metrics = self.metrics.unwrap_or_else(Metrics::collecting);
         let ops = try_preprocess_with_metrics(self.grid, self.scan, &self.config, &metrics)?;
         let exec = if self.use_pool {
             let threads = self.pool_threads.unwrap_or_else(xct_runtime::env_threads);
-            let plans = PooledPlans::new(&ops, kernel, threads);
+            let plans = PooledPlans::new_batched(&ops, kernel, threads, self.batch);
             metrics.gauge_set(POOL_IMBALANCE_FORWARD, plans.forward().imbalance());
             metrics.gauge_set(POOL_IMBALANCE_BACK, plans.back().imbalance());
             Some(ExecContext {
@@ -292,8 +323,9 @@ impl ReconstructorBuilder {
             kernel,
             metrics,
             exec,
+            batch: self.batch,
             ft: self.ft,
-            workspace: Mutex::new(SolverWorkspace::new(0, 0)),
+            workspace: Mutex::new(SolverWorkspace::new_batched(0, 0, self.batch)),
         })
     }
 }
@@ -333,6 +365,8 @@ pub struct Reconstructor {
     metrics: Metrics,
     /// Persistent pool + static plans when built with `use_pool(true)`.
     exec: Option<ExecContext>,
+    /// Slices per engine run (SpMM width); 1 = the single-slice paths.
+    batch: usize,
     /// Fault-tolerance policy: checkpoint cadence/sink, resume, chaos
     /// plan, collective deadlines, restart budget.
     ft: FaultTolerance,
@@ -403,6 +437,11 @@ impl Reconstructor {
         self.kernel
     }
 
+    /// How many slices each engine run solves (the SpMM width).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
     /// Snapshot of everything recorded so far: preprocessing phase
     /// timings, per-kernel SpMV counters, per-iteration solver series, and
     /// (after distributed runs) the communication matrix. Empty when the
@@ -441,18 +480,19 @@ impl Reconstructor {
 
     /// Run one solve through the engine: pooled operator when the
     /// reconstructor was built with `use_pool(true)`, plain kernel
-    /// operator otherwise, always inside the persistent workspace. With a
-    /// checkpoint sink configured the solve resumes from the latest
-    /// snapshot (when [`ReconstructorBuilder::resume`] is on) and saves
-    /// one at the configured cadence; without one this is the historical
-    /// unfaulted path.
+    /// operator otherwise, always inside the persistent workspace. The
+    /// measurement slab `y` holds `batch` slice-major blocks of ordered
+    /// sinogram data. With a checkpoint sink configured the solve resumes
+    /// from the latest snapshot (when [`ReconstructorBuilder::resume`] is
+    /// on) and saves one at the configured cadence; without one this is
+    /// the historical unfaulted path.
     fn run_solver(
         &self,
         y: &[f32],
         rule: &mut dyn UpdateRule,
         constraint: Constraint,
         stop: StopRule,
-    ) -> Result<ReconOutput, BuildError> {
+    ) -> Result<BatchOutput, BuildError> {
         let op: Box<dyn ProjectionOperator + '_> = match &self.exec {
             Some(exec) => Box::new(
                 PooledOperator::new(&self.ops, self.kernel, &exec.plans, &exec.pool)
@@ -467,22 +507,32 @@ impl Reconstructor {
         let ncols = self.ops.a.ncols();
         let plan_hash = checkpoint::plan_fingerprint(&self.ops);
         let resume_point = match &self.ft.sink {
-            Some(sink) if self.ft.resume => {
-                checkpoint::load_state(sink.as_ref(), 0, plan_hash, stop.max_iters(), nrows, ncols)?
-                    .map(|st| {
-                        ws.resume(
-                            nrows,
-                            ncols,
-                            stop.max_iters(),
-                            &st.x,
-                            &st.resid,
-                            &st.dir,
-                            st.records,
-                        );
-                        rule.restore_scalars(&st.scalars);
-                        (st.iteration, st.prev_res)
-                    })
-            }
+            Some(sink) if self.ft.resume => checkpoint::load_state(
+                sink.as_ref(),
+                0,
+                plan_hash,
+                stop.max_iters(),
+                nrows,
+                ncols,
+                self.batch,
+            )?
+            .map(|st| {
+                // validate_snapshot already rejected any width mismatch.
+                debug_assert_eq!(st.batch, self.batch);
+                ws.resume_batched(
+                    nrows,
+                    ncols,
+                    stop.max_iters(),
+                    &st.x,
+                    &st.resid,
+                    &st.dir,
+                    st.slice_records,
+                    &st.prev_res,
+                    &st.active,
+                );
+                rule.restore_scalars(&st.scalars);
+                st.iteration
+            }),
             _ => None,
         };
         let every = if self.ft.sink.is_some() {
@@ -499,32 +549,87 @@ impl Reconstructor {
             &self.metrics,
             &mut ws,
             resume_point,
-            |next_iter, prev_res, ws, rule| {
+            |next_iter, ws, rule| {
                 if every == 0 || next_iter % every != 0 {
                     return Ok(());
                 }
                 let Some(sink) = &self.ft.sink else {
                     return Ok(());
                 };
-                let snap = checkpoint::encode_state(
+                let snap = checkpoint::encode_state_batched(
                     plan_hash,
                     next_iter,
-                    prev_res,
+                    ws.batch(),
+                    ws.prev_res(),
                     ws.x(),
                     ws.resid(),
                     ws.dir(),
-                    ws.records(),
-                    &rule.carried_scalars(),
+                    ws.active(),
+                    ws.slice_records(),
+                    &rule.carried_scalars_in(ws),
                 );
                 sink.save(0, &snap.encode())
             },
         )
         .map_err(BuildError::Checkpoint)?;
-        Ok(ReconOutput {
-            image: self.ops.unorder_tomogram(ws.x()),
-            records: ws.records().to_vec(),
+        let images = ws
+            .x()
+            .chunks_exact(ncols.max(1))
+            .map(|slice| self.ops.unorder_tomogram(slice))
+            .collect();
+        Ok(BatchOutput {
+            images,
+            slice_records: ws.slice_records().to_vec(),
             breakdown: op.breakdown().unwrap_or_default(),
         })
+    }
+
+    /// Shim for the single-slice entry points: run the solver at batch
+    /// width 1 and unwrap slice 0.
+    fn run_solver_single(
+        &self,
+        y: &[f32],
+        rule: &mut dyn UpdateRule,
+        constraint: Constraint,
+        stop: StopRule,
+    ) -> Result<ReconOutput, BuildError> {
+        if self.batch != 1 {
+            return Err(BuildError::BatchWidth {
+                expected: self.batch,
+                got: 1,
+            });
+        }
+        let mut out = self.run_solver(y, rule, constraint, stop)?;
+        Ok(ReconOutput {
+            image: if out.images.is_empty() {
+                Vec::new()
+            } else {
+                out.images.swap_remove(0)
+            },
+            records: if out.slice_records.is_empty() {
+                Vec::new()
+            } else {
+                out.slice_records.swap_remove(0)
+            },
+            breakdown: out.breakdown,
+        })
+    }
+
+    /// Order a batch of sinograms into one slice-major measurement slab.
+    fn order_batch(&self, sinos: &[Sinogram]) -> Result<Vec<f32>, BuildError> {
+        if sinos.len() != self.batch {
+            return Err(BuildError::BatchWidth {
+                expected: self.batch,
+                got: sinos.len(),
+            });
+        }
+        let nrows = self.ops.a.nrows();
+        let mut y = Vec::with_capacity(self.batch * nrows);
+        for sino in sinos {
+            self.check_sinogram(sino)?;
+            y.extend_from_slice(&self.ops.order_sinogram(sino));
+        }
+        Ok(y)
     }
 
     /// Fallible [`Reconstructor::reconstruct_cg`].
@@ -535,7 +640,40 @@ impl Reconstructor {
     ) -> Result<ReconOutput, BuildError> {
         self.check_sinogram(sino)?;
         let y = self.ops.order_sinogram(sino);
+        self.run_solver_single(&y, &mut CgRule::new(), Constraint::None, stop)
+    }
+
+    /// Reconstruct `batch` slices in one engine run with CG. Requires the
+    /// reconstructor to have been built with
+    /// [`ReconstructorBuilder::batch`] matching `sinos.len()`; every SpMV
+    /// becomes an SpMM streaming the matrix once for the whole batch.
+    /// Column `j` of the result is bit-identical to reconstructing
+    /// `sinos[j]` alone, and per-slice stopping rules retire converged
+    /// slices while the rest keep iterating.
+    pub fn try_reconstruct_cg_batch(
+        &self,
+        sinos: &[Sinogram],
+        stop: StopRule,
+    ) -> Result<BatchOutput, BuildError> {
+        let y = self.order_batch(sinos)?;
         self.run_solver(&y, &mut CgRule::new(), Constraint::None, stop)
+    }
+
+    /// Batched [`Reconstructor::try_reconstruct_sirt`]; see
+    /// [`Reconstructor::try_reconstruct_cg_batch`] for the batch
+    /// semantics.
+    pub fn try_reconstruct_sirt_batch(
+        &self,
+        sinos: &[Sinogram],
+        iters: usize,
+    ) -> Result<BatchOutput, BuildError> {
+        let y = self.order_batch(sinos)?;
+        self.run_solver(
+            &y,
+            &mut SirtRule::new(1.0),
+            Constraint::None,
+            StopRule::Fixed(iters),
+        )
     }
 
     /// Reconstruct one slice with SIRT (for baseline comparisons).
@@ -559,7 +697,7 @@ impl Reconstructor {
     ) -> Result<ReconOutput, BuildError> {
         self.check_sinogram(sino)?;
         let y = self.ops.order_sinogram(sino);
-        self.run_solver(
+        self.run_solver_single(
             &y,
             &mut SirtRule::new(1.0),
             Constraint::None,
@@ -604,6 +742,14 @@ impl Reconstructor {
         config: &DistConfig,
         ft: &FaultTolerance,
     ) -> Result<DistOutput, BuildError> {
+        // The distributed halo-exchange path is single-slice; a batched
+        // reconstructor must not silently solve one slice of its batch.
+        if self.batch != 1 {
+            return Err(BuildError::BatchWidth {
+                expected: self.batch,
+                got: 1,
+            });
+        }
         self.check_sinogram(sino)?;
         let y = self.ops.order_sinogram(sino);
         try_reconstruct_distributed_ft(&self.ops, &y, config, ft, &self.metrics)
@@ -617,15 +763,41 @@ impl Reconstructor {
     /// Reconstruct a whole slice stack with CG, reusing the preprocessed
     /// operators for every slice — the amortization that makes Table 5's
     /// "All Slices" economics work ("the preprocessing cost is paid only
-    /// once for the first slice").
+    /// once for the first slice"). A reconstructor built with
+    /// [`ReconstructorBuilder::batch`] `> 1` solves the stack in groups
+    /// of `batch` slices per engine run (SpMM), padding a short tail
+    /// group with clones of its last sinogram and discarding the padded
+    /// outputs; each slice in a group is attributed an equal share of the
+    /// group's wall-clock time.
     pub fn reconstruct_volume(&self, sinos: &[Sinogram], stop: StopRule) -> VolumeOutput {
         let mut images = Vec::with_capacity(sinos.len());
         let mut per_slice_seconds = Vec::with_capacity(sinos.len());
-        for sino in sinos {
-            let t = std::time::Instant::now();
-            let out = self.reconstruct_cg(sino, stop);
-            per_slice_seconds.push(t.elapsed().as_secs_f64());
-            images.push(out.image);
+        if self.batch == 1 {
+            for sino in sinos {
+                let t = std::time::Instant::now();
+                let out = self.reconstruct_cg(sino, stop);
+                per_slice_seconds.push(t.elapsed().as_secs_f64());
+                images.push(out.image);
+            }
+        } else {
+            for group in sinos.chunks(self.batch) {
+                let mut padded: Vec<Sinogram> = group.to_vec();
+                while padded.len() < self.batch {
+                    // lint: allow(no-panic) chunks() yields non-empty groups
+                    padded.push(padded.last().unwrap().clone());
+                }
+                let t = std::time::Instant::now();
+                let out = match self.try_reconstruct_cg_batch(&padded, stop) {
+                    Ok(out) => out,
+                    // lint: allow(no-panic) documented panicking shim over the try_ API
+                    Err(e) => panic!("invalid reconstruction input: {e}"),
+                };
+                let share = t.elapsed().as_secs_f64() / group.len() as f64;
+                for image in out.images.into_iter().take(group.len()) {
+                    images.push(image);
+                    per_slice_seconds.push(share);
+                }
+            }
         }
         VolumeOutput {
             images,

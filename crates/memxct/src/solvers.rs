@@ -80,49 +80,99 @@ pub enum Constraint {
 }
 
 /// Preallocated solver state: the iterate, every intermediate vector the
-/// update rules need, and the record list — sized once, reused across
+/// update rules need, and the record lists — sized once, reused across
 /// iterations (and across solves, via [`run_engine_in`]).
 ///
 /// This is what makes the steady-state iteration loop allocation-free:
 /// `q = A·p` and `s = Aᵀ·r` land in preallocated buffers through the
 /// operator's `*_into` kernels, vector updates happen in place, and the
-/// record list's capacity is reserved up front from the stop rule's
+/// record lists' capacity is reserved up front from the stop rule's
 /// iteration cap.
+///
+/// A workspace carries a fixed **batch width** `k` (1 by default): every
+/// domain buffer is a slice-major slab of `k` contiguous blocks, so slice
+/// `j` of the iterate occupies `x[j·ncols .. (j+1)·ncols]`. Batched
+/// solves advance all slices together — the operator streams the matrix
+/// once per `k` right-hand sides — while convergence records, the
+/// early-termination reference residual, and the active flag stay
+/// per-slice, so one slice can retire (early termination or numerical
+/// breakdown) without stopping the rest of the batch.
 pub struct SolverWorkspace {
-    /// The iterate (tomogram domain, `ncols`).
+    /// Batch width `k`, fixed at construction.
+    batch: usize,
+    /// The iterate (tomogram domain, `k × ncols`, slice-major).
     x: Vec<f32>,
-    /// Sinogram-domain residual (`r` in CG, `y − A·x` in SIRT).
+    /// Sinogram-domain residual (`r` in CG, `y − A·x` in SIRT),
+    /// `k × nrows`.
     resid: Vec<f32>,
-    /// Projection output (`q = A·p` in CG), sinogram domain.
+    /// Projection output (`q = A·p` in CG), sinogram domain, `k × nrows`.
     proj: Vec<f32>,
-    /// Backprojection output (`s = Aᵀ·r` in CG, the update in SIRT).
+    /// Backprojection output (`s = Aᵀ·r` in CG, the update in SIRT),
+    /// `k × ncols`.
     back: Vec<f32>,
-    /// Search direction (`p` in CG), tomogram domain.
+    /// Search direction (`p` in CG), tomogram domain, `k × ncols`.
     dir: Vec<f32>,
-    /// Per-iteration convergence records.
-    records: Vec<IterationRecord>,
+    /// Per-slice per-iteration convergence records.
+    slice_records: Vec<Vec<IterationRecord>>,
+    /// Per-slice early-termination reference residuals.
+    prev_res: Vec<f64>,
+    /// Per-slice activity flags; a retired slice is never updated again.
+    active: Vec<bool>,
+    /// Per-slice residual returns of the current batched step
+    /// (`NaN` = numerical breakdown). Taken/restored by the engine around
+    /// each `step_batch` call so the rule can borrow the workspace too.
+    step_res: Vec<f64>,
+    /// `3·k` slots of per-slice f64 scratch: `[..k]` is shared by the
+    /// engine (solution norms) and the update rules (step-size
+    /// reductions), `[k..2k]` is rule auxiliary space, and `[2k..3k]`
+    /// holds CG's carried per-slice `γ` so a steady-state batched solve
+    /// never touches the allocator.
+    scratch: Vec<f64>,
 }
 
 impl SolverWorkspace {
     /// A workspace for an `nrows × ncols` operator, all buffers
-    /// allocated up front.
+    /// allocated up front (batch width 1).
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        SolverWorkspace {
-            x: vec![0f32; ncols],
-            resid: vec![0f32; nrows],
-            proj: vec![0f32; nrows],
-            back: vec![0f32; ncols],
-            dir: vec![0f32; ncols],
-            records: Vec::new(),
-        }
+        SolverWorkspace::new_batched(nrows, ncols, 1)
     }
 
-    /// A workspace sized for `op`.
+    /// A workspace solving `batch` right-hand sides together, slice-major.
+    ///
+    /// # Panics
+    /// Panics if `batch` is zero.
+    pub fn new_batched(nrows: usize, ncols: usize, batch: usize) -> Self {
+        // lint: allow(no-panic) documented parameter precondition
+        assert!(batch > 0, "batch width must be positive");
+        let mut ws = SolverWorkspace {
+            batch,
+            x: Vec::new(),
+            resid: Vec::new(),
+            proj: Vec::new(),
+            back: Vec::new(),
+            dir: Vec::new(),
+            slice_records: Vec::new(),
+            prev_res: Vec::new(),
+            active: Vec::new(),
+            step_res: Vec::new(),
+            scratch: Vec::new(),
+        };
+        ws.begin(nrows, ncols, 0);
+        ws
+    }
+
+    /// A workspace sized for `op` (batch width 1).
     pub fn for_operator(op: &dyn ProjectionOperator) -> Self {
         SolverWorkspace::new(op.nrows(), op.ncols())
     }
 
-    /// The solution after a solve.
+    /// The batch width this workspace was built for.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The solution slab after a solve: `batch` slice-major blocks of
+    /// `ncols` elements each.
     pub fn x(&self) -> &[f32] {
         &self.x
     }
@@ -133,27 +183,46 @@ impl SolverWorkspace {
         &mut self.x
     }
 
-    /// The per-iteration records of the last solve.
+    /// The per-iteration records of the last solve (slice 0 of a batched
+    /// solve).
     pub fn records(&self) -> &[IterationRecord] {
-        &self.records
+        self.slice_records.first().map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// The sinogram-domain residual (`r` in CG) — part of the state a
-    /// checkpoint must capture for a bit-identical resume.
+    /// Per-slice per-iteration records of the last solve; a slice retired
+    /// early has fewer entries than the others.
+    pub fn slice_records(&self) -> &[Vec<IterationRecord>] {
+        &self.slice_records
+    }
+
+    /// The sinogram-domain residual slab (`r` in CG) — part of the state
+    /// a checkpoint must capture for a bit-identical resume.
     pub(crate) fn resid(&self) -> &[f32] {
         &self.resid
     }
 
-    /// The search direction (`p` in CG) — the other carried CG vector.
+    /// The search direction slab (`p` in CG) — the other carried CG
+    /// vector.
     pub(crate) fn dir(&self) -> &[f32] {
         &self.dir
     }
 
+    /// Per-slice early-termination reference residuals.
+    pub(crate) fn prev_res(&self) -> &[f64] {
+        &self.prev_res
+    }
+
+    /// Per-slice activity flags.
+    pub(crate) fn active(&self) -> &[bool] {
+        &self.active
+    }
+
     /// Restore the workspace to a mid-solve state loaded from a
     /// checkpoint: size every buffer like [`begin`](Self::begin), then
-    /// overwrite the carried vectors (`x`, `resid`, `dir`) and the record
-    /// list. `proj`/`back` are scratch — both update rules overwrite them
-    /// before reading — so zeroing them preserves bit-identity.
+    /// overwrite the carried vectors (`x`, `resid`, `dir`), the record
+    /// list, and the early-termination reference. `proj`/`back` are
+    /// scratch — both update rules overwrite them before reading — so
+    /// zeroing them preserves bit-identity.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn resume(
         &mut self,
@@ -164,15 +233,54 @@ impl SolverWorkspace {
         resid: &[f32],
         dir: &[f32],
         records: Vec<IterationRecord>,
+        prev_res: f64,
+    ) {
+        self.resume_batched(
+            nrows,
+            ncols,
+            cap,
+            x,
+            resid,
+            dir,
+            vec![records],
+            &[prev_res],
+            &[true],
+        );
+    }
+
+    /// Batched [`resume`](Self::resume): restore the slice-major slabs
+    /// plus the per-slice record lists, reference residuals, and activity
+    /// flags. Slices beyond the supplied lists stay at their `begin`
+    /// defaults.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn resume_batched(
+        &mut self,
+        nrows: usize,
+        ncols: usize,
+        cap: usize,
+        x: &[f32],
+        resid: &[f32],
+        dir: &[f32],
+        slice_records: Vec<Vec<IterationRecord>>,
+        prev_res: &[f64],
+        active: &[bool],
     ) {
         self.begin(nrows, ncols, cap);
         self.x.copy_from_slice(x);
         self.resid.copy_from_slice(resid);
         self.dir.copy_from_slice(dir);
-        self.records = records;
-        if self.records.capacity() < cap {
-            let extra = cap - self.records.capacity();
-            self.records.reserve(extra);
+        for (j, recs) in slice_records.into_iter().enumerate().take(self.batch) {
+            self.slice_records[j] = recs;
+            if self.slice_records[j].capacity() < cap {
+                let extra = cap - self.slice_records[j].capacity();
+                self.slice_records[j].reserve(extra);
+            }
+        }
+        for (dst, &src) in self.prev_res.iter_mut().zip(prev_res) {
+            *dst = src;
+        }
+        for (dst, &src) in self.active.iter_mut().zip(active) {
+            *dst = src;
         }
     }
 
@@ -181,20 +289,32 @@ impl SolverWorkspace {
     /// records and reserve their capacity. After the first solve at a
     /// given size this performs no allocation.
     fn begin(&mut self, nrows: usize, ncols: usize, cap: usize) {
+        let k = self.batch;
         self.x.clear();
-        self.x.resize(ncols, 0.0);
+        self.x.resize(ncols * k, 0.0);
         self.resid.clear();
-        self.resid.resize(nrows, 0.0);
+        self.resid.resize(nrows * k, 0.0);
         self.proj.clear();
-        self.proj.resize(nrows, 0.0);
+        self.proj.resize(nrows * k, 0.0);
         self.back.clear();
-        self.back.resize(ncols, 0.0);
+        self.back.resize(ncols * k, 0.0);
         self.dir.clear();
-        self.dir.resize(ncols, 0.0);
-        self.records.clear();
-        if self.records.capacity() < cap {
-            self.records.reserve(cap - self.records.capacity());
+        self.dir.resize(ncols * k, 0.0);
+        self.slice_records.resize_with(k, Vec::new);
+        for recs in self.slice_records.iter_mut() {
+            recs.clear();
+            if recs.capacity() < cap {
+                recs.reserve(cap - recs.capacity());
+            }
         }
+        self.prev_res.clear();
+        self.prev_res.resize(k, f64::INFINITY);
+        self.active.clear();
+        self.active.resize(k, true);
+        self.step_res.clear();
+        self.step_res.resize(k, f64::NAN);
+        self.scratch.clear();
+        self.scratch.resize(3 * k, 0.0);
     }
 }
 
@@ -225,6 +345,44 @@ pub trait UpdateRule {
     /// default empty vector; CG returns `γ`.
     fn carried_scalars(&self) -> Vec<f64> {
         Vec::new()
+    }
+
+    /// [`carried_scalars`](Self::carried_scalars) with access to the
+    /// workspace, for rules whose batched carried state lives in the
+    /// workspace scratch rather than in the rule (keeping the batched
+    /// steady state allocation-free). Checkpoint writers call this
+    /// variant; the default ignores the workspace.
+    fn carried_scalars_in(&self, ws: &SolverWorkspace) -> Vec<f64> {
+        let _ = ws;
+        self.carried_scalars()
+    }
+
+    /// Advance every active slice of a batched workspace by one
+    /// iteration against the slice-major measurement slab `y`
+    /// (`ws.batch() × nrows`). `res` has `ws.batch()` slots pre-filled
+    /// with NaN; the rule writes the residual norm of each slice it
+    /// successfully advanced and leaves NaN where a slice broke down
+    /// numerically (the engine retires that slice without recording the
+    /// iteration). Retired slices (`ws.active()[j] == false`) must not be
+    /// advanced.
+    ///
+    /// The default implementation only supports batch width 1, where it
+    /// delegates to [`step`](UpdateRule::step); rules that support wider
+    /// batches override it. The engine only calls this for workspaces
+    /// with `batch() > 1`.
+    fn step_batch(
+        &mut self,
+        op: &dyn ProjectionOperator,
+        y: &[f32],
+        ws: &mut SolverWorkspace,
+        res: &mut [f64],
+    ) {
+        if res.len() != 1 {
+            return; // unsupported width: every slot stays NaN → all retire
+        }
+        if let (Some(r), Some(slot)) = (self.step(op, y, ws), res.first_mut()) {
+            *slot = r;
+        }
     }
 
     /// Restore the scalars of [`carried_scalars`](Self::carried_scalars)
@@ -271,7 +429,8 @@ pub fn run_engine_with_metrics<R: UpdateRule + ?Sized>(
 ) -> (Vec<f32>, Vec<IterationRecord>) {
     let mut ws = SolverWorkspace::for_operator(op);
     run_engine_in(op, y, rule, constraint, stop, metrics, &mut ws);
-    (ws.x, ws.records)
+    let records = ws.slice_records.pop().unwrap_or_default();
+    (ws.x, records)
 }
 
 /// The allocation-free engine entry point: run a solve inside a
@@ -306,17 +465,63 @@ pub fn run_engine_in<R: UpdateRule + ?Sized>(
         metrics,
         ws,
         None,
-        |_, _, _, _| Ok(()),
+        |_, _, _| Ok(()),
     );
 }
 
+/// Batched [`run_engine_in`]: the workspace's batch width picks the
+/// batched loop, `y` is the slice-major measurement slab
+/// (`ws.batch() × nrows`). Identical to [`run_engine_in`] — the alias
+/// exists so batched call sites say what they mean.
+pub fn run_engine_batched_in<R: UpdateRule + ?Sized>(
+    op: &dyn ProjectionOperator,
+    y: &[f32],
+    rule: &mut R,
+    constraint: Constraint,
+    stop: StopRule,
+    metrics: &Metrics,
+    ws: &mut SolverWorkspace,
+) {
+    run_engine_in(op, y, rule, constraint, stop, metrics, ws);
+}
+
+/// Allocating convenience over [`run_engine_batched_in`]: solve `batch`
+/// right-hand sides together (slice-major slab `y`) and return per-slice
+/// images and convergence records. A slice that terminates early (or
+/// breaks down) retires without stopping the rest of the batch, so its
+/// record list may be shorter than the others.
+pub fn run_engine_batched<R: UpdateRule + ?Sized>(
+    op: &dyn ProjectionOperator,
+    y: &[f32],
+    rule: &mut R,
+    constraint: Constraint,
+    stop: StopRule,
+    batch: usize,
+) -> (Vec<Vec<f32>>, Vec<Vec<IterationRecord>>) {
+    let mut ws = SolverWorkspace::new_batched(op.nrows(), op.ncols(), batch);
+    run_engine_batched_in(op, y, rule, constraint, stop, &Metrics::noop(), &mut ws);
+    let n = op.ncols();
+    let images = (0..batch)
+        .map(|j| ws.x[j * n..(j + 1) * n].to_vec())
+        .collect();
+    (images, ws.slice_records)
+}
+
 /// The engine loop shared by the plain and the checkpointing entry
-/// points. `resume` carries `(start_iteration, prev_res)` when the caller
-/// pre-restored the workspace and rule from a snapshot; `after` runs
-/// between iterations (after iteration `next_iter − 1` committed its
-/// record) and is where checkpoints are taken — its error aborts the
-/// solve. With `resume = None` and a no-op observer this is bit-identical
-/// to the historical loop.
+/// points. `resume` carries the start iteration when the caller
+/// pre-restored the workspace (including per-slice `prev_res`/activity)
+/// and the rule from a snapshot; `after` runs between iterations (after
+/// iteration `next_iter − 1` committed its records) and is where
+/// checkpoints are taken — its error aborts the solve. With
+/// `resume = None` and a no-op observer the batch-1 branch is
+/// bit-identical to the historical scalar loop.
+///
+/// The batched branch (`ws.batch() > 1`) advances all active slices per
+/// iteration via [`UpdateRule::step_batch`], retires slices individually
+/// on early termination (record kept) or numerical breakdown (NaN
+/// residual, no record), and stops when every slice has retired or the
+/// cap is reached. The gauge `solver/early_terminated` then carries the
+/// *count* of early-terminated slices.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_engine_core<R, F>(
     op: &dyn ProjectionOperator,
@@ -326,56 +531,130 @@ pub(crate) fn run_engine_core<R, F>(
     stop: StopRule,
     metrics: &Metrics,
     ws: &mut SolverWorkspace,
-    resume: Option<(usize, f64)>,
+    resume: Option<usize>,
     mut after: F,
 ) -> Result<(), xct_runtime::CheckpointError>
 where
     R: UpdateRule + ?Sized,
-    F: FnMut(usize, f64, &SolverWorkspace, &R) -> Result<(), xct_runtime::CheckpointError>,
+    F: FnMut(usize, &SolverWorkspace, &R) -> Result<(), xct_runtime::CheckpointError>,
 {
-    let (start, mut prev_res) = match resume {
+    let start = match resume {
         // The caller restored ws (including records) and the rule.
-        Some((iteration, prev_res)) => (iteration, prev_res),
+        Some(iteration) => iteration,
         None => {
             ws.begin(op.nrows(), op.ncols(), stop.max_iters());
-            (0, f64::INFINITY)
+            0
         }
     };
-    let mut early = false;
+    if ws.batch == 1 {
+        let mut early = false;
+        for iter in start..stop.max_iters() {
+            let t0 = std::time::Instant::now();
+            let Some(res) = rule.step(op, y, ws) else {
+                break; // numerical breakdown (exact solution reached)
+            };
+            if constraint == Constraint::NonNegative {
+                for xi in ws.x.iter_mut() {
+                    *xi = xi.max(0.0);
+                }
+            }
+            let t_dot = metrics.enabled().then(std::time::Instant::now);
+            let sol = op.reduce_dot(op.local_dot(&ws.x, &ws.x)).sqrt();
+            if let Some(t) = t_dot {
+                metrics.timer_observe("solver/dot_s", t.elapsed().as_secs_f64());
+            }
+            let seconds = t0.elapsed().as_secs_f64();
+            metrics.series_push("solver/residual_norm", res);
+            metrics.series_push("solver/solution_norm", sol);
+            metrics.series_push("solver/iter_seconds", seconds);
+            metrics.counter_add("solver/iterations", 1);
+            ws.slice_records[0].push(IterationRecord {
+                iter,
+                residual_norm: res,
+                solution_norm: sol,
+                seconds,
+            });
+            if stop.should_stop(ws.prev_res[0], res) {
+                early = true;
+                break;
+            }
+            ws.prev_res[0] = res;
+            after(iter + 1, ws, &*rule)?;
+        }
+        metrics.gauge_set("solver/early_terminated", early as u64 as f64);
+        return Ok(());
+    }
+
+    let k = ws.batch;
+    let n = op.ncols();
+    let mut early_slices = 0usize;
     for iter in start..stop.max_iters() {
+        if !ws.active.iter().any(|&a| a) {
+            break; // every slice retired (e.g. resumed a finished batch)
+        }
         let t0 = std::time::Instant::now();
-        let Some(res) = rule.step(op, y, ws) else {
-            break; // numerical breakdown (exact solution reached)
-        };
+        // Take `step_res` out so the rule can borrow the workspace; NaN
+        // marks per-slice numerical breakdown.
+        let mut res = std::mem::take(&mut ws.step_res);
+        for r in res.iter_mut() {
+            *r = f64::NAN;
+        }
+        rule.step_batch(op, y, ws, &mut res);
+        ws.step_res = res;
         if constraint == Constraint::NonNegative {
-            for xi in ws.x.iter_mut() {
-                *xi = xi.max(0.0);
+            for j in 0..k {
+                if !ws.active[j] || ws.step_res[j].is_nan() {
+                    continue;
+                }
+                for xi in ws.x[j * n..(j + 1) * n].iter_mut() {
+                    *xi = xi.max(0.0);
+                }
             }
         }
         let t_dot = metrics.enabled().then(std::time::Instant::now);
-        let sol = op.reduce_dot(op.local_dot(&ws.x, &ws.x)).sqrt();
+        let (sol2, _) = ws.scratch.split_at_mut(k);
+        op.local_dot_batch(&ws.x, &ws.x, sol2);
         if let Some(t) = t_dot {
             metrics.timer_observe("solver/dot_s", t.elapsed().as_secs_f64());
         }
         let seconds = t0.elapsed().as_secs_f64();
-        metrics.series_push("solver/residual_norm", res);
-        metrics.series_push("solver/solution_norm", sol);
-        metrics.series_push("solver/iter_seconds", seconds);
         metrics.counter_add("solver/iterations", 1);
-        ws.records.push(IterationRecord {
-            iter,
-            residual_norm: res,
-            solution_norm: sol,
-            seconds,
-        });
-        if stop.should_stop(prev_res, res) {
-            early = true;
-            break;
+        let mut any_active = false;
+        for (j, &s2) in sol2.iter().enumerate() {
+            if !ws.active[j] {
+                continue;
+            }
+            let res = ws.step_res[j];
+            if res.is_nan() {
+                // Breakdown: exact solution reached; retire without a
+                // record, matching the scalar loop's break-before-record.
+                ws.active[j] = false;
+                continue;
+            }
+            let sol = op.reduce_dot(s2).sqrt();
+            metrics.series_push("solver/residual_norm", res);
+            metrics.series_push("solver/solution_norm", sol);
+            metrics.series_push("solver/iter_seconds", seconds);
+            ws.slice_records[j].push(IterationRecord {
+                iter,
+                residual_norm: res,
+                solution_norm: sol,
+                seconds,
+            });
+            if stop.should_stop(ws.prev_res[j], res) {
+                ws.active[j] = false;
+                early_slices += 1;
+                continue;
+            }
+            ws.prev_res[j] = res;
+            any_active = true;
         }
-        prev_res = res;
-        after(iter + 1, prev_res, ws, &*rule)?;
+        if !any_active {
+            break; // matches the scalar loop: no checkpoint after the end
+        }
+        after(iter + 1, ws, &*rule)?;
     }
-    metrics.gauge_set("solver/early_terminated", early as u64 as f64);
+    metrics.gauge_set("solver/early_terminated", early_slices as f64);
     Ok(())
 }
 
@@ -392,6 +671,15 @@ pub struct CgRule {
     /// `γ = ⟨s, s⟩` carried between iterations; `None` until the first
     /// step initializes the residual/direction vectors in the workspace.
     gamma: Option<f64>,
+    /// Per-slice `γ` restored from a checkpoint, staged here until the
+    /// first [`step_batch`](UpdateRule::step_batch) moves it into the
+    /// workspace scratch (`[2k..3k]`), where the live values stay so the
+    /// batched steady state never allocates. A scalar solve uses `gamma`.
+    gammas: Vec<f64>,
+    /// Whether the batched `γ` slots in the workspace scratch are live
+    /// (set by the first `step_batch`). A fresh rule must not trust the
+    /// stale scratch of a previously used workspace.
+    batched_started: bool,
 }
 
 impl CgRule {
@@ -400,6 +688,8 @@ impl CgRule {
         CgRule {
             lambda: 0.0,
             gamma: None,
+            gammas: Vec::new(),
+            batched_started: false,
         }
     }
 
@@ -411,6 +701,8 @@ impl CgRule {
         CgRule {
             lambda,
             gamma: None,
+            gammas: Vec::new(),
+            batched_started: false,
         }
     }
 }
@@ -474,15 +766,147 @@ impl UpdateRule for CgRule {
         Some(op.reduce_dot(op.local_dot(&ws.resid, &ws.resid)).sqrt())
     }
 
+    fn step_batch(
+        &mut self,
+        op: &dyn ProjectionOperator,
+        y: &[f32],
+        ws: &mut SolverWorkspace,
+        res: &mut [f64],
+    ) {
+        // Workspace roles match the scalar step: resid = r, back = s,
+        // dir = p, proj = q — each a slice-major slab. Retired and
+        // broken-down slices keep their vectors frozen; the matrix passes
+        // still cover their blocks (the SpMM streams the matrix once for
+        // the whole slab either way) and their results are ignored.
+        let k = ws.batch;
+        if res.len() != k {
+            return;
+        }
+        let n = op.ncols();
+        let m = op.nrows();
+        // Live per-slice state splits out of the workspace scratch:
+        // `qq`/`aux` are per-step temporaries, `gammas` persists across
+        // iterations (no rule-owned heap buffer → no steady-state
+        // allocation).
+        let (qq, rest) = ws.scratch.split_at_mut(k);
+        let (aux, gammas) = rest.split_at_mut(k);
+        if !self.batched_started {
+            if self.gammas.is_empty() {
+                // x = 0: residual is y, and the − λ·x term vanishes.
+                ws.resid.copy_from_slice(y);
+                op.back_batch_into(&ws.resid, &mut ws.back, k);
+                op.local_dot_batch(&ws.back, &ws.back, gammas);
+                for g in gammas.iter_mut() {
+                    *g = op.reduce_dot(*g);
+                }
+                ws.dir.copy_from_slice(&ws.back);
+            } else {
+                // Resuming: move the checkpointed γ into the live slots.
+                for (dst, &src) in gammas.iter_mut().zip(self.gammas.iter()) {
+                    *dst = src;
+                }
+            }
+            self.batched_started = true;
+        }
+        op.forward_batch_into(&ws.dir, &mut ws.proj, k);
+        op.local_dot_batch(&ws.proj, &ws.proj, qq);
+        if self.lambda != 0.0 {
+            op.local_dot_batch(&ws.dir, &ws.dir, aux);
+        }
+        // After this loop `qq[j]` holds the fully reduced curvature of
+        // slice j, or 0.0 for slices that are retired or broke down — the
+        // marker the remaining loops use to skip them.
+        for j in 0..k {
+            if !ws.active[j] || gammas[j] == 0.0 {
+                qq[j] = 0.0; // γ = 0: exact solution reached
+                continue;
+            }
+            let mut qqj = op.reduce_dot(qq[j]);
+            if self.lambda != 0.0 {
+                qqj += self.lambda as f64 * op.reduce_dot(aux[j]);
+            }
+            qq[j] = qqj;
+            if qqj == 0.0 {
+                continue;
+            }
+            let alpha = (gammas[j] / qqj) as f32;
+            for (xi, &pi) in ws.x[j * n..(j + 1) * n]
+                .iter_mut()
+                .zip(&ws.dir[j * n..(j + 1) * n])
+            {
+                *xi += alpha * pi;
+            }
+            for (ri, &qi) in ws.resid[j * m..(j + 1) * m]
+                .iter_mut()
+                .zip(&ws.proj[j * m..(j + 1) * m])
+            {
+                *ri -= alpha * qi;
+            }
+        }
+        op.back_batch_into(&ws.resid, &mut ws.back, k);
+        if self.lambda != 0.0 {
+            for (j, &qqj) in qq.iter().enumerate() {
+                if !ws.active[j] || qqj == 0.0 {
+                    continue;
+                }
+                for (si, &xi) in ws.back[j * n..(j + 1) * n]
+                    .iter_mut()
+                    .zip(&ws.x[j * n..(j + 1) * n])
+                {
+                    *si -= self.lambda * xi;
+                }
+            }
+        }
+        op.local_dot_batch(&ws.back, &ws.back, aux);
+        for j in 0..k {
+            if !ws.active[j] || qq[j] == 0.0 {
+                continue;
+            }
+            let gamma_new = op.reduce_dot(aux[j]);
+            let beta = (gamma_new / gammas[j]) as f32;
+            gammas[j] = gamma_new;
+            for (pi, &si) in ws.dir[j * n..(j + 1) * n]
+                .iter_mut()
+                .zip(&ws.back[j * n..(j + 1) * n])
+            {
+                *pi = si + beta * *pi;
+            }
+        }
+        op.local_dot_batch(&ws.resid, &ws.resid, aux);
+        for j in 0..k {
+            if !ws.active[j] || qq[j] == 0.0 {
+                continue;
+            }
+            res[j] = op.reduce_dot(aux[j]).sqrt();
+        }
+    }
+
     fn carried_scalars(&self) -> Vec<f64> {
-        // γ is the one scalar CG carries across iterations; it is
-        // allreduced, so every distributed rank holds the same value.
+        // γ is the one scalar CG carries across iterations (per slice in
+        // a batched solve); it is allreduced, so every distributed rank
+        // holds the same value.
+        if !self.gammas.is_empty() {
+            return self.gammas.clone();
+        }
         self.gamma.map(|g| vec![g]).unwrap_or_default()
     }
 
+    fn carried_scalars_in(&self, ws: &SolverWorkspace) -> Vec<f64> {
+        // A batched solve keeps the live γ slots in the workspace
+        // scratch; `batched_started` guards against reading the stale
+        // scratch of a workspace this rule never stepped.
+        if self.batched_started {
+            let k = ws.batch;
+            return ws.scratch[2 * k..3 * k].to_vec();
+        }
+        self.carried_scalars()
+    }
+
     fn restore_scalars(&mut self, scalars: &[f64]) {
-        if let [g] = scalars {
-            self.gamma = Some(*g);
+        match scalars {
+            [] => {}
+            [g] => self.gamma = Some(*g),
+            gs => self.gammas = gs.to_vec(),
         }
     }
 }
@@ -551,6 +975,83 @@ impl UpdateRule for SirtRule {
             *xi += self.relaxation * ui * w;
         }
         Some(res)
+    }
+
+    fn step_batch(
+        &mut self,
+        op: &dyn ProjectionOperator,
+        y: &[f32],
+        ws: &mut SolverWorkspace,
+        res: &mut [f64],
+    ) {
+        let k = ws.batch;
+        if res.len() != k {
+            return;
+        }
+        let n = op.ncols();
+        let m = op.nrows();
+        if self.weights.is_none() {
+            // The weights are a pure function of `A`, shared by every
+            // slice; probe them once with slice 0's blocks as the
+            // all-ones vectors — bit-identical to the scalar setup.
+            let inv = |v: f32| if v > 0.0 { 1.0 / v } else { 0.0 };
+            let mut row_w = vec![0f32; m];
+            ws.dir[..n].fill(1.0);
+            op.forward_into(&ws.dir[..n], &mut row_w);
+            for v in row_w.iter_mut() {
+                *v = inv(*v);
+            }
+            let mut col_w = vec![0f32; n];
+            ws.resid[..m].fill(1.0);
+            op.back_into(&ws.resid[..m], &mut col_w);
+            for v in col_w.iter_mut() {
+                *v = inv(*v);
+            }
+            self.weights = Some((row_w, col_w));
+        }
+        // lint: allow(no-panic) weights are initialized earlier in this method
+        let (row_w, col_w) = self.weights.as_ref().expect("initialized above");
+        // The forward pass covers every slice (the SpMM streams the
+        // matrix once for the slab); retired slices' residual blocks
+        // receive A·x but are never read again this step.
+        op.forward_batch_into(&ws.x, &mut ws.resid, k);
+        for j in 0..k {
+            if !ws.active[j] {
+                continue;
+            }
+            for (ri, &yi) in ws.resid[j * m..(j + 1) * m]
+                .iter_mut()
+                .zip(&y[j * m..(j + 1) * m])
+            {
+                *ri = yi - *ri;
+            }
+        }
+        // Residual norms are taken before row-weighting, as in the
+        // scalar step.
+        let (rr, _) = ws.scratch.split_at_mut(k);
+        op.local_dot_batch(&ws.resid, &ws.resid, rr);
+        for j in 0..k {
+            if !ws.active[j] {
+                continue;
+            }
+            res[j] = op.reduce_dot(rr[j]).sqrt();
+            for (ri, &w) in ws.resid[j * m..(j + 1) * m].iter_mut().zip(row_w) {
+                *ri *= w;
+            }
+        }
+        op.back_batch_into(&ws.resid, &mut ws.back, k);
+        for j in 0..k {
+            if !ws.active[j] {
+                continue;
+            }
+            for ((xi, &ui), &w) in ws.x[j * n..(j + 1) * n]
+                .iter_mut()
+                .zip(&ws.back[j * n..(j + 1) * n])
+                .zip(col_w)
+            {
+                *xi += self.relaxation * ui * w;
+            }
+        }
     }
 }
 

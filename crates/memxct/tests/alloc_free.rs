@@ -10,8 +10,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use memxct::{
-    preprocess, CgRule, Config, Constraint, Kernel, PooledOperator, PooledPlans, SolverWorkspace,
-    StopRule,
+    preprocess, run_engine_batched_in, CgRule, Config, Constraint, Kernel, PooledOperator,
+    PooledPlans, ProjectionOperator, SolverWorkspace, StopRule,
 };
 use xct_geometry::{disk, simulate_sinogram, Grid, NoiseModel, ScanGeometry};
 use xct_obs::Metrics;
@@ -95,5 +95,64 @@ fn steady_state_cg_solve_allocates_nothing_and_spawns_nothing() {
     assert_eq!(
         delta, 0,
         "steady-state CG solve performed {delta} heap allocation(s)"
+    );
+}
+
+#[test]
+fn steady_state_batched_cg_solve_allocates_nothing() {
+    let n = 24u32;
+    let batch = 4usize;
+    let grid = Grid::new(n);
+    let scan = ScanGeometry::new(36, n);
+    let img = disk(0.6, 1.0).rasterize(n);
+    let sino = simulate_sinogram(&img, &grid, &scan, NoiseModel::None, 0);
+    let ops = preprocess(grid, scan, &Config::default());
+    let y1 = ops.order_sinogram(&sino);
+    let mut y = Vec::with_capacity(batch * y1.len());
+    for j in 0..batch {
+        // Distinct slices: scaled copies of the measured sinogram.
+        y.extend(y1.iter().map(|&v| v * (1.0 + 0.05 * j as f32)));
+    }
+
+    let threads = 2;
+    let pool = WorkerPool::new(threads);
+    let plans = PooledPlans::new_batched(&ops, Kernel::Buffered, threads, batch);
+    let op = PooledOperator::new(&ops, Kernel::Buffered, &plans, &pool);
+    let metrics = Metrics::noop();
+    let stop = StopRule::Fixed(6);
+    let mut ws = SolverWorkspace::new_batched(op.nrows(), op.ncols(), batch);
+
+    // Warmup sizes the batched slabs, the per-slice record lists, and the
+    // workers' SpMM scratch.
+    run_engine_batched_in(
+        &op,
+        &y,
+        &mut CgRule::new(),
+        Constraint::None,
+        stop,
+        &metrics,
+        &mut ws,
+    );
+    let warm: Vec<usize> = ws.slice_records().iter().map(Vec::len).collect();
+    assert!(warm.iter().all(|&l| l > 0), "warmup must iterate");
+
+    // Steady state: a fresh batched solve in the warmed workspace must
+    // not touch the allocator from any thread.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    run_engine_batched_in(
+        &op,
+        &y,
+        &mut CgRule::new(),
+        Constraint::None,
+        stop,
+        &metrics,
+        &mut ws,
+    );
+    let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    let again: Vec<usize> = ws.slice_records().iter().map(Vec::len).collect();
+    assert_eq!(again, warm, "same trajectory");
+    assert_eq!(
+        delta, 0,
+        "steady-state batched CG solve performed {delta} heap allocation(s)"
     );
 }

@@ -22,10 +22,15 @@ use std::sync::Mutex;
 use crate::comm::fnv1a64;
 
 /// Magic prefix of every snapshot: `XCTCKPT` + the format version byte.
-pub const SNAPSHOT_MAGIC: [u8; 8] = *b"XCTCKPT\x01";
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"XCTCKPT\x02";
 
-/// The current snapshot format version (the last magic byte).
-pub const SNAPSHOT_VERSION: u8 = 1;
+/// The current snapshot format version (the last magic byte). Version 2
+/// added the u64-vector section kind (batched solver state); readers
+/// accept every version back to [`SNAPSHOT_MIN_VERSION`].
+pub const SNAPSHOT_VERSION: u8 = 2;
+
+/// The oldest snapshot format version this build can still read.
+pub const SNAPSHOT_MIN_VERSION: u8 = 1;
 
 /// Why a snapshot could not be read, written, or interpreted.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,6 +114,7 @@ enum SectionData {
     F64(f64),
     U64(u64),
     F64Vec(Vec<f64>),
+    U64Vec(Vec<u64>),
 }
 
 impl SectionData {
@@ -118,6 +124,7 @@ impl SectionData {
             SectionData::F64(_) => 1,
             SectionData::U64(_) => 2,
             SectionData::F64Vec(_) => 3,
+            SectionData::U64Vec(_) => 4,
         }
     }
 }
@@ -204,6 +211,15 @@ impl Snapshot {
         });
     }
 
+    /// Append a u64 vector section (per-slice lengths, flags, …). Readers
+    /// older than format version 2 reject snapshots containing one.
+    pub fn push_u64s(&mut self, name: &str, data: &[u64]) {
+        self.sections.push(Section {
+            name: name.to_string(),
+            data: SectionData::U64Vec(data.to_vec()),
+        });
+    }
+
     /// Read an f32 vector section.
     pub fn f32s(&self, name: &str) -> Result<&[f32], CheckpointError> {
         match self.find(name)? {
@@ -238,6 +254,16 @@ impl Snapshot {
     pub fn f64s(&self, name: &str) -> Result<&[f64], CheckpointError> {
         match self.find(name)? {
             SectionData::F64Vec(v) => Ok(v),
+            _ => Err(CheckpointError::WrongKind {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Read a u64 vector section.
+    pub fn u64s(&self, name: &str) -> Result<&[u64], CheckpointError> {
+        match self.find(name)? {
+            SectionData::U64Vec(v) => Ok(v),
             _ => Err(CheckpointError::WrongKind {
                 name: name.to_string(),
             }),
@@ -284,6 +310,12 @@ impl Snapshot {
                         out.extend_from_slice(&x.to_le_bytes());
                     }
                 }
+                SectionData::U64Vec(v) => {
+                    out.extend_from_slice(&(v.len() as u64).to_le_bytes());
+                    for x in v {
+                        out.extend_from_slice(&x.to_le_bytes());
+                    }
+                }
             }
         }
         let checksum = fnv1a64(&out);
@@ -300,7 +332,7 @@ impl Snapshot {
         if bytes[..7] != SNAPSHOT_MAGIC[..7] {
             return Err(CheckpointError::BadMagic);
         }
-        if bytes[7] != SNAPSHOT_VERSION {
+        if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&bytes[7]) {
             return Err(CheckpointError::UnsupportedVersion { found: bytes[7] });
         }
         if bytes.len() < 8 + 8 {
@@ -357,6 +389,16 @@ impl Snapshot {
                         raw.chunks_exact(8)
                             .map(|c| {
                                 f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])
+                            })
+                            .collect(),
+                    )
+                }
+                4 => {
+                    let raw = r.take(len * 8, "u64 section payload")?;
+                    SectionData::U64Vec(
+                        raw.chunks_exact(8)
+                            .map(|c| {
+                                u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])
                             })
                             .collect(),
                     )
@@ -525,6 +567,7 @@ mod tests {
         s.push_f64("gamma", 1.0e-3);
         s.push_u64("ranks", 4);
         s.push_f64s("residual_series", &[9.0, 4.0, 1.0]);
+        s.push_u64s("active", &[1, 0, 1]);
         s
     }
 
@@ -540,9 +583,41 @@ mod tests {
         assert_eq!(d.f64_scalar("gamma").unwrap(), 1.0e-3);
         assert_eq!(d.u64_scalar("ranks").unwrap(), 4);
         assert_eq!(d.f64s("residual_series").unwrap(), &[9.0, 4.0, 1.0]);
+        assert_eq!(d.u64s("active").unwrap(), &[1, 0, 1]);
         assert_eq!(
             d.section_names(),
-            vec!["x", "resid", "gamma", "ranks", "residual_series"]
+            vec!["x", "resid", "gamma", "ranks", "residual_series", "active"]
+        );
+    }
+
+    #[test]
+    fn version_1_snapshots_still_decode() {
+        // A v1 writer never emitted u64-vector sections; craft its byte
+        // stream by rewriting the version byte and re-checksumming.
+        let mut s = Snapshot::new(0xFEED, 3);
+        s.push_f32s("x", &[1.0, 2.0]);
+        s.push_f64("gamma", 0.25);
+        let mut bytes = s.encode();
+        bytes[7] = 1;
+        let body_len = bytes.len() - 8;
+        let checksum = fnv1a64(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        let d = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(d.plan_hash(), 0xFEED);
+        assert_eq!(d.f32s("x").unwrap(), &[1.0, 2.0]);
+        assert_eq!(d.f64_scalar("gamma").unwrap(), 0.25);
+    }
+
+    #[test]
+    fn version_0_is_rejected() {
+        let mut bytes = sample().encode();
+        bytes[7] = 0;
+        let body_len = bytes.len() - 8;
+        let checksum = fnv1a64(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        assert_eq!(
+            Snapshot::decode(&bytes),
+            Err(CheckpointError::UnsupportedVersion { found: 0 })
         );
     }
 

@@ -33,7 +33,7 @@ mod pool;
 
 pub use checkpoint::{
     CheckpointError, CheckpointSink, FileCheckpointSink, MemoryCheckpointSink, Snapshot,
-    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    SNAPSHOT_MAGIC, SNAPSHOT_MIN_VERSION, SNAPSHOT_VERSION,
 };
 pub use comm::{fnv1a64, run_ranks, run_ranks_with, CollectiveStats, CommLedger, Communicator};
 pub use fault::{
@@ -43,6 +43,6 @@ pub use model::{
     iteration_time, KernelTimes, KernelVolumes, MachineSpec, BLUE_WATERS, COOLEY, THETA,
 };
 pub use pool::{
-    env_threads, ExecPlan, WorkerPool, POOL_DISPATCHES, POOL_DISPATCH_SECONDS, POOL_UTILIZATION,
-    POOL_WORKERS,
+    env_threads, BatchOut, ExecPlan, WorkerPool, POOL_DISPATCHES, POOL_DISPATCH_SECONDS,
+    POOL_UTILIZATION, POOL_WORKERS,
 };

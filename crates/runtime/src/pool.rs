@@ -449,6 +449,73 @@ impl WorkerPool {
         self.broadcast(&job);
     }
 
+    /// Run `kernel` over a slice-major **batched** output: `out` holds
+    /// `blocks` contiguous blocks of `plan.rows()` elements each (block
+    /// `b` occupies `out[b * rows .. (b + 1) * rows]`), and each worker
+    /// receives a [`BatchOut`] view granting exclusive access to its
+    /// plan-assigned row range within *every* block. This is the dispatch
+    /// shape of SpMM (`A · [x₁ … xₖ]`): one job streams the worker's
+    /// matrix partition once while touching its row range of all `k`
+    /// output blocks.
+    ///
+    /// # Panics
+    /// If `blocks == 0`, `out.len() != plan.rows() * blocks`, the plan's
+    /// worker count differs from the pool's, or the plan is not
+    /// well-formed. Kernel panics propagate as in [`WorkerPool::run`].
+    pub fn run_batched<T, K>(&self, plan: &ExecPlan, out: &mut [T], blocks: usize, kernel: K)
+    where
+        T: Send,
+        K: Fn(Range<usize>, Range<usize>, BatchOut<'_, T>) + Sync,
+    {
+        self.run_batched_with_scratch(plan, out, blocks, |parts, rows, view, _scratch| {
+            kernel(parts, rows, view)
+        });
+    }
+
+    /// Like [`WorkerPool::run_batched`], additionally handing each worker
+    /// its persistent `Vec<f32>` scratch buffer (kept across dispatches,
+    /// as in [`WorkerPool::run_with_scratch`]).
+    pub fn run_batched_with_scratch<T, K>(
+        &self,
+        plan: &ExecPlan,
+        out: &mut [T],
+        blocks: usize,
+        kernel: K,
+    ) where
+        T: Send,
+        K: Fn(Range<usize>, Range<usize>, BatchOut<'_, T>, &mut Vec<f32>) + Sync,
+    {
+        assert!(blocks > 0, "batched dispatch needs at least one block");
+        assert_eq!(
+            out.len(),
+            plan.rows() * blocks,
+            "output length vs plan rows × blocks"
+        );
+        assert_eq!(
+            plan.num_workers(),
+            self.threads,
+            "plan worker count vs pool size"
+        );
+        // Hard assert, as in `run_with_scratch`: the per-block slice
+        // carving in `BatchOut::block` is unsound for a malformed plan.
+        assert!(plan.is_well_formed(), "malformed ExecPlan");
+        let base = OutPtr(out.as_mut_ptr());
+        let domain = plan.rows();
+        let job = |w: usize, scratch: &mut Vec<f32>| {
+            let parts = plan.worker_parts(w);
+            let rows = plan.worker_rows(w);
+            let view = BatchOut {
+                base: base.get(),
+                domain,
+                rows: rows.clone(),
+                blocks,
+                _marker: std::marker::PhantomData,
+            };
+            kernel(parts, rows, view, scratch);
+        };
+        self.broadcast(&job);
+    }
+
     /// Publish `job`, run worker 0's share inline, and wait for the rest.
     ///
     /// Dispatches are serialized by `dispatch_lock`: the pool is `Sync`
@@ -617,6 +684,53 @@ fn worker_loop(shared: &Shared, w: usize) {
     }
 }
 
+/// A worker's exclusive window into a slice-major batched output during a
+/// [`WorkerPool::run_batched`] dispatch: the output holds `blocks` blocks
+/// of `domain` elements each, and this view owns the row range `rows`
+/// within every block. [`BatchOut::block`] yields one block's sub-slice at
+/// a time; the `&mut self` receiver serializes access within the worker,
+/// and the plan's pairwise-disjoint worker row ranges keep workers apart.
+pub struct BatchOut<'a, T> {
+    base: *mut T,
+    domain: usize,
+    rows: Range<usize>,
+    blocks: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+impl<T> BatchOut<'_, T> {
+    /// Number of blocks (the batch width `k`).
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// The row range this view owns within every block.
+    pub fn rows(&self) -> Range<usize> {
+        self.rows.clone()
+    }
+
+    /// This worker's row range within block `b` (its exclusive sub-slice
+    /// of `out[b * domain .. (b + 1) * domain]`).
+    ///
+    /// # Panics
+    /// If `b >= self.blocks()`.
+    pub fn block(&mut self, b: usize) -> &mut [T] {
+        assert!(b < self.blocks, "block index out of range");
+        // The dispatch asserted `out.len() == domain * blocks` and plan
+        // well-formedness, so `b * domain + rows` is in bounds; worker
+        // row ranges are pairwise disjoint (no cross-worker overlap).
+        // SAFETY: in-bounds and disjoint per the above, and the `&mut
+        // self` receiver ties the returned borrow to this view, so a
+        // worker never holds two overlapping slices at once.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.base.add(b * self.domain + self.rows.start),
+                self.rows.len(),
+            )
+        }
+    }
+}
+
 struct OutPtr<T>(*mut T);
 
 impl<T> OutPtr<T> {
@@ -728,6 +842,45 @@ mod tests {
             slice.fill(scratch.first().copied().unwrap_or(0.0));
         });
         assert!(out.iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn batched_dispatch_matches_per_block_runs() {
+        let plan = ExecPlan::nnz_balanced(&[0, 5, 6, 7, 107, 108, 110], 3);
+        let pool = WorkerPool::new(3);
+        let rows = plan.rows();
+        let blocks = 4;
+        let mut batched = vec![0u32; rows * blocks];
+        pool.run_batched(&plan, &mut batched, blocks, |_parts, rows, mut out| {
+            assert_eq!(out.blocks(), blocks);
+            for b in 0..out.blocks() {
+                let slice = out.block(b);
+                for (j, v) in slice.iter_mut().enumerate() {
+                    *v = ((rows.start + j) * 10 + b) as u32;
+                }
+            }
+        });
+        for b in 0..blocks {
+            for i in 0..rows {
+                assert_eq!(batched[b * rows + i], (i * 10 + b) as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_dispatch_rejects_bad_shapes() {
+        let plan = ExecPlan::equal_rows(16, 2);
+        let pool = WorkerPool::new(2);
+        let mut out = vec![0f32; 16];
+        assert!(catch_unwind(AssertUnwindSafe(|| {
+            pool.run_batched(&plan, &mut out, 0, |_p, _r, _o| {});
+        }))
+        .is_err());
+        assert!(catch_unwind(AssertUnwindSafe(|| {
+            // 16 elements is one block short of blocks=2.
+            pool.run_batched(&plan, &mut out, 2, |_p, _r, _o| {});
+        }))
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! Batched right-hand sides: slice-major vector blocks and SpMM kernels.
+//!
+//! Reconstructing k adjacent slices through the *same* memoized matrix
+//! turns SpMV into SpMM, `Y = A · [x₁ … xₖ]` — the matrix is streamed
+//! from DRAM once per k slices instead of once per slice, which is the
+//! arithmetic-intensity lever of the "Petascale XCT" follow-up work.
+//!
+//! Layout is **slice-major**: slice `j` of an `n`-element domain occupies
+//! `data[j * n .. (j + 1) * n]`. Every SpMM kernel in this crate runs its
+//! slice loop *inside* a cache-resident matrix tile (a fixed row tile for
+//! CSR, one partition for the buffered and ELL layouts), so the tile's
+//! matrix data is read from cache for slices 2..k while each slice's
+//! per-row accumulation order is exactly the single-slice kernel's order.
+//! Column `j` of the batched product is therefore **bit-identical** to
+//! `A · xⱼ` for every batch width — k = 1 is the existing SpMV, not a
+//! parallel code path.
+
+use crate::csr::CsrMatrix;
+use crate::pooled::{dot_chunks, DOT_CHUNK};
+use crate::reduce::dot_f64;
+use xct_runtime::{ExecPlan, WorkerPool};
+
+/// Row-tile width of the CSR SpMM kernels: the slice loop runs inside
+/// each tile so the tile's `rowptr`/`colind`/`values` stay cache-resident
+/// across all k slices. Tiling never changes results (each row's
+/// accumulation is independent), only the matrix re-read distance.
+pub const SPMM_ROW_TILE: usize = 256;
+
+/// A slice-major batched vector: `batch` contiguous blocks of `len`
+/// elements each, slice `j` at `data[j * len .. (j + 1) * len]`. This is
+/// the right-hand-side (and output) shape of every SpMM kernel and of the
+/// batched solver engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceBatch {
+    len: usize,
+    batch: usize,
+    data: Vec<f32>,
+}
+
+impl SliceBatch {
+    /// An all-zero batch of `batch` slices of `len` elements.
+    ///
+    /// # Panics
+    /// If `batch` is zero.
+    pub fn new(len: usize, batch: usize) -> Self {
+        assert!(batch > 0, "batch width must be positive");
+        SliceBatch {
+            len,
+            batch,
+            data: vec![0f32; len * batch],
+        }
+    }
+
+    /// Pack independent slices into one slice-major block.
+    ///
+    /// # Panics
+    /// If `slices` is empty or the slices disagree in length.
+    pub fn from_slices(slices: &[&[f32]]) -> Self {
+        assert!(!slices.is_empty(), "batch width must be positive");
+        let len = slices[0].len();
+        let mut data = Vec::with_capacity(len * slices.len());
+        for s in slices {
+            assert_eq!(s.len(), len, "slice lengths must agree");
+            data.extend_from_slice(s);
+        }
+        SliceBatch {
+            len,
+            batch: slices.len(),
+            data,
+        }
+    }
+
+    /// Elements per slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when slices are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slices (the batch width k).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Slice `j` as a contiguous block.
+    pub fn slice(&self, j: usize) -> &[f32] {
+        &self.data[j * self.len..(j + 1) * self.len]
+    }
+
+    /// Mutable slice `j`.
+    pub fn slice_mut(&mut self, j: usize) -> &mut [f32] {
+        &mut self.data[j * self.len..(j + 1) * self.len]
+    }
+
+    /// The whole slice-major block (`len × batch` elements).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The whole slice-major block, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+/// Sequential CSR SpMM: `y = A · [x₁ … xₖ]`, both sides slice-major.
+/// Column `j` is bit-identical to [`crate::spmv_into`] on slice `j`.
+pub fn spmm_into(a: &CsrMatrix, x: &[f32], y: &mut [f32], batch: usize) {
+    assert!(batch > 0, "batch width must be positive");
+    assert_eq!(x.len(), a.ncols() * batch, "x length");
+    assert_eq!(y.len(), a.nrows() * batch, "y length");
+    let rowptr = a.rowptr();
+    let colind = a.colind();
+    let values = a.values();
+    let (nrows, ncols) = (a.nrows(), a.ncols());
+    for tile in (0..nrows).step_by(SPMM_ROW_TILE) {
+        let hi = (tile + SPMM_ROW_TILE).min(nrows);
+        // Slice loop inside the tile: the tile's matrix data is streamed
+        // once and re-read from cache for the remaining k-1 slices.
+        for j in 0..batch {
+            let xs = &x[j * ncols..(j + 1) * ncols];
+            let ys = &mut y[j * nrows + tile..j * nrows + hi];
+            for (jj, out) in ys.iter_mut().enumerate() {
+                let i = tile + jj;
+                let mut acc = 0f32;
+                for k in rowptr[i]..rowptr[i + 1] {
+                    acc += xs[colind[k] as usize] * values[k];
+                }
+                *out = acc;
+            }
+        }
+    }
+}
+
+/// Allocating [`spmm_into`].
+pub fn spmm(a: &CsrMatrix, x: &[f32], batch: usize) -> Vec<f32> {
+    let mut y = vec![0f32; a.nrows() * batch];
+    spmm_into(a, x, &mut y, batch);
+    y
+}
+
+/// Pooled CSR SpMM into a caller-provided slice-major output: one
+/// dispatch computes all k columns, each worker streaming its
+/// plan-assigned row run once while filling its row range of every
+/// output block. Column `j` is bit-identical to
+/// [`crate::spmv_pooled_into`] (and hence to [`crate::spmv_into`]) on
+/// slice `j`, for every worker count and batch width.
+pub fn spmm_pooled_into(
+    a: &CsrMatrix,
+    x: &[f32],
+    y: &mut [f32],
+    batch: usize,
+    plan: &ExecPlan,
+    pool: &WorkerPool,
+) {
+    assert!(batch > 0, "batch width must be positive");
+    assert_eq!(x.len(), a.ncols() * batch, "x length");
+    assert_eq!(y.len(), a.nrows() * batch, "y length");
+    assert_eq!(plan.rows(), a.nrows(), "plan rows");
+    let rowptr = a.rowptr();
+    let colind = a.colind();
+    let values = a.values();
+    let ncols = a.ncols();
+    pool.run_batched(plan, y, batch, |_parts, rows, mut out| {
+        for tile in (rows.start..rows.end).step_by(SPMM_ROW_TILE) {
+            let hi = (tile + SPMM_ROW_TILE).min(rows.end);
+            for j in 0..batch {
+                let xs = &x[j * ncols..(j + 1) * ncols];
+                let block = out.block(j);
+                for i in tile..hi {
+                    let mut acc = 0f32;
+                    for k in rowptr[i]..rowptr[i + 1] {
+                        acc += xs[colind[k] as usize] * values[k];
+                    }
+                    block[i - rows.start] = acc;
+                }
+            }
+        }
+    });
+}
+
+/// A plan distributing the reduction chunks of `batch` independent
+/// `len`-element dot products over `workers` workers: global chunk `g`
+/// is chunk `g % chunks` of slice `g / chunks`.
+pub fn dot_batch_plan(len: usize, batch: usize, workers: usize) -> ExecPlan {
+    ExecPlan::equal_rows(dot_chunks(len) * batch, workers)
+}
+
+/// Batched deterministic pooled dot: one dispatch fills the per-chunk
+/// `f64` partials of all `batch` slice pairs (slice-major, `chunks`
+/// slots per slice), then each slice's partials are summed in chunk
+/// order into `out[j]`. Every `out[j]` is bit-identical to
+/// [`crate::dot_f64_pooled`] over slice `j`, for every worker count.
+///
+/// `partials` is caller-owned scratch of `dot_chunks(len) * batch`
+/// slots, `out` of `batch` slots, so steady-state calls allocate
+/// nothing.
+#[allow(clippy::too_many_arguments)]
+pub fn dot_f64_batched_pooled(
+    pool: &WorkerPool,
+    plan: &ExecPlan,
+    a: &[f32],
+    b: &[f32],
+    batch: usize,
+    partials: &mut [f64],
+    out: &mut [f64],
+) {
+    assert!(batch > 0, "batch width must be positive");
+    assert_eq!(a.len(), b.len(), "vector lengths");
+    assert_eq!(a.len() % batch, 0, "length must be a multiple of batch");
+    let len = a.len() / batch;
+    let chunks = dot_chunks(len);
+    assert_eq!(partials.len(), chunks * batch, "partials length");
+    assert_eq!(out.len(), batch, "out length");
+    pool.run(plan, partials, |_parts, slots, dst| {
+        for (i, slot) in dst.iter_mut().enumerate() {
+            let g = slots.start + i;
+            let (j, c) = (g / chunks, g % chunks);
+            let lo = j * len + c * DOT_CHUNK;
+            let hi = j * len + ((c + 1) * DOT_CHUNK).min(len);
+            *slot = dot_f64(&a[lo..hi], &b[lo..hi]);
+        }
+    });
+    for (j, o) in out.iter_mut().enumerate() {
+        *o = partials[j * chunks..(j + 1) * chunks].iter().sum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pooled::{csr_plan, dot_f64_pooled, dot_plan, spmv_pooled_into};
+    use crate::spmv::spmv_into;
+
+    fn skewed() -> CsrMatrix {
+        let mut rows: Vec<Vec<(u32, f32)>> = vec![
+            (0..48).map(|c| (c as u32, 0.25 + c as f32)).collect(),
+            vec![(1, -1.0)],
+            vec![],
+            vec![(3, 2.0), (7, 1.5)],
+            vec![(0, 1.0), (47, -0.5)],
+        ];
+        // Enough rows to cross a SPMM_ROW_TILE boundary.
+        for i in 0..(SPMM_ROW_TILE + 9) {
+            rows.push(vec![((i % 48) as u32, (i as f32 * 0.3).cos())]);
+        }
+        CsrMatrix::from_rows(48, &rows)
+    }
+
+    fn rhs(ncols: usize, batch: usize) -> Vec<f32> {
+        (0..ncols * batch)
+            .map(|i| ((i * 37 + 11) % 101) as f32 * 0.013 - 0.5)
+            .collect()
+    }
+
+    #[test]
+    fn slice_batch_blocks_are_slice_major() {
+        let mut sb = SliceBatch::new(3, 2);
+        sb.slice_mut(1).copy_from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(sb.as_slice(), &[0.0, 0.0, 0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(sb.slice(0), &[0.0; 3]);
+        assert_eq!(sb.len(), 3);
+        assert_eq!(sb.batch(), 2);
+        let packed = SliceBatch::from_slices(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(packed.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn serial_spmm_columns_match_spmv_bitwise() {
+        let a = skewed();
+        for batch in [1, 2, 4, 7] {
+            let x = rhs(a.ncols(), batch);
+            let y = spmm(&a, &x, batch);
+            for j in 0..batch {
+                let mut want = vec![0f32; a.nrows()];
+                spmv_into(&a, &x[j * a.ncols()..(j + 1) * a.ncols()], &mut want);
+                let got = &y[j * a.nrows()..(j + 1) * a.nrows()];
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "batch {batch} slice {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_spmm_columns_match_pooled_spmv_bitwise() {
+        let a = skewed();
+        for workers in [1, 2, 4] {
+            let pool = WorkerPool::new(workers);
+            let plan = csr_plan(&a, workers);
+            for batch in [1, 3, 5] {
+                let x = rhs(a.ncols(), batch);
+                let mut y = vec![0f32; a.nrows() * batch];
+                spmm_pooled_into(&a, &x, &mut y, batch, &plan, &pool);
+                for j in 0..batch {
+                    let mut want = vec![0f32; a.nrows()];
+                    spmv_pooled_into(
+                        &a,
+                        &x[j * a.ncols()..(j + 1) * a.ncols()],
+                        &mut want,
+                        &plan,
+                        &pool,
+                    );
+                    let got = &y[j * a.nrows()..(j + 1) * a.nrows()];
+                    for (g, w) in got.iter().zip(&want) {
+                        assert_eq!(
+                            g.to_bits(),
+                            w.to_bits(),
+                            "workers {workers} batch {batch} slice {j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_dot_matches_single_slice_pooled_dot_bitwise() {
+        let len = 2 * DOT_CHUNK + 33;
+        let batch = 3;
+        let a: Vec<f32> = (0..len * batch)
+            .map(|i| ((i * 29) % 83) as f32 * 0.017)
+            .collect();
+        let b: Vec<f32> = (0..len * batch)
+            .map(|i| ((i * 41) % 89) as f32 * 0.011 - 0.4)
+            .collect();
+        for workers in [1, 2, 4] {
+            let pool = WorkerPool::new(workers);
+            let plan = dot_batch_plan(len, batch, workers);
+            let mut partials = vec![0f64; dot_chunks(len) * batch];
+            let mut out = vec![0f64; batch];
+            dot_f64_batched_pooled(&pool, &plan, &a, &b, batch, &mut partials, &mut out);
+            let single_plan = dot_plan(len, workers);
+            let mut single_partials = vec![0f64; dot_chunks(len)];
+            for j in 0..batch {
+                let want = dot_f64_pooled(
+                    &pool,
+                    &single_plan,
+                    &a[j * len..(j + 1) * len],
+                    &b[j * len..(j + 1) * len],
+                    &mut single_partials,
+                );
+                assert_eq!(
+                    out[j].to_bits(),
+                    want.to_bits(),
+                    "workers {workers} slice {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_domain_dot_is_zero() {
+        let pool = WorkerPool::new(2);
+        let plan = dot_batch_plan(0, 2, 2);
+        let mut out = vec![1f64; 2];
+        dot_f64_batched_pooled(&pool, &plan, &[], &[], 2, &mut [], &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+}

@@ -502,6 +502,65 @@ impl<I: BufferIndex> BufferedCsrImpl<I> {
         });
     }
 
+    /// Sequential buffered SpMM into a caller-provided slice-major output:
+    /// `y = A · [x₁ … xₖ]`. The slice loop runs inside each partition, so
+    /// the partition's map/index/value arrays are streamed once and
+    /// re-read from cache for the remaining k-1 slices; each slice's
+    /// per-row accumulation order is exactly the single-slice kernel's,
+    /// so column `j` is bit-identical to [`BufferedCsrImpl::spmv_into`]
+    /// on slice `j`. The staging buffer stays `buffsize` elements —
+    /// batching does not grow the footprint.
+    pub fn spmm_into(&self, x: &[f32], y: &mut [f32], batch: usize) {
+        assert!(batch > 0, "batch width must be positive");
+        assert_eq!(x.len(), self.ncols * batch, "x length");
+        assert_eq!(y.len(), self.nrows * batch, "y length");
+        let mut input = vec![0f32; self.buffsize];
+        for p in 0..self.num_partitions() {
+            let base = p * self.partsize;
+            let rows = self.partsize.min(self.nrows - base);
+            for j in 0..batch {
+                let xs = &x[j * self.ncols..(j + 1) * self.ncols];
+                let ys = &mut y[j * self.nrows + base..j * self.nrows + base + rows];
+                self.process_partition(p, xs, &mut input, ys);
+            }
+        }
+    }
+
+    /// Pooled buffered SpMM into a caller-provided slice-major output:
+    /// one dispatch computes all k columns, each worker streaming its
+    /// partition run once (slice loop inside each partition) and staging
+    /// through its persistent `buffsize` scratch. Column `j` is
+    /// bit-identical to [`BufferedCsrImpl::spmv_pooled_into`] (and hence
+    /// to [`BufferedCsrImpl::spmv_into`]) on slice `j`.
+    pub fn spmm_pooled_into(
+        &self,
+        x: &[f32],
+        y: &mut [f32],
+        batch: usize,
+        plan: &xct_runtime::ExecPlan,
+        pool: &xct_runtime::WorkerPool,
+    ) {
+        assert!(batch > 0, "batch width must be positive");
+        assert_eq!(x.len(), self.ncols * batch, "x length");
+        assert_eq!(y.len(), self.nrows * batch, "y length");
+        assert_eq!(plan.rows(), self.nrows, "plan rows");
+        assert_eq!(plan.num_partitions(), self.num_partitions(), "plan blocks");
+        pool.run_batched_with_scratch(plan, y, batch, |parts, rows, mut out, input| {
+            if input.len() < self.buffsize {
+                input.resize(self.buffsize, 0.0);
+            }
+            for p in parts {
+                let base = p * self.partsize - rows.start;
+                let prows = self.partsize.min(self.nrows - p * self.partsize);
+                for j in 0..batch {
+                    let xs = &x[j * self.ncols..(j + 1) * self.ncols];
+                    let block = out.block(j);
+                    self.process_partition(p, xs, input, &mut block[base..base + prows]);
+                }
+            }
+        });
+    }
+
     /// Run all stages of partition `p`: gather each stage's footprint into
     /// the buffer, then accumulate the stage's FMAs into `out`.
     #[inline]

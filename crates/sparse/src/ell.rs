@@ -202,6 +202,76 @@ impl EllMatrix {
         });
     }
 
+    /// Sequential ELL SpMM into a caller-provided slice-major output
+    /// (overwritten): `y = A · [x₁ … xₖ]`. The slice loop runs inside
+    /// each partition, so the partition's column-major slots are streamed
+    /// once and re-read from cache for the remaining k-1 slices; column
+    /// `j` is bit-identical to [`EllMatrix::spmv_into`] on slice `j`.
+    pub fn spmm_into(&self, x: &[f32], y: &mut [f32], batch: usize) {
+        assert!(batch > 0, "batch width must be positive");
+        assert_eq!(x.len(), self.ncols * batch, "x length");
+        assert_eq!(y.len(), self.nrows * batch, "y length");
+        y.fill(0.0);
+        let mut base = 0usize;
+        for p in &self.partitions {
+            for j in 0..batch {
+                let xs = &x[j * self.ncols..(j + 1) * self.ncols];
+                let out = &mut y[j * self.nrows + base..j * self.nrows + base + p.rows];
+                for s in 0..p.width {
+                    let cols = &p.colind[s * p.rows..(s + 1) * p.rows];
+                    let vals = &p.values[s * p.rows..(s + 1) * p.rows];
+                    for (o, (&c, &v)) in out.iter_mut().zip(cols.iter().zip(vals)) {
+                        *o += xs[c as usize] * v;
+                    }
+                }
+            }
+            base += p.rows;
+        }
+    }
+
+    /// Pooled ELL SpMM into a caller-provided slice-major output
+    /// (overwritten): one dispatch computes all k columns, each worker
+    /// sweeping its partition run once with the slice loop inside each
+    /// partition. Column `j` is bit-identical to
+    /// [`EllMatrix::spmv_pooled_into`] (and hence to
+    /// [`EllMatrix::spmv_into`]) on slice `j`.
+    pub fn spmm_pooled_into(
+        &self,
+        x: &[f32],
+        y: &mut [f32],
+        batch: usize,
+        plan: &xct_runtime::ExecPlan,
+        pool: &xct_runtime::WorkerPool,
+    ) {
+        assert!(batch > 0, "batch width must be positive");
+        assert_eq!(x.len(), self.ncols * batch, "x length");
+        assert_eq!(y.len(), self.nrows * batch, "y length");
+        assert_eq!(plan.rows(), self.nrows, "plan rows");
+        assert_eq!(plan.num_partitions(), self.partitions.len(), "plan blocks");
+        let bounds = plan.bounds();
+        pool.run_batched(plan, y, batch, |parts, rows, mut out| {
+            for j in 0..batch {
+                out.block(j).fill(0.0);
+            }
+            for pi in parts {
+                let p = &self.partitions[pi];
+                let base = bounds[pi] - rows.start;
+                for j in 0..batch {
+                    let xs = &x[j * self.ncols..(j + 1) * self.ncols];
+                    let block = out.block(j);
+                    let slice = &mut block[base..base + p.rows];
+                    for s in 0..p.width {
+                        let cols = &p.colind[s * p.rows..(s + 1) * p.rows];
+                        let vals = &p.values[s * p.rows..(s + 1) * p.rows];
+                        for (o, (&c, &v)) in slice.iter_mut().zip(cols.iter().zip(vals)) {
+                            *o += xs[c as usize] * v;
+                        }
+                    }
+                }
+            }
+        });
+    }
+
     /// A balanced [`xct_runtime::ExecPlan`] over the ELL partitions: each partition
     /// is one plan block weighted by its padded slot count (padding is
     /// multiplied, not skipped, so it costs real bandwidth), and workers

@@ -18,12 +18,17 @@
 //!   persistent `xct-runtime` worker pool over static nnz-balanced
 //!   partitions — no per-call thread spawns, bit-identical results for
 //!   every worker count;
+//! - [`SliceBatch`] / [`spmm_into`] / [`spmm_pooled_into`] (plus SpMM
+//!   methods on the buffered/ELL layouts): batched right-hand sides,
+//!   `Y = A · [x₁ … xₖ]`, streaming the matrix once per k slices with
+//!   per-slice results bit-identical to the SpMV kernels;
 //! - [`PartitionStats`]: footprint / data-reuse / staging statistics used
 //!   by Fig 6 and the bandwidth accounting of Fig 9.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod batch;
 mod buffered;
 mod csr;
 mod ell;
@@ -33,6 +38,10 @@ mod reduce;
 mod spmv;
 mod stats;
 
+pub use batch::{
+    dot_batch_plan, dot_f64_batched_pooled, spmm, spmm_into, spmm_pooled_into, SliceBatch,
+    SPMM_ROW_TILE,
+};
 pub use buffered::{BufferIndex, BufferedCsr, BufferedCsr32, BufferedCsrImpl, LayoutError};
 pub use csr::CsrMatrix;
 pub use ell::{EllMatrix, EllPartitionView};
