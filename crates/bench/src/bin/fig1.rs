@@ -36,24 +36,29 @@ fn main() {
         .expect("valid dataset geometry");
     let pre = t.elapsed().as_secs_f64();
     let t = std::time::Instant::now();
-    let out = rec.reconstruct_distributed(
-        &sino,
-        &DistConfig {
-            ranks,
-            use_buffered: true,
-            stop: memxct::StopRule::Fixed(30),
-            solver: memxct::DistSolver::Cg,
-        },
-    );
+    let out = rec
+        .run(
+            &memxct::ReconRequest::cg(memxct::ReconInput::Slice(sino), memxct::StopRule::Fixed(30))
+                .mode(memxct::ExecMode::Distributed {
+                    config: DistConfig {
+                        ranks,
+                        use_buffered: true,
+                        stop: memxct::StopRule::Fixed(30),
+                        solver: memxct::DistSolver::Cg,
+                    },
+                    ft: None,
+                }),
+        )
+        .expect("distributed reconstruction failed");
     let solve = t.elapsed().as_secs_f64();
-    let err = rel_err(&out.image, &truth);
+    let err = rel_err(&out.images[0], &truth);
     println!(
         "preprocess {:.2}s, 30 CG iterations {:.2}s, relative L2 error {err:.4}",
         pre, solve
     );
     let path = std::path::Path::new("fig1_brain.pgm");
     let n = ds.channels as usize;
-    match io::write_pgm(path, n, n, &out.image) {
+    match io::write_pgm(path, n, n, &out.images[0]) {
         Ok(()) => println!("wrote {} ({n}x{n})", path.display()),
         Err(e) => println!("could not write {}: {e}", path.display()),
     }

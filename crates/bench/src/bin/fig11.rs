@@ -121,18 +121,25 @@ fn main() {
     let rec = ReconstructorBuilder::new(ds.grid(), ds.scan())
         .build()
         .expect("valid dataset geometry");
-    let out = rec.reconstruct_distributed(
-        &sino,
-        &DistConfig {
-            ranks: 4,
-            use_buffered: true,
-            stop: StopRule::Fixed(30),
-            solver: DistSolver::Cg,
-        },
-    );
-    let n = out.breakdown.len() as f64;
-    let (ap, c, r) = out
-        .breakdown
+    let out = rec
+        .run(
+            &memxct::ReconRequest::cg(memxct::ReconInput::Slice(sino), StopRule::Fixed(30)).mode(
+                memxct::ExecMode::Distributed {
+                    config: DistConfig {
+                        ranks: 4,
+                        use_buffered: true,
+                        stop: StopRule::Fixed(30),
+                        solver: DistSolver::Cg,
+                    },
+                    ft: None,
+                },
+            ),
+        )
+        .expect("distributed reconstruction failed");
+    let dist = out.dist.as_ref().expect("distributed runs report detail");
+    let n = dist.breakdowns.len() as f64;
+    let (ap, c, r) = dist
+        .breakdowns
         .iter()
         .fold((0.0, 0.0, 0.0), |(a, b, cc), kb| {
             (a + kb.ap_s, b + kb.c_s, cc + kb.r_s)

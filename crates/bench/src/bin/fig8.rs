@@ -28,8 +28,18 @@ fn main() {
         .build()
         .expect("valid dataset geometry");
 
-    let cg = rec.reconstruct_cg(&sino, StopRule::Fixed(iters));
-    let si = rec.reconstruct_sirt(&sino, iters);
+    let cg = rec
+        .run(&memxct::ReconRequest::cg(
+            memxct::ReconInput::Slice(sino.clone()),
+            StopRule::Fixed(iters),
+        ))
+        .expect("CG reconstruction failed");
+    let si = rec
+        .run(&memxct::ReconRequest::sirt(
+            memxct::ReconInput::Slice(sino.clone()),
+            iters,
+        ))
+        .expect("SIRT reconstruction failed");
 
     println!(
         "{:>6} {:>14} {:>14} {:>14} {:>14}",
@@ -39,8 +49,8 @@ fn main() {
     let mut marks: Vec<usize> = vec![1, 2, 3, 5, 8, 12, 20, 30, 45, 70, 100, 150, 250, 400, 500];
     marks.retain(|&m| m <= iters);
     for m in marks {
-        let c = &cg.records[m - 1];
-        let s = &si.records[m - 1];
+        let c = &cg.slice_records[0][m - 1];
+        let s = &si.slice_records[0][m - 1];
         println!(
             "{:>6} {:>14.6e} {:>14.6e} {:>14.6e} {:>14.6e}",
             m, c.residual_norm, c.solution_norm, s.residual_norm, s.solution_norm
@@ -54,25 +64,32 @@ fn main() {
         if m > iters {
             continue;
         }
-        let cg_m = rec.reconstruct_cg(&sino, StopRule::Fixed(m));
+        let cg_m = rec
+            .run(&memxct::ReconRequest::cg(
+                memxct::ReconInput::Slice(sino.clone()),
+                StopRule::Fixed(m),
+            ))
+            .expect("CG reconstruction failed");
         println!(
             "  CG@{m:<4} rel L2 error {:.4}",
-            rel_err(&cg_m.image, &truth)
+            rel_err(&cg_m.images[0], &truth)
         );
     }
-    let si_final = rel_err(&si.image, &truth);
+    let si_final = rel_err(&si.images[0], &truth);
     println!("  SIRT@{iters:<3} rel L2 error {si_final:.4}");
 
-    let early = rec.reconstruct_cg(
-        &sino,
-        StopRule::EarlyTermination {
-            max_iters: iters,
-            min_decrease: 0.02,
-        },
-    );
+    let early = rec
+        .run(&memxct::ReconRequest::cg(
+            memxct::ReconInput::Slice(sino),
+            StopRule::EarlyTermination {
+                max_iters: iters,
+                min_decrease: 0.02,
+            },
+        ))
+        .expect("CG reconstruction failed");
     println!(
         "\nearly-termination heuristic stops CG at iteration {} (paper terminates at 30)",
-        early.records.len()
+        early.slice_records[0].len()
     );
 }
 

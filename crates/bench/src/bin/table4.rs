@@ -56,9 +56,14 @@ fn main() {
             .expect("valid dataset geometry");
         let mem_pre = t.elapsed().as_secs_f64();
         let t = Instant::now();
-        let (_, mem_stats) = {
-            let out = rec.reconstruct_sirt(&sino, iters);
-            (out.image, out.records)
+        let mem_stats = {
+            let mut resp = rec
+                .run(&memxct::ReconRequest::sirt(
+                    memxct::ReconInput::Slice(sino.clone()),
+                    iters,
+                ))
+                .expect("SIRT reconstruction failed");
+            resp.slice_records.swap_remove(0)
         };
         let mem_recon = t.elapsed().as_secs_f64();
         let mem_iter = mem_stats.iter().map(|s| s.seconds).sum::<f64>() / iters as f64;

@@ -311,7 +311,9 @@ fn rules_for(rel: &str) -> Option<Vec<LintRule>> {
         // Vendored shims: only the unsafe policy applies.
         return Some(vec![LintRule::UnsafeCode]);
     }
-    let public_api = rel.starts_with("crates/memxct/src") || rel.starts_with("crates/cli/src");
+    let public_api = rel.starts_with("crates/memxct/src")
+        || rel.starts_with("crates/cli/src")
+        || rel.starts_with("crates/serve/src");
     if public_api {
         Some(vec![
             LintRule::NarrowCast,

@@ -7,6 +7,8 @@
 //! memxct-cli reconstruct --dataset rds1 --scale 16 --solver cg --iters 30 \
 //!                        [--sino sino.raw] [--ranks 4] [--out slice.pgm] \
 //!                        [--metrics metrics.json]
+//! memxct-cli serve       --jobs jobs.txt [--cache N] [--outdir DIR] \
+//!                        [--metrics metrics.json]
 //! ```
 
 #![forbid(unsafe_code)]
@@ -18,6 +20,7 @@ use memxct::prelude::*;
 use xct_geometry::{
     io, simulate_sinogram, Dataset, NoiseModel, SampleKind, Sinogram, ALL_DATASETS,
 };
+use xct_serve::{JobRuntime, JobSpec, PlanSpec, RuntimeConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +32,7 @@ fn main() {
         "info" => info(),
         "simulate" => simulate(&opts),
         "reconstruct" => reconstruct(&opts),
+        "serve" => serve(&opts),
         "check" => check(&opts),
         "help" | "--help" | "-h" => usage_and_exit(),
         other => {
@@ -52,6 +56,8 @@ USAGE:
                          [--pool] [--pool-threads N] [--batch K]
                          [--checkpoint FILE] [--checkpoint-every N]
                          [--resume] [--chaos KIND@rank:index]...
+  memxct-cli serve       --jobs FILE [--cache N] [--outdir DIR]
+                         [--metrics FILE.json]
   memxct-cli check       --dataset <name> [--scale N] [--ranks N]
                          [--corrupt KIND]
 
@@ -80,6 +86,15 @@ DATASETS: ads1 ads2 ads3 ads4 rds1 rds2 (see `info`)
                  crash, drop, delay, bitflip — e.g. crash@1:3
   --corrupt KIND inject one fault before checking (check only):
                  rowptr | nan | transpose | permutation | stage-oversize
+  --jobs FILE    serve: job file, one job per line (# comments allowed):
+                   NAME DATASET SCALE cg|sirt ITERS PRIORITY
+                        [batch=K] [preempt@N] [pool]
+                 higher priority runs first; preempt@N checkpoints the job
+                 at iteration boundary N and requeues it (resume is
+                 bit-identical to an uninterrupted run)
+  --cache N      serve: plan-cache capacity (default 8); jobs whose plan
+                 is cached skip preprocessing entirely
+  --outdir DIR   serve: write each job's slice-0 image to DIR/NAME.pgm
 
 EXIT CODES
   0  success
@@ -108,6 +123,27 @@ fn die(context: &str, e: BuildError) -> ! {
     }
 }
 
+/// [`die`] for the request API: unwrap the underlying build error when
+/// there is one, otherwise report the request-level failure directly.
+fn die_run(context: &str, e: ReconError) -> ! {
+    match e {
+        ReconError::Build(b) => die(context, b),
+        other => {
+            eprintln!("{context}: {other}");
+            exit(2);
+        }
+    }
+}
+
+/// Exit code for a failed serve job, matching the documented mapping.
+fn run_exit_code(e: &ReconError) -> i32 {
+    match e {
+        ReconError::Build(BuildError::Comm(_) | BuildError::Checkpoint(_)) => 4,
+        ReconError::Build(BuildError::PlanCheck(_)) => 3,
+        _ => 2,
+    }
+}
+
 struct Options {
     dataset: Option<Dataset>,
     scale: u32,
@@ -127,6 +163,9 @@ struct Options {
     checkpoint_every: usize,
     resume: bool,
     chaos: Vec<FaultSpec>,
+    jobs: Option<PathBuf>,
+    outdir: Option<PathBuf>,
+    cache: usize,
 }
 
 impl Options {
@@ -150,6 +189,9 @@ impl Options {
             checkpoint_every: 1,
             resume: false,
             chaos: Vec::new(),
+            jobs: None,
+            outdir: None,
+            cache: 8,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -200,6 +242,18 @@ impl Options {
                     }
                 },
                 "--pool" => o.pool = true,
+                "--jobs" => o.jobs = Some(PathBuf::from(value("--jobs"))),
+                "--outdir" => o.outdir = Some(PathBuf::from(value("--outdir"))),
+                "--cache" => {
+                    let v = value("--cache");
+                    o.cache = match v.parse() {
+                        Ok(n) if n > 0 => n,
+                        _ => {
+                            eprintln!("--cache expects a positive integer, got `{v}`");
+                            exit(2);
+                        }
+                    };
+                }
                 "--batch" => {
                     let v = value("--batch");
                     o.batch = match v.parse() {
@@ -424,47 +478,44 @@ fn reconstruct(opts: &Options) {
     let t = std::time::Instant::now();
     let (image, iters_run) = match (opts.solver.as_str(), opts.ranks) {
         ("cg", Some(ranks)) => {
-            let out = rec
-                .try_reconstruct_distributed(
-                    &sino,
-                    &DistConfig {
+            let req = ReconRequest::cg(ReconInput::Slice(sino), StopRule::Fixed(opts.iters)).mode(
+                ExecMode::Distributed {
+                    config: DistConfig {
                         ranks,
                         use_buffered: true,
                         stop: StopRule::Fixed(opts.iters),
                         solver: DistSolver::Cg,
                     },
-                )
-                .unwrap_or_else(|e| die("distributed reconstruction failed", e));
-            let n = out.records.len();
-            (out.image, n)
+                    ft: None,
+                },
+            );
+            let mut resp = rec
+                .run(&req)
+                .unwrap_or_else(|e| die_run("distributed reconstruction failed", e));
+            let n = resp.slice_records.first().map(Vec::len).unwrap_or(0);
+            (resp.images.swap_remove(0), n)
         }
-        ("cg", None) if opts.batch > 1 => {
-            let mut out = rec
-                .try_reconstruct_cg_batch(&batch_slices, StopRule::Fixed(opts.iters))
-                .unwrap_or_else(|e| die("batched reconstruction failed", e));
-            let n = out.slice_records.first().map(Vec::len).unwrap_or(0);
-            (out.images.swap_remove(0), n)
-        }
-        ("cg", None) => {
-            let out = rec
-                .try_reconstruct_cg(&sino, StopRule::Fixed(opts.iters))
-                .unwrap_or_else(|e| die("reconstruction failed", e));
-            let n = out.records.len();
-            (out.image, n)
-        }
-        ("sirt", _) if opts.batch > 1 => {
-            let mut out = rec
-                .try_reconstruct_sirt_batch(&batch_slices, opts.iters)
-                .unwrap_or_else(|e| die("batched reconstruction failed", e));
-            let n = out.slice_records.first().map(Vec::len).unwrap_or(0);
-            (out.images.swap_remove(0), n)
-        }
-        ("sirt", _) => {
-            let out = rec
-                .try_reconstruct_sirt(&sino, opts.iters)
-                .unwrap_or_else(|e| die("reconstruction failed", e));
-            let n = out.records.len();
-            (out.image, n)
+        ("cg" | "sirt", _) => {
+            let input = if opts.batch > 1 {
+                ReconInput::Batch(batch_slices)
+            } else {
+                ReconInput::Slice(sino)
+            };
+            let req = if opts.solver == "cg" {
+                ReconRequest::cg(input, StopRule::Fixed(opts.iters))
+            } else {
+                ReconRequest::sirt(input, opts.iters)
+            };
+            let req = req.mode(if opts.pool {
+                ExecMode::Pooled
+            } else {
+                ExecMode::Serial
+            });
+            let mut resp = rec
+                .run(&req)
+                .unwrap_or_else(|e| die_run("reconstruction failed", e));
+            let n = resp.slice_records.first().map(Vec::len).unwrap_or(0);
+            (resp.images.swap_remove(0), n)
         }
         ("os-sirt", _) => {
             let os = OrderedSubsets::new(rec.operators(), 8.min(ds.projections as usize));
@@ -504,6 +555,208 @@ fn reconstruct(opts: &Options) {
     let max = image.iter().cloned().fold(f32::MIN, f32::max);
     let min = image.iter().cloned().fold(f32::MAX, f32::min);
     println!("image range: [{min:.4}, {max:.4}]");
+}
+
+/// Parse one job-file line (`NAME DATASET SCALE cg|sirt ITERS PRIORITY
+/// [batch=K] [preempt@N] [pool]`) into a job plus the image side length
+/// its outputs will have.
+fn parse_job_line(line: &str) -> Result<(JobSpec, u32), String> {
+    let mut tok = line.split_whitespace();
+    let mut field = |name: &str| tok.next().ok_or_else(|| format!("missing {name}"));
+    let name = field("job NAME")?.to_string();
+    let ds_name = field("DATASET")?.to_uppercase();
+    let ds = ALL_DATASETS
+        .iter()
+        .find(|d| d.name == ds_name)
+        .copied()
+        .ok_or_else(|| format!("unknown dataset `{ds_name}`"))?;
+    let scale: u32 = field("SCALE")?
+        .parse()
+        .map_err(|_| "SCALE expects a positive integer".to_string())?;
+    let solver = field("SOLVER")?.to_string();
+    let iters: usize = field("ITERS")?
+        .parse()
+        .map_err(|_| "ITERS expects a positive integer".to_string())?;
+    let priority: u8 = field("PRIORITY")?
+        .parse()
+        .map_err(|_| "PRIORITY expects an integer in 0..=255".to_string())?;
+    let mut batch = 1usize;
+    let mut preempt = None;
+    let mut pool = false;
+    for extra in tok {
+        if let Some(v) = extra.strip_prefix("batch=") {
+            batch = v
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("batch= expects a positive integer, got `{v}`"))?;
+        } else if let Some(v) = extra.strip_prefix("preempt@") {
+            let b: usize = v
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("preempt@ expects a positive iteration, got `{v}`"))?;
+            preempt = Some(b);
+        } else if extra == "pool" {
+            pool = true;
+        } else {
+            return Err(format!("unknown token `{extra}`"));
+        }
+    }
+    if iters == 0 {
+        return Err("ITERS must be positive".to_string());
+    }
+
+    // The measurement mirrors `reconstruct` without --sino: the dataset
+    // phantom simulated noise-free with the fixed seed, extra batch
+    // slices scaled copies — so serve outputs are bit-comparable to
+    // direct `reconstruct` runs.
+    let ds = ds.scaled(scale.max(1));
+    let grid = ds.grid();
+    let scan = ds.scan();
+    let truth = ds.phantom().rasterize(ds.channels);
+    let sino = simulate_sinogram(&truth, &grid, &scan, NoiseModel::None, 0xc11);
+    let input = if batch > 1 {
+        ReconInput::Batch(
+            (0..batch)
+                .map(|j| {
+                    let s = 1.0 + 0.05 * j as f32;
+                    Sinogram::new(scan, sino.data().iter().map(|&v| v * s).collect())
+                })
+                .collect(),
+        )
+    } else {
+        ReconInput::Slice(sino)
+    };
+    let request = match solver.as_str() {
+        "cg" => ReconRequest::cg(input, StopRule::Fixed(iters)),
+        "sirt" => ReconRequest::sirt(input, iters),
+        other => return Err(format!("serve supports cg and sirt, got `{other}`")),
+    };
+    let request = request.mode(if pool {
+        ExecMode::Pooled
+    } else {
+        ExecMode::Serial
+    });
+    let mut plan = PlanSpec::new(grid, scan);
+    plan.use_pool = pool;
+    plan.batch = batch;
+    let mut spec = JobSpec::new(name, plan, request).priority(priority);
+    if let Some(b) = preempt {
+        spec = spec.preempt_at(b);
+    }
+    Ok((spec, ds.channels))
+}
+
+/// `memxct-cli serve`: drain a job file through the serving runtime —
+/// priority scheduling with checkpoint preemption, plans shared through
+/// the keyed cache — and report per-job accounting.
+fn serve(opts: &Options) {
+    let path = opts.jobs.clone().unwrap_or_else(|| {
+        eprintln!("--jobs FILE is required for serve");
+        exit(2);
+    });
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", path.display());
+        exit(1);
+    });
+    if let Some(dir) = &opts.outdir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("cannot create {}: {e}", dir.display());
+            exit(1);
+        });
+    }
+
+    let runtime = JobRuntime::new(RuntimeConfig {
+        cache_capacity: opts.cache,
+        ..RuntimeConfig::default()
+    });
+    let mut jobs = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (spec, side) = parse_job_line(line).unwrap_or_else(|e| {
+            eprintln!("{}:{}: {e}", path.display(), lineno + 1);
+            exit(2);
+        });
+        let id = runtime.submit(spec).unwrap_or_else(|e| {
+            eprintln!("{}:{}: submission refused: {e}", path.display(), lineno + 1);
+            exit(2);
+        });
+        jobs.push((id, side));
+    }
+    println!(
+        "serve: {} job(s) queued, plan cache capacity {}",
+        jobs.len(),
+        opts.cache
+    );
+
+    let mut exit_code = 0;
+    for (id, side) in &jobs {
+        let Some(result) = runtime.wait(*id) else {
+            continue;
+        };
+        let r = &result.report;
+        match &result.outcome {
+            Ok(resp) => {
+                println!(
+                    "job {:>3} {:<16} ok     priority={} cache_hit={} preemptions={} \
+                     iters={} queue={:.3}s run={:.3}s preprocess={:.3}s plan={:016x}",
+                    r.id.0,
+                    r.name,
+                    r.priority,
+                    r.cache_hit,
+                    r.preemptions,
+                    r.iterations,
+                    r.queue_seconds,
+                    r.run_seconds,
+                    r.preprocess_seconds,
+                    r.plan_fingerprint
+                );
+                if let Some(dir) = &opts.outdir {
+                    let out = dir.join(format!("{}.pgm", r.name));
+                    let n = *side as usize;
+                    io::write_pgm(&out, n, n, &resp.images[0]).unwrap_or_else(|e| {
+                        eprintln!("cannot write {}: {e}", out.display());
+                        exit(1);
+                    });
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "job {:>3} {:<16} failed priority={}: {e}",
+                    r.id.0, r.name, r.priority
+                );
+                exit_code = exit_code.max(run_exit_code(e));
+            }
+        }
+    }
+
+    let snap = runtime.metrics();
+    let c = |k: &str| snap.counters.get(k).copied().unwrap_or(0);
+    println!(
+        "cache: {} hit / {} miss / {} evict; jobs: {} completed, {} failed, \
+         {} preempted, {} resumed",
+        c(xct_obs::CACHE_HIT),
+        c(xct_obs::CACHE_MISS),
+        c(xct_obs::CACHE_EVICT),
+        c(xct_obs::JOB_COMPLETED),
+        c(xct_obs::JOB_FAILED),
+        c(xct_obs::JOB_PREEMPTED),
+        c(xct_obs::JOB_RESUMED)
+    );
+    if let Some(path) = &opts.metrics {
+        std::fs::write(path, snap.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            exit(1);
+        });
+        println!("wrote {}", path.display());
+    }
+    if exit_code != 0 {
+        exit(exit_code);
+    }
 }
 
 /// Inject one deliberate fault into the memoized structures so the check

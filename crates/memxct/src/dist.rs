@@ -23,8 +23,8 @@ use crate::errors::BuildError;
 use crate::operator::{KernelBreakdown, ProjectionOperator};
 use crate::preprocess::Operators;
 use crate::solvers::{
-    run_engine_core, CgRule, Constraint, IterationRecord, SirtRule, SolverWorkspace, StopRule,
-    UpdateRule,
+    run_engine_core, CgRule, Constraint, EngineSignal, IterationRecord, SirtRule, SolverWorkspace,
+    StopRule, UpdateRule,
 };
 use std::cell::RefCell;
 use std::ops::Range;
@@ -885,9 +885,11 @@ fn solve_rank(
             // A poisoned rank skips the gather: the abort flag is already
             // set, so peers fail fast instead of blocking on it.
             if every == 0 || next_iter % every != 0 || op.fault().is_some() {
-                return Ok(());
+                return Ok(EngineSignal::Continue);
             }
-            let Some(sink) = &ft.sink else { return Ok(()) };
+            let Some(sink) = &ft.sink else {
+                return Ok(EngineSignal::Continue);
+            };
             let prev_res = ws.prev_res().first().copied().unwrap_or(f64::INFINITY);
             match save_global_checkpoint(
                 comm,
@@ -899,12 +901,12 @@ fn solve_rank(
                 ws,
                 rule,
             ) {
-                Ok(()) => Ok(()),
+                Ok(()) => Ok(EngineSignal::Continue),
                 // A comm failure during the gather poisons the solve like
                 // any other collective failure — recoverable by restart.
                 Err(SaveError::Comm(e)) => {
                     op.poison(e);
-                    Ok(())
+                    Ok(EngineSignal::Continue)
                 }
                 Err(SaveError::Checkpoint(ck)) => Err(ck),
             }

@@ -38,6 +38,14 @@ pub enum BuildError {
         /// Number of slices actually supplied.
         got: usize,
     },
+    /// A distributed solve was requested on a reconstructor built with
+    /// `ReconstructorBuilder::batch > 1`. The distributed halo-exchange
+    /// path is single-slice; rebuild with `batch(1)` (or drop the batch)
+    /// to run distributed, or use the shared-memory batched path.
+    DistributedBatchUnsupported {
+        /// Batch width the reconstructor was configured for.
+        batch: usize,
+    },
     /// A measurement vector's length does not match the operator's rows.
     SinogramLength {
         /// Rows of the projection matrix (expected sinogram length).
@@ -83,6 +91,14 @@ impl fmt::Display for BuildError {
                 write!(
                     f,
                     "got {got} slices but the reconstructor was built for a batch of {expected}"
+                )
+            }
+            BuildError::DistributedBatchUnsupported { batch } => {
+                write!(
+                    f,
+                    "distributed reconstruction is single-slice but this \
+                     reconstructor was built for a batch of {batch}; rebuild \
+                     with batch(1) or use the shared-memory batched path"
                 )
             }
             BuildError::SinogramLength { expected, got } => {

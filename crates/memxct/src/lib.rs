@@ -38,6 +38,7 @@ pub mod prelude;
 pub mod preprocess;
 pub mod reconstructor;
 pub mod regularize;
+pub mod request;
 pub mod solvers;
 pub mod subsets;
 
@@ -63,6 +64,10 @@ pub use reconstructor::{
     BatchOutput, ReconOutput, Reconstructor, ReconstructorBuilder, VolumeOutput,
 };
 pub use regularize::{cgls_smooth, gradient_operator};
+pub use request::{
+    CheckpointPolicy, DistDetail, ExecMode, ReconError, ReconInput, ReconRequest, ReconResponse,
+    RunControl, RunOutcome, Solver,
+};
 pub use solvers::{
     cgls, cgls_regularized, run_engine, run_engine_batched, run_engine_batched_in, run_engine_in,
     run_engine_with_metrics, sirt, sirt_nonneg, CgRule, Constraint, IterationRecord, SirtRule,

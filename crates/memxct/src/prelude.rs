@@ -28,6 +28,10 @@ pub use crate::preprocess::{
 pub use crate::reconstructor::{
     BatchOutput, ReconOutput, Reconstructor, ReconstructorBuilder, VolumeOutput,
 };
+pub use crate::request::{
+    CheckpointPolicy, DistDetail, ExecMode, ReconError, ReconInput, ReconRequest, ReconResponse,
+    RunControl, RunOutcome, Solver,
+};
 pub use crate::solvers::{
     cgls, cgls_regularized, run_engine, run_engine_batched, run_engine_batched_in,
     run_engine_with_metrics, sirt, sirt_nonneg, CgRule, Constraint, IterationRecord, SirtRule,

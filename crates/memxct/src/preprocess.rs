@@ -15,7 +15,7 @@ use xct_sparse::{spmv, spmv_parallel, BufferIndex, BufferedCsr, CsrMatrix, EllMa
 use crate::errors::BuildError;
 
 /// Which ordering to apply to the 2D domains.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DomainOrdering {
     /// Naive row-major layout (the "baseline" of Fig 9).
     RowMajor,
@@ -34,7 +34,7 @@ pub enum DomainOrdering {
 }
 
 /// Which ray-discretization model builds the projection matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Projector {
     /// Siddon's exact intersection lengths (the paper's model, §2.3).
     Siddon,
@@ -43,7 +43,7 @@ pub enum Projector {
 }
 
 /// Preprocessing configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Config {
     /// Ordering applied to both domains.
     pub ordering: DomainOrdering,
@@ -74,7 +74,7 @@ impl Default for Config {
 }
 
 /// Which SpMV kernel executes the projections.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Kernel {
     /// Sequential CSR (reference).
     Serial,

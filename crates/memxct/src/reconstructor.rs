@@ -5,7 +5,9 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 use crate::checkpoint;
-use crate::dist::{try_reconstruct_distributed_ft, DistConfig, DistOutput, FaultTolerance};
+use crate::dist::{
+    try_reconstruct_distributed_ft, DistConfig, DistOutput, DistSolver, FaultTolerance,
+};
 use crate::errors::BuildError;
 use crate::operator::{
     KernelBreakdown, PooledOperator, PooledPlans, ProjectionOperator, POOL_IMBALANCE_BACK,
@@ -14,9 +16,13 @@ use crate::operator::{
 use crate::preprocess::{
     try_preprocess_with_metrics, Config, DomainOrdering, Kernel, Operators, Projector,
 };
+use crate::request::{
+    CheckpointPolicy, DistDetail, ExecMode, ReconError, ReconInput, ReconRequest, ReconResponse,
+    RunControl, RunOutcome, Solver,
+};
 use crate::solvers::{
-    run_engine_core, CgRule, Constraint, IterationRecord, SirtRule, SolverWorkspace, StopRule,
-    UpdateRule,
+    run_engine_core, CgRule, Constraint, EngineExit, EngineSignal, IterationRecord, SirtRule,
+    SolverWorkspace, StopRule, UpdateRule,
 };
 use xct_geometry::{Grid, ScanGeometry, Sinogram};
 use xct_obs::{Metrics, MetricsSnapshot};
@@ -54,7 +60,7 @@ pub struct ReconOutput {
 /// buffer/kernel/metrics overrides, then [`build`](Self::build).
 ///
 /// ```
-/// use memxct::{Kernel, ReconstructorBuilder, StopRule};
+/// use memxct::{Kernel, ReconInput, ReconRequest, ReconstructorBuilder, StopRule};
 /// use xct_geometry::{disk, simulate_sinogram, Grid, NoiseModel, ScanGeometry};
 ///
 /// let grid = Grid::new(32);
@@ -66,8 +72,9 @@ pub struct ReconOutput {
 ///     .unwrap();
 /// let truth = disk(0.6, 1.0).rasterize(32);
 /// let sino = simulate_sinogram(&truth, &grid, &scan, NoiseModel::None, 0);
-/// let out = rec.reconstruct_cg(&sino, StopRule::Fixed(10));
-/// assert_eq!(out.image.len(), 32 * 32);
+/// let req = ReconRequest::cg(ReconInput::Slice(sino), StopRule::Fixed(10));
+/// let out = rec.run(&req).unwrap();
+/// assert_eq!(out.images[0].len(), 32 * 32);
 /// // Everything the run recorded is one snapshot away.
 /// let snap = rec.metrics();
 /// assert_eq!(snap.counters["solver/iterations"], 10);
@@ -338,12 +345,19 @@ struct ExecContext {
     plans: PooledPlans,
 }
 
+/// How one engine run ended: to its stop rule, or preempted at an
+/// iteration boundary with its state checkpointed.
+enum SolveExit {
+    Done(BatchOutput),
+    Preempted { iteration: usize },
+}
+
 /// A preprocessed reconstructor bound to one geometry. Preprocessing cost
 /// is paid once at construction and amortized over every slice
 /// reconstructed afterwards (Table 5's "All Slices" economics).
 ///
 /// ```
-/// use memxct::{Reconstructor, StopRule};
+/// use memxct::{ReconInput, ReconRequest, Reconstructor, StopRule};
 /// use xct_geometry::{disk, simulate_sinogram, Grid, NoiseModel, ScanGeometry};
 ///
 /// let grid = Grid::new(32);
@@ -352,9 +366,10 @@ struct ExecContext {
 /// let sino = simulate_sinogram(&truth, &grid, &scan, NoiseModel::None, 0);
 ///
 /// let rec = Reconstructor::new(grid, scan); // preprocess once
-/// let out = rec.reconstruct_cg(&sino, StopRule::Fixed(30));
-/// assert_eq!(out.image.len(), 32 * 32);
-/// assert!(out.records.last().unwrap().residual_norm < 1.0);
+/// let req = ReconRequest::cg(ReconInput::Slice(sino), StopRule::Fixed(30));
+/// let out = rec.run(&req).unwrap();
+/// assert_eq!(out.images[0].len(), 32 * 32);
+/// assert!(out.slice_records[0].last().unwrap().residual_norm < 1.0);
 /// // Per-kernel timings come from the same operator layer the
 /// // distributed path uses (all SpMV time in `ap_s` here).
 /// assert!(out.breakdown.ap_s > 0.0);
@@ -469,7 +484,11 @@ impl Reconstructor {
     ///
     /// # Panics
     /// Panics if the sinogram length does not match the geometry; use
-    /// [`Reconstructor::try_reconstruct_cg`] for a [`BuildError`].
+    /// [`Reconstructor::run`] for a typed error.
+    #[deprecated(
+        note = "build `ReconRequest::cg(ReconInput::Slice(..), stop)` and call `Reconstructor::run`"
+    )]
+    #[allow(deprecated)]
     pub fn reconstruct_cg(&self, sino: &Sinogram, stop: StopRule) -> ReconOutput {
         match self.try_reconstruct_cg(sino, stop) {
             Ok(out) => out,
@@ -478,27 +497,32 @@ impl Reconstructor {
         }
     }
 
-    /// Run one solve through the engine: pooled operator when the
-    /// reconstructor was built with `use_pool(true)`, plain kernel
-    /// operator otherwise, always inside the persistent workspace. The
+    /// Run one solve through the engine: pooled operator when `pooled`
+    /// (the caller has verified the pool exists), plain kernel operator
+    /// otherwise, always inside the persistent workspace. The
     /// measurement slab `y` holds `batch` slice-major blocks of ordered
-    /// sinogram data. With a checkpoint sink configured the solve resumes
-    /// from the latest snapshot (when [`ReconstructorBuilder::resume`] is
-    /// on) and saves one at the configured cadence; without one this is
-    /// the historical unfaulted path.
+    /// sinogram data. With a checkpoint policy the solve resumes from
+    /// the sink's latest snapshot (when the policy's `resume` is on) and
+    /// saves one at the policy's cadence; a preemption request from
+    /// `ctrl` saves a snapshot at the next iteration boundary regardless
+    /// of cadence and stops the engine.
+    #[allow(clippy::too_many_arguments)]
     fn run_solver(
         &self,
         y: &[f32],
         rule: &mut dyn UpdateRule,
         constraint: Constraint,
         stop: StopRule,
-    ) -> Result<BatchOutput, BuildError> {
-        let op: Box<dyn ProjectionOperator + '_> = match &self.exec {
-            Some(exec) => Box::new(
+        pooled: bool,
+        ckpt: Option<&CheckpointPolicy>,
+        ctrl: Option<&RunControl>,
+    ) -> Result<SolveExit, BuildError> {
+        let op: Box<dyn ProjectionOperator + '_> = match (&self.exec, pooled) {
+            (Some(exec), true) => Box::new(
                 PooledOperator::new(&self.ops, self.kernel, &exec.plans, &exec.pool)
                     .with_metrics(self.metrics.clone()),
             ),
-            None => self
+            _ => self
                 .ops
                 .operator_with_metrics(self.kernel, self.metrics.clone()),
         };
@@ -506,9 +530,9 @@ impl Reconstructor {
         let nrows = self.ops.a.nrows();
         let ncols = self.ops.a.ncols();
         let plan_hash = checkpoint::plan_fingerprint(&self.ops);
-        let resume_point = match &self.ft.sink {
-            Some(sink) if self.ft.resume => checkpoint::load_state(
-                sink.as_ref(),
+        let resume_point = match ckpt {
+            Some(p) if p.resume => checkpoint::load_state(
+                p.sink.as_ref(),
                 0,
                 plan_hash,
                 stop.max_iters(),
@@ -535,12 +559,8 @@ impl Reconstructor {
             }),
             _ => None,
         };
-        let every = if self.ft.sink.is_some() {
-            self.ft.checkpoint_every
-        } else {
-            0
-        };
-        run_engine_core(
+        let every = ckpt.map_or(0, |p| p.every);
+        let exit = run_engine_core(
             op.as_ref(),
             y,
             rule,
@@ -550,11 +570,10 @@ impl Reconstructor {
             &mut ws,
             resume_point,
             |next_iter, ws, rule| {
-                if every == 0 || next_iter % every != 0 {
-                    return Ok(());
-                }
-                let Some(sink) = &self.ft.sink else {
-                    return Ok(());
+                let preempt = ctrl.is_some_and(|c| c.should_preempt(next_iter));
+                let cadence = every != 0 && next_iter % every == 0;
+                let (Some(p), true) = (ckpt, preempt || cadence) else {
+                    return Ok(EngineSignal::Continue);
                 };
                 let snap = checkpoint::encode_state_batched(
                     plan_hash,
@@ -568,50 +587,281 @@ impl Reconstructor {
                     ws.slice_records(),
                     &rule.carried_scalars_in(ws),
                 );
-                sink.save(0, &snap.encode())
+                p.sink.save(0, &snap.encode())?;
+                Ok(if preempt {
+                    EngineSignal::Stop
+                } else {
+                    EngineSignal::Continue
+                })
             },
         )
         .map_err(BuildError::Checkpoint)?;
+        if let EngineExit::Stopped { next_iter } = exit {
+            return Ok(SolveExit::Preempted {
+                iteration: next_iter,
+            });
+        }
         let images = ws
             .x()
             .chunks_exact(ncols.max(1))
             .map(|slice| self.ops.unorder_tomogram(slice))
             .collect();
-        Ok(BatchOutput {
+        Ok(SolveExit::Done(BatchOutput {
             images,
             slice_records: ws.slice_records().to_vec(),
             breakdown: op.breakdown().unwrap_or_default(),
+        }))
+    }
+
+    /// The builder's fault-tolerance policy viewed as a request-level
+    /// checkpoint policy (`None` when no sink was configured).
+    fn builder_checkpoint(&self) -> Option<CheckpointPolicy> {
+        self.ft.sink.as_ref().map(|sink| CheckpointPolicy {
+            every: self.ft.checkpoint_every,
+            sink: sink.clone(),
+            resume: self.ft.resume,
         })
     }
 
-    /// Shim for the single-slice entry points: run the solver at batch
-    /// width 1 and unwrap slice 0.
-    fn run_solver_single(
+    /// The mode the legacy entry points implicitly ran in: pooled when
+    /// the reconstructor was built with a pool, serial otherwise.
+    fn native_mode(&self) -> ExecMode {
+        if self.exec.is_some() {
+            ExecMode::Pooled
+        } else {
+            ExecMode::Serial
+        }
+    }
+
+    fn make_rule(&self, solver: Solver) -> Box<dyn UpdateRule> {
+        match solver {
+            Solver::Cg => Box::new(CgRule::new()),
+            Solver::Sirt { relax } => Box::new(SirtRule::new(relax)),
+        }
+    }
+
+    /// Execute one [`ReconRequest`]. The single front door: every legacy
+    /// entry point is a deprecated shim over this, and the `xct-serve`
+    /// job runtime submits exactly these requests. See [`ReconRequest`]
+    /// for the request model.
+    pub fn run(&self, req: &ReconRequest) -> Result<ReconResponse, ReconError> {
+        match self.run_controlled(req, &RunControl::new())? {
+            RunOutcome::Completed(resp) => Ok(resp),
+            RunOutcome::Preempted { .. } => {
+                // lint: allow(no-panic) an inert control never preempts
+                unreachable!("an inert RunControl cannot request preemption")
+            }
+        }
+    }
+
+    /// Execute one [`ReconRequest`] under cooperative preemption: when
+    /// `ctrl` requests preemption, the solve snapshots into the request's
+    /// checkpoint sink at the next iteration boundary and returns
+    /// [`RunOutcome::Preempted`]; re-running the same request with
+    /// `resume = true` continues bit-identically. Preemption is honored
+    /// for [`ReconInput::Slice`]/[`ReconInput::Batch`] under
+    /// [`ExecMode::Serial`]/[`ExecMode::Pooled`]; volume and distributed
+    /// requests run to completion (a volume yields between chunks only at
+    /// the request level, and the distributed path owns its own
+    /// checkpoint protocol).
+    pub fn run_controlled(
+        &self,
+        req: &ReconRequest,
+        ctrl: &RunControl,
+    ) -> Result<RunOutcome, ReconError> {
+        if let Solver::Sirt { relax } = req.solver {
+            if relax.is_nan() || relax <= 0.0 {
+                return Err(ReconError::InvalidRelaxation { relax });
+            }
+        }
+        if let ExecMode::Distributed { config, ft } = &req.mode {
+            return self
+                .run_distributed(req, config, ft.as_ref())
+                .map(RunOutcome::Completed);
+        }
+        let pooled = match req.mode {
+            ExecMode::Pooled => {
+                if self.exec.is_none() {
+                    return Err(ReconError::PoolNotBuilt);
+                }
+                true
+            }
+            _ => false,
+        };
+        // Effective durability: request override, else the builder's
+        // checkpoint configuration.
+        let builder_ckpt = self.builder_checkpoint();
+        let ckpt = req.checkpoint.as_ref().or(builder_ckpt.as_ref());
+        match &req.input {
+            ReconInput::Slice(sino) => {
+                if self.batch != 1 {
+                    return Err(BuildError::BatchWidth {
+                        expected: self.batch,
+                        got: 1,
+                    }
+                    .into());
+                }
+                self.check_sinogram(sino)?;
+                let y = self.ops.order_sinogram(sino);
+                self.run_group(&y, 1, req.solver, req.stop, pooled, ckpt, Some(ctrl))
+            }
+            ReconInput::Batch(sinos) => {
+                let y = self.order_batch(sinos)?;
+                self.run_group(
+                    &y,
+                    sinos.len(),
+                    req.solver,
+                    req.stop,
+                    pooled,
+                    ckpt,
+                    Some(ctrl),
+                )
+            }
+            ReconInput::Volume(sinos) => self
+                .run_volume_request(sinos, req.solver, req.stop, pooled)
+                .map(RunOutcome::Completed),
+        }
+    }
+
+    /// One engine run over an ordered measurement slab covering `visible`
+    /// caller slices (a padded tail group solves extra columns that are
+    /// dropped here), wrapped into a response.
+    #[allow(clippy::too_many_arguments)]
+    fn run_group(
         &self,
         y: &[f32],
-        rule: &mut dyn UpdateRule,
-        constraint: Constraint,
+        visible: usize,
+        solver: Solver,
         stop: StopRule,
-    ) -> Result<ReconOutput, BuildError> {
-        if self.batch != 1 {
-            return Err(BuildError::BatchWidth {
-                expected: self.batch,
-                got: 1,
-            });
+        pooled: bool,
+        ckpt: Option<&CheckpointPolicy>,
+        ctrl: Option<&RunControl>,
+    ) -> Result<RunOutcome, ReconError> {
+        let mut rule = self.make_rule(solver);
+        let t = std::time::Instant::now();
+        match self.run_solver(y, rule.as_mut(), Constraint::None, stop, pooled, ckpt, ctrl)? {
+            SolveExit::Preempted { iteration } => Ok(RunOutcome::Preempted { iteration }),
+            SolveExit::Done(out) => {
+                let share = t.elapsed().as_secs_f64() / visible.max(1) as f64;
+                Ok(RunOutcome::Completed(ReconResponse {
+                    images: out.images.into_iter().take(visible).collect(),
+                    slice_records: out.slice_records.into_iter().take(visible).collect(),
+                    breakdown: out.breakdown,
+                    per_slice_seconds: vec![share; visible],
+                    preprocess_seconds: self.ops.timings.total(),
+                    dist: None,
+                }))
+            }
         }
-        let mut out = self.run_solver(y, rule, constraint, stop)?;
-        Ok(ReconOutput {
-            image: if out.images.is_empty() {
-                Vec::new()
+    }
+
+    /// Chunked volume execution: groups of `batch` slices per engine run,
+    /// a short tail group padded with clones of its last sinogram and the
+    /// padded outputs discarded. Runs without checkpointing (the
+    /// per-chunk solves would alias snapshot slot 0) and to completion.
+    fn run_volume_request(
+        &self,
+        sinos: &[Sinogram],
+        solver: Solver,
+        stop: StopRule,
+        pooled: bool,
+    ) -> Result<ReconResponse, ReconError> {
+        let mut images = Vec::with_capacity(sinos.len());
+        let mut slice_records = Vec::with_capacity(sinos.len());
+        let mut per_slice_seconds = Vec::with_capacity(sinos.len());
+        let mut breakdown = KernelBreakdown::default();
+        for group in sinos.chunks(self.batch.max(1)) {
+            let y = if group.len() == self.batch {
+                self.order_batch(group)?
             } else {
-                out.images.swap_remove(0)
+                let mut padded: Vec<Sinogram> = group.to_vec();
+                while padded.len() < self.batch {
+                    // lint: allow(no-panic) chunks() yields non-empty groups
+                    padded.push(padded.last().unwrap().clone());
+                }
+                self.order_batch(&padded)?
+            };
+            match self.run_group(&y, group.len(), solver, stop, pooled, None, None)? {
+                RunOutcome::Completed(resp) => {
+                    images.extend(resp.images);
+                    slice_records.extend(resp.slice_records);
+                    per_slice_seconds.extend(resp.per_slice_seconds);
+                    breakdown = resp.breakdown;
+                }
+                RunOutcome::Preempted { .. } => {
+                    // lint: allow(no-panic) chunk solves get no control, so they cannot preempt
+                    unreachable!("volume chunks run without a preemption control")
+                }
+            }
+        }
+        Ok(ReconResponse {
+            images,
+            slice_records,
+            breakdown,
+            per_slice_seconds,
+            preprocess_seconds: self.ops.timings.total(),
+            dist: None,
+        })
+    }
+
+    /// Distributed execution of a request. Single-slice only; the
+    /// request's `solver`/`stop` override the `config`'s, and a request
+    /// checkpoint policy overrides the fault-tolerance policy's
+    /// sink/cadence/resume.
+    fn run_distributed(
+        &self,
+        req: &ReconRequest,
+        config: &DistConfig,
+        ft_override: Option<&FaultTolerance>,
+    ) -> Result<ReconResponse, ReconError> {
+        // The distributed halo-exchange path is single-slice; a batched
+        // reconstructor must not silently solve one slice of its batch.
+        if self.batch != 1 {
+            return Err(BuildError::DistributedBatchUnsupported { batch: self.batch }.into());
+        }
+        let ReconInput::Slice(sino) = &req.input else {
+            return Err(BuildError::DistributedBatchUnsupported {
+                batch: req.input.num_slices(),
+            }
+            .into());
+        };
+        self.check_sinogram(sino)?;
+        let mut ft = ft_override.unwrap_or(&self.ft).clone();
+        if let Some(p) = &req.checkpoint {
+            ft.sink = Some(p.sink.clone());
+            ft.checkpoint_every = p.every;
+            ft.resume = p.resume;
+        }
+        let dconf = DistConfig {
+            ranks: config.ranks,
+            use_buffered: config.use_buffered,
+            stop: req.stop,
+            solver: match req.solver {
+                Solver::Cg => DistSolver::Cg,
+                Solver::Sirt { .. } => DistSolver::Sirt,
             },
-            records: if out.slice_records.is_empty() {
-                Vec::new()
-            } else {
-                out.slice_records.swap_remove(0)
-            },
-            breakdown: out.breakdown,
+        };
+        let y = self.ops.order_sinogram(sino);
+        let t = std::time::Instant::now();
+        let out = try_reconstruct_distributed_ft(&self.ops, &y, &dconf, &ft, &self.metrics)?;
+        let elapsed = t.elapsed().as_secs_f64();
+        let mut total = KernelBreakdown::default();
+        for b in &out.breakdown {
+            total.ap_s += b.ap_s;
+            total.c_s += b.c_s;
+            total.r_s += b.r_s;
+        }
+        Ok(ReconResponse {
+            images: vec![out.image],
+            slice_records: vec![out.records],
+            breakdown: total,
+            per_slice_seconds: vec![elapsed],
+            preprocess_seconds: self.ops.timings.total(),
+            dist: Some(DistDetail {
+                breakdowns: out.breakdown,
+                ledger: out.ledger,
+                volumes: out.volumes,
+            }),
         })
     }
 
@@ -633,14 +883,18 @@ impl Reconstructor {
     }
 
     /// Fallible [`Reconstructor::reconstruct_cg`].
+    #[deprecated(
+        note = "build `ReconRequest::cg(ReconInput::Slice(..), stop)` and call `Reconstructor::run`"
+    )]
     pub fn try_reconstruct_cg(
         &self,
         sino: &Sinogram,
         stop: StopRule,
     ) -> Result<ReconOutput, BuildError> {
-        self.check_sinogram(sino)?;
-        let y = self.ops.order_sinogram(sino);
-        self.run_solver_single(&y, &mut CgRule::new(), Constraint::None, stop)
+        let req = ReconRequest::cg(ReconInput::Slice(sino.clone()), stop).mode(self.native_mode());
+        self.run(&req)
+            .map(single_output)
+            .map_err(ReconError::into_build)
     }
 
     /// Reconstruct `batch` slices in one engine run with CG. Requires the
@@ -650,37 +904,48 @@ impl Reconstructor {
     /// Column `j` of the result is bit-identical to reconstructing
     /// `sinos[j]` alone, and per-slice stopping rules retire converged
     /// slices while the rest keep iterating.
+    #[deprecated(
+        note = "build `ReconRequest::cg(ReconInput::Batch(..), stop)` and call `Reconstructor::run`"
+    )]
     pub fn try_reconstruct_cg_batch(
         &self,
         sinos: &[Sinogram],
         stop: StopRule,
     ) -> Result<BatchOutput, BuildError> {
-        let y = self.order_batch(sinos)?;
-        self.run_solver(&y, &mut CgRule::new(), Constraint::None, stop)
+        let req =
+            ReconRequest::cg(ReconInput::Batch(sinos.to_vec()), stop).mode(self.native_mode());
+        self.run(&req)
+            .map(batch_output)
+            .map_err(ReconError::into_build)
     }
 
     /// Batched [`Reconstructor::try_reconstruct_sirt`]; see
     /// [`Reconstructor::try_reconstruct_cg_batch`] for the batch
     /// semantics.
+    #[deprecated(
+        note = "build `ReconRequest::sirt(ReconInput::Batch(..), iters)` and call `Reconstructor::run`"
+    )]
     pub fn try_reconstruct_sirt_batch(
         &self,
         sinos: &[Sinogram],
         iters: usize,
     ) -> Result<BatchOutput, BuildError> {
-        let y = self.order_batch(sinos)?;
-        self.run_solver(
-            &y,
-            &mut SirtRule::new(1.0),
-            Constraint::None,
-            StopRule::Fixed(iters),
-        )
+        let req =
+            ReconRequest::sirt(ReconInput::Batch(sinos.to_vec()), iters).mode(self.native_mode());
+        self.run(&req)
+            .map(batch_output)
+            .map_err(ReconError::into_build)
     }
 
     /// Reconstruct one slice with SIRT (for baseline comparisons).
     ///
     /// # Panics
     /// Panics if the sinogram length does not match the geometry; use
-    /// [`Reconstructor::try_reconstruct_sirt`] for a [`BuildError`].
+    /// [`Reconstructor::run`] for a typed error.
+    #[deprecated(
+        note = "build `ReconRequest::sirt(ReconInput::Slice(..), iters)` and call `Reconstructor::run`"
+    )]
+    #[allow(deprecated)]
     pub fn reconstruct_sirt(&self, sino: &Sinogram, iters: usize) -> ReconOutput {
         match self.try_reconstruct_sirt(sino, iters) {
             Ok(out) => out,
@@ -690,19 +955,19 @@ impl Reconstructor {
     }
 
     /// Fallible [`Reconstructor::reconstruct_sirt`].
+    #[deprecated(
+        note = "build `ReconRequest::sirt(ReconInput::Slice(..), iters)` and call `Reconstructor::run`"
+    )]
     pub fn try_reconstruct_sirt(
         &self,
         sino: &Sinogram,
         iters: usize,
     ) -> Result<ReconOutput, BuildError> {
-        self.check_sinogram(sino)?;
-        let y = self.ops.order_sinogram(sino);
-        self.run_solver_single(
-            &y,
-            &mut SirtRule::new(1.0),
-            Constraint::None,
-            StopRule::Fixed(iters),
-        )
+        let req =
+            ReconRequest::sirt(ReconInput::Slice(sino.clone()), iters).mode(self.native_mode());
+        self.run(&req)
+            .map(single_output)
+            .map_err(ReconError::into_build)
     }
 
     /// Reconstruct one slice with the distributed (threads-as-ranks) CG
@@ -710,8 +975,12 @@ impl Reconstructor {
     ///
     /// # Panics
     /// Panics on a zero rank count or mismatched sinogram; use
-    /// [`Reconstructor::try_reconstruct_distributed`] for a
-    /// [`BuildError`].
+    /// [`Reconstructor::run`] with [`ExecMode::Distributed`] for a typed
+    /// error.
+    #[deprecated(
+        note = "build a `ReconRequest` with `ExecMode::Distributed` and call `Reconstructor::run`"
+    )]
+    #[allow(deprecated)]
     pub fn reconstruct_distributed(&self, sino: &Sinogram, config: &DistConfig) -> DistOutput {
         match self.try_reconstruct_distributed(sino, config) {
             Ok(out) => out,
@@ -726,6 +995,10 @@ impl Reconstructor {
     /// builder's fault-tolerance policy — with the default
     /// ([`FaultTolerance::disabled`]) this is the historical fail-fast
     /// path, bit-identically.
+    #[deprecated(
+        note = "build a `ReconRequest` with `ExecMode::Distributed` and call `Reconstructor::run`"
+    )]
+    #[allow(deprecated)]
     pub fn try_reconstruct_distributed(
         &self,
         sino: &Sinogram,
@@ -736,23 +1009,52 @@ impl Reconstructor {
 
     /// [`Reconstructor::try_reconstruct_distributed`] under an explicit
     /// fault-tolerance policy (overriding the builder's).
+    #[deprecated(
+        note = "build a `ReconRequest` with `ExecMode::Distributed { ft: Some(..) }` and call `Reconstructor::run`"
+    )]
     pub fn try_reconstruct_distributed_ft(
         &self,
         sino: &Sinogram,
         config: &DistConfig,
         ft: &FaultTolerance,
     ) -> Result<DistOutput, BuildError> {
-        // The distributed halo-exchange path is single-slice; a batched
-        // reconstructor must not silently solve one slice of its batch.
-        if self.batch != 1 {
-            return Err(BuildError::BatchWidth {
-                expected: self.batch,
-                got: 1,
-            });
+        let req = ReconRequest {
+            solver: match config.solver {
+                DistSolver::Cg => Solver::Cg,
+                DistSolver::Sirt => Solver::Sirt { relax: 1.0 },
+            },
+            stop: config.stop,
+            input: ReconInput::Slice(sino.clone()),
+            mode: ExecMode::Distributed {
+                config: *config,
+                ft: Some(ft.clone()),
+            },
+            checkpoint: None,
+        };
+        let mut resp = self.run(&req).map_err(ReconError::into_build)?;
+        let image = if resp.images.is_empty() {
+            Vec::new()
+        } else {
+            resp.images.swap_remove(0)
+        };
+        let records = if resp.slice_records.is_empty() {
+            Vec::new()
+        } else {
+            resp.slice_records.swap_remove(0)
+        };
+        match resp.dist {
+            Some(d) => Ok(DistOutput {
+                image,
+                records,
+                breakdown: d.breakdowns,
+                ledger: d.ledger,
+                volumes: d.volumes,
+            }),
+            // Defensive: a distributed run always carries its detail.
+            None => Err(BuildError::LayoutNotBuilt {
+                layout: "distributed detail",
+            }),
         }
-        self.check_sinogram(sino)?;
-        let y = self.ops.order_sinogram(sino);
-        try_reconstruct_distributed_ft(&self.ops, &y, config, ft, &self.metrics)
     }
 
     /// The fault-tolerance policy this reconstructor runs under.
@@ -769,41 +1071,47 @@ impl Reconstructor {
     /// group with clones of its last sinogram and discarding the padded
     /// outputs; each slice in a group is attributed an equal share of the
     /// group's wall-clock time.
+    #[deprecated(
+        note = "build `ReconRequest::cg(ReconInput::Volume(..), stop)` and call `Reconstructor::run`"
+    )]
     pub fn reconstruct_volume(&self, sinos: &[Sinogram], stop: StopRule) -> VolumeOutput {
-        let mut images = Vec::with_capacity(sinos.len());
-        let mut per_slice_seconds = Vec::with_capacity(sinos.len());
-        if self.batch == 1 {
-            for sino in sinos {
-                let t = std::time::Instant::now();
-                let out = self.reconstruct_cg(sino, stop);
-                per_slice_seconds.push(t.elapsed().as_secs_f64());
-                images.push(out.image);
-            }
+        let req =
+            ReconRequest::cg(ReconInput::Volume(sinos.to_vec()), stop).mode(self.native_mode());
+        match self.run(&req) {
+            Ok(resp) => VolumeOutput {
+                images: resp.images,
+                per_slice_seconds: resp.per_slice_seconds,
+                preprocess_seconds: resp.preprocess_seconds,
+            },
+            // lint: allow(no-panic) documented panicking shim over the run API
+            Err(e) => panic!("invalid reconstruction input: {e}"),
+        }
+    }
+}
+
+/// Unwrap a single-slice response into the legacy [`ReconOutput`].
+fn single_output(mut resp: ReconResponse) -> ReconOutput {
+    ReconOutput {
+        image: if resp.images.is_empty() {
+            Vec::new()
         } else {
-            for group in sinos.chunks(self.batch) {
-                let mut padded: Vec<Sinogram> = group.to_vec();
-                while padded.len() < self.batch {
-                    // lint: allow(no-panic) chunks() yields non-empty groups
-                    padded.push(padded.last().unwrap().clone());
-                }
-                let t = std::time::Instant::now();
-                let out = match self.try_reconstruct_cg_batch(&padded, stop) {
-                    Ok(out) => out,
-                    // lint: allow(no-panic) documented panicking shim over the try_ API
-                    Err(e) => panic!("invalid reconstruction input: {e}"),
-                };
-                let share = t.elapsed().as_secs_f64() / group.len() as f64;
-                for image in out.images.into_iter().take(group.len()) {
-                    images.push(image);
-                    per_slice_seconds.push(share);
-                }
-            }
-        }
-        VolumeOutput {
-            images,
-            per_slice_seconds,
-            preprocess_seconds: self.ops.timings.total(),
-        }
+            resp.images.swap_remove(0)
+        },
+        records: if resp.slice_records.is_empty() {
+            Vec::new()
+        } else {
+            resp.slice_records.swap_remove(0)
+        },
+        breakdown: resp.breakdown,
+    }
+}
+
+/// Repackage a batched response into the legacy [`BatchOutput`].
+fn batch_output(resp: ReconResponse) -> BatchOutput {
+    BatchOutput {
+        images: resp.images,
+        slice_records: resp.slice_records,
+        breakdown: resp.breakdown,
     }
 }
 
@@ -830,6 +1138,9 @@ impl VolumeOutput {
 
 #[cfg(test)]
 mod tests {
+    // The legacy entry points stay covered until they are removed.
+    #![allow(deprecated)]
+
     use super::*;
     use xct_geometry::{disk, shepp_logan, simulate_sinogram, NoiseModel};
 

@@ -465,7 +465,7 @@ pub fn run_engine_in<R: UpdateRule + ?Sized>(
         metrics,
         ws,
         None,
-        |_, _, _| Ok(()),
+        |_, _, _| Ok(EngineSignal::Continue),
     );
 }
 
@@ -507,14 +507,39 @@ pub fn run_engine_batched<R: UpdateRule + ?Sized>(
     (images, ws.slice_records)
 }
 
+/// What the between-iterations hook tells the engine to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EngineSignal {
+    /// Keep iterating.
+    Continue,
+    /// Stop at this iteration boundary (the workspace holds a consistent
+    /// state for iteration `next_iter`; the hook has typically just
+    /// checkpointed it). Used for cooperative preemption.
+    Stop,
+}
+
+/// How an engine run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EngineExit {
+    /// The stop rule (or breakdown/retirement) ended the solve normally.
+    Completed,
+    /// The hook requested a stop; the solve would have continued from
+    /// `next_iter`.
+    Stopped {
+        /// First iteration that did NOT run.
+        next_iter: usize,
+    },
+}
+
 /// The engine loop shared by the plain and the checkpointing entry
 /// points. `resume` carries the start iteration when the caller
 /// pre-restored the workspace (including per-slice `prev_res`/activity)
 /// and the rule from a snapshot; `after` runs between iterations (after
 /// iteration `next_iter − 1` committed its records) and is where
-/// checkpoints are taken — its error aborts the solve. With
-/// `resume = None` and a no-op observer the batch-1 branch is
-/// bit-identical to the historical scalar loop.
+/// checkpoints are taken — its error aborts the solve, and returning
+/// [`EngineSignal::Stop`] ends it cleanly at the boundary (cooperative
+/// preemption). With `resume = None` and a no-op observer the batch-1
+/// branch is bit-identical to the historical scalar loop.
 ///
 /// The batched branch (`ws.batch() > 1`) advances all active slices per
 /// iteration via [`UpdateRule::step_batch`], retires slices individually
@@ -533,10 +558,10 @@ pub(crate) fn run_engine_core<R, F>(
     ws: &mut SolverWorkspace,
     resume: Option<usize>,
     mut after: F,
-) -> Result<(), xct_runtime::CheckpointError>
+) -> Result<EngineExit, xct_runtime::CheckpointError>
 where
     R: UpdateRule + ?Sized,
-    F: FnMut(usize, &SolverWorkspace, &R) -> Result<(), xct_runtime::CheckpointError>,
+    F: FnMut(usize, &SolverWorkspace, &R) -> Result<EngineSignal, xct_runtime::CheckpointError>,
 {
     let start = match resume {
         // The caller restored ws (including records) and the rule.
@@ -579,10 +604,15 @@ where
                 break;
             }
             ws.prev_res[0] = res;
-            after(iter + 1, ws, &*rule)?;
+            if after(iter + 1, ws, &*rule)? == EngineSignal::Stop {
+                metrics.gauge_set("solver/early_terminated", early as u64 as f64);
+                return Ok(EngineExit::Stopped {
+                    next_iter: iter + 1,
+                });
+            }
         }
         metrics.gauge_set("solver/early_terminated", early as u64 as f64);
-        return Ok(());
+        return Ok(EngineExit::Completed);
     }
 
     let k = ws.batch;
@@ -652,10 +682,15 @@ where
         if !any_active {
             break; // matches the scalar loop: no checkpoint after the end
         }
-        after(iter + 1, ws, &*rule)?;
+        if after(iter + 1, ws, &*rule)? == EngineSignal::Stop {
+            metrics.gauge_set("solver/early_terminated", early_slices as f64);
+            return Ok(EngineExit::Stopped {
+                next_iter: iter + 1,
+            });
+        }
     }
     metrics.gauge_set("solver/early_terminated", early_slices as f64);
-    Ok(())
+    Ok(EngineExit::Completed)
 }
 
 /// CGLS: minimize `‖y − A·x‖₂²` (plus `λ‖x‖₂²` when regularized).

@@ -5,6 +5,10 @@
 //! a mid-solve rank crash ends in a completed restarted solve or a typed
 //! `CommError` — never a hang.
 
+// Golden-pin suite: the deprecated entry points stay covered (as shims
+// over `Reconstructor::run`) until they are removed.
+#![allow(deprecated)]
+
 use std::sync::Arc;
 use std::time::Instant;
 

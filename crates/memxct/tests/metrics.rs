@@ -4,6 +4,10 @@
 //! communication matrix), the no-op handle must record nothing, and the
 //! exported matrix must agree with the runtime's per-pair ledger.
 
+// Golden-pin suite: the deprecated entry points stay covered (as shims
+// over `Reconstructor::run`) until they are removed.
+#![allow(deprecated)]
+
 use memxct::prelude::*;
 use memxct::reconstruct_distributed_with_metrics;
 use xct_geometry::{simulate_sinogram, Grid, NoiseModel, ScanGeometry, Sinogram};

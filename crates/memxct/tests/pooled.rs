@@ -4,6 +4,10 @@
 //! depend on how many workers the rows are split across), and must agree
 //! with the unpooled path to reduction-reordering tolerance.
 
+// Golden-pin suite: the deprecated entry points stay covered (as shims
+// over `Reconstructor::run`) until they are removed.
+#![allow(deprecated)]
+
 use memxct::{Kernel, ReconstructorBuilder, StopRule};
 use xct_geometry::{disk, simulate_sinogram, Grid, NoiseModel, ScanGeometry, Sinogram};
 

@@ -3,6 +3,10 @@
 //! with the monolithic one, and permutations round-trip — for arbitrary
 //! geometries and rank counts.
 
+// Golden-pin suite: the deprecated entry points stay covered (as shims
+// over `Reconstructor::run`) until they are removed.
+#![allow(deprecated)]
+
 use memxct::{preprocess, Config, Kernel};
 use proptest::prelude::*;
 use xct_geometry::{disk, Sinogram};

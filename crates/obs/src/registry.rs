@@ -32,6 +32,35 @@ pub const FAULT_RANK_LOSS: &str = "fault/rank_loss";
 /// from the last checkpoint after a rank loss.
 pub const FAULT_RESTARTS: &str = "fault/restarts";
 
+/// Counter of plan-cache lookups served by an already-built reconstructor
+/// (the preprocessing cost was amortized away entirely).
+pub const CACHE_HIT: &str = "cache/hit";
+/// Counter of plan-cache lookups that had to build (and validate) a new
+/// reconstructor.
+pub const CACHE_MISS: &str = "cache/miss";
+/// Counter of reconstructors evicted from the plan cache to stay within
+/// its capacity bound.
+pub const CACHE_EVICT: &str = "cache/evict";
+
+/// Counter of jobs accepted into the serving queue.
+pub const JOB_SUBMITTED: &str = "job/submitted";
+/// Counter of jobs that ran to completion.
+pub const JOB_COMPLETED: &str = "job/completed";
+/// Counter of jobs that failed with a reconstruction error.
+pub const JOB_FAILED: &str = "job/failed";
+/// Counter of jobs rejected by admission control (queued measurement
+/// bytes would exceed the configured bound).
+pub const JOB_REJECTED: &str = "job/rejected";
+/// Counter of preemptions: a running job checkpointed at an iteration
+/// boundary to yield to a higher-priority arrival.
+pub const JOB_PREEMPTED: &str = "job/preempted";
+/// Counter of preempted jobs resumed from their checkpoint.
+pub const JOB_RESUMED: &str = "job/resumed";
+/// Timer of time jobs spent queued before first being scheduled.
+pub const JOB_QUEUE_SECONDS: &str = "job/queue_s";
+/// Timer of time jobs spent actually solving (across all attempts).
+pub const JOB_RUN_SECONDS: &str = "job/run_s";
+
 /// Aggregated observations of one timer (or histogram-like metric).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimerSummary {

@@ -1,0 +1,525 @@
+//! The job runtime: a multi-producer priority queue and a scheduler
+//! thread draining it through the plan cache, with checkpoint-based
+//! preemption.
+//!
+//! Scheduling policy: highest priority first, FIFO within a priority.
+//! When a job with strictly higher priority is submitted while a
+//! lower-priority job is running, the runtime requests preemption — the
+//! running solve snapshots into a job-private in-memory checkpoint at
+//! its next iteration boundary and goes back to the queue; when it is
+//! scheduled again it resumes from that snapshot, and its final output
+//! is bit-identical to an uninterrupted run (the PR 5 checkpoint
+//! guarantee). Admission control rejects submissions once the queued
+//! measurement bytes would exceed the configured bound.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use memxct::{CheckpointPolicy, ReconError, ReconRequest, ReconResponse, RunControl, RunOutcome};
+use xct_obs::{
+    Metrics, MetricsSnapshot, JOB_COMPLETED, JOB_FAILED, JOB_PREEMPTED, JOB_QUEUE_SECONDS,
+    JOB_REJECTED, JOB_RESUMED, JOB_RUN_SECONDS, JOB_SUBMITTED,
+};
+use xct_runtime::MemoryCheckpointSink;
+
+use crate::cache::{PlanCache, PlanSpec};
+
+/// Why a job could not be executed (the request-level error of
+/// [`memxct::Reconstructor::run`], which also covers plan build
+/// failures surfaced by the cache).
+pub type JobError = ReconError;
+
+/// Handle to a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(
+    /// Monotonic submission number (also the tiebreaker within a
+    /// priority level).
+    pub u64,
+);
+
+/// One unit of work for the runtime: which plan to solve on, the request
+/// itself, and how urgently.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Human-readable label carried into the report.
+    pub name: String,
+    /// Plan the job solves on (cache key).
+    pub plan: PlanSpec,
+    /// The reconstruction request. Its `checkpoint` field is replaced by
+    /// a job-private in-memory policy (the preemption substrate); route
+    /// durable checkpointing through [`memxct::Reconstructor::run`]
+    /// directly if you need it.
+    pub request: ReconRequest,
+    /// Scheduling priority (higher runs first; a strictly higher arrival
+    /// preempts the running job).
+    pub priority: u8,
+    /// Deterministic self-preemption drill: checkpoint and yield at this
+    /// iteration boundary on the first attempt (used by the serve-smoke
+    /// CI job to exercise preempt/resume without timing races).
+    pub preempt_at: Option<usize>,
+}
+
+impl JobSpec {
+    /// A priority-0 job with no preemption drill.
+    pub fn new(name: impl Into<String>, plan: PlanSpec, request: ReconRequest) -> Self {
+        JobSpec {
+            name: name.into(),
+            plan,
+            request,
+            priority: 0,
+            preempt_at: None,
+        }
+    }
+
+    /// Set the scheduling priority.
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Arm the deterministic self-preemption drill.
+    pub fn preempt_at(mut self, boundary: usize) -> Self {
+        self.preempt_at = Some(boundary);
+        self
+    }
+}
+
+/// Where a job currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the queue (first time or after a preemption).
+    Queued,
+    /// Currently solving.
+    Running,
+    /// Finished successfully; the result is available.
+    Completed,
+    /// Finished with an error; the result carries it.
+    Failed,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Admission control: accepting the job would push the queued
+    /// measurement bytes past the bound.
+    QueueFull {
+        /// Bytes already queued.
+        queued_bytes: usize,
+        /// Bytes the rejected job carries.
+        incoming_bytes: usize,
+        /// The configured bound.
+        limit: usize,
+    },
+    /// The runtime is shutting down and no longer accepts jobs.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull {
+                queued_bytes,
+                incoming_bytes,
+                limit,
+            } => write!(
+                f,
+                "queue full: {queued_bytes} bytes queued + {incoming_bytes} incoming \
+                 exceeds the {limit}-byte admission bound"
+            ),
+            SubmitError::ShuttingDown => write!(f, "runtime is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Accounting for one finished job.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The job's handle.
+    pub id: JobId,
+    /// Label from the spec.
+    pub name: String,
+    /// Scheduling priority.
+    pub priority: u8,
+    /// Stable digest of the plan key the job solved on.
+    pub plan_fingerprint: u64,
+    /// Whether the first attempt found its plan already cached (no
+    /// preprocessing ran for this job).
+    pub cache_hit: bool,
+    /// Seconds spent queued, across all stints.
+    pub queue_seconds: f64,
+    /// Seconds spent solving, across all attempts.
+    pub run_seconds: f64,
+    /// Preprocessing seconds this job actually paid (zero on a cache
+    /// hit — the amortization the serving layer exists for).
+    pub preprocess_seconds: f64,
+    /// How many times the job was preempted.
+    pub preemptions: usize,
+    /// Total solver iterations across all slices (completed jobs only).
+    pub iterations: usize,
+}
+
+/// A finished job: its report plus the response or error.
+#[derive(Debug)]
+pub struct JobResult {
+    /// Accounting.
+    pub report: JobReport,
+    /// The reconstruction output, or why it failed.
+    pub outcome: Result<ReconResponse, JobError>,
+}
+
+/// Runtime sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Plan-cache capacity (built reconstructors kept alive).
+    pub cache_capacity: usize,
+    /// Admission-control bound on queued measurement bytes.
+    pub max_queued_bytes: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            cache_capacity: 8,
+            max_queued_bytes: 256 << 20,
+        }
+    }
+}
+
+struct QueuedJob {
+    id: JobId,
+    seq: u64,
+    spec: JobSpec,
+    bytes: usize,
+    enqueued: Instant,
+    queue_seconds: f64,
+    run_seconds: f64,
+    preemptions: usize,
+    resumed: bool,
+    cache_hit: Option<bool>,
+    sink: Arc<MemoryCheckpointSink>,
+}
+
+struct Running {
+    priority: u8,
+    ctrl: Arc<RunControl>,
+}
+
+struct State {
+    queue: Vec<QueuedJob>,
+    queued_bytes: usize,
+    running: Option<Running>,
+    statuses: HashMap<u64, JobStatus>,
+    results: HashMap<u64, JobResult>,
+    next_seq: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Wakes the scheduler (new job, shutdown).
+    work_cv: Condvar,
+    /// Wakes waiters (job finished).
+    done_cv: Condvar,
+    cache: PlanCache,
+    metrics: Metrics,
+    max_queued_bytes: usize,
+}
+
+/// The serving runtime: a plan cache plus one scheduler thread draining
+/// a priority queue of [`JobSpec`]s. Submissions are thread-safe; the
+/// scheduler runs one job at a time (the worker pool parallelizes within
+/// a solve) and preempts it when a strictly higher priority arrives.
+pub struct JobRuntime {
+    shared: Arc<Shared>,
+    worker: Option<thread::JoinHandle<()>>,
+}
+
+impl JobRuntime {
+    /// A runtime recording into a fresh collecting metrics registry.
+    pub fn new(config: RuntimeConfig) -> Self {
+        JobRuntime::with_metrics(config, Metrics::collecting())
+    }
+
+    /// A runtime recording into a shared metrics registry. The plan
+    /// cache and every cached reconstructor share the same handle, so
+    /// one snapshot covers `cache/*`, `job/*`, and the kernel/solver
+    /// families.
+    pub fn with_metrics(config: RuntimeConfig, metrics: Metrics) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: Vec::new(),
+                queued_bytes: 0,
+                running: None,
+                statuses: HashMap::new(),
+                results: HashMap::new(),
+                next_seq: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            cache: PlanCache::with_metrics(config.cache_capacity, metrics.clone()),
+            metrics,
+            max_queued_bytes: config.max_queued_bytes,
+        });
+        let worker_shared = shared.clone();
+        let worker = thread::spawn(move || scheduler_loop(&worker_shared));
+        JobRuntime {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Queue a job. Returns its handle, or a [`SubmitError`] when
+    /// admission control refuses it or the runtime is shutting down. A
+    /// submission with strictly higher priority than the running job
+    /// asks it to preempt at its next iteration boundary.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        let bytes = spec.request.input.data_bytes();
+        let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        if st.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if st.queued_bytes + bytes > self.shared.max_queued_bytes {
+            self.shared.metrics.counter_add(JOB_REJECTED, 1);
+            return Err(SubmitError::QueueFull {
+                queued_bytes: st.queued_bytes,
+                incoming_bytes: bytes,
+                limit: self.shared.max_queued_bytes,
+            });
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let id = JobId(seq);
+        if let Some(running) = &st.running {
+            if spec.priority > running.priority {
+                running.ctrl.request_preempt();
+            }
+        }
+        st.queued_bytes += bytes;
+        st.statuses.insert(id.0, JobStatus::Queued);
+        st.queue.push(QueuedJob {
+            id,
+            seq,
+            spec,
+            bytes,
+            enqueued: Instant::now(),
+            queue_seconds: 0.0,
+            run_seconds: 0.0,
+            preemptions: 0,
+            resumed: false,
+            cache_hit: None,
+            sink: Arc::new(MemoryCheckpointSink::new()),
+        });
+        self.shared.metrics.counter_add(JOB_SUBMITTED, 1);
+        self.shared.work_cv.notify_all();
+        Ok(id)
+    }
+
+    /// Where the job currently is (`None` for an unknown id, including
+    /// ids whose result was already taken by [`wait`](Self::wait)).
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        let st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.statuses.get(&id.0).copied()
+    }
+
+    /// Block until the job finishes, then take its result. `None` for an
+    /// unknown id or a result already taken.
+    pub fn wait(&self, id: JobId) -> Option<JobResult> {
+        let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(result) = st.results.remove(&id.0) {
+                return Some(result);
+            }
+            match st.statuses.get(&id.0) {
+                Some(JobStatus::Queued) | Some(JobStatus::Running) => {
+                    st = self
+                        .shared
+                        .done_cv
+                        .wait(st)
+                        .unwrap_or_else(|p| p.into_inner());
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// The plan cache backing this runtime.
+    pub fn cache(&self) -> &PlanCache {
+        &self.shared.cache
+    }
+
+    /// The shared metrics handle.
+    pub fn metrics_handle(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Snapshot of everything recorded so far (`cache/*`, `job/*`, and
+    /// the kernel/solver families of every cached reconstructor).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Stop accepting jobs, drain the queue (running and queued jobs all
+    /// finish), and return every untaken result sorted by job id.
+    pub fn finish(mut self) -> Vec<JobResult> {
+        self.begin_shutdown();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+        let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        let mut results: Vec<JobResult> = st.results.drain().map(|(_, r)| r).collect();
+        results.sort_by_key(|r| r.report.id);
+        results
+    }
+
+    fn begin_shutdown(&self) {
+        let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.shutdown = true;
+        self.shared.work_cv.notify_all();
+    }
+}
+
+impl Drop for JobRuntime {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Index of the next job to run: highest priority, then lowest sequence
+/// number (FIFO within a priority level).
+fn pick_index(queue: &[QueuedJob]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, job) in queue.iter().enumerate() {
+        best = Some(match best {
+            None => i,
+            Some(b) => {
+                let cur = &queue[b];
+                let better = job.spec.priority > cur.spec.priority
+                    || (job.spec.priority == cur.spec.priority && job.seq < cur.seq);
+                if better {
+                    i
+                } else {
+                    b
+                }
+            }
+        });
+    }
+    best
+}
+
+fn scheduler_loop(shared: &Shared) {
+    loop {
+        // Pick the next job, or exit once shut down with an empty queue.
+        let mut job = {
+            let mut st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(i) = pick_index(&st.queue) {
+                    break st.queue.remove(i);
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.work_cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        job.queue_seconds += job.enqueued.elapsed().as_secs_f64();
+        let ctrl = Arc::new(RunControl::new());
+        if job.preemptions == 0 {
+            if let Some(boundary) = job.spec.preempt_at {
+                ctrl.preempt_at(boundary);
+            }
+        }
+        {
+            let mut st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            st.queued_bytes = st.queued_bytes.saturating_sub(job.bytes);
+            st.statuses.insert(job.id.0, JobStatus::Running);
+            st.running = Some(Running {
+                priority: job.spec.priority,
+                ctrl: ctrl.clone(),
+            });
+        }
+        if job.resumed {
+            shared.metrics.counter_add(JOB_RESUMED, 1);
+        }
+
+        let (rec, hit) = match shared.cache.get_detailed(&job.spec.plan) {
+            Ok(v) => v,
+            Err(e) => {
+                finish_job(shared, job, Err(ReconError::from(e)));
+                continue;
+            }
+        };
+        if job.cache_hit.is_none() {
+            job.cache_hit = Some(hit);
+        }
+
+        // The job-private checkpoint is the preemption substrate: no
+        // cadence (snapshot only on preemption), resume after one.
+        let mut req: ReconRequest = job.spec.request.clone();
+        req.checkpoint = Some(CheckpointPolicy::new(job.sink.clone(), 0).resume(job.resumed));
+
+        let t = Instant::now();
+        let outcome = rec.run_controlled(&req, &ctrl);
+        job.run_seconds += t.elapsed().as_secs_f64();
+
+        match outcome {
+            Ok(RunOutcome::Completed(resp)) => finish_job(shared, job, Ok(resp)),
+            Ok(RunOutcome::Preempted { .. }) => {
+                shared.metrics.counter_add(JOB_PREEMPTED, 1);
+                job.preemptions += 1;
+                job.resumed = true;
+                job.enqueued = Instant::now();
+                let mut st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+                st.running = None;
+                st.queued_bytes += job.bytes;
+                st.statuses.insert(job.id.0, JobStatus::Queued);
+                st.queue.push(job);
+            }
+            Err(e) => finish_job(shared, job, Err(e)),
+        }
+    }
+}
+
+fn finish_job(shared: &Shared, job: QueuedJob, outcome: Result<ReconResponse, JobError>) {
+    let cache_hit = job.cache_hit.unwrap_or(false);
+    let report = JobReport {
+        id: job.id,
+        name: job.spec.name.clone(),
+        priority: job.spec.priority,
+        plan_fingerprint: job.spec.plan.key().fingerprint(),
+        cache_hit,
+        queue_seconds: job.queue_seconds,
+        run_seconds: job.run_seconds,
+        preprocess_seconds: match &outcome {
+            Ok(resp) if !cache_hit => resp.preprocess_seconds,
+            _ => 0.0,
+        },
+        preemptions: job.preemptions,
+        iterations: outcome.as_ref().map(|r| r.iterations()).unwrap_or(0),
+    };
+    let status = if outcome.is_ok() {
+        shared.metrics.counter_add(JOB_COMPLETED, 1);
+        JobStatus::Completed
+    } else {
+        shared.metrics.counter_add(JOB_FAILED, 1);
+        JobStatus::Failed
+    };
+    shared
+        .metrics
+        .timer_observe(JOB_QUEUE_SECONDS, report.queue_seconds);
+    shared
+        .metrics
+        .timer_observe(JOB_RUN_SECONDS, report.run_seconds);
+    let mut st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+    st.running = None;
+    st.statuses.insert(job.id.0, status);
+    st.results.insert(job.id.0, JobResult { report, outcome });
+    shared.done_cv.notify_all();
+}

@@ -1,0 +1,37 @@
+//! Reconstruction-as-a-service: a keyed plan cache and a priority job
+//! runtime over the [`memxct::ReconRequest`] API.
+//!
+//! MemXCT's economics are memoization — preprocessing is paid once per
+//! geometry and amortized over every subsequent solve (the paper's
+//! Table 5 "All Slices"). A single [`memxct::Reconstructor`] realizes
+//! that amortization *per process*; this crate lifts it *per fleet*:
+//!
+//! - [`PlanCache`] keys already-built (and `validate_plan`-checked)
+//!   reconstructors by everything that shapes their memoized plan —
+//!   geometry, ordering, projector, partition/buffer sizes, kernel,
+//!   pool and batch configuration — so a job for an already-seen
+//!   [`PlanSpec`] skips preprocessing entirely. Bounded LRU with
+//!   `cache/{hit,miss,evict}` counters in `xct-obs`.
+//! - [`JobRuntime`] is a multi-producer job queue and scheduler: jobs
+//!   carry a priority, run FIFO within priority, and a higher-priority
+//!   arrival *preempts* the running job through the PR 5 checkpoint
+//!   machinery — the running solve snapshots at its next iteration
+//!   boundary, parks, and later resumes bit-identically. Admission
+//!   control bounds the queued measurement bytes, and every job gets a
+//!   [`JobReport`] (queue time, run time, cache hit, iterations) under
+//!   the `job/*` metric families.
+//!
+//! The `xct` CLI's `serve` subcommand drains a job file through exactly
+//! this runtime.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod job;
+
+pub use cache::{PlanCache, PlanKey, PlanSpec};
+pub use job::{
+    JobError, JobId, JobReport, JobResult, JobRuntime, JobSpec, JobStatus, RuntimeConfig,
+    SubmitError,
+};

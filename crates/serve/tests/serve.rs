@@ -1,0 +1,212 @@
+//! Serving-layer tests: plan-cache correctness (hit bit-identity,
+//! eviction bound, key discrimination), checkpoint-based preemption
+//! bit-identity, and admission control.
+
+use std::sync::Arc;
+
+use memxct::preprocess::Kernel;
+use memxct::{ReconInput, ReconRequest, ReconstructorBuilder, StopRule};
+use xct_geometry::{disk, simulate_sinogram, Grid, NoiseModel, ScanGeometry, Sinogram};
+use xct_obs::{
+    CACHE_EVICT, CACHE_HIT, CACHE_MISS, JOB_COMPLETED, JOB_PREEMPTED, JOB_REJECTED, JOB_RESUMED,
+    JOB_SUBMITTED,
+};
+use xct_serve::{JobRuntime, JobSpec, PlanSpec, RuntimeConfig, SubmitError};
+
+fn geometry(n: u32, m: u32) -> (Grid, ScanGeometry) {
+    (Grid::new(n), ScanGeometry::new(m, n))
+}
+
+fn sino(grid: Grid, scan: ScanGeometry, n: u32, seed: u64) -> Sinogram {
+    let truth = disk(0.3 + 0.05 * seed as f64, 1.0 + 0.5 * seed as f32).rasterize(n);
+    simulate_sinogram(&truth, &grid, &scan, NoiseModel::None, seed)
+}
+
+fn bits(image: &[f32]) -> Vec<u32> {
+    image.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn cache_hit_is_bit_identical_to_fresh_build() {
+    let (grid, scan) = geometry(16, 12);
+    let s = sino(grid, scan, 16, 0);
+    let request = ReconRequest::cg(ReconInput::Slice(s), StopRule::Fixed(6));
+
+    let cache = xct_serve::PlanCache::new(2);
+    let spec = PlanSpec::new(grid, scan);
+    let (first, hit0) = cache.get_detailed(&spec).unwrap();
+    let (second, hit1) = cache.get_detailed(&spec).unwrap();
+    assert!(!hit0, "first lookup must build");
+    assert!(hit1, "second lookup must hit");
+    assert!(Arc::ptr_eq(&first, &second), "hit returns the same plan");
+
+    // Output through the cached plan is bit-identical to a reconstructor
+    // built directly from the same configuration.
+    let fresh = ReconstructorBuilder::new(grid, scan)
+        .validate_plan(true)
+        .build()
+        .unwrap();
+    let got = second.run(&request).unwrap();
+    let want = fresh.run(&request).unwrap();
+    assert_eq!(bits(&got.images[0]), bits(&want.images[0]));
+
+    let snap = cache.metrics();
+    assert_eq!(snap.counters[CACHE_HIT], 1);
+    assert_eq!(snap.counters[CACHE_MISS], 1);
+    assert!(!snap.counters.contains_key(CACHE_EVICT));
+}
+
+#[test]
+fn eviction_respects_the_capacity_bound() {
+    let (grid_a, scan_a) = geometry(16, 12);
+    let (grid_b, scan_b) = geometry(24, 12);
+    let cache = xct_serve::PlanCache::new(1);
+    let spec_a = PlanSpec::new(grid_a, scan_a);
+    let spec_b = PlanSpec::new(grid_b, scan_b);
+
+    cache.get(&spec_a).unwrap();
+    assert!(cache.contains(&spec_a));
+    cache.get(&spec_b).unwrap();
+    assert_eq!(cache.len(), 1, "capacity 1 holds one plan");
+    assert!(!cache.contains(&spec_a), "LRU evicted the older plan");
+    assert!(cache.contains(&spec_b));
+
+    // Re-requesting the evicted plan is a miss again.
+    cache.get(&spec_a).unwrap();
+    let snap = cache.metrics();
+    assert_eq!(snap.counters[CACHE_MISS], 3);
+    assert_eq!(snap.counters[CACHE_EVICT], 2);
+    assert!(!snap.counters.contains_key(CACHE_HIT));
+}
+
+#[test]
+fn plan_key_distinguishes_kernel_partition_and_pool_configs() {
+    let (grid, scan) = geometry(16, 12);
+    let base = PlanSpec::new(grid, scan);
+    assert_eq!(base.key(), PlanSpec::new(grid, scan).key());
+
+    let mut kernel = base;
+    kernel.kernel = Some(Kernel::Parallel);
+    assert_ne!(base.key(), kernel.key(), "kernel choice splits the key");
+
+    let mut part = base;
+    part.config.partsize = 64;
+    assert_ne!(base.key(), part.key(), "partition size splits the key");
+
+    let mut pooled = base;
+    pooled.use_pool = true;
+    pooled.pool_threads = Some(2);
+    assert_ne!(base.key(), pooled.key(), "pool config splits the key");
+    let mut pooled4 = pooled;
+    pooled4.pool_threads = Some(4);
+    assert_ne!(pooled.key(), pooled4.key(), "thread count splits the key");
+
+    let mut batched = base;
+    batched.batch = 4;
+    assert_ne!(base.key(), batched.key(), "batch width splits the key");
+
+    // A thread-count hint without the pool is normalized away.
+    let mut hint = base;
+    hint.pool_threads = Some(8);
+    assert_eq!(base.key(), hint.key());
+
+    assert_ne!(base.key().fingerprint(), kernel.key().fingerprint());
+}
+
+#[test]
+fn preempted_job_resumes_bit_identically() {
+    let (grid, scan) = geometry(16, 12);
+    let s = sino(grid, scan, 16, 1);
+    let request = ReconRequest::cg(ReconInput::Slice(s), StopRule::Fixed(8));
+    let plan = PlanSpec::new(grid, scan);
+
+    // Direct, uninterrupted run of the same request.
+    let fresh = ReconstructorBuilder::new(grid, scan)
+        .validate_plan(true)
+        .build()
+        .unwrap();
+    let want = fresh.run(&request).unwrap();
+
+    let runtime = JobRuntime::new(RuntimeConfig::default());
+    let id = runtime
+        .submit(JobSpec::new("drill", plan, request).preempt_at(3))
+        .unwrap();
+    let result = runtime.wait(id).expect("job result");
+    let resp = result.outcome.expect("job completed");
+    assert_eq!(result.report.preemptions, 1, "the drill preempted once");
+    assert_eq!(
+        bits(&resp.images[0]),
+        bits(&want.images[0]),
+        "preempt + resume must be bit-identical to an uninterrupted run"
+    );
+    assert_eq!(resp.slice_records[0].len(), 8, "all iterations ran");
+
+    let snap = runtime.metrics();
+    assert_eq!(snap.counters[JOB_PREEMPTED], 1);
+    assert_eq!(snap.counters[JOB_RESUMED], 1);
+    assert_eq!(snap.counters[JOB_COMPLETED], 1);
+}
+
+#[test]
+fn mixed_priority_jobs_all_complete_and_hit_the_cache() {
+    let (grid, scan) = geometry(16, 12);
+    let plan = PlanSpec::new(grid, scan);
+    let runtime = JobRuntime::new(RuntimeConfig::default());
+    let fresh = ReconstructorBuilder::new(grid, scan)
+        .validate_plan(true)
+        .build()
+        .unwrap();
+
+    let mut ids = Vec::new();
+    let mut wants = Vec::new();
+    for (j, priority) in [(0u64, 0u8), (1, 2), (2, 1)] {
+        let request = ReconRequest::cg(
+            ReconInput::Slice(sino(grid, scan, 16, j)),
+            StopRule::Fixed(5),
+        );
+        wants.push(fresh.run(&request).unwrap());
+        ids.push(
+            runtime
+                .submit(JobSpec::new(format!("job{j}"), plan, request).priority(priority))
+                .unwrap(),
+        );
+    }
+    for (id, want) in ids.iter().zip(&wants) {
+        let result = runtime.wait(*id).expect("result");
+        let resp = result.outcome.expect("completed");
+        assert_eq!(bits(&resp.images[0]), bits(&want.images[0]));
+    }
+    let snap = runtime.metrics();
+    assert_eq!(snap.counters[JOB_SUBMITTED], 3);
+    assert_eq!(snap.counters[JOB_COMPLETED], 3);
+    // One build, two hits: preprocessing amortized across the fleet.
+    assert_eq!(snap.counters[CACHE_MISS], 1);
+    assert_eq!(snap.counters[CACHE_HIT], 2);
+}
+
+#[test]
+fn admission_control_bounds_queued_bytes() {
+    let (grid, scan) = geometry(16, 12);
+    let plan = PlanSpec::new(grid, scan);
+    let runtime = JobRuntime::new(RuntimeConfig {
+        max_queued_bytes: 0,
+        ..RuntimeConfig::default()
+    });
+    let request = ReconRequest::cg(
+        ReconInput::Slice(sino(grid, scan, 16, 0)),
+        StopRule::Fixed(2),
+    );
+    let err = runtime
+        .submit(JobSpec::new("too-big", plan, request))
+        .unwrap_err();
+    assert!(
+        matches!(err, SubmitError::QueueFull { limit: 0, .. }),
+        "{err}"
+    );
+    let snap = runtime.metrics();
+    assert_eq!(snap.counters[JOB_REJECTED], 1);
+    assert!(!snap.counters.contains_key(JOB_SUBMITTED));
+
+    // Results after shutdown: nothing ran.
+    assert!(runtime.finish().is_empty());
+}

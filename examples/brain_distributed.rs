@@ -46,19 +46,26 @@ fn main() {
     );
 
     let t = std::time::Instant::now();
-    let out = rec.reconstruct_distributed(
-        &sino,
-        &DistConfig {
-            ranks,
-            use_buffered: true,
-            stop: memxct::StopRule::Fixed(30),
-            solver: memxct::dist::DistSolver::Cg,
-        },
-    );
+    let out = rec
+        .run(
+            &ReconRequest::cg(ReconInput::Slice(sino), StopRule::Fixed(30)).mode(
+                ExecMode::Distributed {
+                    config: DistConfig {
+                        ranks,
+                        use_buffered: true,
+                        stop: memxct::StopRule::Fixed(30),
+                        solver: memxct::dist::DistSolver::Cg,
+                    },
+                    ft: None,
+                },
+            ),
+        )
+        .expect("distributed reconstruction failed");
+    let dist = out.dist.as_ref().expect("distributed runs report detail");
     println!(
         "30 distributed CG iterations in {:.2}s; relative L2 error {:.4}",
         t.elapsed().as_secs_f64(),
-        rel_err(&out.image, &truth)
+        rel_err(&out.images[0], &truth)
     );
 
     println!("\nper-rank kernel breakdown (accumulated seconds, Fig 11 style):");
@@ -66,7 +73,7 @@ fn main() {
         "{:>6} {:>10} {:>10} {:>10} {:>10}",
         "rank", "A_p", "C", "R", "total"
     );
-    for (r, kb) in out.breakdown.iter().enumerate() {
+    for (r, kb) in dist.breakdowns.iter().enumerate() {
         println!(
             "{:>6} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
             r,
@@ -86,14 +93,14 @@ fn main() {
     for s in 0..ranks {
         print!("{s:>6}");
         for d in 0..ranks {
-            print!("{:>8.1}", out.ledger.bytes(s, d) as f64 / 1024.0);
+            print!("{:>8.1}", dist.ledger.bytes(s, d) as f64 / 1024.0);
         }
         println!();
     }
     println!(
         "\ntotal traffic {:.2} MiB over {} communicating pairs (of {} possible)",
-        out.ledger.total() as f64 / (1024.0 * 1024.0),
-        out.ledger.nonzero_pairs(),
+        dist.ledger.total() as f64 / (1024.0 * 1024.0),
+        dist.ledger.nonzero_pairs(),
         ranks * ranks - ranks,
     );
 
@@ -102,7 +109,7 @@ fn main() {
         "{:>6} {:>14} {:>14} {:>12} {:>8}",
         "rank", "regular MiB", "comm KiB", "reduce KiB", "peers"
     );
-    for (r, v) in out.volumes.iter().enumerate() {
+    for (r, v) in dist.volumes.iter().enumerate() {
         println!(
             "{:>6} {:>14.2} {:>14.1} {:>12.1} {:>8.0}",
             r,

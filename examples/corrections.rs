@@ -87,29 +87,33 @@ fn main() {
     // Ring removal operates in raw detector coordinates (gain errors live
     // per physical channel) and must precede the centre-of-rotation
     // resampling, which would smear each stripe across two channels.
-    let uncorrected = rec.reconstruct_cg(&raw, stop);
+    let solve = |sino: Sinogram| {
+        rec.run(&ReconRequest::cg(ReconInput::Slice(sino), stop))
+            .expect("reconstruction failed")
+    };
     let (cor_only_sino, est) = correct_center(&raw);
-    let cor_only = rec.reconstruct_cg(&cor_only_sino, stop);
     let deringed = remove_rings(&raw, 2);
     let (full_sino, _) = correct_center(&deringed);
-    let full = rec.reconstruct_cg(&full_sino, stop);
+    let uncorrected = solve(raw);
+    let cor_only = solve(cor_only_sino);
+    let full = solve(full_sino);
 
     println!("estimated centre shift: {est:.2} channels (injected 3.20)\n");
     println!("{:<38} {:>12}", "pipeline", "image error");
     println!(
         "{:<38} {:>12.4}",
         "no corrections",
-        rel_err(&uncorrected.image, &truth)
+        rel_err(&uncorrected.images[0], &truth)
     );
     println!(
         "{:<38} {:>12.4}",
         "centre-of-rotation only",
-        rel_err(&cor_only.image, &truth)
+        rel_err(&cor_only.images[0], &truth)
     );
     println!(
         "{:<38} {:>12.4}",
         "ring removal + centre-of-rotation",
-        rel_err(&full.image, &truth)
+        rel_err(&full.images[0], &truth)
     );
     println!("\nthe corrections compose: the axis error dominates until it is fixed, and");
     println!("once centred, the remaining gap to the fully-corrected result is the ring");

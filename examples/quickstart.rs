@@ -61,14 +61,17 @@ fn main() {
     // 4. Reconstruct with CG + early termination (the paper's 30-iteration
     //    heuristic emerges naturally from the L-curve).
     let t = std::time::Instant::now();
-    let out = rec.reconstruct_cg(
-        &sino,
-        StopRule::EarlyTermination {
-            max_iters: 30,
-            min_decrease: 1e-4,
-        },
-    );
-    let iters = out.records.len();
+    let resp = rec
+        .run(&ReconRequest::cg(
+            ReconInput::Slice(sino),
+            StopRule::EarlyTermination {
+                max_iters: 30,
+                min_decrease: 1e-4,
+            },
+        ))
+        .expect("reconstruction failed");
+    let (image, records) = (&resp.images[0], &resp.slice_records[0]);
+    let iters = records.len();
     println!(
         "reconstruction: {:.3}s for {} CG iterations ({:.1} ms/iter)",
         t.elapsed().as_secs_f64(),
@@ -77,15 +80,15 @@ fn main() {
     );
 
     // 5. Quality report.
-    let err = rel_err(&out.image, &truth);
+    let err = rel_err(image, &truth);
     println!("relative L2 error vs phantom: {:.4}", err);
-    if let Some(last) = out.records.last() {
+    if let Some(last) = records.last() {
         println!(
             "final residual norm ||y - Ax|| = {:.4e}, solution norm ||x|| = {:.4e}",
             last.residual_norm, last.solution_norm
         );
     }
-    render_ascii(&out.image, n as usize);
+    render_ascii(image, n as usize);
 }
 
 fn rel_err(a: &[f32], b: &[f32]) -> f64 {

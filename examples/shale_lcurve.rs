@@ -41,8 +41,15 @@ fn main() {
     );
 
     let rec = Reconstructor::new(grid, scan);
-    let cg = rec.reconstruct_cg(&sino, StopRule::Fixed(iters));
-    let si = rec.reconstruct_sirt(&sino, iters);
+    let cg = rec
+        .run(&ReconRequest::cg(
+            ReconInput::Slice(sino.clone()),
+            StopRule::Fixed(iters),
+        ))
+        .expect("CG reconstruction failed");
+    let si = rec
+        .run(&ReconRequest::sirt(ReconInput::Slice(sino.clone()), iters))
+        .expect("SIRT reconstruction failed");
 
     println!("\nL-curve data (residual norm vs solution norm), both solvers:");
     println!(
@@ -51,8 +58,8 @@ fn main() {
     );
     let stride = (iters / 20).max(1);
     for i in (0..iters).step_by(stride) {
-        let c = cg.records.get(i);
-        let s = si.records.get(i);
+        let c = cg.slice_records[0].get(i);
+        let s = si.slice_records[0].get(i);
         println!(
             "{:>6} {:>14.5e} {:>14.5e} {:>14.5e} {:>14.5e}",
             i + 1,
@@ -65,32 +72,35 @@ fn main() {
 
     // The paper's observation: CG converges much faster per iteration;
     // SIRT "does not converge even with 500 iterations".
-    let cg_at_30 = cg.records.get(29.min(cg.records.len() - 1)).unwrap();
-    let sirt_final = si.records.last().unwrap();
+    let cg_records = &cg.slice_records[0];
+    let cg_at_30 = cg_records.get(29.min(cg_records.len() - 1)).unwrap();
+    let sirt_final = si.slice_records[0].last().unwrap();
     println!(
         "\nCG residual after 30 iters: {:.5e}; SIRT residual after {} iters: {:.5e}",
         cg_at_30.residual_norm, iters, sirt_final.residual_norm
     );
 
     // Early termination: where does the heuristic stop?
-    let early = rec.reconstruct_cg(
-        &sino,
-        StopRule::EarlyTermination {
-            max_iters: iters,
-            min_decrease: 0.02,
-        },
-    );
+    let early = rec
+        .run(&ReconRequest::cg(
+            ReconInput::Slice(sino),
+            StopRule::EarlyTermination {
+                max_iters: iters,
+                min_decrease: 0.02,
+            },
+        ))
+        .expect("CG reconstruction failed");
     println!(
         "early-termination heuristic stops CG after {} iterations (the paper terminates at 30)",
-        early.records.len()
+        early.slice_records[0].len()
     );
 
     // Image quality comparison at matched iteration budgets (Fig 8c/d).
     println!(
         "relative L2 error vs phantom: CG(early)={:.4}  SIRT({} iters)={:.4}",
-        rel_err(&early.image, &truth),
+        rel_err(&early.images[0], &truth),
         iters,
-        rel_err(&si.image, &truth)
+        rel_err(&si.images[0], &truth)
     );
 }
 

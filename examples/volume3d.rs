@@ -37,18 +37,20 @@ fn main() {
         t.elapsed().as_secs_f64()
     );
 
-    let out = rec.reconstruct_volume(
-        &sinos,
-        StopRule::EarlyTermination {
-            max_iters: 30,
-            min_decrease: 0.02,
-        },
-    );
+    let out = rec
+        .run(&ReconRequest::cg(
+            ReconInput::Volume(sinos),
+            StopRule::EarlyTermination {
+                max_iters: 30,
+                min_decrease: 0.02,
+            },
+        ))
+        .expect("volume reconstruction failed");
 
     println!(
         "{} slices reconstructed, mean {:.1} ms/slice",
         out.images.len(),
-        out.mean_slice_seconds() * 1e3
+        out.per_slice_seconds.iter().sum::<f64>() / out.images.len().max(1) as f64 * 1e3
     );
     println!("\nper-slice quality (relative L2 error vs phantom):");
     println!("{:>6} {:>10} {:>12} {:>10}", "slice", "mass", "error", "ms");

@@ -2,7 +2,10 @@
 //! phantom to image, equivalence between the memory-centric and
 //! compute-centric implementations, and serial/distributed agreement.
 
-use memxct::{Config, DistConfig, DomainOrdering, Kernel, Reconstructor, StopRule};
+use memxct::{
+    Config, DistConfig, DomainOrdering, ExecMode, Kernel, ReconInput, ReconRequest, Reconstructor,
+    StopRule,
+};
 use xct_compxct::CompXct;
 use xct_geometry::{
     brain_like, disk, shale_like, shepp_logan, simulate_sinogram, Grid, NoiseModel, Phantom,
@@ -26,8 +29,13 @@ fn reconstruct(phantom: &Phantom, n: u32, m: u32, iters: usize) -> (Vec<f32>, Ve
     let truth = phantom.rasterize(n);
     let sino = simulate_sinogram(&truth, &grid, &scan, NoiseModel::None, 0);
     let rec = Reconstructor::new(grid, scan);
-    let out = rec.reconstruct_cg(&sino, StopRule::Fixed(iters));
-    (out.image, truth)
+    let mut out = rec
+        .run(&ReconRequest::cg(
+            ReconInput::Slice(sino),
+            StopRule::Fixed(iters),
+        ))
+        .unwrap();
+    (out.images.swap_remove(0), truth)
 }
 
 #[test]
@@ -85,14 +93,16 @@ fn memxct_and_compxct_run_the_same_sirt() {
     let (x_comp, comp_stats) = cx.sirt(&sino, 12);
 
     let rec = Reconstructor::new(grid, scan);
-    let out = rec.reconstruct_sirt(&sino, 12);
+    let out = rec
+        .run(&ReconRequest::sirt(ReconInput::Slice(sino), 12))
+        .unwrap();
 
     assert!(
-        rel_err(&out.image, &x_comp) < 2e-3,
+        rel_err(&out.images[0], &x_comp) < 2e-3,
         "images diverged: {}",
-        rel_err(&out.image, &x_comp)
+        rel_err(&out.images[0], &x_comp)
     );
-    for (mem, comp) in out.records.iter().zip(&comp_stats) {
+    for (mem, comp) in out.slice_records[0].iter().zip(&comp_stats) {
         // CompXct records the residual at iteration start; MemXCT SIRT
         // records the same quantity.
         let rel = (mem.residual_norm - comp.residual_norm).abs() / comp.residual_norm.max(1.0);
@@ -156,21 +166,32 @@ fn distributed_reconstruction_matches_serial_across_rank_counts() {
     let truth = disk(0.5, 2.0).rasterize(n);
     let sino = simulate_sinogram(&truth, &grid, &scan, NoiseModel::None, 0);
     let rec = Reconstructor::new(grid, scan);
-    let serial = rec.reconstruct_cg(&sino, StopRule::Fixed(8));
+    let serial = rec
+        .run(&ReconRequest::cg(
+            ReconInput::Slice(sino.clone()),
+            StopRule::Fixed(8),
+        ))
+        .unwrap();
     for ranks in [1, 2, 5, 8] {
-        let dist = rec.reconstruct_distributed(
-            &sino,
-            &DistConfig {
-                ranks,
-                use_buffered: false,
-                stop: StopRule::Fixed(8),
-                solver: memxct::dist::DistSolver::Cg,
-            },
-        );
+        let dist = rec
+            .run(
+                &ReconRequest::cg(ReconInput::Slice(sino.clone()), StopRule::Fixed(8)).mode(
+                    ExecMode::Distributed {
+                        config: DistConfig {
+                            ranks,
+                            use_buffered: false,
+                            stop: StopRule::Fixed(8),
+                            solver: memxct::dist::DistSolver::Cg,
+                        },
+                        ft: None,
+                    },
+                ),
+            )
+            .unwrap();
         assert!(
-            rel_err(&dist.image, &serial.image) < 2e-2,
+            rel_err(&dist.images[0], &serial.images[0]) < 2e-2,
             "ranks {ranks}: err {}",
-            rel_err(&dist.image, &serial.image)
+            rel_err(&dist.images[0], &serial.images[0])
         );
     }
 }
@@ -192,14 +213,19 @@ fn noise_degrades_but_does_not_break_reconstruction() {
         9,
     );
     let rec = Reconstructor::new(grid, scan);
-    let out = rec.reconstruct_cg(
-        &noisy,
-        StopRule::EarlyTermination {
-            max_iters: 100,
-            min_decrease: 0.02,
-        },
-    );
-    let err = rel_err(&out.image, &truth);
+    let out = rec
+        .run(&ReconRequest::cg(
+            ReconInput::Slice(noisy),
+            StopRule::EarlyTermination {
+                max_iters: 100,
+                min_decrease: 0.02,
+            },
+        ))
+        .unwrap();
+    let err = rel_err(&out.images[0], &truth);
     assert!(err < 0.30, "too degraded: {err}");
-    assert!(out.records.len() < 100, "early termination should engage");
+    assert!(
+        out.slice_records[0].len() < 100,
+        "early termination should engage"
+    );
 }

@@ -3,7 +3,8 @@
 //! reconstruction, corrections, Joseph projector, and the I/O round trip.
 
 use memxct::{
-    cgls_smooth, fbp, Config, FbpConfig, Kernel, OrderedSubsets, Projector, Reconstructor, StopRule,
+    cgls_smooth, fbp, Config, FbpConfig, Kernel, OrderedSubsets, Projector, ReconInput,
+    ReconRequest, Reconstructor, StopRule,
 };
 use xct_geometry::{
     correct_center, io, phantom_volume, remove_rings, shepp_logan, shift_sinogram,
@@ -34,7 +35,14 @@ fn fbp_and_cg_agree_on_clean_dense_data() {
     let (grid, scan, truth, sino) = setup(64, 96);
     let rec = Reconstructor::new(grid, scan);
     let img_fbp = fbp(rec.operators(), &sino, &FbpConfig::default());
-    let img_cg = rec.reconstruct_cg(&sino, StopRule::Fixed(30)).image;
+    let img_cg = rec
+        .run(&ReconRequest::cg(
+            ReconInput::Slice(sino),
+            StopRule::Fixed(30),
+        ))
+        .unwrap()
+        .images
+        .swap_remove(0);
     // On clean dense data both methods produce usable images; CG wins.
     let e_fbp = rel_err(&img_fbp, &truth);
     let e_cg = rel_err(&img_cg, &truth);
@@ -95,7 +103,12 @@ fn volume_reconstruction_reuses_preprocessing() {
     let scan = ScanGeometry::new(m, n);
     let sinos = simulate_volume(&volume, &scan, NoiseModel::None, 5);
     let rec = Reconstructor::new(Grid::new(n), scan);
-    let out = rec.reconstruct_volume(&sinos, StopRule::Fixed(20));
+    let out = rec
+        .run(&ReconRequest::cg(
+            ReconInput::Volume(sinos),
+            StopRule::Fixed(20),
+        ))
+        .unwrap();
     assert_eq!(out.images.len(), 4);
     for (z, img) in out.images.iter().enumerate() {
         let truth = volume.slice(z);
@@ -108,7 +121,7 @@ fn volume_reconstruction_reuses_preprocessing() {
             );
         }
     }
-    assert!(out.mean_slice_seconds() > 0.0);
+    assert!(out.per_slice_seconds.iter().sum::<f64>() > 0.0);
 }
 
 #[test]
@@ -118,8 +131,22 @@ fn correction_pipeline_recovers_miscentered_scan() {
     let (fixed, est) = correct_center(&displaced);
     assert!((est - 2.5).abs() < 0.75, "estimate {est}");
     let rec = Reconstructor::new(grid, scan);
-    let bad = rec.reconstruct_cg(&displaced, StopRule::Fixed(20)).image;
-    let good = rec.reconstruct_cg(&fixed, StopRule::Fixed(20)).image;
+    let bad = rec
+        .run(&ReconRequest::cg(
+            ReconInput::Slice(displaced),
+            StopRule::Fixed(20),
+        ))
+        .unwrap()
+        .images
+        .swap_remove(0);
+    let good = rec
+        .run(&ReconRequest::cg(
+            ReconInput::Slice(fixed),
+            StopRule::Fixed(20),
+        ))
+        .unwrap()
+        .images
+        .swap_remove(0);
     assert!(
         rel_err(&good, &truth) < 0.6 * rel_err(&bad, &truth),
         "correction must help: {} vs {}",
@@ -154,8 +181,22 @@ fn ring_removal_composes_with_reconstruction() {
     let corrupted = Sinogram::new(scan, data);
     let cleaned = remove_rings(&corrupted, 2);
     let rec = Reconstructor::new(grid, scan);
-    let bad = rec.reconstruct_cg(&corrupted, StopRule::Fixed(15)).image;
-    let good = rec.reconstruct_cg(&cleaned, StopRule::Fixed(15)).image;
+    let bad = rec
+        .run(&ReconRequest::cg(
+            ReconInput::Slice(corrupted),
+            StopRule::Fixed(15),
+        ))
+        .unwrap()
+        .images
+        .swap_remove(0);
+    let good = rec
+        .run(&ReconRequest::cg(
+            ReconInput::Slice(cleaned),
+            StopRule::Fixed(15),
+        ))
+        .unwrap()
+        .images
+        .swap_remove(0);
     assert!(
         rel_err(&good, &truth) < rel_err(&bad, &truth),
         "{} vs {}",
@@ -179,11 +220,16 @@ fn joseph_projector_pipeline() {
             ..Config::default()
         },
     );
-    let out = rec.reconstruct_cg(&sino, StopRule::Fixed(25));
+    let out = rec
+        .run(&ReconRequest::cg(
+            ReconInput::Slice(sino),
+            StopRule::Fixed(25),
+        ))
+        .unwrap();
     assert!(
-        rel_err(&out.image, &truth) < 0.3,
+        rel_err(&out.images[0], &truth) < 0.3,
         "err {}",
-        rel_err(&out.image, &truth)
+        rel_err(&out.images[0], &truth)
     );
 }
 
@@ -199,8 +245,13 @@ fn pgm_and_raw_io_roundtrip_through_reconstruction() {
     assert_eq!(loaded, sino.data());
 
     let rec = Reconstructor::new(grid, scan);
-    let out = rec.reconstruct_cg(&Sinogram::new(scan, loaded), StopRule::Fixed(10));
-    io::write_pgm(&pgm, 24, 24, &out.image).unwrap();
+    let out = rec
+        .run(&ReconRequest::cg(
+            ReconInput::Slice(Sinogram::new(scan, loaded)),
+            StopRule::Fixed(10),
+        ))
+        .unwrap();
+    io::write_pgm(&pgm, 24, 24, &out.images[0]).unwrap();
     let bytes = std::fs::read(&pgm).unwrap();
     assert!(bytes.starts_with(b"P5\n24 24\n255\n"));
 
