@@ -11,18 +11,24 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| {
-            // CARGO_MANIFEST_DIR is crates/check; the workspace root is two
-            // levels up.
-            Path::new(env!("CARGO_MANIFEST_DIR"))
-                .ancestors()
-                .nth(2)
-                .expect("crates/check has a workspace root two levels up")
-                .to_path_buf()
-        });
+    let arg = std::env::args().nth(1);
+    if arg.as_deref() == Some("--list-rules") {
+        // One rule name per line; CI asserts this count matches
+        // `LintRule::ALL` so a rule cannot ship unlisted.
+        for rule in xct_check::lint::LintRule::ALL {
+            println!("{}", rule.name());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = arg.map(PathBuf::from).unwrap_or_else(|| {
+        // CARGO_MANIFEST_DIR is crates/check; the workspace root is two
+        // levels up.
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crates/check has a workspace root two levels up")
+            .to_path_buf()
+    });
     let findings = xct_check::lint::lint_tree(&root);
     if findings.is_empty() {
         println!("xct-lint: clean ({})", root.display());

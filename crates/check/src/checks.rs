@@ -1463,6 +1463,110 @@ impl Check for CheckpointCheck {
     }
 }
 
+/// Validates that a lock-acquisition-order graph is acyclic.
+///
+/// The `xct-model` sync facade records directed `held → acquired` edges
+/// between named lock classes (`xct_model::lockdep::edges`); a cycle in
+/// that graph is a reachable ABBA deadlock even when no observed run ever
+/// deadlocked. This check owns its edge list (names, not borrows) so the
+/// graph can come from a live process, a metrics export, or a fixture.
+pub struct LockOrderCheck {
+    name: String,
+    edges: Vec<(String, String)>,
+}
+
+impl LockOrderCheck {
+    /// A lock-order check over `(held, acquired)` class-name pairs.
+    pub fn new(name: impl Into<String>, edges: Vec<(String, String)>) -> Self {
+        LockOrderCheck {
+            name: name.into(),
+            edges,
+        }
+    }
+
+    /// The check over the process-global graph recorded by the facade.
+    pub fn from_recorded(name: impl Into<String>) -> Self {
+        LockOrderCheck::new(name, xct_model::lockdep::edges())
+    }
+}
+
+impl Check for LockOrderCheck {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn run(&self, report: &mut Report) {
+        use std::collections::HashMap;
+        // Intern the class names and build adjacency lists.
+        fn intern<'e>(
+            ids: &mut HashMap<&'e str, usize>,
+            names: &mut Vec<&'e str>,
+            adj: &mut Vec<Vec<usize>>,
+            n: &'e str,
+        ) -> usize {
+            match ids.get(n) {
+                Some(&i) => i,
+                None => {
+                    let i = names.len();
+                    names.push(n);
+                    ids.insert(n, i);
+                    adj.push(Vec::new());
+                    i
+                }
+            }
+        }
+        let mut ids: HashMap<&str, usize> = HashMap::new();
+        let mut names: Vec<&str> = Vec::new();
+        let mut adj: Vec<Vec<usize>> = Vec::new();
+        for (held, acquired) in &self.edges {
+            let h = intern(&mut ids, &mut names, &mut adj, held);
+            let a = intern(&mut ids, &mut names, &mut adj, acquired);
+            adj[h].push(a);
+        }
+        // Three-color DFS; on hitting a gray node, report the cycle path.
+        fn dfs(
+            v: usize,
+            adj: &[Vec<usize>],
+            color: &mut [u8],
+            stack: &mut Vec<usize>,
+            names: &[&str],
+            check: &str,
+            report: &mut Report,
+        ) {
+            color[v] = 1; // gray: on the current DFS path
+            stack.push(v);
+            for &w in &adj[v] {
+                if color[w] == 1 {
+                    // Cycle: the stack suffix from w back around to w.
+                    let start = stack.iter().position(|&x| x == w).unwrap_or(0);
+                    let mut path: Vec<&str> = stack[start..].iter().map(|&i| names[i]).collect();
+                    path.push(names[w]);
+                    report.violation(
+                        check,
+                        Invariant::LockOrderAcyclic,
+                        path.join(" -> "),
+                        "lock classes are acquired in conflicting orders; an \
+                         ABBA deadlock is reachable",
+                        "impose a total order on these lock classes (acquire \
+                         in one fixed order) or split the offending class",
+                    );
+                } else if color[w] == 0 {
+                    dfs(w, adj, color, stack, names, check, report);
+                }
+            }
+            stack.pop();
+            color[v] = 2; // black: fully explored
+        }
+        let mut color = vec![0u8; names.len()];
+        let mut stack: Vec<usize> = Vec::new();
+        for v in 0..names.len() {
+            if color[v] == 0 {
+                dfs(v, &adj, &mut color, &mut stack, &names, &self.name, report);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1560,5 +1664,50 @@ mod tests {
         assert_eq!(checker.names(), vec!["first", "second"]);
         assert_eq!(checker.len(), 2);
         assert!(!checker.is_empty());
+    }
+
+    fn owned(edges: &[(&str, &str)]) -> Vec<(String, String)> {
+        edges
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn acyclic_lock_order_passes() {
+        // A diamond: strictly ordered, no cycle.
+        let check = LockOrderCheck::new(
+            "lockdep",
+            owned(&[
+                ("pool/state", "pool/dispatch"),
+                ("pool/state", "comm/barrier"),
+                ("pool/dispatch", "serve/job/state"),
+                ("comm/barrier", "serve/job/state"),
+            ]),
+        );
+        let mut report = Report::new();
+        check.run(&mut report);
+        assert!(report.is_ok(), "{report}");
+    }
+
+    #[test]
+    fn abba_cycle_is_reported_with_its_path() {
+        let check = LockOrderCheck::new("lockdep", owned(&[("a", "b"), ("b", "a"), ("a", "c")]));
+        let mut report = Report::new();
+        check.run(&mut report);
+        assert_eq!(report.len(), 1, "exactly the one cycle: {report}");
+        assert!(report.has(Invariant::LockOrderAcyclic));
+        let text = report.to_string();
+        assert!(
+            text.contains("a -> b -> a") || text.contains("b -> a -> b"),
+            "the cycle path must be spelled out: {text}"
+        );
+    }
+
+    #[test]
+    fn empty_lock_graph_is_trivially_acyclic() {
+        let mut report = Report::new();
+        LockOrderCheck::new("lockdep", Vec::new()).run(&mut report);
+        assert!(report.is_ok());
     }
 }

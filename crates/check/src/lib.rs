@@ -30,6 +30,7 @@ mod violation;
 
 pub use checks::{
     BufferedCheck, Check, Checker, CheckpointCheck, CheckpointSection, CsrCheck, EllCheck,
-    ExecPlanCheck, LedgerCheck, PartitionCheck, PermutationCheck, ScheduleCheck, TransposeCheck,
+    ExecPlanCheck, LedgerCheck, LockOrderCheck, PartitionCheck, PermutationCheck, ScheduleCheck,
+    TransposeCheck,
 };
 pub use violation::{CheckViolation, Invariant, Report};

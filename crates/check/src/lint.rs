@@ -17,6 +17,12 @@
 //! - **unsafe** — every crate root must declare `#![forbid(unsafe_code)]`
 //!   unless the crate actually contains `unsafe`, in which case each
 //!   `unsafe` site must carry a `// SAFETY:` comment on or just above it.
+//! - **sync-facade** — forbid raw `std::sync::{Mutex, Condvar, RwLock}`
+//!   (and the `parking_lot` shim) in the model-checked crates
+//!   (`crates/runtime/src`, `crates/serve/src`): concurrency there must go
+//!   through the `xct_model::sync` facade so the schedule explorer sees
+//!   every preemption point. Waive with
+//!   `// lint: allow(sync-facade) <why>`.
 //!
 //! The scanner strips string literals and comments before matching (so doc
 //! examples and messages never fire a rule) and skips `#[cfg(test)]`
@@ -36,15 +42,30 @@ pub enum LintRule {
     /// Undeclared `unsafe` policy (missing `#![forbid(unsafe_code)]` or
     /// an undocumented `unsafe` site).
     UnsafeCode,
+    /// Raw `std::sync` / `parking_lot` primitive in a crate that must use
+    /// the `xct_model::sync` facade.
+    SyncFacade,
 }
 
 impl LintRule {
+    /// Every rule the scanner knows, in a stable order. Mirrors
+    /// `Invariant::ALL`: coverage tests diff against this list so a new
+    /// rule cannot ship without a firing fixture, and CI asserts the
+    /// `--list-rules` count matches.
+    pub const ALL: &'static [LintRule] = &[
+        LintRule::NarrowCast,
+        LintRule::NoPanic,
+        LintRule::UnsafeCode,
+        LintRule::SyncFacade,
+    ];
+
     /// The name used in `// lint: allow(<name>)` waivers.
     pub fn name(self) -> &'static str {
         match self {
             LintRule::NarrowCast => "narrow-cast",
             LintRule::NoPanic => "no-panic",
             LintRule::UnsafeCode => "unsafe",
+            LintRule::SyncFacade => "sync-facade",
         }
     }
 }
@@ -262,6 +283,13 @@ pub fn lint_file(relpath: &str, content: &str, rules: &[LintRule]) -> Vec<LintFi
                     LintRule::UnsafeCode => {
                         has_token(&code, "unsafe") && !safety_documented(&raw_lines, i)
                     }
+                    LintRule::SyncFacade => {
+                        has_token(&code, "parking_lot")
+                            || (code.contains("std::sync")
+                                && (code.contains("Mutex")
+                                    || code.contains("Condvar")
+                                    || code.contains("RwLock")))
+                    }
                 };
                 if fired && !waived(&raw_lines, i, rule) {
                     let message = match rule {
@@ -276,6 +304,10 @@ pub fn lint_file(relpath: &str, content: &str, rules: &[LintRule]) -> Vec<LintFi
                         LintRule::UnsafeCode => {
                             "`unsafe` without a `// SAFETY:` comment".to_string()
                         }
+                        LintRule::SyncFacade => "raw sync primitive in a model-checked crate; \
+                            use the xct_model::sync facade so the schedule explorer sees this \
+                            lock, or waive with `// lint: allow(sync-facade) <why>`"
+                            .to_string(),
                     };
                     findings.push(LintFinding {
                         file: relpath.to_string(),
@@ -314,15 +346,16 @@ fn rules_for(rel: &str) -> Option<Vec<LintRule>> {
     let public_api = rel.starts_with("crates/memxct/src")
         || rel.starts_with("crates/cli/src")
         || rel.starts_with("crates/serve/src");
+    let mut rules = vec![LintRule::NarrowCast, LintRule::UnsafeCode];
     if public_api {
-        Some(vec![
-            LintRule::NarrowCast,
-            LintRule::NoPanic,
-            LintRule::UnsafeCode,
-        ])
-    } else {
-        Some(vec![LintRule::NarrowCast, LintRule::UnsafeCode])
+        rules.push(LintRule::NoPanic);
     }
+    // The model-checked crates must route all locking through the
+    // xct_model::sync facade (crates/model itself IS the facade).
+    if rel.starts_with("crates/runtime/src") || rel.starts_with("crates/serve/src") {
+        rules.push(LintRule::SyncFacade);
+    }
+    Some(rules)
 }
 
 fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
@@ -425,11 +458,87 @@ fn crate_dir_of(rel: &str) -> Option<String> {
 mod tests {
     use super::*;
 
-    const ALL: &[LintRule] = &[
-        LintRule::NarrowCast,
-        LintRule::NoPanic,
-        LintRule::UnsafeCode,
+    const ALL: &[LintRule] = LintRule::ALL;
+
+    /// One minimal mutation fixture per rule: a source snippet whose only
+    /// defect is that rule's violation. Coverage is diffed against
+    /// [`LintRule::ALL`], so adding a rule without a fixture fails here —
+    /// the same closed-loop discipline as `Invariant::ALL`.
+    const FIXTURES: &[(LintRule, &str)] = &[
+        (LintRule::NarrowCast, "let a = b as u32;\n"),
+        (LintRule::NoPanic, "pub fn f() { x.unwrap(); }\n"),
+        (LintRule::UnsafeCode, "pub fn f() { unsafe { g() } }\n"),
+        (LintRule::SyncFacade, "use std::sync::Mutex;\n"),
     ];
+
+    #[test]
+    fn every_rule_fires_exactly_once_on_its_fixture() {
+        let covered: std::collections::HashSet<LintRule> =
+            FIXTURES.iter().map(|(r, _)| *r).collect();
+        let missing: Vec<&LintRule> = LintRule::ALL
+            .iter()
+            .filter(|r| !covered.contains(r))
+            .collect();
+        assert!(
+            missing.is_empty(),
+            "rules without a mutation fixture: {missing:?}"
+        );
+        assert_eq!(
+            FIXTURES.len(),
+            LintRule::ALL.len(),
+            "one fixture per rule, no extras"
+        );
+        for (rule, src) in FIXTURES {
+            // The fixture trips its own rule exactly once...
+            let f = lint_file("fixture.rs", src, &[*rule]);
+            assert_eq!(f.len(), 1, "{rule:?} must fire once on its fixture: {f:?}");
+            assert_eq!(f[0].rule, *rule);
+            // ...and the named waiver silences it.
+            let waived_src = format!("// lint: allow({}) fixture\n{}", rule.name(), src);
+            let f = lint_file("fixture.rs", &waived_src, &[*rule]);
+            assert!(f.is_empty(), "{rule:?} waiver must silence it: {f:?}");
+        }
+    }
+
+    #[test]
+    fn sync_facade_fires_on_raw_primitives_not_the_facade() {
+        for bad in [
+            "use std::sync::{Arc, Mutex};\n",
+            "use std::sync::Condvar;\n",
+            "let l: std::sync::RwLock<u8> = std::sync::RwLock::new(0);\n",
+            "use parking_lot::Mutex;\n",
+        ] {
+            let f = lint_file("x.rs", bad, &[LintRule::SyncFacade]);
+            assert_eq!(f.len(), 1, "must fire on: {bad}");
+        }
+        for good in [
+            "use xct_model::sync::{Arc, Condvar, Mutex};\n",
+            "use std::sync::atomic::{AtomicBool, Ordering};\n",
+            "use std::sync::Arc;\n",
+            "use std::sync::mpsc;\n",
+        ] {
+            let f = lint_file("x.rs", good, &[LintRule::SyncFacade]);
+            assert!(f.is_empty(), "must not fire on: {good} -> {f:?}");
+        }
+    }
+
+    #[test]
+    fn sync_facade_scopes_to_model_checked_crates() {
+        let fire = ["crates/runtime/src/pool.rs", "crates/serve/src/job.rs"];
+        let skip = [
+            "crates/model/src/sync.rs",
+            "crates/memxct/src/lib.rs",
+            "crates/obs/src/registry.rs",
+        ];
+        for rel in fire {
+            let rules = rules_for(rel).expect("scanned");
+            assert!(rules.contains(&LintRule::SyncFacade), "{rel}: {rules:?}");
+        }
+        for rel in skip {
+            let rules = rules_for(rel).expect("scanned");
+            assert!(!rules.contains(&LintRule::SyncFacade), "{rel}: {rules:?}");
+        }
+    }
 
     #[test]
     fn narrow_cast_fires_and_waives() {

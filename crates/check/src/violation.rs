@@ -90,6 +90,10 @@ pub enum Invariant {
     /// resuming from it — per-slice sections cannot be mapped onto the
     /// workspace.
     CheckpointBatch,
+    /// The lock-acquisition-order graph recorded by the `xct-model` sync
+    /// facade contains a cycle — an ABBA deadlock is reachable even if no
+    /// observed run ever deadlocked.
+    LockOrderAcyclic,
 }
 
 impl Invariant {
@@ -126,6 +130,7 @@ impl Invariant {
         Invariant::CheckpointShape,
         Invariant::CheckpointMonotone,
         Invariant::CheckpointBatch,
+        Invariant::LockOrderAcyclic,
     ];
 }
 

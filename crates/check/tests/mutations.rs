@@ -7,7 +7,8 @@
 
 use xct_check::{
     BufferedCheck, Check, CheckpointCheck, CsrCheck, EllCheck, ExecPlanCheck, Invariant,
-    LedgerCheck, PartitionCheck, PermutationCheck, Report, ScheduleCheck, TransposeCheck,
+    LedgerCheck, LockOrderCheck, PartitionCheck, PermutationCheck, Report, ScheduleCheck,
+    TransposeCheck,
 };
 use xct_sparse::{BufferedCsr, BufferedCsrImpl, CsrMatrix, EllMatrix};
 
@@ -378,6 +379,27 @@ fn m_checkpoint_batch() -> Report {
     run(checkpoint_check(0xAB, 3, 3, 12).batch(4, 2))
 }
 
+/// The lock-order graph the model-checked crates actually record,
+/// acyclic by construction (dispatch is taken under the pool state's
+/// critical sections, never the other way around).
+fn lock_edges() -> Vec<(String, String)> {
+    [
+        ("pool/dispatch", "pool/state"),
+        ("serve/job/state", "serve/cache/state"),
+        ("comm/barrier", "comm/failure"),
+    ]
+    .iter()
+    .map(|(a, b)| (a.to_string(), b.to_string()))
+    .collect()
+}
+
+fn m_lock_order_acyclic() -> Report {
+    // One inverted acquisition turns the ordered graph into an ABBA pair.
+    let mut edges = lock_edges();
+    edges.push(("pool/state".to_string(), "pool/dispatch".to_string()));
+    run(LockOrderCheck::new("lockdep", edges))
+}
+
 /// The full table: (name, the invariant the mutation must pinpoint, the
 /// mutation itself).
 type Mutation = (&'static str, Invariant, fn() -> Report);
@@ -511,6 +533,11 @@ static MUTATIONS: &[Mutation] = &[
         Invariant::CheckpointBatch,
         m_checkpoint_batch,
     ),
+    (
+        "lock acquisition inverted",
+        Invariant::LockOrderAcyclic,
+        m_lock_order_acyclic,
+    ),
 ];
 
 #[test]
@@ -562,5 +589,6 @@ fn unmutated_specimens_are_clean() {
     checkpoint_check(0xAB, 3, 3, 12)
         .batch(4, 4)
         .run(&mut report);
+    LockOrderCheck::new("lockdep", lock_edges()).run(&mut report);
     assert!(report.is_ok(), "{report}");
 }

@@ -846,8 +846,9 @@ fn inject_corruption(ops: &mut Operators, kind: &str) {
 }
 
 /// `memxct-cli check`: preprocess, optionally inject one fault, and run
-/// the full static invariant sweep. Exits 0 when every invariant holds and
-/// 3 when any is violated (2 for usage errors).
+/// the full static invariant sweep plus the lock-order (lockdep) pass over
+/// the sync facade's recorded acquisition graph. Exits 0 when every
+/// invariant holds and 3 when any is violated (2 for usage errors).
 fn check(opts: &Options) {
     let ds = opts.dataset_scaled();
     println!(
@@ -887,6 +888,30 @@ fn check(opts: &Options) {
         let dist = dist_checker(&ops, plans);
         names.extend(dist.names());
         dist.run_into(&mut report);
+    }
+
+    // Lock-order pass: exercise the model-checked concurrency paths once
+    // so the sync facade records its acquisition graph (debug builds; the
+    // recording is compiled out in release, leaving an empty — trivially
+    // acyclic — graph), then check the graph for ABBA cycles.
+    {
+        let pool = xct_runtime::WorkerPool::new(2);
+        let plan = xct_runtime::ExecPlan::equal_rows(4, 2);
+        let mut scratch = vec![0u8; 4];
+        pool.run(&plan, &mut scratch, |_parts, _rows, _slice| {});
+        let _ = xct_runtime::run_ranks(2, |comm| {
+            comm.barrier();
+            comm.rank()
+        });
+        let edges = xct_model::lockdep::edges();
+        println!(
+            "lockdep: {} lock classes, {} acquisition edges",
+            xct_model::lockdep::classes().len(),
+            edges.len()
+        );
+        let lock = xct_check::LockOrderCheck::new("lockdep", edges);
+        names.push(xct_check::Check::name(&lock));
+        xct_check::Check::run(&lock, &mut report);
     }
     println!(
         "ran {} checks in {:.2}s: {}",

@@ -1,0 +1,288 @@
+//! Schedule exploration: bounded DFS / seeded-random enumeration and
+//! trace replay.
+//!
+//! [`explore`] runs the body closure once per schedule, each time under a
+//! fresh [`World`]. With [`Strategy::Dfs`] the decision tree is walked
+//! depth-first with backtracking: after each schedule, the deepest branch
+//! with an unexplored sibling is advanced and everything after it is
+//! dropped; exploration is *complete* when the tree is exhausted within
+//! the preemption bound. With [`Strategy::Random`] each schedule draws
+//! its branches from a SplitMix64 stream seeded as `seed + schedule
+//! index`, so the whole run — including which failure is found first — is
+//! a pure function of the explicit seed.
+
+use std::sync::Arc;
+
+use crate::trace::{Choice, Cursor, Pick, SplitMix64, TraceId};
+use crate::world::{ScheduleLimits, World};
+
+/// How a failing schedule failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// All live tasks blocked, at least one on a lock/join/channel.
+    Deadlock,
+    /// All live tasks parked in untimed condvar waits: no notify can ever
+    /// arrive.
+    LostWakeup,
+    /// A task panicked (assertion violation).
+    Panic,
+    /// The per-schedule step budget was exceeded (livelock suspect).
+    StepLimit,
+}
+
+/// One failing schedule: what went wrong plus the [`TraceId`] that
+/// replays it deterministically.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Classification of the failure.
+    pub kind: FailureKind,
+    /// Replayable schedule identifier (feed to [`replay`]).
+    pub trace: TraceId,
+    /// Human-readable description (blocked-task list or panic payload).
+    pub message: String,
+    /// 1-based index of the failing schedule within the exploration.
+    pub schedule: u64,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model failure [{:?}] in schedule #{}: {}; replay trace {}",
+            self.kind, self.schedule, self.message, self.trace
+        )
+    }
+}
+
+/// Outcome of an exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of schedules executed.
+    pub schedules: u64,
+    /// `true` when DFS exhausted the decision tree within the bounds
+    /// (exhaustive up to the preemption bound). Random exploration never
+    /// sets this.
+    pub complete: bool,
+    /// The first failure found, if any (exploration stops there).
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Panic (with the replay trace) if a failure was found. For tests.
+    pub fn assert_clean(&self) {
+        if let Some(f) = &self.failure {
+            panic!("model check failed: {f}");
+        }
+    }
+}
+
+/// Branch-selection strategy.
+#[derive(Debug, Clone, Copy)]
+pub enum Strategy {
+    /// Exhaustive depth-first enumeration with backtracking.
+    Dfs,
+    /// Pseudo-random schedules from an explicit seed.
+    Random {
+        /// Seed for the SplitMix64 stream; schedule `i` uses `seed + i`.
+        seed: u64,
+    },
+}
+
+/// Exploration bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Branch-selection strategy.
+    pub strategy: Strategy,
+    /// Maximum *preemptions* per schedule: context switches away from a
+    /// still-runnable task. Voluntary blocking never counts. Small bounds
+    /// (2–3) catch almost all real concurrency bugs (CHESS observation)
+    /// while keeping the tree tractable.
+    pub max_preemptions: u32,
+    /// Maximum number of schedules to run before giving up.
+    pub max_schedules: u64,
+    /// Per-schedule scheduling-step budget (livelock backstop).
+    pub max_steps: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            strategy: Strategy::Dfs,
+            max_preemptions: 2,
+            max_schedules: 50_000,
+            max_steps: 50_000,
+        }
+    }
+}
+
+impl Config {
+    /// Default bounds with the DFS strategy.
+    pub fn dfs() -> Config {
+        Config::default()
+    }
+
+    /// Default bounds with seeded random exploration.
+    pub fn random(seed: u64) -> Config {
+        Config {
+            strategy: Strategy::Random { seed },
+            ..Config::default()
+        }
+    }
+
+    /// Set the preemption bound.
+    pub fn preemptions(mut self, n: u32) -> Config {
+        self.max_preemptions = n;
+        self
+    }
+
+    /// Set the schedule budget.
+    pub fn schedules(mut self, n: u64) -> Config {
+        self.max_schedules = n;
+        self
+    }
+}
+
+/// Explore interleavings of `body` under `cfg`, stopping at the first
+/// failure. `body` runs once per schedule as the root model task; any
+/// facade object it creates (directly or transitively) participates in
+/// the model.
+pub fn explore<F>(cfg: &Config, body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body = Arc::new(body);
+    match cfg.strategy {
+        Strategy::Dfs => {
+            let mut prefix: Vec<Choice> = Vec::new();
+            let mut schedules = 0;
+            loop {
+                if schedules >= cfg.max_schedules {
+                    return Report {
+                        schedules,
+                        complete: false,
+                        failure: None,
+                    };
+                }
+                schedules += 1;
+                let (failure, taken) = run_schedule(cfg, &body, Cursor::new(prefix, Pick::First));
+                if let Some((kind, message)) = failure {
+                    return Report {
+                        schedules,
+                        complete: false,
+                        failure: Some(Failure {
+                            kind,
+                            trace: TraceId::encode(&taken),
+                            message,
+                            schedule: schedules,
+                        }),
+                    };
+                }
+                // Backtrack: advance the deepest branch with an untried
+                // sibling, dropping everything after it.
+                let mut next = taken;
+                loop {
+                    match next.pop() {
+                        None => {
+                            return Report {
+                                schedules,
+                                complete: true,
+                                failure: None,
+                            }
+                        }
+                        Some(c) if c.chosen + 1 < c.options => {
+                            next.push(Choice {
+                                chosen: c.chosen + 1,
+                                options: c.options,
+                            });
+                            break;
+                        }
+                        Some(_) => {}
+                    }
+                }
+                prefix = next;
+            }
+        }
+        Strategy::Random { seed } => {
+            let mut schedules = 0;
+            while schedules < cfg.max_schedules {
+                schedules += 1;
+                let rng = SplitMix64::new(seed.wrapping_add(schedules - 1));
+                let (failure, taken) =
+                    run_schedule(cfg, &body, Cursor::new(Vec::new(), Pick::Random(rng)));
+                if let Some((kind, message)) = failure {
+                    return Report {
+                        schedules,
+                        complete: false,
+                        failure: Some(Failure {
+                            kind,
+                            trace: TraceId::encode(&taken),
+                            message,
+                            schedule: schedules,
+                        }),
+                    };
+                }
+            }
+            Report {
+                schedules,
+                complete: false,
+                failure: None,
+            }
+        }
+    }
+}
+
+/// Re-run exactly the schedule identified by `trace` (as printed in a
+/// [`Failure`]). Returns the single-schedule report; the failure (if the
+/// bug is still present) carries the same trace.
+pub fn replay<F>(trace: &TraceId, cfg: &Config, body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body = Arc::new(body);
+    let prefix = trace.decode().unwrap_or_default();
+    let (failure, taken) = run_schedule(cfg, &body, Cursor::new(prefix, Pick::First));
+    Report {
+        schedules: 1,
+        complete: false,
+        failure: failure.map(|(kind, message)| Failure {
+            kind,
+            trace: TraceId::encode(&taken),
+            message,
+            schedule: 1,
+        }),
+    }
+}
+
+fn run_schedule<F>(
+    cfg: &Config,
+    body: &Arc<F>,
+    cursor: Cursor,
+) -> (Option<(FailureKind, String)>, Vec<Choice>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let world = Arc::new(World::new(
+        ScheduleLimits {
+            max_preemptions: cfg.max_preemptions,
+            max_steps: cfg.max_steps,
+        },
+        cursor,
+    ));
+    let main_id = world.register_task("main".to_string());
+    let w = world.clone();
+    let b = body.clone();
+    let handle = std::thread::Builder::new()
+        .name("xct-model-root".to_string())
+        .spawn(move || crate::thread::task_entry(w, main_id, move || b()))
+        .expect("spawn model root task");
+    let failure = world.control();
+    if failure.is_none() {
+        let _ = handle.join();
+    } else {
+        // Failing schedule: parked task threads are leaked on purpose —
+        // never unwind user code mid-critical-section. Exploration stops
+        // at the first failure, so the leak is bounded.
+        drop(handle);
+    }
+    (failure, world.take_choices())
+}

@@ -1,0 +1,64 @@
+//! `xct-model`: deterministic concurrency model checking for the MemXCT
+//! runtime.
+//!
+//! The repo's whole value proposition is deterministic, bit-identical
+//! reconstruction — but determinism of *results* says nothing about the
+//! schedule space of the worker pool, communicator, job scheduler, and
+//! plan cache. This crate provides a loom-style checker that explores
+//! that space exhaustively (for the small configurations where protocol
+//! bugs live) and entirely offline:
+//!
+//! * A **sync facade** ([`sync`], [`thread`], [`channel`], [`time`]) with
+//!   two backends. Outside a model schedule every type passes through to
+//!   `std` at the cost of one thread-local read per operation — zero
+//!   steady-state allocations. Inside [`explore`], every operation is a
+//!   preemption point reported to a controlled cooperative scheduler.
+//! * A **schedule explorer** ([`explore`], [`Config`], [`Strategy`]):
+//!   bounded depth-first enumeration of thread interleavings (CHESS-style
+//!   preemption bounding) or seeded pseudo-random sampling. No wall
+//!   clock, no ambient randomness — a run is a pure function of the body
+//!   and the explicit seed.
+//! * **Failure detection**: deadlocks (all tasks blocked), lost wakeups
+//!   (all tasks in untimed condvar waits — the model has no spurious
+//!   wakeups to mask them), panics/assertion violations, and livelock
+//!   suspects (step-budget exhaustion). Timed waits run against a
+//!   discrete virtual clock, so deadline/poll loops terminate instantly.
+//! * **Deterministic replay**: every failure carries a [`TraceId`]
+//!   (varint-encoded branch decisions, printed as `xm1-<hex>`); feeding
+//!   it to [`replay`] re-executes exactly that interleaving.
+//! * **Lockdep** ([`lockdep`]): named facade locks record a
+//!   lock-acquisition-order graph in debug builds, exported through
+//!   `xct-obs` and checked for cycles by `xct-check`'s
+//!   `LockOrderAcyclic` invariant.
+//!
+//! ```
+//! use xct_model::{explore, Config, FailureKind};
+//! use xct_model::sync::{Arc, Mutex};
+//!
+//! // Two tasks increment a shared counter; exhaustively verified.
+//! let report = explore(&Config::dfs(), || {
+//!     let n = Arc::new(Mutex::new(0u32));
+//!     let n2 = n.clone();
+//!     let t = xct_model::thread::spawn(move || *n2.lock() += 1);
+//!     *n.lock() += 1;
+//!     t.join().unwrap();
+//!     assert_eq!(*n.lock(), 2);
+//! });
+//! report.assert_clean();
+//! assert!(report.complete);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+mod explore;
+pub mod lockdep;
+pub mod sync;
+pub mod thread;
+pub mod time;
+mod trace;
+mod world;
+
+pub use explore::{explore, replay, Config, Failure, FailureKind, Report, Strategy};
+pub use trace::TraceId;

@@ -1,0 +1,253 @@
+//! Thread facade: `spawn`/`Builder`/`JoinHandle`, scoped threads, `sleep`
+//! and `yield_now`. Passthrough delegates to `std::thread`; in a model
+//! schedule, spawned closures become model tasks whose scheduling the
+//! controller owns, `sleep` parks on the virtual clock, and joins are
+//! model-visible blocking points (so join cycles count as deadlocks).
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use std::thread::panicking;
+
+use crate::world::{self, World};
+
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Entry wrapper for every model task thread: installs the task context,
+/// waits for the first scheduling grant, runs the closure under
+/// `catch_unwind`, and reports completion (or the panic) to the world.
+pub(crate) fn task_entry<T>(
+    world: Arc<World>,
+    id: usize,
+    f: impl FnOnce() -> T,
+) -> Result<T, PanicPayload> {
+    world::set_ctx(Some((world.clone(), id)));
+    world.initial_wait(id);
+    let r = catch_unwind(AssertUnwindSafe(f));
+    let msg = r.as_ref().err().map(payload_msg);
+    world.finish_task(id, msg);
+    world::set_ctx(None);
+    r
+}
+
+fn payload_msg(p: &PanicPayload) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        handle: std::thread::JoinHandle<Result<T, PanicPayload>>,
+        world: Arc<World>,
+        id: usize,
+    },
+}
+
+/// Facade join handle; mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread/task to finish.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Std(h) => h.join(),
+            Inner::Model { handle, world, id } => {
+                if let Some((w, me)) = world::current() {
+                    debug_assert!(Arc::ptr_eq(&w, &world));
+                    w.join(me, id);
+                }
+                handle.join().and_then(|r| r)
+            }
+        }
+    }
+
+    /// Whether the thread/task has finished.
+    pub fn is_finished(&self) -> bool {
+        match &self.inner {
+            Inner::Std(h) => h.is_finished(),
+            Inner::Model { handle, .. } => handle.is_finished(),
+        }
+    }
+}
+
+/// Facade thread builder; mirrors `std::thread::Builder`.
+#[derive(Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// A builder with no name set.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Name the thread (also used as the model task name).
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawn the closure as a thread (passthrough) or model task.
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let name = self.name.unwrap_or_else(|| "xct-task".to_string());
+        match world::current() {
+            None => {
+                let h = std::thread::Builder::new().name(name).spawn(f)?;
+                Ok(JoinHandle {
+                    inner: Inner::Std(h),
+                })
+            }
+            Some((world, me)) => {
+                let id = world.register_task(name.clone());
+                let w = world.clone();
+                let h = std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || task_entry(w, id, f))?;
+                // Spawning is itself a preemption point: the child may run
+                // before or after the parent's next step.
+                world.yield_point(me);
+                Ok(JoinHandle {
+                    inner: Inner::Model {
+                        handle: h,
+                        world,
+                        id,
+                    },
+                })
+            }
+        }
+    }
+}
+
+/// Spawn a thread/task (see [`Builder::spawn`]).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+/// Sleep: real in passthrough, virtual-clock park in the model (the
+/// controller advances time when nothing is runnable, so model sleeps
+/// cost no wall clock).
+pub fn sleep(d: Duration) {
+    match world::current() {
+        Some((w, me)) => w.sleep(me, d),
+        None => std::thread::sleep(d),
+    }
+}
+
+/// Yield: a bare preemption point in the model, `std::thread::yield_now`
+/// otherwise.
+pub fn yield_now() {
+    match world::current() {
+        Some((w, me)) => w.yield_point(me),
+        None => std::thread::yield_now(),
+    }
+}
+
+enum ScopedInner<'scope, T> {
+    Std(std::thread::ScopedJoinHandle<'scope, T>),
+    Model {
+        handle: std::thread::ScopedJoinHandle<'scope, Result<T, PanicPayload>>,
+        world: Arc<World>,
+        id: usize,
+    },
+}
+
+/// Facade scoped join handle; mirrors `std::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: ScopedInner<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the scoped thread/task to finish.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            ScopedInner::Std(h) => h.join(),
+            ScopedInner::Model { handle, world, id } => {
+                if let Some((w, me)) = world::current() {
+                    debug_assert!(Arc::ptr_eq(&w, &world));
+                    w.join(me, id);
+                }
+                handle.join().and_then(|r| r)
+            }
+        }
+    }
+}
+
+/// Facade scope; mirrors `std::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    model: Option<(Arc<World>, usize)>,
+    tasks: RefCell<Vec<usize>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread/task.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match &self.model {
+            None => ScopedJoinHandle {
+                inner: ScopedInner::Std(self.inner.spawn(f)),
+            },
+            Some((world, me)) => {
+                let id = world.register_task(format!("scoped-{}", self.tasks.borrow().len()));
+                let w = world.clone();
+                let handle = self.inner.spawn(move || task_entry(w, id, f));
+                self.tasks.borrow_mut().push(id);
+                world.yield_point(*me);
+                ScopedJoinHandle {
+                    inner: ScopedInner::Model {
+                        handle,
+                        world: world.clone(),
+                        id,
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// Facade for `std::thread::scope`. In a model schedule, every scoped
+/// task is model-joined before the underlying real scope joins the OS
+/// threads, so the implicit join never blocks while holding the baton.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(|s| {
+        let wrapper = Scope {
+            inner: s,
+            model: world::current(),
+            tasks: RefCell::new(Vec::new()),
+        };
+        let r = f(&wrapper);
+        if let Some((world, me)) = &wrapper.model {
+            for id in wrapper.tasks.borrow().iter() {
+                world.join(*me, *id);
+            }
+        }
+        r
+    })
+}

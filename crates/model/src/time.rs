@@ -1,0 +1,58 @@
+//! Time facade: `Instant` is a real clock reading in passthrough and a
+//! discrete virtual-clock reading inside a model schedule. The virtual
+//! clock only advances when the controller has nothing runnable and some
+//! task holds a timed wait — so deadline loops (`started.elapsed() >
+//! deadline`) terminate in model time without any real sleeping, and the
+//! schedule stays a pure function of the decision list.
+
+pub use std::time::Duration;
+
+use crate::world;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Inner {
+    Real(std::time::Instant),
+    Virtual(u64),
+}
+
+/// Facade instant; mirrors the `std::time::Instant` surface the runtime
+/// uses (`now`, `elapsed`, `duration_since`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instant(Inner);
+
+impl Instant {
+    /// The current time (a model preemption point in a schedule).
+    pub fn now() -> Instant {
+        match world::current() {
+            Some((w, me)) => {
+                w.yield_point(me);
+                Instant(Inner::Virtual(w.now_ns()))
+            }
+            None => Instant(Inner::Real(std::time::Instant::now())),
+        }
+    }
+
+    /// Time elapsed since this instant.
+    pub fn elapsed(&self) -> Duration {
+        match self.0 {
+            Inner::Real(t) => t.elapsed(),
+            Inner::Virtual(t0) => match world::current() {
+                Some((w, me)) => {
+                    w.yield_point(me);
+                    Duration::from_nanos(w.now_ns().saturating_sub(t0))
+                }
+                None => Duration::ZERO,
+            },
+        }
+    }
+
+    /// Time between two instants (zero when `earlier` is later or the
+    /// instants come from different clocks).
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        match (self.0, earlier.0) {
+            (Inner::Real(a), Inner::Real(b)) => a.saturating_duration_since(b),
+            (Inner::Virtual(a), Inner::Virtual(b)) => Duration::from_nanos(a.saturating_sub(b)),
+            _ => Duration::ZERO,
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Deterministic schedule traces.
+//!
+//! Every schedule the explorer runs is fully described by the ordered list
+//! of branch decisions the controller made: at each *choice point* (a state
+//! with more than one runnable task after the preemption bound is applied)
+//! it picked `chosen` out of `options` candidates. That list round-trips
+//! through a printable [`TraceId`] (`xm1-<hex>` over a varint encoding), so
+//! any failing schedule can be replayed exactly from its ID — no wall
+//! clock, no ambient randomness; the only entropy source is the explicit
+//! seed of [`Strategy::Random`](crate::Strategy::Random).
+
+use std::fmt;
+
+/// One scheduling decision: index `chosen` out of `options` candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Choice {
+    pub chosen: u32,
+    pub options: u32,
+}
+
+/// How a [`Cursor`] decides branches beyond its recorded prefix.
+pub(crate) enum Pick {
+    /// Always the first candidate (DFS extends depth-first).
+    First,
+    /// Seeded pseudo-random candidate.
+    Random(SplitMix64),
+}
+
+/// Replays a recorded decision prefix, then extends it with fresh picks;
+/// records everything actually taken so the schedule can be encoded.
+pub(crate) struct Cursor {
+    prefix: Vec<Choice>,
+    pos: usize,
+    pick: Pick,
+    taken: Vec<Choice>,
+}
+
+impl Cursor {
+    pub fn new(prefix: Vec<Choice>, pick: Pick) -> Cursor {
+        Cursor {
+            prefix,
+            pos: 0,
+            pick,
+            taken: Vec::new(),
+        }
+    }
+
+    /// Decide a choice point with `options >= 2` candidates.
+    pub fn choose(&mut self, options: u32) -> u32 {
+        debug_assert!(options >= 2);
+        let chosen = if self.pos < self.prefix.len() {
+            // Replaying: clamp defensively so a divergent replay (fewer
+            // candidates than recorded) still yields a valid schedule.
+            self.prefix[self.pos].chosen.min(options - 1)
+        } else {
+            match &mut self.pick {
+                Pick::First => 0,
+                // in-range: remainder of `% options` is < options <= u32::MAX
+                Pick::Random(rng) => (rng.next() % u64::from(options)) as u32,
+            }
+        };
+        self.pos += 1;
+        self.taken.push(Choice { chosen, options });
+        chosen
+    }
+
+    pub fn into_taken(self) -> Vec<Choice> {
+        self.taken
+    }
+}
+
+/// Replayable identifier of one explored schedule: the branch decisions
+/// varint-encoded and rendered as `xm1-<hex>`.
+///
+/// Printed in every [`Failure`](crate::Failure); feed it back through
+/// [`replay`](crate::replay) to re-run exactly that interleaving.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TraceId(String);
+
+impl TraceId {
+    pub(crate) fn encode(choices: &[Choice]) -> TraceId {
+        let mut bytes = Vec::new();
+        push_varint(&mut bytes, choices.len() as u64);
+        for c in choices {
+            push_varint(&mut bytes, u64::from(c.chosen));
+            push_varint(&mut bytes, u64::from(c.options));
+        }
+        let mut s = String::with_capacity(4 + bytes.len() * 2);
+        s.push_str("xm1-");
+        for b in bytes {
+            use fmt::Write;
+            let _ = write!(s, "{b:02x}");
+        }
+        TraceId(s)
+    }
+
+    /// Parse a printed trace ID; `None` when malformed.
+    pub fn parse(s: &str) -> Option<TraceId> {
+        let hex = s.strip_prefix("xm1-")?;
+        if hex.len() % 2 != 0 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let id = TraceId(s.to_string());
+        id.decode()?;
+        Some(id)
+    }
+
+    /// The decoded decision list; `None` when the payload is truncated.
+    pub(crate) fn decode(&self) -> Option<Vec<Choice>> {
+        let hex = self.0.strip_prefix("xm1-")?;
+        let mut bytes = Vec::with_capacity(hex.len() / 2);
+        let raw = hex.as_bytes();
+        let mut i = 0;
+        while i + 1 < raw.len() + 1 && i + 2 <= raw.len() {
+            let hi = hex_val(raw[i])?;
+            let lo = hex_val(raw[i + 1])?;
+            bytes.push(hi * 16 + lo);
+            i += 2;
+        }
+        let mut pos = 0;
+        let count = read_varint(&bytes, &mut pos)?;
+        let mut out = Vec::new();
+        for _ in 0..count {
+            let chosen = read_varint(&bytes, &mut pos)?;
+            let options = read_varint(&bytes, &mut pos)?;
+            out.push(Choice {
+                chosen: u32::try_from(chosen).ok()?,
+                options: u32::try_from(options).ok()?,
+            });
+        }
+        Some(out)
+    }
+
+    /// The printable form (`xm1-...`).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        // in-range: masked to 7 bits before widening back
+        let mut byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v != 0 {
+            byte |= 0x80;
+        }
+        out.push(byte);
+        if v == 0 {
+            return;
+        }
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0;
+    loop {
+        let b = *bytes.get(*pos)?;
+        *pos += 1;
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// SplitMix64: tiny, deterministic, explicitly seeded PRNG for the random
+/// exploration strategy. Not cryptographic; chosen because one u64 of
+/// state makes "same seed → same schedule stream" trivially auditable.
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_round_trips() {
+        let choices = vec![
+            Choice {
+                chosen: 0,
+                options: 2,
+            },
+            Choice {
+                chosen: 2,
+                options: 3,
+            },
+            Choice {
+                chosen: 1,
+                options: 200,
+            },
+        ];
+        let id = TraceId::encode(&choices);
+        assert!(id.as_str().starts_with("xm1-"));
+        let parsed = TraceId::parse(id.as_str()).expect("parses");
+        assert_eq!(parsed.decode().expect("decodes"), choices);
+    }
+
+    #[test]
+    fn malformed_traces_rejected() {
+        assert!(TraceId::parse("nope").is_none());
+        assert!(TraceId::parse("xm1-zz").is_none());
+        assert!(TraceId::parse("xm1-0").is_none());
+        // Truncated payload: claims one choice but carries no bytes.
+        assert!(TraceId::parse("xm1-01").is_none());
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..16 {
+            assert_eq!(a.next(), b.next());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next(), c.next());
+    }
+}

@@ -1,0 +1,520 @@
+//! The model scheduler: one `World` per explored schedule.
+//!
+//! Tasks are real OS threads, but exactly one holds the *execution baton*
+//! at a time — every facade operation is a preemption point where the task
+//! parks and the controller (the thread running
+//! [`explore`](crate::explore)) picks who runs next. Branch decisions flow
+//! through the schedule [`Cursor`], which makes the whole interleaving a
+//! pure function of the recorded decision list.
+//!
+//! Blocked tasks carry *why* they are blocked ([`Block`]); the controller
+//! classifies an all-blocked state as a deadlock (some task waits on a
+//! lock/join/channel) or a lost wakeup (every blocked task is in an
+//! untimed condvar wait — no notify can ever arrive). Timed waits park
+//! with a virtual-time expiry; when nothing is runnable but expiries
+//! exist, the controller advances the discrete virtual clock to the
+//! earliest one instead of failing, so poll/deadline loops terminate
+//! without real sleeping.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::time::Duration;
+
+use crate::explore::FailureKind;
+use crate::trace::{Choice, Cursor};
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<World>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The current thread's model-task context: `(world, task id)`, or `None`
+/// on a plain production thread (passthrough mode).
+pub(crate) fn current() -> Option<(Arc<World>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(ctx: Option<(Arc<World>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// What a blocked task is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Block {
+    Mutex(usize),
+    Condvar(usize),
+    Channel(usize),
+    Join(usize),
+    Sleep,
+    RwRead(usize),
+    RwWrite(usize),
+}
+
+#[derive(Debug)]
+enum TaskState {
+    Runnable,
+    Running,
+    Blocked { on: Block, expiry: Option<u64> },
+    Finished,
+}
+
+/// Why a parked task was handed the baton again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wake {
+    Scheduled,
+    Notified,
+    TimedOut,
+}
+
+struct Task {
+    name: String,
+    state: TaskState,
+    wake: Wake,
+}
+
+struct RwSt {
+    writer: bool,
+    readers: usize,
+}
+
+struct WorldSt {
+    tasks: Vec<Task>,
+    /// The task currently holding the baton, if any.
+    active: Option<usize>,
+    /// The task scheduled last (preemption accounting).
+    prev: Option<usize>,
+    preemptions: u32,
+    steps: u64,
+    /// Discrete virtual clock, nanoseconds.
+    clock_ns: u64,
+    /// Per-mutex "held" flags; waiters are found by scanning task states.
+    mutexes: Vec<bool>,
+    rwlocks: Vec<RwSt>,
+    condvars: usize,
+    channels: usize,
+    failure: Option<(FailureKind, String)>,
+    cursor: Cursor,
+}
+
+/// Per-schedule exploration bounds (see [`Config`](crate::Config)).
+pub(crate) struct ScheduleLimits {
+    pub max_preemptions: u32,
+    pub max_steps: u64,
+}
+
+/// One schedule's worth of shared scheduler state. Tasks and the
+/// controller rendezvous on a single (std) mutex + condvar; the model
+/// never holds this lock while a task runs user code.
+pub(crate) struct World {
+    st: StdMutex<WorldSt>,
+    cv: StdCondvar,
+    limits: ScheduleLimits,
+}
+
+fn dur_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl World {
+    pub fn new(limits: ScheduleLimits, cursor: Cursor) -> World {
+        World {
+            st: StdMutex::new(WorldSt {
+                tasks: Vec::new(),
+                active: None,
+                prev: None,
+                preemptions: 0,
+                steps: 0,
+                clock_ns: 0,
+                mutexes: Vec::new(),
+                rwlocks: Vec::new(),
+                condvars: 0,
+                channels: 0,
+                failure: None,
+                cursor,
+            }),
+            cv: StdCondvar::new(),
+            limits,
+        }
+    }
+
+    fn locked(&self) -> StdMutexGuard<'_, WorldSt> {
+        self.st.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    // ----- registration ---------------------------------------------------
+
+    pub fn register_task(&self, name: String) -> usize {
+        let mut s = self.locked();
+        s.tasks.push(Task {
+            name,
+            state: TaskState::Runnable,
+            wake: Wake::Scheduled,
+        });
+        s.tasks.len() - 1
+    }
+
+    pub fn register_mutex(&self) -> usize {
+        let mut s = self.locked();
+        s.mutexes.push(false);
+        s.mutexes.len() - 1
+    }
+
+    pub fn register_rwlock(&self) -> usize {
+        let mut s = self.locked();
+        s.rwlocks.push(RwSt {
+            writer: false,
+            readers: 0,
+        });
+        s.rwlocks.len() - 1
+    }
+
+    pub fn register_condvar(&self) -> usize {
+        let mut s = self.locked();
+        s.condvars += 1;
+        s.condvars - 1
+    }
+
+    pub fn register_channel(&self) -> usize {
+        let mut s = self.locked();
+        s.channels += 1;
+        s.channels - 1
+    }
+
+    // ----- baton hand-off -------------------------------------------------
+
+    /// Park until the controller schedules this task for the first time.
+    pub fn initial_wait(&self, me: usize) {
+        let s = self.locked();
+        drop(self.wait_scheduled(s, me));
+    }
+
+    fn wait_scheduled<'a>(
+        &'a self,
+        mut s: StdMutexGuard<'a, WorldSt>,
+        me: usize,
+    ) -> StdMutexGuard<'a, WorldSt> {
+        loop {
+            if s.active == Some(me) {
+                s.tasks[me].state = TaskState::Running;
+                return s;
+            }
+            s = self.cv.wait(s).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Voluntary preemption point: mark runnable, release the baton, wait
+    /// to be scheduled again.
+    pub fn yield_point(&self, me: usize) {
+        let mut s = self.locked();
+        s.tasks[me].state = TaskState::Runnable;
+        s.active = None;
+        self.cv.notify_all();
+        drop(self.wait_scheduled(s, me));
+    }
+
+    /// Block on `on` (with an optional virtual-clock expiry) and wait to
+    /// be woken and rescheduled; returns the wake reason.
+    fn block_on_locked(
+        &self,
+        mut s: StdMutexGuard<'_, WorldSt>,
+        me: usize,
+        on: Block,
+        expiry: Option<u64>,
+    ) -> Wake {
+        s.tasks[me].state = TaskState::Blocked { on, expiry };
+        s.active = None;
+        self.cv.notify_all();
+        let s = self.wait_scheduled(s, me);
+        s.tasks[me].wake
+    }
+
+    fn wake_matching(s: &mut WorldSt, pred: impl Fn(Block) -> bool, only_first: bool) {
+        for t in s.tasks.iter_mut() {
+            if let TaskState::Blocked { on, .. } = t.state {
+                if pred(on) {
+                    t.state = TaskState::Runnable;
+                    t.wake = Wake::Notified;
+                    if only_first {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn now_ns(&self) -> u64 {
+        self.locked().clock_ns
+    }
+
+    // ----- mutex ----------------------------------------------------------
+
+    pub fn mutex_lock(&self, me: usize, mid: usize) {
+        self.yield_point(me);
+        self.mutex_lock_no_yield(me, mid);
+    }
+
+    /// Acquire without a leading preemption point (condvar reacquire).
+    pub fn mutex_lock_no_yield(&self, me: usize, mid: usize) {
+        loop {
+            let mut s = self.locked();
+            if !s.mutexes[mid] {
+                s.mutexes[mid] = true;
+                return;
+            }
+            self.block_on_locked(s, me, Block::Mutex(mid), None);
+        }
+    }
+
+    pub fn mutex_unlock(&self, mid: usize) {
+        let mut s = self.locked();
+        s.mutexes[mid] = false;
+        Self::wake_matching(&mut s, |b| b == Block::Mutex(mid), false);
+    }
+
+    // ----- rwlock ---------------------------------------------------------
+
+    pub fn rw_lock(&self, me: usize, rid: usize, write: bool) {
+        self.yield_point(me);
+        loop {
+            let mut s = self.locked();
+            let rw = &mut s.rwlocks[rid];
+            if write {
+                if !rw.writer && rw.readers == 0 {
+                    rw.writer = true;
+                    return;
+                }
+            } else if !rw.writer {
+                rw.readers += 1;
+                return;
+            }
+            let on = if write {
+                Block::RwWrite(rid)
+            } else {
+                Block::RwRead(rid)
+            };
+            self.block_on_locked(s, me, on, None);
+        }
+    }
+
+    pub fn rw_unlock(&self, rid: usize, write: bool) {
+        let mut s = self.locked();
+        let rw = &mut s.rwlocks[rid];
+        if write {
+            rw.writer = false;
+        } else {
+            rw.readers = rw.readers.saturating_sub(1);
+        }
+        Self::wake_matching(
+            &mut s,
+            |b| b == Block::RwRead(rid) || b == Block::RwWrite(rid),
+            false,
+        );
+    }
+
+    // ----- condvar --------------------------------------------------------
+
+    /// Atomically release mutex `mid`, wait on condvar `cvid` (optionally
+    /// timed against the virtual clock), then reacquire `mid`. Returns
+    /// `true` when the wait timed out. There are no spurious wakeups in
+    /// the model — a wakeup means a notify or an expiry — which is exactly
+    /// what makes lost wakeups observable instead of masked.
+    pub fn condvar_wait(
+        &self,
+        me: usize,
+        cvid: usize,
+        mid: usize,
+        timeout: Option<Duration>,
+    ) -> bool {
+        let wake = {
+            let mut s = self.locked();
+            s.mutexes[mid] = false;
+            Self::wake_matching(&mut s, |b| b == Block::Mutex(mid), false);
+            let expiry = timeout.map(|d| s.clock_ns.saturating_add(dur_ns(d)));
+            self.block_on_locked(s, me, Block::Condvar(cvid), expiry)
+        };
+        self.mutex_lock_no_yield(me, mid);
+        wake == Wake::TimedOut
+    }
+
+    /// Notify waiters on `cvid`. `notify_one` deterministically wakes the
+    /// lowest-id waiting task.
+    pub fn condvar_notify(&self, me: usize, cvid: usize, all: bool) {
+        self.yield_point(me);
+        let mut s = self.locked();
+        Self::wake_matching(&mut s, |b| b == Block::Condvar(cvid), !all);
+    }
+
+    // ----- channel --------------------------------------------------------
+
+    pub fn chan_block(&self, me: usize, cid: usize, expiry: Option<u64>) -> Wake {
+        let s = self.locked();
+        self.block_on_locked(s, me, Block::Channel(cid), expiry)
+    }
+
+    /// Wake all receivers parked on channel `cid`. Safe to call from any
+    /// thread (sender drops may happen off-schedule).
+    pub fn chan_wake(&self, cid: usize) {
+        let mut s = self.locked();
+        Self::wake_matching(&mut s, |b| b == Block::Channel(cid), false);
+    }
+
+    // ----- join / sleep / finish -----------------------------------------
+
+    pub fn join(&self, me: usize, target: usize) {
+        self.yield_point(me);
+        loop {
+            let s = self.locked();
+            if matches!(s.tasks[target].state, TaskState::Finished) {
+                return;
+            }
+            self.block_on_locked(s, me, Block::Join(target), None);
+        }
+    }
+
+    pub fn sleep(&self, me: usize, d: Duration) {
+        let s = self.locked();
+        let expiry = s.clock_ns.saturating_add(dur_ns(d));
+        self.block_on_locked(s, me, Block::Sleep, Some(expiry));
+    }
+
+    /// Mark `me` finished, wake joiners, record an unhandled panic as an
+    /// assertion-violation failure, and release the baton.
+    pub fn finish_task(&self, me: usize, panic_msg: Option<String>) {
+        let mut s = self.locked();
+        s.tasks[me].state = TaskState::Finished;
+        Self::wake_matching(&mut s, |b| b == Block::Join(me), false);
+        if let Some(msg) = panic_msg {
+            if s.failure.is_none() {
+                let name = s.tasks[me].name.clone();
+                s.failure = Some((FailureKind::Panic, format!("task '{name}' panicked: {msg}")));
+            }
+        }
+        s.active = None;
+        self.cv.notify_all();
+    }
+
+    // ----- controller -----------------------------------------------------
+
+    /// Drive the schedule to completion or failure. Runs on the explorer
+    /// thread. On failure, parked task threads are deliberately leaked
+    /// (exploration stops at the first failure), so user code is never
+    /// unwound mid-critical-section.
+    pub fn control(&self) -> Option<(FailureKind, String)> {
+        let mut s = self.locked();
+        loop {
+            while s.active.is_some() && s.failure.is_none() {
+                s = self.cv.wait(s).unwrap_or_else(|p| p.into_inner());
+            }
+            if let Some(f) = s.failure.clone() {
+                return Some(f);
+            }
+            if s.tasks
+                .iter()
+                .all(|t| matches!(t.state, TaskState::Finished))
+            {
+                return None;
+            }
+            let runnable: Vec<usize> = s
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| matches!(t.state, TaskState::Runnable))
+                .map(|(i, _)| i)
+                .collect();
+            if runnable.is_empty() {
+                // Advance the virtual clock to the earliest expiry, if any.
+                let next_expiry = s
+                    .tasks
+                    .iter()
+                    .filter_map(|t| match t.state {
+                        TaskState::Blocked {
+                            expiry: Some(e), ..
+                        } => Some(e),
+                        _ => None,
+                    })
+                    .min();
+                if let Some(e) = next_expiry {
+                    s.clock_ns = s.clock_ns.max(e);
+                    let now = s.clock_ns;
+                    for t in s.tasks.iter_mut() {
+                        if let TaskState::Blocked {
+                            expiry: Some(x), ..
+                        } = t.state
+                        {
+                            if x <= now {
+                                t.state = TaskState::Runnable;
+                                t.wake = Wake::TimedOut;
+                            }
+                        }
+                    }
+                    continue;
+                }
+                // Genuinely stuck. All-blocked-on-untimed-condvar means no
+                // notify is reachable: a lost wakeup. Anything else is a
+                // deadlock.
+                let mut all_condvar = true;
+                let mut desc = Vec::new();
+                for t in &s.tasks {
+                    if let TaskState::Blocked { on, .. } = t.state {
+                        if !matches!(on, Block::Condvar(_)) {
+                            all_condvar = false;
+                        }
+                        desc.push(format!("{} blocked on {:?}", t.name, on));
+                    }
+                }
+                let kind = if all_condvar {
+                    FailureKind::LostWakeup
+                } else {
+                    FailureKind::Deadlock
+                };
+                return Some((kind, desc.join("; ")));
+            }
+            s.steps += 1;
+            if s.steps > self.limits.max_steps {
+                return Some((
+                    FailureKind::StepLimit,
+                    format!(
+                        "exceeded {} scheduling steps (livelock suspect)",
+                        self.limits.max_steps
+                    ),
+                ));
+            }
+            // Preemption bound: once the budget is spent, a still-runnable
+            // previous task keeps running (CHESS-style context bounding).
+            let constrained: Vec<usize> = match s.prev {
+                Some(p)
+                    if runnable.contains(&p) && s.preemptions >= self.limits.max_preemptions =>
+                {
+                    vec![p]
+                }
+                _ => runnable.clone(),
+            };
+            let idx = if constrained.len() > 1 {
+                // in-range: task counts are tiny (single digits)
+                let c = s.cursor.choose(constrained.len() as u32);
+                c as usize
+            } else {
+                0
+            };
+            let next = constrained[idx];
+            if let Some(p) = s.prev {
+                if p != next && runnable.contains(&p) {
+                    s.preemptions += 1;
+                }
+            }
+            s.prev = Some(next);
+            s.active = Some(next);
+            self.cv.notify_all();
+        }
+    }
+
+    /// The decision list actually taken this schedule (controller-side,
+    /// after [`control`](Self::control) returns).
+    pub fn take_choices(&self) -> Vec<Choice> {
+        let mut s = self.locked();
+        std::mem::replace(
+            &mut s.cursor,
+            Cursor::new(Vec::new(), crate::trace::Pick::First),
+        )
+        .into_taken()
+    }
+}

@@ -39,6 +39,6 @@ pub use registry::{
     CACHE_HIT, CACHE_MISS, FAULT_ABORTS, FAULT_INJECTED, FAULT_RANK_LOSS, FAULT_RESTARTS,
     FAULT_RETRIES, FAULT_TIMEOUTS, JOB_COMPLETED, JOB_FAILED, JOB_PREEMPTED, JOB_QUEUE_SECONDS,
     JOB_REJECTED, JOB_RESUMED, JOB_RUN_SECONDS, JOB_SUBMITTED, KERNEL_AP_SECONDS, KERNEL_C_SECONDS,
-    KERNEL_R_SECONDS,
+    KERNEL_R_SECONDS, LOCKDEP_EDGES,
 };
 pub use span::Span;

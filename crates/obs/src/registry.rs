@@ -61,6 +61,12 @@ pub const JOB_QUEUE_SECONDS: &str = "job/queue_s";
 /// Timer of time jobs spent actually solving (across all attempts).
 pub const JOB_RUN_SECONDS: &str = "job/run_s";
 
+/// Matrix of observed lock-acquisition-order edges recorded by the
+/// `xct-model` lockdep pass in debug builds: row = held lock class,
+/// column = class acquired while holding it, 1 = edge observed. Class
+/// names come from `xct_model::lockdep::classes()`.
+pub const LOCKDEP_EDGES: &str = "lockdep/edges";
+
 /// Aggregated observations of one timer (or histogram-like metric).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimerSummary {

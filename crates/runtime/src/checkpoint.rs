@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use xct_model::sync::Mutex;
 
 use crate::comm::fnv1a64;
 
@@ -528,7 +528,7 @@ impl MemoryCheckpointSink {
 
     /// Number of saved slots.
     pub fn len(&self) -> usize {
-        self.slots.lock().unwrap_or_else(|p| p.into_inner()).len()
+        self.slots.lock().len()
     }
 
     /// True when nothing was saved yet.
@@ -539,20 +539,12 @@ impl MemoryCheckpointSink {
 
 impl CheckpointSink for MemoryCheckpointSink {
     fn save(&self, slot: usize, bytes: &[u8]) -> Result<(), CheckpointError> {
-        self.slots
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .insert(slot, bytes.to_vec());
+        self.slots.lock().insert(slot, bytes.to_vec());
         Ok(())
     }
 
     fn load(&self, slot: usize) -> Result<Option<Vec<u8>>, CheckpointError> {
-        Ok(self
-            .slots
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .get(&slot)
-            .cloned())
+        Ok(self.slots.lock().get(&slot).cloned())
     }
 }
 

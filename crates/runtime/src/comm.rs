@@ -17,11 +17,13 @@
 //! [`CommErrorKind::Aborted`], so no failure can deadlock the run.
 
 use crate::fault::{CommConfig, CommError, CommErrorKind, FaultKind, FaultPlan, FaultStats};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+
+use xct_model::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use xct_model::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use xct_model::sync::{Arc, Condvar, Mutex, MutexGuard};
+use xct_model::thread;
+use xct_model::time::Instant;
 
 /// A message frame: the payload plus its FNV-1a 64 checksum, computed at
 /// send time and verified at receive time so corruption (e.g. an injected
@@ -98,15 +100,15 @@ struct Shared {
 }
 
 impl Shared {
-    fn lock_barrier(&self) -> std::sync::MutexGuard<'_, BarrierState> {
-        self.barrier.lock().unwrap_or_else(|p| p.into_inner())
+    fn lock_barrier(&self) -> MutexGuard<'_, BarrierState> {
+        self.barrier.lock()
     }
 
     /// Record `err` as the run's failure (subject to class priority) and
     /// wake everything that might be blocked on it.
     fn post_failure(&self, err: CommError) {
         {
-            let mut slot = self.failure.lock().unwrap_or_else(|p| p.into_inner());
+            let mut slot = self.failure.lock();
             let replace = match slot.as_ref() {
                 None => true,
                 Some(old) => {
@@ -127,19 +129,11 @@ impl Shared {
     /// The rank whose failure aborted the run (0 if the slot is somehow
     /// empty, which cannot happen once `aborted` is set).
     fn abort_origin(&self) -> usize {
-        self.failure
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .as_ref()
-            .map(|e| e.rank)
-            .unwrap_or(0)
+        self.failure.lock().as_ref().map(|e| e.rank).unwrap_or(0)
     }
 
     fn failure(&self) -> Option<CommError> {
-        self.failure
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .clone()
+        self.failure.lock().clone()
     }
 }
 
@@ -273,11 +267,7 @@ impl Communicator {
 
     fn record_collective(&self, started: Instant) {
         let elapsed = started.elapsed().as_secs_f64();
-        let mut c = self
-            .shared
-            .collectives
-            .lock()
-            .unwrap_or_else(|p| p.into_inner());
+        let mut c = self.shared.collectives.lock();
         let s = &mut c[self.rank];
         s.calls += 1;
         s.seconds += elapsed;
@@ -288,11 +278,7 @@ impl Communicator {
         // must not show up in the ledger xct-check reconciles against the
         // schedule-predicted byte matrix.
         if dst != self.rank && bytes > 0 {
-            let mut t = self
-                .shared
-                .traffic
-                .lock()
-                .unwrap_or_else(|p| p.into_inner());
+            let mut t = self.shared.traffic.lock();
             t[self.rank * self.shared.size + dst] += bytes as u64;
         }
     }
@@ -317,7 +303,7 @@ impl Communicator {
                         .counters
                         .injected
                         .fetch_add(1, Ordering::Relaxed);
-                    std::thread::sleep(std::time::Duration::from_micros(micros));
+                    thread::sleep(std::time::Duration::from_micros(micros));
                 }
                 FaultKind::BitFlip { bit } => {
                     // Flip after the checksum so the receiver detects it.
@@ -356,7 +342,7 @@ impl Communicator {
                     return Err(err);
                 }
                 self.shared.counters.retries.fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(self.shared.config.backoff);
+                thread::sleep(self.shared.config.backoff);
                 continue;
             }
             return self.senders[dst]
@@ -482,10 +468,7 @@ impl Communicator {
         }
         let generation = st.generation;
         loop {
-            let (guard, _timeout) = shared
-                .barrier_cv
-                .wait_timeout(st, shared.config.poll)
-                .unwrap_or_else(|p| p.into_inner());
+            let (guard, _timeout) = shared.barrier_cv.wait_timeout(st, shared.config.poll);
             st = guard;
             if st.generation != generation {
                 return Ok(());
@@ -790,15 +773,15 @@ where
     assert!(size > 0);
     let shared = Arc::new(Shared {
         size,
-        barrier: Mutex::new(BarrierState::default()),
+        barrier: Mutex::named("comm/barrier", BarrierState::default()),
         barrier_cv: Condvar::new(),
         aborted: AtomicBool::new(false),
-        failure: Mutex::new(None),
+        failure: Mutex::named("comm/failure", None),
         config,
         plan,
         counters: FaultCounters::default(),
-        traffic: Mutex::new(vec![0; size * size]),
-        collectives: Mutex::new(vec![CollectiveStats::default(); size]),
+        traffic: Mutex::named("comm/traffic", vec![0; size * size]),
+        collectives: Mutex::named("comm/collectives", vec![CollectiveStats::default(); size]),
     });
 
     // channels: txs[src][dst] pairs with rxs[dst][src]. Pushing one
@@ -828,7 +811,7 @@ where
         .collect();
 
     let mut results: Vec<Option<Result<R, CommError>>> = (0..size).map(|_| None).collect();
-    std::thread::scope(|scope| {
+    thread::scope(|scope| {
         let mut handles = Vec::with_capacity(size);
         for (comm, slot) in comms.iter().zip(results.iter_mut()) {
             let f = &f;
@@ -866,16 +849,8 @@ where
 
     let ledger = CommLedger {
         size,
-        bytes: shared
-            .traffic
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .clone(),
-        collectives: shared
-            .collectives
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .clone(),
+        bytes: shared.traffic.lock().clone(),
+        collectives: shared.collectives.lock().clone(),
         faults: shared.counters.snapshot(),
     };
 

@@ -25,10 +25,11 @@
 
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
-use std::time::Instant;
 
+use xct_model::sync::atomic::{AtomicU64, Ordering};
+use xct_model::sync::{Arc, Condvar, Mutex};
+use xct_model::thread;
+use xct_model::time::Instant;
 use xct_obs::Metrics;
 
 /// Timer metric: wall time of one pool dispatch (publish → all workers
@@ -315,17 +316,49 @@ struct Shared {
     busy_ns: Vec<AtomicU64>,
 }
 
-fn lock(m: &Mutex<DispatchState>) -> MutexGuard<'_, DispatchState> {
-    m.lock().unwrap_or_else(|p| p.into_inner())
+/// A dispatch was refused because a previous panic unwound through one of
+/// the pool's internal locks while it was held, so the dispatch state may
+/// be inconsistent (a half-published job, a stale remaining-count).
+///
+/// Kernel panics do **not** poison the pool — they are caught, the
+/// barrier drains, and the payload is re-raised after the dispatch lock
+/// is released. Poisoning only arises when pool-internal code itself
+/// unwinds mid-critical-section, which is a pool bug or a torn-down
+/// process; [`WorkerPool::clear_poison`] is the explicit opt-back-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolPoisoned {
+    lock: &'static str,
 }
 
+impl PoolPoisoned {
+    /// Name of the poisoned lock class (`pool/state`, `pool/dispatch` or
+    /// `pool/scratch`).
+    pub fn lock_name(&self) -> &'static str {
+        self.lock
+    }
+}
+
+impl std::fmt::Display for PoolPoisoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker pool poisoned: a panic unwound through the '{}' lock while it was held, \
+             so the dispatch state may be inconsistent; drop and rebuild the pool, or call \
+             WorkerPool::clear_poison() if the state is known good",
+            self.lock
+        )
+    }
+}
+
+impl std::error::Error for PoolPoisoned {}
+
 /// A pool of `threads` persistent workers (worker 0 is the calling
-/// thread; `threads - 1` parked `std::thread`s). Workers are spawned at
+/// thread; `threads - 1` parked worker threads). Workers are spawned at
 /// construction and live until the pool is dropped; a dispatch costs two
 /// condvar signals instead of `threads` spawns.
 pub struct WorkerPool {
-    shared: std::sync::Arc<Shared>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+    handles: Vec<thread::JoinHandle<()>>,
     threads: usize,
     /// Serializes whole dispatches: `run`/`run_with_scratch` take `&self`
     /// and the pool is `Sync`, but only one job may be in flight at a
@@ -352,23 +385,26 @@ impl WorkerPool {
     /// `metrics` (`pool/*` names).
     pub fn with_metrics(threads: usize, metrics: Metrics) -> WorkerPool {
         let threads = threads.max(1);
-        let shared = std::sync::Arc::new(Shared {
-            state: Mutex::new(DispatchState {
-                epoch: 0,
-                job: None,
-                remaining: 0,
-                timed: false,
-                shutdown: false,
-                panic: None,
-            }),
+        let shared = Arc::new(Shared {
+            state: Mutex::named(
+                "pool/state",
+                DispatchState {
+                    epoch: 0,
+                    job: None,
+                    remaining: 0,
+                    timed: false,
+                    shutdown: false,
+                    panic: None,
+                },
+            ),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             busy_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
         });
         let handles = (1..threads)
             .map(|w| {
-                let shared = std::sync::Arc::clone(&shared);
-                std::thread::Builder::new()
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
                     .name(format!("xct-pool-{w}"))
                     .spawn(move || worker_loop(&shared, w))
                     .expect("spawn pool worker")
@@ -379,10 +415,45 @@ impl WorkerPool {
             shared,
             handles,
             threads,
-            dispatch_lock: Mutex::new(()),
-            main_scratch: Mutex::new(Vec::new()),
+            dispatch_lock: Mutex::named("pool/dispatch", ()),
+            main_scratch: Mutex::named("pool/scratch", Vec::new()),
             metrics,
         }
+    }
+
+    /// `Ok` when no internal lock is poisoned; the typed
+    /// [`PoolPoisoned`] error otherwise. `run*` calls this implicitly
+    /// (panicking with the same message); `try_run*` surface it.
+    pub fn check_healthy(&self) -> Result<(), PoolPoisoned> {
+        let lock = if self.shared.state.is_poisoned() {
+            "pool/state"
+        } else if self.dispatch_lock.is_poisoned() {
+            "pool/dispatch"
+        } else if self.main_scratch.is_poisoned() {
+            "pool/scratch"
+        } else {
+            return Ok(());
+        };
+        Err(PoolPoisoned { lock })
+    }
+
+    /// Clear all internal poison flags, declaring the dispatch state
+    /// sound again. Explicit recovery only — nothing clears poison
+    /// implicitly.
+    pub fn clear_poison(&self) {
+        self.shared.state.clear_poison();
+        self.dispatch_lock.clear_poison();
+        self.main_scratch.clear_poison();
+    }
+
+    /// Poison the pool's state lock the way a mid-critical-section panic
+    /// would. Test hook for the poisoning regression tests.
+    #[doc(hidden)]
+    pub fn poison_for_test(&self) {
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = self.shared.state.lock();
+            panic!("poison_for_test");
+        }));
     }
 
     /// Number of workers (including the calling thread).
@@ -411,9 +482,26 @@ impl WorkerPool {
         T: Send,
         K: Fn(Range<usize>, Range<usize>, &mut [T]) + Sync,
     {
-        self.run_with_scratch(plan, out, |parts, rows, slice, _scratch| {
+        self.try_run(plan, out, kernel)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`WorkerPool::run`] with poisoning surfaced as a typed error
+    /// instead of a panic: refuses the dispatch with [`PoolPoisoned`]
+    /// when a previous panic corrupted the pool's internal locks.
+    pub fn try_run<T, K>(
+        &self,
+        plan: &ExecPlan,
+        out: &mut [T],
+        kernel: K,
+    ) -> Result<(), PoolPoisoned>
+    where
+        T: Send,
+        K: Fn(Range<usize>, Range<usize>, &mut [T]) + Sync,
+    {
+        self.try_run_with_scratch(plan, out, |parts, rows, slice, _scratch| {
             kernel(parts, rows, slice)
-        });
+        })
     }
 
     /// Like [`WorkerPool::run`], additionally handing each worker its
@@ -425,6 +513,23 @@ impl WorkerPool {
         T: Send,
         K: Fn(Range<usize>, Range<usize>, &mut [T], &mut Vec<f32>) + Sync,
     {
+        self.try_run_with_scratch(plan, out, kernel)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`WorkerPool::run_with_scratch`] with poisoning surfaced as a
+    /// typed [`PoolPoisoned`] error instead of a panic.
+    pub fn try_run_with_scratch<T, K>(
+        &self,
+        plan: &ExecPlan,
+        out: &mut [T],
+        kernel: K,
+    ) -> Result<(), PoolPoisoned>
+    where
+        T: Send,
+        K: Fn(Range<usize>, Range<usize>, &mut [T], &mut Vec<f32>) + Sync,
+    {
+        self.check_healthy()?;
         assert_eq!(out.len(), plan.rows(), "output length vs plan rows");
         assert_eq!(
             plan.num_workers(),
@@ -446,7 +551,41 @@ impl WorkerPool {
                 unsafe { std::slice::from_raw_parts_mut(base.get().add(rows.start), rows.len()) };
             kernel(parts, rows, slice, scratch);
         };
-        self.broadcast(&job);
+        self.broadcast(&job, true);
+        Ok(())
+    }
+
+    /// Dispatch **without** taking the dispatch lock. This is the exact
+    /// PR 4 bug class (concurrent `run(&self)` on a shared pool racing
+    /// the single `DispatchState`), deliberately kept as a mutated
+    /// protocol so the `xct-model` regression suite can prove the checker
+    /// catches it (see `crates/runtime/tests/model_check.rs`). Never call
+    /// this outside that suite.
+    #[doc(hidden)]
+    pub fn run_unserialized_for_model<T, K>(&self, plan: &ExecPlan, out: &mut [T], kernel: K)
+    where
+        T: Send,
+        K: Fn(Range<usize>, Range<usize>, &mut [T]) + Sync,
+    {
+        assert_eq!(out.len(), plan.rows(), "output length vs plan rows");
+        assert_eq!(
+            plan.num_workers(),
+            self.threads,
+            "plan worker count vs pool size"
+        );
+        assert!(plan.is_well_formed(), "malformed ExecPlan");
+        let base = OutPtr(out.as_mut_ptr());
+        let job = |w: usize, scratch: &mut Vec<f32>| {
+            let parts = plan.worker_parts(w);
+            let rows = plan.worker_rows(w);
+            // SAFETY: same disjoint carving as `try_run_with_scratch` (plan
+            // asserted well-formed; the seeded bug is the dispatch protocol).
+            let slice =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(rows.start), rows.len()) };
+            kernel(parts, rows, slice);
+            let _ = scratch;
+        };
+        self.broadcast(&job, false);
     }
 
     /// Run `kernel` over a slice-major **batched** output: `out` holds
@@ -467,9 +606,26 @@ impl WorkerPool {
         T: Send,
         K: Fn(Range<usize>, Range<usize>, BatchOut<'_, T>) + Sync,
     {
-        self.run_batched_with_scratch(plan, out, blocks, |parts, rows, view, _scratch| {
+        self.try_run_batched(plan, out, blocks, kernel)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`WorkerPool::run_batched`] with poisoning surfaced as a typed
+    /// [`PoolPoisoned`] error instead of a panic.
+    pub fn try_run_batched<T, K>(
+        &self,
+        plan: &ExecPlan,
+        out: &mut [T],
+        blocks: usize,
+        kernel: K,
+    ) -> Result<(), PoolPoisoned>
+    where
+        T: Send,
+        K: Fn(Range<usize>, Range<usize>, BatchOut<'_, T>) + Sync,
+    {
+        self.try_run_batched_with_scratch(plan, out, blocks, |parts, rows, view, _scratch| {
             kernel(parts, rows, view)
-        });
+        })
     }
 
     /// Like [`WorkerPool::run_batched`], additionally handing each worker
@@ -485,6 +641,24 @@ impl WorkerPool {
         T: Send,
         K: Fn(Range<usize>, Range<usize>, BatchOut<'_, T>, &mut Vec<f32>) + Sync,
     {
+        self.try_run_batched_with_scratch(plan, out, blocks, kernel)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`WorkerPool::run_batched_with_scratch`] with poisoning surfaced
+    /// as a typed [`PoolPoisoned`] error instead of a panic.
+    pub fn try_run_batched_with_scratch<T, K>(
+        &self,
+        plan: &ExecPlan,
+        out: &mut [T],
+        blocks: usize,
+        kernel: K,
+    ) -> Result<(), PoolPoisoned>
+    where
+        T: Send,
+        K: Fn(Range<usize>, Range<usize>, BatchOut<'_, T>, &mut Vec<f32>) + Sync,
+    {
+        self.check_healthy()?;
         assert!(blocks > 0, "batched dispatch needs at least one block");
         assert_eq!(
             out.len(),
@@ -513,40 +687,70 @@ impl WorkerPool {
             };
             kernel(parts, rows, view, scratch);
         };
-        self.broadcast(&job);
+        self.broadcast(&job, true);
+        Ok(())
     }
 
     /// Publish `job`, run worker 0's share inline, and wait for the rest.
     ///
-    /// Dispatches are serialized by `dispatch_lock`: the pool is `Sync`
-    /// and `run` takes `&self`, so without it two concurrent callers
-    /// would race on the single `DispatchState` — one could return while
-    /// workers still hold the other's lifetime-erased job pointer.
+    /// With `serialize`, whole dispatches are serialized by
+    /// `dispatch_lock`: the pool is `Sync` and `run` takes `&self`, so
+    /// without it two concurrent callers would race on the single
+    /// `DispatchState` — one could return while workers still hold the
+    /// other's lifetime-erased job pointer. (`serialize = false` exists
+    /// only for [`WorkerPool::run_unserialized_for_model`], the seeded
+    /// bug the model checker must catch.)
     ///
     /// A panicking kernel (on any worker, including the caller) is
     /// caught, the barrier still drains, and the first panic payload is
-    /// re-raised here — the pool stays usable for later dispatches.
-    fn broadcast(&self, job: &(dyn Fn(usize, &mut Vec<f32>) + Sync)) {
-        let _dispatch = self.dispatch_lock.lock().unwrap_or_else(|p| p.into_inner());
+    /// re-raised here — *after* every internal guard is released, so the
+    /// pool stays usable (and unpoisoned) for later dispatches.
+    fn broadcast(&self, job: &(dyn Fn(usize, &mut Vec<f32>) + Sync), serialize: bool) {
+        let (main_panic, worker_panic) = {
+            let _dispatch = serialize.then(|| self.dispatch_lock.lock());
+            self.broadcast_locked(job)
+        };
+        // Both guards (dispatch + scratch) are released here: re-raising
+        // a kernel panic must not unwind through a held pool lock.
+        if let Some(payload) = main_panic {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
+    }
+
+    /// The dispatch body; returns caught (caller, worker) panic payloads
+    /// instead of re-raising so the caller can drop guards first.
+    #[allow(clippy::type_complexity)]
+    fn broadcast_locked(
+        &self,
+        job: &(dyn Fn(usize, &mut Vec<f32>) + Sync),
+    ) -> (
+        Option<Box<dyn std::any::Any + Send>>,
+        Option<Box<dyn std::any::Any + Send>>,
+    ) {
         let timed = self.metrics.enabled();
         let started = if timed { Some(Instant::now()) } else { None };
         if self.handles.is_empty() {
-            let mut scratch = self.main_scratch.lock().unwrap_or_else(|p| p.into_inner());
-            job(0, &mut scratch);
+            let main_result = {
+                let mut scratch = self.main_scratch.lock();
+                catch_unwind(AssertUnwindSafe(|| job(0, &mut scratch)))
+            };
             if let Some(t) = started {
                 self.shared.busy_ns[0].store(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
             }
             self.finish_metrics(started, 1);
-            return;
+            return (main_result.err(), None);
         }
-        // SAFETY: only the borrow lifetime is erased; `broadcast` blocks
-        // below until `remaining == 0` (every worker done with the
+        // SAFETY: only the borrow lifetime is erased; `broadcast_locked`
+        // blocks below until `remaining == 0` (every worker done with the
         // pointer) before returning control to the closure's owner.
         let ptr = JobPtr(unsafe {
             std::mem::transmute::<&(dyn Fn(usize, &mut Vec<f32>) + Sync), *const Job>(job)
         });
         {
-            let mut st = lock(&self.shared.state);
+            let mut st = self.shared.state.lock();
             if timed {
                 for b in &self.shared.busy_ns {
                     b.store(0, Ordering::Relaxed);
@@ -565,31 +769,22 @@ impl WorkerPool {
         // closure while workers may still be executing it.
         let main_result = {
             let main_started = timed.then(Instant::now);
-            let mut scratch = self.main_scratch.lock().unwrap_or_else(|p| p.into_inner());
+            let mut scratch = self.main_scratch.lock();
             let r = catch_unwind(AssertUnwindSafe(|| job(0, &mut scratch)));
             if let Some(t) = main_started {
                 self.shared.busy_ns[0].store(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
             }
             r
         };
-        let mut st = lock(&self.shared.state);
+        let mut st = self.shared.state.lock();
         while st.remaining > 0 {
-            st = self
-                .shared
-                .done_cv
-                .wait(st)
-                .unwrap_or_else(|p| p.into_inner());
+            st = self.shared.done_cv.wait(st);
         }
         st.job = None;
         let worker_panic = st.panic.take();
         drop(st);
         self.finish_metrics(started, self.threads);
-        if let Err(payload) = main_result {
-            resume_unwind(payload);
-        }
-        if let Some(payload) = worker_panic {
-            resume_unwind(payload);
-        }
+        (main_result.err(), worker_panic)
     }
 
     fn finish_metrics(&self, started: Option<Instant>, workers: usize) {
@@ -611,10 +806,10 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut st = lock(&self.shared.state);
+            let mut st = self.shared.state.lock();
             st.shutdown = true;
-            self.shared.work_cv.notify_all();
         }
+        self.shared.work_cv.notify_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -641,7 +836,7 @@ fn worker_loop(shared: &Shared, w: usize) {
     let mut seen = 0u64;
     loop {
         let (job, epoch, timed) = {
-            let mut st = lock(&shared.state);
+            let mut st = shared.state.lock();
             loop {
                 if st.shutdown {
                     return;
@@ -650,7 +845,7 @@ fn worker_loop(shared: &Shared, w: usize) {
                     Some(job) if st.epoch != seen => break (job, st.epoch, st.timed),
                     _ => {}
                 }
-                st = shared.work_cv.wait(st).unwrap_or_else(|p| p.into_inner());
+                st = shared.work_cv.wait(st);
             }
         };
         seen = epoch;
@@ -667,13 +862,20 @@ fn worker_loop(shared: &Shared, w: usize) {
             shared.busy_ns[w].store(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
         let last = {
-            let mut st = lock(&shared.state);
+            let mut st = shared.state.lock();
             if let Err(payload) = result {
                 if st.panic.is_none() {
                     st.panic = Some(payload);
                 }
             }
-            st.remaining -= 1;
+            // A checked decrement, not `-= 1`: an underflow here means the
+            // dispatch protocol itself was violated (a second job was
+            // published while this one was draining — the PR 4 bug class),
+            // and the model checker keys on this panic.
+            st.remaining = st
+                .remaining
+                .checked_sub(1)
+                .expect("pool protocol violation: remaining-worker count underflow (concurrent unserialized dispatch)");
             st.remaining == 0
         };
         // Signal outside the lock: the dispatcher wakes without having to
@@ -999,5 +1201,52 @@ mod tests {
         assert_eq!(snap.counters.get(POOL_DISPATCHES), Some(&1));
         assert!(snap.timers.contains_key(POOL_DISPATCH_SECONDS));
         assert_eq!(snap.gauges.get(POOL_WORKERS), Some(&2.0));
+    }
+
+    #[test]
+    fn poisoned_pool_surfaces_typed_error_and_recovers_explicitly() {
+        let pool = WorkerPool::new(2);
+        let plan = ExecPlan::equal_rows(4, 2);
+        let mut out = vec![0u32; 4];
+
+        // A kernel panic does NOT poison: caught, drained, re-raised.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&plan, &mut out, |_p, _r, _s| panic!("kernel bang"));
+        }));
+        assert!(caught.is_err());
+        assert!(
+            pool.check_healthy().is_ok(),
+            "kernel panics must not poison"
+        );
+
+        // A panic unwinding through a held internal lock does.
+        pool.poison_for_test();
+        let err = pool
+            .try_run(&plan, &mut out, |_p, _r, _s| {})
+            .expect_err("poisoned pool must refuse dispatch");
+        assert_eq!(err.lock_name(), "pool/state");
+        assert!(err.to_string().contains("pool/state"), "{err}");
+        assert!(err.to_string().contains("clear_poison"), "{err}");
+        // The panicking wrappers carry the same message.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&plan, &mut out, |_p, _r, _s| {});
+        }));
+        let payload = caught.expect_err("run must panic on a poisoned pool");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("worker pool poisoned"), "{msg}");
+
+        // Recovery is explicit, never implicit.
+        assert!(pool.check_healthy().is_err());
+        pool.clear_poison();
+        pool.check_healthy().expect("cleared pool is healthy");
+        pool.run(&plan, &mut out, |_p, rows, s| {
+            for (i, v) in s.iter_mut().enumerate() {
+                *v = (rows.start + i) as u32;
+            }
+        });
+        assert_eq!(out, vec![0, 1, 2, 3]);
     }
 }

@@ -1,0 +1,196 @@
+//! Model-checked concurrency suite for the runtime crate: the
+//! `xct-model` schedule explorer drives the worker-pool dispatch
+//! handshake and the communicator's barrier/deadline paths through every
+//! interleaving of small configurations, and must *deterministically*
+//! rediscover the seeded PR 4 bug class (concurrent dispatch without the
+//! dispatch lock).
+
+use xct_model::sync::Arc;
+use xct_model::{explore, replay, Config, FailureKind};
+use xct_obs::Metrics;
+use xct_runtime::{run_ranks, run_ranks_with, CommConfig, CommErrorKind, ExecPlan, WorkerPool};
+
+/// The 2-worker dispatch epoch handshake, explored exhaustively: one
+/// dispatcher, one parked worker, publish → work → drain → reuse. Every
+/// interleaving must complete with the correct output and no deadlock or
+/// lost wakeup.
+#[test]
+fn two_worker_dispatch_handshake_is_exhaustively_clean() {
+    let report = explore(&Config::dfs(), || {
+        let pool = WorkerPool::with_metrics(2, Metrics::noop());
+        let plan = ExecPlan::equal_rows(4, 2);
+        let mut out = vec![0usize; 4];
+        pool.run(&plan, &mut out, |_parts, rows, slice| {
+            for (i, v) in slice.iter_mut().enumerate() {
+                *v = rows.start + i;
+            }
+        });
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        drop(pool);
+    });
+    report.assert_clean();
+    assert!(report.complete, "handshake tree must be fully explored");
+    assert!(report.schedules > 1);
+}
+
+/// Two threads calling `run(&self)` concurrently on a shared pool — the
+/// exact situation of the PR 4 bug — with the dispatch lock in place:
+/// clean under every explored interleaving.
+#[test]
+fn concurrent_serialized_dispatch_is_clean() {
+    let report = explore(&Config::dfs().preemptions(1), || {
+        let pool = Arc::new(WorkerPool::with_metrics(2, Metrics::noop()));
+        let plan = ExecPlan::equal_rows(2, 2);
+        let p2 = pool.clone();
+        let t = xct_model::thread::spawn(move || {
+            let mut out = vec![0u64; 2];
+            p2.run(&ExecPlan::equal_rows(2, 2), &mut out, |_p, rows, s| {
+                for (i, v) in s.iter_mut().enumerate() {
+                    *v = (rows.start + i) as u64 + 10;
+                }
+            });
+            assert_eq!(out, vec![10, 11]);
+        });
+        let mut out = vec![0u64; 2];
+        pool.run(&plan, &mut out, |_p, rows, s| {
+            for (i, v) in s.iter_mut().enumerate() {
+                *v = (rows.start + i) as u64;
+            }
+        });
+        assert_eq!(out, vec![0, 1]);
+        t.join().unwrap();
+        drop(pool);
+    });
+    report.assert_clean();
+}
+
+fn unserialized_race_body() {
+    let pool = Arc::new(WorkerPool::with_metrics(2, Metrics::noop()));
+    let p2 = pool.clone();
+    let t = xct_model::thread::spawn(move || {
+        let mut out = vec![0u64; 2];
+        p2.run_unserialized_for_model(&ExecPlan::equal_rows(2, 2), &mut out, |_p, _r, _s| {});
+    });
+    let mut out = vec![0u64; 2];
+    pool.run_unserialized_for_model(&ExecPlan::equal_rows(2, 2), &mut out, |_p, _r, _s| {});
+    t.join().unwrap();
+    drop(pool);
+}
+
+/// The seeded regression: dispatching **without** the dispatch lock (the
+/// mutated protocol kept in `run_unserialized_for_model`) races two
+/// publishes into the single `DispatchState`. The checker must find a
+/// failing interleaving, report the same trace ID on every run, and the
+/// trace must replay to the same failure. CI greps this test's output for
+/// the replayable `xm1-` trace ID.
+#[test]
+fn unserialized_dispatch_race_is_caught_deterministically() {
+    let cfg = Config::dfs();
+    let a = explore(&cfg, unserialized_race_body);
+    let f1 = a
+        .failure
+        .expect("the checker must catch the unserialized-dispatch race");
+    println!("seeded PR4-class race caught: {f1}");
+    assert!(
+        matches!(f1.kind, FailureKind::Panic | FailureKind::Deadlock),
+        "expected a protocol-violation panic or a stuck barrier, got {f1}"
+    );
+    if f1.kind == FailureKind::Panic {
+        assert!(
+            f1.message.contains("pool protocol violation"),
+            "the hardened remaining-count must name the violation: {f1}"
+        );
+    }
+    assert!(f1.trace.as_str().starts_with("xm1-"));
+
+    let b = explore(&cfg, unserialized_race_body);
+    let f2 = b.failure.expect("found again on the second run");
+    assert_eq!(f1.trace, f2.trace, "trace IDs must be deterministic");
+    assert_eq!(f1.schedule, f2.schedule);
+
+    let r = replay(&f1.trace, &cfg, unserialized_race_body);
+    let fr = r.failure.expect("replay must reproduce the failure");
+    assert_eq!(fr.kind, f1.kind);
+}
+
+/// Kernel panics drain the barrier and re-raise on the dispatcher; the
+/// pool stays healthy and dispatchable afterwards, under every explored
+/// interleaving.
+#[test]
+fn panic_in_kernel_drains_and_pool_stays_usable() {
+    let report = explore(&Config::dfs().preemptions(1), || {
+        let pool = WorkerPool::with_metrics(2, Metrics::noop());
+        let plan = ExecPlan::equal_rows(2, 2);
+        let mut out = vec![0u8; 2];
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&plan, &mut out, |_p, rows, _s| {
+                if rows.start == 0 {
+                    panic!("kernel bang");
+                }
+            });
+        }));
+        assert!(err.is_err(), "worker panic must re-raise on the dispatcher");
+        pool.check_healthy()
+            .expect("kernel panics must not poison the pool");
+        pool.run(&plan, &mut out, |_p, _rows, s| {
+            for v in s.iter_mut() {
+                *v = 7;
+            }
+        });
+        assert_eq!(out, vec![7, 7]);
+        drop(pool);
+    });
+    report.assert_clean();
+}
+
+/// The 2-rank barrier handshake (generation counter + condvar), explored
+/// through the facade: every interleaving reaches the next generation
+/// with no deadlock.
+#[test]
+fn comm_rank_join_barrier_is_clean() {
+    let report = explore(&Config::dfs().preemptions(1), || {
+        let (vals, _ledger) = run_ranks(2, |comm| {
+            comm.barrier();
+            comm.rank()
+        });
+        assert_eq!(vals, vec![0, 1]);
+    });
+    report.assert_clean();
+}
+
+/// The deadline path under virtual time: one rank never shows up (it
+/// sleeps past the deadline), the other's barrier must time out with the
+/// typed error — instantly, in every interleaving, with no real sleeping.
+#[test]
+fn comm_barrier_deadline_fires_under_virtual_time() {
+    use std::time::Duration;
+    let start = std::time::Instant::now();
+    let cfg = CommConfig {
+        deadline: Some(Duration::from_millis(50)),
+        poll: Duration::from_millis(10),
+        ..CommConfig::default()
+    };
+    let report = explore(&Config::dfs().preemptions(1), move || {
+        let out = run_ranks_with(2, cfg, Default::default(), |comm| {
+            if comm.rank() == 1 {
+                // Sleeps (virtually) past the deadline: rank 0 must not
+                // hang on the barrier.
+                xct_model::thread::sleep(Duration::from_secs(5));
+            }
+            comm.try_barrier()
+        });
+        let err = out.expect_err("the run must surface rank 0's timeout");
+        assert!(
+            matches!(
+                err.kind,
+                CommErrorKind::Timeout { .. } | CommErrorKind::Aborted { .. }
+            ),
+            "expected a deadline timeout, got {err:?}"
+        );
+    });
+    report.assert_clean();
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(60),
+        "deadline exploration must run on the virtual clock"
+    );
+}

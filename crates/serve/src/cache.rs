@@ -2,7 +2,8 @@
 //! already-preprocessed [`Reconstructor`] out.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+
+use xct_model::sync::{Arc, Mutex};
 
 use memxct::preprocess::{Config, Kernel};
 use memxct::{BuildError, Reconstructor, ReconstructorBuilder};
@@ -152,10 +153,13 @@ impl PlanCache {
     /// reconstructors record their kernel/solver metrics there too).
     pub fn with_metrics(capacity: usize, metrics: Metrics) -> Self {
         PlanCache {
-            state: Mutex::new(CacheState {
-                map: HashMap::new(),
-                tick: 0,
-            }),
+            state: Mutex::named(
+                "serve/cache/state",
+                CacheState {
+                    map: HashMap::new(),
+                    tick: 0,
+                },
+            ),
             capacity: capacity.max(1),
             metrics,
         }
@@ -173,7 +177,7 @@ impl PlanCache {
     /// [`get`](Self::get), also reporting whether the lookup was a hit.
     pub fn get_detailed(&self, spec: &PlanSpec) -> Result<(Arc<Reconstructor>, bool), BuildError> {
         let key = spec.key();
-        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let mut state = self.state.lock();
         state.tick += 1;
         let tick = state.tick;
         if let Some(entry) = state.map.get_mut(&key) {
@@ -210,13 +214,13 @@ impl PlanCache {
     /// Whether a plan for `spec` is currently cached (does not touch the
     /// LRU clock or counters).
     pub fn contains(&self, spec: &PlanSpec) -> bool {
-        let state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let state = self.state.lock();
         state.map.contains_key(&spec.key())
     }
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        let state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let state = self.state.lock();
         state.map.len()
     }
 

@@ -13,9 +13,10 @@
 //! measurement bytes would exceed the configured bound.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread;
-use std::time::Instant;
+
+use xct_model::sync::{Arc, Condvar, Mutex};
+use xct_model::thread;
+use xct_model::time::Instant;
 
 use memxct::{CheckpointPolicy, ReconError, ReconRequest, ReconResponse, RunControl, RunOutcome};
 use xct_obs::{
@@ -250,15 +251,18 @@ impl JobRuntime {
     /// families.
     pub fn with_metrics(config: RuntimeConfig, metrics: Metrics) -> Self {
         let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                queue: Vec::new(),
-                queued_bytes: 0,
-                running: None,
-                statuses: HashMap::new(),
-                results: HashMap::new(),
-                next_seq: 0,
-                shutdown: false,
-            }),
+            state: Mutex::named(
+                "serve/job/state",
+                State {
+                    queue: Vec::new(),
+                    queued_bytes: 0,
+                    running: None,
+                    statuses: HashMap::new(),
+                    results: HashMap::new(),
+                    next_seq: 0,
+                    shutdown: false,
+                },
+            ),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             cache: PlanCache::with_metrics(config.cache_capacity, metrics.clone()),
@@ -279,7 +283,7 @@ impl JobRuntime {
     /// asks it to preempt at its next iteration boundary.
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
         let bytes = spec.request.input.data_bytes();
-        let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        let mut st = self.shared.state.lock();
         if st.shutdown {
             return Err(SubmitError::ShuttingDown);
         }
@@ -322,25 +326,21 @@ impl JobRuntime {
     /// Where the job currently is (`None` for an unknown id, including
     /// ids whose result was already taken by [`wait`](Self::wait)).
     pub fn status(&self, id: JobId) -> Option<JobStatus> {
-        let st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        let st = self.shared.state.lock();
         st.statuses.get(&id.0).copied()
     }
 
     /// Block until the job finishes, then take its result. `None` for an
     /// unknown id or a result already taken.
     pub fn wait(&self, id: JobId) -> Option<JobResult> {
-        let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        let mut st = self.shared.state.lock();
         loop {
             if let Some(result) = st.results.remove(&id.0) {
                 return Some(result);
             }
             match st.statuses.get(&id.0) {
                 Some(JobStatus::Queued) | Some(JobStatus::Running) => {
-                    st = self
-                        .shared
-                        .done_cv
-                        .wait(st)
-                        .unwrap_or_else(|p| p.into_inner());
+                    st = self.shared.done_cv.wait(st);
                 }
                 _ => return None,
             }
@@ -370,14 +370,14 @@ impl JobRuntime {
         if let Some(worker) = self.worker.take() {
             let _ = worker.join();
         }
-        let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        let mut st = self.shared.state.lock();
         let mut results: Vec<JobResult> = st.results.drain().map(|(_, r)| r).collect();
         results.sort_by_key(|r| r.report.id);
         results
     }
 
     fn begin_shutdown(&self) {
-        let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        let mut st = self.shared.state.lock();
         st.shutdown = true;
         self.shared.work_cv.notify_all();
     }
@@ -418,7 +418,7 @@ fn scheduler_loop(shared: &Shared) {
     loop {
         // Pick the next job, or exit once shut down with an empty queue.
         let mut job = {
-            let mut st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            let mut st = shared.state.lock();
             loop {
                 if let Some(i) = pick_index(&st.queue) {
                     break st.queue.remove(i);
@@ -426,7 +426,7 @@ fn scheduler_loop(shared: &Shared) {
                 if st.shutdown {
                     return;
                 }
-                st = shared.work_cv.wait(st).unwrap_or_else(|p| p.into_inner());
+                st = shared.work_cv.wait(st);
             }
         };
         job.queue_seconds += job.enqueued.elapsed().as_secs_f64();
@@ -437,7 +437,7 @@ fn scheduler_loop(shared: &Shared) {
             }
         }
         {
-            let mut st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            let mut st = shared.state.lock();
             st.queued_bytes = st.queued_bytes.saturating_sub(job.bytes);
             st.statuses.insert(job.id.0, JobStatus::Running);
             st.running = Some(Running {
@@ -476,7 +476,7 @@ fn scheduler_loop(shared: &Shared) {
                 job.preemptions += 1;
                 job.resumed = true;
                 job.enqueued = Instant::now();
-                let mut st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+                let mut st = shared.state.lock();
                 st.running = None;
                 st.queued_bytes += job.bytes;
                 st.statuses.insert(job.id.0, JobStatus::Queued);
@@ -517,7 +517,7 @@ fn finish_job(shared: &Shared, job: QueuedJob, outcome: Result<ReconResponse, Jo
     shared
         .metrics
         .timer_observe(JOB_RUN_SECONDS, report.run_seconds);
-    let mut st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+    let mut st = shared.state.lock();
     st.running = None;
     st.statuses.insert(job.id.0, status);
     st.results.insert(job.id.0, JobResult { report, outcome });

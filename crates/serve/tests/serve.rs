@@ -179,9 +179,18 @@ fn mixed_priority_jobs_all_complete_and_hit_the_cache() {
     let snap = runtime.metrics();
     assert_eq!(snap.counters[JOB_SUBMITTED], 3);
     assert_eq!(snap.counters[JOB_COMPLETED], 3);
-    // One build, two hits: preprocessing amortized across the fleet.
+    // One build, then every scheduling stint hits: preprocessing is
+    // amortized across the fleet. A job caught mid-run by a
+    // higher-priority arrival is requeued and pays one extra (hitting)
+    // lookup per preemption, so account for those exactly rather than
+    // racing the scheduler.
     assert_eq!(snap.counters[CACHE_MISS], 1);
-    assert_eq!(snap.counters[CACHE_HIT], 2);
+    let preempted = snap.counters.get(JOB_PREEMPTED).copied().unwrap_or(0);
+    assert_eq!(
+        snap.counters[CACHE_HIT],
+        2 + preempted,
+        "each stint beyond the first build must hit the cache"
+    );
 }
 
 #[test]
