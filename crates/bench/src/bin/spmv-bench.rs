@@ -1,64 +1,184 @@
-//! SpMV execution-layer benchmark: serial vs per-call scoped threads vs
-//! the persistent worker pool, across thread counts and partition
-//! strategies, on the memoized forward operator of a scaled dataset.
+//! SpMV roofline benchmark: vectorized kernels against a measured
+//! bandwidth ceiling, across datasets, thread counts, and layouts.
 //!
 //! Emits `BENCH_spmv.json` (hand-rolled, schema below) so the repo keeps
-//! a perf trajectory across PRs, and asserts that every variant's output
-//! is bit-identical to the serial kernel — the determinism contract the
-//! pooled execution layer guarantees.
+//! a perf trajectory across PRs. Every production variant must be
+//! bit-identical to its family's serial kernel — the determinism
+//! contract of the lane-order kernels (`xct_sparse::lanes`).
 //!
 //! ```text
-//! cargo run --release -p xct-bench --bin spmv-bench [scale_divisor] [reps]
+//! cargo run --release -p xct-bench --bin spmv-bench -- \
+//!     [--dataset ads1,ads2,...] [--scale D[,D...]] [--reps N]
+//! cargo run --release -p xct-bench --bin spmv-bench [scale_divisor] [reps]   # legacy: ADS1 only
 //! ```
 //!
-//! JSON schema (one object):
+//! JSON schema (one object, `schema_version` 2):
 //! - `bench`: `"spmv"`, `generated_by`: binary name
-//! - `matrix`: `{dataset, scale, nrows, ncols, nnz}`
 //! - `reps`: timed repetitions per variant (median reported)
-//! - `bit_identical`: all variants × thread counts matched serial bitwise
-//! - `results`: array of `{variant, threads, median_seconds, gflops,
-//!   speedup_vs_serial, imbalance}` — `variant` ∈ `serial | scoped |
-//!   pooled_equal | pooled_nnz`, `imbalance` is the plan's max/ideal nnz
-//!   ratio (1.0 for serial/scoped).
-//! - `spmm_results`: the batched (SpMM) sweep over `batch` ∈ 1/4/16/64,
-//!   serial and pooled: `{variant, threads, batch, median_seconds,
-//!   gflops, matrix_bytes_per_slice}` — the matrix is streamed once per
-//!   call regardless of the batch width, so `matrix_bytes_per_slice`
-//!   (regular bytes ÷ batch) falls as the batch widens; that is the
-//!   memory-centric payoff of batching.
+//! - `stream`: `{triad_gbs, gbs_by_threads, array_mb}` — a STREAM-style
+//!   triad (`a = b + q·c` over three DRAM-sized arrays) measuring the
+//!   sustainable bandwidth ceiling; `triad_gbs` is the best across the
+//!   thread counts.
+//! - `retired`: variants dropped from the schema and why (`scoped`: per-
+//!   call thread spawns, strictly dominated by `pooled_*` in every
+//!   committed measurement — kept only as prose in DESIGN.md).
+//! - `datasets`: one block per swept dataset:
+//!   - `matrix`: `{dataset, scale, nrows, ncols, nnz}`
+//!   - `bit_identical`: every variant matched its family's serial kernel
+//!     bitwise (CSR-lane, buffered, tiled are distinct deterministic
+//!     orders; `serial` — the scalar Listing 2 chain — is the roofline
+//!     baseline and is only checked to tolerance)
+//!   - `results`: `{variant, threads, median_seconds, gflops,
+//!     bytes_per_second, fraction_of_peak, speedup_vs_serial, imbalance}`
+//!     with `variant` ∈ `serial | vector | pooled_equal | pooled_nnz |
+//!     pooled_buf | pooled_tiled`. `bytes_per_second` is the variant's
+//!     regular-data stream (8 B/nnz CSR, 6 B/nnz + 4 B/slot buffered, ELL
+//!     padding excluded here) over the median time; `fraction_of_peak` is
+//!     that rate over the triad ceiling, clamped to 1.0 (cache-resident
+//!     matrices can stream faster than DRAM).
+//!   - `spmm_results`: the batched sweep, batch ∈ 1/4/16/64:
+//!     `{variant, threads, batch, median_seconds, gflops,
+//!     bytes_per_second, fraction_of_peak, matrix_bytes_per_slice}` —
+//!     the matrix is streamed once per call regardless of batch width, so
+//!     `matrix_bytes_per_slice` falls as 1/batch.
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use xct_bench::{gflops, scale_from_args, simulate};
-use xct_geometry::ADS1;
-use xct_runtime::WorkerPool;
+use xct_bench::{bandwidth_gbs, gflops, simulate};
+use xct_geometry::{Dataset, ADS1, ADS2, ADS3, ADS4};
+use xct_runtime::{ExecPlan, WorkerPool};
 use xct_sparse::{
-    csr_plan, csr_plan_equal, spmm_into, spmm_pooled_into, spmv_into, spmv_pooled_into, CsrMatrix,
+    csr_plan, csr_plan_equal, spmm_into, spmm_pooled_into, spmv_into, spmv_pooled_into,
+    spmv_scalar_into, BufferedCsr, CsrMatrix, TiledCsr,
 };
 
-/// The per-call scoped-thread baseline the old rayon shim implemented:
-/// equal row chunks, `threads` fresh OS threads spawned for every single
-/// call, joined before returning.
-fn spmv_scoped(a: &CsrMatrix, x: &[f32], y: &mut [f32], threads: usize) {
-    let chunk = a.nrows().div_ceil(threads.max(1)).max(1);
-    let rowptr = a.rowptr();
-    let colind = a.colind();
-    let values = a.values();
-    std::thread::scope(|s| {
-        for (p, out) in y.chunks_mut(chunk).enumerate() {
-            s.spawn(move || {
-                let base = p * chunk;
-                for (j, slot) in out.iter_mut().enumerate() {
-                    let i = base + j;
-                    let mut acc = 0f32;
-                    for k in rowptr[i]..rowptr[i + 1] {
-                        acc += x[colind[k] as usize] * values[k];
-                    }
-                    *slot = acc;
-                }
-            });
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const BATCHES: [usize; 4] = [1, 4, 16, 64];
+/// STREAM array length: 16 Mi f32 = 64 MB per array, 3 arrays — far past
+/// any cache, so the triad measures DRAM, not LLC.
+const STREAM_ELEMS: usize = 16 << 20;
+/// Buffered-layout parameters: the preprocessing defaults (partitions of
+/// 128 rows staged through a 2048-element / 8 KB buffer).
+const BUF_PARTSIZE: usize = 128;
+const BUF_BUFFSIZE: usize = 2048;
+
+/// Default sweep: every ADS dataset, scaled so the per-dataset nonzero
+/// count stays laptop-tractable while the footprints still span
+/// cache-resident (ADS1) to DRAM-streaming (ADS3/ADS4) regimes.
+const DEFAULT_SWEEP: [(&str, u32); 4] = [("ads1", 4), ("ads2", 4), ("ads3", 8), ("ads4", 16)];
+
+fn dataset_by_name(name: &str) -> Option<(&'static Dataset, u32)> {
+    match name.to_ascii_lowercase().as_str() {
+        "ads1" => Some((&ADS1, 4)),
+        "ads2" => Some((&ADS2, 4)),
+        "ads3" => Some((&ADS3, 8)),
+        "ads4" => Some((&ADS4, 16)),
+        _ => None,
+    }
+}
+
+struct Args {
+    sweep: Vec<(&'static Dataset, u32)>,
+    reps: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: spmv-bench [--dataset ads1,ads2,...] [--scale D[,D...]] [--reps N]\n\
+         \u{20}      spmv-bench [scale_divisor] [reps]    (legacy: ADS1 only)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut names: Option<Vec<String>> = None;
+    let mut scales: Option<Vec<u32>> = None;
+    let mut reps = 33usize;
+    let mut positional: Vec<u32> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--dataset" | "-d" => {
+                i += 1;
+                let v = argv.get(i).unwrap_or_else(|| usage());
+                names = Some(v.split(',').map(|s| s.to_string()).collect());
+            }
+            "--scale" | "-s" => {
+                i += 1;
+                let v = argv.get(i).unwrap_or_else(|| usage());
+                let list: Option<Vec<u32>> = v
+                    .split(',')
+                    .map(|s| s.parse().ok().filter(|&d| d > 0))
+                    .collect();
+                scales = Some(list.unwrap_or_else(|| usage()));
+            }
+            "--reps" | "-r" => {
+                i += 1;
+                let v = argv.get(i).unwrap_or_else(|| usage());
+                reps = v.parse().ok().filter(|&r| r > 0).unwrap_or_else(|| usage());
+            }
+            a => match a.parse::<u32>() {
+                Ok(v) if v > 0 && positional.len() < 2 => positional.push(v),
+                _ => usage(),
+            },
         }
-    });
+        i += 1;
+    }
+    if !positional.is_empty() {
+        if names.is_some() || scales.is_some() {
+            usage();
+        }
+        // Legacy single-dataset mode: `spmv-bench [scale] [reps]` on ADS1.
+        if positional.len() == 2 {
+            reps = positional[1] as usize;
+        }
+        return Args {
+            sweep: vec![(&ADS1, positional[0])],
+            reps,
+        };
+    }
+    let sweep: Vec<(&'static Dataset, u32)> = match names {
+        None => DEFAULT_SWEEP
+            .iter()
+            .map(|&(n, _)| dataset_by_name(n).expect("default dataset"))
+            .collect(),
+        Some(list) => list
+            .iter()
+            .map(|n| dataset_by_name(n).unwrap_or_else(|| usage()))
+            .collect(),
+    };
+    let sweep = match scales {
+        None => sweep,
+        Some(s) if s.len() == 1 => sweep.into_iter().map(|(d, _)| (d, s[0])).collect(),
+        Some(s) if s.len() == sweep.len() => sweep
+            .into_iter()
+            .zip(&s)
+            .map(|((d, _), &sc)| (d, sc))
+            .collect(),
+        Some(_) => usage(),
+    };
+    Args { sweep, reps }
+}
+
+/// Best triad bandwidth (GB/s) over `reps` passes at one pool size.
+/// STREAM convention: 12 bytes move per element (two reads, one write).
+fn stream_triad_gbs(pool: &WorkerPool, threads: usize, a: &mut [f32], b: &[f32], c: &[f32]) -> f64 {
+    let plan = ExecPlan::equal_rows(a.len(), threads);
+    let q = 1.5f32;
+    let mut best = f64::MAX;
+    for _ in 0..8 {
+        let t = Instant::now();
+        pool.run(&plan, a, |_parts, range, out| {
+            let bs = &b[range.start..range.end];
+            let cs = &c[range.start..range.end];
+            for ((o, &bb), &cc) in out.iter_mut().zip(bs).zip(cs) {
+                *o = bb + q * cc;
+            }
+        });
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    12.0 * a.len() as f64 / best / 1e9
 }
 
 /// One measured execution strategy: its kernel plus collected samples.
@@ -68,6 +188,8 @@ fn spmv_scoped(a: &CsrMatrix, x: &[f32], y: &mut [f32], threads: usize) {
 struct Variant<'a> {
     name: &'static str,
     threads: usize,
+    /// Regular-data bytes one call streams (the roofline numerator).
+    bytes: u64,
     imbalance: f64,
     times: Vec<f64>,
     f: Box<dyn FnMut() + 'a>,
@@ -82,6 +204,10 @@ struct Row {
     variant: &'static str,
     threads: usize,
     seconds: f64,
+    gflops: f64,
+    bytes_per_second: f64,
+    fraction_of_peak: f64,
+    speedup: f64,
     imbalance: f64,
 }
 
@@ -90,58 +216,105 @@ struct SpmmRow {
     threads: usize,
     batch: usize,
     seconds: f64,
+    gflops: f64,
+    bytes_per_second: f64,
+    fraction_of_peak: f64,
+    bytes_per_slice: f64,
+}
+
+struct DatasetBlock {
+    name: &'static str,
+    scale: u32,
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    bit_identical: bool,
+    rows: Vec<Row>,
+    spmm_rows: Vec<SpmmRow>,
 }
 
 /// One SpMM kernel under test: fills the slice-major output slab from
 /// the slice-major input slab.
 type SpmmKernel<'a> = Box<dyn FnMut(&[f32], &mut [f32]) + 'a>;
 
-fn main() {
-    let div = scale_from_args();
-    let reps: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .filter(|&r| r > 0)
-        .unwrap_or(33);
-    let ds = ADS1.scaled(div);
+fn bits_match(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn frac(bytes_per_second: f64, peak_gbs: f64) -> f64 {
+    (bytes_per_second / (peak_gbs * 1e9)).min(1.0)
+}
+
+fn run_dataset(
+    ds: &Dataset,
+    div: u32,
+    reps: usize,
+    pools: &[WorkerPool],
+    peak_gbs: f64,
+) -> DatasetBlock {
+    let sds = ds.scaled(div);
     let ops = xct_bench::preprocess(
-        ds.grid(),
-        ds.scan(),
+        sds.grid(),
+        sds.scan(),
         &xct_bench::Config {
             build_buffered: false,
             ..xct_bench::Config::default()
         },
     );
-    let a = &ops.a;
-    let (_, sino) = simulate(&ds, false);
+    let a: &CsrMatrix = &ops.a;
+    let (_, sino) = simulate(&sds, false);
     // A realistic input: one backprojection of the simulated sinogram.
     let mut x = vec![0f32; a.ncols()];
     spmv_into(&ops.at, ops.order_sinogram(&sino).as_slice(), &mut x);
+    let x: &[f32] = &x;
+
+    let buf = BufferedCsr::from_csr(a, BUF_PARTSIZE, BUF_BUFFSIZE);
+    let tiled = TiledCsr::from_csr(a);
 
     println!(
-        "spmv-bench: {} (scale 1/{div}), {} rows x {} cols, {} nnz, {reps} reps\n",
-        ds.name,
+        "\n=== {} (scale 1/{div}): {} rows x {} cols, {} nnz ===",
+        sds.name,
         a.nrows(),
         a.ncols(),
         a.nnz()
     );
     println!(
-        "{:<14} {:>8} {:>12} {:>8} {:>10} {:>10}",
-        "variant", "threads", "median", "gflops", "speedup", "imbalance"
+        "{:<14} {:>8} {:>12} {:>8} {:>8} {:>6} {:>9} {:>10}",
+        "variant", "threads", "median", "gflops", "GB/s", "peak", "speedup", "imbalance"
     );
 
-    let mut want = vec![0f32; a.nrows()];
-    spmv_into(a, &x, &mut want);
-    let x: &[f32] = &x;
+    // Family references for the bit-identity round.
+    let mut want_vec = vec![0f32; a.nrows()];
+    spmv_into(a, x, &mut want_vec);
+    let mut want_scalar = vec![0f32; a.nrows()];
+    spmv_scalar_into(a, x, &mut want_scalar);
+    let want_buf = buf.spmv(x);
+    let want_tiled = tiled.spmv(x);
+    // The scalar baseline sums in a different order — same values to
+    // tolerance, rarely the same bits.
+    for (s, v) in want_scalar.iter().zip(&want_vec) {
+        let scale = s.abs().max(v.abs()).max(1.0);
+        assert!((s - v).abs() <= 1e-4 * scale, "scalar vs lane: {s} vs {v}");
+    }
 
-    let thread_counts = [1usize, 2, 4];
     // Pools and plans are built once outside the timed region — that is
     // the whole point of the execution layer.
-    let pools: Vec<WorkerPool> = thread_counts.iter().map(|&t| WorkerPool::new(t)).collect();
     let mut variants: Vec<Variant> = Vec::new();
     variants.push(Variant {
         name: "serial",
         threads: 1,
+        bytes: a.regular_bytes(),
+        imbalance: 1.0,
+        times: Vec::new(),
+        f: {
+            let mut y = vec![0f32; a.nrows()];
+            Box::new(move || spmv_scalar_into(a, x, &mut y))
+        },
+    });
+    variants.push(Variant {
+        name: "vector",
+        threads: 1,
+        bytes: a.regular_bytes(),
         imbalance: 1.0,
         times: Vec::new(),
         f: {
@@ -149,16 +322,7 @@ fn main() {
             Box::new(move || spmv_into(a, x, &mut y))
         },
     });
-    for (i, &threads) in thread_counts.iter().enumerate() {
-        // Per-call scoped threads, equal rows: the pre-pool cost model.
-        let mut y = vec![0f32; a.nrows()];
-        variants.push(Variant {
-            name: "scoped",
-            threads,
-            imbalance: 1.0,
-            times: Vec::new(),
-            f: Box::new(move || spmv_scoped(a, x, &mut y, threads)),
-        });
+    for (i, &threads) in THREAD_COUNTS.iter().enumerate() {
         let pool = &pools[i];
         for (name, plan) in [
             ("pooled_equal", csr_plan_equal(a, threads)),
@@ -168,15 +332,47 @@ fn main() {
             variants.push(Variant {
                 name,
                 threads,
+                bytes: a.regular_bytes(),
                 imbalance: plan.imbalance(),
                 times: Vec::new(),
                 f: Box::new(move || spmv_pooled_into(a, x, &mut y, &plan, pool)),
             });
         }
+        // The u16 buffered kernel through the same pooled dispatch path:
+        // staging + lane-split accumulation, persistent worker scratch.
+        {
+            let plan = buf.exec_plan(threads);
+            let imbalance = plan.imbalance();
+            let mut y = vec![0f32; a.nrows()];
+            let b = &buf;
+            variants.push(Variant {
+                name: "pooled_buf",
+                threads,
+                bytes: buf.regular_bytes(),
+                imbalance,
+                times: Vec::new(),
+                f: Box::new(move || b.spmv_pooled_into(x, &mut y, &plan, pool)),
+            });
+        }
+        // Cache-blocked gathers over the Hilbert tile structure.
+        {
+            let plan = tiled.exec_plan(threads);
+            let imbalance = plan.imbalance();
+            let mut y = vec![0f32; a.nrows()];
+            let t = &tiled;
+            variants.push(Variant {
+                name: "pooled_tiled",
+                threads,
+                bytes: a.regular_bytes(),
+                imbalance,
+                times: Vec::new(),
+                f: Box::new(move || t.spmv_pooled_into(x, &mut y, &plan, pool)),
+            });
+        }
     }
 
-    // Interleaved measurement: warmup round, bit-identity round, then
-    // `reps` rounds timing every variant back to back.
+    // Interleaved measurement: warmup round, then `reps` rounds timing
+    // every variant back to back.
     for v in &mut variants {
         (v.f)();
     }
@@ -190,69 +386,76 @@ fn main() {
 
     let rows: Vec<Row> = variants
         .iter_mut()
-        .map(|v| Row {
-            variant: v.name,
-            threads: v.threads,
-            seconds: median(&mut v.times),
-            imbalance: v.imbalance,
+        .map(|v| {
+            let seconds = median(&mut v.times);
+            let bps = bandwidth_gbs(v.bytes, seconds) * 1e9;
+            Row {
+                variant: v.name,
+                threads: v.threads,
+                seconds,
+                gflops: gflops(a.nnz(), seconds),
+                bytes_per_second: bps,
+                fraction_of_peak: frac(bps, peak_gbs),
+                speedup: 0.0, // filled below
+                imbalance: v.imbalance,
+            }
         })
         .collect();
     let serial_s = rows[0].seconds;
-
-    // Bit-identity: rerun each strategy once into a fresh buffer and
-    // compare against the serial kernel.
-    let mut bit_identical = true;
-    for (i, &threads) in thread_counts.iter().enumerate() {
-        let mut y = vec![0f32; a.nrows()];
-        spmv_scoped(a, x, &mut y, threads);
-        bit_identical &= bits_match(&y, &want);
-        for plan in [csr_plan_equal(a, threads), csr_plan(a, threads)] {
-            y.fill(0.0);
-            spmv_pooled_into(a, x, &mut y, &plan, &pools[i]);
-            bit_identical &= bits_match(&y, &want);
-        }
-    }
-
-    for r in &rows {
+    let mut rows: Vec<Row> = rows
+        .into_iter()
+        .map(|mut r| {
+            r.speedup = serial_s / r.seconds;
+            r
+        })
+        .collect();
+    rows.iter_mut().for_each(|r| {
         println!(
-            "{:<14} {:>8} {:>9.1} us {:>8.2} {:>9.2}x {:>10.3}",
+            "{:<14} {:>8} {:>9.1} us {:>8.2} {:>8.2} {:>5.0}% {:>8.2}x {:>10.3}",
             r.variant,
             r.threads,
             r.seconds * 1e6,
-            gflops(a.nnz(), r.seconds),
-            serial_s / r.seconds,
+            r.gflops,
+            r.bytes_per_second / 1e9,
+            r.fraction_of_peak * 100.0,
+            r.speedup,
             r.imbalance
         );
-    }
-    assert!(bit_identical, "a variant diverged from the serial kernel");
+    });
 
-    let mut won = true;
-    for threads in [2usize, 4] {
-        let scoped = find(&rows, "scoped", threads);
-        let pooled = find(&rows, "pooled_nnz", threads);
-        let ratio = scoped / pooled;
-        println!("\npooled_nnz vs scoped at {threads} threads: {ratio:.2}x");
-        won &= ratio > 1.0;
+    // Bit-identity: rerun each strategy once into a fresh buffer and
+    // compare against its family's serial reference.
+    let mut bit_identical = true;
+    for (i, &threads) in THREAD_COUNTS.iter().enumerate() {
+        let mut y = vec![0f32; a.nrows()];
+        for plan in [csr_plan_equal(a, threads), csr_plan(a, threads)] {
+            y.fill(0.0);
+            spmv_pooled_into(a, x, &mut y, &plan, &pools[i]);
+            bit_identical &= bits_match(&y, &want_vec);
+        }
+        y.fill(0.0);
+        buf.spmv_pooled_into(x, &mut y, &buf.exec_plan(threads), &pools[i]);
+        bit_identical &= bits_match(&y, &want_buf);
+        y.fill(0.0);
+        tiled.spmv_pooled_into(x, &mut y, &tiled.exec_plan(threads), &pools[i]);
+        bit_identical &= bits_match(&y, &want_tiled);
     }
-    println!(
-        "bit-identical across all variants and thread counts: {}",
-        bit_identical
-    );
+    assert!(bit_identical, "a variant diverged from its serial kernel");
+    println!("bit-identical within every kernel family: {bit_identical}");
 
     // Batched (SpMM) sweep: one call streams the matrix once for `batch`
     // distinct right-hand sides, so the matrix traffic charged to each
     // slice shrinks by 1/batch — the memory-centric payoff of batching.
-    let spmm_threads = *thread_counts.last().unwrap();
+    let spmm_threads = *THREAD_COUNTS.last().unwrap();
     let spmm_pool = pools.last().unwrap();
     let spmm_plan = csr_plan(a, spmm_threads);
-    let ks = [1usize, 4, 16, 64];
     let mut spmm_rows: Vec<SpmmRow> = Vec::new();
     let mut spmm_identical = true;
     println!(
-        "\n{:<14} {:>8} {:>6} {:>12} {:>8} {:>12}",
-        "spmm variant", "threads", "batch", "median", "gflops", "KB/slice"
+        "{:<14} {:>8} {:>6} {:>12} {:>8} {:>8} {:>12}",
+        "spmm variant", "threads", "batch", "median", "gflops", "GB/s", "KB/slice"
     );
-    for &k in &ks {
+    for &k in &BATCHES {
         let mut xk = Vec::with_capacity(a.ncols() * k);
         for j in 0..k {
             let scale = 1.0 + 0.01 * j as f32;
@@ -282,13 +485,15 @@ fn main() {
                 spmm_identical &= bits_match(&yk[j * a.nrows()..(j + 1) * a.nrows()], &yj);
             }
             let seconds = median(&mut times);
+            let bps = bandwidth_gbs(a.regular_bytes(), seconds) * 1e9;
             println!(
-                "{:<14} {:>8} {:>6} {:>9.1} us {:>8.2} {:>12.1}",
+                "{:<14} {:>8} {:>6} {:>9.1} us {:>8.2} {:>8.2} {:>12.1}",
                 name,
                 threads,
                 k,
                 seconds * 1e6,
                 gflops(a.nnz() * k, seconds),
+                bps / 1e9,
                 a.regular_bytes() as f64 / k as f64 / 1e3
             );
             spmm_rows.push(SpmmRow {
@@ -296,6 +501,10 @@ fn main() {
                 threads,
                 batch: k,
                 seconds,
+                gflops: gflops(a.nnz() * k, seconds),
+                bytes_per_second: bps,
+                fraction_of_peak: frac(bps, peak_gbs),
+                bytes_per_slice: a.regular_bytes() as f64 / k as f64,
             });
         }
     }
@@ -303,79 +512,153 @@ fn main() {
         spmm_identical,
         "an SpMM column diverged from the serial SpMV kernel"
     );
-    println!("spmm columns bit-identical to serial spmv: {spmm_identical}");
 
-    let json = render_json(ds.name, div, a, reps, bit_identical, &rows, &spmm_rows);
+    DatasetBlock {
+        name: sds.name,
+        scale: div,
+        nrows: a.nrows(),
+        ncols: a.ncols(),
+        nnz: a.nnz(),
+        bit_identical: bit_identical && spmm_identical,
+        rows,
+        spmm_rows,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let pools: Vec<WorkerPool> = THREAD_COUNTS.iter().map(|&t| WorkerPool::new(t)).collect();
+
+    // The roofline ceiling: best sustainable triad bandwidth.
+    let mut sa = vec![0f32; STREAM_ELEMS];
+    let sb: Vec<f32> = (0..STREAM_ELEMS).map(|i| (i % 17) as f32).collect();
+    let sc: Vec<f32> = (0..STREAM_ELEMS).map(|i| (i % 13) as f32 * 0.5).collect();
+    let gbs_by_threads: Vec<f64> = THREAD_COUNTS
+        .iter()
+        .zip(&pools)
+        .map(|(&t, pool)| stream_triad_gbs(pool, t, &mut sa, &sb, &sc))
+        .collect();
+    drop(sa);
+    let peak_gbs = gbs_by_threads.iter().copied().fold(0.0, f64::max);
+    println!(
+        "STREAM triad ceiling: {peak_gbs:.2} GB/s (by threads {THREAD_COUNTS:?}: {:?})",
+        gbs_by_threads
+            .iter()
+            .map(|g| (g * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+
+    let blocks: Vec<DatasetBlock> = args
+        .sweep
+        .iter()
+        .map(|&(ds, div)| run_dataset(ds, div, args.reps, &pools, peak_gbs))
+        .collect();
+
+    // The regression gate: the vectorized pooled kernel must beat the
+    // scalar serial baseline at 2 and 4 threads on every swept dataset.
+    let mut won = true;
+    for b in &blocks {
+        for threads in [2usize, 4] {
+            let r = b
+                .rows
+                .iter()
+                .find(|r| r.variant == "pooled_nnz" && r.threads == threads)
+                .expect("pooled_nnz measured");
+            println!(
+                "{} pooled_nnz vs serial at {threads} threads: {:.2}x",
+                b.name, r.speedup
+            );
+            won &= r.speedup > 1.0;
+        }
+    }
+
+    let json = render_json(args.reps, peak_gbs, &gbs_by_threads, &blocks);
     std::fs::write("BENCH_spmv.json", &json).expect("write BENCH_spmv.json");
     println!("wrote BENCH_spmv.json");
     assert!(
         won,
-        "pooled_nnz did not beat the scoped baseline at every thread count >= 2"
+        "vectorized pooled_nnz did not beat the serial baseline at every thread count >= 2"
     );
 }
 
-fn bits_match(a: &[f32], b: &[f32]) -> bool {
-    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
-}
-
-fn find(rows: &[Row], variant: &str, threads: usize) -> f64 {
-    rows.iter()
-        .find(|r| r.variant == variant && r.threads == threads)
-        .map(|r| r.seconds)
-        .expect("variant measured")
-}
-
 fn render_json(
-    dataset: &str,
-    scale: u32,
-    a: &CsrMatrix,
     reps: usize,
-    bit_identical: bool,
-    rows: &[Row],
-    spmm_rows: &[SpmmRow],
+    peak_gbs: f64,
+    gbs_by_threads: &[f64],
+    blocks: &[DatasetBlock],
 ) -> String {
-    let serial = rows[0].seconds;
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"spmv\",\n");
     s.push_str("  \"generated_by\": \"spmv-bench\",\n");
+    s.push_str("  \"schema_version\": 2,\n");
+    let _ = writeln!(s, "  \"reps\": {reps},");
     let _ = writeln!(
         s,
-        "  \"matrix\": {{\"dataset\": \"{dataset}\", \"scale\": {scale}, \"nrows\": {}, \"ncols\": {}, \"nnz\": {}}},",
-        a.nrows(),
-        a.ncols(),
-        a.nnz()
+        "  \"stream\": {{\"triad_gbs\": {:.4}, \"gbs_by_threads\": [{}], \"array_mb\": {}}},",
+        peak_gbs,
+        gbs_by_threads
+            .iter()
+            .map(|g| format!("{g:.4}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        STREAM_ELEMS * 4 / (1 << 20)
     );
-    let _ = writeln!(s, "  \"reps\": {reps},");
-    let _ = writeln!(s, "  \"bit_identical\": {bit_identical},");
-    s.push_str("  \"results\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = write!(
+    s.push_str(
+        "  \"retired\": {\"scoped\": \"per-call thread spawns; strictly dominated by pooled_* in every committed measurement\"},\n",
+    );
+    s.push_str("  \"datasets\": [\n");
+    for (bi, b) in blocks.iter().enumerate() {
+        s.push_str("    {\n");
+        let _ = writeln!(
             s,
-            "    {{\"variant\": \"{}\", \"threads\": {}, \"median_seconds\": {:.9}, \"gflops\": {:.4}, \"speedup_vs_serial\": {:.4}, \"imbalance\": {:.4}}}",
-            r.variant,
-            r.threads,
-            r.seconds,
-            gflops(a.nnz(), r.seconds),
-            serial / r.seconds,
-            r.imbalance
+            "      \"matrix\": {{\"dataset\": \"{}\", \"scale\": {}, \"nrows\": {}, \"ncols\": {}, \"nnz\": {}}},",
+            b.name, b.scale, b.nrows, b.ncols, b.nnz
         );
-        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-    }
-    s.push_str("  ],\n");
-    s.push_str("  \"spmm_results\": [\n");
-    for (i, r) in spmm_rows.iter().enumerate() {
-        let _ = write!(
-            s,
-            "    {{\"variant\": \"{}\", \"threads\": {}, \"batch\": {}, \"median_seconds\": {:.9}, \"gflops\": {:.4}, \"matrix_bytes_per_slice\": {:.1}}}",
-            r.variant,
-            r.threads,
-            r.batch,
-            r.seconds,
-            gflops(a.nnz() * r.batch, r.seconds),
-            a.regular_bytes() as f64 / r.batch as f64
-        );
-        s.push_str(if i + 1 < spmm_rows.len() { ",\n" } else { "\n" });
+        let _ = writeln!(s, "      \"bit_identical\": {},", b.bit_identical);
+        s.push_str("      \"results\": [\n");
+        for (i, r) in b.rows.iter().enumerate() {
+            let _ = write!(
+                s,
+                "        {{\"variant\": \"{}\", \"threads\": {}, \"median_seconds\": {:.9}, \"gflops\": {:.4}, \"bytes_per_second\": {:.0}, \"fraction_of_peak\": {:.4}, \"speedup_vs_serial\": {:.4}, \"imbalance\": {:.4}}}",
+                r.variant,
+                r.threads,
+                r.seconds,
+                r.gflops,
+                r.bytes_per_second,
+                r.fraction_of_peak,
+                r.speedup,
+                r.imbalance
+            );
+            s.push_str(if i + 1 < b.rows.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("      ],\n");
+        s.push_str("      \"spmm_results\": [\n");
+        for (i, r) in b.spmm_rows.iter().enumerate() {
+            let _ = write!(
+                s,
+                "        {{\"variant\": \"{}\", \"threads\": {}, \"batch\": {}, \"median_seconds\": {:.9}, \"gflops\": {:.4}, \"bytes_per_second\": {:.0}, \"fraction_of_peak\": {:.4}, \"matrix_bytes_per_slice\": {:.1}}}",
+                r.variant,
+                r.threads,
+                r.batch,
+                r.seconds,
+                r.gflops,
+                r.bytes_per_second,
+                r.fraction_of_peak,
+                r.bytes_per_slice
+            );
+            s.push_str(if i + 1 < b.spmm_rows.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("      ]\n");
+        s.push_str(if bi + 1 < blocks.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
     }
     s.push_str("  ]\n}\n");
     s

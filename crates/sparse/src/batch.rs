@@ -16,6 +16,7 @@
 //! parallel code path.
 
 use crate::csr::CsrMatrix;
+use crate::lanes::row_dot;
 use crate::pooled::{dot_chunks, DOT_CHUNK};
 use crate::reduce::dot_f64;
 use xct_runtime::{ExecPlan, WorkerPool};
@@ -125,11 +126,8 @@ pub fn spmm_into(a: &CsrMatrix, x: &[f32], y: &mut [f32], batch: usize) {
             let ys = &mut y[j * nrows + tile..j * nrows + hi];
             for (jj, out) in ys.iter_mut().enumerate() {
                 let i = tile + jj;
-                let mut acc = 0f32;
-                for k in rowptr[i]..rowptr[i + 1] {
-                    acc += xs[colind[k] as usize] * values[k];
-                }
-                *out = acc;
+                let (lo, hi) = (rowptr[i], rowptr[i + 1]);
+                *out = row_dot(&colind[lo..hi], &values[lo..hi], xs);
             }
         }
     }
@@ -171,11 +169,8 @@ pub fn spmm_pooled_into(
                 let xs = &x[j * ncols..(j + 1) * ncols];
                 let block = out.block(j);
                 for i in tile..hi {
-                    let mut acc = 0f32;
-                    for k in rowptr[i]..rowptr[i + 1] {
-                        acc += xs[colind[k] as usize] * values[k];
-                    }
-                    block[i - rows.start] = acc;
+                    let (lo, khi) = (rowptr[i], rowptr[i + 1]);
+                    block[i - rows.start] = row_dot(&colind[lo..khi], &values[lo..khi], xs);
                 }
             }
         }

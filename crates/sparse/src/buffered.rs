@@ -13,8 +13,35 @@
 //! ("stages are determined with respect to Hilbert ordering").
 
 use crate::csr::CsrMatrix;
+use crate::lanes::{reduce_lanes, LANES};
 use rayon::prelude::*;
 use std::fmt;
+
+/// Lane-split accumulation stage of Listing 3: `Σ buf[ind[k]] * vals[k]`
+/// over one `(stage, row)` entry run, in the deterministic lane order of
+/// [`crate::lanes`] (generic twin of [`crate::lanes::row_dot_u16`] so the
+/// u32 ablation layout shares the kernel).
+#[inline]
+fn row_dot_buf<I: BufferIndex>(ind: &[I], vals: &[f32], buf: &[f32]) -> f32 {
+    let mut acc = [0f32; LANES];
+    let mut gat = [0f32; LANES];
+    let ci = ind.chunks_exact(LANES);
+    let vi = vals.chunks_exact(LANES);
+    let (ct, vt) = (ci.remainder(), vi.remainder());
+    for (c8, v8) in ci.zip(vi) {
+        for l in 0..LANES {
+            gat[l] = buf[c8[l].to_usize()];
+        }
+        for l in 0..LANES {
+            acc[l] += gat[l] * v8[l];
+        }
+    }
+    let mut s = reduce_lanes(&acc);
+    for (c, v) in ct.iter().zip(vt) {
+        s += buf[c.to_usize()] * v;
+    }
+    s
+}
 
 /// Why a buffered layout could not be constructed from a CSR source.
 ///
@@ -569,19 +596,29 @@ impl<I: BufferIndex> BufferedCsrImpl<I> {
         for stage in self.partdispl[p] as usize..self.partdispl[p + 1] as usize {
             let mlo = self.stagedispl[stage];
             let mhi = self.stagedispl[stage + 1];
-            // Staging: the only irregular reads in the kernel.
-            for (slot, &g) in self.map[mlo..mhi].iter().enumerate() {
-                input[slot] = x[g as usize];
+            // Staging: the only irregular reads in the kernel. The gather
+            // is lane-structured (8 slots per step) so the regular buffer
+            // writes vectorize; order is irrelevant here — each slot is a
+            // pure write.
+            let stage_map = &self.map[mlo..mhi];
+            let dst = &mut input[..stage_map.len()];
+            let full = stage_map.len() / LANES * LANES;
+            for (m8, d8) in stage_map[..full]
+                .chunks_exact(LANES)
+                .zip(dst[..full].chunks_exact_mut(LANES))
+            {
+                for l in 0..LANES {
+                    d8[l] = x[m8[l] as usize];
+                }
+            }
+            for (d, &g) in dst[full..].iter_mut().zip(&stage_map[full..]) {
+                *d = x[g as usize];
             }
             let dbase = stage * self.partsize;
             for (j, acc) in out.iter_mut().enumerate() {
                 let d0 = self.displ[dbase + j];
                 let d1 = self.displ[dbase + j + 1];
-                let mut a = *acc;
-                for k in d0..d1 {
-                    a += input[self.ind[k].to_usize()] * self.val[k];
-                }
-                *acc = a;
+                *acc += row_dot_buf(&self.ind[d0..d1], &self.val[d0..d1], input);
             }
         }
     }

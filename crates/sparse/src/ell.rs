@@ -11,7 +11,58 @@
 //! avoid thread divergence").
 
 use crate::csr::CsrMatrix;
+use crate::lanes::LANES;
 use rayon::prelude::*;
+
+/// One partition's column-major sweep, restructured into 8-row blocks:
+/// each block holds [`LANES`] independent accumulators in registers across
+/// the full `width` sweep, so the slot loads (`colind`/`values` at
+/// `s * rows + j`, contiguous across the block's rows — the CPU analog of
+/// coalesced accesses) and the FMAs vectorize. Row `j`'s accumulation
+/// order is still slot-ascending, exactly the unblocked kernel's order, so
+/// this is bit-identical to the scalar column-major sweep by construction.
+///
+/// Accumulates into `out` (callers zero the target range first).
+#[inline]
+fn ell_sweep(
+    rows: usize,
+    width: usize,
+    colind: &[u32],
+    values: &[f32],
+    x: &[f32],
+    out: &mut [f32],
+) {
+    let full = rows / LANES * LANES;
+    let mut j0 = 0;
+    while j0 < full {
+        let mut acc = [0f32; LANES];
+        let mut gat = [0f32; LANES];
+        for s in 0..width {
+            let base = s * rows + j0;
+            let c8 = &colind[base..base + LANES];
+            let v8 = &values[base..base + LANES];
+            for l in 0..LANES {
+                // Padded slots multiply x[0] by 0 — redundant on purpose,
+                // mirroring the divergence-free GPU kernel.
+                gat[l] = x[c8[l] as usize];
+            }
+            for l in 0..LANES {
+                acc[l] += gat[l] * v8[l];
+            }
+        }
+        for l in 0..LANES {
+            out[j0 + l] += acc[l];
+        }
+        j0 += LANES;
+    }
+    for j in full..rows {
+        let mut a = 0f32;
+        for s in 0..width {
+            a += x[colind[s * rows + j] as usize] * values[s * rows + j];
+        }
+        out[j] += a;
+    }
+}
 
 /// One ELL partition: `width` slots per row, stored column-major.
 #[derive(Debug, Clone)]
@@ -188,17 +239,9 @@ impl EllMatrix {
             out
         };
         chunks.into_par_iter().for_each(|(p, out)| {
-            // Column-major sweep: slot-by-slot over all rows, emulating the
-            // coalesced access of consecutive CUDA threads.
-            for s in 0..p.width {
-                let cols = &p.colind[s * p.rows..(s + 1) * p.rows];
-                let vals = &p.values[s * p.rows..(s + 1) * p.rows];
-                for j in 0..p.rows {
-                    // Padded slots multiply x[0] by 0 — redundant on
-                    // purpose, mirroring the divergence-free GPU kernel.
-                    out[j] += x[cols[j] as usize] * vals[j];
-                }
-            }
+            // Column-major sweep in 8-row blocks, emulating the coalesced
+            // access of consecutive CUDA threads.
+            ell_sweep(p.rows, p.width, &p.colind, &p.values, x, out);
         });
     }
 
@@ -217,13 +260,7 @@ impl EllMatrix {
             for j in 0..batch {
                 let xs = &x[j * self.ncols..(j + 1) * self.ncols];
                 let out = &mut y[j * self.nrows + base..j * self.nrows + base + p.rows];
-                for s in 0..p.width {
-                    let cols = &p.colind[s * p.rows..(s + 1) * p.rows];
-                    let vals = &p.values[s * p.rows..(s + 1) * p.rows];
-                    for (o, (&c, &v)) in out.iter_mut().zip(cols.iter().zip(vals)) {
-                        *o += xs[c as usize] * v;
-                    }
-                }
+                ell_sweep(p.rows, p.width, &p.colind, &p.values, xs, out);
             }
             base += p.rows;
         }
@@ -260,13 +297,7 @@ impl EllMatrix {
                     let xs = &x[j * self.ncols..(j + 1) * self.ncols];
                     let block = out.block(j);
                     let slice = &mut block[base..base + p.rows];
-                    for s in 0..p.width {
-                        let cols = &p.colind[s * p.rows..(s + 1) * p.rows];
-                        let vals = &p.values[s * p.rows..(s + 1) * p.rows];
-                        for (o, (&c, &v)) in slice.iter_mut().zip(cols.iter().zip(vals)) {
-                            *o += xs[c as usize] * v;
-                        }
-                    }
+                    ell_sweep(p.rows, p.width, &p.colind, &p.values, xs, slice);
                 }
             }
         });
@@ -308,13 +339,7 @@ impl EllMatrix {
                 let p = &self.partitions[pi];
                 let base = bounds[pi] - rows.start;
                 let slice = &mut out[base..base + p.rows];
-                for s in 0..p.width {
-                    let cols = &p.colind[s * p.rows..(s + 1) * p.rows];
-                    let vals = &p.values[s * p.rows..(s + 1) * p.rows];
-                    for j in 0..p.rows {
-                        slice[j] += x[cols[j] as usize] * vals[j];
-                    }
-                }
+                ell_sweep(p.rows, p.width, &p.colind, &p.values, x, slice);
             }
         });
     }

@@ -23,7 +23,15 @@
 //!   `Y = A · [x₁ … xₖ]`, streaming the matrix once per k slices with
 //!   per-slice results bit-identical to the SpMV kernels;
 //! - [`PartitionStats`]: footprint / data-reuse / staging statistics used
-//!   by Fig 6 and the bandwidth accounting of Fig 9.
+//!   by Fig 6 and the bandwidth accounting of Fig 9;
+//! - [`lanes`]: the fixed-width lane-split row reduction every kernel
+//!   above shares — explicit 8-lane f32 accumulators with a deterministic
+//!   reduction order, written so rustc/LLVM emits SIMD without intrinsics
+//!   (the scalar Listing 2 chain survives as [`spmv_scalar_into`], the
+//!   roofline baseline);
+//! - [`TiledCsr`]: cache-blocked execution — each row block's entries
+//!   regrouped by Hilbert column tile so the irregular x-gather stays in a
+//!   small window (modeled by `xct-cachesim::spmv_tiled_trace`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,10 +41,12 @@ mod buffered;
 mod csr;
 mod ell;
 mod kernel;
+pub mod lanes;
 mod pooled;
 mod reduce;
 mod spmv;
 mod stats;
+mod tiled;
 
 pub use batch::{
     dot_batch_plan, dot_f64_batched_pooled, spmm, spmm_into, spmm_pooled_into, SliceBatch,
@@ -50,5 +60,6 @@ pub use pooled::{
     csr_plan, csr_plan_equal, dot_chunks, dot_f64_pooled, dot_plan, spmv_pooled_into, DOT_CHUNK,
 };
 pub use reduce::{dot_f64, norm_f64};
-pub use spmv::{spmv, spmv_into, spmv_parallel, spmv_parallel_into};
+pub use spmv::{spmv, spmv_into, spmv_parallel, spmv_parallel_into, spmv_scalar_into};
 pub use stats::{matrix_stats, partition_stats, MatrixStats, PartitionStats};
+pub use tiled::{TiledCsr, TILE_COL_WIDTH, TILE_ROW_BLOCK};

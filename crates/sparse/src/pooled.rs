@@ -11,6 +11,7 @@
 //! worker count.
 
 use crate::csr::CsrMatrix;
+use crate::lanes::row_dot;
 use crate::reduce::dot_f64;
 use xct_runtime::{ExecPlan, WorkerPool};
 
@@ -45,11 +46,8 @@ pub fn spmv_pooled_into(
     pool.run(plan, y, |_parts, rows, out| {
         for (j, slot) in out.iter_mut().enumerate() {
             let i = rows.start + j;
-            let mut acc = 0f32;
-            for k in rowptr[i]..rowptr[i + 1] {
-                acc += x[colind[k] as usize] * values[k];
-            }
-            *slot = acc;
+            let (lo, hi) = (rowptr[i], rowptr[i + 1]);
+            *slot = row_dot(&colind[lo..hi], &values[lo..hi], x);
         }
     });
 }

@@ -6,6 +6,7 @@
 //! bottleneck the ordering and buffering optimizations attack.
 
 use crate::csr::CsrMatrix;
+use crate::lanes::row_dot;
 use rayon::prelude::*;
 
 /// Sequential CSR SpMV: `y = A·x`.
@@ -16,7 +17,31 @@ pub fn spmv(a: &CsrMatrix, x: &[f32]) -> Vec<f32> {
 }
 
 /// Sequential CSR SpMV into a caller-provided output.
+///
+/// Rows are reduced in the deterministic lane order of [`crate::lanes`];
+/// every other CSR kernel (parallel, pooled, batched) uses the same order,
+/// so they are all bitwise equal to this one.
 pub fn spmv_into(a: &CsrMatrix, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), a.ncols(), "x length");
+    assert_eq!(y.len(), a.nrows(), "y length");
+    let rowptr = a.rowptr();
+    let colind = a.colind();
+    let values = a.values();
+    for (i, out) in y.iter_mut().enumerate() {
+        let (lo, hi) = (rowptr[i], rowptr[i + 1]);
+        *out = row_dot(&colind[lo..hi], &values[lo..hi], x);
+    }
+}
+
+/// The original Listing 2 scalar kernel: one sequential accumulator chain
+/// per row, summed in entry order.
+///
+/// Kept as the roofline baseline for `spmv-bench` (its loop-carried f32
+/// dependence is what the lane-split kernels exist to break) and as the
+/// reference the sequential-order regression test compares against. Not
+/// used by any production path; its sums differ from [`spmv_into`] in the
+/// last bits whenever a row has ≥ 2 entries with rounding.
+pub fn spmv_scalar_into(a: &CsrMatrix, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), a.ncols(), "x length");
     assert_eq!(y.len(), a.nrows(), "y length");
     let rowptr = a.rowptr();
@@ -54,11 +79,8 @@ pub fn spmv_parallel_into(a: &CsrMatrix, x: &[f32], y: &mut [f32], partsize: usi
             let base = p * partsize;
             for (j, out) in chunk.iter_mut().enumerate() {
                 let i = base + j;
-                let mut acc = 0f32;
-                for k in rowptr[i]..rowptr[i + 1] {
-                    acc += x[colind[k] as usize] * values[k];
-                }
-                *out = acc;
+                let (lo, hi) = (rowptr[i], rowptr[i + 1]);
+                *out = row_dot(&colind[lo..hi], &values[lo..hi], x);
             }
         });
 }
@@ -94,6 +116,16 @@ mod tests {
         for partsize in [1, 2, 3, 64] {
             assert_eq!(spmv_parallel(&a, &x, partsize), spmv(&a, &x));
         }
+    }
+
+    #[test]
+    fn scalar_kernel_matches_to_tolerance() {
+        // The exact-arithmetic sample sums identically in any order.
+        let a = sample();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let mut y = vec![0f32; a.nrows()];
+        spmv_scalar_into(&a, &x, &mut y);
+        assert_eq!(y, spmv(&a, &x));
     }
 
     #[test]

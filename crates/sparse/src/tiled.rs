@@ -1,0 +1,330 @@
+//! Cache-blocked CSR execution: the x-gather grouped by Hilbert tile.
+//!
+//! Both MemXCT domains are Hilbert-ordered, so a contiguous range of
+//! column indices *is* a spatial tile (§3.2) — blocking the irregular
+//! `x[col]` gather by column range therefore blocks it by tile. This
+//! layout regroups each row block's entries into per-tile segments: the
+//! kernel sweeps one tile's segments at a time, so every gather inside a
+//! segment lands in an `x` window of at most `col_tile * 4` bytes that
+//! stays L1/L2-resident across the whole row block, instead of each row
+//! re-sweeping the full domain. `cachesim::spmv_tiled_trace` models
+//! exactly this access order; the `tiled_miss_rate` integration test pins
+//! the modeled improvement on a real ADS1 plan.
+//!
+//! Determinism: row `i`'s value is accumulated tile-ascending —
+//! `y[i] = (((0 + d_t0) + d_t1) + …)` where each `d_t` is the lane-order
+//! [`crate::lanes::row_dot`] over the row's entries in tile `t` (original
+//! order within the tile). Segment boundaries are part of the layout, not
+//! of the execution plan, so serial and pooled sweeps are bit-identical
+//! for every worker count.
+
+use crate::csr::CsrMatrix;
+use crate::lanes::row_dot;
+use xct_runtime::{ExecPlan, WorkerPool};
+
+/// Default row-block height: enough rows to amortize the per-segment
+/// sweep, few enough that the block's output stays cache-resident.
+pub const TILE_ROW_BLOCK: usize = 128;
+
+/// Default column-tile width in f32 elements: 4096 × 4 B = 16 KB, half an
+/// L1 so the tile window, the streamed entries, and the output coexist.
+pub const TILE_COL_WIDTH: usize = 4096;
+
+/// A CSR matrix re-laid-out for tile-blocked gathers.
+#[derive(Debug, Clone)]
+pub struct TiledCsr {
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    row_block: usize,
+    /// Segment ranges per row block: segments of block `b` are
+    /// `blockptr[b]..blockptr[b+1]`.
+    blockptr: Vec<usize>,
+    /// Flattened per-segment row pointers, stride `row_block + 1`:
+    /// entries of local row `j` in segment `s` are
+    /// `seg_rowptr[s * (row_block+1) + j] .. seg_rowptr[s * (row_block+1) + j + 1]`
+    /// (absolute offsets into `colind`/`values`).
+    seg_rowptr: Vec<usize>,
+    /// Global column indices, segment-grouped.
+    colind: Vec<u32>,
+    /// Values, matching `colind`.
+    values: Vec<f32>,
+}
+
+impl TiledCsr {
+    /// Re-layout `a` with the default block geometry.
+    pub fn from_csr(a: &CsrMatrix) -> Self {
+        Self::with_blocks(a, TILE_ROW_BLOCK, TILE_COL_WIDTH)
+    }
+
+    /// Re-layout `a` for row blocks of `row_block` rows whose entries are
+    /// regrouped by column tiles of `col_tile` elements.
+    ///
+    /// # Panics
+    /// If `row_block` or `col_tile` is zero.
+    pub fn with_blocks(a: &CsrMatrix, row_block: usize, col_tile: usize) -> Self {
+        assert!(row_block > 0, "row block must be positive");
+        assert!(col_tile > 0, "column tile must be positive");
+        let nrows = a.nrows();
+        let rowptr = a.rowptr();
+        let acolind = a.colind();
+        let avalues = a.values();
+        let stride = row_block + 1;
+        let mut blockptr = vec![0usize];
+        let mut seg_rowptr: Vec<usize> = Vec::new();
+        let mut colind = Vec::with_capacity(a.nnz());
+        let mut values = Vec::with_capacity(a.nnz());
+        // (tile, local row, entry offset) per block entry; the stable sort
+        // by (tile, row) keeps each row's within-tile entry order.
+        let mut bucket: Vec<(usize, usize, usize)> = Vec::new();
+        for b0 in (0..nrows).step_by(row_block) {
+            let b1 = (b0 + row_block).min(nrows);
+            bucket.clear();
+            for i in b0..b1 {
+                let (lo, hi) = (rowptr[i], rowptr[i + 1]);
+                for (k, &c) in acolind[lo..hi].iter().enumerate() {
+                    bucket.push((c as usize / col_tile, i - b0, lo + k));
+                }
+            }
+            bucket.sort_by_key(|&(t, j, _)| (t, j));
+            let mut e = 0usize;
+            while e < bucket.len() {
+                // One segment = one tile's run of this block's entries.
+                let tile = bucket[e].0;
+                let seg_base = seg_rowptr.len();
+                seg_rowptr.resize(seg_base + stride, 0);
+                let mut cursor = 0usize;
+                for j in 0..row_block {
+                    seg_rowptr[seg_base + j] = colind.len();
+                    while e + cursor < bucket.len() {
+                        let (t, r, k) = bucket[e + cursor];
+                        if t != tile || r != j {
+                            break;
+                        }
+                        colind.push(acolind[k]);
+                        values.push(avalues[k]);
+                        cursor += 1;
+                    }
+                }
+                seg_rowptr[seg_base + row_block] = colind.len();
+                e += cursor;
+            }
+            blockptr.push(seg_rowptr.len() / stride);
+        }
+        TiledCsr {
+            nrows,
+            ncols: a.ncols(),
+            nnz: a.nnz(),
+            row_block,
+            blockptr,
+            seg_rowptr,
+            colind,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Stored nonzeroes.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Rows per block.
+    pub fn row_block(&self) -> usize {
+        self.row_block
+    }
+
+    /// Number of row blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blockptr.len() - 1
+    }
+
+    /// Total tile segments across all blocks.
+    pub fn num_segments(&self) -> usize {
+        self.blockptr.last().copied().unwrap_or(0)
+    }
+
+    /// The global column of every gather in execution order (blocks →
+    /// tiles → rows → entries) — the sequence whose addresses
+    /// `cachesim::spmv_tiled_trace` models.
+    pub fn gather_order(&self) -> &[u32] {
+        &self.colind
+    }
+
+    /// `y = A·x`, sequential.
+    pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
+        let mut y = vec![0f32; self.nrows];
+        self.spmv_into(x, &mut y);
+        y
+    }
+
+    /// Sequential tile-blocked SpMV into a caller-provided output
+    /// (overwritten).
+    pub fn spmv_into(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.ncols, "x length");
+        assert_eq!(y.len(), self.nrows, "y length");
+        y.fill(0.0);
+        for b in 0..self.num_blocks() {
+            let base = b * self.row_block;
+            let rows = self.row_block.min(self.nrows - base);
+            self.process_block(b, x, &mut y[base..base + rows]);
+        }
+    }
+
+    /// A balanced [`ExecPlan`] over the row blocks (one plan block per
+    /// tile block — segment structure cannot be split), weighted by
+    /// entries plus segment overhead.
+    pub fn exec_plan(&self, workers: usize) -> ExecPlan {
+        let nblocks = self.num_blocks();
+        let stride = self.row_block + 1;
+        let mut bounds = Vec::with_capacity(nblocks + 1);
+        let mut weights = Vec::with_capacity(nblocks);
+        bounds.push(0usize);
+        for b in 0..nblocks {
+            bounds.push(((b + 1) * self.row_block).min(self.nrows));
+            let (s0, s1) = (self.blockptr[b], self.blockptr[b + 1]);
+            let entries = if s1 > s0 {
+                self.seg_rowptr[s1 * stride - 1] - self.seg_rowptr[s0 * stride]
+            } else {
+                0
+            };
+            weights.push((entries + (s1 - s0) * self.row_block / 8) as u64);
+        }
+        ExecPlan::balanced_blocks(&bounds, &weights, workers)
+    }
+
+    /// Pooled tile-blocked SpMV into a caller-provided output
+    /// (overwritten): each worker sweeps the contiguous row-block run
+    /// `plan` assigns it. Bit-identical to [`TiledCsr::spmv_into`] for
+    /// every worker count.
+    pub fn spmv_pooled_into(&self, x: &[f32], y: &mut [f32], plan: &ExecPlan, pool: &WorkerPool) {
+        assert_eq!(x.len(), self.ncols, "x length");
+        assert_eq!(y.len(), self.nrows, "y length");
+        assert_eq!(plan.rows(), self.nrows, "plan rows");
+        assert_eq!(plan.num_partitions(), self.num_blocks(), "plan blocks");
+        pool.run(plan, y, |parts, rows, out| {
+            out.fill(0.0);
+            for b in parts {
+                let base = b * self.row_block - rows.start;
+                let brows = self.row_block.min(self.nrows - b * self.row_block);
+                self.process_block(b, x, &mut out[base..base + brows]);
+            }
+        });
+    }
+
+    /// Sweep all tile segments of block `b`, accumulating into `out`
+    /// (the block's rows, already zeroed). Tile-ascending per row; lane
+    /// order within each `(row, tile)` entry run.
+    #[inline]
+    fn process_block(&self, b: usize, x: &[f32], out: &mut [f32]) {
+        let stride = self.row_block + 1;
+        for s in self.blockptr[b]..self.blockptr[b + 1] {
+            let rp = &self.seg_rowptr[s * stride..(s + 1) * stride];
+            for (j, acc) in out.iter_mut().enumerate() {
+                let (lo, hi) = (rp[j], rp[j + 1]);
+                if lo < hi {
+                    *acc += row_dot(&self.colind[lo..hi], &self.values[lo..hi], x);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmv::spmv;
+
+    fn scattered() -> CsrMatrix {
+        // Rows gathering across a wide domain, plus empty and dense rows.
+        let ncols = 300usize;
+        let mut rows: Vec<Vec<(u32, f32)>> = Vec::new();
+        for i in 0..37 {
+            let mut r = Vec::new();
+            for e in 0..(i % 9) {
+                let c = ((e * 67 + i * 31) % ncols) as u32;
+                r.push((c, ((i * 13 + e * 7) as f32 * 0.23).sin()));
+            }
+            r.sort_by_key(|&(c, _)| c);
+            r.dedup_by_key(|&mut (c, _)| c);
+            rows.push(r);
+        }
+        rows.push(vec![]);
+        rows.push((0..200).map(|c| (c as u32, 0.01 * c as f32)).collect());
+        CsrMatrix::from_rows(ncols, &rows)
+    }
+
+    #[test]
+    fn matches_plain_spmv_to_tolerance() {
+        let a = scattered();
+        let x: Vec<f32> = (0..a.ncols()).map(|i| (i as f32 * 0.11).cos()).collect();
+        let want = spmv(&a, &x);
+        for (rb, ct) in [(1, 1), (4, 16), (8, 64), (128, 4096)] {
+            let t = TiledCsr::with_blocks(&a, rb, ct);
+            assert_eq!(t.nnz(), a.nnz());
+            let got = t.spmv(&x);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-4, "rb {rb} ct {ct}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_tile_is_bit_identical_to_unblocked_kernel() {
+        // One tile covering all columns + one block covering all rows
+        // degenerates to the plain lane-order kernel, bitwise.
+        let a = scattered();
+        let x: Vec<f32> = (0..a.ncols()).map(|i| (i as f32 * 0.17).sin()).collect();
+        let t = TiledCsr::with_blocks(&a, a.nrows(), a.ncols());
+        let got = t.spmv(&x);
+        let want = spmv(&a, &x);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn pooled_is_bit_identical_to_serial_for_every_worker_count() {
+        let a = scattered();
+        let x: Vec<f32> = (0..a.ncols()).map(|i| (i as f32 * 0.29).sin()).collect();
+        let t = TiledCsr::with_blocks(&a, 8, 64);
+        let want = t.spmv(&x);
+        for workers in [1, 2, 3, 8] {
+            let pool = WorkerPool::new(workers);
+            let plan = t.exec_plan(workers);
+            assert!(plan.is_well_formed());
+            let mut y = vec![0f32; t.nrows()];
+            t.spmv_pooled_into(&x, &mut y, &plan, &pool);
+            for (g, w) in y.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits(), "workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_order_matches_cachesim_model() {
+        let a = scattered();
+        let (rb, ct) = (8, 64);
+        let t = TiledCsr::with_blocks(&a, rb, ct);
+        let model = xct_cachesim::spmv_tiled_trace(a.rowptr(), a.colind(), rb, ct);
+        let actual: Vec<u64> = t.gather_order().iter().map(|&c| c as u64 * 4).collect();
+        assert_eq!(actual, model);
+    }
+
+    #[test]
+    fn empty_matrix_works() {
+        let a = CsrMatrix::zeros(0, 5);
+        let t = TiledCsr::from_csr(&a);
+        assert_eq!(t.spmv(&[0.0; 5]), Vec::<f32>::new());
+        assert_eq!(t.num_blocks(), 0);
+    }
+}
