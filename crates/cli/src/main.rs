@@ -20,7 +20,7 @@ use memxct::prelude::*;
 use xct_geometry::{
     io, simulate_sinogram, Dataset, NoiseModel, SampleKind, Sinogram, ALL_DATASETS,
 };
-use xct_serve::{JobRuntime, JobSpec, PlanSpec, RuntimeConfig};
+use xct_serve::{JobError, JobRuntime, JobSpec, PlanSpec, RetryPolicy, RuntimeConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -89,9 +89,16 @@ DATASETS: ads1 ads2 ads3 ads4 rds1 rds2 (see `info`)
   --jobs FILE    serve: job file, one job per line (# comments allowed):
                    NAME DATASET SCALE cg|sirt ITERS PRIORITY
                         [batch=K] [preempt@N] [pool]
+                        [deadline=SECS] [retries=N]
                  higher priority runs first; preempt@N checkpoints the job
                  at iteration boundary N and requeues it (resume is
-                 bit-identical to an uninterrupted run)
+                 bit-identical to an uninterrupted run); deadline=SECS
+                 bounds the job's wall clock from submission (overruns
+                 stop at an iteration boundary, keep their checkpoint,
+                 and exit 5); retries=N re-runs transient communication
+                 failures up to N times with deterministic seeded
+                 backoff, resuming from checkpoint (a retried job's
+                 output is bit-identical to an unfaulted run)
   --cache N      serve: plan-cache capacity (default 8); jobs whose plan
                  is cached skip preprocessing entirely
   --outdir DIR   serve: write each job's slice-0 image to DIR/NAME.pgm
@@ -101,7 +108,10 @@ EXIT CODES
   1  I/O error (unreadable/unwritable file)
   2  usage or configuration error
   3  invariant violation (plan --check or snapshot validation)
-  4  unrecovered communication or checkpoint fault"
+  4  unrecovered communication or checkpoint fault, or a contained
+     job panic (serve)
+  5  serve: a job exceeded its deadline= budget
+  6  serve: a job was stopped or shed by runtime degradation"
     );
     exit(2);
 }
@@ -135,12 +145,17 @@ fn die_run(context: &str, e: ReconError) -> ! {
     }
 }
 
-/// Exit code for a failed serve job, matching the documented mapping.
-fn run_exit_code(e: &ReconError) -> i32 {
+/// Exit code for a failed serve job, matching the documented mapping:
+/// deadline overruns exit 5, shutdown-stopped jobs exit 6, contained
+/// panics exit 4 alongside communication/checkpoint faults.
+fn run_exit_code(e: &JobError) -> i32 {
     match e {
-        ReconError::Build(BuildError::Comm(_) | BuildError::Checkpoint(_)) => 4,
-        ReconError::Build(BuildError::PlanCheck(_)) => 3,
-        _ => 2,
+        JobError::TimedOut { .. } => 5,
+        JobError::Stopped { .. } => 6,
+        JobError::Panicked { .. } => 4,
+        JobError::Recon(ReconError::Build(BuildError::Comm(_) | BuildError::Checkpoint(_))) => 4,
+        JobError::Recon(ReconError::Build(BuildError::PlanCheck(_))) => 3,
+        JobError::Recon(_) => 2,
     }
 }
 
@@ -558,8 +573,8 @@ fn reconstruct(opts: &Options) {
 }
 
 /// Parse one job-file line (`NAME DATASET SCALE cg|sirt ITERS PRIORITY
-/// [batch=K] [preempt@N] [pool]`) into a job plus the image side length
-/// its outputs will have.
+/// [batch=K] [preempt@N] [pool] [deadline=SECS] [retries=N]`) into a job
+/// plus the image side length its outputs will have.
 fn parse_job_line(line: &str) -> Result<(JobSpec, u32), String> {
     let mut tok = line.split_whitespace();
     let mut field = |name: &str| tok.next().ok_or_else(|| format!("missing {name}"));
@@ -583,6 +598,8 @@ fn parse_job_line(line: &str) -> Result<(JobSpec, u32), String> {
     let mut batch = 1usize;
     let mut preempt = None;
     let mut pool = false;
+    let mut deadline = None;
+    let mut retries = None;
     for extra in tok {
         if let Some(v) = extra.strip_prefix("batch=") {
             batch = v
@@ -597,6 +614,18 @@ fn parse_job_line(line: &str) -> Result<(JobSpec, u32), String> {
                 .filter(|&n| n > 0)
                 .ok_or_else(|| format!("preempt@ expects a positive iteration, got `{v}`"))?;
             preempt = Some(b);
+        } else if let Some(v) = extra.strip_prefix("deadline=") {
+            let secs: f64 = v
+                .parse()
+                .ok()
+                .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                .ok_or_else(|| format!("deadline= expects positive seconds, got `{v}`"))?;
+            deadline = Some(std::time::Duration::from_secs_f64(secs));
+        } else if let Some(v) = extra.strip_prefix("retries=") {
+            let n: u32 = v
+                .parse()
+                .map_err(|_| format!("retries= expects a non-negative integer, got `{v}`"))?;
+            retries = Some(n);
         } else if extra == "pool" {
             pool = true;
         } else {
@@ -644,6 +673,12 @@ fn parse_job_line(line: &str) -> Result<(JobSpec, u32), String> {
     let mut spec = JobSpec::new(name, plan, request).priority(priority);
     if let Some(b) = preempt {
         spec = spec.preempt_at(b);
+    }
+    if let Some(d) = deadline {
+        spec = spec.deadline(d);
+    }
+    if let Some(n) = retries {
+        spec = spec.retry(RetryPolicy::retries(n));
     }
     Ok((spec, ds.channels))
 }
@@ -703,12 +738,13 @@ fn serve(opts: &Options) {
             Ok(resp) => {
                 println!(
                     "job {:>3} {:<16} ok     priority={} cache_hit={} preemptions={} \
-                     iters={} queue={:.3}s run={:.3}s preprocess={:.3}s plan={:016x}",
+                     retries={} iters={} queue={:.3}s run={:.3}s preprocess={:.3}s plan={:016x}",
                     r.id.0,
                     r.name,
                     r.priority,
                     r.cache_hit,
                     r.preemptions,
+                    r.retries,
                     r.iterations,
                     r.queue_seconds,
                     r.run_seconds,
@@ -725,9 +761,15 @@ fn serve(opts: &Options) {
                 }
             }
             Err(e) => {
+                let word = match e {
+                    JobError::TimedOut { .. } => "timeout",
+                    JobError::Stopped { .. } => "stopped",
+                    JobError::Panicked { .. } => "panic",
+                    JobError::Recon(_) => "failed",
+                };
                 eprintln!(
-                    "job {:>3} {:<16} failed priority={}: {e}",
-                    r.id.0, r.name, r.priority
+                    "job {:>3} {:<16} {word} priority={} retries={}: {e}",
+                    r.id.0, r.name, r.priority, r.retries
                 );
                 exit_code = exit_code.max(run_exit_code(e));
             }
@@ -738,14 +780,17 @@ fn serve(opts: &Options) {
     let c = |k: &str| snap.counters.get(k).copied().unwrap_or(0);
     println!(
         "cache: {} hit / {} miss / {} evict; jobs: {} completed, {} failed, \
-         {} preempted, {} resumed",
+         {} preempted, {} resumed, {} timed out, {} retried, {} panicked",
         c(xct_obs::CACHE_HIT),
         c(xct_obs::CACHE_MISS),
         c(xct_obs::CACHE_EVICT),
         c(xct_obs::JOB_COMPLETED),
         c(xct_obs::JOB_FAILED),
         c(xct_obs::JOB_PREEMPTED),
-        c(xct_obs::JOB_RESUMED)
+        c(xct_obs::JOB_RESUMED),
+        c(xct_obs::JOB_TIMEOUTS),
+        c(xct_obs::JOB_RETRIES),
+        c(xct_obs::JOB_PANICS)
     );
     if let Some(path) = &opts.metrics {
         std::fs::write(path, snap.to_json()).unwrap_or_else(|e| {

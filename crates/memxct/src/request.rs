@@ -361,13 +361,32 @@ impl std::error::Error for ReconError {}
 /// policy ignores preemption (there would be nowhere to save the state).
 ///
 /// [`Reconstructor::run_controlled`]: crate::Reconstructor::run_controlled
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct RunControl {
     preempt: AtomicBool,
     /// Iteration boundary to preempt at (0 = disarmed). Boundaries are
     /// the `next_iter` values the engine's between-iteration hook sees,
     /// i.e. `1..=max_iters`.
     preempt_at: AtomicUsize,
+    /// Deadline predicate installed by a supervising scheduler: consulted
+    /// at every iteration boundary; returning `true` stops the solve like
+    /// a preemption but latches [`deadline_exceeded`](Self::deadline_exceeded)
+    /// so the supervisor can tell a timeout from an ordinary preempt. The
+    /// closure owns its own clock, so a scheduler can use wall time in
+    /// production and virtual time under the `xct-model` facade.
+    deadline: std::sync::Mutex<Option<Box<dyn Fn() -> bool + Send + Sync>>>,
+    /// Latched once the deadline predicate has fired.
+    deadline_hit: AtomicBool,
+}
+
+impl fmt::Debug for RunControl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunControl")
+            .field("preempt", &self.preempt)
+            .field("preempt_at", &self.preempt_at)
+            .field("deadline_hit", &self.deadline_hit)
+            .finish_non_exhaustive()
+    }
 }
 
 impl RunControl {
@@ -389,6 +408,23 @@ impl RunControl {
         self.preempt_at.store(boundary, Ordering::Release);
     }
 
+    /// Install a deadline predicate, consulted at every iteration
+    /// boundary. When it returns `true` the solve checkpoints and stops
+    /// exactly like a preemption, and [`deadline_exceeded`] latches so
+    /// the caller can distinguish the two. The deadline fires at most
+    /// once; once latched the predicate is no longer consulted.
+    ///
+    /// [`deadline_exceeded`]: Self::deadline_exceeded
+    pub fn set_deadline_check(&self, check: impl Fn() -> bool + Send + Sync + 'static) {
+        let mut slot = self.deadline.lock().unwrap_or_else(|p| p.into_inner());
+        *slot = Some(Box::new(check));
+    }
+
+    /// Whether the installed deadline predicate has fired.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline_hit.load(Ordering::Acquire)
+    }
+
     /// Whether preemption has been requested (live flag only).
     pub fn preempt_requested(&self) -> bool {
         self.preempt.load(Ordering::Acquire)
@@ -396,6 +432,18 @@ impl RunControl {
 
     /// Engine-side check at iteration boundary `next_iter`.
     pub(crate) fn should_preempt(&self, next_iter: usize) -> bool {
+        if self.deadline_hit.load(Ordering::Acquire) {
+            return true;
+        }
+        {
+            let slot = self.deadline.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(check) = slot.as_ref() {
+                if check() {
+                    self.deadline_hit.store(true, Ordering::Release);
+                    return true;
+                }
+            }
+        }
         if self.preempt.load(Ordering::Acquire) {
             return true;
         }

@@ -35,10 +35,11 @@ mod registry;
 mod span;
 
 pub use registry::{
-    MatrixSnapshot, Metrics, MetricsRegistry, MetricsSnapshot, TimerSummary, CACHE_EVICT,
-    CACHE_HIT, CACHE_MISS, FAULT_ABORTS, FAULT_INJECTED, FAULT_RANK_LOSS, FAULT_RESTARTS,
-    FAULT_RETRIES, FAULT_TIMEOUTS, JOB_COMPLETED, JOB_FAILED, JOB_PREEMPTED, JOB_QUEUE_SECONDS,
-    JOB_REJECTED, JOB_RESUMED, JOB_RUN_SECONDS, JOB_SUBMITTED, KERNEL_AP_SECONDS, KERNEL_C_SECONDS,
-    KERNEL_R_SECONDS, LOCKDEP_EDGES,
+    MatrixSnapshot, Metrics, MetricsRegistry, MetricsSnapshot, TimerSummary, BREAKER_STATE,
+    BREAKER_TRIPS, CACHE_EVICT, CACHE_HIT, CACHE_MISS, FAULT_ABORTS, FAULT_INJECTED,
+    FAULT_RANK_LOSS, FAULT_RESTARTS, FAULT_RETRIES, FAULT_TIMEOUTS, JOB_COMPLETED, JOB_FAILED,
+    JOB_PANICS, JOB_PREEMPTED, JOB_QUEUE_SECONDS, JOB_REJECTED, JOB_RESUMED, JOB_RETRIES,
+    JOB_RUN_SECONDS, JOB_SHED, JOB_STOPPED, JOB_SUBMITTED, JOB_TIMEOUTS, KERNEL_AP_SECONDS,
+    KERNEL_C_SECONDS, KERNEL_R_SECONDS, LOCKDEP_EDGES,
 };
 pub use span::Span;

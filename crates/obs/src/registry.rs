@@ -60,6 +60,27 @@ pub const JOB_RESUMED: &str = "job/resumed";
 pub const JOB_QUEUE_SECONDS: &str = "job/queue_s";
 /// Timer of time jobs spent actually solving (across all attempts).
 pub const JOB_RUN_SECONDS: &str = "job/run_s";
+/// Counter of job attempts that panicked; the payload is captured into a
+/// typed `JobError::Panicked` and the runtime keeps serving.
+pub const JOB_PANICS: &str = "job/panics";
+/// Counter of jobs that exceeded their deadline (admission-time sheds of
+/// already-expired jobs included); the last checkpoint is retained.
+pub const JOB_TIMEOUTS: &str = "job/timeouts";
+/// Counter of job retries: attempts re-queued (with deterministic
+/// backoff) after a retryable fault, resuming from the last checkpoint.
+pub const JOB_RETRIES: &str = "job/retries";
+/// Counter of submissions shed because the runtime circuit breaker was
+/// open (typed `SubmitError::Degraded`).
+pub const JOB_SHED: &str = "job/shed";
+/// Counter of jobs terminated by a `CheckpointAndStop`/`Abort` shutdown
+/// before completing.
+pub const JOB_STOPPED: &str = "job/stopped";
+/// Gauge of the runtime circuit breaker state: 0 = closed (serving),
+/// 1 = open (shedding), 2 = half-open (probing).
+pub const BREAKER_STATE: &str = "breaker/state";
+/// Counter of circuit-breaker trips (closed → open transitions after K
+/// consecutive job failures).
+pub const BREAKER_TRIPS: &str = "breaker/trips";
 
 /// Matrix of observed lock-acquisition-order edges recorded by the
 /// `xct-model` lockdep pass in debug builds: row = held lock class,

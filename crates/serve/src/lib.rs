@@ -21,6 +21,16 @@
 //!   [`JobReport`] (queue time, run time, cache hit, iterations) under
 //!   the `job/*` metric families.
 //!
+//! - **Supervision** (DESIGN.md "Supervised serving"): every job runs
+//!   under `catch_unwind` panic isolation, an optional per-job deadline
+//!   enforced through cooperative preemption, and a deterministic
+//!   seeded [`RetryPolicy`] for transient communication faults; a
+//!   [`Breaker`] sheds load after consecutive failures, and
+//!   [`JobRuntime::shutdown`] supports
+//!   [`Drain`](Shutdown::Drain) / [`CheckpointAndStop`](Shutdown::CheckpointAndStop) /
+//!   [`Abort`](Shutdown::Abort) wind-down. The `job/*` and `breaker/*`
+//!   metric families meter all of it.
+//!
 //! The `xct` CLI's `serve` subcommand drains a job file through exactly
 //! this runtime.
 
@@ -29,9 +39,11 @@
 
 mod cache;
 mod job;
+mod supervise;
 
 pub use cache::{PlanCache, PlanKey, PlanSpec};
 pub use job::{
     JobError, JobId, JobReport, JobResult, JobRuntime, JobSpec, JobStatus, RuntimeConfig,
     SubmitError,
 };
+pub use supervise::{is_retryable, Breaker, BreakerConfig, BreakerState, RetryPolicy, Shutdown};

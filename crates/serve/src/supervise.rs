@@ -1,0 +1,331 @@
+//! The supervision layer's policy machinery: deterministic retry
+//! backoff, the runtime circuit breaker, and the shutdown modes.
+//!
+//! Everything here is a pure, deterministic state machine — no ambient
+//! clock, no RNG. Time enters only as explicit [`Instant`]s passed by the
+//! runtime (wall clock in production, the virtual clock under an
+//! `xct-model` schedule), and backoff jitter comes from a seeded hash of
+//! `(seed, job, attempt)`, so a retried schedule replays identically.
+
+use std::time::Duration;
+
+use xct_model::time::Instant;
+
+use memxct::{BuildError, ReconError};
+use xct_runtime::CommErrorKind;
+
+use crate::job::JobError;
+
+/// Bounded, deterministic retry policy for retryable job failures.
+///
+/// Attempt `k` (1-based retry count) is delayed by
+/// `base · 2^(k-1) + jitter(seed, job, k)` where the jitter is a seeded
+/// hash mapped into `[0, base)` — exponential backoff with deterministic
+/// jitter, capped at [`cap`](Self::cap). The same `(seed, job, attempt)`
+/// always yields the same delay, which is what makes a chaos soak
+/// replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Base backoff unit (the first retry waits `base + jitter`).
+    pub base: Duration,
+    /// Upper bound on any single backoff delay.
+    pub cap: Duration,
+    /// Seed folded into the jitter hash.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(250),
+            seed: 0xC1A0_5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_retries` retries and the default backoff shape.
+    pub fn retries(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Replace the backoff base unit.
+    pub fn base(mut self, base: Duration) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Replace the jitter seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The deterministic delay before retry number `retry` (1-based) of
+    /// job `job_seq`.
+    pub fn backoff(&self, job_seq: u64, retry: u32) -> Duration {
+        let exp = retry.saturating_sub(1).min(20);
+        let scaled = self.base.saturating_mul(1u32 << exp);
+        let jitter_ns = if self.base.is_zero() {
+            0
+        } else {
+            splitmix64(
+                self.seed
+                    .wrapping_add(job_seq.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .wrapping_add(retry as u64),
+            ) % self.base.as_nanos().max(1) as u64
+        };
+        scaled
+            .saturating_add(Duration::from_nanos(jitter_ns))
+            .min(self.cap)
+    }
+}
+
+/// SplitMix64: the standard 64-bit finalizer-style mixer; deterministic
+/// and dependency-free.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Whether a failed attempt may be retried: transient communication
+/// faults only — the chaos-injectable crash/drop/delay class of PR 5's
+/// `FaultPlan` (crashes, exhausted delivery retries, deadline timeouts,
+/// peer-failure aborts, hangups, corrupt frames). Deterministic failures
+/// — panics, invalid requests, plan-validation violations, checkpoint
+/// decode errors — would fail identically on every attempt and are not.
+pub fn is_retryable(err: &JobError) -> bool {
+    match err {
+        JobError::Recon(ReconError::Build(BuildError::Comm(e))) => matches!(
+            e.kind,
+            CommErrorKind::Crash
+                | CommErrorKind::SendLost { .. }
+                | CommErrorKind::Timeout { .. }
+                | CommErrorKind::Aborted { .. }
+                | CommErrorKind::Disconnected
+                | CommErrorKind::Corrupt
+        ),
+        _ => false,
+    }
+}
+
+/// Circuit-breaker configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive job failures that trip the breaker open (0 disables
+    /// the breaker entirely).
+    pub trip_after: u32,
+    /// How long the breaker sheds before admitting a half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            trip_after: 0,
+            cooldown: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Where the circuit breaker currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Serving normally; counts consecutive failures.
+    Closed,
+    /// Shedding all submissions until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: one probe submission has been admitted; its
+    /// outcome decides between `Closed` and `Open`.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable numeric encoding for the `breaker/state` gauge.
+    pub fn gauge(&self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::Open => 1.0,
+            BreakerState::HalfOpen => 2.0,
+        }
+    }
+}
+
+/// The runtime circuit breaker: a deterministic closed → open →
+/// half-open state machine over job outcomes. Deadline overruns do not
+/// count as failures (they indicate an over-committed client, not a
+/// broken runtime); panics and reconstruction errors do.
+#[derive(Debug)]
+pub struct Breaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    trips: u64,
+}
+
+impl Breaker {
+    /// A closed breaker with the given configuration.
+    pub fn new(config: BreakerConfig) -> Self {
+        Breaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: None,
+            trips: 0,
+        }
+    }
+
+    /// The current state (after lazily applying the cooldown transition).
+    pub fn state(&mut self) -> BreakerState {
+        if self.state == BreakerState::Open {
+            let elapsed = self.opened_at.map(|t| t.elapsed()).unwrap_or_default();
+            if elapsed >= self.config.cooldown {
+                self.state = BreakerState::HalfOpen;
+            }
+        }
+        self.state
+    }
+
+    /// Total closed → open transitions so far.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Consecutive failures observed while closed.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Admission decision for one submission: `Ok` admits (and consumes
+    /// the half-open probe slot), `Err` carries how many consecutive
+    /// failures tripped the breaker.
+    pub fn admit(&mut self) -> Result<(), u32> {
+        match self.state() {
+            BreakerState::Closed | BreakerState::HalfOpen => Ok(()),
+            BreakerState::Open => Err(self.consecutive_failures),
+        }
+    }
+
+    /// Record a job success: closes the breaker and resets the failure
+    /// streak.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        self.opened_at = None;
+    }
+
+    /// Record a job failure; returns `true` when this failure trips the
+    /// breaker open (from closed or from a failed half-open probe).
+    pub fn record_failure(&mut self) -> bool {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.config.trip_after == 0 {
+            return false;
+        }
+        let should_open = match self.state {
+            BreakerState::Closed => self.consecutive_failures >= self.config.trip_after,
+            // A failed probe re-opens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Open => false,
+        };
+        if should_open {
+            self.state = BreakerState::Open;
+            self.opened_at = Some(Instant::now());
+            self.trips += 1;
+        }
+        should_open
+    }
+}
+
+/// How [`crate::JobRuntime::shutdown`] winds the runtime down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shutdown {
+    /// Stop accepting jobs; the running and queued jobs all run to
+    /// completion (the historical `finish()` behavior).
+    Drain,
+    /// Stop accepting jobs; the running job checkpoints at its next
+    /// iteration boundary and is reported
+    /// [`crate::JobStatus::Stopped`] with its snapshot retained (resume
+    /// it later by resubmitting with the retained sink); queued jobs
+    /// stop without running, keeping any earlier snapshot.
+    CheckpointAndStop,
+    /// Stop as fast as cooperative preemption allows and discard all
+    /// in-flight state: the running job stops at its next iteration
+    /// boundary, its snapshot is dropped, and queued jobs stop without
+    /// running or retaining checkpoints.
+    Abort,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_monotone_in_attempt() {
+        let p = RetryPolicy::retries(5).base(Duration::from_millis(2));
+        let a = p.backoff(7, 1);
+        assert_eq!(a, p.backoff(7, 1), "same (seed, job, attempt) → same delay");
+        assert_ne!(
+            p.backoff(7, 1),
+            p.backoff(8, 1),
+            "different jobs get different jitter"
+        );
+        // Exponential growth dominates the sub-base jitter.
+        assert!(p.backoff(7, 2) > p.backoff(7, 1));
+        assert!(p.backoff(7, 3) > p.backoff(7, 2));
+        // The cap bounds every delay.
+        assert!(p.backoff(7, 20) <= p.cap);
+    }
+
+    #[test]
+    fn zero_base_backoff_is_zero() {
+        let p = RetryPolicy::retries(2).base(Duration::ZERO);
+        assert_eq!(p.backoff(0, 1), Duration::ZERO);
+        assert_eq!(p.backoff(0, 2), Duration::ZERO);
+    }
+
+    #[test]
+    fn breaker_trips_after_k_and_probe_decides() {
+        let mut b = Breaker::new(BreakerConfig {
+            trip_after: 2,
+            cooldown: Duration::ZERO,
+        });
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(!b.record_failure());
+        assert!(b.admit().is_ok(), "one failure keeps serving");
+        assert!(b.record_failure(), "second consecutive failure trips");
+        assert_eq!(b.trips(), 1);
+        // Zero cooldown: the next admission is the half-open probe.
+        assert!(b.admit().is_ok());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // A failed probe re-opens; a successful one closes.
+        assert!(b.record_failure());
+        assert_eq!(b.trips(), 2);
+        assert!(b.admit().is_ok(), "cooldown zero → probe again");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn disabled_breaker_never_trips() {
+        let mut b = Breaker::new(BreakerConfig {
+            trip_after: 0,
+            cooldown: Duration::ZERO,
+        });
+        for _ in 0..10 {
+            assert!(!b.record_failure());
+            assert!(b.admit().is_ok());
+        }
+        assert_eq!(b.trips(), 0);
+    }
+}

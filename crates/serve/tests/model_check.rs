@@ -1,13 +1,19 @@
 //! Model-checked concurrency suite for the serving layer: the
 //! `xct-model` explorer drives the plan cache and the job runtime
 //! (scheduler thread + submitters) through the interleavings of small
-//! configurations.
+//! configurations, including the supervision paths — shutdown racing a
+//! running job, a deadline firing during a preemption drill, and the
+//! circuit breaker tripping under a concurrent submission.
+
+use std::time::Duration;
 
 use memxct::{ReconInput, ReconRequest, StopRule};
 use xct_geometry::{disk, simulate_sinogram, Grid, NoiseModel, ScanGeometry, Sinogram};
 use xct_model::sync::Arc;
-use xct_model::{explore, Config};
-use xct_serve::{JobRuntime, JobSpec, PlanCache, PlanSpec, RuntimeConfig};
+use xct_model::{explore, replay, Config, FailureKind};
+use xct_serve::{
+    BreakerConfig, JobError, JobRuntime, JobSpec, PlanCache, PlanSpec, RuntimeConfig, Shutdown,
+};
 
 fn geometry(n: u32, m: u32) -> (Grid, ScanGeometry) {
     (Grid::new(n), ScanGeometry::new(m, n))
@@ -84,4 +90,138 @@ fn submit_during_preempt_drains_clean() {
         drop(runtime);
     });
     report.assert_clean();
+}
+
+/// `CheckpointAndStop` racing a running job: depending on the
+/// interleaving the shutdown lands before the job is picked, mid-run
+/// (the job checkpoints at its next boundary), or after it completed.
+/// Every interleaving must end in a terminal typed status with the
+/// checkpoint flag telling the truth about the retained snapshot — and
+/// the scheduler thread must always join (no stuck wind-down).
+#[test]
+fn shutdown_during_run_is_exhaustively_clean() {
+    let (grid, scan) = geometry(8, 6);
+    let plan = PlanSpec::new(grid, scan);
+    let s = sino(grid, scan, 8, 0);
+    let report = explore(&Config::dfs().preemptions(1), move || {
+        let runtime = JobRuntime::new(RuntimeConfig::default());
+        let req = ReconRequest::cg(ReconInput::Slice(s.clone()), StopRule::Fixed(3));
+        let id = runtime
+            .submit(JobSpec::new("wind-down", plan, req))
+            .unwrap();
+        let mut results = runtime.shutdown(Shutdown::CheckpointAndStop);
+        assert_eq!(results.len(), 1, "the job must not be lost");
+        let r = results.pop().unwrap();
+        assert_eq!(r.report.id, id);
+        match r.outcome {
+            Ok(resp) => {
+                assert_eq!(resp.slice_records[0].len(), 3, "completed runs are whole");
+            }
+            Err(JobError::Stopped { checkpointed }) => {
+                assert_eq!(
+                    checkpointed,
+                    r.checkpoint.is_some(),
+                    "the stop must report exactly the snapshot it retained"
+                );
+            }
+            other => panic!("expected Completed or Stopped, got {other:?}"),
+        }
+    });
+    report.assert_clean();
+}
+
+/// A zero deadline armed together with the preempt drill: under the
+/// virtual clock the job is never shed from the queue (strictly-greater
+/// queue check), so it always reaches the in-run deadline latch — which
+/// wins over the drill's checkpoint-and-requeue in every interleaving.
+/// The result is always `TimedOut` with the snapshot retained.
+#[test]
+fn deadline_fires_during_preempt_drill_always_times_out() {
+    let (grid, scan) = geometry(8, 6);
+    let plan = PlanSpec::new(grid, scan);
+    let s = sino(grid, scan, 8, 1);
+    let report = explore(&Config::dfs().preemptions(1), move || {
+        let runtime = JobRuntime::new(RuntimeConfig::default());
+        let req = ReconRequest::cg(ReconInput::Slice(s.clone()), StopRule::Fixed(3));
+        let id = runtime
+            .submit(
+                JobSpec::new("doomed", plan, req)
+                    .preempt_at(1)
+                    .deadline(Duration::ZERO),
+            )
+            .unwrap();
+        let r = runtime.wait(id).expect("result");
+        match r.outcome {
+            Err(JobError::TimedOut {
+                deadline,
+                checkpointed,
+            }) => {
+                assert_eq!(deadline, Duration::ZERO);
+                assert!(checkpointed, "the deadline stop retains its snapshot");
+            }
+            other => panic!("the deadline must win over the drill, got {other:?}"),
+        }
+        assert!(r.checkpoint.is_some(), "snapshot available for resume");
+        drop(runtime);
+    });
+    report.assert_clean();
+}
+
+fn breaker_race_body() {
+    let (grid, scan) = geometry(8, 6);
+    let plan = PlanSpec::new(grid, scan);
+    let s0 = sino(grid, scan, 8, 0);
+    let s1 = sino(grid, scan, 8, 1);
+    let runtime = Arc::new(JobRuntime::new(RuntimeConfig {
+        breaker: BreakerConfig {
+            trip_after: 1,
+            cooldown: Duration::from_secs(3600),
+        },
+        ..RuntimeConfig::default()
+    }));
+    let r2 = runtime.clone();
+    let t = xct_model::thread::spawn(move || {
+        // The seeded wrong claim: a concurrent submitter never observes
+        // the breaker trip. The checker must find the interleaving where
+        // the panic job's failure lands first and this submit is shed.
+        let req = ReconRequest::cg(ReconInput::Slice(s1.clone()), StopRule::Fixed(2));
+        r2.submit(JobSpec::new("concurrent", plan, req))
+            .expect("seeded claim: breaker never observed open");
+    });
+    let req = ReconRequest::cg(ReconInput::Slice(s0.clone()), StopRule::Fixed(2));
+    let id = runtime
+        .submit(JobSpec::new("bang", plan, req).chaos_panic("trip"))
+        .unwrap();
+    let _ = runtime.wait(id);
+    t.join().unwrap();
+}
+
+/// Breaker trip under a concurrent submission: with `trip_after: 1`, one
+/// contained panic opens the breaker, and a concurrent submitter racing
+/// that failure is shed in some interleavings. The checker must find the
+/// shedding schedule, report the same `xm1-` trace ID on every run, and
+/// the trace must replay to the same failure.
+#[test]
+fn breaker_trip_under_concurrent_submit_is_caught_deterministically() {
+    let cfg = Config::dfs();
+    let a = explore(&cfg, breaker_race_body);
+    let f1 = a
+        .failure
+        .expect("the checker must catch the shed concurrent submit");
+    println!("seeded breaker-trip race caught: {f1}");
+    assert_eq!(f1.kind, FailureKind::Panic);
+    assert!(
+        f1.message.contains("breaker never observed open"),
+        "the failure must name the seeded claim: {f1}"
+    );
+    assert!(f1.trace.as_str().starts_with("xm1-"));
+
+    let b = explore(&cfg, breaker_race_body);
+    let f2 = b.failure.expect("found again on the second run");
+    assert_eq!(f1.trace, f2.trace, "trace IDs must be deterministic");
+    assert_eq!(f1.schedule, f2.schedule);
+
+    let r = replay(&f1.trace, &cfg, breaker_race_body);
+    let fr = r.failure.expect("replay must reproduce the failure");
+    assert_eq!(fr.kind, f1.kind);
 }

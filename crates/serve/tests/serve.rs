@@ -1,17 +1,27 @@
 //! Serving-layer tests: plan-cache correctness (hit bit-identity,
 //! eviction bound, key discrimination), checkpoint-based preemption
-//! bit-identity, and admission control.
+//! bit-identity, admission control, and the supervision layer — panic
+//! isolation, deadlines, deterministic retry, and the circuit breaker.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use memxct::preprocess::Kernel;
-use memxct::{ReconInput, ReconRequest, ReconstructorBuilder, StopRule};
+use memxct::{
+    CheckpointPolicy, DistConfig, DistSolver, ExecMode, FaultTolerance, ReconInput, ReconRequest,
+    ReconstructorBuilder, StopRule,
+};
 use xct_geometry::{disk, simulate_sinogram, Grid, NoiseModel, ScanGeometry, Sinogram};
 use xct_obs::{
-    CACHE_EVICT, CACHE_HIT, CACHE_MISS, JOB_COMPLETED, JOB_PREEMPTED, JOB_REJECTED, JOB_RESUMED,
-    JOB_SUBMITTED,
+    BREAKER_STATE, BREAKER_TRIPS, CACHE_EVICT, CACHE_HIT, CACHE_MISS, JOB_COMPLETED, JOB_FAILED,
+    JOB_PANICS, JOB_PREEMPTED, JOB_REJECTED, JOB_RESUMED, JOB_RETRIES, JOB_SHED, JOB_STOPPED,
+    JOB_SUBMITTED, JOB_TIMEOUTS,
 };
-use xct_serve::{JobRuntime, JobSpec, PlanSpec, RuntimeConfig, SubmitError};
+use xct_runtime::{FaultKind, FaultPlan, MemoryCheckpointSink};
+use xct_serve::{
+    BreakerConfig, JobError, JobId, JobRuntime, JobSpec, JobStatus, PlanSpec, RetryPolicy,
+    RuntimeConfig, Shutdown, SubmitError,
+};
 
 fn geometry(n: u32, m: u32) -> (Grid, ScanGeometry) {
     (Grid::new(n), ScanGeometry::new(m, n))
@@ -218,4 +228,327 @@ fn admission_control_bounds_queued_bytes() {
 
     // Results after shutdown: nothing ran.
     assert!(runtime.finish().is_empty());
+}
+
+#[test]
+fn panicked_job_wakes_waiters_and_runtime_keeps_serving() {
+    let (grid, scan) = geometry(16, 12);
+    let plan = PlanSpec::new(grid, scan);
+    let runtime = JobRuntime::new(RuntimeConfig::default());
+    let request = ReconRequest::cg(
+        ReconInput::Slice(sino(grid, scan, 16, 0)),
+        StopRule::Fixed(4),
+    );
+
+    // The regression: a waiter parked in `wait` on a job that dies by
+    // panic must be woken with the typed error, not blocked forever.
+    let id = runtime
+        .submit(JobSpec::new("bang", plan, request.clone()).chaos_panic("chaos drill"))
+        .unwrap();
+    let result = std::thread::scope(|s| s.spawn(|| runtime.wait(id)).join().unwrap())
+        .expect("the waiter must be woken with the panicked result");
+    match &result.outcome {
+        Err(JobError::Panicked { message }) => assert_eq!(message, "chaos drill"),
+        other => panic!("expected a contained panic, got {other:?}"),
+    }
+    assert_eq!(runtime.status(id), Some(JobStatus::Failed));
+
+    // The panic was contained to that job: the scheduler thread, the
+    // plan cache, and the queue all keep serving.
+    let id2 = runtime
+        .submit(JobSpec::new("after", plan, request))
+        .unwrap();
+    let ok = runtime.wait(id2).expect("post-panic job result");
+    assert!(ok.outcome.is_ok(), "runtime must serve after a panic");
+    let snap = runtime.metrics();
+    assert_eq!(snap.counters[JOB_PANICS], 1);
+    assert_eq!(snap.counters[JOB_FAILED], 1);
+    assert_eq!(snap.counters[JOB_COMPLETED], 1);
+}
+
+#[test]
+fn retried_crash_job_is_bit_identical_to_an_unfaulted_run() {
+    let (grid, scan) = geometry(24, 36);
+    let plan = PlanSpec::new(grid, scan);
+    let s = sino(grid, scan, 24, 2);
+    let config = DistConfig {
+        ranks: 2,
+        use_buffered: true,
+        stop: StopRule::Fixed(8),
+        solver: DistSolver::Cg,
+    };
+
+    // Unfaulted golden run of the same distributed request.
+    let fresh = ReconstructorBuilder::new(grid, scan)
+        .validate_plan(true)
+        .build()
+        .unwrap();
+    let want = fresh
+        .run(
+            &ReconRequest::cg(ReconInput::Slice(s.clone()), StopRule::Fixed(8))
+                .mode(ExecMode::Distributed { config, ft: None }),
+        )
+        .unwrap();
+
+    // Chaos: rank 1 crashes mid-solve, no inner restart budget — the
+    // attempt fails with a typed CommError. The crash latches once per
+    // fault-plan instance, so the runtime's retry (sharing the Arc'd
+    // plan) succeeds, resuming from the job-private checkpoint when the
+    // crashed attempt left one.
+    let chaos = FaultTolerance {
+        faults: Arc::new(FaultPlan::new().with(1, 4, FaultKind::Crash)),
+        max_restarts: 0,
+        ..FaultTolerance::default()
+    };
+    let request =
+        ReconRequest::cg(ReconInput::Slice(s), StopRule::Fixed(8)).mode(ExecMode::Distributed {
+            config,
+            ft: Some(chaos),
+        });
+    let runtime = JobRuntime::new(RuntimeConfig::default());
+    let id = runtime
+        .submit(
+            JobSpec::new("chaotic", plan, request)
+                .retry(RetryPolicy::retries(2).base(Duration::ZERO))
+                .checkpoint_every(1),
+        )
+        .unwrap();
+    let result = runtime.wait(id).expect("result");
+    let resp = result.outcome.expect("the retry must recover the crash");
+    assert_eq!(result.report.retries, 1, "exactly one retry ran");
+    assert_eq!(
+        bits(&resp.images[0]),
+        bits(&want.images[0]),
+        "retried output must be bit-identical to an unfaulted run"
+    );
+    let snap = runtime.metrics();
+    assert_eq!(snap.counters[JOB_RETRIES], 1);
+    assert_eq!(snap.counters[JOB_COMPLETED], 1);
+}
+
+#[test]
+fn retry_backoff_parks_and_abort_stops_without_checkpoints() {
+    let (grid, scan) = geometry(24, 36);
+    let plan = PlanSpec::new(grid, scan);
+    let runtime = JobRuntime::new(RuntimeConfig::default());
+
+    // Unknown ids resolve immediately, bounded or not.
+    assert!(runtime.wait(JobId(99)).is_none());
+    assert!(runtime.wait_timeout(JobId(99), Duration::ZERO).is_none());
+
+    let config = DistConfig {
+        ranks: 2,
+        use_buffered: true,
+        stop: StopRule::Fixed(8),
+        solver: DistSolver::Cg,
+    };
+    let chaos = FaultTolerance {
+        faults: Arc::new(FaultPlan::new().with(1, 4, FaultKind::Crash)),
+        max_restarts: 0,
+        ..FaultTolerance::default()
+    };
+    let request = ReconRequest::cg(
+        ReconInput::Slice(sino(grid, scan, 24, 0)),
+        StopRule::Fixed(8),
+    )
+    .mode(ExecMode::Distributed {
+        config,
+        ft: Some(chaos),
+    });
+    // The first attempt crashes; the retry parks in a ~30s seeded
+    // backoff. A bounded wait must give up while the job is non-terminal
+    // (running or parked), leaving the result claimable.
+    let id = runtime
+        .submit(
+            JobSpec::new("parked", plan, request)
+                .retry(RetryPolicy::retries(3).base(Duration::from_secs(30))),
+        )
+        .unwrap();
+    assert!(
+        runtime
+            .wait_timeout(id, Duration::from_millis(100))
+            .is_none(),
+        "a parked retry must not satisfy a bounded wait"
+    );
+
+    // Abort discards in-flight state: the parked job stops without
+    // running its retry and without retaining a checkpoint.
+    let mut results = runtime.shutdown(Shutdown::Abort);
+    assert_eq!(results.len(), 1);
+    let r = results.pop().unwrap();
+    assert!(
+        matches!(
+            r.outcome,
+            Err(JobError::Stopped {
+                checkpointed: false
+            })
+        ),
+        "expected an abort stop, got {:?}",
+        r.outcome
+    );
+    assert!(r.checkpoint.is_none());
+    assert_eq!(r.report.retries, 1, "the crash consumed one retry");
+}
+
+#[test]
+fn deadline_overrun_retains_a_checkpoint_that_resumes_bit_identically() {
+    let (grid, scan) = geometry(16, 12);
+    let plan = PlanSpec::new(grid, scan);
+    let s = sino(grid, scan, 16, 3);
+    let request = ReconRequest::cg(ReconInput::Slice(s.clone()), StopRule::Fixed(8));
+
+    let fresh = ReconstructorBuilder::new(grid, scan)
+        .validate_plan(true)
+        .build()
+        .unwrap();
+    let want = fresh.run(&request).unwrap();
+
+    // Seed a mid-solve snapshot (3 of 8 iterations), then submit the
+    // full job with a zero budget: whether it is shed from the queue or
+    // stopped at its first in-run boundary, it must end TimedOut with
+    // the snapshot retained.
+    let sink = Arc::new(MemoryCheckpointSink::new());
+    fresh
+        .run(
+            &ReconRequest::cg(ReconInput::Slice(s), StopRule::Fixed(3))
+                .checkpoint(CheckpointPolicy::new(sink.clone(), 1)),
+        )
+        .unwrap();
+
+    let runtime = JobRuntime::new(RuntimeConfig::default());
+    let id = runtime
+        .submit(
+            JobSpec::new("tight", plan, request.clone())
+                .deadline(Duration::ZERO)
+                .resume_from(sink),
+        )
+        .unwrap();
+    let result = runtime.wait(id).expect("result");
+    match result.outcome {
+        Err(JobError::TimedOut {
+            deadline,
+            checkpointed,
+        }) => {
+            assert_eq!(deadline, Duration::ZERO);
+            assert!(checkpointed, "the deadline stop must retain the snapshot");
+        }
+        other => panic!("expected a deadline overrun, got {other:?}"),
+    }
+    assert_eq!(runtime.status(id), Some(JobStatus::TimedOut));
+
+    // Resume from the retained checkpoint with no deadline: the output
+    // is bit-identical to an uninterrupted run.
+    let retained = result.checkpoint.expect("retained checkpoint");
+    let id2 = runtime
+        .submit(JobSpec::new("resume", plan, request).resume_from(retained))
+        .unwrap();
+    let resumed = runtime.wait(id2).expect("resumed result");
+    let resp = resumed.outcome.expect("resumed job completed");
+    assert_eq!(
+        bits(&resp.images[0]),
+        bits(&want.images[0]),
+        "deadline + resume must be bit-identical to an uninterrupted run"
+    );
+    assert_eq!(resp.slice_records[0].len(), 8, "all iterations accounted");
+
+    let snap = runtime.metrics();
+    assert_eq!(snap.counters[JOB_TIMEOUTS], 1);
+    assert!(snap.counters[JOB_RESUMED] >= 1);
+
+    // Deadline-aware admission: a budget below the configured floor is
+    // refused up front, before any queueing.
+    let strict = JobRuntime::new(RuntimeConfig {
+        min_deadline: Duration::from_secs(1),
+        ..RuntimeConfig::default()
+    });
+    let err = strict
+        .submit(
+            JobSpec::new(
+                "too-tight",
+                plan,
+                ReconRequest::cg(
+                    ReconInput::Slice(sino(grid, scan, 16, 3)),
+                    StopRule::Fixed(2),
+                ),
+            )
+            .deadline(Duration::from_millis(10)),
+        )
+        .unwrap_err();
+    assert!(matches!(err, SubmitError::DeadlineTooTight { .. }), "{err}");
+}
+
+#[test]
+fn breaker_trips_sheds_and_recovers_via_half_open_probe() {
+    let (grid, scan) = geometry(16, 12);
+    let plan = PlanSpec::new(grid, scan);
+    let req = || {
+        ReconRequest::cg(
+            ReconInput::Slice(sino(grid, scan, 16, 0)),
+            StopRule::Fixed(2),
+        )
+    };
+
+    // Long cooldown: after two consecutive contained panics the breaker
+    // is open and submissions shed with the typed Degraded error.
+    let runtime = JobRuntime::new(RuntimeConfig {
+        breaker: BreakerConfig {
+            trip_after: 2,
+            cooldown: Duration::from_secs(3600),
+        },
+        ..RuntimeConfig::default()
+    });
+    for i in 0..2 {
+        let id = runtime
+            .submit(JobSpec::new(format!("bang{i}"), plan, req()).chaos_panic("boom"))
+            .unwrap();
+        runtime.wait(id).expect("panicked result");
+    }
+    let err = runtime
+        .submit(JobSpec::new("shed", plan, req()))
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SubmitError::Degraded {
+                consecutive_failures: 2
+            }
+        ),
+        "{err}"
+    );
+    let snap = runtime.metrics();
+    assert_eq!(snap.counters[JOB_SHED], 1);
+    assert_eq!(snap.counters[BREAKER_TRIPS], 1);
+    assert_eq!(snap.gauges[BREAKER_STATE], 1.0, "gauge reports open");
+    assert!(!snap.counters.contains_key(JOB_STOPPED));
+    drop(runtime);
+
+    // Zero cooldown: the next submission is the half-open probe; its
+    // success closes the breaker and the runtime serves normally again.
+    let runtime = JobRuntime::new(RuntimeConfig {
+        breaker: BreakerConfig {
+            trip_after: 2,
+            cooldown: Duration::ZERO,
+        },
+        ..RuntimeConfig::default()
+    });
+    for i in 0..2 {
+        let id = runtime
+            .submit(JobSpec::new(format!("bang{i}"), plan, req()).chaos_panic("boom"))
+            .unwrap();
+        runtime.wait(id).expect("panicked result");
+    }
+    let probe = runtime.submit(JobSpec::new("probe", plan, req())).unwrap();
+    assert!(
+        runtime.wait(probe).expect("probe result").outcome.is_ok(),
+        "the half-open probe must be admitted and run"
+    );
+    let after = runtime.submit(JobSpec::new("after", plan, req())).unwrap();
+    assert!(runtime
+        .wait(after)
+        .expect("post-probe result")
+        .outcome
+        .is_ok());
+    let snap = runtime.metrics();
+    assert_eq!(snap.gauges[BREAKER_STATE], 0.0, "probe success closed it");
+    assert_eq!(snap.counters[JOB_COMPLETED], 2);
 }
